@@ -1,0 +1,9 @@
+"""E1 benchmark — Figure 1 walkthrough: every arrow of the paper's architecture diagram executed, traffic accounted, invariants checked."""
+
+from repro.bench import e01_figure1 as experiment
+
+from conftest import run_experiment
+
+
+def test_e01_figure1(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e01_figure1")

@@ -1,0 +1,9 @@
+"""E2 benchmark — NILM attack success vs externalization granularity (the 1s/15min/daily claims)."""
+
+from repro.bench import e02_granularity as experiment
+
+from conftest import run_experiment
+
+
+def test_e02_granularity(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e02_granularity")

@@ -1,0 +1,9 @@
+"""E3 benchmark — energy butler bill saving (the 30% claim) plus flexibility ablation."""
+
+from repro.bench import e03_butler as experiment
+
+from conftest import run_experiment
+
+
+def test_e03_butler(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e03_butler")

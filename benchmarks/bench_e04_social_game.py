@@ -1,0 +1,9 @@
+"""E4 benchmark — social game consumption reduction (the 20% claim) vs control group."""
+
+from repro.bench import e04_social_game as experiment
+
+from conftest import run_experiment
+
+
+def test_e04_social_game(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e04_social_game")

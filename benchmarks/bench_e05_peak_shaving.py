@@ -1,0 +1,9 @@
+"""E5 benchmark — neighborhood peak shaving via privacy-preserving coordination."""
+
+from repro.bench import e05_peak_shaving as experiment
+
+from conftest import run_experiment
+
+
+def test_e05_peak_shaving(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e05_peak_shaving")

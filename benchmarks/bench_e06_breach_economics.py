@@ -1,0 +1,9 @@
+"""E6 benchmark — attacker cost-benefit, central database vs trusted cells."""
+
+from repro.bench import e06_breach_economics as experiment
+
+from conftest import run_experiment
+
+
+def test_e06_breach_economics(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e06_breach_economics")

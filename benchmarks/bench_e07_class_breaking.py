@@ -1,0 +1,9 @@
+"""E7 benchmark — class-breaking containment, per-cell keys vs shared master."""
+
+from repro.bench import e07_class_breaking as experiment
+
+from conftest import run_experiment
+
+
+def test_e07_class_breaking(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e07_class_breaking")

@@ -1,0 +1,9 @@
+"""E8 benchmark — embedded metadata query latency across hardware profiles."""
+
+from repro.bench import e08_embedded_query as experiment
+
+from conftest import run_experiment
+
+
+def test_e08_embedded_query(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e08_embedded_query")

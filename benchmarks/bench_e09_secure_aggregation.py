@@ -1,0 +1,9 @@
+"""E9 benchmark — secure aggregation cost vs N and availability."""
+
+from repro.bench import e09_secure_aggregation as experiment
+
+from conftest import run_experiment
+
+
+def test_e09_secure_aggregation(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e09_secure_aggregation")

@@ -1,0 +1,9 @@
+"""Ee10 benchmark — k-anonymity loss vs k and DP error vs epsilon."""
+
+from repro.bench import e10_transformations as experiment
+
+from conftest import run_experiment
+
+
+def test_e10_transformations(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e10_transformations")

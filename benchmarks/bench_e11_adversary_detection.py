@@ -1,0 +1,9 @@
+"""Ee11 benchmark — weakly malicious cloud detection and conviction."""
+
+from repro.bench import e11_adversary_detection as experiment
+
+from conftest import run_experiment
+
+
+def test_e11_adversary_detection(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e11_adversary_detection")

@@ -1,0 +1,9 @@
+"""Ee12 benchmark — UCON enforcement correctness at scale and per-read overhead."""
+
+from repro.bench import e12_usage_control as experiment
+
+from conftest import run_experiment
+
+
+def test_e12_usage_control(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e12_usage_control")

@@ -1,0 +1,156 @@
+"""Micro-benchmarks of the platform's hot operations.
+
+These complement the experiment benches with classic pytest-benchmark
+timings: the per-operation costs that bound what a real low-end cell
+could sustain (sealing, signing, policy-checked reads, masked-sum
+rounds, embedded queries).
+"""
+
+import random
+
+import pytest
+
+from repro.commons import AggregationNode, MaskedSum
+from repro.core import TrustedCell
+from repro.crypto import KeyRing, open_sealed, seal
+from repro.hardware import SMARTPHONE, FlashTimings, NandFlash
+from repro.policy import DataEnvelope, private_policy
+from repro.sim import World
+from repro.store import Catalog, Eq, Query
+
+KEY = bytes(range(16))
+PAYLOAD = b"x" * 1024
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return KeyRing.generate(random.Random(1))
+
+
+def test_seal_1kb(benchmark):
+    benchmark(seal, KEY, PAYLOAD)
+
+
+def test_open_1kb(benchmark):
+    blob = seal(KEY, PAYLOAD)
+    benchmark(open_sealed, KEY, blob)
+
+
+def test_sign(benchmark, ring):
+    benchmark(ring.sign, b"certified aggregate")
+
+
+def test_verify(benchmark, ring):
+    signature = ring.sign(b"certified aggregate")
+    verify_key = ring.verify_key
+    benchmark(verify_key.verify, b"certified aggregate", signature)
+
+
+def test_envelope_roundtrip(benchmark):
+    policy = private_policy("alice")
+
+    def roundtrip():
+        envelope = DataEnvelope.create(KEY, "object", 1, PAYLOAD, policy)
+        envelope.open(KEY)
+
+    benchmark(roundtrip)
+
+
+def test_policy_checked_read(benchmark):
+    world = World(seed=1)
+    cell = TrustedCell(world, "bench-cell", SMARTPHONE)
+    cell.register_user("alice", "pin")
+    session = cell.login("alice", "pin")
+    cell.store_object(session, "doc", PAYLOAD)
+    benchmark(cell.read_object, session, "doc")
+
+
+def test_store_put(benchmark):
+    flash = NandFlash(
+        FlashTimings(page_size=4096, pages_per_block=128,
+                     read_page_us=12.0, write_page_us=120.0,
+                     erase_block_us=1000.0),
+        capacity_bytes=64 * 1024 * 1024,
+    )
+    catalog = Catalog(flash)
+    items = catalog.collection("items")
+    counter = iter(range(10**9))
+
+    def put():
+        index = next(counter)
+        items.insert(f"item-{index}", {"kind": "photo", "created_at": index})
+
+    benchmark(put)
+
+
+def test_indexed_query_1000_records(benchmark):
+    flash = NandFlash(
+        FlashTimings(page_size=4096, pages_per_block=128,
+                     read_page_us=12.0, write_page_us=120.0,
+                     erase_block_us=1000.0),
+        capacity_bytes=64 * 1024 * 1024,
+    )
+    catalog = Catalog(flash)
+    items = catalog.collection("items")
+    items.create_hash_index("kind")
+    for index in range(1000):
+        items.insert(f"item-{index}", {"kind": f"kind-{index % 20}", "n": index})
+    catalog.store.flush()
+    query = Query("items", where=Eq("kind", "kind-7"))
+    benchmark(catalog.query, query)
+
+
+def test_keyword_search_1000_records(benchmark):
+    from repro.store import HasKeyword
+
+    flash = NandFlash(
+        FlashTimings(page_size=4096, pages_per_block=128,
+                     read_page_us=12.0, write_page_us=120.0,
+                     erase_block_us=1000.0),
+        capacity_bytes=64 * 1024 * 1024,
+    )
+    catalog = Catalog(flash)
+    documents = catalog.collection("documents")
+    documents.create_keyword_index("caption")
+    words = ["beach", "family", "work", "energy", "travel", "music"]
+    for index in range(1000):
+        caption = " ".join(words[(index + offset) % len(words)]
+                           for offset in range(3))
+        documents.insert(f"d{index}", {"caption": caption})
+    catalog.store.flush()
+    query = Query("documents", where=HasKeyword("caption", ("beach", "family")))
+    benchmark(catalog.query, query)
+
+
+def test_hash_join_500x500(benchmark):
+    from repro.store import JoinQuery, execute_join
+
+    flash = NandFlash(
+        FlashTimings(page_size=4096, pages_per_block=128,
+                     read_page_us=12.0, write_page_us=120.0,
+                     erase_block_us=1000.0),
+        capacity_bytes=64 * 1024 * 1024,
+    )
+    catalog = Catalog(flash)
+    left = catalog.collection("receipts")
+    right = catalog.collection("visits")
+    for index in range(500):
+        left.insert(f"r{index}", {"person": f"p{index % 50}", "amount": index})
+        right.insert(f"v{index}", {"person": f"p{index % 50}", "code": index})
+    catalog.store.flush()
+    join = JoinQuery("receipts", "visits", "person", "person")
+    benchmark(execute_join, catalog, join)
+
+
+def test_masked_sum_20_nodes(benchmark):
+    rng = random.Random(2)
+    nodes = [AggregationNode.standalone(f"n-{i}", rng) for i in range(20)]
+    values = {node.name: 100 for node in nodes}
+    protocol = MaskedSum()
+    protocol.run(nodes, values)  # warm the pairwise-key caches
+    counter = iter(range(10**9))
+
+    def one_round():
+        protocol.run(nodes, values, round_tag=f"round-{next(counter)}")
+
+    benchmark(one_round)

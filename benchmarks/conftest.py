@@ -1,0 +1,44 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eNN_*.py`` runs one experiment from :mod:`repro.bench`
+exactly once under pytest-benchmark (the experiments are deterministic
+end-to-end simulations — wall-clock is reported for orientation, the
+*tables* are the result), prints its tables, saves them under
+``benchmarks/results/`` and asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_tables():
+    """Fixture: print tables and persist them to benchmarks/results/."""
+
+    def _record(name: str, tables) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        rendered = "\n\n".join(table.render() for table in tables)
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print()
+        print(rendered)
+
+    return _record
+
+
+def run_experiment(benchmark, module, record_tables, name: str, **kwargs):
+    """Run an experiment once under the benchmark clock, record tables,
+    and check its shape predicate."""
+    tables = benchmark.pedantic(
+        lambda: module.run(**kwargs), rounds=1, iterations=1
+    )
+    record_tables(name, tables)
+    checker = getattr(module, "shape_holds", None) or getattr(
+        module, "all_invariants_hold"
+    )
+    assert checker(tables), f"{name}: paper-shape predicate failed"
+    return tables

@@ -1,0 +1,63 @@
+"""The motivation scenario: Alice & Bob's instrumented home.
+
+Wires the Linky-style meter to the home-gateway trusted cell, then
+shows each stakeholder exactly what the granularity policies let them
+see; demonstrates why those granularities matter by running the NILM
+attack on each view; and finishes with the energy butler's monthly
+bill comparison.
+
+Run:  python examples/energy_home.py
+"""
+
+import random
+
+from repro.apps import HomeMetering, simulate_household_month
+from repro.attacks import appliance_detection_f1
+from repro.errors import AccessDenied
+from repro.sim import World
+from repro.store import GRANULARITY_15_MIN
+from repro.workloads.energy import STANDARD_APPLIANCES
+
+RATED = {appliance.name: appliance.power_watts
+         for appliance in STANDARD_APPLIANCES}
+
+
+def main() -> None:
+    world = World(seed=42)
+    home = HomeMetering.build(world, "maison", members=("alice", "bob"),
+                              seed=42, sample_period=1)
+    print("metering one day at 1 Hz ...")
+    trace = home.meter_day(0)
+    print(f"  {len(trace.series)} readings, "
+          f"{trace.energy_kwh():.1f} kWh, {len(trace.events)} appliance runs")
+
+    # -- who sees what -------------------------------------------------------
+    buckets = home.household_view("alice")
+    print(f"alice (15-min view): {len(buckets)} buckets, "
+          f"evening mean {buckets[76].mean:.0f} W")
+    try:
+        session = home.gateway.login("alice", "pin-alice")
+        home.gateway.read_series(session, "power", 1)
+    except AccessDenied as denied:
+        print("alice asking for the raw 1s feed:", denied)
+
+    daily = home.game_view()
+    print(f"social game (daily view): day-0 total "
+          f"{daily[0].sum / 3.6e6:.1f} kWh")
+    payload, signature = home.certified_monthly_feed()
+    print("utility verifies certified monthly feed:",
+          home.verify_certified_feed(payload, signature))
+
+    # -- why the granularities matter: the NILM attack ------------------------
+    for label, granularity in (("1 s", 1), ("15 min", GRANULARITY_15_MIN)):
+        score = appliance_detection_f1(trace, granularity, RATED)
+        print(f"NILM at {label:>6}: appliance-detection F1 = {score.f1:.2f}")
+
+    # -- the energy butler -----------------------------------------------------
+    result = simulate_household_month(seed=42, days=30)
+    print(f"butler: bill {result.baseline_bill:.2f} -> {result.butler_bill:.2f} "
+          f"({result.saving_fraction * 100:.0f}% saving; paper claims 30%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Pay-As-You-Drive: the GPS tracker that keeps your trips to itself.
+
+A week of driving accumulates inside the car's sensor-class trusted
+cell. The government receives only a signed road-pricing fee; the
+insurer only signed aggregates (distance, night fraction, premium).
+Both verify the meter's signature; neither ever sees a coordinate.
+
+Run:  python examples/payd_insurance.py
+"""
+
+from repro.apps import PaydBox
+from repro.sim import World
+from repro.workloads import CityMap
+
+
+def main() -> None:
+    world = World(seed=5)
+    city = CityMap(width=12, height=12)
+    box = PaydBox(world, "alice", city, seed=5)
+
+    total_trips = 0
+    for day in range(7):
+        total_trips += box.record_day(day)
+    print(f"one week: {total_trips} trips recorded inside the box")
+
+    fee = box.road_pricing_statement()
+    insurer = box.insurer_statement()
+    print("government receives :", PaydBox.statement_body(fee))
+    print("insurer receives    :", PaydBox.statement_body(insurer))
+    print("signatures verify   :",
+          fee.verify(box.cell.principal.verify_key)
+          and insurer.verify(box.cell.principal.verify_key))
+
+    box.assert_no_trace_leak(fee)
+    box.assert_no_trace_leak(insurer)
+    print("no raw GPS point appears in either statement")
+
+    # The raw trace is still there - for the owner, inside the box.
+    session = box.cell.login("alice", "factory-pin")
+    from repro.store import Eq, Query
+
+    stored = box.cell.query_metadata(
+        session, Query("objects", where=Eq("kind", "gps-trace"))
+    )
+    print(f"{len(stored)} raw traces remain sealed in the box "
+          f"(query plan: {stored.plan})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""The introduction's photo scenario, end to end.
+
+"Whenever you take a picture, your smart phone securely contacts the
+personal services of all individuals in the frame of the picture, and
+automatically blurs the face of those who request it."
+
+Alice photographs Bob and Carol. Bob's cell has a standing blur rule,
+Carol approves as-is; the integrated photo carries Bob blurred. Then
+Alice shares it under footnote 6's policy — ten accesses, time-boxed,
+owner notified — and Charlie reads it from an untrusted kiosk through
+his portable cell, leaving no trace behind.
+
+Run:  python examples/photo_approbation.py
+"""
+
+from repro.core import TrustedCell
+from repro.errors import AccessDenied
+from repro.hardware import SMART_TOKEN, SMARTPHONE
+from repro.infrastructure import CloudProvider
+from repro.policy import Grant, Obligation, TimeWindow, UsagePolicy
+from repro.policy.ucon import OBLIGATION_NOTIFY_OWNER, RIGHT_READ
+from repro.sharing import (
+    ApprobationService,
+    SharingPeer,
+    always_approve,
+    always_blur,
+    integrate_with_approbation,
+    introduce_cells,
+)
+from repro.sim import World
+from repro.sync import UntrustedTerminal, VaultClient
+
+
+def blur(payload: bytes, user: str) -> bytes:
+    return payload + f"[{user}:blurred]".encode()
+
+
+def main() -> None:
+    world = World(seed=3)
+    cloud = CloudProvider(world)
+    alice_cell = TrustedCell(world, "alice-phone", SMARTPHONE)
+    bob_cell = TrustedCell(world, "bob-phone", SMARTPHONE)
+    carol_cell = TrustedCell(world, "carol-phone", SMARTPHONE)
+    charlie_cell = TrustedCell(world, "charlie-token", SMART_TOKEN)
+    alice_cell.register_user("alice", "pin")
+    charlie_cell.register_user("charlie", "pin")
+    introduce_cells(alice_cell, bob_cell, carol_cell, charlie_cell)
+
+    # -- approbation: the frame contains Bob (blur me) and Carol (fine) --------
+    final = integrate_with_approbation(
+        alice_cell,
+        alice_cell.login("alice", "pin"),
+        "party-photo",
+        b"jpeg:party",
+        referenced={
+            "bob": ApprobationService(bob_cell, always_blur),
+            "carol": ApprobationService(carol_cell, always_approve),
+        },
+        transform_blur=blur,
+    )
+    print("integrated photo:", final)
+
+    # -- footnote-6 sharing with Charlie ------------------------------------------
+    alice = alice_cell.login("alice", "pin")
+    envelope_payload = alice_cell.read_object(alice, "party-photo")
+    policy = UsagePolicy(
+        owner="alice",
+        grants=(Grant(rights=(RIGHT_READ,), subjects=("charlie",)),),
+        conditions=(TimeWindow(not_before=0, not_after=366 * 86400),),
+        obligations=(Obligation(OBLIGATION_NOTIFY_OWNER),),
+        max_uses=10,
+    )
+    alice_cell.store_object(alice, "party-photo", envelope_payload,
+                            policy=policy, kind="photo")
+    SharingPeer(alice_cell, cloud).share_object(
+        alice, "party-photo", charlie_cell,
+        Grant(rights=(RIGHT_READ,), subjects=("charlie",)),
+    )
+    charlie_peer = SharingPeer(charlie_cell, cloud)
+    print("charlie imports:", charlie_peer.accept_shares())
+
+    # -- the internet cafe --------------------------------------------------------
+    kiosk = UntrustedTerminal("internet-cafe")
+    kiosk.connect(charlie_cell.login("charlie", "pin"))
+    reads = 0
+    try:
+        for _ in range(12):
+            kiosk.display("party-photo")
+            reads += 1
+    except AccessDenied as denied:
+        print(f"read #{reads + 1} denied: {denied}")
+    kiosk.disconnect()
+    print(f"charlie displayed the photo {reads} times (policy allows 10)")
+    print("kiosk residue after disconnect:", kiosk.residue())
+    print("owner-notification queue on charlie's cell:",
+          len(charlie_cell.outbox))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Trusted Cells: a simulated decentralized personal data platform.
+
+Reproduction of *Trusted Cells: A Sea Change for Personal Data
+Services* (Anciaux, Bonnet, Bouganim, Nguyen, Sandu Popa, Pucheral —
+CIDR 2013). See ``DESIGN.md`` for the system inventory and
+``EXPERIMENTS.md`` for the derived experiment suite.
+
+The most common entry points are re-exported here; the full API lives
+in the subpackages (``repro.core``, ``repro.policy``, ``repro.sharing``,
+``repro.sync``, ``repro.commons``, ...).
+"""
+
+from .core import AggregateView, CertificateAuthority, Session, TrustedCell
+from .hardware import (
+    HOME_GATEWAY,
+    SENSOR_CELL,
+    SMART_TOKEN,
+    SMARTPHONE,
+    profile_by_name,
+)
+from .infrastructure import CloudProvider
+from .policy import DataEnvelope, Grant, Obligation, UsagePolicy, private_policy
+from .sharing import SharingPeer, introduce_cells
+from .sim import World
+from .sync import VaultClient
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateView",
+    "CertificateAuthority",
+    "Session",
+    "TrustedCell",
+    "HOME_GATEWAY",
+    "SENSOR_CELL",
+    "SMART_TOKEN",
+    "SMARTPHONE",
+    "profile_by_name",
+    "CloudProvider",
+    "DataEnvelope",
+    "Grant",
+    "Obligation",
+    "UsagePolicy",
+    "private_policy",
+    "SharingPeer",
+    "introduce_cells",
+    "World",
+    "VaultClient",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    python -m repro list            # show the experiment catalog
+    python -m repro run E2          # run one experiment, print its tables
+    python -m repro run all         # run everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import ALL_EXPERIMENTS, print_tables
+
+_DESCRIPTIONS = {
+    "E1": "Figure 1 walkthrough: every arrow executed, invariants checked",
+    "E2": "NILM attack vs externalization granularity (1s/15min/daily)",
+    "E3": "energy butler bill saving (the 30% claim) + ablation",
+    "E4": "social game consumption reduction (the 20% claim)",
+    "E5": "neighborhood peak shaving via masked coordination",
+    "E6": "breach economics: central database vs trusted cells",
+    "E7": "class-breaking: per-cell keys vs shared master",
+    "E8": "embedded metadata queries across hardware profiles",
+    "E9": "secure aggregation vs population size and availability",
+    "E10": "k-anonymity loss vs k; DP error vs epsilon",
+    "E11": "weakly malicious cloud: detection and conviction",
+    "E12": "usage-control correctness, overhead, binding ablation",
+}
+
+
+def _list_experiments() -> None:
+    for name in ALL_EXPERIMENTS:
+        print(f"{name:>4}  {_DESCRIPTIONS.get(name, '')}")
+
+
+def _run(names: list[str]) -> int:
+    failures = 0
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        print(f"--- {name}: {_DESCRIPTIONS.get(name, '')}")
+        start = time.time()
+        tables = module.run()
+        elapsed = time.time() - start
+        print_tables(tables)
+        checker = getattr(module, "shape_holds", None) or getattr(
+            module, "all_invariants_hold"
+        )
+        ok = checker(tables)
+        print(f"{name}: paper-shape predicate "
+              f"{'HOLDS' if ok else 'FAILED'} ({elapsed:.1f}s)")
+        print()
+        if not ok:
+            failures += 1
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Trusted Cells reproduction: experiment runner",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (E1..E12) or 'all'",
+    )
+    report_parser = subparsers.add_parser(
+        "report", help="run everything, write a consolidated markdown report"
+    )
+    report_parser.add_argument(
+        "--output", default="EXPERIMENT-REPORT.md",
+        help="output path (default: EXPERIMENT-REPORT.md)",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.command == "list":
+        _list_experiments()
+        return 0
+    if arguments.command == "report":
+        from .bench.report import generate_report
+
+        verdicts = generate_report(arguments.output)
+        for name, holds in verdicts.items():
+            print(f"{name}: {'HOLDS' if holds else 'FAILED'}")
+        print(f"report written to {arguments.output}")
+        return 0 if all(verdicts.values()) else 1
+    target = arguments.experiment.upper()
+    if target == "ALL":
+        return _run(list(ALL_EXPERIMENTS))
+    if target not in ALL_EXPERIMENTS:
+        parser.error(
+            f"unknown experiment {arguments.experiment!r}; "
+            f"known: {', '.join(ALL_EXPERIMENTS)} or 'all'"
+        )
+    return _run([target])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Applications from the paper's scenarios, built on the public API."""
+
+from .energy_butler import (
+    EvChargeNeed,
+    HeatPumpPlant,
+    MonthResult,
+    simulate_household_month,
+)
+from .metering import (
+    BUTLER_SUBJECT,
+    GAME_SUBJECT,
+    UTILITY_SUBJECT,
+    HomeMetering,
+    scenario_policies,
+)
+from .payd import PaydBox, SignedStatement
+from .peak_shaving import (
+    FlexibleBlock,
+    Household,
+    ShavingResult,
+    coordinate,
+    make_neighborhood,
+    neighborhood_profile,
+    peak_to_average,
+)
+from .social_game import Player, SeasonResult, run_season
+
+__all__ = [
+    "EvChargeNeed",
+    "HeatPumpPlant",
+    "MonthResult",
+    "simulate_household_month",
+    "BUTLER_SUBJECT",
+    "GAME_SUBJECT",
+    "UTILITY_SUBJECT",
+    "HomeMetering",
+    "scenario_policies",
+    "PaydBox",
+    "SignedStatement",
+    "FlexibleBlock",
+    "Household",
+    "ShavingResult",
+    "coordinate",
+    "make_neighborhood",
+    "neighborhood_profile",
+    "peak_to_average",
+    "Player",
+    "SeasonResult",
+    "run_season",
+]

@@ -1,0 +1,146 @@
+"""The home metering pipeline: meter cell → gateway cell → recipients.
+
+Wires the motivation scenario end to end:
+
+* the Linky-like meter is a sensor-class trusted cell streaming 1 Hz
+  readings to the home gateway (in-home link, both ends trusted);
+* the gateway registers the ``power`` series with the scenario's
+  granularity policy map — raw for the butler app only, 15-minute
+  aggregates for household members, daily statistics for the social
+  game, monthly statistics for the distribution company;
+* the utility's monthly feed is *certified* (signed by the meter cell)
+  so the provider can trust it for billing, per "a trusted source both
+  for the user (privacy) and the provider (certification)".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.cell import TrustedCell
+from ..crypto.signing import Signature
+from ..hardware.profiles import HOME_GATEWAY, SENSOR_CELL
+from ..policy.ucon import RIGHT_READ, Grant, UsagePolicy
+from ..sim.world import World
+from ..store.timeseries import (
+    GRANULARITY_15_MIN,
+    GRANULARITY_DAY,
+    GRANULARITY_MONTH,
+    GRANULARITY_RAW,
+)
+from ..workloads.energy import DayTrace, HouseholdSimulator
+
+BUTLER_SUBJECT = "energy-butler-app"
+GAME_SUBJECT = "social-game-app"
+UTILITY_SUBJECT = "power-provider"
+
+
+def scenario_policies(household_members: tuple[str, ...]) -> dict[int, UsagePolicy]:
+    """The granularity → policy map from the motivation section."""
+    return {
+        GRANULARITY_RAW: UsagePolicy(
+            owner="meter",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=(BUTLER_SUBJECT,)),),
+        ),
+        GRANULARITY_15_MIN: UsagePolicy(
+            owner="meter",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=household_members),),
+        ),
+        GRANULARITY_DAY: UsagePolicy(
+            owner="meter",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=(GAME_SUBJECT,)),),
+        ),
+        GRANULARITY_MONTH: UsagePolicy(
+            owner="meter",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=(UTILITY_SUBJECT,)),),
+        ),
+    }
+
+
+@dataclass
+class HomeMetering:
+    """The assembled pipeline for one household."""
+
+    world: World
+    meter_cell: TrustedCell
+    gateway: TrustedCell
+    simulator: HouseholdSimulator
+    traces: list[DayTrace]
+
+    @classmethod
+    def build(
+        cls,
+        world: World,
+        household: str,
+        members: tuple[str, ...] = ("alice", "bob"),
+        seed: int = 0,
+        sample_period: int = 1,
+    ) -> "HomeMetering":
+        meter_cell = TrustedCell(world, f"{household}-meter", SENSOR_CELL)
+        gateway = TrustedCell(world, f"{household}-gateway", HOME_GATEWAY)
+        for member in members:
+            gateway.register_user(member, f"pin-{member}")
+        # service principals authenticate as local app accounts
+        for service in (BUTLER_SUBJECT, GAME_SUBJECT, UTILITY_SUBJECT):
+            gateway.register_user(service, f"key-{service}")
+        gateway.register_series("power", scenario_policies(members))
+        meter_cell.register_series(
+            "power", {GRANULARITY_MONTH: scenario_policies(members)[GRANULARITY_MONTH]}
+        )
+        simulator = HouseholdSimulator(
+            random.Random(seed), sample_period=sample_period
+        )
+        return cls(
+            world=world,
+            meter_cell=meter_cell,
+            gateway=gateway,
+            simulator=simulator,
+            traces=[],
+        )
+
+    # -- acquisition -------------------------------------------------------------
+
+    def meter_day(self, day: int) -> DayTrace:
+        """One day of metering: the meter streams every reading to the
+        gateway (and keeps its own certified buffer)."""
+        trace = self.simulator.simulate_day(day)
+        for timestamp, watts in trace.series.samples():
+            self.meter_cell.append_sample("power", timestamp, watts)
+            self.gateway.append_sample("power", timestamp, watts)
+        self.traces.append(trace)
+        return trace
+
+    # -- recipient views -----------------------------------------------------------
+
+    def household_view(self, member: str, granularity: int = GRANULARITY_15_MIN):
+        """What a family member sees (15-minute aggregates)."""
+        session = self.gateway.login(member, f"pin-{member}")
+        return self.gateway.read_series(session, "power", granularity)
+
+    def game_view(self):
+        """What the social game receives (daily statistics)."""
+        session = self.gateway.login(GAME_SUBJECT, f"key-{GAME_SUBJECT}")
+        return self.gateway.read_series(session, "power", GRANULARITY_DAY)
+
+    def utility_view(self):
+        """What the distribution company receives (monthly statistics)."""
+        session = self.gateway.login(UTILITY_SUBJECT, f"key-{UTILITY_SUBJECT}")
+        return self.gateway.read_series(session, "power", GRANULARITY_MONTH)
+
+    def butler_view(self):
+        """What the energy butler consumes (the raw 1 Hz feed)."""
+        session = self.gateway.login(BUTLER_SUBJECT, f"key-{BUTLER_SUBJECT}")
+        return self.gateway.read_series(session, "power", GRANULARITY_RAW)
+
+    def certified_monthly_feed(self) -> tuple[bytes, Signature]:
+        """The meter-signed monthly series for billing."""
+        return self.meter_cell.certify_aggregates("power", GRANULARITY_MONTH)
+
+    def verify_certified_feed(self, payload: bytes, signature: Signature) -> bool:
+        """The utility's verification step."""
+        message = (
+            f"certified|{self.meter_cell.name}|power|{GRANULARITY_MONTH}|".encode()
+            + payload
+        )
+        return self.meter_cell.principal.verify_key.verify(message, signature)

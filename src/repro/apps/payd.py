@@ -1,0 +1,124 @@
+"""Pay-As-You-Drive: the GPS tracker as a trusted source.
+
+"The tracking box installed on Alice's car is a trusted cell delivering
+aggregated GPS data to her insurer and raw data to her trusted cell
+smartphone", and from the introduction: the tracker "gives detailed
+turn-by-turn guidance, but hides those details to local government,
+only delivering the result of road-pricing computations".
+
+:class:`PaydBox` wraps a sensor-class trusted cell around the mobility
+workload: raw trips accumulate inside the cell; the externalized
+products are (a) a signed monthly road-pricing fee for the government
+and (b) signed aggregate driving facts (distance, night fraction,
+premium) for the insurer. The raw trace is shared only with the
+owner's own smartphone cell through the regular sharing protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from ..core.cell import TrustedCell
+from ..crypto.signing import Signature
+from ..errors import NotFoundError
+from ..hardware.profiles import SENSOR_CELL
+from ..sim.world import World
+from ..workloads.mobility import (
+    CityMap,
+    DriverSimulator,
+    Trip,
+    night_fraction,
+    payd_premium,
+    road_pricing_fee,
+    total_distance_km,
+)
+
+
+@dataclass(frozen=True)
+class SignedStatement:
+    """An externalized, certified aggregate."""
+
+    issuer: str
+    statement: bytes
+    signature: Signature
+
+    def verify(self, verify_key) -> bool:
+        return verify_key.verify(self.statement, self.signature)
+
+
+class PaydBox:
+    """The car's tracking box as a sensor-class trusted cell."""
+
+    def __init__(self, world: World, owner: str, city: CityMap,
+                 seed: int = 0) -> None:
+        self.cell = TrustedCell(world, f"{owner}-payd-box", SENSOR_CELL)
+        self.cell.register_user(owner, "factory-pin")
+        self.owner = owner
+        self.city = city
+        self._driver = DriverSimulator(city, random.Random(seed))
+        self._trips: list[Trip] = []
+
+    # -- acquisition -----------------------------------------------------------
+
+    def record_day(self, day: int) -> int:
+        """Drive one simulated day; raw trips stay inside the box."""
+        trips = self._driver.simulate_day(day)
+        self._trips.extend(trips)
+        session = self.cell.login(self.owner, "factory-pin")
+        for index, trip in enumerate(trips):
+            payload = json.dumps(
+                [(point.timestamp, point.x, point.y) for point in trip.points]
+            ).encode()
+            self.cell.store_object(
+                session, f"trip-{day}-{index}", payload, kind="gps-trace",
+            )
+        return len(trips)
+
+    def raw_trips(self) -> list[Trip]:
+        """Raw access — only meaningful inside the box (tests use it to
+        verify the externalized statements against ground truth)."""
+        return list(self._trips)
+
+    # -- certified externalization --------------------------------------------
+
+    def _sign(self, label: str, body: dict) -> SignedStatement:
+        statement = (
+            f"payd|{self.cell.name}|{label}|".encode()
+            + json.dumps(body, sort_keys=True).encode()
+        )
+        return SignedStatement(
+            issuer=self.cell.name,
+            statement=statement,
+            signature=self.cell.tee.keys.sign(statement),
+        )
+
+    def road_pricing_statement(self) -> SignedStatement:
+        """What the local government receives: the fee, nothing else."""
+        fee = road_pricing_fee(self._trips, self.city)
+        return self._sign("road-pricing", {"fee": round(fee, 2)})
+
+    def insurer_statement(self) -> SignedStatement:
+        """What the insurer receives: aggregate driving facts."""
+        body = {
+            "distance_km": round(total_distance_km(self._trips), 2),
+            "night_fraction": round(night_fraction(self._trips), 4),
+            "premium": round(payd_premium(self._trips), 2),
+        }
+        return self._sign("insurer", body)
+
+    @staticmethod
+    def statement_body(statement: SignedStatement) -> dict:
+        """Parse the JSON body of a statement (after verifying it)."""
+        _, _, _, payload = statement.statement.split(b"|", 3)
+        return json.loads(payload.decode())
+
+    def assert_no_trace_leak(self, statement: SignedStatement) -> None:
+        """Invariant check used by tests and the E1 walkthrough: no
+        raw coordinate pair appears in an externalized statement."""
+        text = statement.statement.decode()
+        for trip in self._trips:
+            for point in trip.points:
+                if f"[{point.timestamp}, {point.x}, {point.y}]" in text:
+                    raise NotFoundError("raw trace point leaked")  # pragma: no cover

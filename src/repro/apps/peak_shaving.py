@@ -1,0 +1,198 @@
+"""Neighborhood peak-load shaving through secure cell-to-cell exchange.
+
+"time series at required granularity are securely exchanged with other
+trusted cells in their neighborhood to achieve consumption peak load
+shaving."
+
+Each household has flexible loads (EV charge blocks, appliance runs)
+that can move within a window. Coordination is privacy-preserving: in
+each scheduling round the cells compute the *aggregate* intended load
+per hour slot with the masked-histogram protocol — no cell reveals its
+individual schedule — and then each cell greedily moves its most
+flexible block into the currently least-loaded feasible slot.
+
+Experiment E5 reports the neighborhood peak (and peak-to-average
+ratio) for uncoordinated vs coordinated scheduling at identical total
+energy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..commons.aggregation import AggregationNode, masked_histogram
+from ..errors import ConfigurationError
+
+
+@dataclass
+class FlexibleBlock:
+    """One movable load: energy drawn flat over a one-hour slot."""
+
+    name: str
+    kwh: float
+    preferred_hour: int
+    window: tuple[int, int]  # inclusive hour range (may wrap midnight)
+
+    def feasible_hours(self) -> list[int]:
+        start, end = self.window
+        if start <= end:
+            return list(range(start, end + 1))
+        return list(range(start, 24)) + list(range(0, end + 1))
+
+
+@dataclass
+class Household:
+    """Inflexible hourly profile plus flexible blocks."""
+
+    name: str
+    node: AggregationNode
+    inflexible_kwh: list[float]  # 24 entries
+    blocks: list[FlexibleBlock] = field(default_factory=list)
+    schedule: dict[str, int] = field(default_factory=dict)
+
+    def hourly_load(self) -> list[float]:
+        load = list(self.inflexible_kwh)
+        for block in self.blocks:
+            hour = self.schedule.get(block.name, block.preferred_hour)
+            load[hour] += block.kwh
+        return load
+
+
+def make_neighborhood(size: int, seed: int = 0) -> list[Household]:
+    """A synthetic neighborhood with evening-heavy habits."""
+    if size < 2:
+        raise ConfigurationError("a neighborhood needs at least two households")
+    rng = random.Random(seed)
+    households = []
+    evening_shape = [
+        0.3, 0.25, 0.2, 0.2, 0.25, 0.35, 0.6, 0.9, 0.7, 0.5, 0.5, 0.6,
+        0.7, 0.6, 0.5, 0.6, 0.8, 1.1, 1.4, 1.5, 1.3, 1.0, 0.7, 0.45,
+    ]
+    for index in range(size):
+        scale = rng.uniform(0.7, 1.3)
+        inflexible = [value * scale for value in evening_shape]
+        arrival = 18 + rng.randrange(2)
+        ev_kwh = rng.uniform(6.0, 11.0) / 3.0  # split over three 1h blocks
+        blocks = [
+            FlexibleBlock(
+                name=f"ev-charge-{position}",
+                kwh=ev_kwh,
+                preferred_hour=(arrival + position) % 24,  # charge on arrival
+                window=(18, 7),
+            )
+            for position in range(3)
+        ]
+        if rng.random() < 0.6:
+            blocks.append(
+                FlexibleBlock(
+                    name="washing",
+                    kwh=rng.uniform(0.8, 1.6),
+                    preferred_hour=19,
+                    window=(8, 23),
+                )
+            )
+        households.append(
+            Household(
+                name=f"home-{index}",
+                node=AggregationNode.standalone(f"home-{index}", rng),
+                inflexible_kwh=inflexible,
+                blocks=blocks,
+            )
+        )
+    return households
+
+
+def neighborhood_profile(households: list[Household]) -> list[float]:
+    """Total neighborhood kWh per hour-of-day."""
+    total = [0.0] * 24
+    for household in households:
+        for hour, kwh in enumerate(household.hourly_load()):
+            total[hour] += kwh
+    return total
+
+
+def peak_to_average(profile: list[float]) -> float:
+    average = sum(profile) / len(profile)
+    return max(profile) / average if average else 0.0
+
+
+@dataclass
+class ShavingResult:
+    """Before/after comparison at equal total energy."""
+
+    uncoordinated_profile: list[float]
+    coordinated_profile: list[float]
+    rounds: int
+    protocol_messages: int
+    protocol_bytes: int
+
+    @property
+    def peak_reduction(self) -> float:
+        before = max(self.uncoordinated_profile)
+        after = max(self.coordinated_profile)
+        return 1.0 - after / before if before else 0.0
+
+
+def coordinate(
+    households: list[Household],
+    rounds: int = 3,
+    slot_quantum_kwh: float = 0.5,
+) -> ShavingResult:
+    """Run the privacy-preserving coordination protocol.
+
+    Per round: (1) cells jointly compute the aggregate per-hour load
+    histogram via masked sums — each cell contributes its own current
+    schedule quantized to ``slot_quantum_kwh`` units; (2) each cell
+    locally moves each flexible block to the least-loaded feasible
+    hour seen in the aggregate. Individual schedules never leave their
+    cells.
+    """
+    if rounds < 1:
+        raise ConfigurationError("need at least one coordination round")
+    # uncoordinated: everyone at preferred hours
+    for household in households:
+        household.schedule = {
+            block.name: block.preferred_hour for block in household.blocks
+        }
+    uncoordinated = neighborhood_profile(households)
+
+    nodes = [household.node for household in households]
+    messages = 0
+    total_bytes = 0
+    for round_index in range(rounds):
+        # one masked aggregate per hour slot: contribution = quantized load
+        aggregate = [0.0] * 24
+        for hour in range(24):
+            buckets = {}
+            for household in households:
+                load = household.hourly_load()[hour]
+                quantized = min(int(load / slot_quantum_kwh), 39)
+                buckets[household.node.name] = quantized
+            counts, accounting = masked_histogram(
+                nodes, buckets, bucket_count=40,
+                round_tag=f"shaving-{round_index}-{hour}",
+            )
+            aggregate[hour] = sum(
+                index * count for index, count in enumerate(counts)
+            ) * slot_quantum_kwh
+            messages += accounting.messages
+            total_bytes += accounting.bytes
+        # local greedy re-slotting against the aggregate view
+        for household in households:
+            for block in household.blocks:
+                current = household.schedule[block.name]
+                feasible = block.feasible_hours()
+                best = min(feasible, key=lambda hour: aggregate[hour])
+                if aggregate[best] + block.kwh < aggregate[current]:
+                    aggregate[current] -= block.kwh
+                    aggregate[best] += block.kwh
+                    household.schedule[block.name] = best
+    coordinated = neighborhood_profile(households)
+    return ShavingResult(
+        uncoordinated_profile=uncoordinated,
+        coordinated_profile=coordinated,
+        rounds=rounds,
+        protocol_messages=messages,
+        protocol_bytes=total_bytes,
+    )

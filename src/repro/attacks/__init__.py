@@ -1,0 +1,43 @@
+"""Attack models: NILM inference, breach economics, class-breaking."""
+
+from .cycles import (
+    CycleMatch,
+    CycleScore,
+    cycle_attack,
+    match_cycles,
+    score_cycle_detection,
+    segment_plateaus,
+)
+from .economics import (
+    ClassBreakingResult,
+    EconomicsRow,
+    breach_economics,
+    class_breaking_exposure,
+)
+from .nilm import (
+    DetectedEvent,
+    DetectionScore,
+    appliance_detection_f1,
+    detect_appliances,
+    infer_routine,
+    score_detection,
+)
+
+__all__ = [
+    "CycleMatch",
+    "CycleScore",
+    "cycle_attack",
+    "match_cycles",
+    "score_cycle_detection",
+    "segment_plateaus",
+    "ClassBreakingResult",
+    "EconomicsRow",
+    "breach_economics",
+    "class_breaking_exposure",
+    "DetectedEvent",
+    "DetectionScore",
+    "appliance_detection_f1",
+    "detect_appliances",
+    "infer_routine",
+    "score_detection",
+]

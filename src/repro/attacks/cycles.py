@@ -1,0 +1,196 @@
+"""Phase-sequence NILM: identifying cyclic appliances.
+
+The edge-matching attack of :mod:`repro.attacks.nilm` keys on single
+rated draws; cyclic appliances (washing machine, dishwasher) instead
+expose an ordered *sequence* of power plateaus. This attack segments
+the observed series into plateaus, then matches plateau subsequences
+against known cycle signatures (power levels and rough durations).
+
+Like the edge attack, it consumes only what a recipient at a given
+granularity sees, so E2-style sweeps apply: signatures that are crisp
+at 1 s dissolve once aggregation smears plateau boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..workloads.energy import DayTrace
+from ..workloads.multistate import CycleRun, CyclicAppliance
+
+
+@dataclass(frozen=True)
+class Plateau:
+    """A maximal run of near-constant power."""
+
+    start: int
+    end: int
+    level_watts: float
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+def segment_plateaus(
+    trace: DayTrace, granularity: int, jump_watts: float = 80.0
+) -> list[Plateau]:
+    """Split the observed series into near-constant plateaus."""
+    if granularity <= 1:
+        observed = trace.series.samples()
+        step = trace.sample_period
+    else:
+        observed = [
+            (bucket.start, bucket.mean)
+            for bucket in trace.series.resample(granularity)
+        ]
+        step = granularity
+    if not observed:
+        return []
+    plateaus: list[Plateau] = []
+    run_start, run_sum, run_count = observed[0][0], observed[0][1], 1
+    previous_value = observed[0][1]
+    for timestamp, value in observed[1:]:
+        if abs(value - previous_value) > jump_watts:
+            plateaus.append(
+                Plateau(run_start, timestamp, run_sum / run_count)
+            )
+            run_start, run_sum, run_count = timestamp, value, 1
+        else:
+            run_sum += value
+            run_count += 1
+        previous_value = value
+    plateaus.append(
+        Plateau(run_start, observed[-1][0] + step, run_sum / run_count)
+    )
+    return plateaus
+
+
+@dataclass(frozen=True)
+class CycleMatch:
+    """One claimed appliance-cycle occurrence."""
+
+    appliance: str
+    start: int
+    end: int
+
+
+def match_cycles(
+    plateaus: list[Plateau],
+    signatures: list[CyclicAppliance],
+    base_load_watts: float,
+    power_tolerance: float = 0.15,
+    duration_tolerance: float = 0.5,
+) -> list[CycleMatch]:
+    """Find cycle signatures as consecutive plateau subsequences.
+
+    A signature of k phases matches k consecutive plateaus whose levels
+    (above base load) and durations agree within the tolerances.
+    Greedy left-to-right, longest signatures first, non-overlapping.
+    """
+    if not 0 < power_tolerance < 1:
+        raise ConfigurationError("power tolerance must be in (0,1)")
+    matches: list[CycleMatch] = []
+    claimed: set[int] = set()
+    ordered = sorted(signatures, key=lambda s: -len(s.phases))
+    for signature in ordered:
+        phases = signature.phases
+        for start_index in range(len(plateaus) - len(phases) + 1):
+            window = plateaus[start_index : start_index + len(phases)]
+            if any(
+                index in claimed
+                for index in range(start_index, start_index + len(phases))
+            ):
+                continue
+            if _window_matches(window, signature, base_load_watts,
+                               power_tolerance, duration_tolerance):
+                matches.append(
+                    CycleMatch(
+                        appliance=signature.name,
+                        start=window[0].start,
+                        end=window[-1].end,
+                    )
+                )
+                claimed.update(
+                    range(start_index, start_index + len(phases))
+                )
+    return sorted(matches, key=lambda match: match.start)
+
+
+def _window_matches(
+    window: list[Plateau],
+    signature: CyclicAppliance,
+    base_load: float,
+    power_tolerance: float,
+    duration_tolerance: float,
+) -> bool:
+    for plateau, phase in zip(window, signature.phases):
+        load = plateau.level_watts - base_load
+        if phase.power_watts <= 0:
+            return False
+        if abs(load - phase.power_watts) > power_tolerance * phase.power_watts:
+            return False
+        low = phase.duration_s * (1 - duration_tolerance)
+        high = phase.duration_s * (1 + duration_tolerance)
+        if not low <= plateau.duration <= high:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class CycleScore:
+    """Detection quality for cyclic appliances."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        denominator = (
+            2 * self.true_positives + self.false_positives + self.false_negatives
+        )
+        return 2 * self.true_positives / denominator if denominator else 0.0
+
+
+def score_cycle_detection(
+    matches: list[CycleMatch],
+    truth: list[CycleRun],
+    slack: int = 1200,
+) -> CycleScore:
+    """Match claims to true runs by appliance + start-time proximity."""
+    unmatched = list(truth)
+    true_positives = 0
+    false_positives = 0
+    for match in matches:
+        hit = None
+        for run in unmatched:
+            if run.appliance == match.appliance and abs(
+                run.start - match.start
+            ) <= slack:
+                hit = run
+                break
+        if hit is not None:
+            unmatched.remove(hit)
+            true_positives += 1
+        else:
+            false_positives += 1
+    return CycleScore(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=len(unmatched),
+    )
+
+
+def cycle_attack(
+    trace: DayTrace,
+    truth: list[CycleRun],
+    signatures: list[CyclicAppliance],
+    granularity: int,
+    base_load_watts: float,
+) -> CycleScore:
+    """End-to-end: segment, match, score at one granularity."""
+    plateaus = segment_plateaus(trace, granularity)
+    matches = match_cycles(plateaus, signatures, base_load_watts)
+    return score_cycle_detection(matches, truth)

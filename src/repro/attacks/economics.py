@@ -1,0 +1,184 @@
+"""Breach economics and class-breaking attacks.
+
+Two of the paper's security arguments made quantitative:
+
+* **E6 — centralized cost-benefit**: "users are exposed to
+  sophisticated attacks, whose cost-benefit is high on a centralized
+  database". We model an attacker with a budget choosing targets:
+  one hardened central database holding everyone's records, versus a
+  population of trusted cells each requiring a separate physical
+  attack. :func:`breach_economics` reports expected records exposed
+  as a function of attacker budget for both architectures.
+
+* **E7 — class-breaking**: "the trusted cells' cryptographic secrets
+  must be managed in such a way that a successful attack on a (small
+  set of) trusted cells cannot degenerate in breaking class attack".
+  :func:`class_breaking_exposure` breaches ``k`` cells and then tries
+  the looted key material against *every* envelope in the cloud vault,
+  under two key-management regimes: per-cell master secrets (the
+  platform default) and a single shared master (the ablation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.cell import TrustedCell
+from ..crypto.keys import KeyRing
+from ..errors import ConfigurationError, IntegrityError
+from ..hardware.profiles import HardwareProfile, SMARTPHONE
+from ..infrastructure.cloud import CloudProvider
+from ..policy.sticky import DataEnvelope
+from ..sim.world import World
+from ..sync.vault import VaultClient
+
+
+@dataclass(frozen=True)
+class EconomicsRow:
+    """One budget point of the E6 sweep."""
+
+    budget: float
+    central_records_exposed: float
+    decentralized_records_exposed: float
+
+    @property
+    def centralization_penalty(self) -> float:
+        """How many times more records the central architecture leaks."""
+        if self.decentralized_records_exposed == 0:
+            return float("inf") if self.central_records_exposed else 1.0
+        return self.central_records_exposed / self.decentralized_records_exposed
+
+
+def breach_economics(
+    population: int,
+    records_per_user: int,
+    central_attack_cost: float,
+    cell_attack_cost: float,
+    budgets: list[float],
+) -> list[EconomicsRow]:
+    """Expected records exposed vs attacker budget, both architectures.
+
+    Deterministic expected-value model: the attacker spends its budget
+    optimally. Against the central store, a budget >= the attack cost
+    exposes everything (and a partial budget buys a proportional
+    success probability, hence a proportional expectation). Against
+    cells, each breach costs ``cell_attack_cost`` and exposes one
+    user's records; physical contact also caps how many cells one
+    campaign can reach.
+    """
+    if population < 1 or records_per_user < 1:
+        raise ConfigurationError("population and records must be positive")
+    rows = []
+    total_records = population * records_per_user
+    for budget in budgets:
+        central_success_probability = min(1.0, budget / central_attack_cost)
+        central_exposed = central_success_probability * total_records
+        cells_breached = min(population, int(budget // cell_attack_cost))
+        decentralized_exposed = cells_breached * records_per_user
+        rows.append(
+            EconomicsRow(
+                budget=budget,
+                central_records_exposed=central_exposed,
+                decentralized_records_exposed=float(decentralized_exposed),
+            )
+        )
+    return rows
+
+
+# -- class-breaking (E7) ------------------------------------------------------------
+
+
+@dataclass
+class ClassBreakingResult:
+    """Outcome of breaching k cells under one key regime."""
+
+    regime: str
+    cells_total: int
+    cells_breached: int
+    objects_total: int
+    objects_exposed: int
+
+    @property
+    def exposure_fraction(self) -> float:
+        return self.objects_exposed / self.objects_total if self.objects_total else 0.0
+
+
+def _build_population(
+    world: World,
+    cloud: CloudProvider,
+    cells: int,
+    objects_per_cell: int,
+    shared_master: bool,
+    profile: HardwareProfile = SMARTPHONE,
+) -> list[TrustedCell]:
+    population = []
+    shared_secret = world.rng("shared-master").randbytes(16)
+    for index in range(cells):
+        cell = TrustedCell(world, f"user-{index}-cell", profile)
+        if shared_master:
+            # Ablation: the manufacturer provisioned every cell with
+            # the same master secret (the design the paper forbids).
+            cell.tee._key_ring = KeyRing(shared_secret)
+        cell.register_user("owner", "pin")
+        session = cell.login("owner", "pin")
+        for object_index in range(objects_per_cell):
+            cell.store_object(
+                session,
+                f"object-{object_index}",
+                f"user-{index} secret #{object_index}".encode(),
+            )
+        VaultClient(cell, cloud).push_all()
+        population.append(cell)
+    return population
+
+
+def _attempt_decrypt_all(
+    cloud: CloudProvider, looted_rings: list[KeyRing]
+) -> tuple[int, int]:
+    """Try every looted master against every vault envelope."""
+    exposed = 0
+    total = 0
+    for key in cloud.list_keys("vault/"):
+        if key.endswith("/__manifest__"):
+            continue  # manifests are not data envelopes
+        total += 1
+        envelope = DataEnvelope.from_bytes(cloud.get_object(key))
+        for ring in looted_rings:
+            candidate = ring.object_key(envelope.object_id, envelope.version)
+            try:
+                envelope.open(candidate)
+                exposed += 1
+                break
+            except IntegrityError:
+                continue
+    return exposed, total
+
+
+def class_breaking_exposure(
+    cells: int,
+    objects_per_cell: int,
+    breached: int,
+    shared_master: bool,
+    seed: int = 0,
+) -> ClassBreakingResult:
+    """Breach ``breached`` random cells; measure vault-wide exposure."""
+    if breached > cells:
+        raise ConfigurationError("cannot breach more cells than exist")
+    world = World(seed=seed)
+    cloud = CloudProvider(world)
+    population = _build_population(world, cloud, cells, objects_per_cell, shared_master)
+    rng = random.Random(seed)
+    victims = rng.sample(population, breached)
+    looted_rings = []
+    for victim in victims:
+        loot = victim.breach()
+        looted_rings.append(KeyRing(loot["keys"]["master_secret"]))
+    exposed, total = _attempt_decrypt_all(cloud, looted_rings)
+    return ClassBreakingResult(
+        regime="shared-master" if shared_master else "per-cell-master",
+        cells_total=cells,
+        cells_breached=breached,
+        objects_total=total,
+        objects_exposed=exposed,
+    )

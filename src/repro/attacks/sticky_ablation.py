@@ -1,0 +1,127 @@
+"""Ablation: what if the sticky policy were NOT bound to the data?
+
+The paper requires usage rules "cryptographically inseparable from the
+data". This module implements the *broken* design — payload sealed,
+policy stored alongside in a separate (merely authenticated-to-nobody)
+cloud object — and the policy-swap attack it enables: anyone who can
+write to the store (the weakly malicious provider, or any tenant)
+replaces the policy with one granting themselves access, and the
+recipient cell, faithfully enforcing "the" policy, lets them in.
+
+Contrast: in the real :class:`~repro.policy.sticky.DataEnvelope`, the
+policy lives inside the AEAD; swapping it means forging the tag.
+Experiment E12's ablation table shows both outcomes side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..crypto.aead import SealedBlob, open_sealed, seal
+from ..errors import AccessDenied, IntegrityError
+from ..infrastructure.cloud import CloudProvider
+from ..policy.conditions import AccessContext
+from ..policy.sticky import DataEnvelope
+from ..policy.ucon import RIGHT_READ, Grant, UsagePolicy
+
+
+@dataclass(frozen=True)
+class UnboundObject:
+    """The broken design: sealed payload, policy stored separately."""
+
+    data_key_name: str  # cloud key of the payload blob
+    policy_key_name: str  # cloud key of the policy document
+
+
+def store_unbound(
+    cloud: CloudProvider, name: str, key: bytes, payload: bytes,
+    policy: UsagePolicy,
+) -> UnboundObject:
+    """Store payload and policy as two independent cloud objects."""
+    blob = seal(key, payload, header=b"unbound", nonce_seed=name.encode())
+    cloud.put_object(f"unbound/{name}/data", blob.to_bytes())
+    cloud.put_object(f"unbound/{name}/policy", policy.to_bytes())
+    return UnboundObject(
+        data_key_name=f"unbound/{name}/data",
+        policy_key_name=f"unbound/{name}/policy",
+    )
+
+
+def read_unbound(
+    cloud: CloudProvider, stored: UnboundObject, key: bytes,
+    context: AccessContext,
+) -> bytes:
+    """A faithful-but-doomed reference monitor for the broken design.
+
+    It *does* enforce the policy it finds — the problem is what it
+    finds.
+    """
+    policy = UsagePolicy.from_bytes(cloud.get_object(stored.policy_key_name))
+    decision = policy.evaluate(RIGHT_READ, context)
+    if not decision.allowed:
+        raise AccessDenied(decision.reason)
+    blob = SealedBlob.from_bytes(cloud.get_object(stored.data_key_name))
+    return open_sealed(key, blob)
+
+
+def policy_swap_attack(
+    cloud: CloudProvider, stored: UnboundObject, attacker: str
+) -> None:
+    """The attack: overwrite the policy with an attacker-friendly one."""
+    forged = UsagePolicy(
+        owner=attacker,  # why not
+        grants=(Grant(rights=(RIGHT_READ,), subjects=(attacker,)),),
+    )
+    cloud.put_object(stored.policy_key_name, forged.to_bytes())
+
+
+def bound_design_resists(
+    key: bytes, envelope: DataEnvelope, attacker: str
+) -> bool:
+    """Try the equivalent swap against a real bound envelope.
+
+    The only way to change the policy is to rewrite ciphertext bytes;
+    any such rewrite breaks the AEAD tag. Returns True iff the design
+    resisted (i.e. tampering was detected).
+    """
+    tampered_blob = SealedBlob(
+        envelope.blob.header,
+        envelope.blob.nonce,
+        # flip a byte inside the sealed region where the policy lives
+        bytes([envelope.blob.ciphertext[10] ^ 0xFF])
+        .join([envelope.blob.ciphertext[:10], envelope.blob.ciphertext[11:]]),
+        envelope.blob.tag,
+    )
+    tampered = DataEnvelope(envelope.object_id, envelope.version, tampered_blob)
+    try:
+        tampered.open(key)
+    except IntegrityError:
+        return True
+    return False
+
+
+def run_ablation(cloud: CloudProvider, key: bytes) -> dict:
+    """Run both designs against the same policy-swap attacker.
+
+    Returns a dict the E12 bench renders as its ablation table.
+    """
+    owner_policy = UsagePolicy(owner="alice")  # private: nobody else
+    attacker_context = AccessContext(subject="mallory", timestamp=0)
+
+    stored = store_unbound(cloud, "diary", key, b"dear diary", owner_policy)
+    denied_before = False
+    try:
+        read_unbound(cloud, stored, key, attacker_context)
+    except AccessDenied:
+        denied_before = True
+    policy_swap_attack(cloud, stored, "mallory")
+    swapped_read = read_unbound(cloud, stored, key, attacker_context)
+
+    envelope = DataEnvelope.create(key, "diary", 1, b"dear diary", owner_policy)
+    resisted = bound_design_resists(key, envelope, "mallory")
+    return {
+        "unbound_denied_before_attack": denied_before,
+        "unbound_attack_succeeded": swapped_read == b"dear diary",
+        "bound_attack_detected": resisted,
+    }

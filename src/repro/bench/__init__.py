@@ -1,0 +1,40 @@
+"""Experiment harness: one runner per derived experiment (E1-E12).
+
+Each ``eNN_*`` module exposes ``run(...) -> list[Table]`` producing the
+rows quoted in ``EXPERIMENTS.md``, and ``shape_holds(tables) -> bool``
+encoding the paper's qualitative claim as a machine-checkable
+predicate. The ``benchmarks/`` directory wires both into pytest.
+"""
+
+from . import (
+    e01_figure1,
+    e02_granularity,
+    e03_butler,
+    e04_social_game,
+    e05_peak_shaving,
+    e06_breach_economics,
+    e07_class_breaking,
+    e08_embedded_query,
+    e09_secure_aggregation,
+    e10_transformations,
+    e11_adversary_detection,
+    e12_usage_control,
+)
+from .tables import Table, print_tables
+
+ALL_EXPERIMENTS = {
+    "E1": e01_figure1,
+    "E2": e02_granularity,
+    "E3": e03_butler,
+    "E4": e04_social_game,
+    "E5": e05_peak_shaving,
+    "E6": e06_breach_economics,
+    "E7": e07_class_breaking,
+    "E8": e08_embedded_query,
+    "E9": e09_secure_aggregation,
+    "E10": e10_transformations,
+    "E11": e11_adversary_detection,
+    "E12": e12_usage_control,
+}
+
+__all__ = ["Table", "print_tables", "ALL_EXPERIMENTS"]

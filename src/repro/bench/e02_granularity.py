@@ -1,0 +1,123 @@
+"""E2 — privacy vs aggregation granularity.
+
+Operationalizes: "At the 1Hz granularity ... most electrical appliances
+have a distinctive energy signature ... at [15-minute] granularity one
+cannot detect specific activities, but it is still possible to infer a
+daily routine."
+
+Sweep: for each externalization granularity, run the NILM appliance-
+detection attack and the routine-inference attack against what a
+recipient at that granularity would see. Expected shape: appliance F1
+collapses between 1 s and 15 min; routine accuracy stays high at
+15 min and collapses at daily/monthly statistics.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..attacks.nilm import appliance_detection_f1, infer_routine
+from ..sim.clock import SECONDS_PER_DAY
+from ..workloads.energy import STANDARD_APPLIANCES, HouseholdSimulator
+from .tables import Table
+
+GRANULARITIES = [
+    ("1 s (raw Linky)", 1),
+    ("1 min", 60),
+    ("5 min", 300),
+    ("15 min (household view)", 900),
+    ("1 hour", 3600),
+    ("daily statistics", SECONDS_PER_DAY),
+]
+
+RATED_POWERS = {
+    appliance.name: appliance.power_watts for appliance in STANDARD_APPLIANCES
+}
+
+
+def run(seed: int = 0, days: int = 3) -> list[Table]:
+    simulator = HouseholdSimulator(
+        random.Random(seed), noise_watts=3.0, activity_scale=1.5
+    )
+    traces = simulator.simulate_days(0, days)
+
+    table = Table(
+        title="E2: NILM attack success vs externalization granularity",
+        columns=[
+            "granularity", "appliance precision", "appliance recall",
+            "appliance F1", "routine accuracy",
+        ],
+    )
+    for label, granularity in GRANULARITIES:
+        precisions, recalls, f1s, routines = [], [], [], []
+        for trace in traces:
+            score = appliance_detection_f1(trace, granularity, RATED_POWERS)
+            precisions.append(score.precision)
+            recalls.append(score.recall)
+            f1s.append(score.f1)
+            routines.append(
+                infer_routine(trace, granularity, simulator.base_load)
+            )
+        table.add_row(
+            label,
+            sum(precisions) / days,
+            sum(recalls) / days,
+            sum(f1s) / days,
+            sum(routines) / days,
+        )
+    table.add_note(
+        "paper claim: appliances identifiable at 1 s, not at 15 min; "
+        "daily routine still inferable at 15 min"
+    )
+
+    # -- cyclic (multi-state) appliances: the harder signature class ----------
+    from ..attacks.cycles import cycle_attack
+    from ..workloads.multistate import STANDARD_CYCLES, CyclicHouseholdSimulator
+
+    cycles_table = Table(
+        title="E2a: phase-sequence NILM on cyclic appliances",
+        columns=["granularity", "cycle F1"],
+    )
+    cyclic_days = []
+    attempts = 0
+    while len(cyclic_days) < days and attempts < days * 12:
+        simulator_cyclic = CyclicHouseholdSimulator(
+            random.Random(seed + 100 + attempts), noise_watts=3.0
+        )
+        trace, runs = simulator_cyclic.simulate_day(0)
+        attempts += 1
+        if runs:
+            cyclic_days.append((simulator_cyclic, trace, runs))
+    for label, granularity in GRANULARITIES:
+        scores = [
+            cycle_attack(trace, runs, list(STANDARD_CYCLES), granularity,
+                         simulator_cyclic.base_load).f1
+            for simulator_cyclic, trace, runs in cyclic_days
+        ]
+        cycles_table.add_row(label, sum(scores) / len(scores))
+    cycles_table.add_note(
+        "cycles (wash/heat/spin sequences) are a richer fingerprint at 1 s "
+        "and dissolve under the same aggregation"
+    )
+    return [table, cycles_table]
+
+
+def shape_holds(tables: list[Table]) -> bool:
+    """The paper's qualitative claims as machine-checkable predicates."""
+    table = tables[0]
+    f1 = dict(zip(table.column("granularity"), table.column("appliance F1")))
+    routine = dict(
+        zip(table.column("granularity"), table.column("routine accuracy"))
+    )
+    cycles = dict(zip(tables[1].column("granularity"),
+                      tables[1].column("cycle F1")))
+    return (
+        f1["1 s (raw Linky)"] > 0.6
+        and f1["15 min (household view)"] < 0.25
+        and routine["15 min (household view)"] > 0.75
+        and routine["daily statistics"] <= 0.55
+        # cycles: strong at 1 s (short of 1.0: temporally overlapping
+        # cycles defeat single-signature matching), gone at 15 min
+        and cycles["1 s (raw Linky)"] >= 0.6
+        and cycles["15 min (household view)"] < 0.4
+    )

@@ -1,0 +1,80 @@
+"""Shared commons: secure aggregation, DP, anonymization, global queries."""
+
+from .aggregation import (
+    AggregationNode,
+    AggregationResult,
+    CleartextSum,
+    MaskedSum,
+    ShamirSum,
+    masked_histogram,
+)
+from .async_aggregation import AsyncMaskedAggregation, AsyncResult
+from .anonymize import (
+    GeneralizedRecord,
+    distinct_sensitive_values,
+    generalize,
+    is_k_anonymous,
+    k_anonymize,
+    mondrian_partition,
+    ncp,
+)
+from .dp import (
+    central_dp_sum,
+    distributed_dp_sum,
+    dp_mean_absolute_error,
+    gamma_noise_share,
+    laplace_noise,
+    laplace_scale,
+)
+from .quantiles import (
+    bucket_midpoint,
+    bucketize,
+    quantile_from_counts,
+    secure_median,
+    secure_quantiles,
+)
+from .orchestrator import (
+    TRANSFORM_DP,
+    TRANSFORM_EXACT,
+    TRANSFORM_KANON,
+    CommonsCoordinator,
+    CommonsMember,
+    GlobalQuery,
+    GlobalQueryResult,
+)
+
+__all__ = [
+    "AsyncMaskedAggregation",
+    "AsyncResult",
+    "AggregationNode",
+    "AggregationResult",
+    "CleartextSum",
+    "MaskedSum",
+    "ShamirSum",
+    "masked_histogram",
+    "GeneralizedRecord",
+    "distinct_sensitive_values",
+    "generalize",
+    "is_k_anonymous",
+    "k_anonymize",
+    "mondrian_partition",
+    "ncp",
+    "central_dp_sum",
+    "distributed_dp_sum",
+    "dp_mean_absolute_error",
+    "gamma_noise_share",
+    "laplace_noise",
+    "laplace_scale",
+    "bucket_midpoint",
+    "bucketize",
+    "quantile_from_counts",
+    "secure_median",
+    "secure_quantiles",
+    "TRANSFORM_DP",
+    "TRANSFORM_EXACT",
+    "TRANSFORM_KANON",
+    "CommonsCoordinator",
+    "CommonsMember",
+    "GlobalQuery",
+    "GlobalQueryResult",
+]

@@ -1,0 +1,341 @@
+"""Secure aggregation among trusted cells.
+
+The "shared commons" requirement: privacy must not hinder societal
+benefit, so cells participate in global computations — sums, averages,
+histograms — without exposing individual contributions. The paper
+anticipates "atypical distributed protocols ... on one side a very
+large number of highly secure, low power and weakly available trusted
+cells and on the other side a highly powerful, highly available but
+untrusted infrastructure".
+
+Three protocols, matched to experiment E9:
+
+* :class:`CleartextSum` — the no-privacy baseline: everyone posts their
+  value to the aggregator.
+* :class:`MaskedSum` — SecAgg-style pairwise masking. Every pair of
+  cells derives a common mask from their Diffie-Hellman key; cell *i*
+  submits ``value + Σ_{j>i} m_ij − Σ_{j<i} m_ij``. Masks cancel in the
+  sum, so the untrusted aggregator learns only the total. Dropouts are
+  recovered by asking survivors to reveal their pairwise masks *with
+  the dropped cells only* (those cells contributed nothing, so the
+  revealed masks protect nothing).
+* :class:`ShamirSum` — each cell Shamir-shares its value across a small
+  committee of cells; committee members sum the shares they hold and
+  publish one partial sum each; any ``threshold`` partials reconstruct
+  the total. Tolerates committee dropouts up to the threshold without
+  any recovery round.
+
+All protocols work over the integer field of :mod:`repro.crypto.shamir`
+(values are scaled integers; negative values use the signed embedding)
+and report message/byte/round accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..crypto import shamir
+from ..crypto.keys import KeyRing
+from ..crypto.primitives import hmac_sha256
+from ..errors import ConfigurationError, ProtocolError
+
+_FIELD_ELEMENT_BYTES = 16  # one PRIME-field element on the wire
+
+
+class AggregationNode:
+    """One participant: a name, a value source, and key material."""
+
+    def __init__(self, name: str, key_ring: KeyRing) -> None:
+        self.name = name
+        self.keys = key_ring
+        # Pairwise keys are established once per peer (one DH exchange),
+        # then reused across rounds — exactly as a real deployment would.
+        self._pairwise_cache: dict[str, bytes] = {}
+
+    @classmethod
+    def from_cell(cls, cell) -> "AggregationNode":
+        """Wrap a :class:`~repro.core.cell.TrustedCell`."""
+        return cls(cell.name, cell.tee.keys)
+
+    @classmethod
+    def standalone(cls, name: str, rng: random.Random) -> "AggregationNode":
+        """A lightweight node for large-N protocol experiments."""
+        return cls(name, KeyRing.generate(rng))
+
+    def pairwise_mask(self, peer: "AggregationNode", round_tag: str,
+                      component: int = 0) -> int:
+        """The shared mask between this node and ``peer`` for a round."""
+        key = self._pairwise_cache.get(peer.name)
+        if key is None:
+            key = self.keys.pairwise_key(peer.keys.exchange_public)
+            self._pairwise_cache[peer.name] = key
+        digest = hmac_sha256(key, f"mask|{round_tag}|{component}".encode())
+        return int.from_bytes(digest, "big") % shamir.PRIME
+
+
+@dataclass
+class AggregationResult:
+    """Outcome and cost accounting of one aggregation round."""
+
+    total: int
+    participants: int
+    dropped: int
+    messages: int
+    bytes: int
+    rounds: int
+    protocol: str
+    aggregator_view: list[int] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        contributing = self.participants - self.dropped
+        if contributing == 0:
+            raise ProtocolError("no contributions to average")
+        return shamir.decode_signed(self.total) / contributing
+
+
+def _signed_total(total_mod_p: int) -> int:
+    return total_mod_p % shamir.PRIME
+
+
+class CleartextSum:
+    """Baseline: the aggregator sees every individual value."""
+
+    name = "cleartext"
+
+    def run(
+        self,
+        nodes: list[AggregationNode],
+        values: dict[str, int],
+        online: set[str] | None = None,
+        round_tag: str = "round-0",
+    ) -> AggregationResult:
+        online = online if online is not None else {node.name for node in nodes}
+        submissions = [
+            shamir.encode_signed(values[node.name])
+            for node in nodes
+            if node.name in online
+        ]
+        total = sum(submissions) % shamir.PRIME
+        return AggregationResult(
+            total=_signed_total(total),
+            participants=len(nodes),
+            dropped=len(nodes) - len(submissions),
+            messages=len(submissions),
+            bytes=len(submissions) * _FIELD_ELEMENT_BYTES,
+            rounds=1,
+            protocol=self.name,
+            aggregator_view=submissions,  # full leakage, by construction
+        )
+
+
+class MaskedSum:
+    """Pairwise-masked aggregation with dropout recovery."""
+
+    name = "masked"
+
+    def run(
+        self,
+        nodes: list[AggregationNode],
+        values: dict[str, int],
+        online: set[str] | None = None,
+        round_tag: str = "round-0",
+    ) -> AggregationResult:
+        if len(nodes) < 2:
+            raise ConfigurationError("masked sum needs at least two nodes")
+        online = online if online is not None else {node.name for node in nodes}
+        survivors = [node for node in nodes if node.name in online]
+        dropped = [node for node in nodes if node.name not in online]
+        if not survivors:
+            raise ProtocolError("all participants dropped out")
+        order = {node.name: position for position, node in enumerate(nodes)}
+
+        messages = 0
+        total_bytes = 0
+        # Round 1: every survivor submits its masked value.
+        masked_submissions = []
+        for node in survivors:
+            masked = shamir.encode_signed(values[node.name])
+            for peer in nodes:
+                if peer.name == node.name:
+                    continue
+                mask = node.pairwise_mask(peer, round_tag)
+                if order[node.name] < order[peer.name]:
+                    masked = (masked + mask) % shamir.PRIME
+                else:
+                    masked = (masked - mask) % shamir.PRIME
+            masked_submissions.append(masked)
+            messages += 1
+            total_bytes += _FIELD_ELEMENT_BYTES
+        rounds = 1
+
+        total = sum(masked_submissions) % shamir.PRIME
+
+        # Round 2 (only if needed): unmask the dropped cells' edges.
+        if dropped:
+            rounds += 1
+            for node in survivors:
+                for gone in dropped:
+                    mask = node.pairwise_mask(gone, round_tag)
+                    if order[node.name] < order[gone.name]:
+                        total = (total - mask) % shamir.PRIME
+                    else:
+                        total = (total + mask) % shamir.PRIME
+                    messages += 1  # one revealed mask per (survivor, dropped)
+                    total_bytes += _FIELD_ELEMENT_BYTES
+
+        return AggregationResult(
+            total=_signed_total(total),
+            participants=len(nodes),
+            dropped=len(dropped),
+            messages=messages,
+            bytes=total_bytes,
+            rounds=rounds,
+            protocol=self.name,
+            aggregator_view=masked_submissions,
+        )
+
+
+class ShamirSum:
+    """Committee-based aggregation over Shamir shares."""
+
+    name = "shamir"
+
+    def __init__(self, committee_size: int = 5, threshold: int = 3,
+                 rng: random.Random | None = None) -> None:
+        if threshold > committee_size:
+            raise ConfigurationError("threshold cannot exceed committee size")
+        self.committee_size = committee_size
+        self.threshold = threshold
+        self._rng = rng or random.Random(0)
+
+    @property
+    def name_with_params(self) -> str:
+        return f"shamir({self.threshold}/{self.committee_size})"
+
+    def run(
+        self,
+        nodes: list[AggregationNode],
+        values: dict[str, int],
+        online: set[str] | None = None,
+        round_tag: str = "round-0",
+        committee_online: set[int] | None = None,
+    ) -> AggregationResult:
+        if len(nodes) < 1:
+            raise ConfigurationError("need at least one node")
+        online = online if online is not None else {node.name for node in nodes}
+        survivors = [node for node in nodes if node.name in online]
+        messages = 0
+        total_bytes = 0
+
+        # Round 1: each contributor sends one share to each committee member.
+        partials = [0] * self.committee_size
+        for node in survivors:
+            shares = shamir.split_secret(
+                shamir.encode_signed(values[node.name]),
+                shares=self.committee_size,
+                threshold=self.threshold,
+                rng=self._rng,
+            )
+            for position, share in enumerate(shares):
+                partials[position] = (partials[position] + share.y) % shamir.PRIME
+                messages += 1
+                total_bytes += _FIELD_ELEMENT_BYTES
+
+        # Round 2: surviving committee members publish partial sums.
+        committee_online = (
+            committee_online
+            if committee_online is not None
+            else set(range(self.committee_size))
+        )
+        published = [
+            shamir.Share(x=position + 1, y=partials[position])
+            for position in range(self.committee_size)
+            if position in committee_online
+        ]
+        messages += len(published)
+        total_bytes += len(published) * _FIELD_ELEMENT_BYTES
+        if len(published) < self.threshold:
+            raise ProtocolError(
+                f"only {len(published)} committee partials; "
+                f"threshold is {self.threshold}"
+            )
+        total = shamir.reconstruct_secret(published[: self.threshold])
+        return AggregationResult(
+            total=_signed_total(total),
+            participants=len(nodes),
+            dropped=len(nodes) - len(survivors),
+            messages=messages,
+            bytes=total_bytes,
+            rounds=2,
+            protocol=self.name_with_params,
+            aggregator_view=[share.y for share in published],
+        )
+
+
+def masked_histogram(
+    nodes: list[AggregationNode],
+    bucket_of: dict[str, int],
+    bucket_count: int,
+    online: set[str] | None = None,
+    round_tag: str = "hist-0",
+) -> tuple[list[int], AggregationResult]:
+    """Privacy-preserving histogram via per-component masked sums.
+
+    ``bucket_of[name]`` is each node's bucket index; the aggregator
+    learns only the per-bucket totals. Returns ``(counts, accounting)``.
+    """
+    if bucket_count < 1:
+        raise ConfigurationError("need at least one bucket")
+    online = online if online is not None else {node.name for node in nodes}
+    survivors = [node for node in nodes if node.name in online]
+    dropped = [node for node in nodes if node.name not in online]
+    order = {node.name: position for position, node in enumerate(nodes)}
+    messages = 0
+    total_bytes = 0
+    sums = [0] * bucket_count
+    for node in survivors:
+        if not 0 <= bucket_of[node.name] < bucket_count:
+            raise ConfigurationError(
+                f"bucket {bucket_of[node.name]} out of range for {node.name!r}"
+            )
+        vector = [0] * bucket_count
+        vector[bucket_of[node.name]] = 1
+        for component in range(bucket_count):
+            masked = vector[component]
+            for peer in nodes:
+                if peer.name == node.name:
+                    continue
+                mask = node.pairwise_mask(peer, round_tag, component)
+                if order[node.name] < order[peer.name]:
+                    masked = (masked + mask) % shamir.PRIME
+                else:
+                    masked = (masked - mask) % shamir.PRIME
+            sums[component] = (sums[component] + masked) % shamir.PRIME
+        messages += 1
+        total_bytes += bucket_count * _FIELD_ELEMENT_BYTES
+    rounds = 1
+    if dropped:
+        rounds += 1
+        for node in survivors:
+            for gone in dropped:
+                for component in range(bucket_count):
+                    mask = node.pairwise_mask(gone, round_tag, component)
+                    if order[node.name] < order[gone.name]:
+                        sums[component] = (sums[component] - mask) % shamir.PRIME
+                    else:
+                        sums[component] = (sums[component] + mask) % shamir.PRIME
+                messages += 1
+                total_bytes += bucket_count * _FIELD_ELEMENT_BYTES
+    counts = [shamir.decode_signed(component) for component in sums]
+    accounting = AggregationResult(
+        total=sum(counts),
+        participants=len(nodes),
+        dropped=len(dropped),
+        messages=messages,
+        bytes=total_bytes,
+        rounds=rounds,
+        protocol="masked-histogram",
+    )
+    return counts, accounting

@@ -1,0 +1,216 @@
+"""Asynchronous secure aggregation through the untrusted cloud.
+
+The synchronous protocols in :mod:`repro.commons.aggregation` assume
+everyone is reachable in the same instant — exactly what the paper says
+cells are *not*. This variant uses the infrastructure the way the paper
+prescribes ("participate to distributed computations (e.g., store
+intermediate results)"):
+
+1. the initiator posts a collection request naming the roster, the
+   round tag and a submission deadline;
+2. each cell, **whenever it next comes online**, posts its pairwise-
+   masked contribution to a cloud mailbox — the stored intermediate
+   result. The cloud learns nothing: every value is masked over the
+   full roster;
+3. at the deadline the aggregator drains the mailbox. If some cells
+   never showed up, it posts a recovery request; each *submitted* cell
+   answers at its next wake-up with the net mask it shared with the
+   missing cells (protecting nobody: the missing contributed nothing);
+4. the aggregate completes when all recovery answers are in.
+
+Everything runs on the simulation event loop, so completion time under
+a given availability pattern is a measured output, not an assumption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..crypto import shamir
+from ..errors import ConfigurationError, ProtocolError
+from ..infrastructure.cloud import CloudProvider
+from ..sim.world import World
+from .aggregation import AggregationNode
+
+_FIELD_ELEMENT_BYTES = 16
+
+
+@dataclass
+class AsyncResult:
+    """Outcome of one asynchronous aggregation round."""
+
+    total: int | None = None
+    submitted: list[str] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+    completed_at: int | None = None
+    messages: int = 0
+    bytes: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.total is not None
+
+    def signed_total(self) -> int:
+        if self.total is None:
+            raise ProtocolError("aggregation has not completed")
+        return shamir.decode_signed(self.total)
+
+
+class AsyncMaskedAggregation:
+    """One asynchronous masked-sum round over cloud mailboxes."""
+
+    def __init__(
+        self,
+        world: World,
+        cloud: CloudProvider,
+        nodes: list[AggregationNode],
+        values: dict[str, int],
+        round_tag: str,
+        deadline: int,
+        wake_times: dict[str, list[int]],
+        poll_period: int = 300,
+    ) -> None:
+        """``wake_times[name]`` lists the instants a cell is online;
+        an empty list models a cell that never shows up."""
+        if len(nodes) < 2:
+            raise ConfigurationError("need at least two participants")
+        if deadline <= world.now:
+            raise ConfigurationError("deadline must be in the future")
+        self.world = world
+        self.cloud = cloud
+        self.nodes = nodes
+        self.values = values
+        self.round_tag = round_tag
+        self.deadline = deadline
+        self.wake_times = wake_times
+        self.poll_period = poll_period
+        self.result = AsyncResult()
+        self._order = {node.name: i for i, node in enumerate(nodes)}
+        self._by_name = {node.name: node for node in nodes}
+        self._recovery_needed: set[str] = set()
+        self._recovery_total = 0
+
+    # -- mailbox names ------------------------------------------------------
+
+    @property
+    def _contrib_box(self) -> str:
+        return f"agg/{self.round_tag}/contrib"
+
+    @property
+    def _recovery_box(self) -> str:
+        return f"agg/{self.round_tag}/recovery"
+
+    # -- node-side behaviour --------------------------------------------------
+
+    def _masked_value(self, node: AggregationNode) -> int:
+        masked = shamir.encode_signed(self.values[node.name])
+        for peer in self.nodes:
+            if peer.name == node.name:
+                continue
+            mask = node.pairwise_mask(peer, self.round_tag)
+            if self._order[node.name] < self._order[peer.name]:
+                masked = (masked + mask) % shamir.PRIME
+            else:
+                masked = (masked - mask) % shamir.PRIME
+        return masked
+
+    def _net_recovery_mask(self, node: AggregationNode, missing: list[str]) -> int:
+        """The signed net mask ``node`` shared with all missing peers."""
+        net = 0
+        for gone_name in missing:
+            gone = self._by_name[gone_name]
+            mask = node.pairwise_mask(gone, self.round_tag)
+            if self._order[node.name] < self._order[gone.name]:
+                net = (net + mask) % shamir.PRIME
+            else:
+                net = (net - mask) % shamir.PRIME
+        return net
+
+    def _submit(self, node: AggregationNode) -> None:
+        if self.world.now > self.deadline:
+            return  # too late; this cell counts as missing
+        payload = json.dumps(
+            {"from": node.name, "masked": self._masked_value(node)}
+        ).encode()
+        self.cloud.post_message(self._contrib_box, node.name, payload)
+        self.result.messages += 1
+        self.result.bytes += _FIELD_ELEMENT_BYTES
+
+    def _answer_recovery(self, node: AggregationNode, missing: list[str]) -> None:
+        payload = json.dumps(
+            {"from": node.name, "net_mask": self._net_recovery_mask(node, missing)}
+        ).encode()
+        self.cloud.post_message(self._recovery_box, node.name, payload)
+        self.result.messages += 1
+        self.result.bytes += _FIELD_ELEMENT_BYTES
+
+    # -- orchestration ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule every cell's wake-ups and the aggregator's deadline."""
+        for node in self.nodes:
+            wakes = sorted(self.wake_times.get(node.name, ()))
+            pre_deadline = [t for t in wakes if t <= self.deadline]
+            if pre_deadline:
+                self.world.loop.schedule_at(
+                    pre_deadline[0], lambda n=node: self._submit(n),
+                    label=f"submit {node.name}",
+                )
+        self.world.loop.schedule_at(
+            self.deadline, self._close_submissions, label="aggregate deadline"
+        )
+
+    def _close_submissions(self) -> None:
+        contributions = self.cloud.fetch_messages(self._contrib_box)
+        total = 0
+        for _, payload in contributions:
+            body = json.loads(payload.decode())
+            total = (total + body["masked"]) % shamir.PRIME
+            self.result.submitted.append(body["from"])
+        self.result.submitted.sort()
+        self.result.missing = sorted(
+            set(self._order) - set(self.result.submitted)
+        )
+        self._recovery_total = total
+        if not self.result.missing:
+            self._finish(total)
+            return
+        if not self.result.submitted:
+            raise ProtocolError("no cell submitted before the deadline")
+        # ask every submitted cell for its net mask with the missing set
+        self._recovery_needed = set(self.result.submitted)
+        for name in self.result.submitted:
+            node = self._by_name[name]
+            post_deadline = [
+                t for t in sorted(self.wake_times.get(name, ()))
+                if t > self.deadline
+            ]
+            if not post_deadline:
+                raise ProtocolError(
+                    f"survivor {name!r} never returns; recovery impossible"
+                )
+            self.world.loop.schedule_at(
+                post_deadline[0],
+                lambda n=node: self._answer_recovery(n, self.result.missing),
+                label=f"recovery {name}",
+            )
+        self._poll_recovery()
+
+    def _poll_recovery(self) -> None:
+        for _, payload in self.cloud.fetch_messages(self._recovery_box):
+            body = json.loads(payload.decode())
+            self._recovery_total = (
+                self._recovery_total - body["net_mask"]
+            ) % shamir.PRIME
+            self._recovery_needed.discard(body["from"])
+        if not self._recovery_needed:
+            self._finish(self._recovery_total)
+            return
+        self.world.loop.schedule_in(
+            self.poll_period, self._poll_recovery, label="recovery poll"
+        )
+
+    def _finish(self, total: int) -> None:
+        self.result.total = total
+        self.result.completed_at = self.world.now

@@ -1,0 +1,107 @@
+"""Differential privacy: output perturbation for the shared commons.
+
+The paper names "output perturbation" as one of the "appropriate
+transformations" a cell applies before delivering data to recipients of
+limited trustworthiness. Two deployment modes:
+
+* **central** — a single trusted point adds Laplace noise to the exact
+  aggregate. In the trusted-cells architecture there *is* no such
+  point (that would be the untrusted infrastructure), so this mode is
+  the accuracy reference, not the deployment story.
+* **distributed** — each cell adds a small share of noise before the
+  secure aggregation; the *sum* of shares is exactly Laplace-
+  distributed. This uses the infinite divisibility of the Laplace
+  distribution: Laplace(b) = Σ_{i=1..n} (G1_i − G2_i) with
+  G ~ Gamma(1/n, b). No individual cell's noise protects anything by
+  itself, but the cells never reveal unaggregated values anyway — the
+  masking protocol hides them, and the summed noise protects the
+  *output*.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..errors import ConfigurationError
+
+
+def laplace_noise(rng: random.Random, scale: float) -> float:
+    """One draw from Laplace(0, scale) by inverse-CDF sampling."""
+    if scale <= 0:
+        raise ConfigurationError("Laplace scale must be positive")
+    uniform = rng.random() - 0.5
+    return -scale * math.copysign(math.log(1 - 2 * abs(uniform)), uniform)
+
+
+def laplace_scale(sensitivity: float, epsilon: float) -> float:
+    """The Laplace scale for an ε-DP release of a query with the given
+    L1 sensitivity."""
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be positive")
+    if sensitivity <= 0:
+        raise ConfigurationError("sensitivity must be positive")
+    return sensitivity / epsilon
+
+
+def central_dp_sum(
+    values: list[float], sensitivity: float, epsilon: float, rng: random.Random
+) -> float:
+    """Exact sum plus central Laplace noise (the accuracy reference)."""
+    return sum(values) + laplace_noise(rng, laplace_scale(sensitivity, epsilon))
+
+
+def gamma_noise_share(rng: random.Random, participants: int, scale: float) -> float:
+    """One cell's additive noise share for distributed Laplace.
+
+    The difference of two Gamma(1/n, scale) draws; summing ``n`` such
+    shares yields exactly Laplace(0, scale).
+    """
+    if participants < 1:
+        raise ConfigurationError("need at least one participant")
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    shape = 1.0 / participants
+    return rng.gammavariate(shape, scale) - rng.gammavariate(shape, scale)
+
+
+def distributed_dp_sum(
+    values: list[float],
+    sensitivity: float,
+    epsilon: float,
+    rng: random.Random,
+    dropout_rate: float = 0.0,
+) -> float:
+    """Sum with per-cell Gamma noise shares.
+
+    ``dropout_rate`` models cells that contributed noise calibrated for
+    ``n`` participants but then dropped: the surviving noise total is
+    slightly *under*-dispersed. (Deployments over-provision by
+    calibrating for the minimum expected survivors; experiment E10
+    quantifies the effect instead of hiding it.)
+    """
+    if not 0.0 <= dropout_rate < 1.0:
+        raise ConfigurationError("dropout rate must be in [0, 1)")
+    scale = laplace_scale(sensitivity, epsilon)
+    count = len(values)
+    total = 0.0
+    for value in values:
+        if dropout_rate and rng.random() < dropout_rate:
+            continue
+        total += value + gamma_noise_share(rng, count, scale)
+    return total
+
+
+def dp_mean_absolute_error(
+    true_value: float,
+    release: "callable",
+    trials: int,
+    rng: random.Random,
+) -> float:
+    """Empirical mean absolute error of a randomized release function."""
+    if trials < 1:
+        raise ConfigurationError("need at least one trial")
+    total_error = 0.0
+    for _ in range(trials):
+        total_error += abs(release(rng) - true_value)
+    return total_error / trials

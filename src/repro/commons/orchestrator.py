@@ -1,0 +1,149 @@
+"""Global queries over a population of trusted cells.
+
+Ties the shared-commons pieces together: a recipient (census bureau,
+epidemiology institute, energy distributor) issues a query; each cell
+decides participation from its own opt-in policy; the transformation
+applied "depend[s] on the trustworthiness of the recipient(s) and the
+expected usage":
+
+* ``aggregate-dp`` — the recipient gets only a differentially private
+  total, computed with the masked-sum protocol plus distributed noise;
+* ``records-kanon`` — a trusted recipient gets record-level data,
+  k-anonymized collectively;
+* ``aggregate-exact`` — a certified recipient (the utility receiving
+  monthly billing totals) gets the exact masked-sum aggregate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ConfigurationError, ProtocolError
+from .aggregation import AggregationNode, AggregationResult, MaskedSum
+from .anonymize import GeneralizedRecord, k_anonymize
+from .dp import gamma_noise_share, laplace_scale
+
+TRANSFORM_DP = "aggregate-dp"
+TRANSFORM_KANON = "records-kanon"
+TRANSFORM_EXACT = "aggregate-exact"
+TRANSFORMS = (TRANSFORM_DP, TRANSFORM_KANON, TRANSFORM_EXACT)
+
+
+@dataclass(frozen=True)
+class GlobalQuery:
+    """A query from a recipient to the commons."""
+
+    recipient: str
+    purpose: str
+    transform: str
+    epsilon: float = 1.0
+    k: int = 5
+    scale: int = 1  # fixed-point scaling for fractional values
+
+    def __post_init__(self) -> None:
+        if self.transform not in TRANSFORMS:
+            raise ConfigurationError(f"unknown transform {self.transform!r}")
+
+
+@dataclass
+class CommonsMember:
+    """One household's participation profile."""
+
+    node: AggregationNode
+    value: float = 0.0  # the member's answer to numeric queries
+    record: dict[str, Any] = field(default_factory=dict)  # for record releases
+    opted_in_purposes: set[str] = field(default_factory=set)
+    online: bool = True
+
+
+@dataclass
+class GlobalQueryResult:
+    """What the recipient receives, plus accounting."""
+
+    transform: str
+    participants: int
+    opted_out: int
+    offline: int
+    value: float | None = None
+    records: list[GeneralizedRecord] | None = None
+    aggregation: AggregationResult | None = None
+
+
+class CommonsCoordinator:
+    """Runs global queries over a member population."""
+
+    def __init__(self, members: list[CommonsMember], rng: random.Random) -> None:
+        if not members:
+            raise ConfigurationError("the commons needs at least one member")
+        self._members = members
+        self._rng = rng
+
+    def run(self, query: GlobalQuery) -> GlobalQueryResult:
+        willing = [
+            member for member in self._members
+            if query.purpose in member.opted_in_purposes
+        ]
+        opted_out = len(self._members) - len(willing)
+        online = [member for member in willing if member.online]
+        offline = len(willing) - len(online)
+        if not online:
+            raise ProtocolError("no participant is opted in and online")
+
+        if query.transform == TRANSFORM_KANON:
+            records = [dict(member.record) for member in online]
+            quasi = sorted(
+                key for key in records[0] if key.startswith("qi_")
+            )
+            sensitive = sorted(
+                key for key in records[0] if not key.startswith("qi_")
+            )
+            released = k_anonymize(records, quasi, sensitive, query.k)
+            return GlobalQueryResult(
+                transform=query.transform,
+                participants=len(online),
+                opted_out=opted_out,
+                offline=offline,
+                records=released,
+            )
+
+        # numeric aggregate paths share the masked-sum machinery
+        nodes = [member.node for member in willing]
+        values: dict[str, int] = {}
+        for member in willing:
+            contribution = member.value
+            if query.transform == TRANSFORM_DP:
+                contribution += gamma_noise_share(
+                    self._rng,
+                    participants=len(online),
+                    scale=laplace_scale(1.0, query.epsilon),
+                )
+            values[member.node.name] = round(contribution * query.scale)
+        online_names = {member.node.name for member in online}
+        protocol = MaskedSum() if len(nodes) >= 2 else None
+        if protocol is None:
+            from ..crypto import shamir
+
+            only = willing[0]
+            aggregation = AggregationResult(
+                total=shamir.encode_signed(values[only.node.name]),
+                participants=1, dropped=0, messages=1,
+                bytes=16, rounds=1, protocol="single",
+            )
+        else:
+            aggregation = protocol.run(
+                nodes, values, online=online_names,
+                round_tag=f"{query.recipient}|{query.purpose}",
+            )
+        from ..crypto import shamir
+
+        value = shamir.decode_signed(aggregation.total) / query.scale
+        return GlobalQueryResult(
+            transform=query.transform,
+            participants=len(online),
+            opted_out=opted_out,
+            offline=offline,
+            value=value,
+            aggregation=aggregation,
+        )

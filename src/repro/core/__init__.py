@@ -1,0 +1,50 @@
+"""The paper's primary contribution: trusted cells and their identity
+layer."""
+
+from .cell import ObjectMetadata, Session, TrustedCell
+from .digital_space import (
+    ORIGIN_AUTHORED,
+    ORIGIN_EXTERNAL,
+    ORIGIN_SENSED,
+    DigitalSpace,
+    SpaceEntry,
+)
+from .identity import (
+    CertificateAuthority,
+    Credential,
+    Principal,
+    TrustRegistry,
+)
+from .ongoing import OngoingUse, open_stream
+from .self_credentials import (
+    FactSpec,
+    SelfCredential,
+    compute_credential,
+    verify_self_credential,
+)
+from .selfcare import Diagnosis, SelfCare
+from .views import AggregateView
+
+__all__ = [
+    "ObjectMetadata",
+    "Session",
+    "TrustedCell",
+    "ORIGIN_AUTHORED",
+    "ORIGIN_EXTERNAL",
+    "ORIGIN_SENSED",
+    "DigitalSpace",
+    "SpaceEntry",
+    "CertificateAuthority",
+    "Credential",
+    "Principal",
+    "TrustRegistry",
+    "Diagnosis",
+    "SelfCare",
+    "OngoingUse",
+    "open_stream",
+    "FactSpec",
+    "SelfCredential",
+    "compute_credential",
+    "verify_self_credential",
+    "AggregateView",
+]

@@ -1,0 +1,185 @@
+"""Identities, credentials and the trust registry.
+
+The sharing requirement: "the user must get a proof of legitimacy for
+the credentials exposed by the participants of a data exchange". We
+model:
+
+* :class:`Principal` — the public identity of a user or cell
+  (signature-verification key + key-exchange element);
+* :class:`Credential` — an attribute certificate ("role=insurer",
+  "group=family") signed by an authority;
+* :class:`CertificateAuthority` — an issuer (employer, hospital,
+  citizen association, utility) whose verify key the registry knows;
+* :class:`TrustRegistry` — each cell's view of (a) trusted authorities
+  and (b) genuine trusted cells (standing in for the secure-hardware
+  manufacturer's attestation service).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..crypto.signing import Signature, SigningKey, VerifyKey
+from ..errors import ConfigurationError, CredentialError
+from ..hardware.tee import AttestationQuote, verify_attestation
+
+
+@dataclass(frozen=True)
+class Principal:
+    """Public identity of a user or cell."""
+
+    principal_id: str
+    verify_key: VerifyKey
+    exchange_public: int
+
+    def fingerprint(self) -> bytes:
+        return self.verify_key.fingerprint()
+
+
+@dataclass(frozen=True)
+class Credential:
+    """An attribute certificate: issuer vouches subject has attributes."""
+
+    subject: str
+    attributes: tuple[tuple[str, Any], ...]
+    issuer: str
+    not_before: int
+    not_after: int
+    signature: Signature
+
+    @staticmethod
+    def canonical(
+        subject: str,
+        attributes: tuple[tuple[str, Any], ...],
+        issuer: str,
+        not_before: int,
+        not_after: int,
+    ) -> bytes:
+        body = {
+            "subject": subject,
+            "attributes": [list(pair) for pair in attributes],
+            "issuer": issuer,
+            "not_before": not_before,
+            "not_after": not_after,
+        }
+        return b"credential|" + json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def message(self) -> bytes:
+        return self.canonical(
+            self.subject, self.attributes, self.issuer, self.not_before, self.not_after
+        )
+
+    def attribute_dict(self) -> dict[str, Any]:
+        return dict(self.attributes)
+
+
+class CertificateAuthority:
+    """An attribute issuer with its own signing key."""
+
+    def __init__(self, name: str, seed: bytes) -> None:
+        if not name:
+            raise ConfigurationError("authority name must be non-empty")
+        self.name = name
+        self._signing_key = SigningKey.from_seed(b"authority|" + seed)
+
+    @property
+    def verify_key(self) -> VerifyKey:
+        return self._signing_key.public_key()
+
+    def issue(
+        self,
+        subject: str,
+        attributes: dict[str, Any],
+        not_before: int,
+        not_after: int,
+    ) -> Credential:
+        """Issue a signed attribute certificate."""
+        if not_after < not_before:
+            raise ConfigurationError("credential validity window is inverted")
+        pairs = tuple(sorted(attributes.items()))
+        message = Credential.canonical(subject, pairs, self.name, not_before, not_after)
+        return Credential(
+            subject=subject,
+            attributes=pairs,
+            issuer=self.name,
+            not_before=not_before,
+            not_after=not_after,
+            signature=self._signing_key.sign(message),
+        )
+
+
+class TrustRegistry:
+    """What one cell trusts: authorities and genuine peer cells."""
+
+    def __init__(self) -> None:
+        self._authorities: dict[str, VerifyKey] = {}
+        self._principals: dict[str, Principal] = {}
+
+    # -- authorities ----------------------------------------------------------
+
+    def trust_authority(self, name: str, verify_key: VerifyKey) -> None:
+        self._authorities[name] = verify_key
+
+    def verify_credential(self, credential: Credential, now: int) -> dict[str, Any]:
+        """Validate a credential and return its attributes.
+
+        Raises :class:`CredentialError` for unknown issuers, expired
+        windows or bad signatures — never returns partial attributes.
+        """
+        issuer_key = self._authorities.get(credential.issuer)
+        if issuer_key is None:
+            raise CredentialError(f"unknown authority {credential.issuer!r}")
+        if not credential.not_before <= now <= credential.not_after:
+            raise CredentialError(
+                f"credential for {credential.subject!r} outside validity window"
+            )
+        if not issuer_key.verify(credential.message(), credential.signature):
+            raise CredentialError(
+                f"credential signature for {credential.subject!r} is invalid"
+            )
+        return credential.attribute_dict()
+
+    def verify_credentials(
+        self, subject: str, credentials: list[Credential], now: int
+    ) -> dict[str, Any]:
+        """Merge attributes from several credentials for one subject.
+
+        Credentials naming a different subject are rejected outright
+        (presenting someone else's certificate is an attack, not a
+        mistake to skip over).
+        """
+        attributes: dict[str, Any] = {}
+        for credential in credentials:
+            if credential.subject != subject:
+                raise CredentialError(
+                    f"credential subject {credential.subject!r} does not match "
+                    f"{subject!r}"
+                )
+            attributes.update(self.verify_credential(credential, now))
+        return attributes
+
+    # -- principals / genuine cells ------------------------------------------
+
+    def enroll_principal(self, principal: Principal) -> None:
+        """Record a principal as a genuine trusted cell / known user."""
+        self._principals[principal.principal_id] = principal
+
+    def principal(self, principal_id: str) -> Principal:
+        try:
+            return self._principals[principal_id]
+        except KeyError:
+            raise CredentialError(f"unknown principal {principal_id!r}") from None
+
+    def knows_principal(self, principal_id: str) -> bool:
+        return principal_id in self._principals
+
+    def check_attestation(
+        self, principal_id: str, quote: AttestationQuote, nonce: bytes
+    ) -> bool:
+        """Verify a peer's attestation quote against its enrolled key."""
+        principal = self.principal(principal_id)
+        return verify_attestation(principal.verify_key, quote, nonce)

@@ -1,0 +1,151 @@
+"""Self-computed certified credentials.
+
+One of the paper's sharing-challenge ideas: "automatic production of
+certified credentials safely computed on the individual's personal
+digital space". Instead of asking the employer for an income
+certificate, Alice's cell *computes* the fact from her pay slips —
+inside the TEE, over data nobody else can see — and signs a statement
+that reveals only the predicate's outcome ("monthly net income is at
+least 2000"), never the underlying values.
+
+A verifier trusts the statement iff (a) the signature matches an
+enrolled genuine cell, and (b) the verifier trusts that genuine cells
+evaluate honestly — which is exactly the trust the secure-hardware
+premise provides. The statement embeds the evaluation timestamp so
+verifiers can demand freshness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..crypto.signing import Signature
+from ..errors import ConfigurationError, QueryError
+from ..store.query import Aggregate, Query
+from .cell import Session, TrustedCell
+from .identity import TrustRegistry
+
+_COMPARATORS = {
+    ">=": lambda measured, bound: measured >= bound,
+    "<=": lambda measured, bound: measured <= bound,
+    ">": lambda measured, bound: measured > bound,
+    "<": lambda measured, bound: measured < bound,
+    "==": lambda measured, bound: measured == bound,
+}
+
+
+@dataclass(frozen=True)
+class FactSpec:
+    """A predicate over an aggregate of the cell's own data."""
+
+    name: str  # e.g. "income-at-least-2000"
+    collection: str
+    aggregate: Aggregate
+    comparator: str
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.comparator not in _COMPARATORS:
+            raise ConfigurationError(
+                f"unknown comparator {self.comparator!r}; "
+                f"known: {sorted(_COMPARATORS)}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"{self.aggregate.function}({self.aggregate.field}) over "
+            f"{self.collection} {self.comparator} {self.bound}"
+        )
+
+
+@dataclass(frozen=True)
+class SelfCredential:
+    """A signed fact statement (reveals the outcome, not the data)."""
+
+    cell: str
+    subject: str
+    fact: str
+    description: str
+    holds: bool
+    evaluated_at: int
+    signature: Signature
+
+    @staticmethod
+    def canonical(cell: str, subject: str, fact: str, description: str,
+                  holds: bool, evaluated_at: int) -> bytes:
+        body = {
+            "cell": cell,
+            "subject": subject,
+            "fact": fact,
+            "description": description,
+            "holds": holds,
+            "evaluated_at": evaluated_at,
+        }
+        return b"self-credential|" + json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def message(self) -> bytes:
+        return self.canonical(
+            self.cell, self.subject, self.fact, self.description,
+            self.holds, self.evaluated_at,
+        )
+
+
+def compute_credential(
+    cell: TrustedCell, session: Session, spec: FactSpec
+) -> SelfCredential:
+    """Evaluate a fact over the cell's own data and sign the outcome.
+
+    The aggregate runs through the regular catalog; only the boolean
+    outcome enters the statement. The session subject becomes the
+    credential's subject (the person the fact is about).
+    """
+    result = cell.catalog.query(
+        Query(spec.collection, aggregates=[spec.aggregate])
+    )
+    column = f"{spec.aggregate.function}({spec.aggregate.field})"
+    measured = result.rows[0].get(column)
+    if measured is None or measured != measured:  # None or NaN
+        raise QueryError(
+            f"fact {spec.name!r}: aggregate produced no value"
+        )
+    holds = _COMPARATORS[spec.comparator](measured, spec.bound)
+    description = spec.describe()
+    message = SelfCredential.canonical(
+        cell.name, session.subject, spec.name, description, holds,
+        cell.world.now,
+    )
+    credential = SelfCredential(
+        cell=cell.name,
+        subject=session.subject,
+        fact=spec.name,
+        description=description,
+        holds=holds,
+        evaluated_at=cell.world.now,
+        signature=cell.tee.keys.sign(message),
+    )
+    cell.audit.append(
+        cell.world.now, session.subject, spec.collection,
+        f"self-credential:{spec.name}", True, reason=f"holds={holds}",
+    )
+    return credential
+
+
+def verify_self_credential(
+    registry: TrustRegistry,
+    credential: SelfCredential,
+    now: int,
+    max_age: int | None = None,
+) -> bool:
+    """The relying party's check: genuine cell + valid signature +
+    freshness. Returns False rather than raising — a rejected
+    credential is an everyday event for a verifier."""
+    if not registry.knows_principal(credential.cell):
+        return False
+    if max_age is not None and now - credential.evaluated_at > max_age:
+        return False
+    principal = registry.principal(credential.cell)
+    return principal.verify_key.verify(credential.message(), credential.signature)

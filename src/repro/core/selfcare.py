@@ -1,0 +1,152 @@
+"""Self-administration: self-tuning, self-diagnosis, self-healing.
+
+"Whatever their complexity, trusted cells should also be designed to
+support self-tuning, self-diagnosis and self-healing to minimize the
+management burden put on the trusted cell owner."
+
+The :class:`SelfCare` manager runs periodically on the cell's event
+loop and performs three duties, each reported in a diagnosis record:
+
+* **self-diagnosis** — verify the audit chain, check that every
+  cataloged object has its envelope (locally or fetchable), report
+  flash and secure-memory pressure;
+* **self-healing** — compact the flash store when stale data passes a
+  threshold; refetch missing envelopes through the installed vault
+  fetcher;
+* **self-tuning** — recommend (and optionally create) a hash index on
+  any unindexed field that keeps appearing in equality queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, NotFoundError, TrustedCellsError
+from ..policy.audit import AuditLog
+from .cell import TrustedCell
+
+
+@dataclass
+class Diagnosis:
+    """Outcome of one self-care pass."""
+
+    timestamp: int
+    audit_chain_ok: bool
+    flash_used_fraction: float
+    secure_memory_used_fraction: float
+    missing_envelopes: list[str] = field(default_factory=list)
+    healed_envelopes: list[str] = field(default_factory=list)
+    compacted: bool = False
+    index_recommendations: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return self.audit_chain_ok and not self.missing_envelopes
+
+
+class SelfCare:
+    """The cell's housekeeping agent."""
+
+    def __init__(
+        self,
+        cell: TrustedCell,
+        compact_threshold: float = 0.7,
+        auto_tune: bool = False,
+        query_count_threshold: int = 10,
+    ) -> None:
+        if not 0.0 < compact_threshold <= 1.0:
+            raise ConfigurationError("compact threshold must be in (0, 1]")
+        self.cell = cell
+        self.compact_threshold = compact_threshold
+        self.auto_tune = auto_tune
+        self.query_count_threshold = query_count_threshold
+        self.history: list[Diagnosis] = []
+        self._eq_query_counts: dict[tuple[str, str], int] = {}
+        self._handle = None
+
+    # -- observation hook ----------------------------------------------------------
+
+    def observe_equality_query(self, collection: str, field_name: str) -> None:
+        """Called by callers (or a wrapper) when an Eq predicate ran."""
+        key = (collection, field_name)
+        self._eq_query_counts[key] = self._eq_query_counts.get(key, 0) + 1
+
+    # -- one pass -------------------------------------------------------------------
+
+    def run_once(self) -> Diagnosis:
+        cell = self.cell
+        # -- diagnosis ---------------------------------------------------------
+        audit_ok = AuditLog.verify_chain(cell.audit.entries())
+        flash = cell.flash
+        cell.catalog.store.flush()  # measure what is actually on flash
+        flash_used = cell.catalog.store.pages_used / flash.page_count
+        secure = cell.tee.secure_memory
+        secure_used = (
+            secure.used_bytes / secure.capacity_bytes
+            if secure.capacity_bytes
+            else 0.0
+        )
+        missing: list[str] = []
+        healed: list[str] = []
+        for object_id in cell.catalog.collection("objects").record_ids():
+            if object_id in cell._envelopes:
+                continue
+            try:
+                cell.envelope_for(object_id)  # may refetch from the vault
+                healed.append(object_id)
+            except (NotFoundError, TrustedCellsError):
+                missing.append(object_id)
+
+        # -- healing: compaction under flash pressure ---------------------------
+        compacted = False
+        if flash_used >= self.compact_threshold:
+            cell.catalog.store.compact()
+            compacted = True
+
+        # -- tuning -------------------------------------------------------------
+        recommendations = []
+        for (collection_name, field_name), count in sorted(
+            self._eq_query_counts.items()
+        ):
+            if count < self.query_count_threshold:
+                continue
+            collection = cell.catalog.collection(collection_name)
+            if field_name in collection.indexed_fields:
+                continue
+            recommendations.append(f"{collection_name}.{field_name}")
+            if self.auto_tune:
+                collection.create_hash_index(field_name)
+
+        diagnosis = Diagnosis(
+            timestamp=cell.world.now,
+            audit_chain_ok=audit_ok,
+            flash_used_fraction=flash_used,
+            secure_memory_used_fraction=secure_used,
+            missing_envelopes=missing,
+            healed_envelopes=healed,
+            compacted=compacted,
+            index_recommendations=recommendations,
+        )
+        self.history.append(diagnosis)
+        cell.audit.append(
+            cell.world.now, cell.name, "-", "self-care",
+            diagnosis.healthy,
+            reason=(f"flash={flash_used:.0%} compacted={compacted} "
+                    f"missing={len(missing)}"),
+        )
+        return diagnosis
+
+    # -- scheduling ------------------------------------------------------------------
+
+    def start(self, period: int = 86400) -> None:
+        """Run one pass every ``period`` seconds on the event loop."""
+        if self._handle is not None:
+            raise ConfigurationError("self-care already started")
+        self._handle = self.cell.world.loop.schedule_every(
+            period, self.run_once, label=f"self-care {self.cell.name}"
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

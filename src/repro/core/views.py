@@ -1,0 +1,93 @@
+"""Predefined aggregate views over a cell's data.
+
+"None of this data leaves the trusted cell application unless it is
+accessed via a predefined set of aggregate queries."
+
+A :class:`AggregateView` is a named, owner-defined query whose *result*
+(never the underlying rows) is released to subjects holding the
+``aggregate`` right in the view's policy. The view definition is fixed
+at registration: a recipient cannot smuggle a more revealing query
+through the view mechanism, because the only thing they choose is the
+view's name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AccessDenied, ConfigurationError, NotFoundError, QueryError
+from ..policy.ucon import RIGHT_AGGREGATE, UsagePolicy
+from ..store.query import Query
+
+
+@dataclass(frozen=True)
+class AggregateView:
+    """One predefined aggregate query plus its release policy."""
+
+    name: str
+    query: Query
+    policy: UsagePolicy
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("view name must be non-empty")
+        if not self.query.aggregates:
+            raise QueryError(
+                f"view {self.name!r} must be an aggregate query "
+                "(row-level release is what views exist to prevent)"
+            )
+        if self.query.project is not None:
+            raise QueryError(f"view {self.name!r} cannot project raw fields")
+
+
+class ViewRegistry:
+    """The cell's predefined-view table (mixed into TrustedCell)."""
+
+    def __init__(self) -> None:
+        self._views: dict[str, AggregateView] = {}
+
+    def register_view(self, view: AggregateView) -> None:
+        if view.name in self._views:
+            raise ConfigurationError(f"view {view.name!r} already registered")
+        self._views[view.name] = view
+
+    def view(self, name: str) -> AggregateView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise NotFoundError(f"no view named {name!r}") from None
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+
+def read_view(cell, session, name: str):
+    """Evaluate a predefined view under the caller's session.
+
+    Free function (rather than a method) so the view path visibly goes
+    through the same audit/monitor conventions as object reads:
+    evaluate policy, audit, run the fixed query, return only aggregate
+    rows.
+    """
+    view = cell.views.view(name)
+    context = session.context()
+    decision = view.policy.evaluate(
+        RIGHT_AGGREGATE,
+        context,
+        prior_uses=cell.usage_state.uses(f"view:{name}", context.subject),
+    )
+    if not decision.allowed:
+        cell.audit.append(
+            cell.world.now, context.subject, f"view:{name}", "read-view",
+            False, reason=decision.reason,
+        )
+        raise AccessDenied(
+            f"view {name!r} denied for {context.subject!r}: {decision.reason}"
+        )
+    if view.policy.max_uses is not None:
+        cell.usage_state.record_use(f"view:{name}", context.subject)
+    cell._fulfil_obligations(decision, view.policy, f"view:{name}", context)
+    cell.audit.append(
+        cell.world.now, context.subject, f"view:{name}", "read-view", True
+    )
+    return cell.catalog.query(view.query)

@@ -1,0 +1,75 @@
+"""Cryptographic substrate (test-grade; real algorithms, toy parameters).
+
+.. warning:: Not hardened. For simulation and experimentation only.
+"""
+
+from .aead import SealedBlob, open_sealed, seal
+from .keys import KeyRing
+from .merkle import (
+    EMPTY_ROOT,
+    InclusionProof,
+    MerkleTree,
+    require_inclusion,
+    verify_inclusion,
+)
+from .primitives import (
+    BLOCK_SIZE,
+    KEY_SIZE,
+    MAC_SIZE,
+    ctr_crypt,
+    hkdf,
+    hmac_sha256,
+    sha256,
+    verify_hmac,
+    xtea_decrypt_block,
+    xtea_encrypt_block,
+)
+from .shamir import (
+    PRIME,
+    Share,
+    additive_shares,
+    combine_additive,
+    decode_signed,
+    encode_signed,
+    reconstruct_bytes,
+    reconstruct_secret,
+    split_bytes,
+    split_secret,
+)
+from .signing import Signature, SigningKey, VerifyKey, generate_keypair
+
+__all__ = [
+    "SealedBlob",
+    "open_sealed",
+    "seal",
+    "KeyRing",
+    "EMPTY_ROOT",
+    "InclusionProof",
+    "MerkleTree",
+    "require_inclusion",
+    "verify_inclusion",
+    "BLOCK_SIZE",
+    "KEY_SIZE",
+    "MAC_SIZE",
+    "ctr_crypt",
+    "hkdf",
+    "hmac_sha256",
+    "sha256",
+    "verify_hmac",
+    "xtea_decrypt_block",
+    "xtea_encrypt_block",
+    "PRIME",
+    "Share",
+    "additive_shares",
+    "combine_additive",
+    "decode_signed",
+    "encode_signed",
+    "reconstruct_bytes",
+    "reconstruct_secret",
+    "split_bytes",
+    "split_secret",
+    "Signature",
+    "SigningKey",
+    "VerifyKey",
+    "generate_keypair",
+]

@@ -1,0 +1,101 @@
+"""Authenticated encryption with associated data (encrypt-then-MAC).
+
+The platform's unit of outsourced storage is a sealed blob: CTR-mode
+ciphertext plus an HMAC tag covering ``header || nonce || ciphertext``.
+The *associated data* header is where sticky policies are bound to their
+payload: the policy travels in clear (a recipient cell must read it to
+enforce it) but any modification invalidates the tag, which implements
+the paper's requirement that usage rules be "cryptographically
+inseparable from the data".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, IntegrityError
+from .primitives import KEY_SIZE, MAC_SIZE, ctr_crypt, hkdf, hmac_sha256, verify_hmac
+
+_NONCE_SIZE = 4
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """An encrypted, integrity-protected blob.
+
+    ``header`` is authenticated but not encrypted; ``ciphertext`` is
+    both. The blob is self-delimiting and can be serialized for storage
+    in the untrusted cloud.
+    """
+
+    header: bytes
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize with length-prefixed fields."""
+        parts = []
+        for field_value in (self.header, self.nonce, self.ciphertext, self.tag):
+            parts.append(len(field_value).to_bytes(4, "big"))
+            parts.append(field_value)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SealedBlob":
+        """Parse a serialized blob; raises on truncation."""
+        fields = []
+        offset = 0
+        for _ in range(4):
+            if offset + 4 > len(data):
+                raise IntegrityError("truncated sealed blob")
+            length = int.from_bytes(data[offset : offset + 4], "big")
+            offset += 4
+            if offset + length > len(data):
+                raise IntegrityError("truncated sealed blob field")
+            fields.append(data[offset : offset + length])
+            offset += length
+        if offset != len(data):
+            raise IntegrityError("trailing bytes after sealed blob")
+        return cls(*fields)
+
+    @property
+    def size(self) -> int:
+        """Serialized size in bytes (storage and network accounting)."""
+        return 16 + len(self.header) + len(self.nonce) + len(self.ciphertext) + len(self.tag)
+
+
+def _subkeys(key: bytes) -> tuple[bytes, bytes]:
+    """Independent encryption and MAC keys from one logical key."""
+    if len(key) != KEY_SIZE:
+        raise ConfigurationError(f"AEAD key must be {KEY_SIZE} bytes")
+    return hkdf(key, "aead-enc"), hkdf(key, "aead-mac", 32)
+
+
+def seal(key: bytes, plaintext: bytes, header: bytes = b"", nonce_seed: bytes = b"") -> SealedBlob:
+    """Encrypt ``plaintext`` and authenticate it together with ``header``.
+
+    The nonce is derived deterministically from the MAC key and
+    ``nonce_seed``; callers that seal multiple plaintexts under the same
+    key must provide distinct seeds (the envelope layer uses the object
+    version for this).
+    """
+    enc_key, mac_key = _subkeys(key)
+    nonce = hmac_sha256(mac_key, b"nonce" + nonce_seed)[:_NONCE_SIZE]
+    ciphertext = ctr_crypt(enc_key, nonce, plaintext)
+    tag = hmac_sha256(mac_key, header + nonce + ciphertext)
+    return SealedBlob(header=header, nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+
+def open_sealed(key: bytes, blob: SealedBlob) -> bytes:
+    """Verify and decrypt a sealed blob.
+
+    Raises :class:`IntegrityError` if the tag does not verify — the
+    caller must treat this as evidence of tampering, never as a benign
+    failure.
+    """
+    enc_key, mac_key = _subkeys(key)
+    expected = blob.header + blob.nonce + blob.ciphertext
+    if not verify_hmac(mac_key, expected, blob.tag):
+        raise IntegrityError("sealed blob failed authentication")
+    return ctr_crypt(enc_key, blob.nonce, blob.ciphertext)

@@ -1,0 +1,202 @@
+"""Key hierarchy and key management for trusted cells.
+
+Design goals taken directly from the paper:
+
+* "Cryptographic keys never leave the trusted cells tamper-resistant
+  memory" — the :class:`KeyRing` exposes *operations* (seal, unwrap,
+  sign), and raw key bytes only leave it wrapped under another key.
+* "a successful attack on a (small set of) trusted cells cannot
+  degenerate in breaking class attack" — every cell has its own master
+  secret, and every object has its own key derived from it, so a
+  breached cell exposes only keys that cell legitimately held.
+  (Experiment E7 ablates this by giving all cells the same master.)
+* "master secrets must be restorable in case of crash/loss of a trusted
+  cell" — the master secret can be escrowed as Shamir shares.
+
+Key derivation tree::
+
+    master_secret
+      |-- "sign"                  -> Schnorr signing key seed
+      |-- "exchange"              -> Diffie-Hellman exchange secret
+      |-- "audit"                 -> audit-log MAC key
+      |-- "object:<id>:<version>" -> per-object data key
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigurationError, KeyError_
+from . import shamir
+from .aead import SealedBlob, open_sealed, seal
+from .primitives import KEY_SIZE, hkdf, sha256
+from .signing import G, P, Q, SigningKey, VerifyKey
+
+
+class KeyRing:
+    """All cryptographic secrets of one trusted cell.
+
+    Instances are meant to live inside the cell's tamper-resistant
+    memory (the hardware layer accounts for their footprint); no method
+    returns the master secret or a derived private key in the clear.
+    """
+
+    def __init__(self, master_secret: bytes) -> None:
+        if len(master_secret) != KEY_SIZE:
+            raise ConfigurationError(
+                f"master secret must be {KEY_SIZE} bytes, got {len(master_secret)}"
+            )
+        self._master = master_secret
+        self._signing_key = SigningKey.from_seed(hkdf(master_secret, "sign"))
+        exchange_seed = hkdf(master_secret, "exchange", 32)
+        self._exchange_secret = int.from_bytes(exchange_seed, "big") % Q or 1
+        # Keys imported from other cells through the sharing protocol,
+        # indexed by (object_id, version).
+        self._imported: dict[tuple[str, int], bytes] = {}
+
+    # -- identity ----------------------------------------------------------
+
+    @classmethod
+    def generate(cls, rng: random.Random) -> "KeyRing":
+        """A fresh key ring with a random master secret."""
+        return cls(rng.randbytes(KEY_SIZE))
+
+    @property
+    def verify_key(self) -> VerifyKey:
+        """This cell's public signature-verification key."""
+        return self._signing_key.public_key()
+
+    @property
+    def exchange_public(self) -> int:
+        """This cell's public Diffie-Hellman element ``g^x``."""
+        return pow(G, self._exchange_secret, P)
+
+    def fingerprint(self) -> bytes:
+        """Stable public identifier of this key ring."""
+        return self.verify_key.fingerprint()
+
+    # -- signing -------------------------------------------------------------
+
+    def sign(self, message: bytes):
+        """Sign ``message`` with the cell's certification key."""
+        return self._signing_key.sign(message)
+
+    # -- derived symmetric keys ------------------------------------------
+
+    def derive(self, purpose: str) -> bytes:
+        """Derive a purpose-bound symmetric key.
+
+        Exposed for internal platform layers (audit MACs, policy
+        binding); applications should use the higher-level methods.
+        """
+        return hkdf(self._master, purpose)
+
+    def object_key(self, object_id: str, version: int) -> bytes:
+        """The data key for one version of one owned object."""
+        return hkdf(self._master, f"object:{object_id}:{version}")
+
+    # -- pairwise keys and key wrapping ------------------------------------
+
+    def pairwise_key(self, peer_exchange_public: int) -> bytes:
+        """Shared symmetric key with the peer holding the given DH element."""
+        if not 1 < peer_exchange_public < P:
+            raise ConfigurationError("peer exchange element out of range")
+        shared = pow(peer_exchange_public, self._exchange_secret, P)
+        size = (P.bit_length() + 7) // 8
+        return sha256(b"pairwise" + shared.to_bytes(size, "big"))[:KEY_SIZE]
+
+    def wrap_object_key(
+        self, object_id: str, version: int, peer_exchange_public: int
+    ) -> SealedBlob:
+        """Wrap an owned object key for a specific peer cell.
+
+        The wrapped key can transit the untrusted infrastructure: only
+        the peer can unwrap it, and the (object_id, version) binding in
+        the header is authenticated.
+        """
+        key = self.key_for(object_id, version)
+        header = f"keywrap:{object_id}:{version}".encode()
+        return seal(
+            self.pairwise_key(peer_exchange_public),
+            key,
+            header=header,
+            nonce_seed=header,
+        )
+
+    def unwrap_object_key(
+        self, blob: SealedBlob, peer_exchange_public: int
+    ) -> tuple[str, int]:
+        """Import a wrapped object key received from a peer.
+
+        Returns the (object_id, version) the key now unlocks. The key
+        itself stays inside the ring.
+        """
+        key = open_sealed(self.pairwise_key(peer_exchange_public), blob)
+        try:
+            prefix, _, rest = blob.header.decode().partition(":")
+            # object ids may themselves contain ':', so take the
+            # version from the right
+            object_id, _, version_text = rest.rpartition(":")
+            if prefix != "keywrap" or not object_id:
+                raise ValueError("bad prefix")
+            version = int(version_text)
+        except ValueError as exc:
+            raise KeyError_(f"malformed key-wrap header: {blob.header!r}") from exc
+        self._imported[(object_id, version)] = key
+        return object_id, version
+
+    def key_for(self, object_id: str, version: int) -> bytes:
+        """The data key for an object, owned or imported.
+
+        Owned objects take priority: derivation is deterministic so an
+        owner never depends on the imported table for its own data.
+        Raises :class:`KeyError_` if the object was shared with us but
+        the key was never imported.
+        """
+        imported = self._imported.get((object_id, version))
+        if imported is not None:
+            return imported
+        return self.object_key(object_id, version)
+
+    def has_imported_key(self, object_id: str, version: int) -> bool:
+        """True iff a foreign key for this object version was imported."""
+        return (object_id, version) in self._imported
+
+    def forget_imported_key(self, object_id: str, version: int) -> None:
+        """Drop an imported key (e.g. after a usage right is exhausted)."""
+        self._imported.pop((object_id, version), None)
+
+    @property
+    def imported_key_count(self) -> int:
+        return len(self._imported)
+
+    # -- escrow / recovery -------------------------------------------------
+
+    def export_master_shares(
+        self, guardians: int, threshold: int, rng: random.Random
+    ) -> list[list[shamir.Share]]:
+        """Shamir-split the master secret for escrow among guardians."""
+        return shamir.split_bytes(self._master, guardians, threshold, rng)
+
+    @classmethod
+    def restore_from_shares(cls, shares: list[list[shamir.Share]]) -> "KeyRing":
+        """Rebuild a lost cell's key ring from at-least-threshold escrow
+        shares. Imported keys are *not* restored (peers must re-share)."""
+        master = shamir.reconstruct_bytes(shares)
+        if len(master) != KEY_SIZE:
+            raise KeyError_("escrow reconstruction produced an invalid master secret")
+        return cls(master)
+
+    # -- breach model hook ---------------------------------------------------
+
+    def _dump_for_breach(self) -> dict[str, object]:
+        """Everything a *physical* attacker extracts from a breached cell.
+
+        Only the attack model (:mod:`repro.attacks`) may call this; it
+        models the paper's admission that "even secure hardware can be
+        breached, though at very high cost".
+        """
+        return {
+            "master_secret": self._master,
+            "imported_keys": dict(self._imported),
+        }

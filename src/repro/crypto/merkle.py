@@ -1,0 +1,126 @@
+"""Merkle hash trees and inclusion proofs.
+
+The synchronization layer anchors each vault snapshot in a Merkle root
+held inside the cell's tamper-resistant memory. The untrusted cloud can
+then prove that a returned object belongs to the snapshot (inclusion
+proof) while any tampering or rollback changes the root and is detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, IntegrityError
+from .primitives import sha256
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+EMPTY_ROOT = sha256(b"merkle-empty")
+
+
+def leaf_hash(data: bytes) -> bytes:
+    """Domain-separated hash of a leaf payload."""
+    return sha256(_LEAF_PREFIX + data)
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Domain-separated hash of two child digests."""
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One level of an inclusion proof: the sibling digest and its side."""
+
+    sibling: bytes
+    sibling_on_left: bool
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """Proof that a leaf is included in a tree with a given root."""
+
+    leaf_index: int
+    leaf_count: int
+    steps: tuple[ProofStep, ...]
+
+    @property
+    def size(self) -> int:
+        """Serialized proof size in bytes (for protocol accounting)."""
+        return 8 + sum(33 for _ in self.steps)
+
+
+class MerkleTree:
+    """A static Merkle tree over an ordered list of leaf payloads.
+
+    Odd nodes are promoted (Bitcoin-style duplication is avoided: a
+    lone node at any level is carried up unchanged), which keeps proofs
+    minimal and makes the root of a single leaf equal to its leaf hash.
+    """
+
+    def __init__(self, leaves: list[bytes]) -> None:
+        self._leaf_hashes = [leaf_hash(leaf) for leaf in leaves]
+        self._levels = _build_levels(self._leaf_hashes)
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaf_hashes)
+
+    @property
+    def root(self) -> bytes:
+        """Tree root; a fixed sentinel for the empty tree."""
+        if not self._leaf_hashes:
+            return EMPTY_ROOT
+        return self._levels[-1][0]
+
+    def prove(self, index: int) -> InclusionProof:
+        """Inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < len(self._leaf_hashes):
+            raise ConfigurationError(f"leaf index {index} out of range")
+        steps: list[ProofStep] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_index = position ^ 1
+            if sibling_index < len(level):
+                steps.append(
+                    ProofStep(
+                        sibling=level[sibling_index],
+                        sibling_on_left=sibling_index < position,
+                    )
+                )
+            position //= 2
+        return InclusionProof(
+            leaf_index=index, leaf_count=len(self._leaf_hashes), steps=tuple(steps)
+        )
+
+
+def _build_levels(leaf_hashes: list[bytes]) -> list[list[bytes]]:
+    if not leaf_hashes:
+        return [[]]
+    levels = [list(leaf_hashes)]
+    while len(levels[-1]) > 1:
+        current = levels[-1]
+        next_level = []
+        for i in range(0, len(current) - 1, 2):
+            next_level.append(node_hash(current[i], current[i + 1]))
+        if len(current) % 2 == 1:
+            next_level.append(current[-1])
+        levels.append(next_level)
+    return levels
+
+
+def verify_inclusion(root: bytes, leaf_data: bytes, proof: InclusionProof) -> bool:
+    """True iff ``leaf_data`` is proven to be in the tree with ``root``."""
+    digest = leaf_hash(leaf_data)
+    for step in proof.steps:
+        if step.sibling_on_left:
+            digest = node_hash(step.sibling, digest)
+        else:
+            digest = node_hash(digest, step.sibling)
+    return digest == root
+
+
+def require_inclusion(root: bytes, leaf_data: bytes, proof: InclusionProof) -> None:
+    """Raise :class:`IntegrityError` unless the inclusion proof verifies."""
+    if not verify_inclusion(root, leaf_data, proof):
+        raise IntegrityError("Merkle inclusion proof failed")

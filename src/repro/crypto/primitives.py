@@ -1,0 +1,137 @@
+"""Low-level cryptographic primitives.
+
+These are *real algorithms with toy deployment parameters*, suitable for
+a simulation platform: experiments measure protocol structure (who can
+decrypt what, what tampering is detected, how many bytes cross a
+boundary), not cryptanalytic strength.
+
+.. warning::
+   Nothing in this module is hardened (no constant-time arithmetic, no
+   side-channel resistance). Do **not** use it to protect real data.
+
+Contents:
+
+* XTEA block cipher (64-bit block, 128-bit key, 64 rounds) and a CTR
+  mode keystream built on it.
+* HMAC-SHA256 (delegating to the standard library).
+* HKDF-style key derivation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+from ..errors import ConfigurationError
+
+_MASK32 = 0xFFFFFFFF
+_XTEA_DELTA = 0x9E3779B9
+_XTEA_ROUNDS = 32  # 32 cycles = 64 Feistel rounds, the standard choice
+
+BLOCK_SIZE = 8  # bytes
+KEY_SIZE = 16  # bytes
+MAC_SIZE = 32  # bytes (full SHA-256 tag)
+
+
+def _key_schedule(key: bytes) -> tuple[int, int, int, int]:
+    if len(key) != KEY_SIZE:
+        raise ConfigurationError(f"XTEA key must be {KEY_SIZE} bytes, got {len(key)}")
+    return (
+        int.from_bytes(key[0:4], "big"),
+        int.from_bytes(key[4:8], "big"),
+        int.from_bytes(key[8:12], "big"),
+        int.from_bytes(key[12:16], "big"),
+    )
+
+
+def xtea_encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt a single 8-byte block with XTEA."""
+    if len(block) != BLOCK_SIZE:
+        raise ConfigurationError(f"XTEA block must be {BLOCK_SIZE} bytes")
+    k = _key_schedule(key)
+    v0 = int.from_bytes(block[0:4], "big")
+    v1 = int.from_bytes(block[4:8], "big")
+    total = 0
+    for _round in range(_XTEA_ROUNDS):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK32
+        total = (total + _XTEA_DELTA) & _MASK32
+        v1 = (
+            v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))
+        ) & _MASK32
+    return v0.to_bytes(4, "big") + v1.to_bytes(4, "big")
+
+
+def xtea_decrypt_block(key: bytes, block: bytes) -> bytes:
+    """Decrypt a single 8-byte block with XTEA."""
+    if len(block) != BLOCK_SIZE:
+        raise ConfigurationError(f"XTEA block must be {BLOCK_SIZE} bytes")
+    k = _key_schedule(key)
+    v0 = int.from_bytes(block[0:4], "big")
+    v1 = int.from_bytes(block[4:8], "big")
+    total = (_XTEA_DELTA * _XTEA_ROUNDS) & _MASK32
+    for _round in range(_XTEA_ROUNDS):
+        v1 = (
+            v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))
+        ) & _MASK32
+        total = (total - _XTEA_DELTA) & _MASK32
+        v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK32
+    return v0.to_bytes(4, "big") + v1.to_bytes(4, "big")
+
+
+def ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """CTR-mode keystream of ``length`` bytes under ``key`` / ``nonce``.
+
+    The counter block is ``nonce (4 bytes) || counter (4 bytes)``; a
+    nonce must never be reused with the same key (the envelope layer
+    guarantees this by deriving a fresh key per object version).
+    """
+    if len(nonce) != 4:
+        raise ConfigurationError("CTR nonce must be 4 bytes")
+    if length < 0:
+        raise ConfigurationError("keystream length must be non-negative")
+    blocks = []
+    for counter in range((length + BLOCK_SIZE - 1) // BLOCK_SIZE):
+        counter_block = nonce + counter.to_bytes(4, "big")
+        blocks.append(xtea_encrypt_block(key, counter_block))
+    return b"".join(blocks)[:length]
+
+
+def ctr_crypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt ``data`` in CTR mode (the operation is its own
+    inverse)."""
+    stream = ctr_keystream(key, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 tag of ``message`` under ``key``."""
+    return _hmac.new(key, message, hashlib.sha256).digest()
+
+
+def verify_hmac(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time comparison of an HMAC tag."""
+    return _hmac.compare_digest(hmac_sha256(key, message), tag)
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def hkdf(master: bytes, info: str, length: int = KEY_SIZE) -> bytes:
+    """Simplified HKDF-expand: derive ``length`` bytes bound to ``info``.
+
+    Used throughout the key hierarchy so that every purpose (object
+    encryption, policy binding, audit MAC, ...) gets an independent key
+    from one master secret.
+    """
+    if length <= 0 or length > 255 * 32:
+        raise ConfigurationError("invalid derived key length")
+    output = b""
+    previous = b""
+    counter = 1
+    while len(output) < length:
+        previous = hmac_sha256(master, previous + info.encode() + bytes([counter]))
+        output += previous
+        counter += 1
+    return output[:length]

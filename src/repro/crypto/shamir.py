@@ -1,0 +1,157 @@
+"""Secret sharing: Shamir threshold shares and additive shares.
+
+Two uses in the platform, both mandated by the paper:
+
+* **Master-secret recovery** ("master secrets must be restorable in case
+  of crash/loss of a trusted cell"): a cell's master key is split into
+  Shamir shares held by escrow cells; any ``threshold`` of them can
+  restore it, fewer learn nothing.
+* **Shared commons**: secure aggregation among cells uses additive
+  shares (and Shamir shares for dropout tolerance) so the untrusted
+  infrastructure can relay intermediate results without learning any
+  individual contribution.
+
+All arithmetic is over the prime field GF(PRIME) with a 127-bit
+Mersenne prime, large enough to embed 16-byte keys in one share chunk
+per 15-byte slice and to hold realistic aggregate sums without wrap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ProtocolError
+
+PRIME = (1 << 127) - 1  # Mersenne prime 2^127 - 1
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the evaluation of the polynomial at ``x``."""
+
+    x: int
+    y: int
+
+
+def _eval_poly(coefficients: list[int], x: int) -> int:
+    """Horner evaluation of the polynomial at ``x`` mod PRIME."""
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * x + coefficient) % PRIME
+    return result
+
+
+def split_secret(
+    secret: int, shares: int, threshold: int, rng: random.Random
+) -> list[Share]:
+    """Split ``secret`` into ``shares`` Shamir shares with the given
+    reconstruction ``threshold``.
+
+    Any ``threshold`` shares reconstruct the secret; ``threshold - 1``
+    shares are information-theoretically independent of it.
+    """
+    if not 0 <= secret < PRIME:
+        raise ConfigurationError("secret out of field range")
+    if threshold < 1 or shares < threshold:
+        raise ConfigurationError(
+            f"need 1 <= threshold ({threshold}) <= shares ({shares})"
+        )
+    coefficients = [secret] + [rng.randrange(PRIME) for _ in range(threshold - 1)]
+    return [Share(x, _eval_poly(coefficients, x)) for x in range(1, shares + 1)]
+
+
+def reconstruct_secret(shares: list[Share]) -> int:
+    """Lagrange interpolation at x=0 from at-least-threshold shares.
+
+    Passing fewer shares than the original threshold yields a value
+    uncorrelated with the secret (it does not raise: by design Shamir
+    cannot detect insufficiency without extra authentication).
+    """
+    if not shares:
+        raise ProtocolError("cannot reconstruct from zero shares")
+    xs = [share.x for share in shares]
+    if len(set(xs)) != len(xs):
+        raise ProtocolError("duplicate share x-coordinates")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * (-share_j.x)) % PRIME
+            denominator = (denominator * (share_i.x - share_j.x)) % PRIME
+        lagrange = numerator * pow(denominator, PRIME - 2, PRIME) % PRIME
+        secret = (secret + share_i.y * lagrange) % PRIME
+    return secret
+
+
+def split_bytes(secret: bytes, shares: int, threshold: int, rng: random.Random) -> list[list[Share]]:
+    """Split arbitrary bytes by chunking into 15-byte field elements.
+
+    Returns one share-list per participant: ``result[p][c]`` is
+    participant ``p``'s share of chunk ``c``. The length of the secret
+    is encoded in a prefix chunk so reconstruction is exact.
+    """
+    prefixed = len(secret).to_bytes(4, "big") + secret
+    chunks = [prefixed[i : i + 15] for i in range(0, len(prefixed), 15)]
+    per_chunk = [
+        split_secret(int.from_bytes(chunk.ljust(15, b"\0"), "big"), shares, threshold, rng)
+        for chunk in chunks
+    ]
+    return [
+        [per_chunk[c][p] for c in range(len(chunks))] for p in range(shares)
+    ]
+
+
+def reconstruct_bytes(share_lists: list[list[Share]]) -> bytes:
+    """Inverse of :func:`split_bytes` from at-least-threshold participants."""
+    if not share_lists:
+        raise ProtocolError("cannot reconstruct from zero participants")
+    chunk_count = len(share_lists[0])
+    if any(len(shares) != chunk_count for shares in share_lists):
+        raise ProtocolError("participants disagree on chunk count")
+    raw = b"".join(
+        reconstruct_secret([share_lists[p][c] for p in range(len(share_lists))])
+        .to_bytes(15, "big")
+        for c in range(chunk_count)
+    )
+    length = int.from_bytes(raw[:4], "big")
+    if length > len(raw) - 4:
+        raise ProtocolError("reconstructed length prefix is inconsistent")
+    return raw[4 : 4 + length]
+
+
+def additive_shares(value: int, parties: int, rng: random.Random) -> list[int]:
+    """Split ``value`` into ``parties`` additive shares mod PRIME.
+
+    All shares are required to recover the value; any strict subset is
+    uniformly random. Used by the masking-based aggregation protocol.
+    """
+    if parties < 1:
+        raise ConfigurationError("need at least one party")
+    shares = [rng.randrange(PRIME) for _ in range(parties - 1)]
+    last = (value - sum(shares)) % PRIME
+    return shares + [last]
+
+
+def combine_additive(shares: list[int]) -> int:
+    """Sum additive shares back into the value mod PRIME."""
+    return sum(shares) % PRIME
+
+
+def encode_signed(value: int) -> int:
+    """Embed a (possibly negative) bounded integer into the field.
+
+    Values in ``[-PRIME//2, PRIME//2)`` round-trip through
+    :func:`decode_signed`.
+    """
+    return value % PRIME
+
+
+def decode_signed(element: int) -> int:
+    """Inverse of :func:`encode_signed`."""
+    if element >= PRIME // 2:
+        return element - PRIME
+    return element

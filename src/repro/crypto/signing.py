@@ -1,0 +1,134 @@
+"""Schnorr signatures over a Schnorr group.
+
+Trusted cells sign externalized aggregates ("certified time series" sent
+to the utility), credential certificates, and audit-log checkpoints.
+We implement textbook Schnorr over a fixed 256-bit-prime Schnorr group
+with deterministic nonces (RFC-6979 style, via HMAC) so signing is
+reproducible and nonce reuse is impossible by construction.
+
+.. warning:: Toy parameters; not for production use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, IntegrityError
+from .primitives import hmac_sha256, sha256
+
+# A Schnorr group: P = Q*R + 1 with Q prime, G of order Q.
+# P is the 256-bit prime 2**256 - 189 (a known prime); Q is a 255-bit
+# prime factor chosen so that G = H**R mod P has order Q.
+# For the simulator we use the well-known secp256k1 field-free setup:
+# take P = 2**255 - 19's sibling... Rather than invent constants, we use
+# the standard 1024-bit MODP group 2 prime with a 160-bit subgroup
+# (classic DSA-style parameters, RFC 2409 Oakley Group 2 prime).
+P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+    16,
+)
+# Q = (P - 1) / 2 is prime for this safe-prime group; G = 4 generates
+# the subgroup of quadratic residues of order Q.
+Q = (P - 1) // 2
+G = 4
+
+
+@dataclass(frozen=True)
+class SigningKey:
+    """A private Schnorr key (an exponent modulo Q)."""
+
+    secret: int
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "SigningKey":
+        """Derive a key deterministically from seed bytes."""
+        if not seed:
+            raise ConfigurationError("signing key seed must be non-empty")
+        material = sha256(b"schnorr-key" + seed) + sha256(b"schnorr-key2" + seed)
+        secret = int.from_bytes(material, "big") % Q
+        if secret == 0:
+            secret = 1
+        return cls(secret)
+
+    def public_key(self) -> "VerifyKey":
+        return VerifyKey(pow(G, self.secret, P))
+
+    def sign(self, message: bytes) -> "Signature":
+        """Deterministic Schnorr signature of ``message``."""
+        secret_bytes = self.secret.to_bytes((Q.bit_length() + 7) // 8, "big")
+        nonce_material = hmac_sha256(secret_bytes, b"nonce" + message)
+        nonce_material += hmac_sha256(secret_bytes, b"nonce2" + message)
+        k = int.from_bytes(nonce_material, "big") % Q
+        if k == 0:
+            k = 1
+        commitment = pow(G, k, P)
+        challenge = _challenge(commitment, message)
+        response = (k + challenge * self.secret) % Q
+        return Signature(challenge=challenge, response=response)
+
+
+@dataclass(frozen=True)
+class VerifyKey:
+    """A public Schnorr key (a group element)."""
+
+    element: int
+
+    def verify(self, message: bytes, signature: "Signature") -> bool:
+        """True iff ``signature`` is valid for ``message``."""
+        if not (0 < signature.response < Q):
+            return False
+        # g^s * y^{-e} should reproduce the commitment
+        y_inv_e = pow(self.element, Q - (signature.challenge % Q), P)
+        commitment = (pow(G, signature.response, P) * y_inv_e) % P
+        return _challenge(commitment, message) == signature.challenge
+
+    def require_valid(self, message: bytes, signature: "Signature") -> None:
+        """Raise :class:`IntegrityError` unless the signature verifies."""
+        if not self.verify(message, signature):
+            raise IntegrityError("signature verification failed")
+
+    def fingerprint(self) -> bytes:
+        """Stable 16-byte identifier for this public key."""
+        size = (P.bit_length() + 7) // 8
+        return sha256(self.element.to_bytes(size, "big"))[:16]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A Schnorr signature ``(challenge, response)``."""
+
+    challenge: int
+    response: int
+
+    def to_bytes(self) -> bytes:
+        size = (Q.bit_length() + 7) // 8
+        return self.challenge.to_bytes(size, "big") + self.response.to_bytes(size, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Signature":
+        size = (Q.bit_length() + 7) // 8
+        if len(data) != 2 * size:
+            raise IntegrityError("malformed signature encoding")
+        return cls(
+            challenge=int.from_bytes(data[:size], "big"),
+            response=int.from_bytes(data[size:], "big"),
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.to_bytes())
+
+
+def _challenge(commitment: int, message: bytes) -> int:
+    size = (P.bit_length() + 7) // 8
+    digest = sha256(commitment.to_bytes(size, "big") + message)
+    return int.from_bytes(digest, "big") % Q
+
+
+def generate_keypair(seed: bytes) -> tuple[SigningKey, VerifyKey]:
+    """Convenience: derive a (private, public) pair from seed bytes."""
+    signing = SigningKey.from_seed(seed)
+    return signing, signing.public_key()

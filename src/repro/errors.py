@@ -1,0 +1,95 @@
+"""Exception hierarchy for the Trusted Cells platform.
+
+Every error raised by the library derives from :class:`TrustedCellsError`
+so applications can catch platform failures with a single ``except``
+clause while still distinguishing security violations (which should
+never be silently swallowed) from operational failures.
+"""
+
+from __future__ import annotations
+
+
+class TrustedCellsError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(TrustedCellsError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class SecurityError(TrustedCellsError):
+    """Base class for violations of the platform's security guarantees.
+
+    Raising (rather than returning) on security violations implements the
+    paper's requirement that the reference monitor cannot be bypassed:
+    callers cannot accidentally ignore a denied access.
+    """
+
+
+class AccessDenied(SecurityError):
+    """The reference monitor denied an access or usage request."""
+
+
+class AuthenticationError(SecurityError):
+    """A principal failed to authenticate to a trusted cell."""
+
+
+class IntegrityError(SecurityError):
+    """Stored or transmitted data failed an integrity check.
+
+    This is the signal the paper requires for convicting a weakly
+    malicious infrastructure: tampering must be detected, never masked.
+    """
+
+
+class ReplayError(IntegrityError):
+    """A stale or replayed object version was detected (anti-rollback)."""
+
+
+class CredentialError(SecurityError):
+    """A credential was missing, expired, forged or signed by an
+    unknown authority."""
+
+
+class PolicyError(SecurityError):
+    """A sticky policy was malformed, unbound, or its binding MAC failed."""
+
+
+class TamperedCellError(SecurityError):
+    """An operation was attempted on a cell whose secure hardware has
+    been breached by the physical attack model."""
+
+
+class KeyError_(SecurityError):
+    """A cryptographic key was unavailable, or key material left the
+    tamper-resistant boundary illegally."""
+
+
+class StorageError(TrustedCellsError):
+    """The embedded store or the cloud store failed operationally."""
+
+
+class CapacityError(StorageError):
+    """A hardware resource budget (RAM, flash, tamper-resistant bytes)
+    was exceeded."""
+
+
+class NotFoundError(StorageError):
+    """A requested object, record or key does not exist."""
+
+
+class NetworkError(TrustedCellsError):
+    """A message could not be delivered by the simulated network."""
+
+
+class CellOfflineError(NetworkError):
+    """The target cell is disconnected (weak-connectivity model)."""
+
+
+class ProtocolError(TrustedCellsError):
+    """A distributed protocol received an out-of-order or malformed
+    message, or could not complete with the surviving participants."""
+
+
+class QueryError(TrustedCellsError):
+    """A query was malformed or referenced unknown fields."""

@@ -1,0 +1,33 @@
+"""Secure-hardware substrate: profiles, flash, secure memory, TEE."""
+
+from .flash import NandFlash
+from .profiles import (
+    CENTRAL_SERVER,
+    HOME_GATEWAY,
+    PROFILES,
+    SENSOR_CELL,
+    SMART_TOKEN,
+    SMARTPHONE,
+    FlashTimings,
+    HardwareProfile,
+    profile_by_name,
+)
+from .secure_memory import TamperResistantMemory
+from .tee import AttestationQuote, TrustedExecutionEnvironment, verify_attestation
+
+__all__ = [
+    "NandFlash",
+    "CENTRAL_SERVER",
+    "HOME_GATEWAY",
+    "PROFILES",
+    "SENSOR_CELL",
+    "SMART_TOKEN",
+    "SMARTPHONE",
+    "FlashTimings",
+    "HardwareProfile",
+    "profile_by_name",
+    "TamperResistantMemory",
+    "AttestationQuote",
+    "TrustedExecutionEnvironment",
+    "verify_attestation",
+]

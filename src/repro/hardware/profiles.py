@@ -1,0 +1,171 @@
+"""Hardware profiles for the classes of trusted cells the paper names.
+
+The paper grounds its vision in "secure smart phones, set-top boxes,
+secure portable tokens or smart cards" plus sensor-attached cells. Each
+profile captures the resource envelope that the embedded data-management
+challenges hinge on ("a microcontroller with tiny RAM, connected to NAND
+Flash chips"): CPU rate, RAM, tamper-resistant storage budget, flash
+timings and connectivity.
+
+Numbers are order-of-magnitude figures for circa-2012 hardware; the
+experiments depend on their *ratios* (token is ~100x slower than a
+gateway, has ~10000x less RAM), not on absolute accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FlashTimings:
+    """NAND flash timing/geometry/energy parameters."""
+
+    page_size: int  # bytes
+    pages_per_block: int
+    read_page_us: float  # microseconds to read one page
+    write_page_us: float  # microseconds to program one page
+    erase_block_us: float  # microseconds to erase one block
+    read_page_uj: float = 30.0  # microjoules per page read
+    write_page_uj: float = 150.0  # microjoules per page program
+    erase_block_uj: float = 1500.0  # microjoules per block erase
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.pages_per_block <= 0:
+            raise ConfigurationError("flash geometry must be positive")
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Resource envelope of one class of trusted cell."""
+
+    name: str
+    cpu_ops_per_second: float  # abstract "record operations" per second
+    ram_bytes: int  # working RAM available to the data engine
+    secure_memory_bytes: int  # tamper-resistant storage for secrets
+    flash: FlashTimings
+    flash_bytes: int  # total mass storage
+    attack_cost: float  # abstract cost units to physically breach
+    availability: float  # probability the cell is reachable at any time
+    uplink_bytes_per_second: float
+    network_latency_ms: float
+    cpu_nj_per_op: float = 0.2  # nanojoules per abstract record op
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.availability <= 1.0:
+            raise ConfigurationError("availability must be a probability")
+        if self.cpu_ops_per_second <= 0:
+            raise ConfigurationError("cpu rate must be positive")
+
+    def cpu_seconds(self, operations: float) -> float:
+        """Seconds of CPU time to execute ``operations`` record ops."""
+        return operations / self.cpu_ops_per_second
+
+    def cpu_energy_uj(self, operations: float) -> float:
+        """Microjoules to execute ``operations`` record ops."""
+        return operations * self.cpu_nj_per_op / 1000.0
+
+
+# A secure portable token / smart card: the paper's hardest target.
+SMART_TOKEN = HardwareProfile(
+    name="smart-token",
+    cpu_ops_per_second=2e6,
+    ram_bytes=64 * 1024,
+    secure_memory_bytes=4 * 1024,
+    flash=FlashTimings(
+        page_size=2048, pages_per_block=64,
+        read_page_us=25.0, write_page_us=250.0, erase_block_us=1500.0,
+    ),
+    flash_bytes=4 * 1024**3,
+    attack_cost=1_000_000.0,
+    availability=0.30,  # mostly disconnected, as the PDS critique notes
+    uplink_bytes_per_second=50 * 1024,
+    network_latency_ms=80.0,
+)
+
+# A TrustZone smartphone.
+SMARTPHONE = HardwareProfile(
+    name="smartphone",
+    cpu_ops_per_second=2e8,
+    ram_bytes=512 * 1024**2,
+    secure_memory_bytes=64 * 1024,
+    flash=FlashTimings(
+        page_size=4096, pages_per_block=128,
+        read_page_us=12.0, write_page_us=120.0, erase_block_us=1000.0,
+    ),
+    flash_bytes=32 * 1024**3,
+    attack_cost=500_000.0,
+    availability=0.85,
+    uplink_bytes_per_second=1 * 1024**2,
+    network_latency_ms=40.0,
+)
+
+# A set-top-box / home-gateway cell (Alice and Bob's energy butler host).
+HOME_GATEWAY = HardwareProfile(
+    name="home-gateway",
+    cpu_ops_per_second=8e8,
+    ram_bytes=2 * 1024**3,
+    secure_memory_bytes=256 * 1024,
+    flash=FlashTimings(
+        page_size=4096, pages_per_block=128,
+        read_page_us=10.0, write_page_us=100.0, erase_block_us=800.0,
+    ),
+    flash_bytes=256 * 1024**3,
+    attack_cost=400_000.0,
+    availability=0.99,
+    uplink_bytes_per_second=4 * 1024**2,
+    network_latency_ms=20.0,
+)
+
+# A sensor-attached cell (the Linky meter or the car's PAYD box):
+# streams out, keeps a small certified buffer.
+SENSOR_CELL = HardwareProfile(
+    name="sensor-cell",
+    cpu_ops_per_second=5e5,
+    ram_bytes=16 * 1024,
+    secure_memory_bytes=2 * 1024,
+    flash=FlashTimings(
+        page_size=512, pages_per_block=32,
+        read_page_us=30.0, write_page_us=300.0, erase_block_us=2000.0,
+    ),
+    flash_bytes=64 * 1024**2,
+    attack_cost=800_000.0,
+    availability=0.98,  # mains-powered, permanently attached
+    uplink_bytes_per_second=10 * 1024,
+    network_latency_ms=100.0,
+)
+
+# A reference *untrusted* centralized server, used only by the breach-
+# economics experiment (E6) as the baseline the paper argues against.
+CENTRAL_SERVER = HardwareProfile(
+    name="central-server",
+    cpu_ops_per_second=1e10,
+    ram_bytes=256 * 1024**3,
+    secure_memory_bytes=0,
+    flash=FlashTimings(
+        page_size=4096, pages_per_block=256,
+        read_page_us=5.0, write_page_us=50.0, erase_block_us=500.0,
+    ),
+    flash_bytes=100 * 1024**4,
+    attack_cost=2_000_000.0,  # hardened datacenter, but one target
+    availability=0.9999,
+    uplink_bytes_per_second=1 * 1024**3,
+    network_latency_ms=5.0,
+)
+
+PROFILES: dict[str, HardwareProfile] = {
+    profile.name: profile
+    for profile in (SMART_TOKEN, SMARTPHONE, HOME_GATEWAY, SENSOR_CELL, CENTRAL_SERVER)
+}
+
+
+def profile_by_name(name: str) -> HardwareProfile:
+    """Look up a built-in profile by its name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown hardware profile {name!r}; known: {sorted(PROFILES)}"
+        ) from None

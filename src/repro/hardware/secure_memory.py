@@ -1,0 +1,120 @@
+"""Tamper-resistant memory.
+
+The paper abstracts a trusted cell as, among other things, "a tamper-
+resistant memory where cryptographic secrets are stored". This module
+models that memory as a small byte-budgeted key/value store: the key
+ring, Merkle roots, version counters and policy state live here, and
+the budget (a few KiB on a token) is a real design constraint that
+experiment E8 exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import CapacityError, NotFoundError, TamperedCellError
+
+
+class TamperResistantMemory:
+    """A capacity-limited store that survives only inside the secure
+    perimeter.
+
+    Values are arbitrary Python objects; their accounted size is the
+    byte length for ``bytes``/``str`` and a fixed overhead otherwise
+    (counters, small tuples). Once :meth:`mark_breached` is called the
+    memory refuses all further access, modelling a cell whose secure
+    hardware was destroyed during a physical attack; the attacker's
+    *loot* is taken separately by the attack model before the breach is
+    marked.
+    """
+
+    _OBJECT_OVERHEAD = 16
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise CapacityError("secure memory capacity cannot be negative")
+        self.capacity_bytes = capacity_bytes
+        self._items: dict[str, Any] = {}
+        self._sizes: dict[str, int] = {}
+        self._breached = False
+
+    @staticmethod
+    def _size_of(value: Any) -> int:
+        if isinstance(value, bytes):
+            return len(value)
+        if isinstance(value, str):
+            return len(value.encode())
+        if isinstance(value, int):
+            return max(8, (value.bit_length() + 7) // 8)
+        return TamperResistantMemory._OBJECT_OVERHEAD
+
+    def _check_intact(self) -> None:
+        if self._breached:
+            raise TamperedCellError("secure memory has been physically breached")
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def breached(self) -> bool:
+        return self._breached
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key``; replaces any existing value.
+
+        Raises :class:`CapacityError` if the budget would be exceeded
+        (the previous value, if any, is retained).
+        """
+        self._check_intact()
+        new_size = self._size_of(value)
+        projected = self.used_bytes - self._sizes.get(key, 0) + new_size
+        if projected > self.capacity_bytes:
+            raise CapacityError(
+                f"secure memory over budget: {projected} > {self.capacity_bytes} bytes"
+            )
+        self._items[key] = value
+        self._sizes[key] = new_size
+
+    def get(self, key: str) -> Any:
+        """Fetch the value under ``key``; raises if absent."""
+        self._check_intact()
+        try:
+            return self._items[key]
+        except KeyError:
+            raise NotFoundError(f"no secure item named {key!r}") from None
+
+    def get_or(self, key: str, default: Any = None) -> Any:
+        """Fetch with a default instead of raising."""
+        self._check_intact()
+        return self._items.get(key, default)
+
+    def contains(self, key: str) -> bool:
+        self._check_intact()
+        return key in self._items
+
+    def delete(self, key: str) -> None:
+        """Remove an item (idempotent)."""
+        self._check_intact()
+        self._items.pop(key, None)
+        self._sizes.pop(key, None)
+
+    def keys(self) -> list[str]:
+        self._check_intact()
+        return sorted(self._items)
+
+    def mark_breached(self) -> dict[str, Any]:
+        """Destroy the memory and return its final contents.
+
+        Only the attack model calls this; the return value is what a
+        physical attacker extracts.
+        """
+        loot = dict(self._items)
+        self._items.clear()
+        self._sizes.clear()
+        self._breached = True
+        return loot

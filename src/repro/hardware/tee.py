@@ -1,0 +1,137 @@
+"""Trusted Execution Environment simulation.
+
+A TEE provides "a clear separation between secure and non-secure
+software" (the paper's minimum hardware guarantee). Here the secure
+world hosts the cell's :class:`~repro.crypto.keys.KeyRing` and its
+tamper-resistant memory; the normal world (application code, the
+embedded store) reaches it only through this object, which meters
+world switches and CPU, signs attestation quotes, and — after a
+physical breach — refuses all service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.keys import KeyRing
+from ..crypto.signing import Signature, VerifyKey
+from ..errors import TamperedCellError
+from .profiles import HardwareProfile
+from .secure_memory import TamperResistantMemory
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    """A signed statement that a given cell runs a given profile.
+
+    Real TEEs sign with a device key provisioned at manufacture; here
+    the cell's own certification key plays that role and the registry
+    of genuine cells (:class:`repro.core.identity.Authority`) plays the
+    manufacturer's verification service.
+    """
+
+    fingerprint: bytes
+    profile_name: str
+    nonce: bytes
+    signature: Signature
+
+    def message(self) -> bytes:
+        return b"attest|" + self.fingerprint + b"|" + self.profile_name.encode() + b"|" + self.nonce
+
+
+class TrustedExecutionEnvironment:
+    """The secure world of one trusted cell."""
+
+    def __init__(self, profile: HardwareProfile, key_ring: KeyRing) -> None:
+        self.profile = profile
+        self.secure_memory = TamperResistantMemory(profile.secure_memory_bytes)
+        self._key_ring = key_ring
+        self.world_switches = 0
+        self.cpu_us_consumed = 0.0
+        self._breached = False
+
+    # -- secure-world access ------------------------------------------------
+
+    @property
+    def breached(self) -> bool:
+        return self._breached
+
+    def _enter(self) -> None:
+        if self._breached:
+            raise TamperedCellError("TEE has been physically breached")
+        self.world_switches += 1
+
+    @property
+    def keys(self) -> KeyRing:
+        """Enter the secure world and obtain the key ring.
+
+        Every access is a metered world switch; after a breach the
+        property raises, so no platform layer can keep operating on a
+        destroyed cell.
+        """
+        self._enter()
+        return self._key_ring
+
+    def store_secret(self, name: str, value) -> None:
+        """Persist a small secret (root hash, counter) in secure memory."""
+        self._enter()
+        self.secure_memory.put(name, value)
+
+    def load_secret(self, name: str, default=None):
+        """Read a secret back from secure memory."""
+        self._enter()
+        return self.secure_memory.get_or(name, default)
+
+    def charge_cpu(self, operations: float) -> float:
+        """Account for ``operations`` abstract ops inside the TEE.
+
+        Returns the microseconds consumed, so callers can fold the cost
+        into latency models.
+        """
+        microseconds = operations / self.profile.cpu_ops_per_second * 1e6
+        self.cpu_us_consumed += microseconds
+        return microseconds
+
+    # -- attestation ---------------------------------------------------------
+
+    def attest(self, nonce: bytes) -> AttestationQuote:
+        """Produce a signed attestation quote for a challenge ``nonce``."""
+        self._enter()
+        fingerprint = self._key_ring.fingerprint()
+        quote = AttestationQuote(
+            fingerprint=fingerprint,
+            profile_name=self.profile.name,
+            nonce=nonce,
+            signature=self._key_ring.sign(
+                b"attest|" + fingerprint + b"|" + self.profile.name.encode() + b"|" + nonce
+            ),
+        )
+        return quote
+
+    # -- physical attack hook -------------------------------------------------
+
+    def breach(self) -> dict:
+        """Model a successful physical attack.
+
+        Returns the attacker's loot (key material and secure-memory
+        contents) and permanently disables the TEE. Only
+        :mod:`repro.attacks` should call this.
+        """
+        loot = {
+            "keys": self._key_ring._dump_for_breach(),
+            "secure_memory": self.secure_memory.mark_breached(),
+        }
+        self._breached = True
+        return loot
+
+
+def verify_attestation(
+    verify_key: VerifyKey, quote: AttestationQuote, expected_nonce: bytes
+) -> bool:
+    """Check a quote against the claimed cell's public key and the
+    challenge nonce the verifier issued."""
+    if quote.nonce != expected_nonce:
+        return False
+    if quote.fingerprint != verify_key.fingerprint():
+        return False
+    return verify_key.verify(quote.message(), quote.signature)

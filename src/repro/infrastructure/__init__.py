@@ -1,0 +1,21 @@
+"""Untrusted infrastructure: cloud provider, network, adversaries."""
+
+from .adversary import (
+    Adversary,
+    AdversaryStats,
+    CuriousAdversary,
+    WeaklyMaliciousAdversary,
+)
+from .cloud import CloudProvider, StoredObject
+from .network import Network, NetworkStats
+
+__all__ = [
+    "Adversary",
+    "AdversaryStats",
+    "CuriousAdversary",
+    "WeaklyMaliciousAdversary",
+    "CloudProvider",
+    "StoredObject",
+    "Network",
+    "NetworkStats",
+]

@@ -1,0 +1,136 @@
+"""Adversary models for the untrusted infrastructure.
+
+The paper's threat model: "The primary adversary is the infrastructure.
+The infrastructure may deviate from the protocols it is expected to
+implement with the objective to breach the confidentiality of the
+outsourced data. ... The infrastructure is assumed trying to cheat only
+if it cannot be convicted as an adversary by any trusted cell"
+(a *weakly malicious* adversary, citing Zhang & Zhao).
+
+Adversaries intercept the cloud's read path (confidentiality attacks on
+the write path are pointless: the adversary already stores the bytes).
+Each strategy can:
+
+* **observe** — record everything it sees (honest-but-curious);
+* **tamper** — flip bytes in a returned object;
+* **rollback** — return a stale version of an object (replay);
+* **drop** — claim an object does not exist.
+
+A weakly malicious adversary stops cheating once *convicted*: the first
+time a cell files cryptographic evidence of misbehaviour, continuing
+would expose the provider to "irreversible political/financial/legal
+damage". Experiment E11 measures detection rates and time-to-conviction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class AdversaryStats:
+    """What the adversary attempted and what it observed."""
+
+    objects_observed: int = 0
+    bytes_observed: int = 0
+    plaintext_bytes_seen: int = 0  # bytes NOT protected by encryption
+    tamper_attempts: int = 0
+    rollback_attempts: int = 0
+    drop_attempts: int = 0
+    distinct_keys_seen: set = field(default_factory=set)
+
+
+class Adversary:
+    """Base adversary: honest passthrough with observation."""
+
+    name = "honest"
+
+    def __init__(self) -> None:
+        self.stats = AdversaryStats()
+        self.convicted = False
+        self.convicted_at: int | None = None
+
+    def observe(self, key: str, blob: bytes, is_plaintext: bool = False) -> None:
+        """Called on every byte stream the provider handles."""
+        self.stats.objects_observed += 1
+        self.stats.bytes_observed += len(blob)
+        self.stats.distinct_keys_seen.add(key)
+        if is_plaintext:
+            self.stats.plaintext_bytes_seen += len(blob)
+
+    def convict(self, timestamp: int) -> None:
+        """A cell filed verifiable evidence; the adversary must stop."""
+        if not self.convicted:
+            self.convicted = True
+            self.convicted_at = timestamp
+
+    # -- read-path interception -------------------------------------------
+
+    def intercept_get(
+        self, key: str, current: bytes, history: list[bytes]
+    ) -> bytes | None:
+        """Return the bytes to hand to the client.
+
+        ``None`` means "claim the object does not exist". The honest
+        adversary returns ``current`` unchanged.
+        """
+        return current
+
+
+class CuriousAdversary(Adversary):
+    """Honest-but-curious: follows the protocol, remembers everything.
+
+    Used to measure *leakage*: after a run, ``stats.plaintext_bytes_seen``
+    must be zero if the platform encrypted everything it outsourced.
+    """
+
+    name = "curious"
+
+
+class WeaklyMaliciousAdversary(Adversary):
+    """Active attacks at configurable rates, stopping on conviction."""
+
+    name = "weakly-malicious"
+
+    def __init__(
+        self,
+        rng: random.Random,
+        tamper_rate: float = 0.0,
+        rollback_rate: float = 0.0,
+        drop_rate: float = 0.0,
+    ) -> None:
+        super().__init__()
+        for rate in (tamper_rate, rollback_rate, drop_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError("attack rates must be probabilities")
+        self._rng = rng
+        self.tamper_rate = tamper_rate
+        self.rollback_rate = rollback_rate
+        self.drop_rate = drop_rate
+
+    def intercept_get(
+        self, key: str, current: bytes, history: list[bytes]
+    ) -> bytes | None:
+        if self.convicted:
+            return current
+        roll = self._rng.random()
+        if roll < self.drop_rate:
+            self.stats.drop_attempts += 1
+            return None
+        if roll < self.drop_rate + self.rollback_rate:
+            if len(history) > 1:
+                self.stats.rollback_attempts += 1
+                return history[-2]  # previous version: a perfect replay
+            return current  # no stale version to serve; stay honest
+        if roll < self.drop_rate + self.rollback_rate + self.tamper_rate:
+            if current:
+                self.stats.tamper_attempts += 1
+                position = self._rng.randrange(len(current))
+                flipped = bytes(
+                    [current[position] ^ (1 + self._rng.randrange(255))]
+                )
+                return current[:position] + flipped + current[position + 1 :]
+        return current

@@ -1,0 +1,157 @@
+"""The untrusted cloud: versioned object store plus message bus.
+
+Per the paper, the infrastructure must "(1) ensure a highly available
+and resilient store for all data outsourced by trusted cells, (2)
+provide communication facilities among cells and (3) participate to
+distributed computations (e.g., store intermediate results)". It is
+untrusted: everything it stores is bytes that an adversary model may
+observe and — on the read path — manipulate.
+
+Objects are versioned. Version history is retained deliberately: it is
+what makes rollback attacks *possible* to express, so the sync layer's
+anti-rollback defence has something real to defend against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NotFoundError
+from ..sim.world import World
+from .adversary import Adversary
+
+
+@dataclass
+class StoredObject:
+    """Current state of one key in the object store."""
+
+    key: str
+    version: int
+    data: bytes
+    stored_at: int
+
+
+class CloudProvider:
+    """A simulated cloud service with a pluggable adversary.
+
+    The provider itself never raises security errors — it is the
+    *client-side* checks (MACs, signatures, version counters, Merkle
+    proofs) that turn a manipulated read into an
+    :class:`~repro.errors.IntegrityError` and, from there, into
+    evidence via :meth:`file_evidence`.
+    """
+
+    def __init__(self, world: World, adversary: Adversary | None = None) -> None:
+        self.world = world
+        self.adversary = adversary or Adversary()
+        self._objects: dict[str, StoredObject] = {}
+        self._history: dict[str, list[bytes]] = {}
+        self._mailboxes: dict[str, list[tuple[str, bytes]]] = {}
+        self.put_count = 0
+        self.get_count = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.evidence_log: list[dict] = []
+
+    # -- object store ---------------------------------------------------------
+
+    def put_object(self, key: str, data: bytes, is_plaintext: bool = False) -> int:
+        """Store a new version of ``key``; returns the version number.
+
+        ``is_plaintext`` is a *measurement tag*, set by test harnesses
+        that deliberately outsource unprotected data; the platform
+        itself always stores sealed blobs and leaves it False.
+        """
+        self.adversary.observe(key, data, is_plaintext=is_plaintext)
+        previous = self._objects.get(key)
+        version = (previous.version + 1) if previous else 1
+        self._objects[key] = StoredObject(
+            key=key, version=version, data=bytes(data), stored_at=self.world.now
+        )
+        self._history.setdefault(key, []).append(bytes(data))
+        self.put_count += 1
+        self.bytes_in += len(data)
+        return version
+
+    def get_object(self, key: str) -> bytes:
+        """Fetch the current version of ``key`` — via the adversary.
+
+        Raises :class:`NotFoundError` both for genuinely missing keys
+        and for adversarial drops; the client cannot tell the
+        difference from one response (it can from an audit trail).
+        """
+        stored = self._objects.get(key)
+        if stored is None:
+            raise NotFoundError(f"no object {key!r}")
+        returned = self.adversary.intercept_get(
+            key, stored.data, self._history.get(key, [])
+        )
+        self.get_count += 1
+        if returned is None:
+            raise NotFoundError(f"no object {key!r}")
+        self.bytes_out += len(returned)
+        return returned
+
+    def head_object(self, key: str) -> int:
+        """Current version number of ``key`` (metadata read)."""
+        stored = self._objects.get(key)
+        if stored is None:
+            raise NotFoundError(f"no object {key!r}")
+        return stored.version
+
+    def contains(self, key: str) -> bool:
+        return key in self._objects
+
+    def delete_object(self, key: str) -> None:
+        """Delete a key (history retained: the adversary never forgets)."""
+        if key not in self._objects:
+            raise NotFoundError(f"no object {key!r}")
+        del self._objects[key]
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return sorted(key for key in self._objects if key.startswith(prefix))
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(len(stored.data) for stored in self._objects.values())
+
+    # -- message bus -----------------------------------------------------------
+
+    def post_message(self, mailbox: str, sender: str, message: bytes) -> None:
+        """Append a message to a mailbox (also observed by the adversary)."""
+        self.adversary.observe(f"mailbox:{mailbox}", message)
+        self._mailboxes.setdefault(mailbox, []).append((sender, bytes(message)))
+        self.bytes_in += len(message)
+
+    def fetch_messages(self, mailbox: str) -> list[tuple[str, bytes]]:
+        """Drain and return all messages in a mailbox."""
+        messages = self._mailboxes.pop(mailbox, [])
+        self.bytes_out += sum(len(message) for _, message in messages)
+        return messages
+
+    def peek_mailbox(self, mailbox: str) -> int:
+        """Number of waiting messages without draining."""
+        return len(self._mailboxes.get(mailbox, ()))
+
+    # -- accountability ---------------------------------------------------------
+
+    def file_evidence(self, reporter: str, key: str, reason: str) -> None:
+        """A cell files verifiable evidence of misbehaviour.
+
+        This is the conviction mechanism of the threat model: the first
+        piece of evidence convicts the adversary, who thereafter
+        behaves honestly (cheating is only rational while deniable).
+        """
+        self.evidence_log.append(
+            {
+                "reporter": reporter,
+                "key": key,
+                "reason": reason,
+                "timestamp": self.world.now,
+            }
+        )
+        self.adversary.convict(self.world.now)
+
+    @property
+    def convicted(self) -> bool:
+        return self.adversary.convicted

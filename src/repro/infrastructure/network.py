@@ -1,0 +1,138 @@
+"""Simulated network between cells and the cloud.
+
+Endpoints register a handler under an address; messages are delivered
+through the event loop after a latency computed from the sender's
+uplink bandwidth and base latency. Endpoints can be taken offline to
+model the paper's "weakly available trusted cells"; sends to an offline
+endpoint either fail fast or are queued until it returns, at the
+sender's choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import CellOfflineError, ConfigurationError, NetworkError
+from ..sim.world import World
+
+Handler = Callable[[str, Any], None]  # (sender_address, payload)
+
+
+@dataclass
+class NetworkStats:
+    """Cumulative traffic counters (the unit experiment E9 reports)."""
+
+    messages: int = 0
+    bytes: int = 0
+    dropped: int = 0
+    queued: int = 0
+    per_link: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, source: str, destination: str, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+        link = (source, destination)
+        self.per_link[link] = self.per_link.get(link, 0) + 1
+
+
+class Network:
+    """A star network: every endpoint can reach every other endpoint.
+
+    Latency model: ``base_latency + size / uplink_bandwidth`` using the
+    sender's link parameters (registered per endpoint).
+    """
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self._handlers: dict[str, Handler] = {}
+        self._online: dict[str, bool] = {}
+        self._latency_s: dict[str, float] = {}
+        self._bandwidth: dict[str, float] = {}
+        self._queues: dict[str, list[tuple[str, Any, int]]] = {}
+        self.stats = NetworkStats()
+
+    def register(
+        self,
+        address: str,
+        handler: Handler,
+        latency_ms: float = 20.0,
+        bandwidth_bytes_per_s: float = 1e6,
+    ) -> None:
+        """Attach an endpoint to the network."""
+        if address in self._handlers:
+            raise ConfigurationError(f"address already registered: {address!r}")
+        self._handlers[address] = handler
+        self._online[address] = True
+        self._latency_s[address] = latency_ms / 1000.0
+        self._bandwidth[address] = bandwidth_bytes_per_s
+        self._queues[address] = []
+
+    def is_registered(self, address: str) -> bool:
+        return address in self._handlers
+
+    def is_online(self, address: str) -> bool:
+        return self._online.get(address, False)
+
+    def set_online(self, address: str, online: bool) -> None:
+        """Change endpoint availability; flushes its queue on return."""
+        if address not in self._handlers:
+            raise ConfigurationError(f"unknown address {address!r}")
+        was_online = self._online[address]
+        self._online[address] = online
+        if online and not was_online:
+            pending, self._queues[address] = self._queues[address], []
+            for source, payload, size in pending:
+                self._deliver(source, address, payload, size)
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload: Any,
+        size_bytes: int = 0,
+        queue_if_offline: bool = False,
+    ) -> None:
+        """Send ``payload`` from ``source`` to ``destination``.
+
+        ``size_bytes`` drives the latency/traffic accounting (payloads
+        are Python objects; their serialized size is declared by the
+        protocol layer, which knows it exactly for sealed blobs).
+        """
+        if source not in self._handlers:
+            raise NetworkError(f"unregistered sender {source!r}")
+        if destination not in self._handlers:
+            raise NetworkError(f"unregistered destination {destination!r}")
+        if not self._online[source]:
+            raise CellOfflineError(f"sender {source!r} is offline")
+        if not self._online[destination]:
+            if queue_if_offline:
+                self._queues[destination].append((source, payload, size_bytes))
+                self.stats.queued += 1
+                return
+            self.stats.dropped += 1
+            raise CellOfflineError(f"destination {destination!r} is offline")
+        self._deliver(source, destination, payload, size_bytes)
+
+    def _deliver(self, source: str, destination: str, payload: Any, size: int) -> None:
+        self.stats.record(source, destination, size)
+        transfer_seconds = self._latency_s[source] + (
+            size / self._bandwidth[source] if size else 0.0
+        )
+        delay = max(1, round(transfer_seconds)) if transfer_seconds > 0.5 else 0
+        handler = self._handlers[destination]
+        self.world.loop.schedule_in(
+            delay, lambda: handler(source, payload), label=f"msg {source}->{destination}"
+        )
+
+    def broadcast(
+        self, source: str, destinations: list[str], payload: Any, size_bytes: int = 0
+    ) -> list[str]:
+        """Send to many endpoints; returns those that were offline."""
+        offline = []
+        for destination in destinations:
+            try:
+                self.send(source, destination, payload, size_bytes)
+            except CellOfflineError:
+                offline.append(destination)
+        return offline

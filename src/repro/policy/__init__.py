@@ -1,0 +1,68 @@
+"""Access & usage control: conditions, UCON-ABC, sticky policies, audit."""
+
+from .audit import AuditEntry, AuditLog
+from .conditions import (
+    AccessContext,
+    AttributeEquals,
+    Condition,
+    HourOfDay,
+    LocationIn,
+    PurposeIn,
+    TimeWindow,
+    condition_from_dict,
+)
+from .presets import (
+    PackPublisher,
+    PolicyPack,
+    bind_template,
+    privacy_by_default_templates,
+    template,
+    verify_pack,
+)
+from .sticky import DataEnvelope
+from .ucon import (
+    ALL_RIGHTS,
+    OBLIGATION_AUDIT,
+    OBLIGATION_NOTIFY_OWNER,
+    RIGHT_AGGREGATE,
+    RIGHT_READ,
+    RIGHT_SHARE,
+    Decision,
+    Grant,
+    Obligation,
+    UsagePolicy,
+    private_policy,
+)
+from .usage_state import UsageState
+
+__all__ = [
+    "AuditEntry",
+    "AuditLog",
+    "AccessContext",
+    "AttributeEquals",
+    "Condition",
+    "HourOfDay",
+    "LocationIn",
+    "PurposeIn",
+    "TimeWindow",
+    "condition_from_dict",
+    "PackPublisher",
+    "PolicyPack",
+    "bind_template",
+    "privacy_by_default_templates",
+    "template",
+    "verify_pack",
+    "DataEnvelope",
+    "ALL_RIGHTS",
+    "OBLIGATION_AUDIT",
+    "OBLIGATION_NOTIFY_OWNER",
+    "RIGHT_AGGREGATE",
+    "RIGHT_READ",
+    "RIGHT_SHARE",
+    "Decision",
+    "Grant",
+    "Obligation",
+    "UsagePolicy",
+    "private_policy",
+    "UsageState",
+]

@@ -1,0 +1,166 @@
+"""Hash-chained, MAC-protected audit log.
+
+The paper requires that a full-fledged cell "make all access and usage
+actions accountable" and sketches the mechanism: "the recipient trusted
+cell can maintain an audit log, encrypt it and push it on the Cloud to
+the destination of the originator trusted cell."
+
+Implementation:
+
+* every entry carries the hash of its predecessor (tamper-evident
+  chain: removing, reordering or editing any entry breaks every
+  subsequent hash);
+* the chain head is MAC'd with the cell's audit key on demand, so a
+  pushed log segment is attributable;
+* :meth:`AuditLog.seal_for` encrypts a segment for the data owner's
+  cell using a key wrapped by the sharing layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..crypto.aead import SealedBlob, open_sealed, seal
+from ..crypto.primitives import hmac_sha256, sha256, verify_hmac
+from ..errors import IntegrityError
+
+_GENESIS = sha256(b"audit-genesis")
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One accountable action."""
+
+    sequence: int
+    timestamp: int
+    subject: str
+    object_id: str
+    action: str  # e.g. "read", "share", "obligation:notify-owner"
+    allowed: bool
+    reason: str
+    previous_hash: bytes
+
+    def canonical(self) -> bytes:
+        body = {
+            "sequence": self.sequence,
+            "timestamp": self.timestamp,
+            "subject": self.subject,
+            "object_id": self.object_id,
+            "action": self.action,
+            "allowed": self.allowed,
+            "reason": self.reason,
+            "previous_hash": self.previous_hash.hex(),
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+    def entry_hash(self) -> bytes:
+        return sha256(self.canonical())
+
+    def to_dict(self) -> dict[str, Any]:
+        data = json.loads(self.canonical().decode())
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AuditEntry":
+        return cls(
+            sequence=data["sequence"],
+            timestamp=data["timestamp"],
+            subject=data["subject"],
+            object_id=data["object_id"],
+            action=data["action"],
+            allowed=data["allowed"],
+            reason=data["reason"],
+            previous_hash=bytes.fromhex(data["previous_hash"]),
+        )
+
+
+class AuditLog:
+    """The append-only accountability log of one trusted cell."""
+
+    def __init__(self, mac_key: bytes) -> None:
+        self._mac_key = mac_key
+        self._entries: list[AuditEntry] = []
+
+    def append(
+        self,
+        timestamp: int,
+        subject: str,
+        object_id: str,
+        action: str,
+        allowed: bool,
+        reason: str = "",
+    ) -> AuditEntry:
+        """Record one action; returns the chained entry."""
+        previous = self._entries[-1].entry_hash() if self._entries else _GENESIS
+        entry = AuditEntry(
+            sequence=len(self._entries),
+            timestamp=timestamp,
+            subject=subject,
+            object_id=object_id,
+            action=action,
+            allowed=allowed,
+            reason=reason,
+            previous_hash=previous,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> list[AuditEntry]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries_for(self, object_id: str) -> list[AuditEntry]:
+        return [entry for entry in self._entries if entry.object_id == object_id]
+
+    # -- integrity ---------------------------------------------------------------
+
+    def head_mac(self) -> bytes:
+        """MAC over the chain head, attributable to this cell."""
+        head = self._entries[-1].entry_hash() if self._entries else _GENESIS
+        return hmac_sha256(self._mac_key, b"audit-head|" + head)
+
+    @staticmethod
+    def verify_chain(entries: list[AuditEntry]) -> bool:
+        """True iff the entries form an unbroken hash chain from genesis."""
+        previous = _GENESIS
+        for position, entry in enumerate(entries):
+            if entry.sequence != position:
+                return False
+            if entry.previous_hash != previous:
+                return False
+            previous = entry.entry_hash()
+        return True
+
+    def verify_head_mac(self, mac: bytes) -> bool:
+        head = self._entries[-1].entry_hash() if self._entries else _GENESIS
+        return verify_hmac(self._mac_key, b"audit-head|" + head, mac)
+
+    # -- export to the originator cell --------------------------------------------
+
+    def seal_for(self, key: bytes, object_id: str | None = None) -> SealedBlob:
+        """Encrypt (a slice of) the log for the data owner's cell.
+
+        ``object_id`` filters to entries about one object — the
+        recipient cell pushes exactly the accountability trail the
+        originator is entitled to, nothing more.
+        """
+        entries = self.entries_for(object_id) if object_id else self.entries()
+        payload = json.dumps(
+            [entry.to_dict() for entry in entries], sort_keys=True
+        ).encode()
+        header = f"audit|{object_id or '*'}|{len(entries)}".encode()
+        return seal(key, payload, header=header, nonce_seed=header)
+
+    @staticmethod
+    def open_sealed_log(key: bytes, blob: SealedBlob) -> list[AuditEntry]:
+        """Decrypt and parse a pushed log segment."""
+        payload = open_sealed(key, blob)
+        try:
+            raw_entries = json.loads(payload.decode())
+        except ValueError as exc:
+            raise IntegrityError("malformed audit payload") from exc
+        return [AuditEntry.from_dict(data) for data in raw_entries]

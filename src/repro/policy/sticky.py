@@ -1,0 +1,107 @@
+"""Sticky policies: data envelopes with the policy sealed in.
+
+"Usage control rules can be implemented as sticky policies so that they
+are made cryptographically inseparable from the data to be protected."
+
+A :class:`DataEnvelope` seals ``policy || payload`` under the object's
+data key. Consequences, all load-bearing:
+
+* the cloud stores the envelope but learns neither payload *nor policy*
+  (policies themselves are personal data);
+* any cell holding the object key — owner or legitimate recipient —
+  recovers both together; there is no code path that yields the payload
+  without also yielding the policy to enforce;
+* modifying either policy or payload breaks the AEAD tag, which is
+  detectable evidence against the infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.aead import SealedBlob, open_sealed, seal
+from ..errors import IntegrityError, PolicyError
+from .ucon import UsagePolicy
+
+
+@dataclass(frozen=True)
+class DataEnvelope:
+    """One sealed object version: id, version and the sealed blob."""
+
+    object_id: str
+    version: int
+    blob: SealedBlob
+
+    @staticmethod
+    def _header(object_id: str, version: int) -> bytes:
+        if "|" in object_id:
+            raise PolicyError("object ids cannot contain '|'")
+        return f"env|{object_id}|{version}".encode()
+
+    @classmethod
+    def create(
+        cls,
+        key: bytes,
+        object_id: str,
+        version: int,
+        payload: bytes,
+        policy: UsagePolicy,
+    ) -> "DataEnvelope":
+        """Seal ``payload`` together with its sticky ``policy``."""
+        policy_bytes = policy.to_bytes()
+        inner = len(policy_bytes).to_bytes(4, "big") + policy_bytes + payload
+        header = cls._header(object_id, version)
+        blob = seal(key, inner, header=header, nonce_seed=header)
+        return cls(object_id=object_id, version=version, blob=blob)
+
+    def open(self, key: bytes) -> tuple[bytes, UsagePolicy]:
+        """Verify, decrypt, and split back into (payload, policy).
+
+        Raises :class:`IntegrityError` if the envelope was manipulated
+        or if the claimed id/version does not match the sealed header.
+        """
+        expected_header = self._header(self.object_id, self.version)
+        if self.blob.header != expected_header:
+            raise IntegrityError(
+                "envelope header does not match claimed object id/version"
+            )
+        inner = open_sealed(key, self.blob)
+        if len(inner) < 4:
+            raise IntegrityError("envelope payload truncated")
+        policy_length = int.from_bytes(inner[:4], "big")
+        if 4 + policy_length > len(inner):
+            raise IntegrityError("envelope policy length inconsistent")
+        policy = UsagePolicy.from_bytes(inner[4 : 4 + policy_length])
+        payload = inner[4 + policy_length :]
+        return payload, policy
+
+    # -- wire form ----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        id_bytes = self.object_id.encode()
+        return (
+            len(id_bytes).to_bytes(2, "big")
+            + id_bytes
+            + self.version.to_bytes(8, "big")
+            + self.blob.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DataEnvelope":
+        if len(data) < 10:
+            raise IntegrityError("truncated envelope")
+        id_length = int.from_bytes(data[:2], "big")
+        if 2 + id_length + 8 > len(data):
+            raise IntegrityError("truncated envelope id")
+        try:
+            object_id = data[2 : 2 + id_length].decode()
+        except UnicodeDecodeError as exc:
+            raise IntegrityError("corrupted envelope id") from exc
+        version = int.from_bytes(data[2 + id_length : 10 + id_length], "big")
+        blob = SealedBlob.from_bytes(data[10 + id_length :])
+        return cls(object_id=object_id, version=version, blob=blob)
+
+    @property
+    def size(self) -> int:
+        """Wire size in bytes."""
+        return 10 + len(self.object_id.encode()) + self.blob.size

@@ -1,0 +1,47 @@
+"""Mutability state: per-subject use counters.
+
+UCON mutability means "decisions based on previous usage". The
+enforcing cell keeps, for every (object, subject) pair, how many times
+the right has been exercised; :class:`~repro.policy.ucon.UsagePolicy`
+checks the counter against its ``max_uses`` budget.
+
+The state lives on the *enforcing* cell (the one opening the data) and
+is exportable so it survives cell sync/restore.
+"""
+
+from __future__ import annotations
+
+
+class UsageState:
+    """Use counters for one cell's reference monitor."""
+
+    def __init__(self) -> None:
+        self._uses: dict[tuple[str, str], int] = {}
+
+    def uses(self, object_id: str, subject: str) -> int:
+        """How many times ``subject`` has used ``object_id`` here."""
+        return self._uses.get((object_id, subject), 0)
+
+    def record_use(self, object_id: str, subject: str) -> int:
+        """Increment and return the new count."""
+        key = (object_id, subject)
+        self._uses[key] = self._uses.get(key, 0) + 1
+        return self._uses[key]
+
+    def export(self) -> dict[str, int]:
+        """Serializable snapshot, keyed ``object_id::subject``."""
+        return {
+            f"{object_id}::{subject}": count
+            for (object_id, subject), count in self._uses.items()
+        }
+
+    @classmethod
+    def from_export(cls, snapshot: dict[str, int]) -> "UsageState":
+        state = cls()
+        for key, count in snapshot.items():
+            object_id, _, subject = key.partition("::")
+            state._uses[(object_id, subject)] = count
+        return state
+
+    def __len__(self) -> int:
+        return len(self._uses)

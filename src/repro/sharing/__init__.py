@@ -1,0 +1,35 @@
+"""Secure sharing: cell-to-cell offers, groups, approbation."""
+
+from .approbation import (
+    VERDICT_APPROVE,
+    VERDICT_BLUR,
+    VERDICT_REJECT,
+    ApprobationRequest,
+    ApprobationService,
+    ApprobationVerdict,
+    always_approve,
+    always_blur,
+    always_reject,
+    integrate_with_approbation,
+    verify_verdict,
+)
+from .groups import SharingGroup
+from .protocol import ShareOffer, SharingPeer, introduce_cells
+
+__all__ = [
+    "VERDICT_APPROVE",
+    "VERDICT_BLUR",
+    "VERDICT_REJECT",
+    "ApprobationRequest",
+    "ApprobationService",
+    "ApprobationVerdict",
+    "always_approve",
+    "always_blur",
+    "always_reject",
+    "integrate_with_approbation",
+    "verify_verdict",
+    "SharingGroup",
+    "ShareOffer",
+    "SharingPeer",
+    "introduce_cells",
+]

@@ -1,0 +1,165 @@
+"""The approbation workflow for data referencing other individuals.
+
+"Trusted cells could be parameterized so that any personal data
+produced by a trusted source linked to an individual A and referencing
+individual B be submitted for approbation to B's trusted cell before
+being integrated to A's digital space."
+
+The canonical instance is the photo scenario from the introduction:
+when A's phone takes a picture with B in the frame, B's cell is asked;
+B's standing rule decides (approve / require face blur / reject), and
+A's cell integrates the — possibly transformed — object only with B's
+signed verdict attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.cell import Session, TrustedCell
+from ..crypto.signing import Signature
+from ..errors import AccessDenied, ProtocolError
+
+VERDICT_APPROVE = "approve"
+VERDICT_BLUR = "blur-me"  # approve, provided the subject is blurred
+VERDICT_REJECT = "reject"
+VERDICTS = (VERDICT_APPROVE, VERDICT_BLUR, VERDICT_REJECT)
+
+
+@dataclass(frozen=True)
+class ApprobationRequest:
+    """A asks B: may I integrate this object that references you?"""
+
+    requester_cell: str
+    object_id: str
+    content_digest: bytes
+    referenced_user: str
+    timestamp: int
+
+    def message(self) -> bytes:
+        return (
+            b"approbation|"
+            + self.requester_cell.encode()
+            + b"|" + self.object_id.encode()
+            + b"|" + self.content_digest
+            + b"|" + self.referenced_user.encode()
+            + b"|" + str(self.timestamp).encode()
+        )
+
+
+@dataclass(frozen=True)
+class ApprobationVerdict:
+    """B's signed answer."""
+
+    request: ApprobationRequest
+    verdict: str
+    responder_cell: str
+    signature: Signature
+
+    def message(self) -> bytes:
+        return self.request.message() + b"|" + self.verdict.encode()
+
+
+# A standing rule maps a request to a verdict string.
+StandingRule = Callable[[ApprobationRequest], str]
+
+
+def always_approve(_request: ApprobationRequest) -> str:
+    return VERDICT_APPROVE
+
+
+def always_blur(_request: ApprobationRequest) -> str:
+    return VERDICT_BLUR
+
+
+def always_reject(_request: ApprobationRequest) -> str:
+    return VERDICT_REJECT
+
+
+class ApprobationService:
+    """B's side: answers requests according to B's standing rule."""
+
+    def __init__(self, cell: TrustedCell, rule: StandingRule = always_approve) -> None:
+        self.cell = cell
+        self.rule = rule
+        self.answered: list[ApprobationVerdict] = []
+
+    def answer(self, request: ApprobationRequest) -> ApprobationVerdict:
+        verdict_text = self.rule(request)
+        if verdict_text not in VERDICTS:
+            raise ProtocolError(f"standing rule returned unknown verdict "
+                                f"{verdict_text!r}")
+        verdict = ApprobationVerdict(
+            request=request,
+            verdict=verdict_text,
+            responder_cell=self.cell.name,
+            signature=self.cell.tee.keys.sign(
+                request.message() + b"|" + verdict_text.encode()
+            ),
+        )
+        self.cell.audit.append(
+            self.cell.world.now,
+            request.requester_cell,
+            request.object_id,
+            f"approbation:{verdict_text}",
+            True,
+        )
+        self.answered.append(verdict)
+        return verdict
+
+
+def verify_verdict(cell: TrustedCell, verdict: ApprobationVerdict) -> bool:
+    """A's side: check the verdict signature against B's enrolled key."""
+    responder = cell.registry.principal(verdict.responder_cell)
+    return responder.verify_key.verify(verdict.message(), verdict.signature)
+
+
+def integrate_with_approbation(
+    requester: TrustedCell,
+    session: Session,
+    object_id: str,
+    payload: bytes,
+    referenced: dict[str, ApprobationService],
+    transform_blur: Callable[[bytes, str], bytes],
+    kind: str = "photo",
+) -> bytes:
+    """Run the full workflow: ask every referenced user, apply blur
+    transforms, store only if nobody rejected.
+
+    ``referenced`` maps user id -> that user's approbation service;
+    ``transform_blur(payload, user)`` returns the payload with the user
+    blurred. Returns the integrated payload. Raises
+    :class:`AccessDenied` if any referenced user rejects.
+    """
+    from ..crypto.primitives import sha256
+
+    final_payload = payload
+    verdicts = []
+    for user, service in sorted(referenced.items()):
+        request = ApprobationRequest(
+            requester_cell=requester.name,
+            object_id=object_id,
+            content_digest=sha256(payload),
+            referenced_user=user,
+            timestamp=requester.world.now,
+        )
+        verdict = service.answer(request)
+        if not verify_verdict(requester, verdict):
+            raise ProtocolError(f"invalid verdict signature from {user!r}")
+        verdicts.append(verdict)
+        if verdict.verdict == VERDICT_REJECT:
+            requester.audit.append(
+                requester.world.now, session.subject, object_id,
+                "integrate", False, reason=f"rejected by {user}",
+            )
+            raise AccessDenied(
+                f"integration of {object_id!r} rejected by {user!r}"
+            )
+    for verdict in verdicts:
+        if verdict.verdict == VERDICT_BLUR:
+            final_payload = transform_blur(
+                final_payload, verdict.request.referenced_user
+            )
+    requester.store_object(session, object_id, final_payload, kind=kind)
+    return final_payload

@@ -1,0 +1,86 @@
+"""Group sharing: one wrap per group instead of one per member.
+
+The paper's users "share it with other users or group of users under
+certain conditions". A :class:`SharingGroup` holds a symmetric group
+key, distributed once to each member cell (wrapped under pairwise
+keys); sharing an object with the group then costs a single key-wrap
+under the group key regardless of group size.
+
+Membership is dynamic: removing a member *rotates* the group key (the
+removed cell keeps old-epoch keys — it could always have copied old
+data — but learns nothing shared after removal). This is the standard
+backward-secrecy-on-leave model.
+"""
+
+from __future__ import annotations
+
+from ..core.cell import TrustedCell
+from ..crypto.aead import SealedBlob, open_sealed, seal
+from ..crypto.primitives import KEY_SIZE, hkdf
+from ..errors import ConfigurationError, ProtocolError
+
+
+class SharingGroup:
+    """A named group managed by its founding cell."""
+
+    def __init__(self, name: str, founder: TrustedCell) -> None:
+        if not name:
+            raise ConfigurationError("group name must be non-empty")
+        self.name = name
+        self.founder = founder
+        self.epoch = 0
+        self._members: dict[str, TrustedCell] = {founder.name: founder}
+        self._rotate_key()
+
+    def _rotate_key(self) -> None:
+        self.epoch += 1
+        seed = self.founder.tee.keys.derive(f"group:{self.name}:epoch:{self.epoch}")
+        self._group_key = hkdf(seed, "group-key", KEY_SIZE)
+        # (Re)distribute to all current members' TEEs.
+        for member in self._members.values():
+            member.tee.store_secret(f"group-key:{self.name}", self._group_key)
+
+    # -- membership ---------------------------------------------------------
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def add_member(self, cell: TrustedCell) -> None:
+        """Admit a cell (attestation is the founder's responsibility,
+        via :meth:`SharingPeer.verify_peer_is_genuine`)."""
+        if cell.name in self._members:
+            raise ConfigurationError(f"{cell.name!r} already in group {self.name!r}")
+        self._members[cell.name] = cell
+        cell.tee.store_secret(f"group-key:{self.name}", self._group_key)
+
+    def remove_member(self, cell_name: str) -> None:
+        """Expel a member and rotate the key for backward secrecy."""
+        if cell_name == self.founder.name:
+            raise ConfigurationError("the founder cannot leave its own group")
+        if cell_name not in self._members:
+            raise ConfigurationError(f"{cell_name!r} not in group {self.name!r}")
+        expelled = self._members.pop(cell_name)
+        expelled.tee.secure_memory.delete(f"group-key:{self.name}")
+        self._rotate_key()
+
+    # -- group-keyed payloads ----------------------------------------------------
+
+    def seal_for_group(self, sender: TrustedCell, payload: bytes,
+                       label: str) -> SealedBlob:
+        """Seal a payload any current member can open."""
+        group_key = sender.tee.load_secret(f"group-key:{self.name}")
+        if group_key is None:
+            raise ProtocolError(f"{sender.name!r} holds no key for {self.name!r}")
+        header = f"group:{self.name}:epoch:{self.epoch}:{label}".encode()
+        return seal(group_key, payload, header=header, nonce_seed=header)
+
+    @staticmethod
+    def open_group_blob(member: TrustedCell, group_name: str,
+                        blob: SealedBlob) -> bytes:
+        """Open a group-sealed payload with the member's stored key."""
+        group_key = member.tee.load_secret(f"group-key:{group_name}")
+        if group_key is None:
+            raise ProtocolError(
+                f"{member.name!r} holds no key for group {group_name!r}"
+            )
+        return open_sealed(group_key, blob)

@@ -1,0 +1,28 @@
+"""Deterministic simulation kernel: clock, event loop, RNG discipline."""
+
+from .clock import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    SECONDS_PER_MONTH,
+    SimClock,
+    day_start,
+    month_start,
+)
+from .events import EventHandle, EventLoop
+from .rng import SeedSequence
+from .world import World
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_MONTH",
+    "SimClock",
+    "day_start",
+    "month_start",
+    "EventHandle",
+    "EventLoop",
+    "SeedSequence",
+    "World",
+]

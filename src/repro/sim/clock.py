@@ -1,0 +1,91 @@
+"""Simulated time.
+
+All platform components take their notion of "now" from a
+:class:`SimClock` rather than the wall clock, so that experiments are
+deterministic and so that time-based policy conditions (e.g. "accessible
+in the course of 2012") can be tested at any speed.
+
+Time is measured in integer **seconds** since the simulation epoch.
+The epoch is arbitrary; helpers convert to calendar-like units assuming
+the epoch falls at midnight on day 0.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+DAYS_PER_MONTH = 30  # simulation months are uniform 30-day blocks
+SECONDS_PER_MONTH = SECONDS_PER_DAY * DAYS_PER_MONTH
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    The clock only moves forward; protocols that need causality (audit
+    logs, version counters, certificate validity) rely on this.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ConfigurationError("clock cannot start before the epoch")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in seconds since the epoch."""
+        return self._now
+
+    def advance(self, seconds: int) -> int:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ConfigurationError("time cannot move backwards")
+        self._now += int(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: int) -> int:
+        """Move time forward to an absolute ``timestamp``.
+
+        Raises :class:`ConfigurationError` if the timestamp is in the
+        past, because silently rewinding time would corrupt audit-log
+        ordering.
+        """
+        if timestamp < self._now:
+            raise ConfigurationError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = int(timestamp)
+        return self._now
+
+    # -- calendar helpers -------------------------------------------------
+
+    def day(self) -> int:
+        """Index of the current simulation day (day 0 starts at epoch)."""
+        return self._now // SECONDS_PER_DAY
+
+    def month(self) -> int:
+        """Index of the current simulation month (30-day blocks)."""
+        return self._now // SECONDS_PER_MONTH
+
+    def seconds_into_day(self) -> int:
+        """Seconds elapsed since the most recent midnight."""
+        return self._now % SECONDS_PER_DAY
+
+    def hour_of_day(self) -> int:
+        """Hour of the current day, 0-23."""
+        return self.seconds_into_day() // SECONDS_PER_HOUR
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now}, day={self.day()})"
+
+
+def day_start(day: int) -> int:
+    """Timestamp of midnight at the start of simulation day ``day``."""
+    return day * SECONDS_PER_DAY
+
+
+def month_start(month: int) -> int:
+    """Timestamp of the start of simulation month ``month``."""
+    return month * SECONDS_PER_MONTH

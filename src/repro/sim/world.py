@@ -1,0 +1,56 @@
+"""The simulation world: shared clock, event loop and seed registry.
+
+A :class:`World` is the container every experiment builds first; all
+cells, sensors, networks and adversaries are constructed against the
+same world so they share one timeline and one randomness root.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ConfigurationError
+from .clock import SimClock
+from .events import EventLoop
+from .rng import SeedSequence
+
+
+class World:
+    """Top-level simulation context.
+
+    Also acts as a lightweight entity registry so experiments can look
+    up components by name when wiring scenarios (e.g. the Figure 1
+    walkthrough registers Alice's gateway as ``"alice-gateway"``).
+    """
+
+    def __init__(self, seed: int = 0, start_time: int = 0) -> None:
+        self.clock = SimClock(start_time)
+        self.loop = EventLoop(self.clock)
+        self.seeds = SeedSequence(seed)
+        self._entities: dict[str, Any] = {}
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    def register(self, name: str, entity: Any) -> Any:
+        """Register ``entity`` under a unique ``name`` and return it."""
+        if name in self._entities:
+            raise ConfigurationError(f"entity name already registered: {name!r}")
+        self._entities[name] = entity
+        return entity
+
+    def lookup(self, name: str) -> Any:
+        """Return the entity registered under ``name``."""
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise ConfigurationError(f"no entity registered as {name!r}") from None
+
+    def entities(self) -> dict[str, Any]:
+        """A copy of the registry (name -> entity)."""
+        return dict(self._entities)
+
+    def rng(self, stream: str):
+        """Deterministic random stream named ``stream``."""
+        return self.seeds.stream(stream)

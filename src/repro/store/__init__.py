@@ -1,0 +1,75 @@
+"""Embedded data management: encoding, log store, indexes, queries,
+time series."""
+
+from .catalog import Catalog, Collection
+from .encoding import Record, Value, decode_record, encode_record
+from .index import HashIndex, OrderedIndex, intersect_id_sets
+from .join import JoinQuery, JoinResult, execute_join
+from .keywords import KeywordIndex, tokenize
+from .log_store import LogStructuredStore
+from .query import (
+    MATCH_ALL,
+    Aggregate,
+    And,
+    Between,
+    Contains,
+    Eq,
+    HasKeyword,
+    Ne,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    QueryResult,
+)
+from .timeseries import (
+    GRANULARITY_15_MIN,
+    GRANULARITY_DAY,
+    GRANULARITY_HOUR,
+    GRANULARITY_MONTH,
+    GRANULARITY_RAW,
+    NAMED_GRANULARITIES,
+    Bucket,
+    TimeSeries,
+    energy_kwh,
+)
+
+__all__ = [
+    "Catalog",
+    "Collection",
+    "Record",
+    "Value",
+    "decode_record",
+    "encode_record",
+    "HashIndex",
+    "OrderedIndex",
+    "KeywordIndex",
+    "tokenize",
+    "JoinQuery",
+    "JoinResult",
+    "execute_join",
+    "HasKeyword",
+    "intersect_id_sets",
+    "LogStructuredStore",
+    "MATCH_ALL",
+    "Aggregate",
+    "And",
+    "Between",
+    "Contains",
+    "Eq",
+    "Ne",
+    "Not",
+    "Or",
+    "Predicate",
+    "Query",
+    "QueryResult",
+    "GRANULARITY_15_MIN",
+    "GRANULARITY_DAY",
+    "GRANULARITY_HOUR",
+    "GRANULARITY_MONTH",
+    "GRANULARITY_RAW",
+    "NAMED_GRANULARITIES",
+    "Bucket",
+    "TimeSeries",
+    "energy_kwh",
+]

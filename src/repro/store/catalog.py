@@ -1,0 +1,250 @@
+"""The metadata catalog: named collections with declared indexes.
+
+This is the embedded database a trusted cell runs locally. Collections
+hold records persisted through the log-structured store; fields can be
+declared hash- or range-indexed, and queries route through
+:mod:`repro.store.query` with an index-aware planner.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, NotFoundError, QueryError
+from ..hardware.flash import NandFlash
+from ..hardware.profiles import HardwareProfile
+from .encoding import Record
+from .index import HashIndex, OrderedIndex
+from .keywords import KeywordIndex
+from .log_store import LogStructuredStore
+from .query import (
+    And,
+    Between,
+    Eq,
+    HasKeyword,
+    Predicate,
+    Query,
+    QueryResult,
+    execute,
+)
+
+
+class Collection:
+    """One named record collection with optional secondary indexes."""
+
+    def __init__(self, name: str, store: LogStructuredStore) -> None:
+        self.name = name
+        self._store = store
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._ordered_indexes: dict[str, OrderedIndex] = {}
+        self._keyword_indexes: dict[str, KeywordIndex] = {}
+
+    # -- index management -----------------------------------------------------
+
+    def create_hash_index(self, field: str) -> None:
+        """Declare an equality index on ``field`` (backfills existing rows)."""
+        if field in self._hash_indexes:
+            raise ConfigurationError(f"hash index on {field!r} already exists")
+        index = HashIndex(field)
+        for record_id, record in self._store.scan():
+            if not record_id.startswith(self._prefix):
+                continue
+            if field in record:
+                index.add(record_id, record[field])
+        self._hash_indexes[field] = index
+
+    def create_ordered_index(self, field: str) -> None:
+        """Declare a range index on ``field`` (backfills existing rows)."""
+        if field in self._ordered_indexes:
+            raise ConfigurationError(f"ordered index on {field!r} already exists")
+        index = OrderedIndex(field)
+        for record_id, record in self._store.scan():
+            if not record_id.startswith(self._prefix):
+                continue
+            if record.get(field) is not None:
+                index.add(record_id, record[field])
+        self._ordered_indexes[field] = index
+
+    def create_keyword_index(self, field: str) -> None:
+        """Declare an inverted keyword index on a text ``field``
+        (backfills existing rows)."""
+        if field in self._keyword_indexes:
+            raise ConfigurationError(f"keyword index on {field!r} already exists")
+        index = KeywordIndex(field)
+        for record_id, record in self._store.scan():
+            if not record_id.startswith(self._prefix):
+                continue
+            if field in record:
+                index.add(record_id, record[field])
+        self._keyword_indexes[field] = index
+
+    @property
+    def indexed_fields(self) -> dict[str, str]:
+        """field -> index kind ("hash", "ordered" or "keyword")."""
+        kinds = {field: "hash" for field in self._hash_indexes}
+        kinds.update({field: "ordered" for field in self._ordered_indexes})
+        kinds.update({field: "keyword" for field in self._keyword_indexes})
+        return kinds
+
+    @property
+    def index_ram_bytes(self) -> int:
+        return (
+            sum(index.ram_bytes for index in self._hash_indexes.values())
+            + sum(index.ram_bytes for index in self._ordered_indexes.values())
+            + sum(index.ram_bytes for index in self._keyword_indexes.values())
+        )
+
+    # -- record lifecycle ---------------------------------------------------
+
+    @property
+    def _prefix(self) -> str:
+        return f"{self.name}/"
+
+    def _full_id(self, record_id: str) -> str:
+        return self._prefix + record_id
+
+    def insert(self, record_id: str, record: Record) -> None:
+        """Insert or replace a record and maintain indexes."""
+        full_id = self._full_id(record_id)
+        if self._store.contains(full_id):
+            self._unindex(full_id, self._store.get(full_id))
+        self._store.put(full_id, record)
+        self._index(full_id, record)
+
+    def get(self, record_id: str) -> Record:
+        return self._store.get(self._full_id(record_id))
+
+    def contains(self, record_id: str) -> bool:
+        return self._store.contains(self._full_id(record_id))
+
+    def delete(self, record_id: str) -> None:
+        full_id = self._full_id(record_id)
+        if not self._store.contains(full_id):
+            raise NotFoundError(f"no record {record_id!r} in {self.name!r}")
+        self._unindex(full_id, self._store.get(full_id))
+        self._store.delete(full_id)
+
+    def _index(self, full_id: str, record: Record) -> None:
+        for field, index in self._hash_indexes.items():
+            if field in record:
+                index.add(full_id, record[field])
+        for field, index in self._ordered_indexes.items():
+            if record.get(field) is not None:
+                index.add(full_id, record[field])
+        for field, index in self._keyword_indexes.items():
+            if field in record:
+                index.add(full_id, record[field])
+
+    def _unindex(self, full_id: str, record: Record) -> None:
+        for field, index in self._hash_indexes.items():
+            if field in record:
+                index.remove(full_id, record[field])
+        for field, index in self._ordered_indexes.items():
+            if record.get(field) is not None:
+                index.remove(full_id, record[field])
+        for field, index in self._keyword_indexes.items():
+            if field in record:
+                index.remove(full_id, record[field])
+
+    def record_ids(self) -> list[str]:
+        prefix = self._prefix
+        return [
+            full_id[len(prefix):]
+            for full_id in self._store.record_ids()
+            if full_id.startswith(prefix)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.record_ids())
+
+    # -- planner hooks -----------------------------------------------------------
+
+    def _candidate_ids(self, predicate: Predicate) -> tuple[set[str] | None, str]:
+        """Candidate full-ids from indexes, or (None, "scan")."""
+        if isinstance(predicate, Eq) and predicate.field in self._hash_indexes:
+            return (
+                self._hash_indexes[predicate.field].lookup(predicate.value),
+                f"index:{predicate.field}",
+            )
+        if isinstance(predicate, Between) and predicate.field in self._ordered_indexes:
+            ids = self._ordered_indexes[predicate.field].range(
+                predicate.low, predicate.high
+            )
+            return set(ids), f"range:{predicate.field}"
+        if isinstance(predicate, HasKeyword) and predicate.field in self._keyword_indexes:
+            ids = self._keyword_indexes[predicate.field].lookup_all(
+                list(predicate.terms)
+            )
+            return ids, f"keyword:{predicate.field}"
+        if isinstance(predicate, And):
+            best: tuple[set[str], str] | None = None
+            for child in predicate.children:
+                candidate, plan = self._candidate_ids(child)
+                if candidate is None:
+                    continue
+                if best is None or len(candidate) < len(best[0]):
+                    best = (candidate, plan)
+            if best is not None:
+                return best
+        return None, "scan"
+
+
+class Catalog:
+    """A set of collections sharing one flash device and RAM budget."""
+
+    def __init__(
+        self,
+        flash: NandFlash,
+        profile: HardwareProfile | None = None,
+    ) -> None:
+        ram_budget = profile.ram_bytes if profile is not None else None
+        self.profile = profile
+        self.store = LogStructuredStore(flash, ram_budget_bytes=ram_budget)
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create the named collection."""
+        if "/" in name:
+            raise ConfigurationError("collection names cannot contain '/'")
+        if name not in self._collections:
+            self._collections[name] = Collection(name, self.store)
+        return self._collections[name]
+
+    def collections(self) -> list[str]:
+        return sorted(self._collections)
+
+    @property
+    def ram_bytes(self) -> int:
+        """Directory plus index RAM, for profile budget checks."""
+        return self.store.directory_ram_bytes + sum(
+            collection.index_ram_bytes for collection in self._collections.values()
+        )
+
+    def query(self, query: Query) -> QueryResult:
+        """Execute a query against its collection."""
+        if query.collection not in self._collections:
+            raise QueryError(f"unknown collection {query.collection!r}")
+        collection = self._collections[query.collection]
+        flash = self.store.flash
+
+        def fetch_candidates(predicate: Predicate):
+            before = flash.reads
+            ids, plan = collection._candidate_ids(predicate)
+            if ids is None:
+                return None, "scan", 0
+            records = self.store.get_many(sorted(ids))
+            return records, plan, flash.reads - before
+
+        def fetch_all():
+            before = flash.reads
+            prefix = collection._prefix
+            records = [
+                record
+                for full_id, record in self.store.scan()
+                if full_id.startswith(prefix)
+            ]
+            return records, flash.reads - before
+
+        result = execute(query, fetch_candidates, fetch_all)
+        if self.profile is not None:
+            # Abstract CPU accounting: one op per record examined.
+            self.profile.cpu_seconds(result.records_examined)
+        return result

@@ -1,0 +1,117 @@
+"""Compact binary encoding for records.
+
+The embedded store persists records as flat field maps. The encoding is
+a deterministic tagged binary format (not JSON) because (a) records
+must round-trip ``bytes`` values such as wrapped keys and digests, and
+(b) determinism matters: the same record must serialize to the same
+bytes so Merkle leaves and MACs are stable.
+
+Supported value types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import StorageError
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+_TAG_BYTES = 6
+
+Value = None | bool | int | float | str | bytes
+Record = dict[str, Value]
+
+
+def _encode_value(value: Value) -> bytes:
+    if value is None:
+        return bytes([_TAG_NONE])
+    if value is True:
+        return bytes([_TAG_TRUE])
+    if value is False:
+        return bytes([_TAG_FALSE])
+    if isinstance(value, int):
+        payload = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        return bytes([_TAG_INT]) + _varlen(payload)
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + struct.pack(">d", value)
+    if isinstance(value, str):
+        return bytes([_TAG_STR]) + _varlen(value.encode())
+    if isinstance(value, bytes):
+        return bytes([_TAG_BYTES]) + _varlen(value)
+    raise StorageError(f"unsupported record value type: {type(value).__name__}")
+
+
+def _varlen(payload: bytes) -> bytes:
+    return len(payload).to_bytes(4, "big") + payload
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise StorageError("truncated record encoding")
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def take_varlen(self) -> bytes:
+        length = int.from_bytes(self.take(4), "big")
+        return self.take(length)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.offset == len(self.data)
+
+
+def _decode_value(reader: _Reader) -> Value:
+    tag = reader.take(1)[0]
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        return int.from_bytes(reader.take_varlen(), "big", signed=True)
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.take(8))[0]
+    if tag == _TAG_STR:
+        return reader.take_varlen().decode()
+    if tag == _TAG_BYTES:
+        return reader.take_varlen()
+    raise StorageError(f"unknown value tag {tag}")
+
+
+def encode_record(record: Record) -> bytes:
+    """Serialize a record deterministically (fields in sorted order)."""
+    parts = [len(record).to_bytes(2, "big")]
+    for field_name in sorted(record):
+        parts.append(_varlen(field_name.encode()))
+        parts.append(_encode_value(record[field_name]))
+    return b"".join(parts)
+
+
+def decode_record(data: bytes) -> Record:
+    """Inverse of :func:`encode_record`; raises :class:`StorageError`
+    on any malformed input (including invalid UTF-8 from bit flips)."""
+    reader = _Reader(data)
+    field_count = int.from_bytes(reader.take(2), "big")
+    record: Record = {}
+    try:
+        for _ in range(field_count):
+            field_name = reader.take_varlen().decode()
+            record[field_name] = _decode_value(reader)
+    except UnicodeDecodeError as exc:
+        raise StorageError("corrupted text in record encoding") from exc
+    if not reader.exhausted:
+        raise StorageError("trailing bytes after record")
+    return record

@@ -1,0 +1,113 @@
+"""Cross-collection joins for in-cell cross-analysis.
+
+"...organizing all these data in a common personal digital space,
+providing a consistent view, facilitating querying and cross-analysis".
+Cross-analysis needs joins: receipts x medical records, trips x
+calendar, pay slips x bills. This module provides an equality hash
+join over two collections of one catalog — executed entirely inside
+the cell, which is the point: correlations this sensitive are exactly
+what must never be computed on somebody else's server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import QueryError
+from .catalog import Catalog
+from .query import MATCH_ALL, Predicate
+
+
+@dataclass
+class JoinQuery:
+    """An equality join: ``left.left_field == right.right_field``.
+
+    Each side can be pre-filtered; the output row merges both records,
+    prefixing field names with the collection names to keep provenance
+    (``receipts.amount``, ``medical.disease``).
+    """
+
+    left: str
+    right: str
+    left_field: str
+    right_field: str
+    where_left: Predicate = field(default_factory=lambda: MATCH_ALL)
+    where_right: Predicate = field(default_factory=lambda: MATCH_ALL)
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise QueryError("self-joins are not supported")
+
+
+@dataclass
+class JoinResult:
+    """Joined rows plus cost accounting."""
+
+    rows: list[dict[str, Any]]
+    left_examined: int
+    right_examined: int
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def execute_join(catalog: Catalog, query: JoinQuery) -> JoinResult:
+    """Hash join: build on the smaller filtered side, probe the other."""
+    from .query import Query
+
+    left_rows = catalog.query(
+        Query(query.left, where=query.where_left)
+    ).rows
+    right_rows = catalog.query(
+        Query(query.right, where=query.where_right)
+    ).rows
+
+    # Build on the smaller side (classic optimization, and on a token
+    # the build table is the RAM-resident part).
+    swap = len(right_rows) < len(left_rows)
+    build_rows, probe_rows = (
+        (right_rows, left_rows) if swap else (left_rows, right_rows)
+    )
+    build_name, probe_name = (
+        (query.right, query.left) if swap else (query.left, query.right)
+    )
+    build_field, probe_field = (
+        (query.right_field, query.left_field)
+        if swap
+        else (query.left_field, query.right_field)
+    )
+
+    buckets: dict[Any, list[dict[str, Any]]] = {}
+    for row in build_rows:
+        key = row.get(build_field)
+        if key is not None:
+            buckets.setdefault(key, []).append(row)
+
+    joined: list[dict[str, Any]] = []
+    for probe_row in probe_rows:
+        key = probe_row.get(probe_field)
+        if key is None:
+            continue
+        for build_row in buckets.get(key, ()):
+            merged: dict[str, Any] = {}
+            for name, value in build_row.items():
+                merged[f"{build_name}.{name}"] = value
+            for name, value in probe_row.items():
+                merged[f"{probe_name}.{name}"] = value
+            joined.append(merged)
+            if query.limit is not None and len(joined) >= query.limit:
+                return JoinResult(
+                    rows=joined,
+                    left_examined=len(left_rows),
+                    right_examined=len(right_rows),
+                )
+    return JoinResult(
+        rows=joined,
+        left_examined=len(left_rows),
+        right_examined=len(right_rows),
+    )

@@ -1,0 +1,73 @@
+"""Keyword (inverted) index over text fields.
+
+Trusted cells "keep locally extended metadata: access information,
+indexes, keywords". The keyword index tokenizes a text field into
+lowercase terms and maintains term -> record-id postings, so keyword
+queries (``Contains`` on whole words, or :class:`HasKeyword`) resolve
+without scanning.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .encoding import Value
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens of a text (deduplicated, order-free)."""
+    return sorted(set(_TOKEN_PATTERN.findall(text.lower())))
+
+
+class KeywordIndex:
+    """Inverted index: term -> set of record ids."""
+
+    def __init__(self, field: str) -> None:
+        self.field = field
+        self._postings: dict[str, set[str]] = {}
+
+    def add(self, record_id: str, value: Value) -> None:
+        if not isinstance(value, str):
+            return
+        for term in tokenize(value):
+            self._postings.setdefault(term, set()).add(record_id)
+
+    def remove(self, record_id: str, value: Value) -> None:
+        if not isinstance(value, str):
+            return
+        for term in tokenize(value):
+            postings = self._postings.get(term)
+            if postings is not None:
+                postings.discard(record_id)
+                if not postings:
+                    del self._postings[term]
+
+    def lookup(self, term: str) -> set[str]:
+        """Record ids whose field contains the word ``term``."""
+        return set(self._postings.get(term.lower(), ()))
+
+    def lookup_all(self, terms: list[str]) -> set[str]:
+        """Records containing *every* term (AND semantics)."""
+        if not terms:
+            return set()
+        result = self.lookup(terms[0])
+        for term in terms[1:]:
+            result &= self.lookup(term)
+            if not result:
+                break
+        return result
+
+    def terms(self) -> list[str]:
+        return sorted(self._postings)
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(postings) for postings in self._postings.values())
+
+    @property
+    def ram_bytes(self) -> int:
+        return self.entry_count * 48 + sum(
+            len(term) + 32 for term in self._postings
+        )

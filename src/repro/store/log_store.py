@@ -1,0 +1,417 @@
+"""Log-structured record store over simulated NAND flash.
+
+Embedded secure microcontrollers cannot update flash in place, so the
+store is append-only: inserts and deletes are log entries packed into
+pages, written strictly sequentially. A RAM-resident directory maps
+record ids to their latest log location; compaction rewrites live
+records into fresh blocks and erases the old ones.
+
+This is the layer that makes experiment E8 meaningful: every operation
+has a flash cost visible in the device counters, and the RAM directory
+is bounded by the profile's RAM budget.
+"""
+
+from __future__ import annotations
+
+from ..errors import CapacityError, NotFoundError, StorageError
+from ..hardware.flash import NandFlash
+from .encoding import Record, decode_record, encode_record
+
+_ENTRY_INSERT = 1
+_ENTRY_DELETE = 2
+
+
+class LogStructuredStore:
+    """Append-only record store with id-based lookup.
+
+    Records are ``dict`` field maps (see :mod:`repro.store.encoding`)
+    keyed by a caller-supplied string id. A record must fit in one
+    flash page after encoding.
+    """
+
+    def __init__(self, flash: NandFlash, ram_budget_bytes: int | None = None) -> None:
+        self.flash = flash
+        self._page_size = flash.timings.page_size
+        # id -> (page, offset, length); None means deleted
+        self._directory: dict[str, tuple[int, int, int]] = {}
+        self._buffer = bytearray()
+        self._buffer_entries: list[tuple[str, int, int, int]] = []  # id, kind, off, len
+        self._live_per_block: dict[int, int] = {}
+        # Block-granular allocation: one active block receives pages
+        # sequentially; erased blocks return to the free list; fresh
+        # blocks come from the tail.
+        self._tail_block = 0
+        self._active_block: int | None = None
+        self._active_offset = 0
+        self._free_blocks: list[int] = []
+        self._allocated_pages = 0
+        # Every flushed page starts with a monotone sequence number so
+        # a rebooted cell can rebuild its RAM directory by log replay.
+        self._page_sequence = 0
+        self._ram_budget = ram_budget_bytes
+        self.inserts = 0
+        self.deletes = 0
+
+    # -- RAM accounting -----------------------------------------------------
+
+    _DIRECTORY_ENTRY_BYTES = 48  # id hash + location tuple, order of magnitude
+
+    @property
+    def directory_ram_bytes(self) -> int:
+        """Approximate RAM held by the directory (for budget checks)."""
+        return len(self._directory) * self._DIRECTORY_ENTRY_BYTES + len(self._buffer)
+
+    def _check_ram(self) -> None:
+        if self._ram_budget is not None and self.directory_ram_bytes > self._ram_budget:
+            raise CapacityError(
+                f"record directory exceeds RAM budget "
+                f"({self.directory_ram_bytes} > {self._ram_budget} bytes)"
+            )
+
+    # -- log entry framing ----------------------------------------------------
+
+    @staticmethod
+    def _frame(kind: int, record_id: str, payload: bytes) -> bytes:
+        id_bytes = record_id.encode()
+        return (
+            bytes([kind])
+            + len(id_bytes).to_bytes(2, "big")
+            + id_bytes
+            + len(payload).to_bytes(2, "big")
+            + payload
+        )
+
+    _PAGE_HEADER_BYTES = 8
+
+    def _flush_buffer(self) -> None:
+        if not self._buffer_entries:
+            return
+        page = self._allocate_page()
+        self._page_sequence += 1
+        page_data = self._page_sequence.to_bytes(self._PAGE_HEADER_BYTES, "big")
+        page_data += bytes(self._buffer)
+        self.flash.write_page(page, page_data)
+        block = self.flash.block_of(page)
+        for record_id, kind, offset, length in self._buffer_entries:
+            shifted = offset + self._PAGE_HEADER_BYTES
+            if kind == _ENTRY_INSERT:
+                self._retire(record_id)
+                self._directory[record_id] = (page, shifted, length)
+                self._live_per_block[block] = self._live_per_block.get(block, 0) + 1
+            else:
+                self._retire(record_id)
+                self._directory.pop(record_id, None)
+        self._buffer = bytearray()
+        self._buffer_entries = []
+
+    def _retire(self, record_id: str) -> None:
+        """Decrement the live count of the block holding the old version."""
+        location = self._directory.get(record_id)
+        if location is None:
+            return
+        old_block = self.flash.block_of(location[0])
+        remaining = self._live_per_block.get(old_block, 0) - 1
+        if remaining > 0:
+            self._live_per_block[old_block] = remaining
+        else:
+            self._live_per_block.pop(old_block, None)
+
+    def _allocate_page(self) -> int:
+        pages_per_block = self.flash.timings.pages_per_block
+        if self._active_block is None or self._active_offset >= pages_per_block:
+            if self._free_blocks:
+                self._active_block = self._free_blocks.pop(0)
+            else:
+                if self._tail_block >= self.flash.block_count:
+                    raise CapacityError("flash device is full; compact first")
+                self._active_block = self._tail_block
+                self._tail_block += 1
+            self._active_offset = 0
+        page = self._active_block * pages_per_block + self._active_offset
+        self._active_offset += 1
+        self._allocated_pages += 1
+        return page
+
+    def _append(self, kind: int, record_id: str, payload: bytes) -> None:
+        frame = self._frame(kind, record_id, payload)
+        usable = self._page_size - self._PAGE_HEADER_BYTES
+        if len(frame) > usable:
+            raise StorageError(
+                f"record {record_id!r} ({len(frame)} bytes framed) exceeds "
+                f"usable page size {usable}"
+            )
+        if len(self._buffer) + len(frame) > usable:
+            self._flush_buffer()
+        offset = len(self._buffer)
+        self._buffer.extend(frame)
+        payload_offset = offset + 1 + 2 + len(record_id.encode()) + 2
+        self._buffer_entries.append((record_id, kind, payload_offset, len(payload)))
+        self._check_ram()
+
+    # -- public API ---------------------------------------------------------
+
+    def put(self, record_id: str, record: Record) -> None:
+        """Insert or replace the record stored under ``record_id``."""
+        self._append(_ENTRY_INSERT, record_id, encode_record(record))
+        self.inserts += 1
+
+    def delete(self, record_id: str) -> None:
+        """Delete a record (raises :class:`NotFoundError` if absent)."""
+        if not self.contains(record_id):
+            raise NotFoundError(f"no record {record_id!r}")
+        self._append(_ENTRY_DELETE, record_id, b"")
+        self.deletes += 1
+
+    def contains(self, record_id: str) -> bool:
+        last_buffered_kind = None
+        for entry_id, kind, _, _ in self._buffer_entries:
+            if entry_id == record_id:
+                last_buffered_kind = kind
+        if last_buffered_kind is not None:
+            return last_buffered_kind == _ENTRY_INSERT
+        return record_id in self._directory
+
+    def get(self, record_id: str) -> Record:
+        """Fetch the latest version of a record (one page read, unless
+        the record is still in the write buffer)."""
+        buffered = None
+        for entry_id, kind, offset, length in self._buffer_entries:
+            if entry_id == record_id:
+                buffered = (kind, offset, length)
+        if buffered is not None:
+            kind, offset, length = buffered
+            if kind == _ENTRY_DELETE:
+                raise NotFoundError(f"no record {record_id!r}")
+            return decode_record(bytes(self._buffer[offset : offset + length]))
+        location = self._directory.get(record_id)
+        if location is None:
+            raise NotFoundError(f"no record {record_id!r}")
+        page, offset, length = location
+        data = self.flash.read_page(page)
+        return decode_record(data[offset : offset + length])
+
+    def get_many(self, record_ids: list[str]) -> list[Record]:
+        """Fetch several records, reading each flash page at most once.
+
+        This is what an index-driven fetch uses: postings that share a
+        page cost a single page read.
+        """
+        buffered = [record_id for record_id in record_ids
+                    if any(entry_id == record_id
+                           for entry_id, _, _, _ in self._buffer_entries)]
+        flushed = [record_id for record_id in record_ids
+                   if record_id not in set(buffered)]
+        page_cache: dict[int, bytes] = {}
+        results: dict[str, Record] = {}
+        for record_id in flushed:
+            location = self._directory.get(record_id)
+            if location is None:
+                raise NotFoundError(f"no record {record_id!r}")
+            page, offset, length = location
+            if page not in page_cache:
+                page_cache[page] = self.flash.read_page(page)
+            results[record_id] = decode_record(
+                page_cache[page][offset : offset + length]
+            )
+        for record_id in buffered:
+            results[record_id] = self.get(record_id)
+        return [results[record_id] for record_id in record_ids]
+
+    def flush(self) -> None:
+        """Force buffered entries to flash (partial page write)."""
+        self._flush_buffer()
+
+    def record_ids(self) -> list[str]:
+        """All live record ids (buffered writes included), sorted."""
+        ids = set(self._directory)
+        for entry_id, kind, _, _ in self._buffer_entries:
+            if kind == _ENTRY_INSERT:
+                ids.add(entry_id)
+            else:
+                ids.discard(entry_id)
+        return sorted(ids)
+
+    def scan(self):
+        """Iterate ``(record_id, record)`` over all live records.
+
+        Reads each flash page at most once (records are grouped by
+        page), so this is the honest full-scan baseline that E8
+        compares against index lookups.
+        """
+        buffered_ids = {entry_id for entry_id, _, _, _ in self._buffer_entries}
+        by_page: dict[int, list[tuple[str, int, int]]] = {}
+        for record_id, (page, offset, length) in self._directory.items():
+            if record_id not in buffered_ids:
+                by_page.setdefault(page, []).append((record_id, offset, length))
+        for page in sorted(by_page):
+            data = self.flash.read_page(page)
+            for record_id, offset, length in sorted(by_page[page], key=lambda e: e[1]):
+                yield record_id, decode_record(data[offset : offset + length])
+        for entry_id in sorted(buffered_ids):
+            if self.contains(entry_id):
+                yield entry_id, self.get(entry_id)
+
+    def __len__(self) -> int:
+        return len(self.record_ids())
+
+    # -- compaction -----------------------------------------------------------
+
+    @property
+    def pages_used(self) -> int:
+        """Pages currently holding log data (allocated, not yet erased)."""
+        return self._allocated_pages
+
+    def _used_blocks(self) -> list[int]:
+        """Blocks currently holding log data (including the active one)."""
+        free = set(self._free_blocks)
+        return [
+            block for block in range(self._tail_block)
+            if block not in free
+        ]
+
+    def compact(self) -> int:
+        """Full compaction: stage the live set in RAM, erase every used
+        block, and rewrite the live records from scratch.
+
+        This is the stop-the-world strategy of the smallest embedded
+        log stores; it needs no reserved space and its full cost (page
+        reads + block erases + page writes) lands in the flash
+        counters. Returns the number of blocks erased. See
+        :meth:`compact_incremental` for the pay-as-you-go alternative.
+        """
+        self._flush_buffer()
+        live = [(record_id, self.get(record_id)) for record_id in self.record_ids()]
+        used = self._used_blocks()
+        for block in used:
+            self.flash.erase_block(block)
+        self._directory.clear()
+        self._live_per_block.clear()
+        self._tail_block = 0
+        self._active_block = None
+        self._active_offset = 0
+        self._free_blocks = []
+        self._allocated_pages = 0
+        for record_id, record in live:
+            self._append(_ENTRY_INSERT, record_id, encode_record(record))
+        self._flush_buffer()
+        return len(used)
+
+    @classmethod
+    def recover(cls, flash: NandFlash,
+                ram_budget_bytes: int | None = None) -> "LogStructuredStore":
+        """Rebuild a store from a flash device after a reboot.
+
+        The RAM directory is volatile; a restarted cell reconstructs it
+        by scanning every programmed page, ordering pages by their
+        sequence headers, and replaying the log entries in write order.
+        The scan cost (one read per written page) lands in the flash
+        counters, exactly as it would on real hardware.
+        """
+        store = cls(flash, ram_budget_bytes=ram_budget_bytes)
+        pages_per_block = flash.timings.pages_per_block
+        sequenced: list[tuple[int, int, bytes]] = []
+        for page in flash.written_pages():
+            data = flash.read_page(page)
+            sequence = int.from_bytes(data[: cls._PAGE_HEADER_BYTES], "big")
+            sequenced.append((sequence, page, data))
+        sequenced.sort()
+        for sequence, page, data in sequenced:
+            store._replay_page(page, data)
+            store._page_sequence = max(store._page_sequence, sequence)
+        # Rebuild the allocator: tail past the last programmed block;
+        # the block with trailing unprogrammed pages (at most one, by
+        # the sequential-write discipline) resumes as the active block;
+        # fully-erased blocks below the tail return to the free list.
+        written = set(flash.written_pages())
+        blocks_with_data = sorted(
+            {flash.block_of(page) for page in written}
+        )
+        store._allocated_pages = len(written)
+        if blocks_with_data:
+            store._tail_block = blocks_with_data[-1] + 1
+            store._free_blocks = [
+                block for block in range(store._tail_block)
+                if block not in blocks_with_data
+            ]
+            # The sequential-program discipline guarantees at most one
+            # partially-filled block: whatever was active at shutdown
+            # (which, after GC recycling, need not be the highest one).
+            for block in blocks_with_data:
+                used_in_block = sum(
+                    1 for page in written
+                    if flash.block_of(page) == block
+                )
+                if used_in_block < pages_per_block:
+                    store._active_block = block
+                    store._active_offset = used_in_block
+                    break
+        return store
+
+    def _replay_page(self, page: int, data: bytes) -> None:
+        """Apply one page's log entries to the directory."""
+        offset = self._PAGE_HEADER_BYTES
+        block = self.flash.block_of(page)
+        while offset + 5 <= len(data):
+            kind = data[offset]
+            if kind not in (_ENTRY_INSERT, _ENTRY_DELETE):
+                break  # 0xFF padding: end of entries on this page
+            id_length = int.from_bytes(data[offset + 1 : offset + 3], "big")
+            id_start = offset + 3
+            payload_length = int.from_bytes(
+                data[id_start + id_length : id_start + id_length + 2], "big"
+            )
+            payload_start = id_start + id_length + 2
+            if payload_start + payload_length > len(data):
+                break  # torn write: ignore the partial tail entry
+            record_id = data[id_start : id_start + id_length].decode()
+            if kind == _ENTRY_INSERT:
+                self._retire(record_id)
+                self._directory[record_id] = (
+                    page, payload_start, payload_length,
+                )
+                self._live_per_block[block] = (
+                    self._live_per_block.get(block, 0) + 1
+                )
+            else:
+                self._retire(record_id)
+                self._directory.pop(record_id, None)
+            offset = payload_start + payload_length
+
+    def compact_incremental(self, max_victims: int = 1) -> int:
+        """Victim-block garbage collection: relocate the live records of
+        the emptiest full blocks, erase them, recycle them.
+
+        The classic flash-GC strategy: cost is proportional to the
+        *live* data in the victims (often near zero for churn-heavy
+        workloads) instead of the whole store, at the price of
+        bookkeeping and potentially uneven wear. Returns the number of
+        blocks reclaimed; picking fewer than ``max_victims`` (or none)
+        happens when no full, non-active block exists.
+        """
+        self._flush_buffer()
+        pages_per_block = self.flash.timings.pages_per_block
+        candidates = [
+            block for block in self._used_blocks()
+            if block != self._active_block
+        ]
+        victims = sorted(
+            candidates, key=lambda block: self._live_per_block.get(block, 0)
+        )[:max_victims]
+        reclaimed = 0
+        for victim in victims:
+            live_ids = [
+                record_id
+                for record_id, (page, _, _) in self._directory.items()
+                if self.flash.block_of(page) == victim
+            ]
+            if live_ids:
+                relocated = self.get_many(sorted(live_ids))
+                for record_id, record in zip(sorted(live_ids), relocated):
+                    self._append(_ENTRY_INSERT, record_id, encode_record(record))
+                self._flush_buffer()
+            self.flash.erase_block(victim)
+            self._live_per_block.pop(victim, None)
+            self._free_blocks.append(victim)
+            self._allocated_pages -= pages_per_block
+            reclaimed += 1
+        return reclaimed

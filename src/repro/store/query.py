@@ -1,0 +1,301 @@
+"""A small query engine over the metadata catalog.
+
+Queries are predicate trees evaluated over one collection, with
+projection and aggregation. The planner uses a hash index for equality
+predicates and an ordered index for range predicates when the catalog
+declares one on the relevant field; otherwise it falls back to a full
+scan. The choice is visible in :class:`QueryResult.plan` so experiment
+E8 can report index-vs-scan crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import QueryError
+from .encoding import Record, Value
+
+
+# -- predicate tree ---------------------------------------------------------
+
+
+class Predicate:
+    """Base predicate; subclasses implement :meth:`matches`."""
+
+    def matches(self, record: Record) -> bool:
+        raise NotImplementedError
+
+    def and_(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def or_(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``record[field] == value``."""
+
+    field: str
+    value: Value
+
+    def matches(self, record: Record) -> bool:
+        return record.get(self.field) == self.value
+
+
+@dataclass(frozen=True)
+class Ne(Predicate):
+    """``record[field] != value``."""
+
+    field: str
+    value: Value
+
+    def matches(self, record: Record) -> bool:
+        return record.get(self.field) != self.value
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= record[field] <= high``; either bound may be None."""
+
+    field: str
+    low: Value = None
+    high: Value = None
+
+    def matches(self, record: Record) -> bool:
+        value = record.get(self.field)
+        if value is None:
+            return False
+        try:
+            if self.low is not None and value < self.low:
+                return False
+            if self.high is not None and value > self.high:
+                return False
+        except TypeError:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Contains(Predicate):
+    """Substring match on a string field (keyword search)."""
+
+    field: str
+    needle: str
+
+    def matches(self, record: Record) -> bool:
+        value = record.get(self.field)
+        return isinstance(value, str) and self.needle in value
+
+
+@dataclass(frozen=True)
+class HasKeyword(Predicate):
+    """Whole-word match on a text field; all ``terms`` must appear.
+
+    This is the indexable form of keyword search: a catalog with a
+    keyword index on the field answers it from postings.
+    """
+
+    field: str
+    terms: tuple[str, ...]
+
+    def matches(self, record: Record) -> bool:
+        from .keywords import tokenize
+
+        value = record.get(self.field)
+        if not isinstance(value, str):
+            return False
+        tokens = set(tokenize(value))
+        return all(term.lower() in tokens for term in self.terms)
+
+
+class And(Predicate):
+    """Conjunction of child predicates."""
+
+    def __init__(self, *children: Predicate) -> None:
+        if not children:
+            raise QueryError("And requires at least one child")
+        self.children = children
+
+    def matches(self, record: Record) -> bool:
+        return all(child.matches(record) for child in self.children)
+
+
+class Or(Predicate):
+    """Disjunction of child predicates."""
+
+    def __init__(self, *children: Predicate) -> None:
+        if not children:
+            raise QueryError("Or requires at least one child")
+        self.children = children
+
+    def matches(self, record: Record) -> bool:
+        return any(child.matches(record) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a child predicate."""
+
+    child: Predicate
+
+    def matches(self, record: Record) -> bool:
+        return not self.child.matches(record)
+
+
+class TruePredicate(Predicate):
+    """Matches everything (the default when no filter is given)."""
+
+    def matches(self, record: Record) -> bool:
+        return True
+
+
+MATCH_ALL = TruePredicate()
+
+
+# -- aggregation -------------------------------------------------------------
+
+_AGGREGATORS: dict[str, Callable[[list[float]], float]] = {
+    "count": lambda values: float(len(values)),
+    "sum": lambda values: float(sum(values)),
+    "avg": lambda values: sum(values) / len(values) if values else float("nan"),
+    "min": lambda values: min(values),
+    "max": lambda values: max(values),
+}
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate specification: function over a numeric field.
+
+    ``count`` ignores the field (pass any name or ``"*"``).
+    """
+
+    function: str
+    field: str = "*"
+
+    def __post_init__(self) -> None:
+        if self.function not in _AGGREGATORS:
+            raise QueryError(
+                f"unknown aggregate {self.function!r}; known: {sorted(_AGGREGATORS)}"
+            )
+
+    def compute(self, records: list[Record]) -> float:
+        if self.function == "count":
+            return float(len(records))
+        values: list[float] = []
+        for record in records:
+            value = record.get(self.field)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            values.append(float(value))
+        if not values and self.function in ("min", "max"):
+            raise QueryError(f"{self.function} over empty/non-numeric field {self.field!r}")
+        return _AGGREGATORS[self.function](values)
+
+
+# -- query and result ---------------------------------------------------------
+
+
+@dataclass
+class Query:
+    """A declarative query over one collection."""
+
+    collection: str
+    where: Predicate = field(default_factory=lambda: MATCH_ALL)
+    project: list[str] | None = None  # None = all fields
+    aggregates: list[Aggregate] | None = None
+    group_by: str | None = None
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the execution plan and cost counters."""
+
+    rows: list[dict[str, Any]]
+    plan: str  # "index:<field>", "range:<field>" or "scan"
+    records_examined: int
+    flash_reads: int
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise QueryError("scalar() requires exactly one row and one column")
+        return next(iter(self.rows[0].values()))
+
+
+def _project(record: Record, fields: list[str] | None) -> dict[str, Any]:
+    if fields is None:
+        return dict(record)
+    return {name: record.get(name) for name in fields}
+
+
+def _apply_order_limit(rows: list[dict[str, Any]], query: Query) -> list[dict[str, Any]]:
+    if query.order_by is not None:
+        rows = sorted(
+            rows,
+            key=lambda row: (row.get(query.order_by) is None, row.get(query.order_by)),
+            reverse=query.descending,
+        )
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def execute(query: Query, fetch_candidates, fetch_all) -> QueryResult:
+    """Run ``query`` against a collection.
+
+    ``fetch_candidates(predicate)`` returns ``(records, plan)`` where
+    ``records`` may be a superset filtered again here (indexes are a
+    pre-filter); ``fetch_all()`` returns every record. Both are
+    supplied by the catalog, which also exposes flash counters.
+    """
+    candidates, plan, flash_reads = fetch_candidates(query.where)
+    if candidates is None:
+        candidates, flash_reads = fetch_all()
+        plan = "scan"
+    matched = [record for record in candidates if query.where.matches(record)]
+    examined = len(candidates)
+
+    if query.aggregates:
+        rows = _apply_order_limit(_aggregate_rows(query, matched), query)
+    else:
+        # Order and limit on full records, then project, so a query may
+        # sort by a field it does not return.
+        ordered = _apply_order_limit([dict(record) for record in matched], query)
+        rows = [_project(record, query.project) for record in ordered]
+    return QueryResult(
+        rows=rows, plan=plan, records_examined=examined, flash_reads=flash_reads
+    )
+
+
+def _aggregate_rows(query: Query, matched: list[Record]) -> list[dict[str, Any]]:
+    aggregates = query.aggregates or []
+    if query.group_by is None:
+        row = {
+            f"{aggregate.function}({aggregate.field})": aggregate.compute(matched)
+            for aggregate in aggregates
+        }
+        return [row]
+    groups: dict[Value, list[Record]] = {}
+    for record in matched:
+        groups.setdefault(record.get(query.group_by), []).append(record)
+    rows = []
+    for group_key in sorted(groups, key=lambda value: (value is None, str(value))):
+        row: dict[str, Any] = {query.group_by: group_key}
+        for aggregate in aggregates:
+            row[f"{aggregate.function}({aggregate.field})"] = aggregate.compute(
+                groups[group_key]
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,191 @@
+"""Multi-granularity time-series store.
+
+The motivating scenario revolves around one data shape: a certified
+time series of meter readings, viewed at different granularities by
+different principals (1 Hz for the energy butler, 15-minute aggregates
+for household members, daily statistics for the social game, monthly
+statistics for the utility). This module provides that shape:
+
+* an append-only series of ``(timestamp, value)`` samples;
+* exact aggregation to any bucket width (mean, sum, min, max, count);
+* the named granularities from the paper as constants.
+
+Aggregation *is* the privacy mechanism studied in experiment E2 — the
+NILM attack consumes the output of :meth:`TimeSeries.resample`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, QueryError
+from ..sim.clock import SECONDS_PER_DAY, SECONDS_PER_MONTH
+
+GRANULARITY_RAW = 1  # 1 Hz, the Linky feed
+GRANULARITY_15_MIN = 15 * 60
+GRANULARITY_HOUR = 3600
+GRANULARITY_DAY = SECONDS_PER_DAY
+GRANULARITY_MONTH = SECONDS_PER_MONTH
+
+NAMED_GRANULARITIES = {
+    "raw-1s": GRANULARITY_RAW,
+    "15-min": GRANULARITY_15_MIN,
+    "hourly": GRANULARITY_HOUR,
+    "daily": GRANULARITY_DAY,
+    "monthly": GRANULARITY_MONTH,
+}
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One aggregated bucket of a resampled series."""
+
+    start: int  # inclusive bucket start timestamp
+    width: int
+    count: int
+    sum: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    @property
+    def end(self) -> int:
+        """Exclusive end timestamp."""
+        return self.start + self.width
+
+
+class TimeSeries:
+    """An append-only time series with strictly increasing timestamps."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._timestamps: list[int] = []
+        self._values: list[float] = []
+
+    def append(self, timestamp: int, value: float) -> None:
+        """Append one sample; timestamps must strictly increase."""
+        if self._timestamps and timestamp <= self._timestamps[-1]:
+            raise ConfigurationError(
+                f"timestamps must strictly increase "
+                f"({timestamp} after {self._timestamps[-1]})"
+            )
+        self._timestamps.append(int(timestamp))
+        self._values.append(float(value))
+
+    def extend(self, samples) -> None:
+        """Append an iterable of ``(timestamp, value)`` pairs."""
+        for timestamp, value in samples:
+            self.append(timestamp, value)
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    @property
+    def start(self) -> int:
+        if not self._timestamps:
+            raise QueryError(f"time series {self.name!r} is empty")
+        return self._timestamps[0]
+
+    @property
+    def end(self) -> int:
+        """Timestamp of the last sample."""
+        if not self._timestamps:
+            raise QueryError(f"time series {self.name!r} is empty")
+        return self._timestamps[-1]
+
+    def samples(self) -> list[tuple[int, float]]:
+        """A copy of all (timestamp, value) pairs."""
+        return list(zip(self._timestamps, self._values))
+
+    def window(self, start: int, end: int) -> list[tuple[int, float]]:
+        """Samples with ``start <= timestamp < end``."""
+        left = bisect_left(self._timestamps, start)
+        right = bisect_left(self._timestamps, end)
+        return list(zip(self._timestamps[left:right], self._values[left:right]))
+
+    def value_at(self, timestamp: int) -> float:
+        """Exact-timestamp lookup; raises if no sample at that instant."""
+        position = bisect_left(self._timestamps, timestamp)
+        if position < len(self._timestamps) and self._timestamps[position] == timestamp:
+            return self._values[position]
+        raise QueryError(f"no sample at timestamp {timestamp}")
+
+    def total(self) -> float:
+        return sum(self._values)
+
+    def mean(self) -> float:
+        if not self._values:
+            raise QueryError(f"time series {self.name!r} is empty")
+        return sum(self._values) / len(self._values)
+
+    def maximum(self) -> float:
+        if not self._values:
+            raise QueryError(f"time series {self.name!r} is empty")
+        return max(self._values)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def resample(self, width: int, align: int = 0) -> list[Bucket]:
+        """Aggregate into buckets of ``width`` seconds.
+
+        Buckets are aligned so that bucket boundaries fall at
+        ``align + k * width``. Empty buckets are omitted. The result is
+        exactly what a trusted cell would externalize at a chosen
+        granularity: per-bucket count/sum/min/max (hence mean).
+        """
+        if width <= 0:
+            raise ConfigurationError("bucket width must be positive")
+        buckets: list[Bucket] = []
+        current_start: int | None = None
+        count = 0
+        total = 0.0
+        minimum = float("inf")
+        maximum = float("-inf")
+        for timestamp, value in zip(self._timestamps, self._values):
+            bucket_start = (timestamp - align) // width * width + align
+            if bucket_start != current_start:
+                if current_start is not None:
+                    buckets.append(
+                        Bucket(current_start, width, count, total, minimum, maximum)
+                    )
+                current_start = bucket_start
+                count, total = 0, 0.0
+                minimum, maximum = float("inf"), float("-inf")
+            count += 1
+            total += value
+            minimum = min(minimum, value)
+            maximum = max(maximum, value)
+        if current_start is not None:
+            buckets.append(Bucket(current_start, width, count, total, minimum, maximum))
+        return buckets
+
+    def resampled_series(self, width: int, align: int = 0) -> "TimeSeries":
+        """A new series of bucket means at the bucket start timestamps."""
+        result = TimeSeries(name=f"{self.name}@{width}s")
+        for bucket in self.resample(width, align):
+            result.append(bucket.start, bucket.mean)
+        return result
+
+    def daily_totals(self) -> dict[int, float]:
+        """Map of day index -> sum of values that day."""
+        return {
+            bucket.start // SECONDS_PER_DAY: bucket.sum
+            for bucket in self.resample(SECONDS_PER_DAY)
+        }
+
+    def monthly_totals(self) -> dict[int, float]:
+        """Map of month index -> sum of values that month."""
+        return {
+            bucket.start // SECONDS_PER_MONTH: bucket.sum
+            for bucket in self.resample(SECONDS_PER_MONTH)
+        }
+
+
+def energy_kwh(power_watt_series: TimeSeries, sample_period: int = 1) -> float:
+    """Total energy in kWh of a power (watt) series sampled every
+    ``sample_period`` seconds."""
+    return power_watt_series.total() * sample_period / 3600.0 / 1000.0

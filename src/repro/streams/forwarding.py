@@ -1,0 +1,87 @@
+"""Store-and-forward for weakly connected trusted sources.
+
+"Some trusted sources being weakly connected to the Internet;
+asynchrony problems must also be addressed." A sensor cell buffers its
+pipeline output in a bounded flash-backed queue while its uplink is
+down, and drains it — oldest first, in order — when connectivity
+returns. The queue's capacity is a hardware fact; the drop policy when
+it overflows is an explicit design choice (drop-oldest keeps the most
+recent picture of the world, drop-newest preserves history).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError
+from .operators import Sample
+
+DROP_OLDEST = "drop-oldest"
+DROP_NEWEST = "drop-newest"
+
+
+@dataclass
+class ForwardingStats:
+    buffered: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+
+
+class StoreAndForwardQueue:
+    """A bounded FIFO between a stream pipeline and an uplink."""
+
+    def __init__(
+        self,
+        capacity: int,
+        send: Callable[[Sample], None],
+        drop_policy: str = DROP_OLDEST,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("queue capacity must be >= 1")
+        if drop_policy not in (DROP_OLDEST, DROP_NEWEST):
+            raise ConfigurationError(f"unknown drop policy {drop_policy!r}")
+        self.capacity = capacity
+        self._send = send
+        self.drop_policy = drop_policy
+        self._queue: list[Sample] = []
+        self.online = True
+        self.stats = ForwardingStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def offer(self, sample: Sample) -> None:
+        """Enqueue (or directly forward) one pipeline output."""
+        if self.online and not self._queue:
+            self._send(sample)
+            self.stats.forwarded += 1
+            return
+        if len(self._queue) >= self.capacity:
+            if self.drop_policy == DROP_OLDEST:
+                self._queue.pop(0)
+            else:
+                self.stats.dropped += 1
+                return
+            self.stats.dropped += 1
+        self._queue.append(sample)
+        self.stats.buffered += 1
+        if self.online:
+            self.drain()
+
+    def set_online(self, online: bool) -> None:
+        """Connectivity change; drains the backlog on reconnect."""
+        self.online = online
+        if online:
+            self.drain()
+
+    def drain(self) -> int:
+        """Forward the whole backlog in order; returns count sent."""
+        if not self.online:
+            return 0
+        sent = 0
+        while self._queue:
+            self._send(self._queue.pop(0))
+            self.stats.forwarded += 1
+            sent += 1
+        return sent

@@ -1,0 +1,26 @@
+"""Synchronization with the encrypted cloud vault and terminal access."""
+
+from .accountability import AccountabilityService, ReceivedTrail
+from .recovery import (
+    Guardian,
+    enroll_guardians,
+    recover_cell,
+    refresh_guardian_seq,
+)
+from .replicator import ReplicationStats, Replicator
+from .terminal import LeakyTerminal, UntrustedTerminal
+from .vault import VaultClient
+
+__all__ = [
+    "AccountabilityService",
+    "ReceivedTrail",
+    "ReplicationStats",
+    "Replicator",
+    "Guardian",
+    "enroll_guardians",
+    "recover_cell",
+    "refresh_guardian_seq",
+    "LeakyTerminal",
+    "UntrustedTerminal",
+    "VaultClient",
+]

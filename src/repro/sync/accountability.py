@@ -1,0 +1,182 @@
+"""Delivering accountability to data owners.
+
+Two paper mechanisms that close the usage-control loop:
+
+* **Obligation notifications** — "informing the owner of the precise
+  access date" (footnote 6). Enforcing cells queue notifications in
+  their outbox; this service seals each one under the pairwise key
+  with the owner's cell and posts it to the owner's cloud mailbox.
+* **Audit-trail push** — "the recipient trusted cell can maintain an
+  audit log, encrypt it and push it on the Cloud to the destination of
+  the originator trusted cell." The service seals the per-object slice
+  of the local audit log for the originator, who verifies the hash
+  chain on receipt.
+
+Both run over the same untrusted mailboxes as sharing: the cloud
+relays ciphertext and learns only which cell talks to which.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.cell import TrustedCell
+from ..crypto.aead import SealedBlob, open_sealed, seal
+from ..errors import ProtocolError
+from ..infrastructure.cloud import CloudProvider
+from ..policy.audit import AuditEntry, AuditLog
+
+
+def _notify_box(cell_name: str) -> str:
+    return f"notify/{cell_name}"
+
+
+def _trail_box(cell_name: str) -> str:
+    return f"audit-trail/{cell_name}"
+
+
+@dataclass(frozen=True)
+class ReceivedTrail:
+    """One verified audit-log segment pushed by an enforcing cell."""
+
+    from_cell: str
+    object_id: str
+    entries: tuple[AuditEntry, ...]
+    chain_ok: bool
+
+
+class AccountabilityService:
+    """One cell's endpoint for notification/trail exchange.
+
+    ``owner_cell_of`` maps a user id (policy owner) to the cell that
+    receives their notifications — the directory a deployment would
+    keep in the user's digital-space profile.
+    """
+
+    def __init__(
+        self,
+        cell: TrustedCell,
+        cloud: CloudProvider,
+        owner_cell_of: dict[str, str] | None = None,
+    ) -> None:
+        self.cell = cell
+        self.cloud = cloud
+        self.owner_cell_of = dict(owner_cell_of or {})
+        self.notifications_received: list[dict[str, Any]] = []
+        self.trails_received: list[ReceivedTrail] = []
+
+    # -- outgoing: notifications ------------------------------------------------
+
+    def flush_outbox(self) -> int:
+        """Seal and deliver every queued obligation notification.
+
+        Notifications whose owner has no known cell stay queued (they
+        must not be lost); returns the number delivered.
+        """
+        remaining: list[dict[str, Any]] = []
+        delivered = 0
+        for notification in self.cell.outbox:
+            owner_cell_name = self.owner_cell_of.get(notification["to"])
+            if owner_cell_name is None or not self.cell.registry.knows_principal(
+                owner_cell_name
+            ):
+                remaining.append(notification)
+                continue
+            peer = self.cell.registry.principal(owner_cell_name)
+            pairwise = self.cell.tee.keys.pairwise_key(peer.exchange_public)
+            payload = json.dumps(notification, sort_keys=True).encode()
+            blob = seal(
+                pairwise, payload, header=b"notification",
+                nonce_seed=f"{self.cell.name}|{delivered}|"
+                           f"{notification['timestamp']}".encode(),
+            )
+            self.cloud.post_message(
+                _notify_box(owner_cell_name), self.cell.name, blob.to_bytes()
+            )
+            delivered += 1
+        self.cell.outbox[:] = remaining
+        return delivered
+
+    # -- outgoing: audit trails ----------------------------------------------------
+
+    def push_trail(self, object_id: str, owner_cell_name: str) -> int:
+        """Seal this cell's audit slice for one object and post it.
+
+        Returns the number of entries pushed.
+        """
+        if not self.cell.registry.knows_principal(owner_cell_name):
+            raise ProtocolError(f"unknown owner cell {owner_cell_name!r}")
+        peer = self.cell.registry.principal(owner_cell_name)
+        pairwise = self.cell.tee.keys.pairwise_key(peer.exchange_public)
+        blob = self.cell.audit.seal_for(pairwise, object_id=object_id)
+        envelope = json.dumps(
+            {"object_id": object_id, "segment": blob.to_bytes().hex()}
+        ).encode()
+        self.cloud.post_message(
+            _trail_box(owner_cell_name), self.cell.name, envelope
+        )
+        return len(self.cell.audit.entries_for(object_id))
+
+    # -- incoming -----------------------------------------------------------------
+
+    def fetch_notifications(self) -> list[dict[str, Any]]:
+        """Drain, decrypt and record incoming notifications."""
+        fresh = []
+        for sender, message in self.cloud.fetch_messages(
+            _notify_box(self.cell.name)
+        ):
+            peer = self.cell.registry.principal(sender)
+            pairwise = self.cell.tee.keys.pairwise_key(peer.exchange_public)
+            payload = open_sealed(pairwise, SealedBlob.from_bytes(message))
+            notification = json.loads(payload.decode())
+            notification["_from_cell"] = sender
+            fresh.append(notification)
+        self.notifications_received.extend(fresh)
+        return fresh
+
+    def fetch_trails(self) -> list[ReceivedTrail]:
+        """Drain, decrypt, and chain-verify incoming audit segments.
+
+        Chain verification checks the pushed slice is an untampered,
+        in-order excerpt of the sender's log. Per-object slices omit
+        unrelated entries, so the check validates intra-slice linkage:
+        sequence numbers strictly increase and hashes are internally
+        consistent for adjacent entries.
+        """
+        fresh = []
+        for sender, message in self.cloud.fetch_messages(
+            _trail_box(self.cell.name)
+        ):
+            peer = self.cell.registry.principal(sender)
+            pairwise = self.cell.tee.keys.pairwise_key(peer.exchange_public)
+            try:
+                body = json.loads(message.decode())
+                blob = SealedBlob.from_bytes(bytes.fromhex(body["segment"]))
+                entries = AuditLog.open_sealed_log(pairwise, blob)
+            except (ValueError, KeyError) as exc:
+                raise ProtocolError("malformed audit-trail push") from exc
+            chain_ok = _slice_consistent(entries)
+            received = ReceivedTrail(
+                from_cell=sender,
+                object_id=body["object_id"],
+                entries=tuple(entries),
+                chain_ok=chain_ok,
+            )
+            fresh.append(received)
+        self.trails_received.extend(fresh)
+        return fresh
+
+
+def _slice_consistent(entries: list[AuditEntry]) -> bool:
+    """Validity of a filtered slice: strictly increasing sequence
+    numbers, and wherever two entries are adjacent in the *original*
+    log (consecutive sequence numbers), the hash chain links them."""
+    for earlier, later in zip(entries, entries[1:]):
+        if later.sequence <= earlier.sequence:
+            return False
+        if later.sequence == earlier.sequence + 1:
+            if later.previous_hash != earlier.entry_hash():
+                return False
+    return True

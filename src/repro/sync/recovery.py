@@ -1,0 +1,187 @@
+"""Escrow and device-loss recovery.
+
+"secret management ... must be carefully designed (e.g., class-breaking
+attacks must be prevented, master secrets must be restorable in case of
+crash/loss of a trusted cell)."
+
+Protocol:
+
+* **Enrollment** — the cell Shamir-splits its master secret among
+  guardian cells (friends' cells, or a citizen-association service);
+  each guardian stores its share — and the hash of the owner's
+  recovery passphrase — in tamper-resistant memory. Fewer than
+  ``threshold`` guardians learn nothing (and a class-break is
+  impossible: shares reconstruct *one* cell's master, not a fleet's).
+* **Refresh** — on every vault push the cell's manifest sequence
+  advances; guardians are periodically told the latest value so a
+  malicious cloud cannot serve a stale manifest to a fresh device
+  (rollback across total loss).
+* **Recovery** — the owner proves knowledge of the passphrase to at
+  least ``threshold`` guardians, reconstructs the key ring inside the
+  replacement device, fetches + decrypts the vault manifest, checks
+  its sequence against the guardians' floor, re-anchors every object
+  version and restores the envelopes.
+
+Imported (shared-in) keys are *not* recoverable — peers must re-share,
+as :meth:`KeyRing.restore_from_shares` documents.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from ..core.cell import TrustedCell
+from ..crypto import shamir
+from ..crypto.keys import KeyRing
+from ..crypto.primitives import sha256
+from ..errors import AuthenticationError, ProtocolError, ReplayError
+from ..hardware.profiles import HardwareProfile
+from ..infrastructure.cloud import CloudProvider
+from ..sim.world import World
+from .vault import VaultClient
+
+
+def _serialize_share(share_list: list[shamir.Share]) -> bytes:
+    return json.dumps([[share.x, share.y] for share in share_list]).encode()
+
+
+def _deserialize_share(data: bytes) -> list[shamir.Share]:
+    return [shamir.Share(x, y) for x, y in json.loads(data.decode())]
+
+
+class Guardian:
+    """A guardian cell's escrow endpoint."""
+
+    def __init__(self, cell: TrustedCell) -> None:
+        self.cell = cell
+
+    def store_share(
+        self,
+        owner_name: str,
+        share: list[shamir.Share],
+        passphrase_hash: bytes,
+        manifest_seq: int,
+    ) -> None:
+        self.cell.tee.store_secret(f"escrow-share:{owner_name}", _serialize_share(share))
+        self.cell.tee.store_secret(f"escrow-auth:{owner_name}", passphrase_hash)
+        self.cell.tee.store_secret(f"escrow-seq:{owner_name}", manifest_seq)
+
+    def update_seq(self, owner_name: str, manifest_seq: int) -> None:
+        current = self.cell.tee.load_secret(f"escrow-seq:{owner_name}", 0)
+        if manifest_seq > current:
+            self.cell.tee.store_secret(f"escrow-seq:{owner_name}", manifest_seq)
+
+    def release_share(
+        self, owner_name: str, passphrase: str
+    ) -> tuple[list[shamir.Share], int]:
+        """Release the share to someone who knows the passphrase.
+
+        Guardians refuse (and audit) wrong passphrases: this is the
+        human-in-the-loop step a real deployment would make stronger.
+        """
+        expected = self.cell.tee.load_secret(f"escrow-auth:{owner_name}")
+        if expected is None:
+            raise ProtocolError(
+                f"{self.cell.name!r} holds no escrow for {owner_name!r}"
+            )
+        if sha256(passphrase.encode()) != expected:
+            self.cell.audit.append(
+                self.cell.world.now, owner_name, f"escrow:{owner_name}",
+                "release-share", False, reason="bad passphrase",
+            )
+            raise AuthenticationError("escrow passphrase rejected")
+        self.cell.audit.append(
+            self.cell.world.now, owner_name, f"escrow:{owner_name}",
+            "release-share", True,
+        )
+        share = _deserialize_share(
+            self.cell.tee.load_secret(f"escrow-share:{owner_name}")
+        )
+        return share, self.cell.tee.load_secret(f"escrow-seq:{owner_name}", 0)
+
+
+def enroll_guardians(
+    cell: TrustedCell,
+    guardians: list[Guardian],
+    threshold: int,
+    passphrase: str,
+    rng: random.Random,
+) -> None:
+    """Split the cell's master among guardians."""
+    if threshold < 2:
+        raise ProtocolError("recovery threshold must be at least 2")
+    shares = cell.tee.keys.export_master_shares(len(guardians), threshold, rng)
+    passphrase_hash = sha256(passphrase.encode())
+    for guardian, share in zip(guardians, shares):
+        guardian.store_share(cell.name, share, passphrase_hash, 0)
+
+
+def refresh_guardian_seq(
+    vault: VaultClient, guardians: list[Guardian]
+) -> None:
+    """Tell guardians the latest manifest sequence (anti-rollback floor)."""
+    for guardian in guardians:
+        guardian.update_seq(vault.cell.name, vault.manifest_seq)
+
+
+def recover_cell(
+    world: World,
+    lost_cell_name: str,
+    profile: HardwareProfile,
+    guardians: list[Guardian],
+    passphrase: str,
+    cloud: CloudProvider,
+    registry=None,
+) -> tuple[TrustedCell, VaultClient]:
+    """Provision a replacement device from escrow + the cloud vault.
+
+    Returns the restored cell (same name, same key material, hence the
+    same principal identity) and its vault client, with all envelopes
+    back in local storage. Pass ``registry`` to carry trust anchors
+    (known authorities/peers) onto the replacement device; otherwise
+    they must be re-introduced out of band, like on a new phone.
+    """
+    collected: list[list[shamir.Share]] = []
+    seq_floor = 0
+    for guardian in guardians:
+        try:
+            share, seq = guardian.release_share(lost_cell_name, passphrase)
+        except (ProtocolError, AuthenticationError):
+            continue
+        collected.append(share)
+        seq_floor = max(seq_floor, seq)
+    if not collected:
+        raise ProtocolError("no guardian released a share")
+    ring = KeyRing.restore_from_shares(collected)
+    cell = TrustedCell(world, lost_cell_name, profile, registry=registry,
+                       key_ring=ring)
+    vault = VaultClient(cell, cloud)
+    manifest = vault.read_manifest()
+    if manifest["seq"] < seq_floor:
+        raise ReplayError(
+            f"vault manifest rolled back: seq {manifest['seq']} < "
+            f"guardian floor {seq_floor}"
+        )
+    cell.tee.store_secret("vault-manifest-seq", manifest["seq"])
+    for object_id, version in manifest["objects"].items():
+        cell.tee.store_secret(f"vault-version:{object_id}", version)
+    vault.restore_all()
+    # Rebuild the metadata catalog from the restored envelopes (opened
+    # inside the TEE; acquisition details like keywords are gone, the
+    # data and its sticky policies are not).
+    for object_id, version in manifest["objects"].items():
+        envelope = cell._envelopes[object_id]
+        payload, policy = envelope.open(cell.tee.keys.key_for(object_id, version))
+        cell.catalog.collection("objects").insert(
+            object_id,
+            {
+                "owner": policy.owner,
+                "version": version,
+                "kind": "restored",
+                "size": len(payload),
+                "created_at": world.now,
+                "keywords": "",
+            },
+        )
+    return cell, vault

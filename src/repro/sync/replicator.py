@@ -1,0 +1,123 @@
+"""Background replication for weakly connected cells.
+
+"Some trusted sources being weakly connected to the Internet;
+asynchrony problems must also be addressed."
+
+The :class:`Replicator` runs on the simulation event loop: every
+``period`` seconds it wakes, samples the cell's connectivity (from its
+hardware profile's availability, or an explicit override), and pushes
+every envelope whose version is newer than what the vault last saw.
+It tracks *staleness* — how long a dirty object waited before reaching
+the vault — which is the quantity weak connectivity actually degrades.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..sim.events import EventHandle
+from .vault import VaultClient
+
+
+@dataclass
+class ReplicationStats:
+    ticks: int = 0
+    offline_ticks: int = 0
+    objects_pushed: int = 0
+    max_staleness: int = 0  # seconds a dirty object waited, worst case
+    staleness_samples: list[int] = field(default_factory=list)
+
+    @property
+    def mean_staleness(self) -> float:
+        if not self.staleness_samples:
+            return 0.0
+        return sum(self.staleness_samples) / len(self.staleness_samples)
+
+
+class Replicator:
+    """Periodic cell→vault synchronization with availability sampling."""
+
+    def __init__(
+        self,
+        vault: VaultClient,
+        period: int = 3600,
+        availability: float | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if period < 1:
+            raise ConfigurationError("replication period must be >= 1 second")
+        self.vault = vault
+        self.cell = vault.cell
+        self.period = period
+        self.availability = (
+            availability
+            if availability is not None
+            else self.cell.profile.availability
+        )
+        if not 0.0 <= self.availability <= 1.0:
+            raise ConfigurationError("availability must be a probability")
+        self._rng = rng or self.cell.world.rng(f"replicator:{self.cell.name}")
+        self._pushed_versions: dict[str, int] = {}
+        self._dirty_since: dict[str, int] = {}
+        self.stats = ReplicationStats()
+        self._handle: EventHandle | None = None
+
+    # -- dirtiness tracking --------------------------------------------------
+
+    def dirty_objects(self) -> list[str]:
+        """Objects whose local version is ahead of the vault's."""
+        now = self.cell.world.now
+        dirty = []
+        for object_id, envelope in self.cell._envelopes.items():
+            if self._pushed_versions.get(object_id) != envelope.version:
+                dirty.append(object_id)
+                self._dirty_since.setdefault(object_id, now)
+        return sorted(dirty)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin ticking on the world's event loop."""
+        if self._handle is not None:
+            raise ConfigurationError("replicator already started")
+        self._handle = self.cell.world.loop.schedule_every(
+            self.period, self.tick, label=f"replicate {self.cell.name}"
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # -- one replication round --------------------------------------------------
+
+    def tick(self) -> int:
+        """One wake-up: push everything dirty if the uplink is up.
+
+        Returns the number of objects pushed this round.
+        """
+        self.stats.ticks += 1
+        dirty = self.dirty_objects()
+        if self._rng.random() >= self.availability:
+            self.stats.offline_ticks += 1
+            return 0
+        now = self.cell.world.now
+        pushed = 0
+        for object_id in dirty:
+            self.vault.push(object_id)
+            self._pushed_versions[object_id] = (
+                self.cell._envelopes[object_id].version
+            )
+            waited = now - self._dirty_since.pop(object_id, now)
+            self.stats.staleness_samples.append(waited)
+            self.stats.max_staleness = max(self.stats.max_staleness, waited)
+            pushed += 1
+        self.stats.objects_pushed += pushed
+        return pushed
+
+    @property
+    def converged(self) -> bool:
+        """True iff the vault holds the newest version of everything."""
+        return not self.dirty_objects()

@@ -1,0 +1,82 @@
+"""Access from untrusted terminals.
+
+Figure 1's Charlie "is travelling around the world and can securely
+access all his data from any (unsecure) terminal thanks to his portable
+trusted cell". The terminal renders plaintext transiently but never
+holds keys, and "accessing this data ... should leave no trace of the
+access".
+
+The :class:`UntrustedTerminal` models a kiosk browser: it proxies
+requests to a connected cell session, keeps a render buffer while the
+session is open, and wipes it on disconnect. Its ``residue`` after
+disconnect is the testable no-trace invariant; a :class:`LeakyTerminal`
+subclass (a compromised kiosk) shows what the invariant protects
+against — it can steal what was *displayed*, but never keys, and never
+objects that were not explicitly opened.
+"""
+
+from __future__ import annotations
+
+from ..core.cell import Session
+from ..errors import ConfigurationError
+
+
+class UntrustedTerminal:
+    """A display-only proxy in front of a trusted cell."""
+
+    def __init__(self, name: str = "internet-cafe") -> None:
+        self.name = name
+        self._session: Session | None = None
+        self._render_buffer: dict[str, bytes] = {}
+        self.rendered_count = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._session is not None
+
+    def connect(self, session: Session) -> None:
+        """Plug the user's portable cell into the terminal."""
+        if self._session is not None:
+            raise ConfigurationError("terminal already has a session")
+        self._session = session
+
+    def display(self, object_id: str) -> bytes:
+        """Ask the cell for an object and render it.
+
+        All policy checks happen inside the cell; the terminal only
+        ever sees what the reference monitor released.
+        """
+        if self._session is None:
+            raise ConfigurationError("no cell connected")
+        payload = self._session.cell.read_object(self._session, object_id)
+        self._render_buffer[object_id] = payload
+        self.rendered_count += 1
+        return payload
+
+    def disconnect(self) -> None:
+        """Unplug the cell; the terminal wipes its transient state."""
+        self._session = None
+        self._render_buffer.clear()
+
+    def residue(self) -> dict[str, bytes]:
+        """What the terminal still holds — empty after disconnect for a
+        well-behaved terminal."""
+        return dict(self._render_buffer)
+
+
+class LeakyTerminal(UntrustedTerminal):
+    """A compromised kiosk that secretly copies everything displayed.
+
+    Exists to quantify the exposure of terminal-based access: the theft
+    is bounded by what the user displayed during the session — the cell
+    never handed over keys or undisplayed objects.
+    """
+
+    def __init__(self, name: str = "evil-kiosk") -> None:
+        super().__init__(name)
+        self.stolen: dict[str, bytes] = {}
+
+    def display(self, object_id: str) -> bytes:
+        payload = super().display(object_id)
+        self.stolen[object_id] = payload
+        return payload

@@ -1,0 +1,190 @@
+"""Multi-state appliances: cyclic load signatures.
+
+Lam's taxonomy (the paper's reference [7]) distinguishes simple ON/OFF
+devices from appliances with *cycles* — a washing machine heats
+(2 kW), tumbles (300 W), and spins (700 W) in sequence. Cycles make
+NILM both easier (the phase sequence is a fingerprint) and harder
+(edges no longer match a single rated draw).
+
+This module extends the energy workload with phase-structured
+appliances and expands their runs into per-phase ground truth, so the
+phase-aware attack in :mod:`repro.attacks.cycles` has something
+honest to detect.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from ..store.timeseries import TimeSeries
+from .energy import ApplianceEvent, DayTrace
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of an appliance cycle."""
+
+    name: str
+    power_watts: float
+    duration_s: int
+
+    def __post_init__(self) -> None:
+        if self.power_watts < 0 or self.duration_s <= 0:
+            raise ConfigurationError(f"invalid phase {self.name!r}")
+
+
+@dataclass(frozen=True)
+class CyclicAppliance:
+    """An appliance that runs a fixed sequence of phases."""
+
+    name: str
+    phases: tuple[Phase, ...]
+    active_hours: tuple[int, ...]
+    daily_uses: float
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError(f"{self.name!r} needs at least one phase")
+
+    @property
+    def cycle_duration(self) -> int:
+        return sum(phase.duration_s for phase in self.phases)
+
+    def signature(self) -> tuple[float, ...]:
+        """The ordered power levels — the cycle's fingerprint."""
+        return tuple(phase.power_watts for phase in self.phases)
+
+
+WASHING_MACHINE_CYCLE = CyclicAppliance(
+    name="washing-machine-cycle",
+    phases=(
+        Phase("heat", 2100.0, 15 * 60),
+        Phase("tumble", 300.0, 40 * 60),
+        Phase("spin", 700.0, 10 * 60),
+    ),
+    active_hours=(9, 10, 20, 21),
+    daily_uses=0.5,
+)
+
+DISHWASHER_CYCLE = CyclicAppliance(
+    name="dishwasher-cycle",
+    phases=(
+        Phase("prewash", 200.0, 10 * 60),
+        Phase("heat-wash", 1900.0, 25 * 60),
+        Phase("rinse", 150.0, 15 * 60),
+        Phase("dry", 1100.0, 20 * 60),
+    ),
+    active_hours=(20, 21, 22),
+    daily_uses=0.6,
+)
+
+TUMBLE_DRYER_CYCLE = CyclicAppliance(
+    name="tumble-dryer-cycle",
+    phases=(
+        Phase("heat-dry", 2500.0, 45 * 60),
+        Phase("cool-down", 250.0, 10 * 60),
+    ),
+    active_hours=(10, 11, 21),
+    daily_uses=0.4,
+)
+
+STANDARD_CYCLES = (WASHING_MACHINE_CYCLE, DISHWASHER_CYCLE, TUMBLE_DRYER_CYCLE)
+
+
+@dataclass(frozen=True)
+class CycleRun:
+    """Ground truth for one full cycle execution."""
+
+    appliance: str
+    start: int
+    phase_events: tuple[ApplianceEvent, ...]
+
+    @property
+    def end(self) -> int:
+        return self.phase_events[-1].end if self.phase_events else self.start
+
+
+class CyclicHouseholdSimulator:
+    """A household running only cyclic appliances over a base load.
+
+    Kept separate from :class:`~repro.workloads.energy.HouseholdSimulator`
+    so each attack evaluates against the workload type it targets; mix
+    traces by summing series if needed.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        appliances: tuple[CyclicAppliance, ...] = STANDARD_CYCLES,
+        base_load_watts: float = 110.0,
+        noise_watts: float = 4.0,
+        sample_period: int = 1,
+    ) -> None:
+        if sample_period < 1:
+            raise ConfigurationError("sample period must be >= 1 second")
+        self._rng = rng
+        self.appliances = appliances
+        self.base_load = base_load_watts
+        self.noise = noise_watts
+        self.sample_period = sample_period
+
+    def _runs_for_day(self, day: int) -> list[CycleRun]:
+        day_start = day * SECONDS_PER_DAY
+        runs: list[CycleRun] = []
+        for appliance in self.appliances:
+            if self._rng.random() >= appliance.daily_uses:
+                continue
+            hour = self._rng.choice(appliance.active_hours)
+            start = (
+                day_start + hour * SECONDS_PER_HOUR
+                + self._rng.randrange(SECONDS_PER_HOUR)
+            )
+            cursor = start
+            phase_events = []
+            for phase in appliance.phases:
+                phase_events.append(
+                    ApplianceEvent(
+                        appliance=f"{appliance.name}:{phase.name}",
+                        power_watts=phase.power_watts,
+                        start=cursor,
+                        duration=phase.duration_s,
+                    )
+                )
+                cursor += phase.duration_s
+            runs.append(
+                CycleRun(
+                    appliance=appliance.name,
+                    start=start,
+                    phase_events=tuple(phase_events),
+                )
+            )
+        return sorted(runs, key=lambda run: run.start)
+
+    def simulate_day(self, day: int) -> tuple[DayTrace, list[CycleRun]]:
+        """Returns the trace (phase events as ground truth) + the runs."""
+        runs = self._runs_for_day(day)
+        day_start = day * SECONDS_PER_DAY
+        samples = SECONDS_PER_DAY // self.sample_period
+        power = [self.base_load] * samples
+        flat_events: list[ApplianceEvent] = []
+        for run in runs:
+            for event in run.phase_events:
+                flat_events.append(event)
+                first = max(0, (event.start - day_start) // self.sample_period)
+                last = min(samples, (event.end - day_start) // self.sample_period)
+                for position in range(first, last):
+                    power[position] += event.power_watts
+        series = TimeSeries(f"cyclic-power-day-{day}")
+        for position, watts in enumerate(power):
+            series.append(
+                day_start + position * self.sample_period,
+                max(0.0, watts + self._rng.gauss(0.0, self.noise)),
+            )
+        trace = DayTrace(
+            day=day, series=series, events=flat_events,
+            sample_period=self.sample_period,
+        )
+        return trace, runs

@@ -1,0 +1,131 @@
+"""External-system records: receipts, medical data, pay slips.
+
+The paper's data class (2): "data produced or inferred by external
+systems (e.g., purchase receipt obtained by near field communication or
+medical data sent by the hospital or labs)". These generators populate
+digital spaces for the Figure 1 walkthrough and feed the epidemiology
+experiment (cross-analyzing diseases and alimentation, as the paper
+suggests for large-scale sharing).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..sim.clock import SECONDS_PER_DAY
+
+GROCERY_CATEGORIES = (
+    "vegetables", "fruit", "meat", "fish", "dairy",
+    "sweets", "soda", "alcohol", "bread", "frozen",
+)
+
+DISEASES = ("none", "flu", "diabetes", "hypertension", "asthma")
+
+# Diet skews per condition, used so the epidemiology experiment has a
+# real signal to find: diabetics buy fewer sweets/soda in this toy world.
+_DIET_WEIGHTS = {
+    "none": [3, 3, 2, 1, 2, 2, 2, 1, 3, 1],
+    "flu": [3, 4, 2, 1, 2, 1, 1, 0, 3, 1],
+    "diabetes": [4, 3, 2, 2, 2, 1, 1, 1, 2, 1],
+    "hypertension": [4, 3, 1, 2, 2, 1, 1, 0, 2, 1],
+    "asthma": [3, 3, 2, 1, 2, 2, 2, 1, 3, 1],
+}
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """One NFC purchase receipt."""
+
+    timestamp: int
+    merchant: str
+    category: str
+    amount: float
+
+
+@dataclass(frozen=True)
+class MedicalRecord:
+    """One record sent by the hospital or lab."""
+
+    timestamp: int
+    issuer: str
+    code: str  # diagnosis code
+    disease: str
+
+
+@dataclass(frozen=True)
+class PaySlip:
+    """A monthly pay slip from the employer."""
+
+    month: int
+    employer: str
+    gross: float
+    net: float
+
+
+def generate_receipts(rng: random.Random, days: int, disease: str = "none",
+                      per_day: float = 1.2) -> list[Receipt]:
+    """Purchase history whose category mix depends on health condition."""
+    weights = _DIET_WEIGHTS[disease]
+    receipts = []
+    for day in range(days):
+        count = rng.choices([0, 1, 2, 3], weights=[3, 5, 3, 1])[0]
+        for _ in range(count):
+            category = rng.choices(GROCERY_CATEGORIES, weights=weights)[0]
+            receipts.append(
+                Receipt(
+                    timestamp=day * SECONDS_PER_DAY + rng.randrange(SECONDS_PER_DAY),
+                    merchant=f"market-{rng.randrange(3)}",
+                    category=category,
+                    amount=round(rng.uniform(2.0, 60.0), 2),
+                )
+            )
+    return sorted(receipts, key=lambda receipt: receipt.timestamp)
+
+
+def generate_medical_history(rng: random.Random, disease: str,
+                             days: int) -> list[MedicalRecord]:
+    """Visit records consistent with a condition."""
+    if disease == "none":
+        visit_count = rng.choices([0, 1], weights=[4, 1])[0]
+    else:
+        visit_count = 1 + rng.choices([0, 1, 2], weights=[2, 3, 2])[0]
+    records = []
+    for _ in range(visit_count):
+        records.append(
+            MedicalRecord(
+                timestamp=rng.randrange(days * SECONDS_PER_DAY),
+                issuer="hospital",
+                code=f"icd-{abs(hash(disease)) % 900 + 100}",
+                disease=disease,
+            )
+        )
+    return sorted(records, key=lambda record: record.timestamp)
+
+
+def generate_pay_slips(rng: random.Random, months: int,
+                       employer: str = "acme") -> list[PaySlip]:
+    gross = round(rng.uniform(2200, 4800), 2)
+    return [
+        PaySlip(month=month, employer=employer, gross=gross,
+                net=round(gross * 0.78, 2))
+        for month in range(months)
+    ]
+
+
+def assign_disease(rng: random.Random) -> str:
+    """Population disease mix for the epidemiology experiment."""
+    return rng.choices(DISEASES, weights=[60, 12, 10, 12, 6])[0]
+
+
+def sweets_share(receipts: list[Receipt]) -> float:
+    """Fraction of spending on sweets+soda — the diet feature the
+    epidemiology query cross-analyzes against diabetes."""
+    total = sum(receipt.amount for receipt in receipts)
+    if total == 0:
+        return 0.0
+    sugary = sum(
+        receipt.amount for receipt in receipts
+        if receipt.category in ("sweets", "soda")
+    )
+    return sugary / total

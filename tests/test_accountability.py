@@ -1,0 +1,141 @@
+"""Tests for owner notifications and audit-trail pushes."""
+
+import pytest
+
+from repro.core import TrustedCell
+from repro.errors import ProtocolError
+from repro.hardware import SMARTPHONE
+from repro.infrastructure import CloudProvider, CuriousAdversary
+from repro.policy import Grant, Obligation, UsagePolicy
+from repro.policy.ucon import OBLIGATION_NOTIFY_OWNER, RIGHT_READ
+from repro.sharing import SharingPeer, introduce_cells
+from repro.sim import World
+from repro.sync import AccountabilityService
+
+
+def shared_photo_scene(adversary=None):
+    """Alice shares a notify-on-access photo with Bob; Bob reads twice."""
+    world = World(seed=141)
+    cloud = CloudProvider(world, adversary)
+    alice_cell = TrustedCell(world, "alice-cell", SMARTPHONE)
+    bob_cell = TrustedCell(world, "bob-cell", SMARTPHONE)
+    alice_cell.register_user("alice", "pin")
+    bob_cell.register_user("bob", "pin")
+    introduce_cells(alice_cell, bob_cell)
+    alice = alice_cell.login("alice", "pin")
+    policy = UsagePolicy(
+        owner="alice",
+        grants=(Grant(rights=(RIGHT_READ,), subjects=("bob",)),),
+        obligations=(Obligation(OBLIGATION_NOTIFY_OWNER),),
+    )
+    alice_cell.store_object(alice, "photo", b"jpeg", policy=policy)
+    SharingPeer(alice_cell, cloud).share_object(
+        alice, "photo", bob_cell, Grant(rights=(RIGHT_READ,), subjects=("bob",))
+    )
+    SharingPeer(bob_cell, cloud).accept_shares()
+    bob = bob_cell.login("bob", "pin")
+    world.clock.advance(100)
+    bob_cell.read_object(bob, "photo")
+    world.clock.advance(100)
+    bob_cell.read_object(bob, "photo")
+    bob_service = AccountabilityService(
+        bob_cell, cloud, owner_cell_of={"alice": "alice-cell"}
+    )
+    alice_service = AccountabilityService(alice_cell, cloud)
+    return world, cloud, alice_cell, bob_cell, alice_service, bob_service
+
+
+class TestNotifications:
+    def test_notifications_reach_the_owner(self):
+        world, cloud, alice_cell, bob_cell, alice_service, bob_service = (
+            shared_photo_scene()
+        )
+        assert len(bob_cell.outbox) == 2
+        assert bob_service.flush_outbox() == 2
+        assert bob_cell.outbox == []
+        received = alice_service.fetch_notifications()
+        assert len(received) == 2
+        assert all(n["subject"] == "bob" for n in received)
+        assert all(n["about"] == "photo" for n in received)
+        assert received[0]["timestamp"] == 100  # "the precise access date"
+
+    def test_unknown_owner_cell_keeps_notification_queued(self):
+        world, cloud, alice_cell, bob_cell, _, _ = shared_photo_scene()
+        service = AccountabilityService(bob_cell, cloud, owner_cell_of={})
+        assert service.flush_outbox() == 0
+        assert len(bob_cell.outbox) == 2  # not lost
+
+    def test_cloud_sees_only_ciphertext(self):
+        adversary = CuriousAdversary()
+        world, cloud, alice_cell, bob_cell, alice_service, bob_service = (
+            shared_photo_scene(adversary)
+        )
+        bob_service.flush_outbox()
+        # mailbox payloads were observed; none may contain the object id
+        assert adversary.stats.plaintext_bytes_seen == 0
+
+    def test_flush_is_idempotent(self):
+        world, cloud, alice_cell, bob_cell, alice_service, bob_service = (
+            shared_photo_scene()
+        )
+        bob_service.flush_outbox()
+        assert bob_service.flush_outbox() == 0
+        alice_service.fetch_notifications()
+        assert alice_service.fetch_notifications() == []
+        assert len(alice_service.notifications_received) == 2
+
+
+class TestAuditTrails:
+    def test_trail_push_and_verify(self):
+        world, cloud, alice_cell, bob_cell, alice_service, bob_service = (
+            shared_photo_scene()
+        )
+        pushed = bob_service.push_trail("photo", "alice-cell")
+        assert pushed >= 2  # two reads + obligations + accept-share
+        trails = alice_service.fetch_trails()
+        assert len(trails) == 1
+        trail = trails[0]
+        assert trail.from_cell == "bob-cell"
+        assert trail.chain_ok
+        read_entries = [e for e in trail.entries if e.action == "read"]
+        assert len(read_entries) == 2
+        assert all(entry.subject == "bob" for entry in read_entries)
+
+    def test_trail_excludes_other_objects(self):
+        world, cloud, alice_cell, bob_cell, alice_service, bob_service = (
+            shared_photo_scene()
+        )
+        bob = bob_cell.login("bob", "pin")
+        bob_cell.store_object(bob, "bobs-own-diary", b"private")
+        bob_service.push_trail("photo", "alice-cell")
+        trail = alice_service.fetch_trails()[0]
+        assert all(entry.object_id == "photo" for entry in trail.entries)
+
+    def test_push_to_unknown_cell_rejected(self):
+        world, cloud, alice_cell, bob_cell, _, bob_service = (
+            shared_photo_scene()
+        )
+        with pytest.raises(ProtocolError):
+            bob_service.push_trail("photo", "stranger-cell")
+
+    def test_slice_consistency_detects_reordering(self):
+        from repro.sync.accountability import _slice_consistent
+
+        world, cloud, alice_cell, bob_cell, alice_service, bob_service = (
+            shared_photo_scene()
+        )
+        entries = bob_cell.audit.entries_for("photo")
+        assert _slice_consistent(entries)
+        assert not _slice_consistent(list(reversed(entries)))
+
+    def test_slice_consistency_detects_edited_adjacent_entries(self):
+        import dataclasses
+
+        from repro.sync.accountability import _slice_consistent
+
+        world, cloud, alice_cell, bob_cell, _, _ = shared_photo_scene()
+        entries = bob_cell.audit.entries()  # full log: adjacent sequences
+        assert _slice_consistent(entries)
+        tampered = list(entries)
+        tampered[1] = dataclasses.replace(tampered[1], subject="mallory")
+        assert not _slice_consistent(tampered)

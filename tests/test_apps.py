@@ -1,0 +1,247 @@
+"""Tests for the application layer."""
+
+import pytest
+
+from repro.apps import (
+    HomeMetering,
+    PaydBox,
+    coordinate,
+    make_neighborhood,
+    neighborhood_profile,
+    peak_to_average,
+    run_season,
+    simulate_household_month,
+)
+from repro.apps.energy_butler import EvChargeNeed, HeatPumpPlant
+from repro.errors import AccessDenied, ConfigurationError
+from repro.sim import World
+from repro.store import GRANULARITY_15_MIN
+from repro.workloads import CityMap
+
+
+class TestEnergyButler:
+    def test_butler_saves_about_30_percent(self):
+        result = simulate_household_month(seed=1, days=30)
+        assert 0.20 <= result.saving_fraction <= 0.40
+
+    def test_butler_shaves_evening_peak(self):
+        result = simulate_household_month(seed=1, days=30)
+        baseline_peak, butler_peak = result.peak_watts
+        assert butler_peak < baseline_peak
+
+    def test_energy_roughly_conserved(self):
+        # The butler spends slightly MORE energy (storage losses) but
+        # shifts it off-peak; savings must come from price, not from
+        # pretending the house needs less heat.
+        result = simulate_household_month(seed=2, days=30)
+        assert result.butler_kwh >= result.baseline_kwh * 0.99
+        assert result.butler_kwh <= result.baseline_kwh * 1.15
+
+    def test_deterministic(self):
+        first = simulate_household_month(seed=3, days=10)
+        second = simulate_household_month(seed=3, days=10)
+        assert first.baseline_bill == second.baseline_bill
+        assert first.butler_bill == second.butler_bill
+
+    def test_zero_days_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_household_month(days=0)
+
+    def test_ev_demand_scales_bill(self):
+        small_ev = simulate_household_month(
+            seed=4, days=10, ev=EvChargeNeed(energy_kwh_per_day=2.0)
+        )
+        big_ev = simulate_household_month(
+            seed=4, days=10, ev=EvChargeNeed(energy_kwh_per_day=15.0)
+        )
+        assert big_ev.baseline_bill > small_ev.baseline_bill
+
+    def test_no_shiftable_heating_saves_less(self):
+        rigid = simulate_household_month(
+            seed=5, days=15, plant=HeatPumpPlant(shiftable_fraction=0.0)
+        )
+        flexible = simulate_household_month(
+            seed=5, days=15, plant=HeatPumpPlant(shiftable_fraction=0.6)
+        )
+        assert flexible.saving_fraction > rigid.saving_fraction
+
+
+class TestSocialGame:
+    def test_players_reduce_about_20_percent(self):
+        result = run_season(players=16, controls=16, rounds=45, seed=1)
+        assert 0.15 <= result.player_reduction <= 0.35
+
+    def test_players_beat_controls(self):
+        result = run_season(players=16, controls=16, rounds=45, seed=2)
+        assert result.player_reduction > result.control_reduction + 0.05
+
+    def test_controls_roughly_flat(self):
+        result = run_season(players=4, controls=24, rounds=45, seed=3)
+        assert abs(result.control_reduction) < 0.12
+
+    def test_leaderboard_sorted(self):
+        result = run_season(players=5, controls=2, rounds=10, seed=4)
+        scores = [score for _, score in result.leaderboard]
+        assert scores == sorted(scores)
+
+    def test_too_few_players_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_season(players=1, rounds=10)
+        with pytest.raises(ConfigurationError):
+            run_season(players=3, rounds=1)
+
+
+class TestPeakShaving:
+    def test_coordination_cuts_peak(self):
+        households = make_neighborhood(size=12, seed=1)
+        result = coordinate(households, rounds=3)
+        assert result.peak_reduction > 0.10
+
+    def test_total_energy_preserved(self):
+        households = make_neighborhood(size=10, seed=2)
+        result = coordinate(households, rounds=2)
+        before = sum(result.uncoordinated_profile)
+        after = sum(result.coordinated_profile)
+        assert after == pytest.approx(before, rel=1e-9)
+
+    def test_peak_to_average_improves(self):
+        households = make_neighborhood(size=12, seed=3)
+        result = coordinate(households, rounds=3)
+        assert peak_to_average(result.coordinated_profile) < peak_to_average(
+            result.uncoordinated_profile
+        )
+
+    def test_protocol_costs_accounted(self):
+        households = make_neighborhood(size=6, seed=4)
+        result = coordinate(households, rounds=1)
+        assert result.protocol_messages > 0
+        assert result.protocol_bytes > 0
+
+    def test_tiny_neighborhood_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_neighborhood(size=1)
+
+    def test_blocks_respect_windows(self):
+        households = make_neighborhood(size=8, seed=5)
+        coordinate(households, rounds=3)
+        for household in households:
+            for block in household.blocks:
+                assert household.schedule[block.name] in block.feasible_hours()
+
+
+class TestPaydBox:
+    def make_box(self):
+        world = World(seed=9)
+        return PaydBox(world, "alice", CityMap(), seed=9)
+
+    def test_trips_recorded_in_cell(self):
+        box = self.make_box()
+        count = box.record_day(0)
+        assert count >= 1
+        session = box.cell.login("alice", "factory-pin")
+        from repro.store import Eq, Query
+
+        result = box.cell.query_metadata(
+            session, Query("objects", where=Eq("kind", "gps-trace"))
+        )
+        assert len(result) == count
+
+    def test_statements_verify(self):
+        box = self.make_box()
+        box.record_day(0)
+        box.record_day(1)
+        for statement in (box.road_pricing_statement(), box.insurer_statement()):
+            assert statement.verify(box.cell.principal.verify_key)
+
+    def test_statements_match_ground_truth(self):
+        from repro.workloads import payd_premium, road_pricing_fee, total_distance_km
+
+        box = self.make_box()
+        box.record_day(0)
+        fee_body = PaydBox.statement_body(box.road_pricing_statement())
+        assert fee_body["fee"] == pytest.approx(
+            road_pricing_fee(box.raw_trips(), box.city), abs=0.01
+        )
+        insurer_body = PaydBox.statement_body(box.insurer_statement())
+        assert insurer_body["distance_km"] == pytest.approx(
+            total_distance_km(box.raw_trips()), abs=0.01
+        )
+        assert insurer_body["premium"] == pytest.approx(
+            payd_premium(box.raw_trips()), abs=0.01
+        )
+
+    def test_no_raw_trace_in_statements(self):
+        box = self.make_box()
+        box.record_day(0)
+        box.assert_no_trace_leak(box.road_pricing_statement())
+        box.assert_no_trace_leak(box.insurer_statement())
+
+    def test_forged_statement_rejected(self):
+        import dataclasses
+
+        box = self.make_box()
+        box.record_day(0)
+        statement = box.insurer_statement()
+        forged = dataclasses.replace(
+            statement, statement=statement.statement.replace(b"premium", b"premiun")
+        )
+        assert not forged.verify(box.cell.principal.verify_key)
+
+
+class TestHomeMetering:
+    def build(self, days=1, sample_period=60):
+        world = World(seed=21)
+        pipeline = HomeMetering.build(
+            world, "maison", members=("alice", "bob"), seed=21,
+            sample_period=sample_period,
+        )
+        for day in range(days):
+            pipeline.meter_day(day)
+        return pipeline
+
+    def test_household_sees_15min_buckets(self):
+        pipeline = self.build()
+        buckets = pipeline.household_view("alice")
+        assert len(buckets) == 96  # one day of 15-minute buckets
+        assert all(bucket.width == GRANULARITY_15_MIN for bucket in buckets)
+
+    def test_household_cannot_see_raw(self):
+        pipeline = self.build()
+        session = pipeline.gateway.login("alice", "pin-alice")
+        with pytest.raises(AccessDenied):
+            pipeline.gateway.read_series(session, "power", 1)
+
+    def test_game_gets_daily_only(self):
+        pipeline = self.build(days=2)
+        daily = pipeline.game_view()
+        assert len(daily) == 2
+        session = pipeline.gateway.login("social-game-app", "key-social-game-app")
+        with pytest.raises(AccessDenied):
+            pipeline.gateway.read_series(session, "power", GRANULARITY_15_MIN)
+
+    def test_utility_gets_monthly_only(self):
+        pipeline = self.build(days=2)
+        monthly = pipeline.utility_view()
+        assert len(monthly) == 1
+        session = pipeline.gateway.login("power-provider", "key-power-provider")
+        with pytest.raises(AccessDenied):
+            pipeline.gateway.read_series(session, "power", 86400)
+
+    def test_butler_gets_raw_feed(self):
+        pipeline = self.build()
+        raw = pipeline.butler_view()
+        assert len(raw) == 1440  # one day at 60 s sampling
+
+    def test_certified_feed_verifies(self):
+        pipeline = self.build(days=2)
+        payload, signature = pipeline.certified_monthly_feed()
+        assert pipeline.verify_certified_feed(payload, signature)
+        assert not pipeline.verify_certified_feed(payload + b"x", signature)
+
+    def test_energy_conserved_across_views(self):
+        pipeline = self.build()
+        buckets_15 = pipeline.household_view("alice")
+        daily = pipeline.game_view()
+        total_15 = sum(bucket.sum for bucket in buckets_15)
+        total_day = sum(bucket.sum for bucket in daily)
+        assert total_15 == pytest.approx(total_day)

@@ -1,0 +1,141 @@
+"""Tests for asynchronous cloud-mediated aggregation."""
+
+import random
+
+import pytest
+
+from repro.commons import AggregationNode, AsyncMaskedAggregation
+from repro.errors import ConfigurationError, ProtocolError
+from repro.infrastructure import CloudProvider, CuriousAdversary
+from repro.sim import World
+
+
+def build(wake_times, values=None, deadline=3600, seed=81, adversary=None):
+    world = World(seed=seed)
+    cloud = CloudProvider(world, adversary)
+    rng = random.Random(seed)
+    nodes = [
+        AggregationNode.standalone(name, rng) for name in sorted(wake_times)
+    ]
+    values = values or {node.name: 100 for node in nodes}
+    protocol = AsyncMaskedAggregation(
+        world, cloud, nodes, values, round_tag="daily-total",
+        deadline=deadline, wake_times=wake_times,
+    )
+    return world, cloud, protocol
+
+
+class TestHappyPath:
+    def test_all_submit_before_deadline(self):
+        wake_times = {"a": [100], "b": [500], "c": [2000]}
+        world, cloud, protocol = build(
+            wake_times, values={"a": 10, "b": 20, "c": 30}
+        )
+        protocol.start()
+        world.loop.run_until(4000)
+        assert protocol.result.complete
+        assert protocol.result.signed_total() == 60
+        assert protocol.result.missing == []
+        assert protocol.result.completed_at == 3600  # right at the deadline
+
+    def test_cells_never_online_simultaneously(self):
+        """The point of the async protocol: disjoint online windows."""
+        wake_times = {"a": [10], "b": [1000], "c": [3000]}
+        world, cloud, protocol = build(
+            wake_times, values={"a": 1, "b": 2, "c": 3}
+        )
+        protocol.start()
+        world.loop.run_until(4000)
+        assert protocol.result.signed_total() == 6
+
+    def test_cloud_sees_only_masked_values(self):
+        adversary = CuriousAdversary()
+        wake_times = {"a": [10], "b": [20]}
+        world, cloud, protocol = build(
+            wake_times, values={"a": 7, "b": 7}, adversary=adversary
+        )
+        protocol.start()
+        world.loop.run_until(4000)
+        assert protocol.result.signed_total() == 14
+        # the adversary saw the mailbox payloads; the raw value 7 must
+        # not be recoverable from any single masked submission
+        assert adversary.stats.objects_observed >= 2
+
+
+class TestDropoutRecovery:
+    def test_missing_cell_recovered_after_deadline(self):
+        wake_times = {
+            "a": [100, 4000],  # returns after the deadline
+            "b": [200, 5000],
+            "c": [],  # never shows up
+        }
+        world, cloud, protocol = build(
+            wake_times, values={"a": 10, "b": 20, "c": 999}
+        )
+        protocol.start()
+        world.loop.run_until(10_000)
+        assert protocol.result.complete
+        assert protocol.result.signed_total() == 30  # c's value excluded
+        assert protocol.result.missing == ["c"]
+        assert protocol.result.completed_at >= 5000  # waited for b's return
+
+    def test_completion_time_tracks_slowest_survivor(self):
+        wake_times = {"a": [100, 3700], "b": [200, 9000], "c": []}
+        world, cloud, protocol = build(wake_times)
+        protocol.start()
+        world.loop.run_until(20_000)
+        assert protocol.result.complete
+        assert protocol.result.completed_at >= 9000
+
+    def test_survivor_that_never_returns_fails_loudly(self):
+        wake_times = {"a": [100], "b": [200], "c": []}
+        world, cloud, protocol = build(wake_times)
+        protocol.start()
+        with pytest.raises(ProtocolError):
+            world.loop.run_until(10_000)
+
+    def test_nobody_submits_fails_loudly(self):
+        wake_times = {"a": [], "b": []}
+        world, cloud, protocol = build(wake_times)
+        protocol.start()
+        with pytest.raises(ProtocolError):
+            world.loop.run_until(10_000)
+
+    def test_late_wake_counts_as_missing(self):
+        wake_times = {"a": [100, 4000], "b": [200, 4100], "c": [3900, 4200]}
+        world, cloud, protocol = build(
+            wake_times, values={"a": 1, "b": 2, "c": 4}
+        )
+        protocol.start()
+        world.loop.run_until(10_000)
+        assert protocol.result.missing == ["c"]
+        assert protocol.result.signed_total() == 3
+
+
+class TestValidation:
+    def test_single_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build({"only": [10]})
+
+    def test_past_deadline_rejected(self):
+        world = World(seed=1)
+        world.clock.advance(5000)
+        cloud = CloudProvider(world)
+        rng = random.Random(1)
+        nodes = [AggregationNode.standalone(n, rng) for n in ("a", "b")]
+        with pytest.raises(ConfigurationError):
+            AsyncMaskedAggregation(
+                world, cloud, nodes, {"a": 1, "b": 2},
+                round_tag="x", deadline=3600, wake_times={"a": [], "b": []},
+            )
+
+    def test_accounting(self):
+        wake_times = {"a": [100], "b": [200], "c": []}
+        world, cloud, protocol = build(wake_times)
+        # patch c to have a return so recovery completes
+        protocol.wake_times = {"a": [100, 4000], "b": [200, 4100], "c": []}
+        protocol.start()
+        world.loop.run_until(10_000)
+        # 2 submissions + 2 recovery answers
+        assert protocol.result.messages == 4
+        assert protocol.result.bytes == 4 * 16

@@ -1,0 +1,157 @@
+"""Tests for the attack models: NILM, breach economics, class-breaking."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    appliance_detection_f1,
+    breach_economics,
+    class_breaking_exposure,
+    detect_appliances,
+    infer_routine,
+)
+from repro.errors import ConfigurationError
+from repro.sim import SECONDS_PER_DAY
+from repro.store import GRANULARITY_15_MIN
+from repro.workloads import HouseholdSimulator
+from repro.workloads.energy import STANDARD_APPLIANCES
+
+RATED = {appliance.name: appliance.power_watts for appliance in STANDARD_APPLIANCES}
+
+
+def busy_trace(seed=1):
+    simulator = HouseholdSimulator(
+        random.Random(seed), noise_watts=3.0, activity_scale=1.5
+    )
+    return simulator.simulate_day(0), simulator.base_load
+
+
+class TestNilmDetection:
+    def test_raw_granularity_detects_most_events(self):
+        trace, _ = busy_trace()
+        score = appliance_detection_f1(trace, granularity=1, rated_powers=RATED)
+        assert score.recall > 0.7
+        assert score.f1 > 0.6
+
+    def test_15min_granularity_destroys_detection(self):
+        trace, _ = busy_trace()
+        raw = appliance_detection_f1(trace, 1, RATED)
+        coarse = appliance_detection_f1(trace, GRANULARITY_15_MIN, RATED)
+        assert coarse.f1 < raw.f1 / 3
+        assert coarse.f1 < 0.25
+
+    def test_daily_granularity_detects_nothing(self):
+        trace, _ = busy_trace()
+        score = appliance_detection_f1(trace, SECONDS_PER_DAY, RATED)
+        assert score.true_positives == 0
+
+    def test_detection_needs_rated_powers(self):
+        trace, _ = busy_trace()
+        with pytest.raises(ConfigurationError):
+            detect_appliances(trace, 1, {})
+
+    def test_empty_truth_yields_zero_recall_denominator(self):
+        trace, _ = busy_trace()
+        score = appliance_detection_f1(trace, SECONDS_PER_DAY * 30, RATED)
+        assert score.f1 == 0.0
+
+
+class TestRoutineInference:
+    def test_15min_routine_still_visible(self):
+        trace, base_load = busy_trace()
+        accuracy = infer_routine(trace, GRANULARITY_15_MIN, base_load)
+        assert accuracy > 0.75  # "still possible to infer a daily routine"
+
+    def test_daily_statistics_hide_routine(self):
+        trace, base_load = busy_trace()
+        accuracy = infer_routine(trace, SECONDS_PER_DAY, base_load)
+        assert accuracy == 0.5  # degenerate: one bucket per day
+
+    def test_monotone_decline_with_granularity(self):
+        trace, base_load = busy_trace()
+        fine = infer_routine(trace, 60, base_load)
+        mid = infer_routine(trace, GRANULARITY_15_MIN, base_load)
+        coarse = infer_routine(trace, 6 * 3600, base_load)
+        assert fine >= mid - 0.05
+        assert mid > coarse - 0.05
+
+    def test_invalid_granularity_rejected(self):
+        trace, base_load = busy_trace()
+        with pytest.raises(ConfigurationError):
+            infer_routine(trace, 0, base_load)
+
+
+class TestBreachEconomics:
+    def test_low_budget_favors_attacking_nobody(self):
+        rows = breach_economics(
+            population=1000,
+            records_per_user=100,
+            central_attack_cost=2_000_000,
+            cell_attack_cost=500_000,
+            budgets=[100_000],
+        )
+        row = rows[0]
+        assert row.decentralized_records_exposed == 0
+        assert row.central_records_exposed > 0  # partial odds still pay off
+
+    def test_central_exposure_dwarfs_decentralized(self):
+        rows = breach_economics(
+            population=100_000,
+            records_per_user=50,
+            central_attack_cost=2_000_000,
+            cell_attack_cost=500_000,
+            budgets=[2_000_000, 10_000_000],
+        )
+        for row in rows:
+            assert row.centralization_penalty > 100
+
+    def test_budget_monotonicity(self):
+        rows = breach_economics(
+            population=1000, records_per_user=10,
+            central_attack_cost=1_000_000, cell_attack_cost=200_000,
+            budgets=[0, 500_000, 1_000_000, 5_000_000],
+        )
+        central = [row.central_records_exposed for row in rows]
+        cells = [row.decentralized_records_exposed for row in rows]
+        assert central == sorted(central)
+        assert cells == sorted(cells)
+
+    def test_decentralized_caps_at_population(self):
+        rows = breach_economics(
+            population=10, records_per_user=5,
+            central_attack_cost=100, cell_attack_cost=1,
+            budgets=[1_000_000],
+        )
+        assert rows[0].decentralized_records_exposed == 50
+
+    def test_invalid_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            breach_economics(0, 1, 1, 1, [1])
+
+
+class TestClassBreaking:
+    def test_per_cell_keys_contain_breach(self):
+        result = class_breaking_exposure(
+            cells=6, objects_per_cell=3, breached=2, shared_master=False
+        )
+        assert result.objects_total == 18
+        assert result.objects_exposed == 6  # exactly the victims' objects
+        assert result.exposure_fraction == pytest.approx(2 / 6)
+
+    def test_shared_master_is_a_class_break(self):
+        result = class_breaking_exposure(
+            cells=6, objects_per_cell=3, breached=1, shared_master=True
+        )
+        assert result.objects_exposed == result.objects_total  # everything falls
+
+    def test_zero_breaches_zero_exposure(self):
+        result = class_breaking_exposure(
+            cells=4, objects_per_cell=2, breached=0, shared_master=False
+        )
+        assert result.objects_exposed == 0
+
+    def test_cannot_breach_more_than_population(self):
+        with pytest.raises(ConfigurationError):
+            class_breaking_exposure(cells=2, objects_per_cell=1, breached=3,
+                                    shared_master=False)

@@ -1,0 +1,105 @@
+"""Tests for the bench harness: tables, and fast experiment smoke runs.
+
+The slow experiments run under ``pytest benchmarks/``; the quick ones
+are smoke-tested here too so that a plain ``pytest tests/`` exercises
+the experiment code paths.
+"""
+
+import pytest
+
+from repro.bench import ALL_EXPERIMENTS, Table
+from repro.bench import (
+    e01_figure1,
+    e06_breach_economics,
+    e07_class_breaking,
+    e08_embedded_query,
+    e12_usage_control,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("a", 1.5)
+        table.add_row("b", 12345.0)
+        rendered = table.render()
+        assert "== demo ==" in rendered
+        assert "1.500" in rendered
+        assert "12,345" in rendered
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("b", 2)
+        assert table.column("value") == [1, 2]
+        with pytest.raises(ConfigurationError):
+            table.column("missing")
+
+    def test_bool_rendering(self):
+        table = Table("demo", ["ok"])
+        table.add_row(True)
+        table.add_row(False)
+        rendered = table.render()
+        assert "yes" in rendered and "no" in rendered
+
+    def test_nan_rendering(self):
+        table = Table("demo", ["x"])
+        table.add_row(float("nan"))
+        assert "-" in table.render()
+
+    def test_notes(self):
+        table = Table("demo", ["x"])
+        table.add_note("context matters")
+        assert "note: context matters" in table.render()
+
+    def test_empty_table_renders(self):
+        assert "== empty ==" in Table("empty", ["a"]).render()
+
+
+class TestExperimentCatalog:
+    def test_twelve_experiments_registered(self):
+        assert list(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 13)]
+
+    def test_every_experiment_has_run_and_checker(self):
+        for module in ALL_EXPERIMENTS.values():
+            assert callable(module.run)
+            checker = getattr(module, "shape_holds", None) or getattr(
+                module, "all_invariants_hold", None
+            )
+            assert callable(checker)
+
+
+class TestFastExperimentSmoke:
+    """The quick experiments, asserted end to end in the unit suite."""
+
+    def test_e01(self):
+        tables = e01_figure1.run(seed=1)
+        assert e01_figure1.all_invariants_hold(tables)
+
+    def test_e06(self):
+        tables = e06_breach_economics.run()
+        assert e06_breach_economics.shape_holds(tables)
+
+    def test_e07(self):
+        tables = e07_class_breaking.run(cells=4, objects_per_cell=2)
+        table = tables[0]
+        shared_one = [row for row in table.rows
+                      if row[0] == "shared-master" and row[1] == 1]
+        assert shared_one[0][4] == 100.0
+
+    def test_e08(self):
+        tables = e08_embedded_query.run(records=300)
+        # smaller scale: just structural checks
+        assert tables[0].column("plan")
+        assert all(energy > 0 for energy in tables[0].column("energy uJ"))
+
+    def test_e12(self):
+        tables = e12_usage_control.run(subjects=5, attempts_per_subject=12)
+        values = dict(zip(tables[0].column("measure"), tables[0].column("value")))
+        assert values["reads granted"] == 50

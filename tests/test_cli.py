@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("E1", "E7", "E12"):
+            assert name in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "E7"]) == 0
+        output = capsys.readouterr().out
+        assert "HOLDS" in output
+        assert "shared-master" in output
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "e6"]) == 0
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "E99"])
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
+        from repro.bench.report import generate_report
+
+        output = tmp_path / "report.md"
+        verdicts = generate_report(output, experiments=["E7"])
+        assert verdicts == {"E7": True}
+        text = output.read_text()
+        assert "## E7" in text
+        assert "shared-master" in text
+        assert "**HOLDS**" in text

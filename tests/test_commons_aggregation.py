@@ -1,0 +1,209 @@
+"""Tests for secure aggregation protocols."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commons import (
+    AggregationNode,
+    CleartextSum,
+    MaskedSum,
+    ShamirSum,
+    masked_histogram,
+)
+from repro.crypto import shamir
+from repro.errors import ConfigurationError, ProtocolError
+
+
+def make_nodes(count, seed=1):
+    rng = random.Random(seed)
+    return [AggregationNode.standalone(f"cell-{i}", rng) for i in range(count)]
+
+
+def values_for(nodes, values):
+    return {node.name: value for node, value in zip(nodes, values)}
+
+
+class TestCleartextBaseline:
+    def test_sum(self):
+        nodes = make_nodes(4)
+        result = CleartextSum().run(nodes, values_for(nodes, [10, 20, 30, 40]))
+        assert shamir.decode_signed(result.total) == 100
+        assert result.messages == 4
+
+    def test_leaks_individuals(self):
+        nodes = make_nodes(3)
+        result = CleartextSum().run(nodes, values_for(nodes, [1, 2, 3]))
+        assert result.aggregator_view == [1, 2, 3]  # full leakage
+
+    def test_dropout_simply_missing(self):
+        nodes = make_nodes(3)
+        result = CleartextSum().run(
+            nodes, values_for(nodes, [1, 2, 3]), online={"cell-0", "cell-2"}
+        )
+        assert shamir.decode_signed(result.total) == 4
+        assert result.dropped == 1
+
+
+class TestMaskedSum:
+    def test_correct_total(self):
+        nodes = make_nodes(5)
+        result = MaskedSum().run(nodes, values_for(nodes, [5, 10, 15, 20, 25]))
+        assert shamir.decode_signed(result.total) == 75
+        assert result.rounds == 1
+
+    def test_negative_values(self):
+        nodes = make_nodes(3)
+        result = MaskedSum().run(nodes, values_for(nodes, [-10, 4, 3]))
+        assert shamir.decode_signed(result.total) == -3
+
+    def test_aggregator_view_hides_individuals(self):
+        nodes = make_nodes(4)
+        values = [7, 7, 7, 7]
+        result = MaskedSum().run(nodes, values_for(nodes, values))
+        # equal inputs must yield (overwhelmingly) unequal masked views
+        assert len(set(result.aggregator_view)) == 4
+        for masked in result.aggregator_view:
+            assert masked not in values
+
+    def test_dropout_recovery(self):
+        nodes = make_nodes(6)
+        values = values_for(nodes, [1, 2, 3, 4, 5, 6])
+        result = MaskedSum().run(
+            nodes, values, online={"cell-0", "cell-1", "cell-3", "cell-5"}
+        )
+        assert shamir.decode_signed(result.total) == 1 + 2 + 4 + 6
+        assert result.dropped == 2
+        assert result.rounds == 2
+
+    def test_recovery_costs_extra_messages(self):
+        nodes = make_nodes(6)
+        values = values_for(nodes, [1] * 6)
+        clean = MaskedSum().run(nodes, values)
+        with_dropout = MaskedSum().run(
+            nodes, values, online={n.name for n in nodes[:4]}
+        )
+        assert with_dropout.messages > clean.messages
+
+    def test_single_node_rejected(self):
+        nodes = make_nodes(1)
+        with pytest.raises(ConfigurationError):
+            MaskedSum().run(nodes, values_for(nodes, [1]))
+
+    def test_all_dropped_rejected(self):
+        nodes = make_nodes(3)
+        with pytest.raises(ProtocolError):
+            MaskedSum().run(nodes, values_for(nodes, [1, 2, 3]), online=set())
+
+    def test_round_tags_give_fresh_masks(self):
+        nodes = make_nodes(2)
+        values = values_for(nodes, [9, 1])
+        view_a = MaskedSum().run(nodes, values, round_tag="day-1").aggregator_view
+        view_b = MaskedSum().run(nodes, values, round_tag="day-2").aggregator_view
+        assert view_a != view_b  # mask reuse would leak value deltas
+
+    def test_mean(self):
+        nodes = make_nodes(4)
+        result = MaskedSum().run(nodes, values_for(nodes, [10, 20, 30, 40]))
+        assert result.mean == 25.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-10**9, max_value=10**9),
+                 min_size=2, max_size=8),
+        st.data(),
+    )
+    def test_total_matches_online_sum_property(self, values, data):
+        nodes = make_nodes(len(values))
+        online_mask = data.draw(
+            st.lists(st.booleans(), min_size=len(values), max_size=len(values))
+        )
+        online = {
+            node.name for node, keep in zip(nodes, online_mask) if keep
+        }
+        if not online:
+            online = {nodes[0].name}
+        result = MaskedSum().run(nodes, values_for(nodes, values), online=online)
+        expected = sum(
+            value for node, value in zip(nodes, values) if node.name in online
+        )
+        assert shamir.decode_signed(result.total) == expected
+
+
+class TestShamirSum:
+    def test_correct_total(self):
+        nodes = make_nodes(7)
+        protocol = ShamirSum(committee_size=5, threshold=3, rng=random.Random(2))
+        result = protocol.run(nodes, values_for(nodes, list(range(7))))
+        assert shamir.decode_signed(result.total) == sum(range(7))
+        assert result.rounds == 2
+
+    def test_tolerates_committee_dropout(self):
+        nodes = make_nodes(5)
+        protocol = ShamirSum(committee_size=5, threshold=3, rng=random.Random(2))
+        result = protocol.run(
+            nodes,
+            values_for(nodes, [10] * 5),
+            committee_online={0, 2, 4},
+        )
+        assert shamir.decode_signed(result.total) == 50
+
+    def test_below_threshold_committee_fails(self):
+        nodes = make_nodes(5)
+        protocol = ShamirSum(committee_size=5, threshold=3, rng=random.Random(2))
+        with pytest.raises(ProtocolError):
+            protocol.run(
+                nodes, values_for(nodes, [1] * 5), committee_online={0, 1}
+            )
+
+    def test_contributor_dropout(self):
+        nodes = make_nodes(4)
+        protocol = ShamirSum(committee_size=3, threshold=2, rng=random.Random(2))
+        result = protocol.run(
+            nodes, values_for(nodes, [1, 2, 3, 4]),
+            online={"cell-1", "cell-3"},
+        )
+        assert shamir.decode_signed(result.total) == 6
+        assert result.dropped == 2
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShamirSum(committee_size=3, threshold=4)
+
+    def test_message_count_scales_with_committee(self):
+        nodes = make_nodes(10)
+        small = ShamirSum(committee_size=3, threshold=2, rng=random.Random(2))
+        large = ShamirSum(committee_size=9, threshold=5, rng=random.Random(2))
+        values = values_for(nodes, [1] * 10)
+        assert small.run(nodes, values).messages < large.run(nodes, values).messages
+
+
+class TestMaskedHistogram:
+    def test_counts_correct(self):
+        nodes = make_nodes(6)
+        buckets = {node.name: i % 3 for i, node in enumerate(nodes)}
+        counts, accounting = masked_histogram(nodes, buckets, bucket_count=3)
+        assert counts == [2, 2, 2]
+        assert accounting.total == 6
+
+    def test_dropout_recovery(self):
+        nodes = make_nodes(5)
+        buckets = {node.name: 0 for node in nodes}
+        online = {node.name for node in nodes[:3]}
+        counts, accounting = masked_histogram(
+            nodes, buckets, bucket_count=2, online=online
+        )
+        assert counts == [3, 0]
+        assert accounting.dropped == 2
+
+    def test_bucket_out_of_range_rejected(self):
+        nodes = make_nodes(2)
+        with pytest.raises(ConfigurationError):
+            masked_histogram(nodes, {n.name: 5 for n in nodes}, bucket_count=3)
+
+    def test_zero_buckets_rejected(self):
+        nodes = make_nodes(2)
+        with pytest.raises(ConfigurationError):
+            masked_histogram(nodes, {n.name: 0 for n in nodes}, bucket_count=0)

@@ -1,0 +1,335 @@
+"""Tests for the trusted cell: sessions, reference monitor, series."""
+
+import pytest
+
+from repro.core import CertificateAuthority, TrustedCell, TrustRegistry
+from repro.errors import (
+    AccessDenied,
+    AuthenticationError,
+    ConfigurationError,
+    NotFoundError,
+    PolicyError,
+)
+from repro.hardware import HOME_GATEWAY, SMARTPHONE
+from repro.policy import (
+    Grant,
+    Obligation,
+    TimeWindow,
+    UsagePolicy,
+)
+from repro.policy.ucon import (
+    OBLIGATION_NOTIFY_OWNER,
+    RIGHT_READ,
+    RIGHT_SHARE,
+)
+from repro.sim import World
+from repro.store import Eq, Query
+
+
+def make_cell(name="alice-phone", profile=SMARTPHONE, world=None):
+    world = world or World(seed=42)
+    cell = TrustedCell(world, name, profile)
+    cell.register_user("alice", "1234")
+    return cell
+
+
+def alice_session(cell, **kwargs):
+    return cell.login("alice", "1234", **kwargs)
+
+
+class TestAuthentication:
+    def test_login_success(self):
+        cell = make_cell()
+        session = alice_session(cell)
+        assert session.subject == "alice"
+
+    def test_wrong_pin_rejected_and_audited(self):
+        cell = make_cell()
+        with pytest.raises(AuthenticationError):
+            cell.login("alice", "9999")
+        failures = [entry for entry in cell.audit.entries() if not entry.allowed]
+        assert failures and failures[0].action == "login"
+
+    def test_unknown_user_rejected(self):
+        with pytest.raises(AuthenticationError):
+            make_cell().login("mallory", "1234")
+
+    def test_credentials_become_session_attributes(self):
+        authority = CertificateAuthority("employer", b"seed")
+        registry = TrustRegistry()
+        registry.trust_authority("employer", authority.verify_key)
+        world = World(seed=1)
+        cell = TrustedCell(world, "cell", SMARTPHONE, registry)
+        cell.register_user("alice", "1234")
+        credential = authority.issue("alice", {"role": "engineer"}, 0, 10**9)
+        session = cell.login("alice", "1234", credentials=[credential])
+        assert session.attributes == {"role": "engineer"}
+
+    def test_peer_session_requires_enrollment(self):
+        cell = make_cell()
+        with pytest.raises(AuthenticationError):
+            cell.session_for_peer("stranger")
+
+    def test_empty_cell_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrustedCell(World(), "", SMARTPHONE)
+
+
+class TestObjectLifecycle:
+    def test_store_and_read_own_object(self):
+        cell = make_cell()
+        session = alice_session(cell)
+        cell.store_object(session, "note-1", b"my secret note", kind="note")
+        assert cell.read_object(session, "note-1") == b"my secret note"
+
+    def test_metadata_recorded(self):
+        cell = make_cell()
+        session = alice_session(cell)
+        cell.store_object(session, "photo-1", b"x" * 100, kind="photo",
+                          keywords="beach family")
+        metadata = cell.object_metadata("photo-1")
+        assert metadata.owner == "alice"
+        assert metadata.kind == "photo"
+        assert metadata.size == 100
+        assert metadata.version == 1
+
+    def test_versions_increment(self):
+        cell = make_cell()
+        session = alice_session(cell)
+        cell.store_object(session, "doc", b"v1")
+        cell.store_object(session, "doc", b"v2")
+        assert cell.object_metadata("doc").version == 2
+        assert cell.read_object(session, "doc") == b"v2"
+
+    def test_missing_object_raises(self):
+        cell = make_cell()
+        with pytest.raises(NotFoundError):
+            cell.read_object(alice_session(cell), "ghost")
+
+    def test_default_policy_is_private(self):
+        cell = make_cell()
+        cell.register_user("bob", "5678")
+        session = alice_session(cell)
+        cell.store_object(session, "diary", b"private")
+        bob = cell.login("bob", "5678")
+        with pytest.raises(AccessDenied):
+            cell.read_object(bob, "diary")
+
+    def test_granted_subject_can_read(self):
+        cell = make_cell()
+        cell.register_user("bob", "5678")
+        session = alice_session(cell)
+        policy = UsagePolicy(
+            owner="alice",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("bob",)),),
+        )
+        cell.store_object(session, "shared-doc", b"hello bob", policy=policy)
+        bob = cell.login("bob", "5678")
+        assert cell.read_object(bob, "shared-doc") == b"hello bob"
+
+    def test_denial_is_audited(self):
+        cell = make_cell()
+        cell.register_user("bob", "5678")
+        cell.store_object(alice_session(cell), "diary", b"private")
+        with pytest.raises(AccessDenied):
+            cell.read_object(cell.login("bob", "5678"), "diary")
+        denied = [entry for entry in cell.audit.entries_for("diary")
+                  if not entry.allowed]
+        assert len(denied) == 1
+        assert denied[0].subject == "bob"
+
+    def test_rights_on(self):
+        cell = make_cell()
+        cell.register_user("bob", "5678")
+        policy = UsagePolicy(
+            owner="alice",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("bob",)),),
+        )
+        cell.store_object(alice_session(cell), "doc", b"x", policy=policy)
+        assert cell.rights_on(cell.login("bob", "5678"), "doc") == {RIGHT_READ}
+        assert RIGHT_SHARE in cell.rights_on(alice_session(cell), "doc")
+
+
+class TestUsageControl:
+    def test_max_uses_enforced(self):
+        cell = make_cell()
+        cell.register_user("bob", "5678")
+        policy = UsagePolicy(
+            owner="alice",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("bob",)),),
+            max_uses=2,
+        )
+        cell.store_object(alice_session(cell), "photo", b"img", policy=policy)
+        bob = cell.login("bob", "5678")
+        assert cell.read_object(bob, "photo") == b"img"
+        assert cell.read_object(bob, "photo") == b"img"
+        with pytest.raises(AccessDenied):
+            cell.read_object(bob, "photo")
+
+    def test_use_budgets_are_per_subject(self):
+        cell = make_cell()
+        cell.register_user("bob", "5678")
+        cell.register_user("carol", "9999")
+        policy = UsagePolicy(
+            owner="alice",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("bob", "carol")),),
+            max_uses=1,
+        )
+        cell.store_object(alice_session(cell), "photo", b"img", policy=policy)
+        cell.read_object(cell.login("bob", "5678"), "photo")
+        # bob's budget is gone, carol's is not
+        assert cell.read_object(cell.login("carol", "9999"), "photo") == b"img"
+
+    def test_time_condition_enforced(self):
+        world = World(seed=1)
+        cell = TrustedCell(world, "cell", SMARTPHONE)
+        cell.register_user("alice", "1234")
+        policy = UsagePolicy(owner="alice", conditions=(TimeWindow(not_after=100),))
+        cell.store_object(alice_session(cell), "timed", b"x", policy=policy)
+        session = alice_session(cell)
+        assert cell.read_object(session, "timed") == b"x"
+        world.clock.advance(200)
+        with pytest.raises(AccessDenied):
+            cell.read_object(session, "timed")
+
+    def test_notify_owner_obligation_queues_notification(self):
+        cell = make_cell()
+        cell.register_user("bob", "5678")
+        policy = UsagePolicy(
+            owner="alice",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("bob",)),),
+            obligations=(Obligation(OBLIGATION_NOTIFY_OWNER),),
+        )
+        cell.store_object(alice_session(cell), "photo", b"img", policy=policy)
+        cell.read_object(cell.login("bob", "5678"), "photo")
+        assert len(cell.outbox) == 1
+        notification = cell.outbox[0]
+        assert notification["to"] == "alice"
+        assert notification["subject"] == "bob"
+        assert notification["about"] == "photo"
+
+    def test_obligation_fulfilment_is_audited(self):
+        cell = make_cell()
+        cell.register_user("bob", "5678")
+        policy = UsagePolicy(
+            owner="alice",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("bob",)),),
+            obligations=(Obligation(OBLIGATION_NOTIFY_OWNER),),
+        )
+        cell.store_object(alice_session(cell), "photo", b"img", policy=policy)
+        cell.read_object(cell.login("bob", "5678"), "photo")
+        actions = [entry.action for entry in cell.audit.entries_for("photo")]
+        assert f"obligation:{OBLIGATION_NOTIFY_OWNER}" in actions
+
+
+class TestMetadataQueries:
+    def test_query_by_kind(self):
+        cell = make_cell()
+        session = alice_session(cell)
+        cell.store_object(session, "p1", b"1", kind="photo")
+        cell.store_object(session, "p2", b"2", kind="photo")
+        cell.store_object(session, "m1", b"3", kind="mail")
+        result = cell.query_metadata(session, Query("objects", where=Eq("kind", "photo")))
+        assert len(result) == 2
+        assert result.plan == "index:kind"
+
+    def test_queries_are_audited(self):
+        cell = make_cell()
+        session = alice_session(cell)
+        cell.store_object(session, "p1", b"1", kind="photo")
+        cell.query_metadata(session, Query("objects"))
+        assert any(entry.action == "query" for entry in cell.audit.entries())
+
+
+class TestSeries:
+    def family_policy(self):
+        return UsagePolicy(
+            owner="meter",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("alice", "bob")),),
+        )
+
+    def make_gateway(self):
+        world = World(seed=3)
+        cell = TrustedCell(world, "gateway", HOME_GATEWAY)
+        cell.register_user("alice", "1234")
+        cell.register_user("bob", "5678")
+        cell.register_series(
+            "power",
+            policies={
+                900: self.family_policy(),  # 15-min for the household
+                86400: UsagePolicy(
+                    owner="meter",
+                    grants=(Grant(rights=(RIGHT_READ,), subjects=("game-app",)),),
+                ),
+            },
+        )
+        for second in range(0, 3600):
+            cell.append_sample("power", second, 100.0 + (second % 10))
+        return cell
+
+    def test_household_reads_15min_aggregates(self):
+        cell = self.make_gateway()
+        buckets = cell.read_series(alice_session(cell), "power", 900)
+        assert len(buckets) == 4
+        assert buckets[0].count == 900
+
+    def test_raw_granularity_denied_without_policy(self):
+        cell = self.make_gateway()
+        with pytest.raises(AccessDenied):
+            cell.read_series(alice_session(cell), "power", 1)
+
+    def test_unlisted_granularity_denied(self):
+        cell = self.make_gateway()
+        with pytest.raises(AccessDenied):
+            cell.read_series(alice_session(cell), "power", 60)
+
+    def test_subject_not_in_policy_denied(self):
+        cell = self.make_gateway()
+        cell.register_user("carol", "0000")
+        with pytest.raises(AccessDenied):
+            cell.read_series(cell.login("carol", "0000"), "power", 900)
+
+    def test_duplicate_series_rejected(self):
+        cell = self.make_gateway()
+        with pytest.raises(ConfigurationError):
+            cell.register_series("power", {900: self.family_policy()})
+
+    def test_series_without_policies_rejected(self):
+        cell = make_cell()
+        with pytest.raises(ConfigurationError):
+            cell.register_series("empty", {})
+
+    def test_append_to_unknown_series(self):
+        with pytest.raises(NotFoundError):
+            make_cell().append_sample("nope", 0, 1.0)
+
+    def test_window_bounds(self):
+        cell = self.make_gateway()
+        buckets = cell.read_series(alice_session(cell), "power", 900,
+                                   start=0, end=1800)
+        assert len(buckets) == 2
+
+    def test_certified_aggregates_verify(self):
+        cell = self.make_gateway()
+        payload, signature = cell.certify_aggregates("power", 86400)
+        message = f"certified|gateway|power|86400|".encode() + payload
+        assert cell.principal.verify_key.verify(message, signature)
+
+    def test_certify_unregistered_granularity_rejected(self):
+        cell = self.make_gateway()
+        with pytest.raises(PolicyError):
+            cell.certify_aggregates("power", 60)
+
+
+class TestBreach:
+    def test_breach_yields_envelopes_and_disables(self):
+        from repro.errors import TamperedCellError
+
+        cell = make_cell()
+        session = alice_session(cell)
+        cell.store_object(session, "doc", b"secret")
+        loot = cell.breach()
+        assert "doc" in loot["envelopes"]
+        assert loot["keys"]["master_secret"]
+        with pytest.raises(TamperedCellError):
+            cell.read_object(session, "doc")

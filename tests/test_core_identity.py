@@ -1,0 +1,127 @@
+"""Tests for identities, credentials, and the trust registry."""
+
+import pytest
+
+from repro.core import CertificateAuthority, TrustRegistry
+from repro.errors import ConfigurationError, CredentialError
+from repro.hardware import SMARTPHONE, TrustedExecutionEnvironment
+from repro.crypto import KeyRing
+import random
+
+
+def make_authority(name="hospital"):
+    return CertificateAuthority(name, seed=name.encode())
+
+
+def registry_with(*authorities):
+    registry = TrustRegistry()
+    for authority in authorities:
+        registry.trust_authority(authority.name, authority.verify_key)
+    return registry
+
+
+class TestCredentials:
+    def test_issue_and_verify(self):
+        authority = make_authority()
+        registry = registry_with(authority)
+        credential = authority.issue("alice", {"role": "patient"}, 0, 1000)
+        attributes = registry.verify_credential(credential, now=500)
+        assert attributes == {"role": "patient"}
+
+    def test_unknown_issuer_rejected(self):
+        credential = make_authority("rogue").issue("alice", {"role": "admin"}, 0, 1000)
+        registry = registry_with(make_authority("hospital"))
+        with pytest.raises(CredentialError):
+            registry.verify_credential(credential, now=500)
+
+    def test_expired_rejected(self):
+        authority = make_authority()
+        registry = registry_with(authority)
+        credential = authority.issue("alice", {"role": "patient"}, 0, 100)
+        with pytest.raises(CredentialError):
+            registry.verify_credential(credential, now=101)
+
+    def test_not_yet_valid_rejected(self):
+        authority = make_authority()
+        registry = registry_with(authority)
+        credential = authority.issue("alice", {"role": "patient"}, 100, 200)
+        with pytest.raises(CredentialError):
+            registry.verify_credential(credential, now=99)
+
+    def test_forged_attribute_rejected(self):
+        import dataclasses
+
+        authority = make_authority()
+        registry = registry_with(authority)
+        credential = authority.issue("alice", {"role": "patient"}, 0, 1000)
+        forged = dataclasses.replace(
+            credential, attributes=(("role", "chief-of-medicine"),)
+        )
+        with pytest.raises(CredentialError):
+            registry.verify_credential(forged, now=500)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_authority().issue("alice", {}, 100, 50)
+
+    def test_merge_multiple_credentials(self):
+        hospital = make_authority("hospital")
+        employer = make_authority("employer")
+        registry = registry_with(hospital, employer)
+        credentials = [
+            hospital.issue("alice", {"patient": True}, 0, 1000),
+            employer.issue("alice", {"role": "engineer"}, 0, 1000),
+        ]
+        attributes = registry.verify_credentials("alice", credentials, now=500)
+        assert attributes == {"patient": True, "role": "engineer"}
+
+    def test_wrong_subject_rejected_in_merge(self):
+        authority = make_authority()
+        registry = registry_with(authority)
+        credential = authority.issue("bob", {"role": "patient"}, 0, 1000)
+        with pytest.raises(CredentialError):
+            registry.verify_credentials("alice", [credential], now=500)
+
+    def test_empty_authority_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CertificateAuthority("", seed=b"x")
+
+
+class TestPrincipalsAndAttestation:
+    def test_enroll_and_lookup(self):
+        registry = TrustRegistry()
+        tee = TrustedExecutionEnvironment(SMARTPHONE, KeyRing.generate(random.Random(1)))
+        from repro.core.identity import Principal
+
+        principal = Principal("alice-phone", tee.keys.verify_key, tee.keys.exchange_public)
+        registry.enroll_principal(principal)
+        assert registry.knows_principal("alice-phone")
+        assert registry.principal("alice-phone") is principal
+
+    def test_unknown_principal_raises(self):
+        with pytest.raises(CredentialError):
+            TrustRegistry().principal("ghost")
+
+    def test_attestation_check(self):
+        registry = TrustRegistry()
+        tee = TrustedExecutionEnvironment(SMARTPHONE, KeyRing.generate(random.Random(1)))
+        from repro.core.identity import Principal
+
+        registry.enroll_principal(
+            Principal("cell", tee.keys.verify_key, tee.keys.exchange_public)
+        )
+        quote = tee.attest(b"nonce")
+        assert registry.check_attestation("cell", quote, b"nonce")
+        assert not registry.check_attestation("cell", quote, b"other-nonce")
+
+    def test_attestation_from_impostor_fails(self):
+        registry = TrustRegistry()
+        genuine = TrustedExecutionEnvironment(SMARTPHONE, KeyRing.generate(random.Random(1)))
+        impostor = TrustedExecutionEnvironment(SMARTPHONE, KeyRing.generate(random.Random(2)))
+        from repro.core.identity import Principal
+
+        registry.enroll_principal(
+            Principal("cell", genuine.keys.verify_key, genuine.keys.exchange_public)
+        )
+        quote = impostor.attest(b"nonce")
+        assert not registry.check_attestation("cell", quote, b"nonce")

@@ -1,0 +1,170 @@
+"""Tests for Shamir and additive secret sharing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    PRIME,
+    additive_shares,
+    combine_additive,
+    decode_signed,
+    encode_signed,
+    reconstruct_bytes,
+    reconstruct_secret,
+    split_bytes,
+    split_secret,
+)
+from repro.errors import ConfigurationError, ProtocolError
+
+
+def rng():
+    return random.Random(1234)
+
+
+class TestShamir:
+    def test_reconstruct_with_threshold_shares(self):
+        shares = split_secret(12345, shares=5, threshold=3, rng=rng())
+        assert reconstruct_secret(shares[:3]) == 12345
+
+    def test_reconstruct_with_any_subset(self):
+        shares = split_secret(999, shares=5, threshold=3, rng=rng())
+        assert reconstruct_secret([shares[0], shares[2], shares[4]]) == 999
+        assert reconstruct_secret([shares[4], shares[1], shares[3]]) == 999
+
+    def test_all_shares_also_reconstruct(self):
+        shares = split_secret(7, shares=4, threshold=2, rng=rng())
+        assert reconstruct_secret(shares) == 7
+
+    def test_below_threshold_does_not_reveal(self):
+        secret = 424242
+        shares = split_secret(secret, shares=5, threshold=3, rng=rng())
+        assert reconstruct_secret(shares[:2]) != secret
+
+    def test_single_share_threshold_one(self):
+        shares = split_secret(55, shares=3, threshold=1, rng=rng())
+        for share in shares:
+            assert reconstruct_secret([share]) == 55
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_secret(1, shares=2, threshold=3, rng=rng())
+        with pytest.raises(ConfigurationError):
+            split_secret(1, shares=2, threshold=0, rng=rng())
+
+    def test_secret_out_of_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_secret(PRIME, shares=3, threshold=2, rng=rng())
+        with pytest.raises(ConfigurationError):
+            split_secret(-1, shares=3, threshold=2, rng=rng())
+
+    def test_zero_shares_rejected(self):
+        with pytest.raises(ProtocolError):
+            reconstruct_secret([])
+
+    def test_duplicate_x_rejected(self):
+        shares = split_secret(5, shares=3, threshold=2, rng=rng())
+        with pytest.raises(ProtocolError):
+            reconstruct_secret([shares[0], shares[0]])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=PRIME - 1),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_roundtrip_property(self, secret, threshold, extra):
+        shares = split_secret(
+            secret, shares=threshold + extra, threshold=threshold, rng=rng()
+        )
+        assert reconstruct_secret(shares[:threshold]) == secret
+
+
+class TestShamirBytes:
+    def test_roundtrip_short(self):
+        shares = split_bytes(b"hello", shares=4, threshold=2, rng=rng())
+        assert reconstruct_bytes(shares[:2]) == b"hello"
+
+    def test_roundtrip_key_sized(self):
+        secret = bytes(range(16))
+        shares = split_bytes(secret, shares=5, threshold=3, rng=rng())
+        assert reconstruct_bytes([shares[1], shares[3], shares[4]]) == secret
+
+    def test_roundtrip_empty(self):
+        shares = split_bytes(b"", shares=3, threshold=2, rng=rng())
+        assert reconstruct_bytes(shares[:2]) == b""
+
+    def test_roundtrip_long_multichunk(self):
+        secret = bytes(range(256)) * 2
+        shares = split_bytes(secret, shares=3, threshold=3, rng=rng())
+        assert reconstruct_bytes(shares) == secret
+
+    def test_inconsistent_chunk_counts_rejected(self):
+        shares = split_bytes(b"hello world and more", shares=3, threshold=2, rng=rng())
+        shares[1] = shares[1][:-1]
+        with pytest.raises(ProtocolError):
+            reconstruct_bytes(shares[:2])
+
+    def test_zero_participants_rejected(self):
+        with pytest.raises(ProtocolError):
+            reconstruct_bytes([])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_roundtrip_property(self, secret):
+        shares = split_bytes(secret, shares=3, threshold=2, rng=rng())
+        assert reconstruct_bytes(shares[:2]) == secret
+
+
+class TestAdditive:
+    def test_shares_sum_to_value(self):
+        shares = additive_shares(1000, parties=5, rng=rng())
+        assert combine_additive(shares) == 1000
+
+    def test_single_party(self):
+        assert additive_shares(7, parties=1, rng=rng()) == [7]
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(ConfigurationError):
+            additive_shares(7, parties=0, rng=rng())
+
+    def test_subset_does_not_reveal(self):
+        shares = additive_shares(1000, parties=5, rng=rng())
+        assert combine_additive(shares[:4]) != 1000
+
+    def test_additive_homomorphism(self):
+        r = rng()
+        a = additive_shares(100, parties=3, rng=r)
+        b = additive_shares(250, parties=3, rng=r)
+        summed = [(x + y) % PRIME for x, y in zip(a, b)]
+        assert combine_additive(summed) == 350
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=PRIME - 1),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_roundtrip_property(self, value, parties):
+        shares = additive_shares(value, parties, rng=rng())
+        assert combine_additive(shares) == value
+
+
+class TestSignedEncoding:
+    def test_positive_roundtrip(self):
+        assert decode_signed(encode_signed(12345)) == 12345
+
+    def test_negative_roundtrip(self):
+        assert decode_signed(encode_signed(-12345)) == -12345
+
+    def test_zero(self):
+        assert decode_signed(encode_signed(0)) == 0
+
+    def test_sum_of_negatives_through_field(self):
+        total = (encode_signed(-5) + encode_signed(-7)) % PRIME
+        assert decode_signed(total) == -12
+
+    @given(st.integers(min_value=-(PRIME // 2), max_value=PRIME // 2 - 1))
+    def test_roundtrip_property(self, value):
+        assert decode_signed(encode_signed(value)) == value

@@ -1,0 +1,83 @@
+"""Tests for Schnorr signatures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import Signature, SigningKey, generate_keypair
+from repro.crypto.signing import G, P, Q
+from repro.errors import ConfigurationError, IntegrityError
+
+
+class TestGroupParameters:
+    def test_safe_prime_relation(self):
+        assert P == 2 * Q + 1
+
+    def test_generator_has_order_q(self):
+        assert pow(G, Q, P) == 1
+        assert pow(G, 2, P) != 1
+
+
+class TestSigning:
+    def test_sign_verify_roundtrip(self):
+        signing, verify = generate_keypair(b"seed")
+        signature = signing.sign(b"message")
+        assert verify.verify(b"message", signature)
+
+    def test_wrong_message_rejected(self):
+        signing, verify = generate_keypair(b"seed")
+        signature = signing.sign(b"message")
+        assert not verify.verify(b"other message", signature)
+
+    def test_wrong_key_rejected(self):
+        signing, _ = generate_keypair(b"seed-a")
+        _, other_verify = generate_keypair(b"seed-b")
+        signature = signing.sign(b"message")
+        assert not other_verify.verify(b"message", signature)
+
+    def test_deterministic_signatures(self):
+        signing, _ = generate_keypair(b"seed")
+        assert signing.sign(b"m") == signing.sign(b"m")
+
+    def test_distinct_messages_distinct_signatures(self):
+        signing, _ = generate_keypair(b"seed")
+        assert signing.sign(b"m1") != signing.sign(b"m2")
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SigningKey.from_seed(b"")
+
+    def test_require_valid_raises_on_forgery(self):
+        signing, verify = generate_keypair(b"seed")
+        signature = signing.sign(b"message")
+        forged = Signature(signature.challenge, (signature.response + 1) % Q)
+        with pytest.raises(IntegrityError):
+            verify.require_valid(b"message", forged)
+
+    def test_zero_response_rejected(self):
+        _, verify = generate_keypair(b"seed")
+        assert not verify.verify(b"m", Signature(challenge=1, response=0))
+
+    def test_signature_serialization_roundtrip(self):
+        signing, verify = generate_keypair(b"seed")
+        signature = signing.sign(b"message")
+        restored = Signature.from_bytes(signature.to_bytes())
+        assert restored == signature
+        assert verify.verify(b"message", restored)
+
+    def test_malformed_signature_bytes_rejected(self):
+        with pytest.raises(IntegrityError):
+            Signature.from_bytes(b"short")
+
+    def test_fingerprint_stable_and_distinct(self):
+        _, verify_a = generate_keypair(b"seed-a")
+        _, verify_b = generate_keypair(b"seed-b")
+        assert verify_a.fingerprint() == verify_a.fingerprint()
+        assert verify_a.fingerprint() != verify_b.fingerprint()
+        assert len(verify_a.fingerprint()) == 16
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=1, max_size=32), st.binary(max_size=64))
+    def test_roundtrip_property(self, seed, message):
+        signing, verify = generate_keypair(seed)
+        assert verify.verify(message, signing.sign(message))

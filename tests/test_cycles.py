@@ -1,0 +1,152 @@
+"""Tests for multi-state appliances and the phase-sequence NILM attack."""
+
+import random
+
+import pytest
+
+from repro.attacks import (
+    cycle_attack,
+    match_cycles,
+    score_cycle_detection,
+    segment_plateaus,
+)
+from repro.attacks.cycles import CycleMatch, Plateau
+from repro.errors import ConfigurationError
+from repro.sim import SECONDS_PER_DAY
+from repro.workloads import (
+    STANDARD_CYCLES,
+    WASHING_MACHINE_CYCLE,
+    CyclicAppliance,
+    CyclicHouseholdSimulator,
+    Phase,
+)
+
+
+def simulate(seed=1, noise=3.0):
+    simulator = CyclicHouseholdSimulator(random.Random(seed), noise_watts=noise)
+    trace, runs = simulator.simulate_day(0)
+    return simulator, trace, runs
+
+
+def busy_simulation(seed_start=1):
+    """First seed whose day contains at least one cycle run."""
+    for seed in range(seed_start, seed_start + 20):
+        simulator, trace, runs = simulate(seed)
+        if runs:
+            return simulator, trace, runs
+    raise AssertionError("no seed produced cycle runs")
+
+
+class TestMultiStateWorkload:
+    def test_phase_validation(self):
+        with pytest.raises(ConfigurationError):
+            Phase("bad", -5.0, 100)
+        with pytest.raises(ConfigurationError):
+            Phase("bad", 100.0, 0)
+        with pytest.raises(ConfigurationError):
+            CyclicAppliance("empty", (), (1,), 1.0)
+
+    def test_cycle_duration_and_signature(self):
+        assert WASHING_MACHINE_CYCLE.cycle_duration == (15 + 40 + 10) * 60
+        assert WASHING_MACHINE_CYCLE.signature() == (2100.0, 300.0, 700.0)
+
+    def test_trace_covers_day(self):
+        _, trace, _ = simulate()
+        assert len(trace.series) == SECONDS_PER_DAY
+
+    def test_runs_expand_to_contiguous_phases(self):
+        _, _, runs = busy_simulation()
+        for run in runs:
+            for earlier, later in zip(run.phase_events, run.phase_events[1:]):
+                assert earlier.end == later.start
+            assert run.phase_events[0].start == run.start
+
+    def test_phase_power_visible_in_trace(self):
+        simulator, trace, runs = busy_simulation()
+        run = runs[0]
+        first_phase = run.phase_events[0]
+        mid = first_phase.start + first_phase.duration // 2
+        value = trace.series.value_at(mid)
+        assert value >= simulator.base_load + first_phase.power_watts - 20
+
+    def test_deterministic(self):
+        _, trace_a, runs_a = simulate(seed=5)
+        _, trace_b, runs_b = simulate(seed=5)
+        assert runs_a == runs_b
+        assert trace_a.series.samples() == trace_b.series.samples()
+
+
+class TestPlateauSegmentation:
+    def test_flat_series_is_one_plateau(self):
+        simulator = CyclicHouseholdSimulator(
+            random.Random(9), appliances=(), noise_watts=0.0
+        )
+        trace, _ = simulator.simulate_day(0)
+        plateaus = segment_plateaus(trace, granularity=60)
+        assert len(plateaus) == 1
+        assert plateaus[0].level_watts == pytest.approx(simulator.base_load)
+
+    def test_each_phase_becomes_a_plateau(self):
+        simulator, trace, runs = busy_simulation()
+        plateaus = segment_plateaus(trace, granularity=1)
+        # at least one plateau per phase plus the base-load gaps
+        total_phases = sum(len(run.phase_events) for run in runs)
+        assert len(plateaus) >= total_phases
+
+    def test_plateau_durations_positive(self):
+        _, trace, _ = busy_simulation()
+        for plateau in segment_plateaus(trace, granularity=60):
+            assert plateau.duration > 0
+
+
+class TestCycleMatching:
+    def test_raw_granularity_identifies_cycles(self):
+        simulator, trace, runs = busy_simulation()
+        score = cycle_attack(
+            trace, runs, list(STANDARD_CYCLES), 1, simulator.base_load
+        )
+        assert score.f1 == 1.0
+
+    def test_15min_granularity_destroys_cycles(self):
+        simulator, trace, runs = busy_simulation()
+        score = cycle_attack(
+            trace, runs, list(STANDARD_CYCLES), 900, simulator.base_load
+        )
+        assert score.f1 <= 0.34
+
+    def test_wrong_signature_does_not_match(self):
+        simulator, trace, runs = busy_simulation()
+        imaginary = CyclicAppliance(
+            name="fusion-reactor",
+            phases=(Phase("ignite", 9000.0, 600), Phase("burn", 4000.0, 1200)),
+            active_hours=(12,),
+            daily_uses=1.0,
+        )
+        plateaus = segment_plateaus(trace, 1)
+        matches = match_cycles(plateaus, [imaginary], simulator.base_load)
+        assert matches == []
+
+    def test_score_counts(self):
+        from repro.workloads.multistate import CycleRun
+
+        truth = [CycleRun("washing-machine-cycle", 1000, ())]
+        claims = [
+            CycleMatch("washing-machine-cycle", 1100, 5000),  # hit
+            CycleMatch("dishwasher-cycle", 1100, 5000),  # false positive
+        ]
+        score = score_cycle_detection(claims, truth)
+        assert score.true_positives == 1
+        assert score.false_positives == 1
+        assert score.false_negatives == 0
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            match_cycles([], list(STANDARD_CYCLES), 100.0, power_tolerance=0.0)
+
+    def test_empty_observation(self):
+        assert segment_plateaus(
+            type("T", (), {"series": __import__("repro.store",
+                                                fromlist=["TimeSeries"]).TimeSeries(),
+                           "sample_period": 1})(),
+            granularity=1,
+        ) == []

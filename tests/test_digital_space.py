@@ -1,0 +1,228 @@
+"""Tests for the federated digital space and self-care."""
+
+import pytest
+
+from repro.core import (
+    ORIGIN_AUTHORED,
+    ORIGIN_EXTERNAL,
+    ORIGIN_SENSED,
+    DigitalSpace,
+    SelfCare,
+    TrustedCell,
+)
+from repro.errors import AccessDenied, ConfigurationError
+from repro.hardware import HOME_GATEWAY, SMARTPHONE
+from repro.infrastructure import CloudProvider
+from repro.sim import World
+from repro.store import Eq, Query
+from repro.sync import VaultClient
+
+
+def build_space():
+    world = World(seed=91)
+    gateway = TrustedCell(world, "gateway", HOME_GATEWAY)
+    phone = TrustedCell(world, "phone", SMARTPHONE)
+    for cell in (gateway, phone):
+        cell.register_user("alice", "pin")
+    gateway_session = gateway.login("alice", "pin")
+    phone_session = phone.login("alice", "pin")
+    gateway.store_object(gateway_session, "payslip-0", b"acme:3000",
+                         kind="payslip", keywords="acme salary january")
+    gateway.store_object(gateway_session, "meter-dump", b"...",
+                         kind="meter-trace", keywords="energy january")
+    phone.store_object(phone_session, "photo-1", b"jpeg",
+                       kind="photo", keywords="beach family january")
+    phone.store_object(phone_session, "note-1", b"remember milk",
+                       kind="note", keywords="groceries")
+    space = DigitalSpace("alice")
+    space.attach(gateway_session)
+    space.attach(phone_session)
+    return world, space, gateway, phone
+
+
+class TestDigitalSpace:
+    def test_inventory_spans_cells(self):
+        _, space, _, _ = build_space()
+        entries = space.inventory()
+        assert len(entries) == 4
+        assert {entry.cell for entry in entries} == {"gateway", "phone"}
+
+    def test_origin_taxonomy(self):
+        _, space, _, _ = build_space()
+        grouped = space.by_origin()
+        assert {e.object_id for e in grouped[ORIGIN_SENSED]} == {"meter-dump"}
+        assert {e.object_id for e in grouped[ORIGIN_EXTERNAL]} == {"payslip-0"}
+        assert {e.object_id for e in grouped[ORIGIN_AUTHORED]} == {
+            "photo-1", "note-1",
+        }
+
+    def test_custom_origin_map(self):
+        world = World(seed=92)
+        cell = TrustedCell(world, "c", SMARTPHONE)
+        cell.register_user("alice", "pin")
+        session = cell.login("alice", "pin")
+        cell.store_object(session, "x", b"d", kind="weird-kind")
+        space = DigitalSpace("alice", origin_map={"weird-kind": ORIGIN_SENSED})
+        space.attach(session)
+        assert space.inventory()[0].origin == ORIGIN_SENSED
+
+    def test_federated_query_tags_provenance(self):
+        _, space, _, _ = build_space()
+        rows = space.query(Query("objects", where=Eq("kind", "photo")))
+        assert len(rows) == 1
+        assert rows[0]["_cell"] == "phone"
+
+    def test_cross_cell_keyword_search(self):
+        _, space, _, _ = build_space()
+        hits = space.search(["january"])
+        assert {hit.object_id for hit in hits} == {
+            "payslip-0", "meter-dump", "photo-1",
+        }
+        assert {hit.cell for hit in hits} == {"gateway", "phone"}
+
+    def test_search_is_conjunctive(self):
+        _, space, _, _ = build_space()
+        hits = space.search(["january", "beach"])
+        assert {hit.object_id for hit in hits} == {"photo-1"}
+
+    def test_read_goes_through_monitor(self):
+        _, space, _, _ = build_space()
+        assert space.read("phone", "note-1") == b"remember milk"
+
+    def test_attach_wrong_user_rejected(self):
+        world, space, gateway, _ = build_space()
+        gateway.register_user("bob", "pin2")
+        bob_session = gateway.login("bob", "pin2")
+        with pytest.raises(ConfigurationError):
+            space.attach(bob_session)
+
+    def test_double_attach_rejected(self):
+        world, space, gateway, _ = build_space()
+        with pytest.raises(ConfigurationError):
+            space.attach(gateway.login("alice", "pin"))
+
+    def test_totals(self):
+        _, space, _, _ = build_space()
+        totals = space.totals()
+        assert totals["objects"] == 4
+        assert totals["cells"] == 2
+        assert totals["by_origin"][ORIGIN_AUTHORED] == 2
+
+    def test_detach(self):
+        _, space, _, _ = build_space()
+        space.detach("phone")
+        assert space.cells() == ["gateway"]
+        assert len(space.inventory()) == 2
+
+    def test_empty_user_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DigitalSpace("")
+
+
+class TestSelfCare:
+    def build_cell(self):
+        world = World(seed=93)
+        cell = TrustedCell(world, "cell", SMARTPHONE)
+        cell.register_user("alice", "pin")
+        return world, cell
+
+    def test_healthy_diagnosis(self):
+        world, cell = self.build_cell()
+        session = cell.login("alice", "pin")
+        cell.store_object(session, "doc", b"x")
+        diagnosis = SelfCare(cell).run_once()
+        assert diagnosis.healthy
+        assert diagnosis.audit_chain_ok
+        assert diagnosis.missing_envelopes == []
+
+    def test_detects_missing_envelope(self):
+        world, cell = self.build_cell()
+        session = cell.login("alice", "pin")
+        cell.store_object(session, "doc", b"x")
+        del cell._envelopes["doc"]  # local mass storage corruption
+        diagnosis = SelfCare(cell).run_once()
+        assert not diagnosis.healthy
+        assert diagnosis.missing_envelopes == ["doc"]
+
+    def test_heals_from_vault(self):
+        world, cell = self.build_cell()
+        cloud = CloudProvider(world)
+        session = cell.login("alice", "pin")
+        cell.store_object(session, "doc", b"x")
+        vault = VaultClient(cell, cloud)
+        vault.push("doc")
+        vault.install_fetcher()
+        del cell._envelopes["doc"]
+        diagnosis = SelfCare(cell).run_once()
+        assert diagnosis.healthy
+        assert diagnosis.healed_envelopes == ["doc"]
+        assert cell.read_object(session, "doc") == b"x"
+
+    def test_compacts_under_flash_pressure(self):
+        world, cell = self.build_cell()
+        session = cell.login("alice", "pin")
+        care = SelfCare(cell, compact_threshold=0.0001)
+        for round_number in range(3):
+            cell.store_object(session, "hot", b"y" * 1000)
+        diagnosis = care.run_once()
+        assert diagnosis.compacted
+        assert cell.read_object(session, "hot") == b"y" * 1000
+
+    def test_index_recommendation(self):
+        world, cell = self.build_cell()
+        care = SelfCare(cell, query_count_threshold=3)
+        items = cell.catalog.collection("items")
+        items.insert("i1", {"color": "red"})
+        for _ in range(3):
+            care.observe_equality_query("items", "color")
+        diagnosis = care.run_once()
+        assert "items.color" in diagnosis.index_recommendations
+        assert "color" not in items.indexed_fields  # recommend only
+
+    def test_auto_tune_creates_index(self):
+        world, cell = self.build_cell()
+        care = SelfCare(cell, query_count_threshold=2, auto_tune=True)
+        items = cell.catalog.collection("items")
+        items.insert("i1", {"color": "red"})
+        care.observe_equality_query("items", "color")
+        care.observe_equality_query("items", "color")
+        care.run_once()
+        assert items.indexed_fields.get("color") == "hash"
+        result = cell.catalog.query(Query("items", where=Eq("color", "red")))
+        assert result.plan == "index:color"
+
+    def test_already_indexed_not_recommended(self):
+        world, cell = self.build_cell()
+        care = SelfCare(cell, query_count_threshold=1)
+        items = cell.catalog.collection("items")
+        items.create_hash_index("color")
+        items.insert("i1", {"color": "red"})
+        care.observe_equality_query("items", "color")
+        assert care.run_once().index_recommendations == []
+
+    def test_periodic_scheduling(self):
+        world, cell = self.build_cell()
+        care = SelfCare(cell)
+        care.start(period=3600)
+        world.loop.run_for(3 * 3600)
+        assert len(care.history) == 3
+        care.stop()
+        world.loop.run_for(3600)
+        assert len(care.history) == 3
+
+    def test_double_start_rejected(self):
+        world, cell = self.build_cell()
+        care = SelfCare(cell)
+        care.start()
+        with pytest.raises(ConfigurationError):
+            care.start()
+
+    def test_self_care_is_audited(self):
+        world, cell = self.build_cell()
+        SelfCare(cell).run_once()
+        assert any(entry.action == "self-care" for entry in cell.audit.entries())
+
+    def test_invalid_threshold_rejected(self):
+        world, cell = self.build_cell()
+        with pytest.raises(ConfigurationError):
+            SelfCare(cell, compact_threshold=0.0)

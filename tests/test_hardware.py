@@ -1,0 +1,284 @@
+"""Tests for the secure-hardware substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import KeyRing
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    NotFoundError,
+    StorageError,
+    TamperedCellError,
+)
+from repro.hardware import (
+    HOME_GATEWAY,
+    PROFILES,
+    SMART_TOKEN,
+    SMARTPHONE,
+    FlashTimings,
+    NandFlash,
+    TamperResistantMemory,
+    TrustedExecutionEnvironment,
+    profile_by_name,
+    verify_attestation,
+)
+
+SMALL_FLASH = FlashTimings(
+    page_size=256, pages_per_block=4,
+    read_page_us=25.0, write_page_us=250.0, erase_block_us=1500.0,
+)
+
+
+class TestProfiles:
+    def test_builtin_profiles_registered(self):
+        for name in ("smart-token", "smartphone", "home-gateway", "sensor-cell"):
+            assert profile_by_name(name).name == name
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_by_name("mainframe")
+
+    def test_token_is_much_weaker_than_gateway(self):
+        assert SMART_TOKEN.cpu_ops_per_second < HOME_GATEWAY.cpu_ops_per_second / 100
+        assert SMART_TOKEN.ram_bytes < HOME_GATEWAY.ram_bytes / 1000
+
+    def test_cpu_seconds(self):
+        assert SMARTPHONE.cpu_seconds(SMARTPHONE.cpu_ops_per_second) == 1.0
+
+    def test_availability_is_probability(self):
+        for profile in PROFILES.values():
+            assert 0.0 <= profile.availability <= 1.0
+
+    def test_invalid_availability_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SMART_TOKEN, availability=1.5)
+
+
+class TestNandFlash:
+    def make(self, pages=16):
+        return NandFlash(SMALL_FLASH, capacity_bytes=pages * SMALL_FLASH.page_size)
+
+    def test_unwritten_page_reads_erased(self):
+        flash = self.make()
+        assert flash.read_page(0) == b"\xff" * 256
+
+    def test_write_read_roundtrip(self):
+        flash = self.make()
+        flash.write_page(0, b"hello")
+        assert flash.read_page(0).rstrip(b"\xff") == b"hello"
+
+    def test_page_padding(self):
+        flash = self.make()
+        flash.write_page(0, b"x")
+        assert len(flash.read_page(0)) == 256
+
+    def test_rewrite_without_erase_rejected(self):
+        flash = self.make()
+        flash.write_page(0, b"a")
+        with pytest.raises(StorageError):
+            flash.write_page(0, b"b")
+
+    def test_non_sequential_program_in_block_rejected(self):
+        flash = self.make()
+        flash.write_page(2, b"later")
+        with pytest.raises(StorageError):
+            flash.write_page(1, b"earlier")  # same block, going backwards
+
+    def test_sequential_program_allowed(self):
+        flash = self.make()
+        for page in range(4):
+            flash.write_page(page, bytes([page]))
+
+    def test_erase_frees_block(self):
+        flash = self.make()
+        flash.write_page(0, b"a")
+        flash.erase_block(0)
+        assert not flash.is_written(0)
+        flash.write_page(0, b"b")
+        assert flash.read_page(0).rstrip(b"\xff") == b"b"
+
+    def test_erase_only_affects_one_block(self):
+        flash = self.make()
+        flash.write_page(0, b"block0")
+        flash.write_page(4, b"block1")
+        flash.erase_block(0)
+        assert flash.read_page(4).rstrip(b"\xff") == b"block1"
+
+    def test_oversized_write_rejected(self):
+        flash = self.make()
+        with pytest.raises(StorageError):
+            flash.write_page(0, bytes(257))
+
+    def test_out_of_range_page_rejected(self):
+        flash = self.make(pages=8)
+        with pytest.raises(CapacityError):
+            flash.read_page(8)
+        with pytest.raises(CapacityError):
+            flash.write_page(-1, b"")
+
+    def test_out_of_range_block_rejected(self):
+        flash = self.make(pages=8)
+        with pytest.raises(CapacityError):
+            flash.erase_block(2)
+
+    def test_cost_accounting(self):
+        flash = self.make()
+        flash.write_page(0, b"a")
+        flash.read_page(0)
+        flash.erase_block(0)
+        counters = flash.snapshot_counters()
+        assert counters["reads"] == 1
+        assert counters["writes"] == 1
+        assert counters["erases"] == 1
+        assert counters["elapsed_us"] == pytest.approx(25.0 + 250.0 + 1500.0)
+
+    def test_reset_counters_preserves_content(self):
+        flash = self.make()
+        flash.write_page(0, b"keep")
+        flash.reset_counters()
+        assert flash.writes == 0
+        assert flash.read_page(0).rstrip(b"\xff") == b"keep"
+
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NandFlash(SMALL_FLASH, capacity_bytes=SMALL_FLASH.page_size)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=256), min_size=1, max_size=16))
+    def test_sequential_fill_property(self, payloads):
+        flash = NandFlash(SMALL_FLASH, capacity_bytes=16 * 256)
+        for page, payload in enumerate(payloads):
+            flash.write_page(page, payload)
+        for page, payload in enumerate(payloads):
+            assert flash.read_page(page)[: len(payload)] == payload
+
+
+class TestTamperResistantMemory:
+    def test_put_get_roundtrip(self):
+        memory = TamperResistantMemory(1024)
+        memory.put("root", b"\x01" * 32)
+        assert memory.get("root") == b"\x01" * 32
+
+    def test_missing_key_raises(self):
+        with pytest.raises(NotFoundError):
+            TamperResistantMemory(64).get("absent")
+
+    def test_get_or_default(self):
+        assert TamperResistantMemory(64).get_or("absent", 7) == 7
+
+    def test_capacity_enforced(self):
+        memory = TamperResistantMemory(10)
+        with pytest.raises(CapacityError):
+            memory.put("big", bytes(11))
+
+    def test_replacement_reuses_budget(self):
+        memory = TamperResistantMemory(20)
+        memory.put("item", bytes(18))
+        memory.put("item", bytes(20))  # replacing frees the old 18 first
+        assert memory.used_bytes == 20
+
+    def test_failed_put_keeps_old_value(self):
+        memory = TamperResistantMemory(20)
+        memory.put("item", b"old")
+        with pytest.raises(CapacityError):
+            memory.put("item", bytes(21))
+        assert memory.get("item") == b"old"
+
+    def test_delete_frees_budget(self):
+        memory = TamperResistantMemory(16)
+        memory.put("item", bytes(16))
+        memory.delete("item")
+        assert memory.free_bytes == 16
+        memory.put("other", bytes(16))
+
+    def test_int_accounting(self):
+        memory = TamperResistantMemory(8)
+        memory.put("counter", 42)
+        assert memory.used_bytes == 8
+
+    def test_breach_returns_loot_and_disables(self):
+        memory = TamperResistantMemory(64)
+        memory.put("secret", b"key-material")
+        loot = memory.mark_breached()
+        assert loot == {"secret": b"key-material"}
+        for operation in (
+            lambda: memory.get("secret"),
+            lambda: memory.put("new", b"x"),
+            lambda: memory.keys(),
+            lambda: memory.contains("secret"),
+        ):
+            with pytest.raises(TamperedCellError):
+                operation()
+
+    def test_keys_sorted(self):
+        memory = TamperResistantMemory(64)
+        memory.put("b", 1)
+        memory.put("a", 2)
+        assert memory.keys() == ["a", "b"]
+
+
+class TestTee:
+    def make(self, profile=SMARTPHONE, seed=1):
+        return TrustedExecutionEnvironment(profile, KeyRing.generate(random.Random(seed)))
+
+    def test_keys_access_counts_world_switches(self):
+        tee = self.make()
+        assert tee.world_switches == 0
+        tee.keys.sign(b"m")
+        tee.keys.fingerprint()
+        assert tee.world_switches == 2
+
+    def test_secret_roundtrip(self):
+        tee = self.make()
+        tee.store_secret("merkle-root", b"\x00" * 32)
+        assert tee.load_secret("merkle-root") == b"\x00" * 32
+
+    def test_load_secret_default(self):
+        assert self.make().load_secret("absent", b"d") == b"d"
+
+    def test_cpu_charging(self):
+        tee = self.make(SMART_TOKEN)
+        microseconds = tee.charge_cpu(SMART_TOKEN.cpu_ops_per_second)
+        assert microseconds == pytest.approx(1e6)
+        assert tee.cpu_us_consumed == pytest.approx(1e6)
+
+    def test_attestation_verifies(self):
+        tee = self.make()
+        nonce = b"challenge-123"
+        quote = tee.attest(nonce)
+        assert verify_attestation(tee.keys.verify_key, quote, nonce)
+
+    def test_attestation_rejects_wrong_nonce(self):
+        tee = self.make()
+        quote = tee.attest(b"nonce-a")
+        assert not verify_attestation(tee.keys.verify_key, quote, b"nonce-b")
+
+    def test_attestation_rejects_wrong_key(self):
+        tee = self.make(seed=1)
+        other = self.make(seed=2)
+        quote = tee.attest(b"n")
+        assert not verify_attestation(other.keys.verify_key, quote, b"n")
+
+    def test_attestation_reports_profile(self):
+        tee = self.make(SMART_TOKEN)
+        assert tee.attest(b"n").profile_name == "smart-token"
+
+    def test_breach_disables_everything(self):
+        tee = self.make()
+        tee.store_secret("root", b"r")
+        loot = tee.breach()
+        assert loot["keys"]["master_secret"]
+        assert loot["secure_memory"]["root"] == b"r"
+        assert tee.breached
+        with pytest.raises(TamperedCellError):
+            _ = tee.keys
+        with pytest.raises(TamperedCellError):
+            tee.attest(b"n")
+        with pytest.raises(TamperedCellError):
+            tee.store_secret("x", 1)

@@ -1,0 +1,243 @@
+"""Tests for the untrusted infrastructure: network, cloud, adversaries."""
+
+import random
+
+import pytest
+
+from repro.errors import CellOfflineError, ConfigurationError, NetworkError, NotFoundError
+from repro.infrastructure import (
+    Adversary,
+    CloudProvider,
+    CuriousAdversary,
+    Network,
+    WeaklyMaliciousAdversary,
+)
+from repro.sim import World
+
+
+class TestNetwork:
+    def make(self):
+        world = World()
+        network = Network(world)
+        inboxes = {"a": [], "b": []}
+        network.register("a", lambda src, msg: inboxes["a"].append((src, msg)))
+        network.register("b", lambda src, msg: inboxes["b"].append((src, msg)))
+        return world, network, inboxes
+
+    def test_send_delivers(self):
+        world, network, inboxes = self.make()
+        network.send("a", "b", "hello")
+        world.loop.run_for(5)
+        assert inboxes["b"] == [("a", "hello")]
+
+    def test_duplicate_registration_rejected(self):
+        _, network, _ = self.make()
+        with pytest.raises(ConfigurationError):
+            network.register("a", lambda src, msg: None)
+
+    def test_unregistered_destination_rejected(self):
+        _, network, _ = self.make()
+        with pytest.raises(NetworkError):
+            network.send("a", "zz", "hello")
+
+    def test_unregistered_sender_rejected(self):
+        _, network, _ = self.make()
+        with pytest.raises(NetworkError):
+            network.send("zz", "a", "hello")
+
+    def test_offline_destination_raises(self):
+        world, network, inboxes = self.make()
+        network.set_online("b", False)
+        with pytest.raises(CellOfflineError):
+            network.send("a", "b", "hello")
+        assert network.stats.dropped == 1
+
+    def test_offline_sender_raises(self):
+        _, network, _ = self.make()
+        network.set_online("a", False)
+        with pytest.raises(CellOfflineError):
+            network.send("a", "b", "hello")
+
+    def test_queue_if_offline_delivers_on_return(self):
+        world, network, inboxes = self.make()
+        network.set_online("b", False)
+        network.send("a", "b", "queued-message", queue_if_offline=True)
+        world.loop.run_for(10)
+        assert inboxes["b"] == []
+        network.set_online("b", True)
+        world.loop.run_for(10)
+        assert inboxes["b"] == [("a", "queued-message")]
+
+    def test_large_transfer_takes_time(self):
+        world = World()
+        network = Network(world)
+        received_at = []
+        network.register("slow", lambda s, m: None,
+                         latency_ms=100, bandwidth_bytes_per_s=1000)
+        network.register("sink", lambda s, m: received_at.append(world.now))
+        network.send("slow", "sink", "big", size_bytes=10_000)  # 10s transfer
+        world.loop.run_for(60)
+        assert received_at and received_at[0] >= 10
+
+    def test_stats_accumulate(self):
+        world, network, _ = self.make()
+        network.send("a", "b", "x", size_bytes=100)
+        network.send("b", "a", "y", size_bytes=50)
+        assert network.stats.messages == 2
+        assert network.stats.bytes == 150
+        assert network.stats.per_link[("a", "b")] == 1
+
+    def test_broadcast_reports_offline(self):
+        world, network, inboxes = self.make()
+        network.register("c", lambda s, m: None)
+        network.set_online("c", False)
+        offline = network.broadcast("a", ["b", "c"], "ping")
+        assert offline == ["c"]
+        world.loop.run_for(5)
+        assert inboxes["b"] == [("a", "ping")]
+
+
+class TestCloudObjectStore:
+    def make(self, adversary=None):
+        return CloudProvider(World(), adversary)
+
+    def test_put_get_roundtrip(self):
+        cloud = self.make()
+        cloud.put_object("k", b"data")
+        assert cloud.get_object("k") == b"data"
+
+    def test_versions_increment(self):
+        cloud = self.make()
+        assert cloud.put_object("k", b"v1") == 1
+        assert cloud.put_object("k", b"v2") == 2
+        assert cloud.head_object("k") == 2
+        assert cloud.get_object("k") == b"v2"
+
+    def test_missing_object_raises(self):
+        cloud = self.make()
+        with pytest.raises(NotFoundError):
+            cloud.get_object("absent")
+        with pytest.raises(NotFoundError):
+            cloud.head_object("absent")
+
+    def test_delete(self):
+        cloud = self.make()
+        cloud.put_object("k", b"data")
+        cloud.delete_object("k")
+        assert not cloud.contains("k")
+        with pytest.raises(NotFoundError):
+            cloud.delete_object("k")
+
+    def test_list_keys_prefix(self):
+        cloud = self.make()
+        for key in ("a/1", "a/2", "b/1"):
+            cloud.put_object(key, b"")
+        assert cloud.list_keys("a/") == ["a/1", "a/2"]
+        assert cloud.list_keys() == ["a/1", "a/2", "b/1"]
+
+    def test_traffic_counters(self):
+        cloud = self.make()
+        cloud.put_object("k", b"12345")
+        cloud.get_object("k")
+        assert cloud.bytes_in == 5
+        assert cloud.bytes_out == 5
+        assert cloud.put_count == 1
+        assert cloud.get_count == 1
+
+    def test_stored_bytes(self):
+        cloud = self.make()
+        cloud.put_object("a", b"123")
+        cloud.put_object("b", b"4567")
+        assert cloud.stored_bytes == 7
+
+
+class TestMessageBus:
+    def test_post_fetch_drains(self):
+        cloud = CloudProvider(World())
+        cloud.post_message("alice-inbox", "bob", b"hello")
+        cloud.post_message("alice-inbox", "carol", b"hi")
+        messages = cloud.fetch_messages("alice-inbox")
+        assert messages == [("bob", b"hello"), ("carol", b"hi")]
+        assert cloud.fetch_messages("alice-inbox") == []
+
+    def test_peek_does_not_drain(self):
+        cloud = CloudProvider(World())
+        cloud.post_message("box", "x", b"m")
+        assert cloud.peek_mailbox("box") == 1
+        assert cloud.peek_mailbox("box") == 1
+
+
+class TestAdversaries:
+    def test_curious_adversary_observes_everything(self):
+        adversary = CuriousAdversary()
+        cloud = CloudProvider(World(), adversary)
+        cloud.put_object("k1", b"ciphertext-bytes")
+        cloud.put_object("k2", b"plain", is_plaintext=True)
+        cloud.post_message("box", "x", b"msg")
+        assert adversary.stats.objects_observed == 3
+        assert adversary.stats.bytes_observed == len(b"ciphertext-bytes") + 5 + 3
+        assert adversary.stats.plaintext_bytes_seen == 5
+        assert "k1" in adversary.stats.distinct_keys_seen
+
+    def test_honest_adversary_never_manipulates(self):
+        cloud = CloudProvider(World(), Adversary())
+        cloud.put_object("k", b"data")
+        for _ in range(50):
+            assert cloud.get_object("k") == b"data"
+
+    def test_tamper_attack_changes_bytes(self):
+        adversary = WeaklyMaliciousAdversary(random.Random(1), tamper_rate=1.0)
+        cloud = CloudProvider(World(), adversary)
+        cloud.put_object("k", b"data-to-corrupt")
+        corrupted = cloud.get_object("k")
+        assert corrupted != b"data-to-corrupt"
+        assert len(corrupted) == len(b"data-to-corrupt")
+        assert adversary.stats.tamper_attempts == 1
+
+    def test_rollback_attack_returns_previous_version(self):
+        adversary = WeaklyMaliciousAdversary(random.Random(1), rollback_rate=1.0)
+        cloud = CloudProvider(World(), adversary)
+        cloud.put_object("k", b"version-1")
+        cloud.put_object("k", b"version-2")
+        assert cloud.get_object("k") == b"version-1"
+        assert adversary.stats.rollback_attempts == 1
+
+    def test_rollback_needs_history(self):
+        adversary = WeaklyMaliciousAdversary(random.Random(1), rollback_rate=1.0)
+        cloud = CloudProvider(World(), adversary)
+        cloud.put_object("k", b"only-version")
+        # no stale version to serve: must return the real one
+        assert cloud.get_object("k") == b"only-version"
+
+    def test_drop_attack_claims_missing(self):
+        adversary = WeaklyMaliciousAdversary(random.Random(1), drop_rate=1.0)
+        cloud = CloudProvider(World(), adversary)
+        cloud.put_object("k", b"data")
+        with pytest.raises(NotFoundError):
+            cloud.get_object("k")
+        assert adversary.stats.drop_attempts == 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeaklyMaliciousAdversary(random.Random(1), tamper_rate=1.5)
+
+    def test_conviction_stops_attacks(self):
+        adversary = WeaklyMaliciousAdversary(random.Random(1), tamper_rate=1.0)
+        world = World()
+        cloud = CloudProvider(world, adversary)
+        cloud.put_object("k", b"data")
+        assert cloud.get_object("k") != b"data"
+        world.clock.advance(120)
+        cloud.file_evidence("alice", "k", "MAC failure on read")
+        assert cloud.convicted
+        assert adversary.convicted_at == 120
+        assert cloud.get_object("k") == b"data"  # honest after conviction
+        assert cloud.evidence_log[0]["reporter"] == "alice"
+
+    def test_partial_rates_attack_sometimes(self):
+        adversary = WeaklyMaliciousAdversary(random.Random(7), tamper_rate=0.5)
+        cloud = CloudProvider(World(), adversary)
+        cloud.put_object("k", b"payload-bytes")
+        outcomes = {cloud.get_object("k") for _ in range(100)}
+        assert b"payload-bytes" in outcomes  # sometimes honest
+        assert len(outcomes) > 1  # sometimes tampered

@@ -1,0 +1,165 @@
+"""Tests for ongoing usage control (streaming reads) and flash wear."""
+
+import pytest
+
+from repro.core import TrustedCell, open_stream
+from repro.errors import AccessDenied, ConfigurationError
+from repro.hardware import SMARTPHONE
+from repro.policy import Grant, TimeWindow, UsagePolicy
+from repro.policy.ucon import RIGHT_READ
+from repro.sim import World
+
+PAYLOAD = bytes(range(256)) * 40  # 10240 bytes
+
+
+def cell_with_movie(conditions=(), max_uses=None):
+    world = World(seed=121)
+    cell = TrustedCell(world, "cell", SMARTPHONE)
+    cell.register_user("alice", "pin")
+    cell.register_user("bob", "pin2")
+    session = cell.login("alice", "pin")
+    policy = UsagePolicy(
+        owner="alice",
+        grants=(Grant(rights=(RIGHT_READ,), subjects=("bob",)),),
+        conditions=tuple(conditions),
+        max_uses=max_uses,
+    )
+    cell.store_object(session, "movie", PAYLOAD, policy=policy, kind="video")
+    return world, cell
+
+
+class TestOngoingUse:
+    def test_full_stream_matches_payload(self):
+        world, cell = cell_with_movie()
+        bob = cell.login("bob", "pin2")
+        stream = open_stream(cell, bob, "movie", chunk_size=1000)
+        assert stream.read_all() == PAYLOAD
+        assert stream.finished
+
+    def test_chunks_respect_size(self):
+        world, cell = cell_with_movie()
+        bob = cell.login("bob", "pin2")
+        stream = open_stream(cell, bob, "movie", chunk_size=4096)
+        first = stream.read_chunk()
+        assert len(first) == 4096
+        assert stream.bytes_delivered == 4096
+
+    def test_condition_failure_revokes_mid_stream(self):
+        world, cell = cell_with_movie(conditions=[TimeWindow(not_after=1000)])
+        bob = cell.login("bob", "pin2")
+        stream = open_stream(cell, bob, "movie", chunk_size=1000)
+        assert stream.read_chunk()  # fine at t=0
+        world.clock.advance(2000)  # the window closes mid-stream
+        with pytest.raises(AccessDenied):
+            stream.read_chunk()
+        assert stream.revoked
+        assert 0 < stream.bytes_delivered < len(PAYLOAD)
+
+    def test_revoked_stream_stays_revoked(self):
+        world, cell = cell_with_movie(conditions=[TimeWindow(not_after=1000)])
+        bob = cell.login("bob", "pin2")
+        stream = open_stream(cell, bob, "movie", chunk_size=1000)
+        world.clock.advance(2000)
+        with pytest.raises(AccessDenied):
+            stream.read_chunk()
+        world.clock.advance_to(world.now)  # even if time "recovers", no
+        with pytest.raises(AccessDenied):
+            stream.read_chunk()
+
+    def test_revocation_is_audited(self):
+        world, cell = cell_with_movie(conditions=[TimeWindow(not_after=1000)])
+        bob = cell.login("bob", "pin2")
+        stream = open_stream(cell, bob, "movie", chunk_size=1000)
+        world.clock.advance(2000)
+        with pytest.raises(AccessDenied):
+            stream.read_chunk()
+        actions = [entry.action for entry in cell.audit.entries_for("movie")]
+        assert "stream-open" in actions
+        assert "stream-revoked" in actions
+        assert "stream-complete" not in actions
+
+    def test_completion_is_audited(self):
+        world, cell = cell_with_movie()
+        bob = cell.login("bob", "pin2")
+        open_stream(cell, bob, "movie", chunk_size=8192).read_all()
+        actions = [entry.action for entry in cell.audit.entries_for("movie")]
+        assert "stream-complete" in actions
+
+    def test_open_consumes_one_use(self):
+        world, cell = cell_with_movie(max_uses=1)
+        bob = cell.login("bob", "pin2")
+        stream = open_stream(cell, bob, "movie", chunk_size=100_000)
+        stream.read_all()
+        with pytest.raises(AccessDenied):
+            open_stream(cell, bob, "movie")
+
+    def test_open_requires_grant(self):
+        world, cell = cell_with_movie()
+        cell.register_user("eve", "pin3")
+        with pytest.raises(AccessDenied):
+            open_stream(cell, cell.login("eve", "pin3"), "movie")
+
+    def test_close_drops_plaintext(self):
+        world, cell = cell_with_movie()
+        bob = cell.login("bob", "pin2")
+        stream = open_stream(cell, bob, "movie")
+        stream.close()
+        with pytest.raises(AccessDenied):
+            stream.read_chunk()
+        assert stream._payload == b""
+
+    def test_end_of_stream_returns_empty(self):
+        world, cell = cell_with_movie()
+        bob = cell.login("bob", "pin2")
+        stream = open_stream(cell, bob, "movie", chunk_size=100_000)
+        stream.read_chunk()
+        assert stream.read_chunk() == b""
+
+    def test_invalid_chunk_size(self):
+        world, cell = cell_with_movie()
+        bob = cell.login("bob", "pin2")
+        with pytest.raises(ConfigurationError):
+            open_stream(cell, bob, "movie", chunk_size=0)
+
+
+class TestFlashWear:
+    def test_wear_counts_per_block(self):
+        from repro.hardware import FlashTimings, NandFlash
+
+        timings = FlashTimings(page_size=256, pages_per_block=4,
+                               read_page_us=1, write_page_us=1,
+                               erase_block_us=1)
+        flash = NandFlash(timings, capacity_bytes=16 * 256)
+        flash.erase_block(0)
+        flash.erase_block(0)
+        flash.erase_block(1)
+        assert flash.erase_counts == {0: 2, 1: 1}
+        assert flash.max_wear == 2
+        assert flash.wear_skew() == pytest.approx(2 / 1.5)
+
+    def test_unworn_device(self):
+        from repro.hardware import FlashTimings, NandFlash
+
+        timings = FlashTimings(page_size=256, pages_per_block=4,
+                               read_page_us=1, write_page_us=1,
+                               erase_block_us=1)
+        flash = NandFlash(timings, capacity_bytes=16 * 256)
+        assert flash.max_wear == 0
+        assert flash.wear_skew() == 1.0
+
+    def test_full_compaction_wears_evenly(self):
+        """The store's stop-the-world compaction erases all used blocks
+        equally — even wear is a side benefit of the simple strategy."""
+        from repro.hardware import FlashTimings, NandFlash
+        from repro.store import LogStructuredStore
+
+        timings = FlashTimings(page_size=256, pages_per_block=4,
+                               read_page_us=1, write_page_us=1,
+                               erase_block_us=1)
+        flash = NandFlash(timings, capacity_bytes=32 * 256)
+        store = LogStructuredStore(flash)
+        for round_number in range(30):
+            store.put("hot", {"round": round_number, "pad": b"\x00" * 150})
+            if round_number % 5 == 4:
+                store.compact()
+        assert flash.wear_skew() <= 2.0

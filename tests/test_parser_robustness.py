@@ -1,0 +1,164 @@
+"""Fuzz-style robustness tests for every wire-format parser.
+
+The cloud is the adversary, so every ``from_bytes`` is attack surface:
+parsers must raise the library's typed errors (never ``IndexError`` /
+``struct.error`` / raw ``ValueError``) on arbitrary or mutated bytes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import SealedBlob, Signature, hkdf, seal
+from repro.errors import IntegrityError, PolicyError, ProtocolError, StorageError
+from repro.policy import DataEnvelope, UsagePolicy, private_policy
+from repro.sharing.protocol import ShareOffer
+from repro.store import decode_record, encode_record
+
+KEY = hkdf(bytes(16), "fuzz")
+
+TYPED_ERRORS = (IntegrityError, PolicyError, ProtocolError, StorageError)
+
+
+def valid_envelope_bytes():
+    return DataEnvelope.create(
+        KEY, "object", 3, b"payload-bytes", private_policy("alice")
+    ).to_bytes()
+
+
+def valid_offer_bytes():
+    offer = ShareOffer(
+        object_id="object",
+        version=3,
+        vault_key="vault/a/object",
+        owner_cell="a",
+        wrapped_key=seal(KEY, bytes(16), header=b"keywrap:object:3"),
+        kind="photo",
+        keywords="",
+    )
+    return offer.to_bytes()
+
+
+class TestArbitraryBytes:
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_sealed_blob_parser(self, data):
+        try:
+            SealedBlob.from_bytes(data)
+        except TYPED_ERRORS:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_envelope_parser(self, data):
+        try:
+            DataEnvelope.from_bytes(data)
+        except TYPED_ERRORS:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_record_decoder(self, data):
+        try:
+            decode_record(data)
+        except TYPED_ERRORS:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_policy_parser(self, data):
+        try:
+            UsagePolicy.from_bytes(data)
+        except TYPED_ERRORS:
+            pass
+        except (KeyError, TypeError, AttributeError):
+            pytest.fail("policy parser leaked an untyped error")
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_share_offer_parser(self, data):
+        try:
+            ShareOffer.from_bytes(data)
+        except TYPED_ERRORS:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=100))
+    def test_signature_parser(self, data):
+        try:
+            Signature.from_bytes(data)
+        except TYPED_ERRORS:
+            pass
+
+
+class TestMutatedValidBytes:
+    """Bit flips / truncations / extensions of well-formed messages."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_mutated_envelope_never_decrypts_wrong(self, data):
+        original = valid_envelope_bytes()
+        position = data.draw(st.integers(0, len(original) - 1))
+        flip = data.draw(st.integers(1, 255))
+        mutated = (
+            original[:position]
+            + bytes([original[position] ^ flip])
+            + original[position + 1 :]
+        )
+        try:
+            envelope = DataEnvelope.from_bytes(mutated)
+            payload, policy = envelope.open(KEY)
+        except TYPED_ERRORS:
+            return
+        # a parse + open that *succeeds* must yield the original truth
+        assert payload == b"payload-bytes"
+        assert policy.owner == "alice"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=120))
+    def test_truncated_envelope_rejected(self, cut):
+        original = valid_envelope_bytes()
+        if cut >= len(original):
+            return
+        with pytest.raises(TYPED_ERRORS):
+            envelope = DataEnvelope.from_bytes(original[: len(original) - 1 - cut])
+            envelope.open(KEY)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=1, max_size=30))
+    def test_extended_envelope_rejected(self, suffix):
+        original = valid_envelope_bytes()
+        with pytest.raises(TYPED_ERRORS):
+            DataEnvelope.from_bytes(original + suffix)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_mutated_offer_parses_or_raises_typed(self, data):
+        original = valid_offer_bytes()
+        position = data.draw(st.integers(0, len(original) - 1))
+        mutated = (
+            original[:position]
+            + bytes([original[position] ^ data.draw(st.integers(1, 255))])
+            + original[position + 1 :]
+        )
+        try:
+            ShareOffer.from_bytes(mutated)
+        except TYPED_ERRORS:
+            pass
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_record_encoding_mutations(self, data):
+        original = encode_record({"name": "alice", "age": 34, "blob": b"\x01\x02"})
+        position = data.draw(st.integers(0, len(original) - 1))
+        mutated = (
+            original[:position]
+            + bytes([original[position] ^ data.draw(st.integers(1, 255))])
+            + original[position + 1 :]
+        )
+        try:
+            decode_record(mutated)
+        except TYPED_ERRORS:
+            pass
+        except UnicodeDecodeError:
+            pytest.fail("record decoder leaked UnicodeDecodeError")

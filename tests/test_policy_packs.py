@@ -1,0 +1,152 @@
+"""Tests for signed policy packs and their adoption by cells."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import TrustedCell
+from repro.errors import AccessDenied, CredentialError, PolicyError
+from repro.hardware import SMARTPHONE
+from repro.policy import (
+    Grant,
+    PackPublisher,
+    UsagePolicy,
+    bind_template,
+    privacy_by_default_templates,
+    template,
+    verify_pack,
+)
+from repro.policy.ucon import OBLIGATION_NOTIFY_OWNER, RIGHT_READ
+from repro.sim import World
+
+
+def publisher():
+    return PackPublisher("citizens-league", seed=b"league")
+
+
+class TestTemplates:
+    def test_bind_template(self):
+        bound = bind_template(template(max_uses=3), "alice")
+        assert bound.owner == "alice"
+        assert bound.max_uses == 3
+
+    def test_binding_a_bound_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            bind_template(UsagePolicy(owner="alice"), "bob")
+
+    def test_publish_rejects_bound_templates(self):
+        with pytest.raises(PolicyError):
+            publisher().publish("bad", {"photo": UsagePolicy(owner="alice")})
+
+
+class TestPackSigning:
+    def test_publish_and_verify(self):
+        association = publisher()
+        pack = association.publish("defaults-v1", privacy_by_default_templates())
+        verify_pack(pack, association.verify_key)  # must not raise
+
+    def test_wrong_key_rejected(self):
+        association = publisher()
+        rogue = PackPublisher("rogue", seed=b"rogue")
+        pack = association.publish("defaults-v1", privacy_by_default_templates())
+        with pytest.raises(CredentialError):
+            verify_pack(pack, rogue.verify_key)
+
+    def test_tampered_template_rejected(self):
+        association = publisher()
+        pack = association.publish("defaults-v1", privacy_by_default_templates())
+        permissive = template(
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("anyone",)),)
+        )
+        tampered = dataclasses.replace(
+            pack, templates=(("photo", permissive),) + pack.templates[1:]
+        )
+        with pytest.raises(CredentialError):
+            verify_pack(tampered, association.verify_key)
+
+    def test_template_lookup(self):
+        pack = publisher().publish("defaults-v1", privacy_by_default_templates())
+        assert pack.template_for("medical") is not None
+        assert pack.template_for("hologram") is None
+
+
+class TestAdoption:
+    def make_cell(self):
+        world = World(seed=151)
+        cell = TrustedCell(world, "cell", SMARTPHONE)
+        cell.register_user("alice", "pin")
+        cell.register_user("bob", "pin2")
+        return world, cell
+
+    def test_adopted_defaults_apply_by_kind(self):
+        world, cell = self.make_cell()
+        association = publisher()
+        pack = association.publish("defaults-v1", privacy_by_default_templates())
+        cell.adopt_policy_pack(pack, association.verify_key)
+        alice = cell.login("alice", "pin")
+        cell.store_object(alice, "scan", b"mri", kind="medical")
+        # the pack's medical template: owner-only, notify, max_uses=3
+        for _ in range(3):
+            cell.read_object(alice, "scan")
+        with pytest.raises(AccessDenied):
+            cell.read_object(alice, "scan")
+        assert len(cell.outbox) == 3  # notify obligation fired
+
+    def test_unknown_kind_falls_back_to_private(self):
+        world, cell = self.make_cell()
+        association = publisher()
+        pack = association.publish("defaults-v1", privacy_by_default_templates())
+        cell.adopt_policy_pack(pack, association.verify_key)
+        alice = cell.login("alice", "pin")
+        cell.store_object(alice, "thing", b"x", kind="hologram")
+        assert cell.read_object(alice, "thing") == b"x"
+        with pytest.raises(AccessDenied):
+            cell.read_object(cell.login("bob", "pin2"), "thing")
+
+    def test_explicit_policy_overrides_pack(self):
+        world, cell = self.make_cell()
+        association = publisher()
+        pack = association.publish("defaults-v1", privacy_by_default_templates())
+        cell.adopt_policy_pack(pack, association.verify_key)
+        alice = cell.login("alice", "pin")
+        explicit = UsagePolicy(
+            owner="alice",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("bob",)),),
+        )
+        cell.store_object(alice, "shared-scan", b"mri", policy=explicit,
+                          kind="medical")
+        assert cell.read_object(cell.login("bob", "pin2"), "shared-scan") == b"mri"
+
+    def test_unverifiable_pack_not_adopted(self):
+        world, cell = self.make_cell()
+        association = publisher()
+        rogue = PackPublisher("rogue", seed=b"rogue")
+        pack = association.publish("defaults-v1", privacy_by_default_templates())
+        with pytest.raises(CredentialError):
+            cell.adopt_policy_pack(pack, rogue.verify_key)
+        assert cell._policy_pack is None
+
+    def test_without_pack_default_is_private(self):
+        world, cell = self.make_cell()
+        alice = cell.login("alice", "pin")
+        cell.store_object(alice, "photo", b"jpeg", kind="photo")
+        with pytest.raises(AccessDenied):
+            cell.read_object(cell.login("bob", "pin2"), "photo")
+
+    def test_adoption_is_audited(self):
+        world, cell = self.make_cell()
+        association = publisher()
+        pack = association.publish("defaults-v1", privacy_by_default_templates())
+        cell.adopt_policy_pack(pack, association.verify_key)
+        assert any(
+            entry.action == "adopt-policy-pack" for entry in cell.audit.entries()
+        )
+
+    def test_owner_binding_follows_the_storing_user(self):
+        world, cell = self.make_cell()
+        association = publisher()
+        pack = association.publish("defaults-v1", privacy_by_default_templates())
+        cell.adopt_policy_pack(pack, association.verify_key)
+        bob = cell.login("bob", "pin2")
+        cell.store_object(bob, "bobs-photo", b"jpeg", kind="photo")
+        assert cell.object_metadata("bobs-photo").owner == "bob"

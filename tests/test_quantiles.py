@@ -1,0 +1,116 @@
+"""Tests for secure (histogram-based) quantiles."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commons import (
+    AggregationNode,
+    bucketize,
+    quantile_from_counts,
+    secure_median,
+    secure_quantiles,
+)
+from repro.errors import ConfigurationError, ProtocolError
+
+
+def make_nodes(count, seed=1):
+    rng = random.Random(seed)
+    return [AggregationNode.standalone(f"n-{i}", rng) for i in range(count)]
+
+
+class TestBucketize:
+    def test_edges_clamped(self):
+        assert bucketize(-100.0, 0.0, 10.0, 5) == 0
+        assert bucketize(100.0, 0.0, 10.0, 5) == 4
+
+    def test_interior(self):
+        assert bucketize(2.5, 0.0, 10.0, 4) == 1
+        assert bucketize(9.99, 0.0, 10.0, 4) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            bucketize(1.0, 0.0, 10.0, 0)
+        with pytest.raises(ConfigurationError):
+            bucketize(1.0, 5.0, 5.0, 4)
+
+
+class TestQuantileFromCounts:
+    def test_median_of_uniform(self):
+        counts = [10, 10, 10, 10]
+        assert quantile_from_counts(counts, 0.5, 0.0, 40.0) == 15.0
+
+    def test_extremes(self):
+        counts = [5, 0, 0, 5]
+        assert quantile_from_counts(counts, 0.0, 0.0, 4.0) == 0.5
+        assert quantile_from_counts(counts, 1.0, 0.0, 4.0) == 3.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            quantile_from_counts([0, 0], 0.5, 0.0, 1.0)
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantile_from_counts([1], 1.5, 0.0, 1.0)
+
+
+class TestSecureQuantiles:
+    def test_median_close_to_true_median(self):
+        nodes = make_nodes(40)
+        rng = random.Random(3)
+        values = {node.name: rng.uniform(0, 100) for node in nodes}
+        estimate, accounting = secure_median(
+            nodes, values, low=0.0, high=100.0, buckets=50
+        )
+        true_median = statistics.median(values.values())
+        assert estimate == pytest.approx(true_median, abs=100 / 50)
+        assert accounting.protocol == "masked-histogram"
+
+    def test_multiple_quantiles(self):
+        nodes = make_nodes(30)
+        values = {node.name: float(index) for index, node in enumerate(nodes)}
+        estimates, _ = secure_quantiles(
+            nodes, values, [0.1, 0.5, 0.9], low=0.0, high=30.0, buckets=30
+        )
+        assert estimates[0.1] < estimates[0.5] < estimates[0.9]
+
+    def test_dropouts_handled(self):
+        nodes = make_nodes(10)
+        values = {node.name: float(index * 10) for index, node in enumerate(nodes)}
+        online = {node.name for node in nodes[:6]}
+        estimates, accounting = secure_quantiles(
+            nodes, values, [0.5], low=0.0, high=100.0, buckets=20,
+            online=online,
+        )
+        assert accounting.dropped == 4
+        # median of the online subset {0,10,...,50}
+        assert estimates[0.5] <= 50.0
+
+    def test_error_bound_shrinks_with_buckets(self):
+        nodes = make_nodes(60)
+        rng = random.Random(5)
+        values = {node.name: rng.uniform(0, 100) for node in nodes}
+        true_median = statistics.median(values.values())
+        coarse, _ = secure_median(nodes, values, 0.0, 100.0, buckets=4)
+        fine, _ = secure_median(nodes, values, 0.0, 100.0, buckets=64)
+        assert abs(fine - true_median) <= abs(coarse - true_median) + 100 / 64
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=3,
+                    max_size=20))
+    def test_estimate_within_bucket_bound(self, raw_values):
+        import math
+
+        nodes = make_nodes(len(raw_values), seed=7)
+        values = dict(zip((node.name for node in nodes), raw_values))
+        buckets = 16
+        estimate, _ = secure_median(nodes, values, 0.0, 1000.0, buckets=buckets)
+        # the histogram median is the *lower* median (the element at
+        # rank ceil(n/2)), not the interpolated statistics.median; the
+        # estimate is the midpoint of that element's bucket
+        rank = max(0, math.ceil(0.5 * len(raw_values)) - 1)
+        lower_median = sorted(raw_values)[rank]
+        assert abs(estimate - lower_median) <= 1000.0 / buckets / 2 + 1e-6

@@ -1,0 +1,166 @@
+"""Tests for escrow enrollment and device-loss recovery."""
+
+import random
+
+import pytest
+
+from repro.core import TrustedCell
+from repro.errors import (
+    AuthenticationError,
+    IntegrityError,
+    ProtocolError,
+    ReplayError,
+)
+from repro.hardware import SMARTPHONE
+from repro.infrastructure import CloudProvider
+from repro.sim import World
+from repro.sync import (
+    Guardian,
+    VaultClient,
+    enroll_guardians,
+    recover_cell,
+    refresh_guardian_seq,
+)
+
+
+def build_scene(guardian_count=3, threshold=2):
+    world = World(seed=31)
+    cloud = CloudProvider(world)
+    cell = TrustedCell(world, "alice-phone", SMARTPHONE)
+    cell.register_user("alice", "pin")
+    session = cell.login("alice", "pin")
+    for index in range(4):
+        cell.store_object(session, f"doc-{index}", f"payload-{index}".encode())
+    vault = VaultClient(cell, cloud)
+    vault.push_all()
+    guardians = [
+        Guardian(TrustedCell(world, f"guardian-{i}", SMARTPHONE))
+        for i in range(guardian_count)
+    ]
+    enroll_guardians(cell, guardians, threshold, "horse-battery", random.Random(1))
+    refresh_guardian_seq(vault, guardians)
+    return world, cloud, cell, vault, guardians
+
+
+class TestManifest:
+    def test_manifest_tracks_objects(self):
+        world, cloud, cell, vault, _ = build_scene()
+        manifest = vault.read_manifest()
+        assert set(manifest["objects"]) == {f"doc-{i}" for i in range(4)}
+        assert manifest["seq"] == vault.manifest_seq
+
+    def test_manifest_seq_monotone(self):
+        world, cloud, cell, vault, _ = build_scene()
+        before = vault.manifest_seq
+        session = cell.login("alice", "pin")
+        cell.store_object(session, "new-doc", b"x")
+        vault.push("new-doc")
+        assert vault.manifest_seq == before + 1
+
+    def test_manifest_is_encrypted(self):
+        world, cloud, cell, vault, _ = build_scene()
+        raw = cloud.get_object(vault.vault_key(VaultClient.MANIFEST_OBJECT))
+        assert b"doc-0" not in raw
+
+    def test_manifest_tamper_detected(self):
+        world, cloud, cell, vault, _ = build_scene()
+        key = vault.vault_key(VaultClient.MANIFEST_OBJECT)
+        raw = bytearray(cloud.get_object(key))
+        raw[-1] ^= 1
+        cloud.put_object(key, bytes(raw))
+        with pytest.raises(IntegrityError):
+            vault.read_manifest()
+        assert cloud.convicted
+
+
+class TestGuardians:
+    def test_release_requires_passphrase(self):
+        _, _, cell, _, guardians = build_scene()
+        with pytest.raises(AuthenticationError):
+            guardians[0].release_share("alice-phone", "wrong")
+        share, seq = guardians[0].release_share("alice-phone", "horse-battery")
+        assert share and seq >= 1
+
+    def test_unknown_owner_rejected(self):
+        _, _, _, _, guardians = build_scene()
+        with pytest.raises(ProtocolError):
+            guardians[0].release_share("stranger-cell", "horse-battery")
+
+    def test_failed_release_is_audited(self):
+        _, _, _, _, guardians = build_scene()
+        with pytest.raises(AuthenticationError):
+            guardians[0].release_share("alice-phone", "wrong")
+        denied = [e for e in guardians[0].cell.audit.entries() if not e.allowed]
+        assert denied
+
+    def test_threshold_below_two_rejected(self):
+        world, cloud, cell, vault, guardians = build_scene()
+        with pytest.raises(ProtocolError):
+            enroll_guardians(cell, guardians, 1, "x", random.Random(1))
+
+
+class TestRecovery:
+    def test_full_recovery_restores_data_and_identity(self):
+        world, cloud, old_cell, vault, guardians = build_scene()
+        old_fingerprint = old_cell.tee.keys.fingerprint()
+        old_cell.breach()  # the device is gone
+
+        new_cell, new_vault = recover_cell(
+            world, "alice-phone", SMARTPHONE, guardians, "horse-battery", cloud
+        )
+        assert new_cell.tee.keys.fingerprint() == old_fingerprint
+        new_cell.register_user("alice", "new-pin")
+        session = new_cell.login("alice", "new-pin")
+        for index in range(4):
+            assert new_cell.read_object(session, f"doc-{index}") == (
+                f"payload-{index}".encode()
+            )
+
+    def test_recovery_with_threshold_subset(self):
+        world, cloud, old_cell, vault, guardians = build_scene(
+            guardian_count=4, threshold=2
+        )
+        new_cell, _ = recover_cell(
+            world, "alice-phone", SMARTPHONE, guardians[:2], "horse-battery", cloud
+        )
+        assert new_cell.tee.keys.fingerprint() == old_cell.tee.keys.fingerprint()
+
+    def test_recovery_fails_with_wrong_passphrase(self):
+        world, cloud, _, _, guardians = build_scene()
+        with pytest.raises(ProtocolError):
+            recover_cell(world, "alice-phone", SMARTPHONE, guardians,
+                         "wrong-pass", cloud)
+
+    def test_recovery_below_threshold_fails(self):
+        world, cloud, _, _, guardians = build_scene(guardian_count=3, threshold=3)
+        with pytest.raises((ProtocolError, IntegrityError, Exception)):
+            recover_cell(world, "alice-phone", SMARTPHONE, guardians[:1],
+                         "horse-battery", cloud)
+
+    def test_manifest_rollback_across_loss_detected(self):
+        world, cloud, cell, vault, guardians = build_scene()
+        stale = cloud.get_object(vault.vault_key(VaultClient.MANIFEST_OBJECT))
+        session = cell.login("alice", "pin")
+        cell.store_object(session, "doc-late", b"late")
+        vault.push("doc-late")
+        refresh_guardian_seq(vault, guardians)
+        # malicious cloud serves the pre-update manifest to the new device
+        cloud.put_object(vault.vault_key(VaultClient.MANIFEST_OBJECT), stale)
+        cloud.put_object(vault.vault_key(VaultClient.MANIFEST_OBJECT), stale)
+        with pytest.raises(ReplayError):
+            recover_cell(world, "alice-phone", SMARTPHONE, guardians,
+                         "horse-battery", cloud)
+
+    def test_restored_metadata_queryable(self):
+        from repro.store import Eq, Query
+
+        world, cloud, old_cell, vault, guardians = build_scene()
+        new_cell, _ = recover_cell(
+            world, "alice-phone", SMARTPHONE, guardians, "horse-battery", cloud
+        )
+        new_cell.register_user("alice", "pin2")
+        session = new_cell.login("alice", "pin2")
+        result = new_cell.query_metadata(
+            session, Query("objects", where=Eq("kind", "restored"))
+        )
+        assert len(result) == 4

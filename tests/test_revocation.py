@@ -1,0 +1,118 @@
+"""Tests for share revocation semantics."""
+
+import pytest
+
+from repro.core import TrustedCell
+from repro.errors import AccessDenied
+from repro.hardware import SMARTPHONE
+from repro.infrastructure import CloudProvider
+from repro.policy import Grant
+from repro.policy.ucon import RIGHT_READ
+from repro.sharing import SharingPeer, introduce_cells
+from repro.sim import World
+
+
+def shared_scene():
+    world = World(seed=101)
+    cloud = CloudProvider(world)
+    alice_cell = TrustedCell(world, "alice-cell", SMARTPHONE)
+    bob_cell = TrustedCell(world, "bob-cell", SMARTPHONE)
+    alice_cell.register_user("alice", "pin")
+    bob_cell.register_user("bob", "pin")
+    introduce_cells(alice_cell, bob_cell)
+    alice = alice_cell.login("alice", "pin")
+    alice_cell.store_object(alice, "doc", b"payload")
+    alice_peer = SharingPeer(alice_cell, cloud)
+    bob_peer = SharingPeer(bob_cell, cloud)
+    alice_peer.share_object(
+        alice, "doc", bob_cell, Grant(rights=(RIGHT_READ,), subjects=("bob",))
+    )
+    bob_peer.accept_shares()
+    return world, cloud, alice_cell, bob_cell, alice_peer, bob_peer, alice
+
+
+class TestRevocation:
+    def test_revoke_strips_grants_in_new_version(self):
+        world, cloud, alice_cell, bob_cell, alice_peer, bob_peer, alice = (
+            shared_scene()
+        )
+        removed = alice_peer.revoke_grants(alice, "doc", "bob")
+        assert removed == 1
+        metadata = alice_cell.object_metadata("doc")
+        envelope = alice_cell.envelope_for("doc")
+        _, policy = envelope.open(
+            alice_cell.tee.keys.key_for("doc", metadata.version)
+        )
+        assert all("bob" not in grant.subjects for grant in policy.grants)
+
+    def test_future_fetch_of_new_version_denies_bob(self):
+        world, cloud, alice_cell, bob_cell, alice_peer, bob_peer, alice = (
+            shared_scene()
+        )
+        alice_peer.revoke_grants(alice, "doc", "bob")
+        new_version = alice_cell.object_metadata("doc").version
+        # bob's cell learns of the new version (e.g. a refreshed offer
+        # or manifest gossip) and fetches it
+        wrapped = alice_cell.tee.keys.wrap_object_key(
+            "doc", new_version, bob_cell.principal.exchange_public
+        )
+        bob_cell.tee.keys.unwrap_object_key(
+            wrapped, alice_cell.principal.exchange_public
+        )
+        bob_peer.vault.anchor_version("doc", new_version)
+        envelope = bob_peer.vault.verified_fetch("doc", owner_cell="alice-cell")
+        bob_cell.import_envelope(envelope)
+        bob = bob_cell.login("bob", "pin")
+        with pytest.raises(AccessDenied):
+            bob_cell.read_object(bob, "doc")
+
+    def test_already_delivered_copy_keeps_its_sticky_policy(self):
+        """The documented limit: revocation cannot recall bits."""
+        world, cloud, alice_cell, bob_cell, alice_peer, bob_peer, alice = (
+            shared_scene()
+        )
+        alice_peer.revoke_grants(alice, "doc", "bob")
+        bob = bob_cell.login("bob", "pin")
+        # bob's cell still holds the pre-revocation envelope + key
+        assert bob_cell.read_object(bob, "doc") == b"payload"
+
+    def test_anchored_recipient_cannot_be_served_stale_version(self):
+        from repro.errors import ReplayError
+
+        world, cloud, alice_cell, bob_cell, alice_peer, bob_peer, alice = (
+            shared_scene()
+        )
+        alice_peer.revoke_grants(alice, "doc", "bob")
+        new_version = alice_cell.object_metadata("doc").version
+        bob_peer.vault.anchor_version("doc", new_version)
+        # malicious cloud re-serves the old (grant-bearing) envelope
+        history = cloud._history["vault/alice-cell/doc"]
+        cloud.put_object("vault/alice-cell/doc", history[0])
+        cloud.put_object("vault/alice-cell/doc", history[0])
+        with pytest.raises(ReplayError):
+            bob_peer.vault.fetch("doc", owner_cell="alice-cell")
+
+    def test_only_owner_can_revoke(self):
+        world, cloud, alice_cell, bob_cell, alice_peer, bob_peer, alice = (
+            shared_scene()
+        )
+        alice_cell.register_user("guest", "pin2")
+        guest = alice_cell.login("guest", "pin2")
+        with pytest.raises(AccessDenied):
+            alice_peer.revoke_grants(guest, "doc", "bob")
+
+    def test_revoke_unknown_subject_removes_nothing(self):
+        world, cloud, alice_cell, bob_cell, alice_peer, bob_peer, alice = (
+            shared_scene()
+        )
+        assert alice_peer.revoke_grants(alice, "doc", "nobody") == 0
+
+    def test_revocation_is_audited(self):
+        world, cloud, alice_cell, bob_cell, alice_peer, bob_peer, alice = (
+            shared_scene()
+        )
+        alice_peer.revoke_grants(alice, "doc", "bob")
+        assert any(
+            entry.action == "revoke" and entry.allowed
+            for entry in alice_cell.audit.entries()
+        )

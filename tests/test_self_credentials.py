@@ -1,0 +1,145 @@
+"""Tests for self-computed certified credentials."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    FactSpec,
+    TrustedCell,
+    compute_credential,
+    verify_self_credential,
+)
+from repro.core.identity import Principal, TrustRegistry
+from repro.errors import ConfigurationError, QueryError
+from repro.hardware import SMARTPHONE
+from repro.sim import World
+from repro.store import Aggregate
+
+
+def cell_with_pay_slips(monthly_net=2500.0):
+    world = World(seed=111)
+    cell = TrustedCell(world, "alice-phone", SMARTPHONE)
+    cell.register_user("alice", "pin")
+    session = cell.login("alice", "pin")
+    pay = cell.catalog.collection("payslips")
+    for month in range(6):
+        pay.insert(f"m{month}", {"month": month, "net": monthly_net})
+    return world, cell, session
+
+
+def income_fact(bound=2000.0, comparator=">="):
+    return FactSpec(
+        name=f"avg-net-income-{comparator}-{bound:g}",
+        collection="payslips",
+        aggregate=Aggregate("avg", "net"),
+        comparator=comparator,
+        bound=bound,
+    )
+
+
+def verifier_registry(cell):
+    registry = TrustRegistry()
+    registry.enroll_principal(cell.principal)
+    return registry
+
+
+class TestComputeCredential:
+    def test_true_fact(self):
+        world, cell, session = cell_with_pay_slips(monthly_net=2500.0)
+        credential = compute_credential(cell, session, income_fact(2000.0))
+        assert credential.holds
+        assert credential.subject == "alice"
+        assert "avg(net)" in credential.description
+
+    def test_false_fact_is_still_signed(self):
+        """A landlord asking 'income >= 4000?' gets a signed NO, not a
+        forgeable silence."""
+        world, cell, session = cell_with_pay_slips(monthly_net=2500.0)
+        credential = compute_credential(cell, session, income_fact(4000.0))
+        assert not credential.holds
+        assert verify_self_credential(
+            verifier_registry(cell), credential, now=world.now
+        )
+
+    def test_statement_reveals_outcome_not_values(self):
+        world, cell, session = cell_with_pay_slips(monthly_net=2512.34)
+        credential = compute_credential(cell, session, income_fact(2000.0))
+        assert b"2512.34" not in credential.message()
+
+    def test_comparators(self):
+        world, cell, session = cell_with_pay_slips(monthly_net=2500.0)
+        cases = [(">=", 2500.0, True), ("<=", 2499.0, False),
+                 (">", 2500.0, False), ("<", 2501.0, True),
+                 ("==", 2500.0, True)]
+        for comparator, bound, expected in cases:
+            credential = compute_credential(
+                cell, session, income_fact(bound, comparator)
+            )
+            assert credential.holds is expected, (comparator, bound)
+
+    def test_unknown_comparator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            income_fact(comparator="~=")
+
+    def test_empty_collection_fails_loudly(self):
+        world = World(seed=112)
+        cell = TrustedCell(world, "c", SMARTPHONE)
+        cell.register_user("alice", "pin")
+        session = cell.login("alice", "pin")
+        cell.catalog.collection("payslips")  # exists, but empty
+        with pytest.raises(QueryError):
+            compute_credential(cell, session, income_fact())
+
+    def test_computation_is_audited(self):
+        world, cell, session = cell_with_pay_slips()
+        compute_credential(cell, session, income_fact())
+        assert any(
+            entry.action.startswith("self-credential:")
+            for entry in cell.audit.entries()
+        )
+
+
+class TestVerification:
+    def test_genuine_credential_verifies(self):
+        world, cell, session = cell_with_pay_slips()
+        credential = compute_credential(cell, session, income_fact())
+        assert verify_self_credential(
+            verifier_registry(cell), credential, now=world.now
+        )
+
+    def test_unknown_cell_rejected(self):
+        world, cell, session = cell_with_pay_slips()
+        credential = compute_credential(cell, session, income_fact())
+        assert not verify_self_credential(TrustRegistry(), credential, now=0)
+
+    def test_forged_outcome_rejected(self):
+        world, cell, session = cell_with_pay_slips(monthly_net=1000.0)
+        credential = compute_credential(cell, session, income_fact(2000.0))
+        assert not credential.holds
+        forged = dataclasses.replace(credential, holds=True)
+        assert not verify_self_credential(
+            verifier_registry(cell), forged, now=world.now
+        )
+
+    def test_impostor_cell_rejected(self):
+        world, cell, session = cell_with_pay_slips()
+        credential = compute_credential(cell, session, income_fact())
+        impostor = TrustedCell(world, "alice-phone-imp", SMARTPHONE)
+        registry = TrustRegistry()
+        # enroll the impostor's key under the genuine cell's name
+        registry.enroll_principal(
+            Principal("alice-phone", impostor.tee.keys.verify_key,
+                      impostor.tee.keys.exchange_public)
+        )
+        assert not verify_self_credential(registry, credential, now=world.now)
+
+    def test_freshness_window(self):
+        world, cell, session = cell_with_pay_slips()
+        credential = compute_credential(cell, session, income_fact())
+        registry = verifier_registry(cell)
+        world.clock.advance(10 * 86400)
+        assert verify_self_credential(registry, credential, now=world.now)
+        assert not verify_self_credential(
+            registry, credential, now=world.now, max_age=86400
+        )

@@ -1,0 +1,295 @@
+"""Tests for the sharing protocol, groups, and approbation."""
+
+import pytest
+
+from repro.core import TrustedCell
+from repro.errors import (
+    AccessDenied,
+    ConfigurationError,
+    CredentialError,
+    IntegrityError,
+    ProtocolError,
+)
+from repro.hardware import HOME_GATEWAY, SMARTPHONE
+from repro.infrastructure import CloudProvider, CuriousAdversary
+from repro.policy import Grant, UsagePolicy
+from repro.policy.ucon import RIGHT_READ, RIGHT_SHARE
+from repro.sharing import (
+    VERDICT_REJECT,
+    ApprobationService,
+    SharingGroup,
+    SharingPeer,
+    always_approve,
+    always_blur,
+    always_reject,
+    integrate_with_approbation,
+    introduce_cells,
+)
+from repro.sim import World
+
+
+def two_cell_setup(adversary=None):
+    world = World(seed=11)
+    cloud = CloudProvider(world, adversary)
+    alice_cell = TrustedCell(world, "alice-gateway", HOME_GATEWAY)
+    bob_cell = TrustedCell(world, "bob-phone", SMARTPHONE)
+    alice_cell.register_user("alice", "1111")
+    bob_cell.register_user("bob", "2222")
+    introduce_cells(alice_cell, bob_cell)
+    return world, cloud, alice_cell, bob_cell
+
+
+class TestShareProtocol:
+    def share_photo(self, cloud, alice_cell, bob_cell, grant=None):
+        alice = alice_cell.login("alice", "1111")
+        alice_cell.store_object(alice, "photo-1", b"jpeg-bytes", kind="photo")
+        alice_peer = SharingPeer(alice_cell, cloud)
+        bob_peer = SharingPeer(bob_cell, cloud)
+        grant = grant or Grant(rights=(RIGHT_READ,), subjects=("bob",))
+        offer = alice_peer.share_object(alice, "photo-1", bob_cell, grant)
+        return alice_peer, bob_peer, offer
+
+    def test_end_to_end_share_and_read(self):
+        world, cloud, alice_cell, bob_cell = two_cell_setup()
+        _, bob_peer, _ = self.share_photo(cloud, alice_cell, bob_cell)
+        imported = bob_peer.accept_shares()
+        assert imported == ["photo-1"]
+        bob = bob_cell.login("bob", "2222")
+        assert bob_cell.read_object(bob, "photo-1") == b"jpeg-bytes"
+
+    def test_recipient_cell_enforces_policy_for_its_users(self):
+        world, cloud, alice_cell, bob_cell = two_cell_setup()
+        _, bob_peer, _ = self.share_photo(cloud, alice_cell, bob_cell)
+        bob_peer.accept_shares()
+        bob_cell.register_user("eve", "6666")
+        with pytest.raises(AccessDenied):
+            bob_cell.read_object(bob_cell.login("eve", "6666"), "photo-1")
+
+    def test_share_requires_share_right(self):
+        world, cloud, alice_cell, bob_cell = two_cell_setup()
+        alice = alice_cell.login("alice", "1111")
+        alice_cell.register_user("guest", "0000")
+        policy = UsagePolicy(
+            owner="alice",
+            grants=(Grant(rights=(RIGHT_READ,), subjects=("guest",)),),
+        )
+        alice_cell.store_object(alice, "doc", b"x", policy=policy)
+        peer = SharingPeer(alice_cell, cloud)
+        guest = alice_cell.login("guest", "0000")
+        with pytest.raises(AccessDenied):
+            peer.share_object(guest, "doc",
+                              bob_cell, Grant(rights=(RIGHT_READ,), subjects=("bob",)))
+
+    def test_share_to_unknown_cell_fails_attestation(self):
+        world, cloud, alice_cell, _ = two_cell_setup()
+        stranger = TrustedCell(world, "stranger-cell", SMARTPHONE)
+        alice = alice_cell.login("alice", "1111")
+        alice_cell.store_object(alice, "doc", b"x")
+        peer = SharingPeer(alice_cell, cloud)
+        with pytest.raises(CredentialError):
+            peer.share_object(alice, "doc", stranger,
+                              Grant(rights=(RIGHT_READ,), subjects=("someone",)))
+
+    def test_cloud_learns_nothing_from_offer(self):
+        adversary = CuriousAdversary()
+        world, cloud, alice_cell, bob_cell = two_cell_setup(adversary)
+        self.share_photo(cloud, alice_cell, bob_cell)
+        # offer + envelope transited the cloud: neither mentions the
+        # object id, the users, or the payload in clear
+        for key in adversary.stats.distinct_keys_seen:
+            assert "photo-1" not in key or key.startswith("vault/")
+        assert adversary.stats.plaintext_bytes_seen == 0
+
+    def test_offer_from_spoofed_sender_rejected(self):
+        world, cloud, alice_cell, bob_cell = two_cell_setup()
+        carol_cell = TrustedCell(world, "carol-cell", SMARTPHONE)
+        introduce_cells(alice_cell, bob_cell, carol_cell)
+        alice_peer, bob_peer, offer = None, None, None
+        alice = alice_cell.login("alice", "1111")
+        alice_cell.store_object(alice, "photo-1", b"jpeg", kind="photo")
+        alice_peer = SharingPeer(alice_cell, cloud)
+        offer = alice_peer.share_object(
+            alice, "photo-1", bob_cell, Grant(rights=(RIGHT_READ,), subjects=("bob",))
+        )
+        # Mallory re-posts alice's sealed offer under carol's name:
+        # the pairwise key will not match and the open must fail.
+        messages = cloud.fetch_messages("inbox/bob-phone")
+        cloud.post_message("inbox/bob-phone", "carol-cell", messages[0][1])
+        bob_peer = SharingPeer(bob_cell, cloud)
+        with pytest.raises(IntegrityError):
+            bob_peer.accept_shares()
+
+    def test_reshare_chain(self):
+        """Bob re-shares to Carol: allowed only with the share right."""
+        world, cloud, alice_cell, bob_cell = two_cell_setup()
+        carol_cell = TrustedCell(world, "carol-phone", SMARTPHONE)
+        carol_cell.register_user("carol", "3333")
+        introduce_cells(alice_cell, bob_cell, carol_cell)
+        grant = Grant(rights=(RIGHT_READ, RIGHT_SHARE), subjects=("bob",))
+        _, bob_peer, _ = self.share_photo(cloud, alice_cell, bob_cell, grant)
+        bob_peer.accept_shares()
+        bob = bob_cell.login("bob", "2222")
+        carol_peer = SharingPeer(carol_cell, cloud)
+        bob_peer.share_object(
+            bob, "photo-1", carol_cell,
+            Grant(rights=(RIGHT_READ,), subjects=("carol",)),
+        )
+        carol_peer.accept_shares()
+        carol = carol_cell.login("carol", "3333")
+        assert carol_cell.read_object(carol, "photo-1") == b"jpeg-bytes"
+
+    def test_share_audited_on_both_sides(self):
+        world, cloud, alice_cell, bob_cell = two_cell_setup()
+        _, bob_peer, _ = self.share_photo(cloud, alice_cell, bob_cell)
+        bob_peer.accept_shares()
+        assert any(entry.action == "share" for entry in alice_cell.audit.entries())
+        assert any(entry.action == "accept-share"
+                   for entry in bob_cell.audit.entries())
+
+
+class TestGroups:
+    def three_cells(self):
+        world = World(seed=13)
+        cells = [
+            TrustedCell(world, name, SMARTPHONE)
+            for name in ("founder-cell", "member-a", "member-b")
+        ]
+        introduce_cells(*cells)
+        return cells
+
+    def test_members_can_open_group_blobs(self):
+        founder, member_a, member_b = self.three_cells()
+        group = SharingGroup("friends", founder)
+        group.add_member(member_a)
+        group.add_member(member_b)
+        blob = group.seal_for_group(founder, b"game scores", "scores")
+        assert SharingGroup.open_group_blob(member_a, "friends", blob) == b"game scores"
+        assert SharingGroup.open_group_blob(member_b, "friends", blob) == b"game scores"
+
+    def test_non_member_cannot_open(self):
+        founder, member_a, outsider = self.three_cells()
+        group = SharingGroup("friends", founder)
+        group.add_member(member_a)
+        blob = group.seal_for_group(founder, b"secret", "x")
+        with pytest.raises(ProtocolError):
+            SharingGroup.open_group_blob(outsider, "friends", blob)
+
+    def test_removed_member_cannot_open_new_blobs(self):
+        founder, member_a, member_b = self.three_cells()
+        group = SharingGroup("friends", founder)
+        group.add_member(member_a)
+        group.add_member(member_b)
+        group.remove_member("member-a")
+        blob = group.seal_for_group(founder, b"post-removal", "y")
+        with pytest.raises(ProtocolError):
+            SharingGroup.open_group_blob(member_a, "friends", blob)
+        # remaining member got the rotated key
+        assert SharingGroup.open_group_blob(member_b, "friends", blob) == b"post-removal"
+
+    def test_founder_cannot_leave(self):
+        founder, *_ = self.three_cells()
+        group = SharingGroup("friends", founder)
+        with pytest.raises(ConfigurationError):
+            group.remove_member("founder-cell")
+
+    def test_duplicate_member_rejected(self):
+        founder, member_a, _ = self.three_cells()
+        group = SharingGroup("friends", founder)
+        group.add_member(member_a)
+        with pytest.raises(ConfigurationError):
+            group.add_member(member_a)
+
+    def test_epoch_increments_on_rotation(self):
+        founder, member_a, _ = self.three_cells()
+        group = SharingGroup("friends", founder)
+        group.add_member(member_a)
+        first_epoch = group.epoch
+        group.remove_member("member-a")
+        assert group.epoch == first_epoch + 1
+
+
+class TestApprobation:
+    def setup_photo_scene(self, bob_rule):
+        world = World(seed=17)
+        alice_cell = TrustedCell(world, "alice-phone", SMARTPHONE)
+        bob_cell = TrustedCell(world, "bob-phone", SMARTPHONE)
+        alice_cell.register_user("alice", "1111")
+        introduce_cells(alice_cell, bob_cell)
+        bob_service = ApprobationService(bob_cell, rule=bob_rule)
+        return alice_cell, bob_service
+
+    @staticmethod
+    def blur(payload: bytes, user: str) -> bytes:
+        return payload + f"[blurred:{user}]".encode()
+
+    def test_approved_photo_stored_unchanged(self):
+        alice_cell, bob_service = self.setup_photo_scene(always_approve)
+        session = alice_cell.login("alice", "1111")
+        final = integrate_with_approbation(
+            alice_cell, session, "party-photo", b"raw-jpeg",
+            referenced={"bob": bob_service}, transform_blur=self.blur,
+        )
+        assert final == b"raw-jpeg"
+        assert alice_cell.read_object(session, "party-photo") == b"raw-jpeg"
+
+    def test_blur_rule_transforms_photo(self):
+        alice_cell, bob_service = self.setup_photo_scene(always_blur)
+        session = alice_cell.login("alice", "1111")
+        final = integrate_with_approbation(
+            alice_cell, session, "party-photo", b"raw-jpeg",
+            referenced={"bob": bob_service}, transform_blur=self.blur,
+        )
+        assert final == b"raw-jpeg[blurred:bob]"
+
+    def test_rejection_blocks_integration(self):
+        alice_cell, bob_service = self.setup_photo_scene(always_reject)
+        session = alice_cell.login("alice", "1111")
+        with pytest.raises(AccessDenied):
+            integrate_with_approbation(
+                alice_cell, session, "party-photo", b"raw-jpeg",
+                referenced={"bob": bob_service}, transform_blur=self.blur,
+            )
+        from repro.errors import NotFoundError
+
+        with pytest.raises(NotFoundError):
+            alice_cell.read_object(session, "party-photo")
+
+    def test_multiple_referenced_users(self):
+        world = World(seed=19)
+        alice_cell = TrustedCell(world, "alice-phone", SMARTPHONE)
+        bob_cell = TrustedCell(world, "bob-phone", SMARTPHONE)
+        carol_cell = TrustedCell(world, "carol-phone", SMARTPHONE)
+        alice_cell.register_user("alice", "1111")
+        introduce_cells(alice_cell, bob_cell, carol_cell)
+        session = alice_cell.login("alice", "1111")
+        final = integrate_with_approbation(
+            alice_cell, session, "group-photo", b"raw",
+            referenced={
+                "bob": ApprobationService(bob_cell, always_blur),
+                "carol": ApprobationService(carol_cell, always_approve),
+            },
+            transform_blur=self.blur,
+        )
+        assert final == b"raw[blurred:bob]"
+
+    def test_verdicts_audited_on_responder(self):
+        alice_cell, bob_service = self.setup_photo_scene(always_reject)
+        session = alice_cell.login("alice", "1111")
+        with pytest.raises(AccessDenied):
+            integrate_with_approbation(
+                alice_cell, session, "p", b"raw",
+                referenced={"bob": bob_service}, transform_blur=self.blur,
+            )
+        actions = [entry.action for entry in bob_service.cell.audit.entries()]
+        assert f"approbation:{VERDICT_REJECT}" in actions
+
+    def test_bad_standing_rule_rejected(self):
+        alice_cell, _ = self.setup_photo_scene(always_approve)
+        world = alice_cell.world
+        weird_cell = TrustedCell(world, "weird", SMARTPHONE)
+        service = ApprobationService(weird_cell, rule=lambda req: "maybe")
+        from repro.sharing import ApprobationRequest
+
+        request = ApprobationRequest("alice-phone", "o", b"d", "weird-user", 0)
+        with pytest.raises(ProtocolError):
+            service.answer(request)

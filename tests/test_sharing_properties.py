@@ -1,0 +1,66 @@
+"""Property-based tests of the sharing protocol's access semantics.
+
+For random grants and random recipient users: after a share, exactly
+the rights in the grant are exercisable by exactly the subjects the
+grant names, on the recipient cell — and nobody else gets anything.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TrustedCell
+from repro.errors import AccessDenied
+from repro.hardware import SMARTPHONE
+from repro.infrastructure import CloudProvider
+from repro.policy import Grant
+from repro.policy.ucon import RIGHT_READ, RIGHT_SHARE
+from repro.sharing import SharingPeer, introduce_cells
+from repro.sim import World
+
+USERS = ("bob", "carol", "dave")
+
+grant_strategy = st.builds(
+    Grant,
+    rights=st.lists(
+        st.sampled_from([RIGHT_READ, RIGHT_SHARE]), min_size=1, max_size=2,
+        unique=True,
+    ).map(tuple),
+    subjects=st.lists(st.sampled_from(USERS), min_size=1, max_size=3,
+                      unique=True).map(tuple),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(grant_strategy, st.binary(min_size=1, max_size=40))
+def test_share_confers_exactly_the_grant(grant, payload):
+    world = World(seed=161)
+    cloud = CloudProvider(world)
+    alice_cell = TrustedCell(world, "alice-cell", SMARTPHONE)
+    recipient_cell = TrustedCell(world, "recipient-cell", SMARTPHONE)
+    alice_cell.register_user("alice", "pin")
+    for user in USERS:
+        recipient_cell.register_user(user, f"pin-{user}")
+    introduce_cells(alice_cell, recipient_cell)
+
+    alice = alice_cell.login("alice", "pin")
+    alice_cell.store_object(alice, "doc", payload)
+    SharingPeer(alice_cell, cloud).share_object(
+        alice, "doc", recipient_cell, grant
+    )
+    SharingPeer(recipient_cell, cloud).accept_shares()
+
+    for user in USERS:
+        session = recipient_cell.login(user, f"pin-{user}")
+        should_read = user in grant.subjects and RIGHT_READ in grant.rights
+        if should_read:
+            assert recipient_cell.read_object(session, "doc") == payload
+        else:
+            with pytest.raises(AccessDenied):
+                recipient_cell.read_object(session, "doc")
+        # rights_on must agree exactly with the grant for named subjects
+        rights = recipient_cell.rights_on(session, "doc")
+        if user in grant.subjects:
+            assert rights == set(grant.rights)
+        else:
+            assert rights == set()

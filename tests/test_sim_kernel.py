@@ -1,0 +1,241 @@
+"""Tests for the simulation kernel: clock, events, RNG, world."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MONTH,
+    EventLoop,
+    SeedSequence,
+    SimClock,
+    World,
+    day_start,
+    month_start,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(500).now == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock(-1)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1)
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(1234)
+        assert clock.now == 1234
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(100)
+        with pytest.raises(ConfigurationError):
+            clock.advance_to(99)
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(100)
+        clock.advance_to(100)
+        assert clock.now == 100
+
+    def test_day_and_month_indexing(self):
+        clock = SimClock()
+        assert clock.day() == 0
+        clock.advance(SECONDS_PER_DAY)
+        assert clock.day() == 1
+        clock.advance_to(SECONDS_PER_MONTH)
+        assert clock.month() == 1
+
+    def test_hour_of_day(self):
+        clock = SimClock(3 * SECONDS_PER_HOUR + 120)
+        assert clock.hour_of_day() == 3
+        assert clock.seconds_into_day() == 3 * SECONDS_PER_HOUR + 120
+
+    def test_day_and_month_start_helpers(self):
+        assert day_start(2) == 2 * SECONDS_PER_DAY
+        assert month_start(3) == 3 * SECONDS_PER_MONTH
+
+
+class TestEventLoop:
+    def test_events_run_in_timestamp_order(self):
+        world = World()
+        order = []
+        world.loop.schedule_at(30, lambda: order.append("c"))
+        world.loop.schedule_at(10, lambda: order.append("a"))
+        world.loop.schedule_at(20, lambda: order.append("b"))
+        world.loop.run_until(100)
+        assert order == ["a", "b", "c"]
+
+    def test_same_timestamp_runs_in_schedule_order(self):
+        world = World()
+        order = []
+        for name in "abcde":
+            world.loop.schedule_at(10, lambda n=name: order.append(n))
+        world.loop.run_until(10)
+        assert order == list("abcde")
+
+    def test_clock_advances_to_each_event(self):
+        world = World()
+        seen = []
+        world.loop.schedule_at(10, lambda: seen.append(world.now))
+        world.loop.schedule_at(25, lambda: seen.append(world.now))
+        world.loop.run_until(100)
+        assert seen == [10, 25]
+        assert world.now == 100
+
+    def test_events_after_horizon_stay_queued(self):
+        world = World()
+        ran = []
+        world.loop.schedule_at(50, lambda: ran.append(1))
+        executed = world.loop.run_until(40)
+        assert executed == 0
+        assert not ran
+        world.loop.run_until(60)
+        assert ran == [1]
+
+    def test_schedule_in_is_relative(self):
+        world = World(start_time=0)
+        world.loop.run_until(100)
+        fired = []
+        world.loop.schedule_in(10, lambda: fired.append(world.now))
+        world.loop.run_until(200)
+        assert fired == [110]
+
+    def test_schedule_in_past_rejected(self):
+        world = World()
+        world.loop.run_until(10)
+        with pytest.raises(ConfigurationError):
+            world.loop.schedule_at(5, lambda: None)
+        with pytest.raises(ConfigurationError):
+            world.loop.schedule_in(-1, lambda: None)
+
+    def test_cancelled_event_does_not_run(self):
+        world = World()
+        ran = []
+        handle = world.loop.schedule_at(10, lambda: ran.append(1))
+        handle.cancel()
+        world.loop.run_until(20)
+        assert not ran
+
+    def test_callbacks_can_schedule_more_events(self):
+        world = World()
+        order = []
+
+        def first():
+            order.append("first")
+            world.loop.schedule_in(0, lambda: order.append("nested"))
+
+        world.loop.schedule_at(10, first)
+        world.loop.run_until(10)
+        assert order == ["first", "nested"]
+
+    def test_periodic_events_repeat_until_cancelled(self):
+        world = World()
+        ticks = []
+        handle = world.loop.schedule_every(10, lambda: ticks.append(world.now))
+        world.loop.run_until(35)
+        assert ticks == [10, 20, 30]
+        handle.cancel()
+        world.loop.run_until(100)
+        assert ticks == [10, 20, 30]
+
+    def test_periodic_first_at_controls_phase(self):
+        world = World()
+        ticks = []
+        world.loop.schedule_every(10, lambda: ticks.append(world.now), first_at=5)
+        world.loop.run_until(30)
+        assert ticks == [5, 15, 25]
+
+    def test_periodic_zero_period_rejected(self):
+        world = World()
+        with pytest.raises(ConfigurationError):
+            world.loop.schedule_every(0, lambda: None)
+
+    def test_drain_runs_everything(self):
+        world = World()
+        ran = []
+        world.loop.schedule_at(1000, lambda: ran.append(1))
+        world.loop.schedule_at(2000, lambda: ran.append(2))
+        world.loop.drain()
+        assert ran == [1, 2]
+        assert world.now == 2000
+
+    def test_events_executed_counter(self):
+        world = World()
+        for t in (1, 2, 3):
+            world.loop.schedule_at(t, lambda: None)
+        world.loop.run_until(10)
+        assert world.loop.events_executed == 3
+
+
+class TestSeedSequence:
+    def test_same_name_same_stream(self):
+        seeds = SeedSequence(42)
+        a = seeds.stream("x").random()
+        b = seeds.stream("x").random()
+        assert a == b
+
+    def test_different_names_differ(self):
+        seeds = SeedSequence(42)
+        assert seeds.child_seed("a") != seeds.child_seed("b")
+
+    def test_different_roots_differ(self):
+        assert SeedSequence(1).child_seed("a") != SeedSequence(2).child_seed("a")
+
+    def test_spawn_creates_independent_namespace(self):
+        seeds = SeedSequence(42)
+        child = seeds.spawn("sub")
+        assert child.child_seed("a") != seeds.child_seed("a")
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+    def test_child_seed_in_64_bit_range(self, root, name):
+        seed = SeedSequence(root).child_seed(name)
+        assert 0 <= seed < 2**64
+
+
+class TestWorld:
+    def test_register_and_lookup(self):
+        world = World()
+        obj = object()
+        world.register("thing", obj)
+        assert world.lookup("thing") is obj
+
+    def test_duplicate_name_rejected(self):
+        world = World()
+        world.register("thing", 1)
+        with pytest.raises(ConfigurationError):
+            world.register("thing", 2)
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            World().lookup("missing")
+
+    def test_entities_returns_copy(self):
+        world = World()
+        world.register("a", 1)
+        snapshot = world.entities()
+        snapshot["b"] = 2
+        with pytest.raises(ConfigurationError):
+            world.lookup("b")
+
+    def test_worlds_with_same_seed_agree(self):
+        a = World(seed=7).rng("stream").random()
+        b = World(seed=7).rng("stream").random()
+        assert a == b

@@ -1,0 +1,79 @@
+"""Tests for record encoding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.store import decode_record, encode_record
+
+value_strategy = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+record_strategy = st.dictionaries(st.text(max_size=20), value_strategy, max_size=10)
+
+
+class TestEncoding:
+    def test_empty_record(self):
+        assert decode_record(encode_record({})) == {}
+
+    def test_all_types_roundtrip(self):
+        record = {
+            "none": None,
+            "yes": True,
+            "no": False,
+            "int": -123456789,
+            "float": 3.14159,
+            "str": "héllo wörld",
+            "bytes": b"\x00\x01\xff",
+        }
+        assert decode_record(encode_record(record)) == record
+
+    def test_deterministic_field_order(self):
+        a = encode_record({"a": 1, "b": 2})
+        b = encode_record({"b": 2, "a": 1})
+        assert a == b
+
+    def test_bool_not_confused_with_int(self):
+        decoded = decode_record(encode_record({"b": True, "i": 1}))
+        assert decoded["b"] is True
+        assert decoded["i"] == 1
+        assert not isinstance(decoded["i"], bool)
+
+    def test_large_int(self):
+        record = {"big": 2**200, "negative": -(2**200)}
+        assert decode_record(encode_record(record)) == record
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(StorageError):
+            encode_record({"bad": [1, 2, 3]})
+
+    def test_truncated_rejected(self):
+        data = encode_record({"field": "value"})
+        with pytest.raises(StorageError):
+            decode_record(data[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        data = encode_record({"field": "value"})
+        with pytest.raises(StorageError):
+            decode_record(data + b"\x00")
+
+    def test_infinity_roundtrip(self):
+        record = {"inf": math.inf, "ninf": -math.inf}
+        assert decode_record(encode_record(record)) == record
+
+    @given(record_strategy)
+    def test_roundtrip_property(self, record):
+        assert decode_record(encode_record(record)) == record
+
+    @given(record_strategy, record_strategy)
+    def test_injective_property(self, a, b):
+        if a != b:
+            assert encode_record(a) != encode_record(b)

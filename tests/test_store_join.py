@@ -1,0 +1,161 @@
+"""Tests for cross-collection hash joins."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.hardware import FlashTimings, NandFlash
+from repro.store import Between, Catalog, Eq, JoinQuery, execute_join
+
+TIMINGS = FlashTimings(
+    page_size=2048, pages_per_block=64,
+    read_page_us=25.0, write_page_us=250.0, erase_block_us=1500.0,
+)
+
+
+def make_catalog():
+    flash = NandFlash(TIMINGS, capacity_bytes=512 * TIMINGS.page_size)
+    return Catalog(flash)
+
+
+def seeded_catalog():
+    catalog = make_catalog()
+    receipts = catalog.collection("receipts")
+    visits = catalog.collection("visits")
+    rows = [
+        ("r1", {"person": "alice", "category": "sweets", "amount": 12.0}),
+        ("r2", {"person": "alice", "category": "fruit", "amount": 5.0}),
+        ("r3", {"person": "bob", "category": "sweets", "amount": 20.0}),
+        ("r4", {"person": "carol", "category": "fish", "amount": 9.0}),
+    ]
+    for record_id, record in rows:
+        receipts.insert(record_id, record)
+    for record_id, record in [
+        ("v1", {"person": "alice", "disease": "diabetes"}),
+        ("v2", {"person": "bob", "disease": "none"}),
+        ("v3", {"person": "dave", "disease": "flu"}),
+    ]:
+        visits.insert(record_id, record)
+    return catalog
+
+
+class TestJoin:
+    def test_equality_join(self):
+        catalog = seeded_catalog()
+        result = execute_join(
+            catalog,
+            JoinQuery("receipts", "visits", "person", "person"),
+        )
+        # alice: 2 receipts x 1 visit; bob: 1 x 1; carol/dave unmatched
+        assert len(result) == 3
+        people = {row["receipts.person"] for row in result}
+        assert people == {"alice", "bob"}
+
+    def test_field_prefixes_preserve_provenance(self):
+        catalog = seeded_catalog()
+        result = execute_join(
+            catalog, JoinQuery("receipts", "visits", "person", "person")
+        )
+        row = result.rows[0]
+        assert "receipts.amount" in row
+        assert "visits.disease" in row
+
+    def test_prefilters_apply(self):
+        catalog = seeded_catalog()
+        result = execute_join(
+            catalog,
+            JoinQuery(
+                "receipts", "visits", "person", "person",
+                where_left=Eq("category", "sweets"),
+                where_right=Eq("disease", "diabetes"),
+            ),
+        )
+        assert len(result) == 1
+        assert result.rows[0]["receipts.person"] == "alice"
+
+    def test_cross_analysis_shape(self):
+        """The epidemiology question, asked inside one cell."""
+        catalog = seeded_catalog()
+        diabetic_sweets = execute_join(
+            catalog,
+            JoinQuery(
+                "receipts", "visits", "person", "person",
+                where_left=Eq("category", "sweets"),
+                where_right=Eq("disease", "diabetes"),
+            ),
+        )
+        healthy_sweets = execute_join(
+            catalog,
+            JoinQuery(
+                "receipts", "visits", "person", "person",
+                where_left=Eq("category", "sweets"),
+                where_right=Eq("disease", "none"),
+            ),
+        )
+        assert len(diabetic_sweets) == 1
+        assert len(healthy_sweets) == 1
+
+    def test_limit(self):
+        catalog = seeded_catalog()
+        result = execute_join(
+            catalog,
+            JoinQuery("receipts", "visits", "person", "person", limit=2),
+        )
+        assert len(result) == 2
+
+    def test_no_matches(self):
+        catalog = seeded_catalog()
+        result = execute_join(
+            catalog,
+            JoinQuery("receipts", "visits", "category", "disease"),
+        )
+        assert len(result) == 0
+        assert result.left_examined == 4
+        assert result.right_examined == 3
+
+    def test_none_keys_never_join(self):
+        catalog = make_catalog()
+        catalog.collection("a").insert("a1", {"k": None, "v": 1})
+        catalog.collection("b").insert("b1", {"k": None, "v": 2})
+        result = execute_join(catalog, JoinQuery("a", "b", "k", "k"))
+        assert len(result) == 0
+
+    def test_self_join_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery("receipts", "receipts", "person", "person")
+
+    def test_range_prefilter(self):
+        catalog = seeded_catalog()
+        result = execute_join(
+            catalog,
+            JoinQuery(
+                "receipts", "visits", "person", "person",
+                where_left=Between("amount", 10.0, 100.0),
+            ),
+        )
+        assert {row["receipts.amount"] for row in result} == {12.0, 20.0}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.tuples(st.sampled_from("abcde"), st.integers(0, 5)),
+                 max_size=12),
+        st.lists(st.tuples(st.sampled_from("abcde"), st.integers(0, 5)),
+                 max_size=12),
+    )
+    def test_join_matches_nested_loop_reference(self, left_rows, right_rows):
+        catalog = make_catalog()
+        left = catalog.collection("left")
+        right = catalog.collection("right")
+        for position, (key, value) in enumerate(left_rows):
+            left.insert(f"l{position}", {"k": key, "v": value})
+        for position, (key, value) in enumerate(right_rows):
+            right.insert(f"r{position}", {"k": key, "v": value})
+        result = execute_join(catalog, JoinQuery("left", "right", "k", "k"))
+        expected = sum(
+            1
+            for lk, _ in left_rows
+            for rk, _ in right_rows
+            if lk == rk
+        )
+        assert len(result) == expected

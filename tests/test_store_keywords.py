@@ -1,0 +1,168 @@
+"""Tests for the keyword (inverted) index and HasKeyword queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware import FlashTimings, NandFlash
+from repro.store import Catalog, HasKeyword, KeywordIndex, Query, tokenize
+
+TIMINGS = FlashTimings(
+    page_size=2048, pages_per_block=64,
+    read_page_us=25.0, write_page_us=250.0, erase_block_us=1500.0,
+)
+
+
+def make_catalog():
+    flash = NandFlash(TIMINGS, capacity_bytes=512 * TIMINGS.page_size)
+    return Catalog(flash)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Beach Day at THE beach") == ["at", "beach", "day", "the"]
+
+    def test_punctuation_separates(self):
+        assert tokenize("re: beach-day!") == ["beach", "day", "re"]
+
+    def test_numbers_kept(self):
+        assert tokenize("bill 2012") == ["2012", "bill"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    @given(st.text(max_size=60))
+    def test_tokens_are_normalized(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+
+class TestKeywordIndex:
+    def test_lookup_single_term(self):
+        index = KeywordIndex("keywords")
+        index.add("r1", "beach family")
+        index.add("r2", "mountain family")
+        assert index.lookup("beach") == {"r1"}
+        assert index.lookup("family") == {"r1", "r2"}
+        assert index.lookup("FAMILY") == {"r1", "r2"}
+
+    def test_lookup_all_is_conjunctive(self):
+        index = KeywordIndex("keywords")
+        index.add("r1", "beach family sunset")
+        index.add("r2", "beach work")
+        assert index.lookup_all(["beach", "family"]) == {"r1"}
+        assert index.lookup_all(["beach"]) == {"r1", "r2"}
+        assert index.lookup_all(["beach", "ski"]) == set()
+        assert index.lookup_all([]) == set()
+
+    def test_remove(self):
+        index = KeywordIndex("keywords")
+        index.add("r1", "beach family")
+        index.remove("r1", "beach family")
+        assert index.lookup("beach") == set()
+        assert index.terms() == []
+
+    def test_non_string_values_ignored(self):
+        index = KeywordIndex("keywords")
+        index.add("r1", 42)
+        assert index.entry_count == 0
+
+    def test_ram_accounting(self):
+        index = KeywordIndex("keywords")
+        assert index.ram_bytes == 0
+        index.add("r1", "some words here")
+        assert index.ram_bytes > 0
+
+
+class TestKeywordQueries:
+    def seeded(self):
+        catalog = make_catalog()
+        photos = catalog.collection("photos")
+        photos.create_keyword_index("caption")
+        photos.insert("p1", {"caption": "Beach day with the family"})
+        photos.insert("p2", {"caption": "Family dinner at home"})
+        photos.insert("p3", {"caption": "Solo hike in the mountains"})
+        return catalog
+
+    def test_query_uses_keyword_index(self):
+        catalog = self.seeded()
+        result = catalog.query(
+            Query("photos", where=HasKeyword("caption", ("family",)))
+        )
+        assert result.plan == "keyword:caption"
+        assert len(result) == 2
+
+    def test_multi_term_and(self):
+        catalog = self.seeded()
+        result = catalog.query(
+            Query("photos", where=HasKeyword("caption", ("family", "beach")))
+        )
+        assert len(result) == 1
+        assert "Beach" in result.rows[0]["caption"]
+
+    def test_without_index_falls_back_to_scan(self):
+        catalog = make_catalog()
+        notes = catalog.collection("notes")
+        notes.insert("n1", {"text": "the beach was lovely"})
+        result = catalog.query(Query("notes", where=HasKeyword("text", ("beach",))))
+        assert result.plan == "scan"
+        assert len(result) == 1
+
+    def test_predicate_semantics_match_index(self):
+        predicate = HasKeyword("caption", ("beach", "day"))
+        assert predicate.matches({"caption": "beach DAY photos"})
+        assert not predicate.matches({"caption": "beachday"})  # whole words
+        assert not predicate.matches({"caption": 7})
+
+    def test_updates_maintain_postings(self):
+        catalog = self.seeded()
+        photos = catalog.collection("photos")
+        photos.insert("p1", {"caption": "Renamed to mountains"})
+        beach = catalog.query(Query("photos", where=HasKeyword("caption", ("beach",))))
+        assert len(beach) == 0
+        mountains = catalog.query(
+            Query("photos", where=HasKeyword("caption", ("mountains",)))
+        )
+        assert len(mountains) == 2
+
+    def test_delete_maintains_postings(self):
+        catalog = self.seeded()
+        catalog.collection("photos").delete("p1")
+        result = catalog.query(
+            Query("photos", where=HasKeyword("caption", ("beach",)))
+        )
+        assert len(result) == 0
+
+    def test_duplicate_keyword_index_rejected(self):
+        catalog = self.seeded()
+        with pytest.raises(ConfigurationError):
+            catalog.collection("photos").create_keyword_index("caption")
+
+    def test_backfill(self):
+        catalog = make_catalog()
+        docs = catalog.collection("docs")
+        docs.insert("d1", {"body": "quarterly energy report"})
+        catalog.store.flush()
+        docs.create_keyword_index("body")
+        result = catalog.query(Query("docs", where=HasKeyword("body", ("energy",))))
+        assert result.plan == "keyword:body"
+        assert len(result) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.text(alphabet="abc ", max_size=15), min_size=1, max_size=20),
+           st.text(alphabet="abc", min_size=1, max_size=3))
+    def test_index_matches_scan_property(self, captions, term):
+        catalog = make_catalog()
+        docs = catalog.collection("docs")
+        docs.create_keyword_index("caption")
+        for position, caption in enumerate(captions):
+            docs.insert(f"d{position}", {"caption": caption})
+        indexed = catalog.query(
+            Query("docs", where=HasKeyword("caption", (term,)))
+        )
+        expected = [
+            caption for caption in captions if term in tokenize(caption)
+        ]
+        assert len(indexed) == len(expected)

@@ -1,0 +1,357 @@
+"""Tests for indexes, the catalog, and the query engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, NotFoundError, QueryError
+from repro.hardware import FlashTimings, NandFlash
+from repro.store import (
+    Aggregate,
+    And,
+    Between,
+    Catalog,
+    Contains,
+    Eq,
+    HashIndex,
+    Ne,
+    Not,
+    Or,
+    OrderedIndex,
+    Query,
+)
+
+TIMINGS = FlashTimings(
+    page_size=2048, pages_per_block=64,
+    read_page_us=25.0, write_page_us=250.0, erase_block_us=1500.0,
+)
+
+
+def make_catalog(pages=512):
+    flash = NandFlash(TIMINGS, capacity_bytes=pages * TIMINGS.page_size)
+    return Catalog(flash)
+
+
+def seeded_catalog():
+    catalog = make_catalog()
+    documents = catalog.collection("documents")
+    documents.create_hash_index("kind")
+    documents.create_ordered_index("timestamp")
+    rows = [
+        ("d1", {"kind": "photo", "timestamp": 100, "size": 2000, "title": "beach day"}),
+        ("d2", {"kind": "photo", "timestamp": 250, "size": 3000, "title": "mountain"}),
+        ("d3", {"kind": "mail", "timestamp": 300, "size": 10, "title": "re: beach"}),
+        ("d4", {"kind": "bill", "timestamp": 400, "size": 50, "title": "power bill"}),
+        ("d5", {"kind": "photo", "timestamp": 500, "size": 1500, "title": "family"}),
+    ]
+    for record_id, record in rows:
+        documents.insert(record_id, record)
+    return catalog
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        index = HashIndex("kind")
+        index.add("r1", "photo")
+        index.add("r2", "photo")
+        index.add("r3", "mail")
+        assert index.lookup("photo") == {"r1", "r2"}
+        assert index.lookup("absent") == set()
+
+    def test_remove(self):
+        index = HashIndex("kind")
+        index.add("r1", "photo")
+        index.remove("r1", "photo")
+        assert index.lookup("photo") == set()
+        assert index.distinct_values() == []
+
+    def test_ram_accounting(self):
+        index = HashIndex("kind")
+        assert index.ram_bytes == 0
+        index.add("r1", "a")
+        assert index.ram_bytes > 0
+
+
+class TestOrderedIndex:
+    def test_range_inclusive(self):
+        index = OrderedIndex("t")
+        for record_id, value in (("a", 10), ("b", 20), ("c", 30)):
+            index.add(record_id, value)
+        assert index.range(10, 20) == ["a", "b"]
+        assert index.range(low=25) == ["c"]
+        assert index.range(high=15) == ["a"]
+        assert index.range() == ["a", "b", "c"]
+
+    def test_range_exclusive_bounds(self):
+        index = OrderedIndex("t")
+        for record_id, value in (("a", 10), ("b", 20), ("c", 30)):
+            index.add(record_id, value)
+        assert index.range(10, 30, include_low=False, include_high=False) == ["b"]
+
+    def test_min_max(self):
+        index = OrderedIndex("t")
+        index.add("a", 5)
+        index.add("b", 50)
+        assert index.minimum() == 5
+        assert index.maximum() == 50
+
+    def test_empty_min_raises(self):
+        with pytest.raises(QueryError):
+            OrderedIndex("t").minimum()
+
+    def test_none_rejected(self):
+        with pytest.raises(QueryError):
+            OrderedIndex("t").add("a", None)
+
+    def test_mixed_types_rejected(self):
+        index = OrderedIndex("t")
+        index.add("a", 10)
+        with pytest.raises(QueryError):
+            index.add("b", "string")
+
+    def test_remove(self):
+        index = OrderedIndex("t")
+        index.add("a", 10)
+        index.add("b", 10)
+        index.remove("a", 10)
+        assert index.range(10, 10) == ["b"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=30),
+           st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    def test_range_matches_filter(self, values, low, high):
+        index = OrderedIndex("v")
+        for position, value in enumerate(values):
+            index.add(f"r{position:03d}", value)
+        expected = sorted(
+            f"r{position:03d}"
+            for position, value in enumerate(values)
+            if low <= value <= high
+        )
+        assert sorted(index.range(low, high)) == expected
+
+
+class TestCollectionCrud:
+    def test_insert_get(self):
+        catalog = make_catalog()
+        items = catalog.collection("items")
+        items.insert("a", {"v": 1})
+        assert items.get("a") == {"v": 1}
+
+    def test_collections_are_namespaced(self):
+        catalog = make_catalog()
+        catalog.collection("a").insert("x", {"from": "a"})
+        catalog.collection("b").insert("x", {"from": "b"})
+        assert catalog.collection("a").get("x") == {"from": "a"}
+        assert catalog.collection("b").get("x") == {"from": "b"}
+        assert len(catalog.collection("a")) == 1
+
+    def test_slash_in_collection_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_catalog().collection("bad/name")
+
+    def test_delete_maintains_indexes(self):
+        catalog = seeded_catalog()
+        documents = catalog.collection("documents")
+        documents.delete("d1")
+        result = catalog.query(Query("documents", where=Eq("kind", "photo")))
+        assert {row["title"] for row in result} == {"mountain", "family"}
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(NotFoundError):
+            seeded_catalog().collection("documents").delete("nope")
+
+    def test_replace_maintains_indexes(self):
+        catalog = seeded_catalog()
+        documents = catalog.collection("documents")
+        documents.insert("d1", {"kind": "mail", "timestamp": 100})
+        photos = catalog.query(Query("documents", where=Eq("kind", "photo")))
+        assert len(photos) == 2
+        mails = catalog.query(Query("documents", where=Eq("kind", "mail")))
+        assert len(mails) == 2
+
+    def test_index_backfill(self):
+        catalog = make_catalog()
+        items = catalog.collection("items")
+        for i in range(5):
+            items.insert(f"i{i}", {"parity": i % 2, "v": i})
+        items.create_hash_index("parity")
+        result = catalog.query(Query("items", where=Eq("parity", 0)))
+        assert result.plan == "index:parity"
+        assert len(result) == 3
+
+    def test_duplicate_index_rejected(self):
+        catalog = seeded_catalog()
+        with pytest.raises(ConfigurationError):
+            catalog.collection("documents").create_hash_index("kind")
+
+
+class TestQueryExecution:
+    def test_eq_uses_hash_index(self):
+        result = seeded_catalog().query(Query("documents", where=Eq("kind", "photo")))
+        assert result.plan == "index:kind"
+        assert {row["title"] for row in result} == {"beach day", "mountain", "family"}
+
+    def test_between_uses_ordered_index(self):
+        result = seeded_catalog().query(
+            Query("documents", where=Between("timestamp", 200, 400))
+        )
+        assert result.plan == "range:timestamp"
+        assert {row["title"] for row in result} == {"mountain", "re: beach", "power bill"}
+
+    def test_unindexed_predicate_scans(self):
+        result = seeded_catalog().query(Query("documents", where=Eq("size", 10)))
+        assert result.plan == "scan"
+        assert len(result) == 1
+
+    def test_and_picks_selective_index_and_refilters(self):
+        result = seeded_catalog().query(
+            Query(
+                "documents",
+                where=And(Eq("kind", "photo"), Between("timestamp", 200, 600)),
+            )
+        )
+        assert result.plan in ("index:kind", "range:timestamp")
+        assert {row["title"] for row in result} == {"mountain", "family"}
+
+    def test_or_falls_back_to_scan(self):
+        result = seeded_catalog().query(
+            Query("documents", where=Or(Eq("kind", "mail"), Eq("kind", "bill")))
+        )
+        assert result.plan == "scan"
+        assert len(result) == 2
+
+    def test_not_and_ne(self):
+        catalog = seeded_catalog()
+        via_not = catalog.query(Query("documents", where=Not(Eq("kind", "photo"))))
+        via_ne = catalog.query(Query("documents", where=Ne("kind", "photo")))
+        assert len(via_not) == len(via_ne) == 2
+
+    def test_contains(self):
+        result = seeded_catalog().query(
+            Query("documents", where=Contains("title", "beach"))
+        )
+        assert {row["title"] for row in result} == {"beach day", "re: beach"}
+
+    def test_projection(self):
+        result = seeded_catalog().query(
+            Query("documents", where=Eq("kind", "bill"), project=["title", "size"])
+        )
+        assert result.rows == [{"title": "power bill", "size": 50}]
+
+    def test_projection_missing_field_is_none(self):
+        result = seeded_catalog().query(
+            Query("documents", where=Eq("kind", "bill"), project=["absent"])
+        )
+        assert result.rows == [{"absent": None}]
+
+    def test_order_by_and_limit(self):
+        result = seeded_catalog().query(
+            Query("documents", order_by="size", descending=True, limit=2,
+                  project=["title"])
+        )
+        assert [row["title"] for row in result] == ["mountain", "beach day"]
+
+    def test_match_all_default(self):
+        assert len(seeded_catalog().query(Query("documents"))) == 5
+
+    def test_unknown_collection_raises(self):
+        with pytest.raises(QueryError):
+            seeded_catalog().query(Query("nope"))
+
+    def test_index_reads_fewer_pages_than_scan(self):
+        catalog = make_catalog()
+        items = catalog.collection("items")
+        items.create_hash_index("owner")
+        for i in range(2000):
+            items.insert(f"i{i}", {"owner": f"user-{i % 200}", "value": i})
+        catalog.store.flush()
+        indexed = catalog.query(Query("items", where=Eq("owner", "user-3")))
+        scanned = catalog.query(Query("items", where=Eq("value", 3)))
+        assert indexed.plan == "index:owner"
+        assert scanned.plan == "scan"
+        assert indexed.flash_reads < scanned.flash_reads
+        assert indexed.records_examined < scanned.records_examined
+
+
+class TestAggregation:
+    def test_count(self):
+        result = seeded_catalog().query(
+            Query("documents", aggregates=[Aggregate("count")])
+        )
+        assert result.scalar() == 5.0
+
+    def test_sum_avg_min_max(self):
+        result = seeded_catalog().query(
+            Query(
+                "documents",
+                where=Eq("kind", "photo"),
+                aggregates=[
+                    Aggregate("sum", "size"),
+                    Aggregate("avg", "size"),
+                    Aggregate("min", "size"),
+                    Aggregate("max", "size"),
+                ],
+            )
+        )
+        row = result.rows[0]
+        assert row["sum(size)"] == 6500.0
+        assert row["avg(size)"] == pytest.approx(6500 / 3)
+        assert row["min(size)"] == 1500.0
+        assert row["max(size)"] == 3000.0
+
+    def test_group_by(self):
+        result = seeded_catalog().query(
+            Query(
+                "documents",
+                aggregates=[Aggregate("count"), Aggregate("sum", "size")],
+                group_by="kind",
+            )
+        )
+        by_kind = {row["kind"]: row for row in result}
+        assert by_kind["photo"]["count(*)"] == 3.0
+        assert by_kind["bill"]["sum(size)"] == 50.0
+        assert set(by_kind) == {"photo", "mail", "bill"}
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            Aggregate("median", "size")
+
+    def test_min_over_empty_raises(self):
+        with pytest.raises(QueryError):
+            seeded_catalog().query(
+                Query(
+                    "documents",
+                    where=Eq("kind", "nothing"),
+                    aggregates=[Aggregate("min", "size")],
+                )
+            )
+
+    def test_scalar_requires_single_cell(self):
+        result = seeded_catalog().query(Query("documents"))
+        with pytest.raises(QueryError):
+            result.scalar()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1,
+                    max_size=50))
+    def test_aggregates_match_python(self, values):
+        catalog = make_catalog()
+        numbers = catalog.collection("numbers")
+        for position, value in enumerate(values):
+            numbers.insert(f"n{position}", {"v": value})
+        result = catalog.query(
+            Query(
+                "numbers",
+                aggregates=[
+                    Aggregate("count"),
+                    Aggregate("sum", "v"),
+                    Aggregate("avg", "v"),
+                ],
+            )
+        )
+        row = result.rows[0]
+        assert row["count(*)"] == len(values)
+        assert row["sum(v)"] == sum(values)
+        assert row["avg(v)"] == pytest.approx(sum(values) / len(values))

@@ -1,0 +1,145 @@
+"""Tests for reboot recovery of the log-structured store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import FlashTimings, NandFlash
+from repro.store import LogStructuredStore
+
+TIMINGS = FlashTimings(
+    page_size=256, pages_per_block=4,
+    read_page_us=25.0, write_page_us=250.0, erase_block_us=1500.0,
+)
+
+
+def make_flash(pages=64):
+    return NandFlash(TIMINGS, capacity_bytes=pages * TIMINGS.page_size)
+
+
+class TestRecovery:
+    def test_directory_rebuilt_after_reboot(self):
+        flash = make_flash()
+        store = LogStructuredStore(flash)
+        for index in range(10):
+            store.put(f"r{index}", {"value": index})
+        store.flush()
+
+        rebooted = LogStructuredStore.recover(flash)
+        assert rebooted.record_ids() == [f"r{index}" for index in range(10)]
+        for index in range(10):
+            assert rebooted.get(f"r{index}") == {"value": index}
+
+    def test_latest_version_wins_after_reboot(self):
+        flash = make_flash()
+        store = LogStructuredStore(flash)
+        store.put("doc", {"v": 1})
+        store.flush()
+        store.put("doc", {"v": 2})
+        store.flush()
+        rebooted = LogStructuredStore.recover(flash)
+        assert rebooted.get("doc") == {"v": 2}
+
+    def test_deletes_replayed(self):
+        flash = make_flash()
+        store = LogStructuredStore(flash)
+        store.put("keep", {"v": 1})
+        store.put("drop", {"v": 2})
+        store.flush()
+        store.delete("drop")
+        store.flush()
+        rebooted = LogStructuredStore.recover(flash)
+        assert rebooted.record_ids() == ["keep"]
+
+    def test_unflushed_buffer_is_lost(self):
+        """RAM contents die with the power: only flushed data survives."""
+        flash = make_flash()
+        store = LogStructuredStore(flash)
+        store.put("durable", {"v": 1})
+        store.flush()
+        store.put("volatile", {"v": 2})  # never flushed
+        rebooted = LogStructuredStore.recover(flash)
+        assert rebooted.record_ids() == ["durable"]
+
+    def test_writes_continue_after_recovery(self):
+        flash = make_flash()
+        store = LogStructuredStore(flash)
+        for index in range(6):
+            store.put(f"r{index}", {"value": index, "pad": b"\x00" * 100})
+        store.flush()
+        rebooted = LogStructuredStore.recover(flash)
+        rebooted.put("new", {"value": 99})
+        rebooted.flush()
+        assert rebooted.get("new") == {"value": 99}
+        assert rebooted.get("r3") == {"value": 3, "pad": b"\x00" * 100}
+
+    def test_recovery_after_gc_and_recycling(self):
+        flash = make_flash(pages=16)
+        store = LogStructuredStore(flash)
+        for round_number in range(12):
+            store.put("hot", {"round": round_number, "pad": b"\x00" * 150})
+            store.flush()
+            if store.pages_used >= 10:
+                store.compact_incremental(max_victims=2)
+        rebooted = LogStructuredStore.recover(flash)
+        assert rebooted.get("hot")["round"] == 11
+        # and the rebooted store can keep writing
+        rebooted.put("hot", {"round": 12})
+        rebooted.flush()
+        assert rebooted.get("hot") == {"round": 12}
+
+    def test_recovery_scan_cost_is_visible(self):
+        flash = make_flash()
+        store = LogStructuredStore(flash)
+        for index in range(8):
+            store.put(f"r{index}", {"pad": b"\x00" * 150})
+        store.flush()
+        pages = len(flash.written_pages())
+        flash.reset_counters()
+        LogStructuredStore.recover(flash)
+        assert flash.reads == pages
+
+    def test_empty_device(self):
+        rebooted = LogStructuredStore.recover(make_flash())
+        assert rebooted.record_ids() == []
+        rebooted.put("first", {"v": 1})
+        rebooted.flush()
+        assert rebooted.get("first") == {"v": 1}
+
+    def test_double_reboot(self):
+        flash = make_flash()
+        store = LogStructuredStore(flash)
+        store.put("doc", {"v": 1})
+        store.flush()
+        once = LogStructuredStore.recover(flash)
+        once.put("doc", {"v": 2})
+        once.flush()
+        twice = LogStructuredStore.recover(flash)
+        assert twice.get("doc") == {"v": 2}
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.one_of(st.none(), st.integers(min_value=0, max_value=999)),
+            ),
+            max_size=25,
+        )
+    )
+    def test_recovery_matches_pre_reboot_state(self, operations):
+        flash = NandFlash(TIMINGS, capacity_bytes=256 * 256)
+        store = LogStructuredStore(flash)
+        model: dict[str, dict] = {}
+        for key, value in operations:
+            if value is None:
+                if key in model:
+                    store.delete(key)
+                    del model[key]
+            else:
+                record = {"value": value}
+                store.put(key, record)
+                model[key] = record
+        store.flush()
+        rebooted = LogStructuredStore.recover(flash)
+        assert dict(rebooted.scan()) == model

@@ -1,0 +1,167 @@
+"""Tests for the multi-granularity time-series store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, QueryError
+from repro.sim import SECONDS_PER_DAY, SECONDS_PER_MONTH
+from repro.store import (
+    GRANULARITY_15_MIN,
+    GRANULARITY_DAY,
+    NAMED_GRANULARITIES,
+    TimeSeries,
+    energy_kwh,
+)
+
+
+def series_of(values, start=0, step=1):
+    series = TimeSeries("test")
+    for position, value in enumerate(values):
+        series.append(start + position * step, value)
+    return series
+
+
+class TestAppend:
+    def test_append_and_length(self):
+        series = series_of([1.0, 2.0, 3.0])
+        assert len(series) == 3
+
+    def test_non_increasing_timestamp_rejected(self):
+        series = TimeSeries()
+        series.append(10, 1.0)
+        with pytest.raises(ConfigurationError):
+            series.append(10, 2.0)
+        with pytest.raises(ConfigurationError):
+            series.append(5, 2.0)
+
+    def test_start_end(self):
+        series = series_of([1.0, 2.0], start=100, step=50)
+        assert series.start == 100
+        assert series.end == 150
+
+    def test_empty_series_start_raises(self):
+        with pytest.raises(QueryError):
+            _ = TimeSeries().start
+
+    def test_extend(self):
+        series = TimeSeries()
+        series.extend([(0, 1.0), (1, 2.0)])
+        assert len(series) == 2
+
+    def test_value_at(self):
+        series = series_of([5.0, 6.0, 7.0], start=10)
+        assert series.value_at(11) == 6.0
+        with pytest.raises(QueryError):
+            series.value_at(99)
+
+
+class TestWindowsAndStats:
+    def test_window_half_open(self):
+        series = series_of([0.0, 1.0, 2.0, 3.0, 4.0])
+        window = series.window(1, 4)
+        assert [value for _, value in window] == [1.0, 2.0, 3.0]
+
+    def test_window_outside_range_empty(self):
+        assert series_of([1.0]).window(100, 200) == []
+
+    def test_total_mean_max(self):
+        series = series_of([1.0, 2.0, 3.0])
+        assert series.total() == 6.0
+        assert series.mean() == 2.0
+        assert series.maximum() == 3.0
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(QueryError):
+            TimeSeries().mean()
+
+
+class TestResample:
+    def test_bucket_means(self):
+        series = series_of([2.0, 4.0, 6.0, 8.0])  # timestamps 0..3
+        buckets = series.resample(2)
+        assert len(buckets) == 2
+        assert buckets[0].mean == 3.0
+        assert buckets[1].mean == 7.0
+
+    def test_bucket_stats(self):
+        series = series_of([1.0, 5.0, 3.0])
+        bucket = series.resample(10)[0]
+        assert bucket.count == 3
+        assert bucket.sum == 9.0
+        assert bucket.minimum == 1.0
+        assert bucket.maximum == 5.0
+        assert bucket.start == 0
+        assert bucket.end == 10
+
+    def test_empty_buckets_omitted(self):
+        series = TimeSeries()
+        series.append(0, 1.0)
+        series.append(100, 2.0)
+        buckets = series.resample(10)
+        assert len(buckets) == 2
+        assert buckets[0].start == 0
+        assert buckets[1].start == 100
+
+    def test_alignment(self):
+        series = series_of([1.0, 2.0, 3.0, 4.0], start=5)
+        buckets = series.resample(4, align=5)
+        assert buckets[0].start == 5
+        assert buckets[0].count == 4
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_of([1.0]).resample(0)
+
+    def test_resampled_series(self):
+        series = series_of([2.0, 4.0, 6.0, 8.0])
+        resampled = series.resampled_series(2)
+        assert resampled.samples() == [(0, 3.0), (2, 7.0)]
+
+    def test_named_granularities(self):
+        assert NAMED_GRANULARITIES["15-min"] == GRANULARITY_15_MIN == 900
+        assert NAMED_GRANULARITIES["daily"] == GRANULARITY_DAY == SECONDS_PER_DAY
+
+    def test_daily_totals(self):
+        series = TimeSeries()
+        series.append(0, 10.0)
+        series.append(SECONDS_PER_DAY - 1, 5.0)
+        series.append(SECONDS_PER_DAY, 7.0)
+        totals = series.daily_totals()
+        assert totals == {0: 15.0, 1: 7.0}
+
+    def test_monthly_totals(self):
+        series = TimeSeries()
+        series.append(0, 1.0)
+        series.append(SECONDS_PER_MONTH + 5, 2.0)
+        assert series.monthly_totals() == {0: 1.0, 1: 2.0}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=500),
+    )
+    def test_resample_preserves_mass_and_count(self, values, width):
+        series = series_of(values)
+        buckets = series.resample(width)
+        assert sum(bucket.count for bucket in buckets) == len(values)
+        assert sum(bucket.sum for bucket in buckets) == pytest.approx(sum(values))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e4), min_size=1, max_size=100))
+    def test_buckets_are_disjoint_and_ordered(self, values):
+        buckets = series_of(values, step=3).resample(7)
+        for earlier, later in zip(buckets, buckets[1:]):
+            assert earlier.end <= later.start
+
+
+class TestEnergy:
+    def test_energy_kwh(self):
+        # 1000 W for 3600 one-second samples = 1 kWh
+        series = series_of([1000.0] * 3600)
+        assert energy_kwh(series) == pytest.approx(1.0)
+
+    def test_energy_respects_sample_period(self):
+        # 1000 W sampled every 60 s for 60 samples = 1 hour = 1 kWh
+        series = series_of([1000.0] * 60, step=60)
+        assert energy_kwh(series, sample_period=60) == pytest.approx(1.0)

@@ -1,0 +1,209 @@
+"""Tests for stream operators and store-and-forward."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware import SENSOR_CELL, SMART_TOKEN
+from repro.streams import (
+    DROP_NEWEST,
+    Clip,
+    Downsample,
+    Quantize,
+    RateLimit,
+    Sample,
+    StoreAndForwardQueue,
+    StreamPipeline,
+    ThresholdEvents,
+    Transform,
+    WindowMean,
+)
+
+
+def samples(values, start=0, step=1):
+    return [Sample(start + i * step, float(v)) for i, v in enumerate(values)]
+
+
+class TestOperators:
+    def test_downsample(self):
+        pipeline = StreamPipeline([Downsample(3)])
+        out = pipeline.process(samples(range(10)))
+        assert [s.value for s in out] == [0.0, 3.0, 6.0, 9.0]
+
+    def test_downsample_factor_one_passthrough(self):
+        out = StreamPipeline([Downsample(1)]).process(samples(range(4)))
+        assert len(out) == 4
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            Downsample(0)
+
+    def test_window_mean(self):
+        out = StreamPipeline([WindowMean(2)]).process(samples([2, 4, 6, 8]))
+        assert [(s.timestamp, s.value) for s in out] == [(0, 3.0), (2, 7.0)]
+
+    def test_window_mean_flush_partial(self):
+        out = StreamPipeline([WindowMean(10)]).process(samples([5, 7]))
+        assert out == [Sample(0, 6.0)]
+
+    def test_clip(self):
+        out = StreamPipeline([Clip(0.0, 100.0)]).process(samples([-5, 50, 200]))
+        assert [s.value for s in out] == [0.0, 50.0, 100.0]
+
+    def test_clip_inverted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Clip(10.0, 0.0)
+
+    def test_quantize(self):
+        out = StreamPipeline([Quantize(10.0)]).process(samples([12, 17, 24]))
+        assert [s.value for s in out] == [10.0, 20.0, 20.0]
+
+    def test_threshold_events_emit_crossings_only(self):
+        out = StreamPipeline([ThresholdEvents(100.0)]).process(
+            samples([50, 150, 160, 90, 80, 120])
+        )
+        assert [(s.timestamp, s.value) for s in out] == [
+            (1, 1.0), (3, 0.0), (5, 1.0),
+        ]
+
+    def test_rate_limit(self):
+        out = StreamPipeline([RateLimit(5)]).process(samples(range(12)))
+        assert [s.timestamp for s in out] == [0, 5, 10]
+
+    def test_transform(self):
+        out = StreamPipeline([Transform(lambda v: v / 1000.0)]).process(
+            samples([1500.0])
+        )
+        assert out[0].value == 1.5
+
+
+class TestPipeline:
+    def test_composition_meter_export(self):
+        """The Linky export path: 1 Hz -> 15-min means, watt-quantized."""
+        pipeline = StreamPipeline([WindowMean(900), Quantize(1.0)])
+        raw = samples([100.0 + (i % 7) for i in range(1800)])
+        out = pipeline.process(raw)
+        assert len(out) == 2
+        assert all(s.value == round(s.value) for s in out)
+
+    def test_flush_routes_through_downstream(self):
+        # the partial window's mean must still pass the quantizer
+        pipeline = StreamPipeline([WindowMean(100), Quantize(10.0)])
+        out = pipeline.process(samples([13.0, 14.0]))
+        assert out == [Sample(0, 10.0)]
+
+    def test_counts(self):
+        pipeline = StreamPipeline([Downsample(2)])
+        pipeline.process(samples(range(10)))
+        assert pipeline.samples_in == 10
+        assert pipeline.samples_out == 5
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamPipeline([])
+
+    def test_state_bounds_are_static(self):
+        pipeline = StreamPipeline([WindowMean(900), Quantize(1.0), RateLimit(60)])
+        before = pipeline.state_bytes
+        pipeline.process(samples(range(5000)))
+        assert pipeline.state_bytes == before  # O(1) state, by design
+
+    def test_fits_profiles(self):
+        pipeline = StreamPipeline([WindowMean(900), Quantize(1.0)])
+        assert pipeline.fits(SENSOR_CELL)
+        assert pipeline.fits(SMART_TOKEN)
+        pipeline.require_fits(SENSOR_CELL)
+
+    def test_oversized_pipeline_rejected(self):
+        import dataclasses
+
+        tiny = dataclasses.replace(SENSOR_CELL, ram_bytes=64)
+        pipeline = StreamPipeline([WindowMean(900), Quantize(1.0)])
+        with pytest.raises(CapacityError):
+            pipeline.require_fits(tiny)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e4), min_size=1,
+                    max_size=300),
+           st.integers(min_value=1, max_value=50))
+    def test_window_mean_mass_preserved(self, values, width):
+        """Sum of (mean x count) over windows equals the input sum."""
+        pipeline = StreamPipeline([WindowMean(width)])
+        stream = samples(values)
+        out = pipeline.process(stream)
+        # regroup input by window to check each mean
+        by_window = {}
+        for sample in stream:
+            by_window.setdefault(sample.timestamp // width, []).append(sample.value)
+        assert len(out) == len(by_window)
+        for emitted in out:
+            window_values = by_window[emitted.timestamp // width]
+            assert emitted.value == pytest.approx(
+                sum(window_values) / len(window_values)
+            )
+
+
+class TestStoreAndForward:
+    def test_online_direct_forwarding(self):
+        sent = []
+        queue = StoreAndForwardQueue(10, sent.append)
+        queue.offer(Sample(0, 1.0))
+        assert len(sent) == 1
+        assert len(queue) == 0
+
+    def test_offline_buffers_then_drains_in_order(self):
+        sent = []
+        queue = StoreAndForwardQueue(10, sent.append)
+        queue.set_online(False)
+        for i in range(5):
+            queue.offer(Sample(i, float(i)))
+        assert sent == []
+        queue.set_online(True)
+        assert [s.timestamp for s in sent] == [0, 1, 2, 3, 4]
+
+    def test_drop_oldest_overflow(self):
+        sent = []
+        queue = StoreAndForwardQueue(3, sent.append)
+        queue.set_online(False)
+        for i in range(5):
+            queue.offer(Sample(i, float(i)))
+        queue.set_online(True)
+        assert [s.timestamp for s in sent] == [2, 3, 4]
+        assert queue.stats.dropped == 2
+
+    def test_drop_newest_overflow(self):
+        sent = []
+        queue = StoreAndForwardQueue(3, sent.append, drop_policy=DROP_NEWEST)
+        queue.set_online(False)
+        for i in range(5):
+            queue.offer(Sample(i, float(i)))
+        queue.set_online(True)
+        assert [s.timestamp for s in sent] == [0, 1, 2]
+        assert queue.stats.dropped == 2
+
+    def test_flapping_connectivity(self):
+        sent = []
+        queue = StoreAndForwardQueue(100, sent.append)
+        for i in range(20):
+            if i % 5 == 0:
+                queue.set_online(not queue.online)
+            queue.offer(Sample(i, float(i)))
+        queue.set_online(True)
+        assert [s.timestamp for s in sent] == list(range(20))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            StoreAndForwardQueue(0, lambda s: None)
+        with pytest.raises(ConfigurationError):
+            StoreAndForwardQueue(1, lambda s: None, drop_policy="panic")
+
+    def test_stats(self):
+        sent = []
+        queue = StoreAndForwardQueue(10, sent.append)
+        queue.set_online(False)
+        queue.offer(Sample(0, 1.0))
+        queue.set_online(True)
+        queue.offer(Sample(1, 2.0))
+        assert queue.stats.forwarded == 2
+        assert queue.stats.buffered == 1

@@ -1,0 +1,203 @@
+"""Tests for vault sync: push/fetch, anti-rollback, evidence, terminal."""
+
+import random
+
+import pytest
+
+from repro.core import TrustedCell
+from repro.errors import (
+    ConfigurationError,
+    IntegrityError,
+    NotFoundError,
+    ReplayError,
+)
+from repro.hardware import SMARTPHONE
+from repro.infrastructure import CloudProvider, CuriousAdversary, WeaklyMaliciousAdversary
+from repro.sim import World
+from repro.sync import LeakyTerminal, UntrustedTerminal, VaultClient
+
+
+def setup_cell(adversary=None, seed=42):
+    world = World(seed=seed)
+    cloud = CloudProvider(world, adversary)
+    cell = TrustedCell(world, "alice-phone", SMARTPHONE)
+    cell.register_user("alice", "1234")
+    vault = VaultClient(cell, cloud)
+    return world, cloud, cell, vault
+
+
+class TestPushFetch:
+    def test_push_then_fetch_roundtrip(self):
+        _, cloud, cell, vault = setup_cell()
+        session = cell.login("alice", "1234")
+        cell.store_object(session, "doc", b"payload")
+        key = vault.push("doc")
+        assert cloud.contains(key)
+        envelope = vault.verified_fetch("doc")
+        assert envelope.object_id == "doc"
+
+    def test_push_all(self):
+        _, cloud, cell, vault = setup_cell()
+        session = cell.login("alice", "1234")
+        for i in range(5):
+            cell.store_object(session, f"doc-{i}", b"x")
+        assert vault.push_all() == 5
+        keys = cloud.list_keys("vault/alice-phone/")
+        # five envelopes plus the encrypted vault manifest
+        assert len(keys) == 6
+        assert "vault/alice-phone/__manifest__" in keys
+
+    def test_cloud_never_sees_plaintext(self):
+        adversary = CuriousAdversary()
+        _, cloud, cell, vault = setup_cell(adversary)
+        session = cell.login("alice", "1234")
+        cell.store_object(session, "doc", b"very-secret-payload")
+        vault.push("doc")
+        assert adversary.stats.plaintext_bytes_seen == 0
+        stored = cloud.get_object(vault.vault_key("doc"))
+        assert b"very-secret-payload" not in stored
+
+    def test_evict_and_transparent_refetch(self):
+        _, cloud, cell, vault = setup_cell()
+        session = cell.login("alice", "1234")
+        cell.store_object(session, "doc", b"payload")
+        vault.push("doc")
+        vault.install_fetcher()
+        vault.evict_local("doc")
+        assert "doc" not in cell._envelopes
+        assert cell.read_object(session, "doc") == b"payload"
+
+    def test_evict_unpushed_refused(self):
+        _, _, cell, vault = setup_cell()
+        session = cell.login("alice", "1234")
+        cell.store_object(session, "doc", b"payload")
+        with pytest.raises(NotFoundError):
+            vault.evict_local("doc")
+        assert "doc" in cell._envelopes  # data not lost
+
+    def test_restore_all_on_new_device(self):
+        _, cloud, cell, vault = setup_cell()
+        session = cell.login("alice", "1234")
+        for i in range(3):
+            cell.store_object(session, f"doc-{i}", f"payload-{i}".encode())
+        vault.push_all()
+        cell._envelopes.clear()  # simulate wiped mass storage
+        assert vault.restore_all() == 3
+        assert cell.read_object(session, "doc-1") == b"payload-1"
+
+
+class TestIntegrityDefences:
+    def test_tampering_detected_and_convicted(self):
+        adversary = WeaklyMaliciousAdversary(random.Random(5), tamper_rate=1.0)
+        _, cloud, cell, vault = setup_cell(adversary)
+        session = cell.login("alice", "1234")
+        cell.store_object(session, "doc", b"payload")
+        vault.push("doc")
+        with pytest.raises(IntegrityError):
+            vault.verified_fetch("doc")
+        assert cloud.convicted
+        assert vault.detections
+
+    def test_rollback_detected(self):
+        adversary = WeaklyMaliciousAdversary(random.Random(5), rollback_rate=1.0)
+        _, cloud, cell, vault = setup_cell(adversary)
+        session = cell.login("alice", "1234")
+        cell.store_object(session, "doc", b"v1")
+        vault.push("doc")
+        cell.store_object(session, "doc", b"v2")
+        vault.push("doc")
+        with pytest.raises(ReplayError):
+            vault.fetch("doc")
+        assert cloud.convicted
+
+    def test_honest_cloud_never_convicted(self):
+        _, cloud, cell, vault = setup_cell()
+        session = cell.login("alice", "1234")
+        for i in range(10):
+            cell.store_object(session, f"doc-{i}", b"x")
+            vault.push(f"doc-{i}")
+            vault.verified_fetch(f"doc-{i}")
+        assert not cloud.convicted
+        assert vault.detections == []
+
+    def test_substitution_detected(self):
+        # the cloud returns a *different* valid envelope under the key
+        _, cloud, cell, vault = setup_cell()
+        session = cell.login("alice", "1234")
+        cell.store_object(session, "doc-a", b"a")
+        cell.store_object(session, "doc-b", b"b")
+        vault.push("doc-a")
+        vault.push("doc-b")
+        # swap contents behind the provider's back
+        swapped = cloud.get_object(vault.vault_key("doc-b"))
+        cloud.put_object(vault.vault_key("doc-a"), swapped)
+        with pytest.raises(IntegrityError):
+            vault.fetch("doc-a")
+        assert cloud.convicted
+
+    def test_merkle_root_tracks_manifest(self):
+        _, _, cell, vault = setup_cell()
+        session = cell.login("alice", "1234")
+        cell.store_object(session, "doc", b"x")
+        vault.push("doc")
+        root_one = cell.tee.load_secret("vault-root")
+        cell.store_object(session, "doc2", b"y")
+        vault.push("doc2")
+        root_two = cell.tee.load_secret("vault-root")
+        assert root_one != root_two
+
+
+class TestUntrustedTerminal:
+    def setup_charlie(self):
+        world = World(seed=7)
+        cell = TrustedCell(world, "charlie-token", SMARTPHONE)
+        cell.register_user("charlie", "pin")
+        session = cell.login("charlie", "pin")
+        cell.store_object(session, "tickets", b"flight confirmation")
+        cell.store_object(session, "medical", b"allergy record")
+        return cell, session
+
+    def test_display_through_terminal(self):
+        cell, session = self.setup_charlie()
+        terminal = UntrustedTerminal()
+        terminal.connect(session)
+        assert terminal.display("tickets") == b"flight confirmation"
+
+    def test_no_trace_after_disconnect(self):
+        cell, session = self.setup_charlie()
+        terminal = UntrustedTerminal()
+        terminal.connect(session)
+        terminal.display("tickets")
+        terminal.disconnect()
+        assert terminal.residue() == {}
+        assert not terminal.connected
+
+    def test_double_connect_rejected(self):
+        cell, session = self.setup_charlie()
+        terminal = UntrustedTerminal()
+        terminal.connect(session)
+        with pytest.raises(ConfigurationError):
+            terminal.connect(session)
+
+    def test_display_without_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UntrustedTerminal().display("tickets")
+
+    def test_leaky_terminal_steals_only_displayed_objects(self):
+        cell, session = self.setup_charlie()
+        kiosk = LeakyTerminal()
+        kiosk.connect(session)
+        kiosk.display("tickets")
+        kiosk.disconnect()
+        assert set(kiosk.stolen) == {"tickets"}  # medical record never exposed
+
+    def test_terminal_respects_reference_monitor(self):
+        from repro.errors import AccessDenied
+
+        cell, session = self.setup_charlie()
+        cell.register_user("stranger", "0000")
+        stranger_session = cell.login("stranger", "0000")
+        terminal = UntrustedTerminal()
+        terminal.connect(stranger_session)
+        with pytest.raises(AccessDenied):
+            terminal.display("medical")

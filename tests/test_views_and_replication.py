@@ -1,0 +1,216 @@
+"""Tests for aggregate views and background replication."""
+
+import pytest
+
+from repro.core import AggregateView, TrustedCell
+from repro.errors import (
+    AccessDenied,
+    ConfigurationError,
+    NotFoundError,
+    QueryError,
+)
+from repro.hardware import SMART_TOKEN, SMARTPHONE
+from repro.infrastructure import CloudProvider
+from repro.policy import Grant, UsagePolicy
+from repro.policy.ucon import RIGHT_AGGREGATE
+from repro.sim import World
+from repro.store import Aggregate, Eq, Query
+from repro.sync import Replicator, VaultClient
+
+
+def cell_with_purchases():
+    world = World(seed=51)
+    cell = TrustedCell(world, "alice-phone", SMARTPHONE)
+    cell.register_user("alice", "pin")
+    cell.register_user("bank-app", "key")
+    session = cell.login("alice", "pin")
+    for index, amount in enumerate([10.0, 25.0, 7.5, 42.0]):
+        cell.catalog.collection("purchases").insert(
+            f"p{index}", {"amount": amount, "merchant": f"shop-{index % 2}"}
+        )
+    __ = session
+    return world, cell
+
+
+def spending_view(subjects=("bank-app",), max_uses=None):
+    return AggregateView(
+        name="monthly-spend",
+        query=Query(
+            "purchases",
+            aggregates=[Aggregate("sum", "amount"), Aggregate("count")],
+        ),
+        policy=UsagePolicy(
+            owner="alice",
+            grants=(Grant(rights=(RIGHT_AGGREGATE,), subjects=subjects),),
+            max_uses=max_uses,
+        ),
+    )
+
+
+class TestAggregateViews:
+    def test_granted_subject_gets_aggregate_only(self):
+        world, cell = cell_with_purchases()
+        cell.register_view(spending_view())
+        bank = cell.login("bank-app", "key")
+        result = cell.read_view(bank, "monthly-spend")
+        assert result.rows == [{"sum(amount)": 84.5, "count(*)": 4.0}]
+
+    def test_owner_can_read_views(self):
+        world, cell = cell_with_purchases()
+        cell.register_view(spending_view())
+        alice = cell.login("alice", "pin")
+        assert cell.read_view(alice, "monthly-spend").rows[0]["count(*)"] == 4.0
+
+    def test_ungrantee_denied(self):
+        world, cell = cell_with_purchases()
+        cell.register_user("nosy-app", "key2")
+        cell.register_view(spending_view())
+        nosy = cell.login("nosy-app", "key2")
+        with pytest.raises(AccessDenied):
+            cell.read_view(nosy, "monthly-spend")
+
+    def test_row_level_view_rejected_at_registration(self):
+        with pytest.raises(QueryError):
+            AggregateView(
+                name="leaky",
+                query=Query("purchases"),  # raw rows: exactly what's forbidden
+                policy=UsagePolicy(owner="alice"),
+            )
+
+    def test_projecting_view_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateView(
+                name="leaky",
+                query=Query("purchases", project=["amount"],
+                            aggregates=[Aggregate("count")]),
+                policy=UsagePolicy(owner="alice"),
+            )
+
+    def test_unknown_view_raises(self):
+        world, cell = cell_with_purchases()
+        with pytest.raises(NotFoundError):
+            cell.read_view(cell.login("alice", "pin"), "ghost")
+
+    def test_duplicate_view_rejected(self):
+        world, cell = cell_with_purchases()
+        cell.register_view(spending_view())
+        with pytest.raises(ConfigurationError):
+            cell.register_view(spending_view())
+
+    def test_view_use_budget(self):
+        world, cell = cell_with_purchases()
+        cell.register_view(spending_view(max_uses=2))
+        bank = cell.login("bank-app", "key")
+        cell.read_view(bank, "monthly-spend")
+        cell.read_view(bank, "monthly-spend")
+        with pytest.raises(AccessDenied):
+            cell.read_view(bank, "monthly-spend")
+
+    def test_view_reads_audited(self):
+        world, cell = cell_with_purchases()
+        cell.register_view(spending_view())
+        cell.read_view(cell.login("bank-app", "key"), "monthly-spend")
+        actions = [entry.action for entry in cell.audit.entries()]
+        assert "read-view" in actions
+
+    def test_view_names_listed(self):
+        world, cell = cell_with_purchases()
+        cell.register_view(spending_view())
+        assert cell.views.view_names() == ["monthly-spend"]
+
+
+class TestReplicator:
+    def build(self, availability=1.0, period=600):
+        world = World(seed=61)
+        cloud = CloudProvider(world)
+        cell = TrustedCell(world, "token-cell", SMART_TOKEN)
+        cell.register_user("owner", "pin")
+        vault = VaultClient(cell, cloud)
+        replicator = Replicator(vault, period=period, availability=availability)
+        return world, cloud, cell, vault, replicator
+
+    def test_pushes_dirty_objects_on_tick(self):
+        world, cloud, cell, vault, replicator = self.build()
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"v1")
+        assert replicator.dirty_objects() == ["doc"]
+        assert replicator.tick() == 1
+        assert replicator.converged
+        assert cloud.contains("vault/token-cell/doc")
+
+    def test_no_redundant_pushes(self):
+        world, cloud, cell, vault, replicator = self.build()
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"v1")
+        replicator.tick()
+        assert replicator.tick() == 0  # clean: nothing to do
+
+    def test_new_version_is_dirty_again(self):
+        world, cloud, cell, vault, replicator = self.build()
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"v1")
+        replicator.tick()
+        cell.store_object(session, "doc", b"v2")
+        assert replicator.dirty_objects() == ["doc"]
+        replicator.tick()
+        envelope = vault.verified_fetch("doc")
+        assert envelope.version == 2
+
+    def test_event_loop_driven(self):
+        world, cloud, cell, vault, replicator = self.build(period=600)
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"payload")
+        replicator.start()
+        world.loop.run_for(3600)
+        assert replicator.converged
+        assert replicator.stats.ticks == 6
+
+    def test_double_start_rejected(self):
+        world, cloud, cell, vault, replicator = self.build()
+        replicator.start()
+        with pytest.raises(ConfigurationError):
+            replicator.start()
+
+    def test_offline_ticks_delay_but_do_not_lose(self):
+        world, cloud, cell, vault, replicator = self.build(availability=0.0)
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"payload")
+        # three offline periods: the object stays dirty, nothing is lost
+        for _ in range(3):
+            world.clock.advance(600)
+            assert replicator.tick() == 0
+        assert replicator.stats.offline_ticks == 3
+        assert replicator.dirty_objects() == ["doc"]
+        # connectivity returns: the backlog drains, staleness is visible
+        replicator.availability = 1.0
+        world.clock.advance(600)
+        assert replicator.tick() == 1
+        assert replicator.converged
+        assert replicator.stats.max_staleness == 1800
+
+    def test_staleness_tracks_wait_time(self):
+        world, cloud, cell, vault, replicator = self.build(period=100)
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"payload")
+        replicator.dirty_objects()  # mark dirty at t=0
+        world.clock.advance(250)
+        replicator.tick()
+        assert replicator.stats.max_staleness == 250
+
+    def test_full_availability_means_bounded_staleness(self):
+        world, cloud, cell, vault, replicator = self.build(period=600)
+        session = cell.login("owner", "pin")
+        replicator.start()
+        for day_second in range(0, 6000, 1000):
+            world.loop.run_until(day_second)
+            cell.store_object(session, f"doc-{day_second}", b"x")
+        world.loop.run_for(1200)
+        assert replicator.converged
+        assert replicator.stats.max_staleness <= 600
+
+    def test_invalid_parameters(self):
+        world, cloud, cell, vault, _ = self.build()
+        with pytest.raises(ConfigurationError):
+            Replicator(vault, period=0)
+        with pytest.raises(ConfigurationError):
+            Replicator(vault, availability=1.5)

@@ -1,0 +1,242 @@
+"""Tests for workload generators: energy, mobility, records."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import SECONDS_PER_DAY
+from repro.workloads import (
+    DISEASES,
+    CityMap,
+    DriverSimulator,
+    HouseholdSimulator,
+    TimeOfUseTariff,
+    assign_disease,
+    generate_medical_history,
+    generate_pay_slips,
+    generate_receipts,
+    heating_demand_watts,
+    night_fraction,
+    payd_premium,
+    road_pricing_fee,
+    sweets_share,
+    total_distance_km,
+    winter_temperature,
+)
+from repro.workloads.energy import KETTLE, STANDARD_APPLIANCES
+
+
+class TestHouseholdSimulator:
+    def make(self, seed=1, **kwargs):
+        return HouseholdSimulator(random.Random(seed), **kwargs)
+
+    def test_day_trace_covers_full_day(self):
+        trace = self.make().simulate_day(0)
+        assert len(trace.series) == SECONDS_PER_DAY
+        assert trace.series.start == 0
+        assert trace.series.end == SECONDS_PER_DAY - 1
+
+    def test_trace_power_includes_base_load(self):
+        trace = self.make(base_load_watts=200.0, noise_watts=0.0).simulate_day(0)
+        assert min(value for _, value in trace.series.samples()) >= 199.0
+
+    def test_events_lift_power_by_rated_draw(self):
+        simulator = self.make(noise_watts=0.0)
+        trace = simulator.simulate_day(0)
+        kettle_events = [e for e in trace.events if e.appliance == "kettle"]
+        if not kettle_events:
+            pytest.skip("no kettle event drawn for this seed")
+        event = kettle_events[0]
+        mid = event.start + event.duration // 2
+        during = trace.series.value_at(mid)
+        assert during >= simulator.base_load + KETTLE.power_watts - 1.0
+
+    def test_deterministic_per_seed(self):
+        trace_a = self.make(seed=9).simulate_day(0)
+        trace_b = self.make(seed=9).simulate_day(0)
+        assert trace_a.series.samples() == trace_b.series.samples()
+        assert trace_a.events == trace_b.events
+
+    def test_different_days_differ(self):
+        simulator = self.make()
+        day0 = simulator.simulate_day(0)
+        day1 = simulator.simulate_day(1)
+        assert day0.events != day1.events
+        assert day1.series.start == SECONDS_PER_DAY
+
+    def test_activity_scale_increases_consumption(self):
+        lazy = self.make(seed=3, activity_scale=0.3)
+        busy = self.make(seed=3, activity_scale=3.0)
+        assert busy.simulate_day(0).energy_kwh() > lazy.simulate_day(0).energy_kwh()
+
+    def test_sample_period(self):
+        simulator = self.make(sample_period=60)
+        trace = simulator.simulate_day(0)
+        assert len(trace.series) == SECONDS_PER_DAY // 60
+
+    def test_invalid_sample_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(sample_period=0)
+
+    def test_events_within_day_hours(self):
+        trace = self.make(seed=5).simulate_day(2)
+        day_start = 2 * SECONDS_PER_DAY
+        for event in trace.events:
+            assert day_start <= event.start < day_start + SECONDS_PER_DAY
+
+    def test_appliance_spec_validation(self):
+        from repro.workloads import Appliance
+
+        with pytest.raises(ConfigurationError):
+            Appliance("broken", -5.0, 100, (1,), 1.0)
+
+    def test_standard_appliances_have_distinct_draws(self):
+        draws = [appliance.power_watts for appliance in STANDARD_APPLIANCES]
+        for a in draws:
+            for b in draws:
+                if a != b:
+                    assert abs(a - b) > 0.12 * max(a, b) * 0.99
+
+
+class TestTariff:
+    def test_peak_detection(self):
+        tariff = TimeOfUseTariff(peak_start_hour=7, peak_end_hour=23)
+        assert tariff.is_peak(12 * 3600)
+        assert not tariff.is_peak(3 * 3600)
+        assert tariff.price_at(12 * 3600) == tariff.peak_price_per_kwh
+
+    def test_bill_computation(self):
+        from repro.store import TimeSeries
+
+        tariff = TimeOfUseTariff(peak_price_per_kwh=0.20, offpeak_price_per_kwh=0.10)
+        series = TimeSeries()
+        # 1000 W for one hour at peak (noon)
+        for second in range(3600):
+            series.append(12 * 3600 + second, 1000.0)
+        assert tariff.bill(series) == pytest.approx(0.20)
+
+    def test_offpeak_is_cheaper(self):
+        from repro.store import TimeSeries
+
+        tariff = TimeOfUseTariff()
+        peak = TimeSeries()
+        offpeak = TimeSeries()
+        for second in range(3600):
+            peak.append(12 * 3600 + second, 1000.0)
+            offpeak.append(2 * 3600 + second, 1000.0)
+        assert tariff.bill(offpeak) < tariff.bill(peak)
+
+
+class TestWeather:
+    def test_daily_cycle(self):
+        afternoon = winter_temperature(14 * 3600)
+        early_morning = winter_temperature(2 * 3600)
+        assert afternoon > early_morning
+
+    def test_heating_demand_monotone_in_cold(self):
+        assert heating_demand_watts(-5.0) > heating_demand_watts(10.0)
+        assert heating_demand_watts(25.0) == 0.0
+
+
+class TestMobility:
+    def test_city_zone_is_central(self):
+        city = CityMap(width=12, height=12)
+        assert city.in_zone(6, 6)
+        assert not city.in_zone(0, 0)
+
+    def test_tiny_city_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CityMap(width=2, height=2)
+
+    def test_trips_have_contiguous_paths(self):
+        city = CityMap()
+        simulator = DriverSimulator(city, random.Random(2))
+        trips = simulator.simulate_day(0)
+        assert trips
+        for trip in trips:
+            for earlier, later in zip(trip.points, trip.points[1:]):
+                assert abs(earlier.x - later.x) + abs(earlier.y - later.y) == 1
+                assert later.timestamp > earlier.timestamp
+
+    def test_distance_positive(self):
+        city = CityMap()
+        trips = DriverSimulator(city, random.Random(2)).simulate_day(0)
+        assert total_distance_km(trips) > 0
+
+    def test_zone_driving_costs_more(self):
+        from repro.workloads.mobility import TracePoint, Trip
+
+        city = CityMap(width=12, height=12)
+        downtown = Trip(
+            start_time=0,
+            points=(TracePoint(0, 6, 6), TracePoint(45, 6, 7)),
+        )
+        suburb = Trip(
+            start_time=0,
+            points=(TracePoint(0, 0, 0), TracePoint(45, 0, 1)),
+        )
+        assert road_pricing_fee([downtown], city) > road_pricing_fee([suburb], city)
+
+    def test_night_fraction(self):
+        from repro.workloads.mobility import TracePoint, Trip
+
+        night_trip = Trip(
+            start_time=0,
+            points=(TracePoint(2 * 3600, 0, 0), TracePoint(2 * 3600 + 45, 0, 1)),
+        )
+        day_trip = Trip(
+            start_time=0,
+            points=(TracePoint(12 * 3600, 0, 0), TracePoint(12 * 3600 + 45, 0, 1)),
+        )
+        assert night_fraction([night_trip]) == 1.0
+        assert night_fraction([day_trip]) == 0.0
+        assert night_fraction([night_trip, day_trip]) == 0.5
+        assert night_fraction([]) == 0.0
+
+    def test_premium_increases_with_distance_and_night(self):
+        from repro.workloads.mobility import TracePoint, Trip
+
+        short = [Trip(0, (TracePoint(12 * 3600, 0, 0), TracePoint(12 * 3600 + 45, 0, 1)))]
+        long = short + [
+            Trip(0, tuple(TracePoint(13 * 3600 + i * 45, i % 12, 3) for i in range(20)))
+        ]
+        assert payd_premium(long) > payd_premium(short)
+
+
+class TestRecords:
+    def test_receipts_sorted_and_priced(self):
+        receipts = generate_receipts(random.Random(1), days=30)
+        timestamps = [receipt.timestamp for receipt in receipts]
+        assert timestamps == sorted(timestamps)
+        assert all(receipt.amount > 0 for receipt in receipts)
+
+    def test_disease_mix(self):
+        rng = random.Random(2)
+        assigned = {assign_disease(rng) for _ in range(500)}
+        assert assigned == set(DISEASES)
+
+    def test_diabetics_buy_fewer_sweets(self):
+        rng = random.Random(3)
+        diabetic = [
+            sweets_share(generate_receipts(rng, 120, disease="diabetes"))
+            for _ in range(20)
+        ]
+        healthy = [
+            sweets_share(generate_receipts(rng, 120, disease="none"))
+            for _ in range(20)
+        ]
+        assert sum(diabetic) / len(diabetic) < sum(healthy) / len(healthy)
+
+    def test_medical_history_consistency(self):
+        rng = random.Random(4)
+        sick = generate_medical_history(rng, "asthma", days=100)
+        assert all(record.disease == "asthma" for record in sick)
+
+    def test_pay_slips_monthly(self):
+        slips = generate_pay_slips(random.Random(5), months=6)
+        assert [slip.month for slip in slips] == list(range(6))
+        assert all(slip.net < slip.gross for slip in slips)
+
+    def test_sweets_share_empty(self):
+        assert sweets_share([]) == 0.0
