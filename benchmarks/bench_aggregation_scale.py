@@ -1,0 +1,241 @@
+"""Tracked aggregation-scale benchmark.
+
+Measures masked-sum throughput (nodes/sec) and keyed-derivation counts
+across population sizes and masking graphs, plus the histogram
+keystream collapse, and emits ``BENCH_aggregation.json`` at the repo
+root so later PRs can track the trajectory.
+
+Two entry points:
+
+* ``pytest -q benchmarks/bench_aggregation_scale.py --benchmark-disable``
+  — the tier-1 smoke run: small populations, asserts the scaling
+  invariants and the JSON schema, writes nothing.
+* ``PYTHONPATH=src python benchmarks/bench_aggregation_scale.py`` —
+  the full run (N up to 2000); rewrites ``BENCH_aggregation.json``.
+
+Key establishment (Diffie-Hellman) is out of scope — a deployment pays
+it once per peer and reuses the key across every round — so the
+populations use :meth:`AggregationNode.preshared` keys and the numbers
+isolate per-round masking cost.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.commons.aggregation import (
+    AggregationNode,
+    MaskedSum,
+    masked_histogram,
+)
+from repro.crypto import shamir
+from repro.crypto.primitives import hmac_invocations, hmac_sha256
+
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_aggregation.json"
+
+FULL_SIZES = (100, 500, 2000)
+FULL_NEIGHBORS = 32
+FULL_HISTOGRAM_N = 200
+FULL_HISTOGRAM_BUCKETS = 24
+
+SMOKE_SIZES = (60, 150)
+SMOKE_NEIGHBORS = 8
+SMOKE_HISTOGRAM_N = 80
+SMOKE_HISTOGRAM_BUCKETS = 12
+
+
+def _population(size: int, group: bytes, *, cache_masks: bool) -> tuple[list, dict]:
+    nodes = [
+        AggregationNode.preshared(f"n-{i}", group, cache_masks=cache_masks)
+        for i in range(size)
+    ]
+    values = {node.name: (i * 37 + 11) % 5000 for i, node in enumerate(nodes)}
+    return nodes, values
+
+
+def measure_masked_sum(size: int, neighbors: int | None) -> dict:
+    """One full-availability masked-sum round; returns a report row."""
+    nodes, values = _population(size, b"bench-scale", cache_masks=False)
+    expected = sum(values.values())
+    before = hmac_invocations()
+    started = time.perf_counter()
+    result = MaskedSum(neighbors=neighbors).run(
+        nodes, values, round_tag=f"bench-{size}-{neighbors}"
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "n": size,
+        "graph": "complete" if neighbors is None else f"k={neighbors}",
+        "seconds": round(elapsed, 4),
+        "nodes_per_sec": round(size / elapsed, 1),
+        "hmac_derivations": hmac_invocations() - before,
+        "messages": result.messages,
+        "exact": shamir.decode_signed(result.total) == expected,
+    }
+
+
+def _legacy_histogram_derivations(nodes, bucket_of, bucket_count, online,
+                                  round_tag) -> dict:
+    """The seed path: one HMAC per (pair, round, component), no cache.
+
+    Kept as a measured baseline so the keystream collapse stays an
+    observed number, not a formula.
+    """
+    order = {node.name: position for position, node in enumerate(nodes)}
+    survivors = [node for node in nodes if node.name in online]
+    dropped = [node for node in nodes if node.name not in online]
+    sums = [0] * bucket_count
+    before = hmac_invocations()
+    started = time.perf_counter()
+    for node in survivors:
+        vector = [0] * bucket_count
+        vector[bucket_of[node.name]] = 1
+        for peer in nodes:
+            if peer.name == node.name:
+                continue
+            key = node._pairwise_key_for(peer)
+            sign = 1 if order[node.name] < order[peer.name] else -1
+            for component in range(bucket_count):
+                digest = hmac_sha256(
+                    key, f"mask|{round_tag}|{component}".encode()
+                )
+                mask = int.from_bytes(digest, "big") % shamir.PRIME
+                vector[component] = (vector[component] + sign * mask) % shamir.PRIME
+        for component, masked in enumerate(vector):
+            sums[component] = (sums[component] + masked) % shamir.PRIME
+    for node in survivors:
+        for gone in dropped:
+            key = node._pairwise_key_for(gone)
+            sign = -1 if order[node.name] < order[gone.name] else 1
+            for component in range(bucket_count):
+                digest = hmac_sha256(
+                    key, f"mask|{round_tag}|{component}".encode()
+                )
+                mask = int.from_bytes(digest, "big") % shamir.PRIME
+                sums[component] = (sums[component] + sign * mask) % shamir.PRIME
+    elapsed = time.perf_counter() - started
+    counts = [shamir.decode_signed(component) for component in sums]
+    return {
+        "seconds": round(elapsed, 4),
+        "hmac_derivations": hmac_invocations() - before,
+        "counts": counts,
+    }
+
+
+def measure_histogram(size: int, bucket_count: int, *,
+                      include_legacy: bool) -> dict:
+    """Keystream histogram vs the seed per-component path, with dropouts."""
+    nodes, _ = _population(size, b"bench-hist", cache_masks=True)
+    bucket_of = {node.name: i % bucket_count for i, node in enumerate(nodes)}
+    online = {node.name for i, node in enumerate(nodes) if i % 20 != 0}
+    dropped = size - len(online)
+    before = hmac_invocations()
+    started = time.perf_counter()
+    counts, accounting = masked_histogram(
+        nodes, bucket_of, bucket_count=bucket_count, online=online,
+        round_tag="bench-hist",
+    )
+    elapsed = time.perf_counter() - started
+    keystream_derivations = hmac_invocations() - before
+    bound = size * size + size * dropped
+    report = {
+        "n": size,
+        "buckets": bucket_count,
+        "dropped": dropped,
+        "keystream": {
+            "seconds": round(elapsed, 4),
+            "hmac_derivations": keystream_derivations,
+        },
+        "hmac_bound_n2_plus_nd": bound,
+        "within_bound": keystream_derivations <= bound,
+        "exact": sum(counts) == len(online),
+    }
+    if include_legacy:
+        for node in nodes:
+            node.flush_masks()
+        legacy = _legacy_histogram_derivations(
+            nodes, bucket_of, bucket_count, online, "bench-hist-legacy"
+        )
+        report["legacy_per_component"] = {
+            "seconds": legacy["seconds"],
+            "hmac_derivations": legacy["hmac_derivations"],
+        }
+        report["legacy_matches"] = legacy["counts"] == counts
+        report["hmac_collapse_factor"] = round(
+            legacy["hmac_derivations"] / keystream_derivations, 1
+        )
+    return report
+
+
+def build_report(sizes=FULL_SIZES, neighbors=FULL_NEIGHBORS,
+                 histogram_n=FULL_HISTOGRAM_N,
+                 histogram_buckets=FULL_HISTOGRAM_BUCKETS,
+                 include_legacy: bool = True) -> dict:
+    rows = []
+    for size in sizes:
+        rows.append(measure_masked_sum(size, None))
+        rows.append(measure_masked_sum(size, neighbors))
+    largest = max(sizes)
+    by_key = {(row["n"], row["graph"]): row for row in rows}
+    complete_rate = by_key[(largest, "complete")]["nodes_per_sec"]
+    sparse_rate = by_key[(largest, f"k={neighbors}")]["nodes_per_sec"]
+    return {
+        "benchmark": "aggregation_scale",
+        "command": "PYTHONPATH=src python benchmarks/bench_aggregation_scale.py",
+        "field_bits": shamir.PRIME.bit_length(),
+        "neighbors": neighbors,
+        "masked_sum": rows,
+        "speedup_at_max_n": round(sparse_rate / complete_rate, 1),
+        "histogram": measure_histogram(
+            histogram_n, histogram_buckets, include_legacy=include_legacy
+        ),
+    }
+
+
+def write_report(path: pathlib.Path = REPORT_PATH) -> dict:
+    report = build_report()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# -- tier-1 smoke ------------------------------------------------------------
+
+
+def test_aggregation_scale_smoke():
+    """Small-population run of the full pipeline; keeps the bench alive
+    under ``pytest -q benchmarks/bench_aggregation_scale.py
+    --benchmark-disable`` without rewriting the tracked JSON."""
+    report = build_report(
+        sizes=SMOKE_SIZES,
+        neighbors=SMOKE_NEIGHBORS,
+        histogram_n=SMOKE_HISTOGRAM_N,
+        histogram_buckets=SMOKE_HISTOGRAM_BUCKETS,
+        include_legacy=True,
+    )
+    json.dumps(report)  # must stay serializable
+    assert all(row["exact"] for row in report["masked_sum"])
+    hist = report["histogram"]
+    assert hist["exact"] and hist["within_bound"] and hist["legacy_matches"]
+    assert hist["legacy_per_component"]["hmac_derivations"] > \
+        hist["keystream"]["hmac_derivations"]
+    for size in SMOKE_SIZES:
+        by_graph = {
+            row["graph"]: row for row in report["masked_sum"]
+            if row["n"] == size
+        }
+        sparse = by_graph[f"k={SMOKE_NEIGHBORS}"]
+        complete = by_graph["complete"]
+        assert sparse["hmac_derivations"] < complete["hmac_derivations"]
+        assert sparse["nodes_per_sec"] > complete["nodes_per_sec"]
+    # the tracked JSON must exist, parse, and claim the 10x win
+    tracked = json.loads(REPORT_PATH.read_text())
+    assert tracked["benchmark"] == "aggregation_scale"
+    assert tracked["speedup_at_max_n"] >= 10
+    assert tracked["histogram"]["within_bound"]
+
+
+if __name__ == "__main__":
+    outcome = write_report()
+    print(json.dumps(outcome, indent=2))

@@ -23,6 +23,7 @@ from ..commons.aggregation import (
     ShamirSum,
 )
 from ..crypto import shamir
+from ..crypto.primitives import hmac_invocations
 from .tables import Table
 
 
@@ -134,19 +135,61 @@ def run(seed: int = 0, sizes: list[int] | None = None) -> list[Table]:
         )
     async_table.add_note("the cloud stores masked intermediates so cells "
                          "need never be online together")
-    return [scale_table, availability_table, async_table]
+
+    # -- masking-graph cost curves: complete vs k-regular ----------------------
+    graph_table = Table(
+        title="E9c: masking graph cost curves, 10% dropouts "
+              "(keystream masks, preshared pairwise keys)",
+        columns=["N", "graph", "hmac derivations", "messages", "exact"],
+    )
+    for size in (100, 240):
+        rng = random.Random(seed + 3)
+        dropouts = {f"g-{i}" for i in rng.sample(range(size), size // 10)}
+        for degree in (None, 8, 32):
+            nodes = [
+                AggregationNode.preshared(f"g-{i}", b"e9c-group")
+                for i in range(size)
+            ]
+            values = {node.name: rng.randrange(0, 5000) for node in nodes}
+            online = {node.name for node in nodes} - dropouts
+            expected = sum(values[name] for name in online)
+            before = hmac_invocations()
+            result = MaskedSum(neighbors=degree).run(
+                nodes, values, online=online, round_tag=f"e9c-{size}"
+            )
+            graph_table.add_row(
+                size,
+                "complete" if degree is None else f"k={degree}",
+                hmac_invocations() - before,
+                result.messages,
+                shamir.decode_signed(result.total) == expected,
+            )
+    graph_table.add_note(
+        "k-regular masking turns O(N^2) derivations into O(N*k); the "
+        "price is a collusion bound of k-1 neighbors instead of N-2"
+    )
+    return [scale_table, availability_table, async_table, graph_table]
 
 
 def shape_holds(tables: list[Table]) -> bool:
     scale = tables[0]
     availability = tables[1]
     asynchronous = tables[2]
+    graph = tables[3]
     if not all(scale.column("exact")):
         return False
     if not all(availability.column("exact over online set")):
         return False
     if not all(asynchronous.column("exact over online set")):
         return False
+    # sparse masking graphs must stay exact while cutting derivations:
+    # for each N, hmacs(k=8) < hmacs(k=32) < hmacs(complete)
+    if not all(graph.column("exact")):
+        return False
+    for size in {row[0] for row in graph.rows}:
+        by_graph = {row[1]: row[2] for row in graph.rows if row[0] == size}
+        if not by_graph["k=8"] < by_graph["k=32"] < by_graph["complete"]:
+            return False
     # masked messages grow with N only linearly in the no-dropout case...
     masked_rows = [row for row in scale.rows if row[1] == "masked"]
     messages = [row[2] for row in masked_rows]

@@ -7,6 +7,7 @@ from .aggregation import (
     MaskedSum,
     ShamirSum,
     masked_histogram,
+    ring_neighbor_positions,
 )
 from .async_aggregation import AsyncMaskedAggregation, AsyncResult
 from .anonymize import (
@@ -52,6 +53,7 @@ __all__ = [
     "MaskedSum",
     "ShamirSum",
     "masked_histogram",
+    "ring_neighbor_positions",
     "GeneralizedRecord",
     "distinct_sensitive_values",
     "generalize",

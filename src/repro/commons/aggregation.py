@@ -25,6 +25,23 @@ Three protocols, matched to experiment E9:
   the total. Tolerates committee dropouts up to the threshold without
   any recovery round.
 
+Two scaling levers keep the masked protocols viable at large N:
+
+* **Keystream mask expansion** — each (pair, round) derives *one* HMAC
+  seed and expands it into as many field elements as the round needs
+  (one for a scalar sum, B for a B-bucket histogram) via counter-mode
+  blocks (:func:`repro.crypto.primitives.counter_stream`). This
+  collapses :func:`masked_histogram` from N²·B keyed derivations to N²
+  and lets the dropout-recovery round reuse the cached per-round masks
+  instead of re-deriving them.
+* **k-regular masking graph** — with ``neighbors=k`` each cell masks
+  only against its k deterministic ring-neighbors (k/2 on each side),
+  turning per-round cost from O(N²) into O(N·k). Masks still cancel
+  exactly because the edge set is symmetric. The complete graph stays
+  the default and the correctness oracle; the sparse graph weakens the
+  collusion bound from N−2 to k−1 colluding neighbors (see
+  ``docs/protocols.md``).
+
 All protocols work over the integer field of :mod:`repro.crypto.shamir`
 (values are scaled integers; negative values use the signed embedding)
 and report message/byte/round accounting.
@@ -37,21 +54,70 @@ from dataclasses import dataclass, field
 
 from ..crypto import shamir
 from ..crypto.keys import KeyRing
-from ..crypto.primitives import hmac_sha256
+from ..crypto.primitives import KEY_SIZE, counter_stream, hmac_sha256, sha256
 from ..errors import ConfigurationError, ProtocolError
 
 _FIELD_ELEMENT_BYTES = 16  # one PRIME-field element on the wire
+_MASK_ELEMENT_BYTES = 16  # keystream bytes consumed per mask element
+
+
+def ring_neighbor_positions(position: int, size: int, degree: int) -> list[int]:
+    """The ``degree`` ring-neighbors of ``position`` in a roster of
+    ``size``: the ``degree/2`` predecessors and ``degree/2`` successors
+    modulo ``size``. The edge set is symmetric (j is a neighbor of i
+    iff i is a neighbor of j), which is exactly what makes pairwise
+    masks cancel on the sparse graph."""
+    half = degree // 2
+    neighbors = set()
+    for distance in range(1, half + 1):
+        neighbors.add((position + distance) % size)
+        neighbors.add((position - distance) % size)
+    neighbors.discard(position)
+    return sorted(neighbors)
+
+
+def _effective_degree(size: int, neighbors: int | None) -> int | None:
+    """Normalize a requested masking degree; ``None`` means complete."""
+    if neighbors is None:
+        return None
+    if neighbors < 2 or neighbors % 2:
+        raise ConfigurationError(
+            f"masking degree must be an even integer >= 2, got {neighbors}"
+        )
+    if neighbors >= size - 1:
+        return None  # the ring closes into the complete graph
+    return neighbors
+
+
+def _masking_peers(nodes: list["AggregationNode"], position: int,
+                   degree: int | None):
+    """The peers node ``nodes[position]`` masks against."""
+    if degree is None:
+        node = nodes[position]
+        for peer in nodes:
+            if peer is not node:
+                yield peer
+    else:
+        for peer_position in ring_neighbor_positions(position, len(nodes), degree):
+            yield nodes[peer_position]
 
 
 class AggregationNode:
     """One participant: a name, a value source, and key material."""
 
-    def __init__(self, name: str, key_ring: KeyRing) -> None:
+    def __init__(self, name: str, key_ring: KeyRing | None, *,
+                 cache_masks: bool = True) -> None:
         self.name = name
         self.keys = key_ring
         # Pairwise keys are established once per peer (one DH exchange),
         # then reused across rounds — exactly as a real deployment would.
         self._pairwise_cache: dict[str, bytes] = {}
+        self._preshared: bytes | None = None
+        # Per-(peer, round) keystream cache: seed plus the expanded
+        # field elements. The dropout-recovery round re-reads masks
+        # from here instead of re-deriving them.
+        self.cache_masks = cache_masks
+        self._mask_cache: dict[tuple[str, str], tuple[bytes, list[int]]] = {}
 
     @classmethod
     def from_cell(cls, cell) -> "AggregationNode":
@@ -63,15 +129,82 @@ class AggregationNode:
         """A lightweight node for large-N protocol experiments."""
         return cls(name, KeyRing.generate(rng))
 
+    @classmethod
+    def preshared(cls, name: str, group_secret: bytes, *,
+                  cache_masks: bool = True) -> "AggregationNode":
+        """A node whose pairwise keys derive from ``group_secret``.
+
+        Skips Diffie-Hellman entirely: the key for a pair is hashed on
+        demand from the secret and the two names, so a population of
+        thousands costs O(1) memory per node. For protocol benchmarks
+        and scale tests where key *establishment* is out of scope (a
+        deployment pays it once per peer, then reuses the key across
+        every round). All nodes of a population must share the secret.
+        """
+        node = cls(name, None, cache_masks=cache_masks)
+        node._preshared = group_secret
+        return node
+
+    def _pairwise_key_for(self, peer: "AggregationNode") -> bytes:
+        if self._preshared is not None:
+            low, high = sorted((self.name, peer.name))
+            return sha256(
+                b"preshared|" + self._preshared
+                + low.encode() + b"|" + high.encode()
+            )[:KEY_SIZE]
+        key = self._pairwise_cache.get(peer.name)
+        if key is None:
+            if self.keys is None:
+                raise ConfigurationError(
+                    f"node {self.name!r} has neither a key ring nor a "
+                    "preshared group secret"
+                )
+            key = self.keys.pairwise_key(peer.keys.exchange_public)
+            self._pairwise_cache[peer.name] = key
+        return key
+
+    def mask_elements(self, peer: "AggregationNode", round_tag: str,
+                      count: int) -> list[int]:
+        """The first ``count`` shared mask elements for this (peer, round).
+
+        One HMAC derives the per-(pair, round) seed; counter-mode
+        expansion yields the elements, so asking for B elements costs
+        the same single keyed derivation as asking for one. Both ends
+        of the pair compute identical values (the pairwise key and the
+        expansion are symmetric).
+        """
+        cache_key = (peer.name, round_tag)
+        cached = self._mask_cache.get(cache_key)
+        if cached is not None:
+            seed, elements = cached
+            if len(elements) >= count:
+                return elements if len(elements) == count else elements[:count]
+        else:
+            seed = hmac_sha256(
+                self._pairwise_key_for(peer), f"mask|{round_tag}".encode()
+            )
+        stream = counter_stream(seed, count * _MASK_ELEMENT_BYTES)
+        elements = [
+            int.from_bytes(stream[offset:offset + _MASK_ELEMENT_BYTES], "big")
+            % shamir.PRIME
+            for offset in range(0, count * _MASK_ELEMENT_BYTES, _MASK_ELEMENT_BYTES)
+        ]
+        if self.cache_masks:
+            self._mask_cache[cache_key] = (seed, elements)
+        return elements
+
     def pairwise_mask(self, peer: "AggregationNode", round_tag: str,
                       component: int = 0) -> int:
         """The shared mask between this node and ``peer`` for a round."""
-        key = self._pairwise_cache.get(peer.name)
-        if key is None:
-            key = self.keys.pairwise_key(peer.keys.exchange_public)
-            self._pairwise_cache[peer.name] = key
-        digest = hmac_sha256(key, f"mask|{round_tag}|{component}".encode())
-        return int.from_bytes(digest, "big") % shamir.PRIME
+        return self.mask_elements(peer, round_tag, component + 1)[component]
+
+    def flush_masks(self, round_tag: str | None = None) -> None:
+        """Drop cached round masks (all rounds, or one round's)."""
+        if round_tag is None:
+            self._mask_cache.clear()
+        else:
+            for key in [k for k in self._mask_cache if k[1] == round_tag]:
+                del self._mask_cache[key]
 
 
 @dataclass
@@ -85,7 +218,10 @@ class AggregationResult:
     bytes: int
     rounds: int
     protocol: str
-    aggregator_view: list[int] = field(default_factory=list)
+    # What the untrusted aggregator saw: one entry per published
+    # message — an int for scalar protocols, a vector (list of ints)
+    # for masked histograms.
+    aggregator_view: list = field(default_factory=list)
 
     @property
     def mean(self) -> float:
@@ -93,10 +229,6 @@ class AggregationResult:
         if contributing == 0:
             raise ProtocolError("no contributions to average")
         return shamir.decode_signed(self.total) / contributing
-
-
-def _signed_total(total_mod_p: int) -> int:
-    return total_mod_p % shamir.PRIME
 
 
 class CleartextSum:
@@ -117,9 +249,11 @@ class CleartextSum:
             for node in nodes
             if node.name in online
         ]
+        # Every submission is already reduced mod PRIME, so the running
+        # sum stays in the field.
         total = sum(submissions) % shamir.PRIME
         return AggregationResult(
-            total=_signed_total(total),
+            total=total,
             participants=len(nodes),
             dropped=len(nodes) - len(submissions),
             messages=len(submissions),
@@ -131,9 +265,29 @@ class CleartextSum:
 
 
 class MaskedSum:
-    """Pairwise-masked aggregation with dropout recovery."""
+    """Pairwise-masked aggregation with dropout recovery.
+
+    ``neighbors=k`` (even, >= 2) switches from the complete masking
+    graph to the k-regular ring graph: each cell masks only against its
+    k ring-neighbors, so a round costs O(N·k) derivations instead of
+    O(N²). A degree of ``None`` (the default) or ``k >= N-1`` is the
+    complete graph.
+    """
 
     name = "masked"
+
+    def __init__(self, neighbors: int | None = None) -> None:
+        if neighbors is not None and (neighbors < 2 or neighbors % 2):
+            raise ConfigurationError(
+                f"masking degree must be an even integer >= 2, got {neighbors}"
+            )
+        self.neighbors = neighbors
+
+    @property
+    def name_with_params(self) -> str:
+        if self.neighbors is None:
+            return self.name
+        return f"masked(k={self.neighbors})"
 
     def run(
         self,
@@ -147,21 +301,24 @@ class MaskedSum:
         online = online if online is not None else {node.name for node in nodes}
         survivors = [node for node in nodes if node.name in online]
         dropped = [node for node in nodes if node.name not in online]
+        dropped_names = {node.name for node in dropped}
         if not survivors:
             raise ProtocolError("all participants dropped out")
         order = {node.name: position for position, node in enumerate(nodes)}
+        degree = _effective_degree(len(nodes), self.neighbors)
 
         messages = 0
         total_bytes = 0
-        # Round 1: every survivor submits its masked value.
+        # Round 1: every survivor submits its masked value. A cell does
+        # not yet know who else is online, so it masks against *all*
+        # its graph neighbors — dropped edges are repaired in round 2.
         masked_submissions = []
         for node in survivors:
+            position = order[node.name]
             masked = shamir.encode_signed(values[node.name])
-            for peer in nodes:
-                if peer.name == node.name:
-                    continue
+            for peer in _masking_peers(nodes, position, degree):
                 mask = node.pairwise_mask(peer, round_tag)
-                if order[node.name] < order[peer.name]:
+                if position < order[peer.name]:
                     masked = (masked + mask) % shamir.PRIME
                 else:
                     masked = (masked - mask) % shamir.PRIME
@@ -173,12 +330,18 @@ class MaskedSum:
         total = sum(masked_submissions) % shamir.PRIME
 
         # Round 2 (only if needed): unmask the dropped cells' edges.
+        # Each survivor reveals only the masks it shares with dropped
+        # *graph neighbors*; the cached round keystream answers without
+        # re-deriving anything.
         if dropped:
             rounds += 1
             for node in survivors:
-                for gone in dropped:
+                position = order[node.name]
+                for gone in _masking_peers(nodes, position, degree):
+                    if gone.name not in dropped_names:
+                        continue
                     mask = node.pairwise_mask(gone, round_tag)
-                    if order[node.name] < order[gone.name]:
+                    if position < order[gone.name]:
                         total = (total - mask) % shamir.PRIME
                     else:
                         total = (total + mask) % shamir.PRIME
@@ -186,13 +349,13 @@ class MaskedSum:
                     total_bytes += _FIELD_ELEMENT_BYTES
 
         return AggregationResult(
-            total=_signed_total(total),
+            total=total,
             participants=len(nodes),
             dropped=len(dropped),
             messages=messages,
             bytes=total_bytes,
             rounds=rounds,
-            protocol=self.name,
+            protocol=self.name_with_params,
             aggregator_view=masked_submissions,
         )
 
@@ -263,7 +426,7 @@ class ShamirSum:
             )
         total = shamir.reconstruct_secret(published[: self.threshold])
         return AggregationResult(
-            total=_signed_total(total),
+            total=total,
             participants=len(nodes),
             dropped=len(nodes) - len(survivors),
             messages=messages,
@@ -280,51 +443,65 @@ def masked_histogram(
     bucket_count: int,
     online: set[str] | None = None,
     round_tag: str = "hist-0",
+    neighbors: int | None = None,
 ) -> tuple[list[int], AggregationResult]:
     """Privacy-preserving histogram via per-component masked sums.
 
     ``bucket_of[name]`` is each node's bucket index; the aggregator
-    learns only the per-bucket totals. Returns ``(counts, accounting)``.
+    learns only the per-bucket totals. One keyed derivation per (pair,
+    round) covers all ``bucket_count`` components (keystream
+    expansion); ``neighbors=k`` masks over the k-regular ring graph
+    instead of the complete graph. Returns ``(counts, accounting)``.
     """
     if bucket_count < 1:
         raise ConfigurationError("need at least one bucket")
     online = online if online is not None else {node.name for node in nodes}
     survivors = [node for node in nodes if node.name in online]
     dropped = [node for node in nodes if node.name not in online]
+    dropped_names = {node.name for node in dropped}
     order = {node.name: position for position, node in enumerate(nodes)}
+    degree = _effective_degree(len(nodes), neighbors)
     messages = 0
     total_bytes = 0
     sums = [0] * bucket_count
+    published_vectors: list[list[int]] = []
     for node in survivors:
         if not 0 <= bucket_of[node.name] < bucket_count:
             raise ConfigurationError(
                 f"bucket {bucket_of[node.name]} out of range for {node.name!r}"
             )
+        position = order[node.name]
         vector = [0] * bucket_count
         vector[bucket_of[node.name]] = 1
-        for component in range(bucket_count):
-            masked = vector[component]
-            for peer in nodes:
-                if peer.name == node.name:
-                    continue
-                mask = node.pairwise_mask(peer, round_tag, component)
-                if order[node.name] < order[peer.name]:
-                    masked = (masked + mask) % shamir.PRIME
-                else:
-                    masked = (masked - mask) % shamir.PRIME
+        for peer in _masking_peers(nodes, position, degree):
+            elements = node.mask_elements(peer, round_tag, bucket_count)
+            if position < order[peer.name]:
+                for component, mask in enumerate(elements):
+                    vector[component] = (vector[component] + mask) % shamir.PRIME
+            else:
+                for component, mask in enumerate(elements):
+                    vector[component] = (vector[component] - mask) % shamir.PRIME
+        for component, masked in enumerate(vector):
             sums[component] = (sums[component] + masked) % shamir.PRIME
+        published_vectors.append(vector)
         messages += 1
         total_bytes += bucket_count * _FIELD_ELEMENT_BYTES
     rounds = 1
     if dropped:
         rounds += 1
         for node in survivors:
-            for gone in dropped:
-                for component in range(bucket_count):
-                    mask = node.pairwise_mask(gone, round_tag, component)
-                    if order[node.name] < order[gone.name]:
+            position = order[node.name]
+            for gone in _masking_peers(nodes, position, degree):
+                if gone.name not in dropped_names:
+                    continue
+                # Cached keystream: revealing the whole vector of masks
+                # costs zero fresh derivations.
+                elements = node.mask_elements(gone, round_tag, bucket_count)
+                if position < order[gone.name]:
+                    for component, mask in enumerate(elements):
                         sums[component] = (sums[component] - mask) % shamir.PRIME
-                    else:
+                else:
+                    for component, mask in enumerate(elements):
                         sums[component] = (sums[component] + mask) % shamir.PRIME
                 messages += 1
                 total_bytes += bucket_count * _FIELD_ELEMENT_BYTES
@@ -336,6 +513,8 @@ def masked_histogram(
         messages=messages,
         bytes=total_bytes,
         rounds=rounds,
-        protocol="masked-histogram",
+        protocol="masked-histogram" if degree is None
+        else f"masked-histogram(k={degree})",
+        aggregator_view=published_vectors,
     )
     return counts, accounting

@@ -31,7 +31,7 @@ from ..crypto import shamir
 from ..errors import ConfigurationError, ProtocolError
 from ..infrastructure.cloud import CloudProvider
 from ..sim.world import World
-from .aggregation import AggregationNode
+from .aggregation import AggregationNode, _effective_degree, _masking_peers
 
 _FIELD_ELEMENT_BYTES = 16
 
@@ -70,9 +70,12 @@ class AsyncMaskedAggregation:
         deadline: int,
         wake_times: dict[str, list[int]],
         poll_period: int = 300,
+        neighbors: int | None = None,
     ) -> None:
         """``wake_times[name]`` lists the instants a cell is online;
-        an empty list models a cell that never shows up."""
+        an empty list models a cell that never shows up.
+        ``neighbors=k`` masks over the k-regular ring graph (see
+        :class:`~repro.commons.aggregation.MaskedSum`)."""
         if len(nodes) < 2:
             raise ConfigurationError("need at least two participants")
         if deadline <= world.now:
@@ -85,6 +88,7 @@ class AsyncMaskedAggregation:
         self.deadline = deadline
         self.wake_times = wake_times
         self.poll_period = poll_period
+        self._degree = _effective_degree(len(nodes), neighbors)
         self.result = AsyncResult()
         self._order = {node.name: i for i, node in enumerate(nodes)}
         self._by_name = {node.name: node for node in nodes}
@@ -104,24 +108,28 @@ class AsyncMaskedAggregation:
     # -- node-side behaviour --------------------------------------------------
 
     def _masked_value(self, node: AggregationNode) -> int:
+        position = self._order[node.name]
         masked = shamir.encode_signed(self.values[node.name])
-        for peer in self.nodes:
-            if peer.name == node.name:
-                continue
+        for peer in _masking_peers(self.nodes, position, self._degree):
             mask = node.pairwise_mask(peer, self.round_tag)
-            if self._order[node.name] < self._order[peer.name]:
+            if position < self._order[peer.name]:
                 masked = (masked + mask) % shamir.PRIME
             else:
                 masked = (masked - mask) % shamir.PRIME
         return masked
 
     def _net_recovery_mask(self, node: AggregationNode, missing: list[str]) -> int:
-        """The signed net mask ``node`` shared with all missing peers."""
+        """The signed net mask ``node`` shared with its missing *graph
+        neighbors* (on the complete graph: all missing peers). The
+        cached round keystream answers without fresh derivations."""
+        position = self._order[node.name]
+        missing_set = set(missing)
         net = 0
-        for gone_name in missing:
-            gone = self._by_name[gone_name]
+        for gone in _masking_peers(self.nodes, position, self._degree):
+            if gone.name not in missing_set:
+                continue
             mask = node.pairwise_mask(gone, self.round_tag)
-            if self._order[node.name] < self._order[gone.name]:
+            if position < self._order[gone.name]:
                 net = (net + mask) % shamir.PRIME
             else:
                 net = (net - mask) % shamir.PRIME

@@ -68,10 +68,13 @@ def secure_quantiles(
     buckets: int = 32,
     online: set[str] | None = None,
     round_tag: str = "quantiles-0",
+    neighbors: int | None = None,
 ) -> tuple[dict[float, float], AggregationResult]:
     """Estimate quantiles without revealing any individual value.
 
     Error bound: half a bucket width, i.e. ``(high-low)/(2*buckets)``.
+    ``neighbors=k`` masks over the k-regular ring graph (see
+    :func:`~repro.commons.aggregation.masked_histogram`).
     Returns ``({q: estimate}, protocol accounting)``.
     """
     bucket_of = {
@@ -80,7 +83,7 @@ def secure_quantiles(
     }
     counts, accounting = masked_histogram(
         nodes, bucket_of, bucket_count=buckets, online=online,
-        round_tag=round_tag,
+        round_tag=round_tag, neighbors=neighbors,
     )
     estimates = {
         q: quantile_from_counts(counts, q, low, high) for q in quantiles

@@ -103,9 +103,25 @@ def ctr_crypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
     return bytes(a ^ b for a, b in zip(data, stream))
 
 
+_hmac_invocations = 0
+
+
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
     """HMAC-SHA256 tag of ``message`` under ``key``."""
+    global _hmac_invocations
+    _hmac_invocations += 1
     return _hmac.new(key, message, hashlib.sha256).digest()
+
+
+def hmac_invocations() -> int:
+    """Monotone count of :func:`hmac_sha256` calls this process.
+
+    Instrumentation hook for the aggregation benchmarks and tests:
+    snapshot it before and after a protocol run to count how many key
+    derivations the run performed. HMAC is the only keyed primitive on
+    the aggregation hot path, so the delta *is* the derivation count.
+    """
+    return _hmac_invocations
 
 
 def verify_hmac(key: bytes, message: bytes, tag: bytes) -> bool:
@@ -116,6 +132,32 @@ def verify_hmac(key: bytes, message: bytes, tag: bytes) -> bool:
 def sha256(data: bytes) -> bytes:
     """SHA-256 digest."""
     return hashlib.sha256(data).digest()
+
+
+def counter_stream(seed: bytes, length: int) -> bytes:
+    """Counter-mode expansion of a 32-byte seed into ``length`` bytes.
+
+    Block 0 is the seed itself; block ``n`` (n >= 1) is
+    ``SHA256(seed || n_be32)``. The caller derives the seed with one
+    keyed HMAC (e.g. per (pair, round) in the aggregation layer) and
+    then expands it into as many field elements as the round needs, so
+    the number of *keyed* derivations stays independent of the vector
+    width. Asking for a longer stream later re-yields the same prefix.
+    """
+    if len(seed) != 32:
+        raise ConfigurationError(f"counter-stream seed must be 32 bytes, got {len(seed)}")
+    if length < 0:
+        raise ConfigurationError("keystream length must be non-negative")
+    if length <= 32:
+        return seed[:length]
+    blocks = [seed]
+    produced = 32
+    counter = 1
+    while produced < length:
+        blocks.append(hashlib.sha256(seed + counter.to_bytes(4, "big")).digest())
+        produced += 32
+        counter += 1
+    return b"".join(blocks)[:length]
 
 
 def hkdf(master: bytes, info: str, length: int = KEY_SIZE) -> bytes:

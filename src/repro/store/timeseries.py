@@ -65,6 +65,11 @@ class TimeSeries:
         self.name = name
         self._timestamps: list[int] = []
         self._values: list[float] = []
+        # Memoized resample results keyed by (width, align); the
+        # workloads re-aggregate the same series at the same
+        # granularities dozens of times (E2/E3/E12). Any append
+        # invalidates the whole cache.
+        self._bucket_cache: dict[tuple[int, int], list[Bucket]] = {}
 
     def append(self, timestamp: int, value: float) -> None:
         """Append one sample; timestamps must strictly increase."""
@@ -75,11 +80,35 @@ class TimeSeries:
             )
         self._timestamps.append(int(timestamp))
         self._values.append(float(value))
+        if self._bucket_cache:
+            self._bucket_cache.clear()
 
     def extend(self, samples) -> None:
-        """Append an iterable of ``(timestamp, value)`` pairs."""
+        """Append an iterable of ``(timestamp, value)`` pairs.
+
+        Single-pass bulk path: monotonicity is validated once over the
+        batch (against the current tail), then both columns grow with
+        one list-extend each — no per-sample method dispatch.
+        """
+        timestamps: list[int] = []
+        values: list[float] = []
+        previous = self._timestamps[-1] if self._timestamps else None
         for timestamp, value in samples:
-            self.append(timestamp, value)
+            timestamp = int(timestamp)
+            if previous is not None and timestamp <= previous:
+                raise ConfigurationError(
+                    f"timestamps must strictly increase "
+                    f"({timestamp} after {previous})"
+                )
+            previous = timestamp
+            timestamps.append(timestamp)
+            values.append(float(value))
+        if not timestamps:
+            return
+        self._timestamps.extend(timestamps)
+        self._values.extend(values)
+        if self._bucket_cache:
+            self._bucket_cache.clear()
 
     def __len__(self) -> int:
         return len(self._timestamps)
@@ -139,6 +168,9 @@ class TimeSeries:
         """
         if width <= 0:
             raise ConfigurationError("bucket width must be positive")
+        cached = self._bucket_cache.get((width, align))
+        if cached is not None:
+            return list(cached)
         buckets: list[Bucket] = []
         current_start: int | None = None
         count = 0
@@ -161,13 +193,17 @@ class TimeSeries:
             maximum = max(maximum, value)
         if current_start is not None:
             buckets.append(Bucket(current_start, width, count, total, minimum, maximum))
-        return buckets
+        # Buckets are frozen; hand out shallow copies so callers can
+        # mutate their list without corrupting the cache.
+        self._bucket_cache[(width, align)] = buckets
+        return list(buckets)
 
     def resampled_series(self, width: int, align: int = 0) -> "TimeSeries":
         """A new series of bucket means at the bucket start timestamps."""
         result = TimeSeries(name=f"{self.name}@{width}s")
-        for bucket in self.resample(width, align):
-            result.append(bucket.start, bucket.mean)
+        result.extend(
+            (bucket.start, bucket.mean) for bucket in self.resample(width, align)
+        )
         return result
 
     def daily_totals(self) -> dict[int, float]:

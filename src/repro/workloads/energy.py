@@ -164,11 +164,13 @@ class HouseholdSimulator:
             for position in range(first, last):
                 power[position] += event.power_watts
         series = TimeSeries(f"power-day-{day}")
-        for position, watts in enumerate(power):
-            jitter = self._rng.gauss(0.0, self.noise)
-            series.append(
-                day_start + position * self.sample_period, max(0.0, watts + jitter)
+        series.extend(
+            (
+                day_start + position * self.sample_period,
+                max(0.0, watts + self._rng.gauss(0.0, self.noise)),
             )
+            for position, watts in enumerate(power)
+        )
         return DayTrace(
             day=day, series=series, events=events,
             sample_period=self.sample_period,

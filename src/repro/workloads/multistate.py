@@ -178,11 +178,13 @@ class CyclicHouseholdSimulator:
                 for position in range(first, last):
                     power[position] += event.power_watts
         series = TimeSeries(f"cyclic-power-day-{day}")
-        for position, watts in enumerate(power):
-            series.append(
+        series.extend(
+            (
                 day_start + position * self.sample_period,
                 max(0.0, watts + self._rng.gauss(0.0, self.noise)),
             )
+            for position, watts in enumerate(power)
+        )
         trace = DayTrace(
             day=day, series=series, events=flat_events,
             sample_period=self.sample_period,

@@ -10,7 +10,8 @@ from repro.infrastructure import CloudProvider, CuriousAdversary
 from repro.sim import World
 
 
-def build(wake_times, values=None, deadline=3600, seed=81, adversary=None):
+def build(wake_times, values=None, deadline=3600, seed=81, adversary=None,
+          neighbors=None):
     world = World(seed=seed)
     cloud = CloudProvider(world, adversary)
     rng = random.Random(seed)
@@ -20,7 +21,7 @@ def build(wake_times, values=None, deadline=3600, seed=81, adversary=None):
     values = values or {node.name: 100 for node in nodes}
     protocol = AsyncMaskedAggregation(
         world, cloud, nodes, values, round_tag="daily-total",
-        deadline=deadline, wake_times=wake_times,
+        deadline=deadline, wake_times=wake_times, neighbors=neighbors,
     )
     return world, cloud, protocol
 
@@ -110,6 +111,29 @@ class TestDropoutRecovery:
         world.loop.run_until(10_000)
         assert protocol.result.missing == ["c"]
         assert protocol.result.signed_total() == 3
+
+
+class TestSparseMaskingGraph:
+    def test_k_regular_total_exact(self):
+        wake_times = {f"c{i}": [100 + i] for i in range(8)}
+        values = {f"c{i}": i * 3 for i in range(8)}
+        world, cloud, protocol = build(wake_times, values=values, neighbors=4)
+        protocol.start()
+        world.loop.run_until(4000)
+        assert protocol.result.complete
+        assert protocol.result.signed_total() == sum(values.values())
+
+    def test_k_regular_dropout_recovery(self):
+        wake_times = {f"c{i}": [100 + i, 4000 + i] for i in range(8)}
+        wake_times["c3"] = []  # never shows up
+        values = {f"c{i}": 10 + i for i in range(8)}
+        world, cloud, protocol = build(wake_times, values=values, neighbors=4)
+        protocol.start()
+        world.loop.run_until(10_000)
+        assert protocol.result.complete
+        assert protocol.result.missing == ["c3"]
+        expected = sum(v for k, v in values.items() if k != "c3")
+        assert protocol.result.signed_total() == expected
 
 
 class TestValidation:

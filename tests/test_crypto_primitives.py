@@ -18,7 +18,11 @@ from repro.crypto import (
     xtea_decrypt_block,
     xtea_encrypt_block,
 )
-from repro.crypto.primitives import ctr_keystream
+from repro.crypto.primitives import (
+    counter_stream,
+    ctr_keystream,
+    hmac_invocations,
+)
 from repro.errors import ConfigurationError, IntegrityError
 
 KEY = bytes(range(16))
@@ -185,3 +189,44 @@ class TestAead:
         blob = seal(key, plaintext, header=header)
         assert open_sealed(key, blob) == plaintext
         assert SealedBlob.from_bytes(blob.to_bytes()) == blob
+
+
+class TestCounterStream:
+    SEED = sha256(b"counter-stream-seed")
+
+    def test_block_zero_is_the_seed(self):
+        assert counter_stream(self.SEED, 32) == self.SEED
+        assert counter_stream(self.SEED, 16) == self.SEED[:16]
+
+    def test_prefix_stability(self):
+        long = counter_stream(self.SEED, 200)
+        for length in (0, 1, 31, 32, 33, 64, 199):
+            assert counter_stream(self.SEED, length) == long[:length]
+
+    def test_blocks_are_counter_mode_sha256(self):
+        stream = counter_stream(self.SEED, 96)
+        assert stream[32:64] == sha256(self.SEED + (1).to_bytes(4, "big"))
+        assert stream[64:96] == sha256(self.SEED + (2).to_bytes(4, "big"))
+
+    def test_distinct_seeds_diverge(self):
+        other = sha256(b"another-seed")
+        assert counter_stream(self.SEED, 64) != counter_stream(other, 64)
+
+    def test_expansion_is_unkeyed(self):
+        before = hmac_invocations()
+        counter_stream(self.SEED, 1024)
+        assert hmac_invocations() - before == 0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            counter_stream(b"short", 8)
+        with pytest.raises(ConfigurationError):
+            counter_stream(self.SEED, -1)
+
+
+class TestHmacInstrumentation:
+    def test_counter_is_monotone(self):
+        before = hmac_invocations()
+        hmac_sha256(KEY, b"one")
+        hmac_sha256(KEY, b"two")
+        assert hmac_invocations() == before + 2

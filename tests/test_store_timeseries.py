@@ -49,6 +49,31 @@ class TestAppend:
         series.extend([(0, 1.0), (1, 2.0)])
         assert len(series) == 2
 
+    def test_extend_matches_append_loop(self):
+        bulk = TimeSeries()
+        bulk.extend((i * 7, float(i)) for i in range(50))
+        slow = TimeSeries()
+        for i in range(50):
+            slow.append(i * 7, float(i))
+        assert bulk.samples() == slow.samples()
+
+    def test_extend_rejects_non_monotone_batch(self):
+        series = TimeSeries()
+        with pytest.raises(ConfigurationError):
+            series.extend([(0, 1.0), (5, 2.0), (5, 3.0)])
+
+    def test_extend_rejects_batch_behind_existing_tail(self):
+        series = TimeSeries()
+        series.append(100, 1.0)
+        with pytest.raises(ConfigurationError):
+            series.extend([(50, 2.0)])
+        assert len(series) == 1
+
+    def test_extend_empty_is_noop(self):
+        series = TimeSeries()
+        series.extend([])
+        assert len(series) == 0
+
     def test_value_at(self):
         series = series_of([5.0, 6.0, 7.0], start=10)
         assert series.value_at(11) == 6.0
@@ -153,6 +178,39 @@ class TestResample:
         buckets = series_of(values, step=3).resample(7)
         for earlier, later in zip(buckets, buckets[1:]):
             assert earlier.end <= later.start
+
+
+class TestResampleCache:
+    def test_repeated_resample_hits_cache(self):
+        series = series_of([1.0, 2.0, 3.0, 4.0])
+        first = series.resample(2)
+        second = series.resample(2)
+        assert first == second
+
+    def test_cached_result_not_aliased(self):
+        series = series_of([1.0, 2.0, 3.0, 4.0])
+        first = series.resample(2)
+        first.clear()  # caller mutates its copy
+        assert len(series.resample(2)) == 2
+
+    def test_append_invalidates_cache(self):
+        series = series_of([1.0, 2.0])
+        assert len(series.resample(10)) == 1
+        series.append(100, 3.0)
+        assert len(series.resample(10)) == 2
+
+    def test_extend_invalidates_cache(self):
+        series = series_of([1.0, 2.0])
+        assert len(series.resample(10)) == 1
+        series.extend([(100, 3.0), (200, 4.0)])
+        assert len(series.resample(10)) == 3
+
+    def test_distinct_widths_and_aligns_cached_separately(self):
+        series = series_of([1.0, 2.0, 3.0, 4.0], start=5)
+        assert series.resample(4)[0].start == 4
+        assert series.resample(4, align=5)[0].start == 5
+        assert series.resample(2)[0].count == 1
+        assert series.resample(2, align=5)[0].count == 2
 
 
 class TestEnergy:
