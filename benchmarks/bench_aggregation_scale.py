@@ -32,6 +32,9 @@ from repro.commons.aggregation import (
 )
 from repro.crypto import shamir
 from repro.crypto.primitives import hmac_invocations, hmac_sha256
+from repro.obs import get_default
+
+OBS = get_default()
 
 REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_aggregation.json"
 
@@ -65,11 +68,17 @@ def measure_masked_sum(size: int, neighbors: int | None) -> dict:
         nodes, values, round_tag=f"bench-{size}-{neighbors}"
     )
     elapsed = time.perf_counter() - started
+    # the protocol's own span (stamped by the default tracer) gives the
+    # round time as the observability layer saw it
+    round_span = OBS.tracer.last("agg.round")
     return {
         "n": size,
         "graph": "complete" if neighbors is None else f"k={neighbors}",
         "seconds": round(elapsed, 4),
         "nodes_per_sec": round(size / elapsed, 1),
+        "span_seconds": (
+            round(round_span.duration, 4) if round_span is not None else None
+        ),
         "hmac_derivations": hmac_invocations() - before,
         "messages": result.messages,
         "exact": shamir.decode_signed(result.total) == expected,
@@ -169,10 +178,85 @@ def measure_histogram(size: int, bucket_count: int, *,
     return report
 
 
+def measure_obs_overhead(size: int, neighbors: int, rounds: int = 3) -> dict:
+    """Same masked round with observability enabled vs disabled.
+
+    The per-round instrumentation is one span + one event + three
+    counter bumps (the HMAC oracle counts in both modes), so the two
+    rates should be statistically indistinguishable; the acceptance bar
+    is a < 5% penalty either way. Best-of-``rounds`` to damp scheduler
+    noise.
+    """
+    def best_rate(enabled: bool) -> float:
+        rates = []
+        for attempt in range(rounds):
+            nodes, values = _population(size, b"bench-ovh", cache_masks=False)
+            if enabled:
+                OBS.enable()
+            else:
+                OBS.disable()
+            try:
+                started = time.perf_counter()
+                MaskedSum(neighbors=neighbors).run(
+                    nodes, values, round_tag=f"ovh-{enabled}-{attempt}"
+                )
+                rates.append(size / (time.perf_counter() - started))
+            finally:
+                OBS.enable()
+        return max(rates)
+
+    enabled_rate = best_rate(True)
+    disabled_rate = best_rate(False)
+    return {
+        "n": size,
+        "graph": f"k={neighbors}",
+        "enabled_nodes_per_sec": round(enabled_rate, 1),
+        "disabled_nodes_per_sec": round(disabled_rate, 1),
+        "disabled_over_enabled": round(disabled_rate / enabled_rate, 3),
+    }
+
+
+def _observability_section(overhead_n: int, neighbors: int) -> dict:
+    """Counter/span export for the tracked JSON (stable schema)."""
+    counters = {}
+    for name in ("crypto.hmac.calls", "agg.messages", "agg.bytes"):
+        metric = OBS.metrics.get(name)
+        counters[name] = int(metric.value) if metric is not None else 0
+    rounds_metric = OBS.metrics.get("agg.rounds")
+    rounds_by_protocol = (
+        rounds_metric.snapshot().get("labels", {})
+        if rounds_metric is not None else {}
+    )
+    round_spans = OBS.tracer.spans("agg.round")
+    recovery_spans = OBS.tracer.spans("agg.recovery")
+    return {
+        "schema": 1,
+        "counters": counters,
+        "rounds_by_protocol": rounds_by_protocol,
+        "spans": {
+            "agg.round": {
+                "count": len(round_spans),
+                "total_seconds": round(
+                    sum(span.duration for span in round_spans), 4
+                ),
+            },
+            "agg.recovery": {
+                "count": len(recovery_spans),
+                "total_seconds": round(
+                    sum(span.duration for span in recovery_spans), 4
+                ),
+            },
+        },
+        "overhead": measure_obs_overhead(overhead_n, neighbors),
+    }
+
+
 def build_report(sizes=FULL_SIZES, neighbors=FULL_NEIGHBORS,
                  histogram_n=FULL_HISTOGRAM_N,
                  histogram_buckets=FULL_HISTOGRAM_BUCKETS,
                  include_legacy: bool = True) -> dict:
+    OBS.reset()
+    OBS.enable()
     rows = []
     for size in sizes:
         rows.append(measure_masked_sum(size, None))
@@ -191,6 +275,7 @@ def build_report(sizes=FULL_SIZES, neighbors=FULL_NEIGHBORS,
         "histogram": measure_histogram(
             histogram_n, histogram_buckets, include_legacy=include_legacy
         ),
+        "observability": _observability_section(min(sizes), neighbors),
     }
 
 
@@ -216,6 +301,24 @@ def test_aggregation_scale_smoke():
     )
     json.dumps(report)  # must stay serializable
     assert all(row["exact"] for row in report["masked_sum"])
+    # observability columns: every row carries the protocol's own span
+    # timing, and the section schema is stable for downstream tooling
+    assert all(row["span_seconds"] is not None for row in report["masked_sum"])
+    observability = report["observability"]
+    assert observability["schema"] == 1
+    assert set(observability["counters"]) == {
+        "crypto.hmac.calls", "agg.messages", "agg.bytes"
+    }
+    assert observability["counters"]["crypto.hmac.calls"] > 0
+    assert observability["spans"]["agg.round"]["count"] >= \
+        2 * len(SMOKE_SIZES)  # complete + sparse per size, + overhead runs
+    assert observability["spans"]["agg.recovery"]["count"] >= 1  # histogram dropouts
+    overhead = observability["overhead"]
+    assert set(overhead) >= {
+        "enabled_nodes_per_sec", "disabled_nodes_per_sec",
+        "disabled_over_enabled",
+    }
+    assert overhead["disabled_over_enabled"] > 0
     hist = report["histogram"]
     assert hist["exact"] and hist["within_bound"] and hist["legacy_matches"]
     assert hist["legacy_per_component"]["hmac_derivations"] > \
@@ -234,6 +337,12 @@ def test_aggregation_scale_smoke():
     assert tracked["benchmark"] == "aggregation_scale"
     assert tracked["speedup_at_max_n"] >= 10
     assert tracked["histogram"]["within_bound"]
+    # the tracked observability section must keep the stable schema and
+    # record a sub-5% disabled-mode penalty (acceptance criterion)
+    tracked_obs = tracked["observability"]
+    assert tracked_obs["schema"] == 1
+    assert tracked_obs["counters"]["crypto.hmac.calls"] > 0
+    assert tracked_obs["overhead"]["disabled_over_enabled"] > 0.95
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from .hardware import (
     profile_by_name,
 )
 from .infrastructure import CloudProvider
+from .obs import Observability, get_default as default_observability
 from .policy import DataEnvelope, Grant, Obligation, UsagePolicy, private_policy
 from .sharing import SharingPeer, introduce_cells
 from .sim import World
@@ -38,6 +39,8 @@ __all__ = [
     "profile_by_name",
     "CloudProvider",
     "DataEnvelope",
+    "Observability",
+    "default_observability",
     "Grant",
     "Obligation",
     "UsagePolicy",

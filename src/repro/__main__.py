@@ -5,11 +5,14 @@ Usage::
     python -m repro list            # show the experiment catalog
     python -m repro run E2          # run one experiment, print its tables
     python -m repro run all         # run everything (several minutes)
+    python -m repro obs E9          # run E9, dump the observability scope
+    python -m repro obs --json o.json   # machine-readable export
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -57,6 +60,59 @@ def _run(names: list[str]) -> int:
     return failures
 
 
+def _obs_dump(experiment: str | None, json_path: str | None,
+              events_tail: int) -> int:
+    """Run an (optional) experiment, then dump the process-default
+    observability scope: metric snapshot, span summary, recent events.
+
+    Per-``World`` scopes created inside an experiment are separate by
+    design (export them with ``world.obs.export()``); this dump covers
+    the world-less instruments — crypto derivations, aggregation
+    rounds, policy decisions, audit appends, store cache traffic.
+    """
+    from .obs import get_default
+
+    obs = get_default()
+    obs.reset()
+    if experiment is not None:
+        target = experiment.upper()
+        if target not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {experiment!r}", file=sys.stderr)
+            return 2
+        ALL_EXPERIMENTS[target].run()  # tables discarded; we want the scope
+    export = obs.export()
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(export, handle, indent=2)
+        print(f"observability export written to {json_path}")
+        return 0
+    print(f"# observability dump (schema {export['schema']})")
+    print("\n## metrics")
+    for name, snapshot in export["metrics"].items():
+        if snapshot["kind"] == "histogram":
+            print(f"{name:<28} histogram count={snapshot['count']} "
+                  f"mean={snapshot['mean']:.1f}")
+        else:
+            print(f"{name:<28} {snapshot['kind']} {snapshot['value']}")
+            for labels, value in snapshot.get("labels", {}).items():
+                print(f"    {labels:<24} {value}")
+    spans = export["trace"]["spans"]
+    print(f"\n## trace ({len(spans)} spans, {export['trace']['dropped']} dropped)")
+    by_name: dict[str, list[float]] = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span["duration"])
+    for name, durations in sorted(by_name.items()):
+        print(f"{name:<28} n={len(durations)} total={sum(durations):.4f} "
+              f"max={max(durations):.4f}")
+    events = export["events"]["events"]
+    print(f"\n## events ({export['events']['emitted']} emitted, "
+          f"{export['events']['retained']} retained; last {events_tail})")
+    for event in events[-events_tail:]:
+        fields = {k: v for k, v in event.items() if k not in ("seq", "kind")}
+        print(f"[{event['seq']}] {event['kind']} {fields}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -76,10 +132,29 @@ def main(argv: list[str] | None = None) -> int:
         "--output", default="EXPERIMENT-REPORT.md",
         help="output path (default: EXPERIMENT-REPORT.md)",
     )
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="dump the observability scope (metrics, trace, events), "
+             "optionally after running an experiment",
+    )
+    obs_parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id (E1..E12) to run first; omit to dump as-is",
+    )
+    obs_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full JSON export instead of the text summary",
+    )
+    obs_parser.add_argument(
+        "--events", type=int, default=20, metavar="N",
+        help="how many trailing events to show in the text summary",
+    )
     arguments = parser.parse_args(argv)
     if arguments.command == "list":
         _list_experiments()
         return 0
+    if arguments.command == "obs":
+        return _obs_dump(arguments.experiment, arguments.json, arguments.events)
     if arguments.command == "report":
         from .bench.report import generate_report
 

@@ -168,7 +168,49 @@ def run(seed: int = 0, sizes: list[int] | None = None) -> list[Table]:
         "k-regular masking turns O(N^2) derivations into O(N*k); the "
         "price is a collusion bound of k-1 neighbors instead of N-2"
     )
-    return [scale_table, availability_table, async_table, graph_table]
+
+    # -- network traffic accounting: per-link messages *and* bytes -------------
+    from ..infrastructure.network import Network
+    from ..sim.world import World as _World
+
+    traffic_table = Table(
+        title="E9d: per-link traffic of one masked round over the star "
+              "network (N=6, one dropout)",
+        columns=["link", "messages", "bytes"],
+    )
+    world = _World(seed=seed + 4)
+    network = Network(world)
+    rng = random.Random(seed + 4)
+    nodes = [AggregationNode.standalone(f"t-{i}", rng) for i in range(6)]
+    values = {node.name: rng.randrange(0, 500) for node in nodes}
+    network.register("aggregator", lambda s, m: None)
+    for node in nodes:
+        network.register(node.name, lambda s, m: None)
+    online = {node.name for node in nodes[1:]}  # t-0 drops out
+    result = MaskedSum().run(nodes, values, online=online,
+                             round_tag=f"e9d-{seed}")
+    # replay the round on the wire: one field element per submission,
+    # one per revealed recovery mask (the aggregator is the star hub)
+    survivors = [node.name for node in nodes if node.name in online]
+    for name in survivors:
+        network.send(name, "aggregator", "masked-submission", size_bytes=16)
+    for name in survivors:  # each survivor reveals its mask with t-0
+        network.send(name, "aggregator", "revealed-mask", size_bytes=16)
+    for link in sorted(network.stats.per_link):
+        traffic_table.add_row(
+            "->".join(link),
+            network.stats.per_link[link],
+            network.stats.per_link_bytes[link],
+        )
+    traffic_table.add_row(
+        "TOTAL", network.stats.messages, network.stats.bytes
+    )
+    traffic_table.add_note(
+        f"wire bytes equal the protocol accounting: {result.bytes} B for "
+        f"{result.messages} messages over {result.rounds} rounds"
+    )
+    return [scale_table, availability_table, async_table, graph_table,
+            traffic_table]
 
 
 def shape_holds(tables: list[Table]) -> bool:
@@ -176,6 +218,15 @@ def shape_holds(tables: list[Table]) -> bool:
     availability = tables[1]
     asynchronous = tables[2]
     graph = tables[3]
+    traffic = tables[4]
+    # per-link byte accounting must sum to the network total, and every
+    # 16-byte field element must be billed (messages * 16 == bytes)
+    link_rows = [row for row in traffic.rows if row[0] != "TOTAL"]
+    total_row = next(row for row in traffic.rows if row[0] == "TOTAL")
+    if sum(row[2] for row in link_rows) != total_row[2]:
+        return False
+    if any(row[1] * 16 != row[2] for row in link_rows):
+        return False
     if not all(scale.column("exact")):
         return False
     if not all(availability.column("exact over online set")):

@@ -56,9 +56,34 @@ from ..crypto import shamir
 from ..crypto.keys import KeyRing
 from ..crypto.primitives import KEY_SIZE, counter_stream, hmac_sha256, sha256
 from ..errors import ConfigurationError, ProtocolError
+from ..obs import get_default as _obs_default
 
 _FIELD_ELEMENT_BYTES = 16  # one PRIME-field element on the wire
 _MASK_ELEMENT_BYTES = 16  # keystream bytes consumed per mask element
+
+# Synchronous protocols run without a World, so their rounds land in
+# the process-default observability scope (one span + one event per
+# *round*, never per node — the hot loops stay uninstrumented).
+_OBS = _obs_default()
+_ROUNDS = _OBS.metrics.counter(
+    "agg.rounds", help="aggregation rounds executed", labelnames=("protocol",)
+)
+_MESSAGES = _OBS.metrics.counter(
+    "agg.messages", help="aggregation protocol messages")
+_BYTES = _OBS.metrics.counter(
+    "agg.bytes", help="aggregation protocol payload bytes")
+
+
+def _record_round(result: "AggregationResult") -> None:
+    """One bookkeeping call at the end of every protocol run."""
+    _ROUNDS.labels(protocol=result.protocol).inc()
+    _MESSAGES.inc(result.messages)
+    _BYTES.inc(result.bytes)
+    _OBS.events.emit(
+        "agg.round", protocol=result.protocol, participants=result.participants,
+        dropped=result.dropped, messages=result.messages,
+        bytes=result.bytes, rounds=result.rounds,
+    )
 
 
 def ring_neighbor_positions(position: int, size: int, degree: int) -> list[int]:
@@ -252,7 +277,7 @@ class CleartextSum:
         # Every submission is already reduced mod PRIME, so the running
         # sum stays in the field.
         total = sum(submissions) % shamir.PRIME
-        return AggregationResult(
+        result = AggregationResult(
             total=total,
             participants=len(nodes),
             dropped=len(nodes) - len(submissions),
@@ -262,6 +287,8 @@ class CleartextSum:
             protocol=self.name,
             aggregator_view=submissions,  # full leakage, by construction
         )
+        _record_round(result)
+        return result
 
 
 class MaskedSum:
@@ -295,6 +322,22 @@ class MaskedSum:
         values: dict[str, int],
         online: set[str] | None = None,
         round_tag: str = "round-0",
+    ) -> AggregationResult:
+        with _OBS.tracer.span(
+            "agg.round", protocol=self.name_with_params, n=len(nodes),
+            round_tag=round_tag,
+        ) as span:
+            result = self._run(nodes, values, online, round_tag)
+            span.annotate(dropped=result.dropped, messages=result.messages)
+        _record_round(result)
+        return result
+
+    def _run(
+        self,
+        nodes: list[AggregationNode],
+        values: dict[str, int],
+        online: set[str] | None,
+        round_tag: str,
     ) -> AggregationResult:
         if len(nodes) < 2:
             raise ConfigurationError("masked sum needs at least two nodes")
@@ -335,18 +378,19 @@ class MaskedSum:
         # re-deriving anything.
         if dropped:
             rounds += 1
-            for node in survivors:
-                position = order[node.name]
-                for gone in _masking_peers(nodes, position, degree):
-                    if gone.name not in dropped_names:
-                        continue
-                    mask = node.pairwise_mask(gone, round_tag)
-                    if position < order[gone.name]:
-                        total = (total - mask) % shamir.PRIME
-                    else:
-                        total = (total + mask) % shamir.PRIME
-                    messages += 1  # one revealed mask per (survivor, dropped)
-                    total_bytes += _FIELD_ELEMENT_BYTES
+            with _OBS.tracer.span("agg.recovery", dropped=len(dropped)):
+                for node in survivors:
+                    position = order[node.name]
+                    for gone in _masking_peers(nodes, position, degree):
+                        if gone.name not in dropped_names:
+                            continue
+                        mask = node.pairwise_mask(gone, round_tag)
+                        if position < order[gone.name]:
+                            total = (total - mask) % shamir.PRIME
+                        else:
+                            total = (total + mask) % shamir.PRIME
+                        messages += 1  # one revealed mask per (survivor, dropped)
+                        total_bytes += _FIELD_ELEMENT_BYTES
 
         return AggregationResult(
             total=total,
@@ -384,6 +428,22 @@ class ShamirSum:
         online: set[str] | None = None,
         round_tag: str = "round-0",
         committee_online: set[int] | None = None,
+    ) -> AggregationResult:
+        with _OBS.tracer.span(
+            "agg.round", protocol=self.name_with_params, n=len(nodes),
+            round_tag=round_tag,
+        ) as span:
+            result = self._run(nodes, values, online, committee_online)
+            span.annotate(dropped=result.dropped, messages=result.messages)
+        _record_round(result)
+        return result
+
+    def _run(
+        self,
+        nodes: list[AggregationNode],
+        values: dict[str, int],
+        online: set[str] | None,
+        committee_online: set[int] | None,
     ) -> AggregationResult:
         if len(nodes) < 1:
             raise ConfigurationError("need at least one node")
@@ -453,6 +513,26 @@ def masked_histogram(
     expansion); ``neighbors=k`` masks over the k-regular ring graph
     instead of the complete graph. Returns ``(counts, accounting)``.
     """
+    with _OBS.tracer.span(
+        "agg.round", protocol="masked-histogram", n=len(nodes),
+        buckets=bucket_count, round_tag=round_tag,
+    ) as span:
+        counts, accounting = _masked_histogram(
+            nodes, bucket_of, bucket_count, online, round_tag, neighbors
+        )
+        span.annotate(dropped=accounting.dropped, messages=accounting.messages)
+    _record_round(accounting)
+    return counts, accounting
+
+
+def _masked_histogram(
+    nodes: list[AggregationNode],
+    bucket_of: dict[str, int],
+    bucket_count: int,
+    online: set[str] | None,
+    round_tag: str,
+    neighbors: int | None,
+) -> tuple[list[int], AggregationResult]:
     if bucket_count < 1:
         raise ConfigurationError("need at least one bucket")
     online = online if online is not None else {node.name for node in nodes}
@@ -489,22 +569,23 @@ def masked_histogram(
     rounds = 1
     if dropped:
         rounds += 1
-        for node in survivors:
-            position = order[node.name]
-            for gone in _masking_peers(nodes, position, degree):
-                if gone.name not in dropped_names:
-                    continue
-                # Cached keystream: revealing the whole vector of masks
-                # costs zero fresh derivations.
-                elements = node.mask_elements(gone, round_tag, bucket_count)
-                if position < order[gone.name]:
-                    for component, mask in enumerate(elements):
-                        sums[component] = (sums[component] - mask) % shamir.PRIME
-                else:
-                    for component, mask in enumerate(elements):
-                        sums[component] = (sums[component] + mask) % shamir.PRIME
-                messages += 1
-                total_bytes += bucket_count * _FIELD_ELEMENT_BYTES
+        with _OBS.tracer.span("agg.recovery", dropped=len(dropped)):
+            for node in survivors:
+                position = order[node.name]
+                for gone in _masking_peers(nodes, position, degree):
+                    if gone.name not in dropped_names:
+                        continue
+                    # Cached keystream: revealing the whole vector of masks
+                    # costs zero fresh derivations.
+                    elements = node.mask_elements(gone, round_tag, bucket_count)
+                    if position < order[gone.name]:
+                        for component, mask in enumerate(elements):
+                            sums[component] = (sums[component] - mask) % shamir.PRIME
+                    else:
+                        for component, mask in enumerate(elements):
+                            sums[component] = (sums[component] + mask) % shamir.PRIME
+                    messages += 1
+                    total_bytes += bucket_count * _FIELD_ELEMENT_BYTES
     counts = [shamir.decode_signed(component) for component in sums]
     accounting = AggregationResult(
         total=sum(counts),

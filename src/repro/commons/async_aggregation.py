@@ -138,12 +138,18 @@ class AsyncMaskedAggregation:
     def _submit(self, node: AggregationNode) -> None:
         if self.world.now > self.deadline:
             return  # too late; this cell counts as missing
-        payload = json.dumps(
-            {"from": node.name, "masked": self._masked_value(node)}
-        ).encode()
-        self.cloud.post_message(self._contrib_box, node.name, payload)
+        with self.world.obs.tracer.span(
+            "agg.async.submit", node=node.name, round_tag=self.round_tag
+        ):
+            payload = json.dumps(
+                {"from": node.name, "masked": self._masked_value(node)}
+            ).encode()
+            self.cloud.post_message(self._contrib_box, node.name, payload)
         self.result.messages += 1
         self.result.bytes += _FIELD_ELEMENT_BYTES
+        self.world.obs.events.emit(
+            "agg.async.submit", node=node.name, round_tag=self.round_tag
+        )
 
     def _answer_recovery(self, node: AggregationNode, missing: list[str]) -> None:
         payload = json.dumps(
@@ -152,6 +158,10 @@ class AsyncMaskedAggregation:
         self.cloud.post_message(self._recovery_box, node.name, payload)
         self.result.messages += 1
         self.result.bytes += _FIELD_ELEMENT_BYTES
+        self.world.obs.events.emit(
+            "agg.async.recovery", node=node.name, round_tag=self.round_tag,
+            missing=len(missing),
+        )
 
     # -- orchestration ---------------------------------------------------------
 
@@ -222,3 +232,16 @@ class AsyncMaskedAggregation:
     def _finish(self, total: int) -> None:
         self.result.total = total
         self.result.completed_at = self.world.now
+        self.world.obs.events.emit(
+            "agg.async.complete", round_tag=self.round_tag,
+            submitted=len(self.result.submitted),
+            missing=len(self.result.missing),
+            messages=self.result.messages,
+        )
+        metrics = self.world.obs.metrics
+        metrics.counter(
+            "agg.async.completed", help="async aggregations completed"
+        ).inc()
+        metrics.counter(
+            "agg.async.messages", help="async aggregation mailbox messages"
+        ).inc(self.result.messages)

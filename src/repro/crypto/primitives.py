@@ -23,6 +23,7 @@ import hashlib
 import hmac as _hmac
 
 from ..errors import ConfigurationError
+from ..obs import get_default as _obs_default
 
 _MASK32 = 0xFFFFFFFF
 _XTEA_DELTA = 0x9E3779B9
@@ -103,25 +104,37 @@ def ctr_crypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
     return bytes(a ^ b for a, b in zip(data, stream))
 
 
-_hmac_invocations = 0
+# The HMAC call count lives in the process-default metrics registry
+# (``crypto.hmac.calls``), not in a module global, so the test suite's
+# observability reset fixture clears it between tests instead of
+# letting it bleed across them. ``always=True``: it is a protocol-cost
+# oracle (benches and tests assert exact deltas), so it keeps counting
+# even when observability is disabled — the cost is one attribute
+# increment, same as the global it replaced.
+_HMAC_CALLS = _obs_default().metrics.counter(
+    "crypto.hmac.calls",
+    help="keyed HMAC-SHA256 invocations (aggregation derivation oracle)",
+    always=True,
+)
 
 
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
     """HMAC-SHA256 tag of ``message`` under ``key``."""
-    global _hmac_invocations
-    _hmac_invocations += 1
+    _HMAC_CALLS.value += 1
     return _hmac.new(key, message, hashlib.sha256).digest()
 
 
 def hmac_invocations() -> int:
-    """Monotone count of :func:`hmac_sha256` calls this process.
+    """Count of :func:`hmac_sha256` calls (backward-compatible shim).
 
     Instrumentation hook for the aggregation benchmarks and tests:
     snapshot it before and after a protocol run to count how many key
     derivations the run performed. HMAC is the only keyed primitive on
     the aggregation hot path, so the delta *is* the derivation count.
+    Now backed by the ``crypto.hmac.calls`` counter in the default
+    :mod:`repro.obs` registry; resets when that registry resets.
     """
-    return _hmac_invocations
+    return int(_HMAC_CALLS.value)
 
 
 def verify_hmac(key: bytes, message: bytes, tag: bytes) -> bool:

@@ -21,19 +21,26 @@ Handler = Callable[[str, Any], None]  # (sender_address, payload)
 
 @dataclass
 class NetworkStats:
-    """Cumulative traffic counters (the unit experiment E9 reports)."""
+    """Cumulative traffic counters (the unit experiment E9 reports).
+
+    ``per_link`` keeps its historical meaning (message counts);
+    ``per_link_bytes`` tracks the bytes each directed link carried,
+    which is what the E9 traffic tables actually bill.
+    """
 
     messages: int = 0
     bytes: int = 0
     dropped: int = 0
     queued: int = 0
     per_link: dict[tuple[str, str], int] = field(default_factory=dict)
+    per_link_bytes: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def record(self, source: str, destination: str, size: int) -> None:
         self.messages += 1
         self.bytes += size
         link = (source, destination)
         self.per_link[link] = self.per_link.get(link, 0) + 1
+        self.per_link_bytes[link] = self.per_link_bytes.get(link, 0) + size
 
 
 class Network:
@@ -51,6 +58,16 @@ class Network:
         self._bandwidth: dict[str, float] = {}
         self._queues: dict[str, list[tuple[str, Any, int]]] = {}
         self.stats = NetworkStats()
+        metrics = world.obs.metrics
+        self._events = world.obs.events
+        self._messages_metric = metrics.counter(
+            "net.messages", help="messages delivered")
+        self._bytes_metric = metrics.counter(
+            "net.bytes", help="payload bytes delivered")
+        self._dropped_metric = metrics.counter(
+            "net.dropped", help="sends rejected: destination offline")
+        self._queued_metric = metrics.counter(
+            "net.queued", help="sends parked for an offline destination")
 
     def register(
         self,
@@ -82,6 +99,10 @@ class Network:
         self._online[address] = online
         if online and not was_online:
             pending, self._queues[address] = self._queues[address], []
+            if pending:
+                self._events.emit(
+                    "network.flush", address=address, count=len(pending)
+                )
             for source, payload, size in pending:
                 self._deliver(source, address, payload, size)
 
@@ -109,13 +130,25 @@ class Network:
             if queue_if_offline:
                 self._queues[destination].append((source, payload, size_bytes))
                 self.stats.queued += 1
+                self._queued_metric.inc()
+                self._events.emit(
+                    "network.queue", source=source, destination=destination,
+                    size=size_bytes,
+                )
                 return
             self.stats.dropped += 1
+            self._dropped_metric.inc()
+            self._events.emit(
+                "network.drop", source=source, destination=destination,
+                size=size_bytes,
+            )
             raise CellOfflineError(f"destination {destination!r} is offline")
         self._deliver(source, destination, payload, size_bytes)
 
     def _deliver(self, source: str, destination: str, payload: Any, size: int) -> None:
         self.stats.record(source, destination, size)
+        self._messages_metric.inc()
+        self._bytes_metric.inc(size)
         transfer_seconds = self._latency_s[source] + (
             size / self._bandwidth[source] if size else 0.0
         )

@@ -1,0 +1,101 @@
+"""Simulation-wide observability: metrics, span tracing, event logs.
+
+Three pillars, one facade:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — ``Counter`` / ``Gauge``
+  / ``Histogram`` instruments with label sets;
+* :class:`~repro.obs.tracing.Tracer` — nestable spans stamped with
+  sim-time (per-:class:`~repro.sim.world.World`) or wall time (process
+  default), exportable as a flame-ready JSON trace;
+* :class:`~repro.obs.events.EventLog` — structured protocol events
+  (mask rounds, vault detections, policy decisions, network drops).
+
+Two instances matter:
+
+* ``world.obs`` — per-:class:`~repro.sim.world.World`, stamped with
+  the world's :class:`~repro.sim.clock.SimClock`. Everything holding a
+  world (network, vault, replicator, async aggregation) records here.
+* :func:`get_default` — the process-wide instance used by components
+  with no world (crypto primitives, synchronous aggregation, policy
+  evaluation, audit logs, the time-series store) and dumped by
+  ``python -m repro obs``. It is a singleton that is **reset in
+  place**, never replaced, so modules may bind instruments at import
+  time; the test suite resets it between tests (``tests/conftest.py``).
+
+Disabling (``obs.disable()``) switches every pillar to a cheap no-op
+mode: spans become a shared do-nothing object, events return after one
+flag check, and only ``always=True`` counters (protocol-cost oracles
+like the HMAC counter) keep counting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .events import EventLog
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import Span, Tracer
+
+EXPORT_SCHEMA_VERSION = 1
+
+
+class Observability:
+    """One coherent observability scope: metrics + tracer + events."""
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 enabled: bool = True, max_spans: int = 20000,
+                 event_capacity: int = 10000) -> None:
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(clock, enabled=enabled, max_spans=max_spans)
+        self.events = EventLog(clock, enabled=enabled, capacity=event_capacity)
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled
+
+    def enable(self) -> None:
+        self.metrics.enable()
+        self.tracer.enable()
+        self.events.enable()
+
+    def disable(self) -> None:
+        self.metrics.disable()
+        self.tracer.disable()
+        self.events.disable()
+
+    def reset(self) -> None:
+        """Clear all recorded data in place (instruments stay bound)."""
+        self.metrics.reset()
+        self.tracer.reset()
+        self.events.reset()
+
+    def export(self) -> dict[str, Any]:
+        """The stable JSON export consumed by benches and the CLI."""
+        return {
+            "schema": EXPORT_SCHEMA_VERSION,
+            "metrics": self.metrics.snapshot(),
+            "trace": self.tracer.export(),
+            "events": self.events.export(),
+        }
+
+
+_DEFAULT = Observability()
+
+
+def get_default() -> Observability:
+    """The process-default observability scope (a stable singleton)."""
+    return _DEFAULT
+
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "EXPORT_SCHEMA_VERSION",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "get_default",
+]

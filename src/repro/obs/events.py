@@ -1,0 +1,82 @@
+"""Structured protocol event log.
+
+Where metrics answer "how many / how fast", events answer "what
+happened": one record per protocol-level occurrence — a mask
+derivation round, a vault integrity detection, a policy decision, a
+network drop — with whatever fields the emitter finds relevant.
+Experiments read them to build tables; the accountability layer reads
+them as the raw material for an audit trail.
+
+Records are plain dicts ``{"seq": int, "t": <clock>, "kind": str,
+**fields}`` kept in a bounded deque (oldest evicted first), so the
+log is safe to leave enabled in soak runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+
+
+class EventLog:
+    """Bounded, append-only structured event log."""
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 enabled: bool = True, capacity: int = 10000) -> None:
+        if capacity < 1:
+            raise ConfigurationError("event log capacity must be >= 1")
+        self._clock = clock
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+        self.emitted = 0  # total ever, including evicted records
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record: dict[str, Any] = {"seq": self._seq, "kind": kind}
+        if self._clock is not None:
+            record["t"] = self._clock()
+        record.update(fields)
+        self._seq += 1
+        self.emitted += 1
+        self._events.append(record)
+
+    # -- querying ---------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[dict[str, Any]]:
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event["kind"] == kind]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        return dict(sorted(counts.items()))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._seq = 0
+        self.emitted = 0
+
+    def export(self) -> dict[str, Any]:
+        """JSON-ready export: retained records plus totals."""
+        return {
+            "events": [dict(event) for event in self._events],
+            "emitted": self.emitted,
+            "retained": len(self._events),
+        }

@@ -1,0 +1,167 @@
+"""Sim-time span tracing.
+
+A span brackets one protocol phase (an aggregation round, a vault
+push, a recovery poll) and is stamped with the *simulation* clock when
+the tracer belongs to a :class:`~repro.sim.world.World` — so a trace
+of an asynchronous protocol reads in protocol time, not host time.
+The process-default tracer (no world) stamps with ``time.perf_counter``
+so benchmark spans carry real durations.
+
+Spans nest: the tracer keeps an open-span stack, and every finished
+span records its depth and its parent's id, which is exactly the shape
+a flame-style renderer needs::
+
+    with tracer.span("agg.round", protocol="masked", n=100):
+        with tracer.span("agg.recovery"):
+            ...
+
+Finished spans are capped at ``max_spans`` (oldest kept, newest
+dropped and counted) so a long soak cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+
+class Span:
+    """One bracketed operation; use as a context manager."""
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "attrs",
+                 "start", "end", "depth", "error")
+
+    def __init__(self, tracer: "Tracer", span_id: int, parent_id: int | None,
+                 name: str, attrs: dict[str, Any], start: float,
+                 depth: int) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: float | None = None
+        self.depth = depth
+        self.error = False
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to an open span (e.g. a result count)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.error = exc_type is not None
+        self.tracer._finish(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects nested spans stamped by a clock callable."""
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 enabled: bool = True, max_spans: int = 20000) -> None:
+        self._clock = clock or time.perf_counter
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self._stack: list[Span] = []
+        self._finished: list[Span] = []
+        self._next_id = 0
+        self.dropped = 0
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; returns a context manager (no-op when disabled)."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            self, self._next_id,
+            parent.span_id if parent is not None else None,
+            name, attrs, self._clock(), len(self._stack),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._clock()
+        # tolerate out-of-order exits (a caller keeping spans manually)
+        if span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        if len(self._finished) < self.max_spans:
+            self._finished.append(span)
+        else:
+            self.dropped += 1
+
+    # -- querying / export -------------------------------------------------------
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """Finished spans, optionally filtered by name."""
+        if name is None:
+            return list(self._finished)
+        return [span for span in self._finished if span.name == name]
+
+    def last(self, name: str) -> Span | None:
+        for span in reversed(self._finished):
+            if span.name == name:
+                return span
+        return None
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._finished.clear()
+        self._next_id = 0
+        self.dropped = 0
+
+    def export(self) -> dict[str, Any]:
+        """JSON-ready trace: flat span list plus bookkeeping."""
+        return {
+            "spans": [span.to_dict() for span in self._finished],
+            "dropped": self.dropped,
+        }

@@ -25,8 +25,15 @@ from typing import Any
 from ..crypto.aead import SealedBlob, open_sealed, seal
 from ..crypto.primitives import hmac_sha256, sha256, verify_hmac
 from ..errors import IntegrityError
+from ..obs import get_default as _obs_default
 
 _GENESIS = sha256(b"audit-genesis")
+
+_OBS = _obs_default()
+_ENTRIES = _OBS.metrics.counter(
+    "audit.entries", help="audit-log entries appended",
+    labelnames=("allowed",),
+)
 
 
 @dataclass(frozen=True)
@@ -105,6 +112,11 @@ class AuditLog:
             previous_hash=previous,
         )
         self._entries.append(entry)
+        _ENTRIES.labels(allowed=str(allowed).lower()).inc()
+        _OBS.events.emit(
+            "audit.append", timestamp=timestamp, subject=subject,
+            object_id=object_id, action=action, allowed=allowed,
+        )
         return entry
 
     def entries(self) -> list[AuditEntry]:

@@ -29,7 +29,16 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import PolicyError
+from ..obs import get_default as _obs_default
 from .conditions import AccessContext, Condition, condition_from_dict
+
+# Policies are evaluated by whichever cell enforces them and carry no
+# world reference, so decisions land in the process-default scope.
+_OBS = _obs_default()
+_DECISIONS = _OBS.metrics.counter(
+    "policy.decisions", help="usage-control evaluations",
+    labelnames=("outcome",),
+)
 
 # Rights a policy can grant.
 RIGHT_READ = "read"
@@ -156,6 +165,19 @@ class UsagePolicy:
         """
         if right not in ALL_RIGHTS:
             raise PolicyError(f"unknown right {right!r}")
+        decision = self._decide(right, context, prior_uses)
+        _DECISIONS.labels(
+            outcome="granted" if decision.allowed else "denied"
+        ).inc()
+        _OBS.events.emit(
+            "policy.decision", owner=self.owner, subject=context.subject,
+            right=right, allowed=decision.allowed, reason=decision.reason,
+        )
+        return decision
+
+    def _decide(
+        self, right: str, context: AccessContext, prior_uses: int
+    ) -> Decision:
         if right not in self.rights_of(context):
             return Decision(False, f"no grant of {right!r} for {context.subject!r}")
         for condition in self.conditions:

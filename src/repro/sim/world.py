@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..errors import ConfigurationError
+from ..obs import Observability
 from .clock import SimClock
 from .events import EventLoop
 from .rng import SeedSequence
@@ -23,10 +24,16 @@ class World:
     walkthrough registers Alice's gateway as ``"alice-gateway"``).
     """
 
-    def __init__(self, seed: int = 0, start_time: int = 0) -> None:
+    def __init__(self, seed: int = 0, start_time: int = 0,
+                 obs: Observability | None = None) -> None:
         self.clock = SimClock(start_time)
         self.loop = EventLoop(self.clock)
         self.seeds = SeedSequence(seed)
+        # Per-world observability scope, stamped with *simulated* time;
+        # pass a shared instance to merge several worlds into one view.
+        self.obs = obs if obs is not None else Observability(
+            clock=lambda: float(self.clock.now)
+        )
         self._entities: dict[str, Any] = {}
 
     @property

@@ -20,7 +20,19 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError, QueryError
+from ..obs import get_default as _obs_default
 from ..sim.clock import SECONDS_PER_DAY, SECONDS_PER_MONTH
+
+# Series live inside cells and in standalone workloads alike, so their
+# cache accounting goes to the process-default scope. Hit/miss deltas
+# are how the E2/E3/E12 workloads verify the resample memo keeps paying.
+_OBS = _obs_default()
+_RESAMPLE_HITS = _OBS.metrics.counter(
+    "store.resample.hits", help="resample calls answered from the memo")
+_RESAMPLE_MISSES = _OBS.metrics.counter(
+    "store.resample.misses", help="resample calls that aggregated afresh")
+_APPENDS = _OBS.metrics.counter(
+    "store.appends", help="samples appended across all series")
 
 GRANULARITY_RAW = 1  # 1 Hz, the Linky feed
 GRANULARITY_15_MIN = 15 * 60
@@ -80,6 +92,7 @@ class TimeSeries:
             )
         self._timestamps.append(int(timestamp))
         self._values.append(float(value))
+        _APPENDS.inc()
         if self._bucket_cache:
             self._bucket_cache.clear()
 
@@ -107,6 +120,7 @@ class TimeSeries:
             return
         self._timestamps.extend(timestamps)
         self._values.extend(values)
+        _APPENDS.inc(len(timestamps))
         if self._bucket_cache:
             self._bucket_cache.clear()
 
@@ -170,7 +184,9 @@ class TimeSeries:
             raise ConfigurationError("bucket width must be positive")
         cached = self._bucket_cache.get((width, align))
         if cached is not None:
+            _RESAMPLE_HITS.inc()
             return list(cached)
+        _RESAMPLE_MISSES.inc()
         buckets: list[Bucket] = []
         current_start: int | None = None
         count = 0

@@ -63,6 +63,18 @@ class Replicator:
         self._dirty_since: dict[str, int] = {}
         self.stats = ReplicationStats()
         self._handle: EventHandle | None = None
+        obs = self.cell.world.obs
+        self._obs = obs
+        self._ticks_metric = obs.metrics.counter(
+            "sync.ticks", help="replicator wake-ups",
+            labelnames=("outcome",))
+        self._pushed_metric = obs.metrics.counter(
+            "sync.objects_pushed", help="dirty objects replicated")
+        self._staleness_metric = obs.metrics.histogram(
+            "sync.staleness_seconds",
+            help="seconds a dirty object waited before reaching the vault",
+            buckets=(60, 300, 900, 3600, 4 * 3600, 24 * 3600, float("inf")),
+        )
 
     # -- dirtiness tracking --------------------------------------------------
 
@@ -102,19 +114,33 @@ class Replicator:
         dirty = self.dirty_objects()
         if self._rng.random() >= self.availability:
             self.stats.offline_ticks += 1
+            self._ticks_metric.labels(outcome="offline").inc()
+            self._obs.events.emit(
+                "sync.tick", cell=self.cell.name, outcome="offline",
+                dirty=len(dirty),
+            )
             return 0
         now = self.cell.world.now
         pushed = 0
-        for object_id in dirty:
-            self.vault.push(object_id)
-            self._pushed_versions[object_id] = (
-                self.cell._envelopes[object_id].version
-            )
-            waited = now - self._dirty_since.pop(object_id, now)
-            self.stats.staleness_samples.append(waited)
-            self.stats.max_staleness = max(self.stats.max_staleness, waited)
-            pushed += 1
+        with self._obs.tracer.span(
+            "sync.tick", cell=self.cell.name, dirty=len(dirty)
+        ):
+            for object_id in dirty:
+                self.vault.push(object_id)
+                self._pushed_versions[object_id] = (
+                    self.cell._envelopes[object_id].version
+                )
+                waited = now - self._dirty_since.pop(object_id, now)
+                self.stats.staleness_samples.append(waited)
+                self.stats.max_staleness = max(self.stats.max_staleness, waited)
+                self._staleness_metric.observe(waited)
+                pushed += 1
         self.stats.objects_pushed += pushed
+        self._ticks_metric.labels(outcome="online").inc()
+        self._pushed_metric.inc(pushed)
+        self._obs.events.emit(
+            "sync.tick", cell=self.cell.name, outcome="online", pushed=pushed
+        )
         return pushed
 
     @property

@@ -33,6 +33,16 @@ class VaultClient:
         self.fetches = 0
         self.bytes_pushed = 0
         self.detections: list[dict] = []
+        obs = cell.world.obs
+        self._obs = obs
+        self._pushes_metric = obs.metrics.counter(
+            "vault.pushes", help="envelopes pushed to cloud vaults")
+        self._push_bytes_metric = obs.metrics.counter(
+            "vault.bytes_pushed", help="envelope bytes pushed to cloud vaults")
+        self._fetches_metric = obs.metrics.counter(
+            "vault.fetches", help="envelopes fetched from cloud vaults")
+        self._detections_metric = obs.metrics.counter(
+            "vault.detections", help="integrity violations filed as evidence")
 
     # -- key naming -----------------------------------------------------------
 
@@ -49,14 +59,25 @@ class VaultClient:
         vault manifest (the object inventory a replacement device needs
         after recovery from escrow).
         """
-        envelope = self.cell.envelope_for(object_id)
-        key = self.vault_key(object_id)
-        self.cloud.put_object(key, envelope.to_bytes())
-        self.cell.tee.store_secret(f"vault-version:{object_id}", envelope.version)
-        self._refresh_manifest_root()
-        self._write_manifest()
+        with self._obs.tracer.span(
+            "vault.push", cell=self.cell.name, object_id=object_id
+        ):
+            envelope = self.cell.envelope_for(object_id)
+            key = self.vault_key(object_id)
+            self.cloud.put_object(key, envelope.to_bytes())
+            self.cell.tee.store_secret(
+                f"vault-version:{object_id}", envelope.version
+            )
+            self._refresh_manifest_root()
+            self._write_manifest()
         self.pushes += 1
         self.bytes_pushed += envelope.size
+        self._pushes_metric.inc()
+        self._push_bytes_metric.inc(envelope.size)
+        self._obs.events.emit(
+            "vault.push", cell=self.cell.name, object_id=object_id,
+            version=envelope.version, bytes=envelope.size,
+        )
         return key
 
     def push_all(self) -> int:
@@ -184,6 +205,7 @@ class VaultClient:
                 f"{envelope.version} < anchored {anchor}"
             )
         self.fetches += 1
+        self._fetches_metric.inc()
         return envelope
 
     def verified_fetch(self, object_id: str, owner_cell: str | None = None) -> DataEnvelope:
@@ -252,4 +274,8 @@ class VaultClient:
 
     def _file(self, key: str, reason: str) -> None:
         self.detections.append({"key": key, "reason": reason, "at": self.cell.world.now})
+        self._detections_metric.inc()
+        self._obs.events.emit(
+            "vault.detect", cell=self.cell.name, key=key, reason=reason
+        )
         self.cloud.file_evidence(self.cell.name, key, reason)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.obs import get_default
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Reset the process-default observability scope around every test.
+
+    The default scope is a process singleton (the HMAC derivation
+    counter, aggregation round metrics, policy/audit events all live
+    there); without this reset its state would bleed across tests the
+    way the old ``_hmac_invocations`` module global did. Reset happens
+    in place — instruments bound at module import stay valid — and the
+    scope is re-enabled in case a test disabled it.
+    """
+    obs = get_default()
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+    obs.enable()
