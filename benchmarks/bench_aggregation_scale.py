@@ -251,10 +251,77 @@ def _observability_section(overhead_n: int, neighbors: int) -> dict:
     }
 
 
+FULL_RESILIENCE_SEEDS = (1, 2, 4)
+FULL_RESILIENCE_HORIZON = 8 * 3600
+
+SMOKE_RESILIENCE_SEEDS = (1, 2)
+SMOKE_RESILIENCE_HORIZON = 4 * 3600
+
+
+def _resilience_section(seeds, n_cells: int = 4,
+                        horizon: int = FULL_RESILIENCE_HORIZON) -> dict:
+    """Chaos rows for the tracked JSON: the full stack per fault
+    profile, with the fault/retry counter totals each run recorded.
+
+    Each run owns a fresh ``World`` (its own observability scope), so
+    the totals are per-row, not cumulative across the matrix. The
+    ``quiet`` rows are the control: with the injector idle they must
+    record zero faults and zero retries — that is the guarded
+    no-fault-path claim, the fault plane's analogue of the
+    observability overhead ratio above.
+    """
+    from repro.faults import FaultPlan
+    from repro.faults.scenario import cell_addresses, run_chaos_scenario
+
+    def plan_for(profile: str, seed: int) -> "FaultPlan":
+        if profile == "quiet":
+            return FaultPlan.quiet(seed=seed)
+        if profile == "lossy":
+            return FaultPlan.lossy(seed=seed)
+        return FaultPlan.stormy(seed=seed, addresses=cell_addresses(n_cells))
+
+    rows = []
+    for profile in ("quiet", "lossy", "stormy+churn"):
+        for seed in seeds:
+            report = run_chaos_scenario(
+                seed, plan_for(profile, seed), n_cells=n_cells,
+                horizon=horizon,
+            )
+            rows.append({
+                "profile": profile,
+                "seed": seed,
+                "converged": report.converged,
+                "aggregation": (
+                    ("partial" if report.agg_partial else "complete")
+                    if report.agg_complete
+                    else ("abandoned" if report.agg_failure else "hung")
+                ),
+                "faults_injected": report.faults_injected,
+                "fault_counts": report.fault_counts,
+                "retry_attempts": report.retry_attempts,
+                "retry_exhausted": report.retry_exhausted,
+                "push_failures": report.push_failures,
+                "max_staleness_s": report.max_staleness,
+            })
+    control = [row for row in rows if row["profile"] == "quiet"]
+    return {
+        "schema": 1,
+        "n_cells": n_cells,
+        "horizon_s": horizon,
+        "rows": rows,
+        "no_fault_path_clean": all(
+            row["faults_injected"] == 0 and row["retry_attempts"] == 0
+            and row["push_failures"] == 0 for row in control
+        ),
+    }
+
+
 def build_report(sizes=FULL_SIZES, neighbors=FULL_NEIGHBORS,
                  histogram_n=FULL_HISTOGRAM_N,
                  histogram_buckets=FULL_HISTOGRAM_BUCKETS,
-                 include_legacy: bool = True) -> dict:
+                 include_legacy: bool = True,
+                 resilience_seeds=FULL_RESILIENCE_SEEDS,
+                 resilience_horizon: int = FULL_RESILIENCE_HORIZON) -> dict:
     OBS.reset()
     OBS.enable()
     rows = []
@@ -276,6 +343,9 @@ def build_report(sizes=FULL_SIZES, neighbors=FULL_NEIGHBORS,
             histogram_n, histogram_buckets, include_legacy=include_legacy
         ),
         "observability": _observability_section(min(sizes), neighbors),
+        "resilience": _resilience_section(
+            resilience_seeds, horizon=resilience_horizon
+        ),
     }
 
 
@@ -298,6 +368,8 @@ def test_aggregation_scale_smoke():
         histogram_n=SMOKE_HISTOGRAM_N,
         histogram_buckets=SMOKE_HISTOGRAM_BUCKETS,
         include_legacy=True,
+        resilience_seeds=SMOKE_RESILIENCE_SEEDS,
+        resilience_horizon=SMOKE_RESILIENCE_HORIZON,
     )
     json.dumps(report)  # must stay serializable
     assert all(row["exact"] for row in report["masked_sum"])
@@ -343,6 +415,19 @@ def test_aggregation_scale_smoke():
     assert tracked_obs["schema"] == 1
     assert tracked_obs["counters"]["crypto.hmac.calls"] > 0
     assert tracked_obs["overhead"]["disabled_over_enabled"] > 0.95
+    # resilience rows: faulted runs degrade gracefully, the fault-free
+    # control rows record nothing (guarded no-fault path)
+    resilience = report["resilience"]
+    assert resilience["no_fault_path_clean"]
+    assert all(row["converged"] for row in resilience["rows"])
+    assert all(row["aggregation"] in ("complete", "partial", "abandoned")
+               for row in resilience["rows"])
+    faulted = [row for row in resilience["rows"] if row["profile"] != "quiet"]
+    assert faulted and all(row["faults_injected"] > 0 for row in faulted)
+    tracked_res = tracked["resilience"]
+    assert tracked_res["schema"] == 1
+    assert tracked_res["no_fault_path_clean"]
+    assert all(row["converged"] for row in tracked_res["rows"])
 
 
 if __name__ == "__main__":

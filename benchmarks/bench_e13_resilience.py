@@ -1,0 +1,9 @@
+"""E13 benchmark — resilience under churn: fault matrix over the full stack."""
+
+from repro.bench import e13_resilience as experiment
+
+from conftest import run_experiment
+
+
+def test_e13_resilience(benchmark, record_tables):
+    run_experiment(benchmark, experiment, record_tables, "e13_resilience")

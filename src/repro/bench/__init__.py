@@ -1,4 +1,4 @@
-"""Experiment harness: one runner per derived experiment (E1-E12).
+"""Experiment harness: one runner per derived experiment (E1-E13).
 
 Each ``eNN_*`` module exposes ``run(...) -> list[Table]`` producing the
 rows quoted in ``EXPERIMENTS.md``, and ``shape_holds(tables) -> bool``
@@ -19,6 +19,7 @@ from . import (
     e10_transformations,
     e11_adversary_detection,
     e12_usage_control,
+    e13_resilience,
 )
 from .tables import Table, print_tables
 
@@ -35,6 +36,7 @@ ALL_EXPERIMENTS = {
     "E10": e10_transformations,
     "E11": e11_adversary_detection,
     "E12": e12_usage_control,
+    "E13": e13_resilience,
 }
 
 __all__ = ["Table", "print_tables", "ALL_EXPERIMENTS"]

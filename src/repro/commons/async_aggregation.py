@@ -18,6 +18,21 @@ intermediate results)"):
    missing cells (protecting nobody: the missing contributed nothing);
 4. the aggregate completes when all recovery answers are in.
 
+Graceful degradation (``recovery_timeout`` set): recovery runs in
+bounded *rounds*. Each round re-requests net masks from every still-
+active submitter against the full current missing set; a submitter
+that does not answer within the round window is **demoted** — its
+contribution is excluded and it joins the missing set — and a fresh
+round re-requests masks for the enlarged set. The aggregate then
+completes as a *partial* result over the surviving cells (flagged
+``partial=True``) instead of hanging forever. A privacy floor aborts
+the round when fewer than two active cells remain: a "sum" over one
+cell would reveal that cell's value.
+
+With ``recovery_timeout=None`` the legacy strict behaviour is kept:
+no submissions or a survivor that never returns raise
+:class:`~repro.errors.ProtocolError`, and recovery polls indefinitely.
+
 Everything runs on the simulation event loop, so completion time under
 a given availability pattern is a measured output, not an assumption.
 """
@@ -28,7 +43,8 @@ import json
 from dataclasses import dataclass, field
 
 from ..crypto import shamir
-from ..errors import ConfigurationError, ProtocolError
+from ..errors import ConfigurationError, ProtocolError, TransientCloudError
+from ..faults.retry import RetryPolicy, retry_call
 from ..infrastructure.cloud import CloudProvider
 from ..sim.world import World
 from .aggregation import AggregationNode, _effective_degree, _masking_peers
@@ -38,11 +54,21 @@ _FIELD_ELEMENT_BYTES = 16
 
 @dataclass
 class AsyncResult:
-    """Outcome of one asynchronous aggregation round."""
+    """Outcome of one asynchronous aggregation round.
+
+    ``partial`` marks a degraded completion: ``demoted`` lists the
+    submitters whose contributions had to be excluded because they
+    stopped answering recovery requests. ``failure`` is set (and
+    ``total`` stays None) when the round had to be abandoned —
+    the reason string says why.
+    """
 
     total: int | None = None
     submitted: list[str] = field(default_factory=list)
     missing: list[str] = field(default_factory=list)
+    demoted: list[str] = field(default_factory=list)
+    partial: bool = False
+    failure: str | None = None
     completed_at: int | None = None
     messages: int = 0
     bytes: int = 0
@@ -71,15 +97,25 @@ class AsyncMaskedAggregation:
         wake_times: dict[str, list[int]],
         poll_period: int = 300,
         neighbors: int | None = None,
+        recovery_timeout: int | None = None,
+        max_recovery_rounds: int = 3,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         """``wake_times[name]`` lists the instants a cell is online;
         an empty list models a cell that never shows up.
         ``neighbors=k`` masks over the k-regular ring graph (see
-        :class:`~repro.commons.aggregation.MaskedSum`)."""
+        :class:`~repro.commons.aggregation.MaskedSum`).
+        ``recovery_timeout`` (seconds) bounds each recovery round and
+        enables demotion/partial fallback; ``retry_policy`` retries
+        transient cloud failures on every mailbox round-trip."""
         if len(nodes) < 2:
             raise ConfigurationError("need at least two participants")
         if deadline <= world.now:
             raise ConfigurationError("deadline must be in the future")
+        if recovery_timeout is not None and recovery_timeout < 1:
+            raise ConfigurationError("recovery_timeout must be >= 1 second")
+        if max_recovery_rounds < 1:
+            raise ConfigurationError("max_recovery_rounds must be >= 1")
         self.world = world
         self.cloud = cloud
         self.nodes = nodes
@@ -88,10 +124,18 @@ class AsyncMaskedAggregation:
         self.deadline = deadline
         self.wake_times = wake_times
         self.poll_period = poll_period
+        self.recovery_timeout = recovery_timeout
+        self.max_recovery_rounds = max_recovery_rounds
+        self.retry_policy = retry_policy
+        self._retry_rng = world.rng(f"agg-retry:{round_tag}")
         self._degree = _effective_degree(len(nodes), neighbors)
         self.result = AsyncResult()
         self._order = {node.name: i for i, node in enumerate(nodes)}
         self._by_name = {node.name: node for node in nodes}
+        self._contributions: dict[str, int] = {}
+        self._active: set[str] = set()
+        self._round = 0
+        self._round_answers: dict[str, int] = {}
         self._recovery_needed: set[str] = set()
         self._recovery_total = 0
 
@@ -104,6 +148,27 @@ class AsyncMaskedAggregation:
     @property
     def _recovery_box(self) -> str:
         return f"agg/{self.round_tag}/recovery"
+
+    # -- resilient mailbox I/O ----------------------------------------------
+
+    def _cloud_post(self, mailbox: str, sender: str, payload: bytes) -> None:
+        if self.retry_policy is None:
+            self.cloud.post_message(mailbox, sender, payload)
+            return
+        retry_call(
+            lambda: self.cloud.post_message(mailbox, sender, payload),
+            policy=self.retry_policy, obs=self.world.obs,
+            rng=self._retry_rng, operation="agg.post",
+        )
+
+    def _cloud_fetch(self, mailbox: str) -> list[tuple[str, bytes]]:
+        if self.retry_policy is None:
+            return self.cloud.fetch_messages(mailbox)
+        return retry_call(
+            lambda: self.cloud.fetch_messages(mailbox),
+            policy=self.retry_policy, obs=self.world.obs,
+            rng=self._retry_rng, operation="agg.fetch",
+        )
 
     # -- node-side behaviour --------------------------------------------------
 
@@ -144,18 +209,55 @@ class AsyncMaskedAggregation:
             payload = json.dumps(
                 {"from": node.name, "masked": self._masked_value(node)}
             ).encode()
-            self.cloud.post_message(self._contrib_box, node.name, payload)
+            try:
+                self._cloud_post(self._contrib_box, node.name, payload)
+            except TransientCloudError:
+                self._resubmit_later(node)
+                return
         self.result.messages += 1
         self.result.bytes += _FIELD_ELEMENT_BYTES
         self.world.obs.events.emit(
             "agg.async.submit", node=node.name, round_tag=self.round_tag
         )
 
-    def _answer_recovery(self, node: AggregationNode, missing: list[str]) -> None:
-        payload = json.dumps(
-            {"from": node.name, "net_mask": self._net_recovery_mask(node, missing)}
-        ).encode()
-        self.cloud.post_message(self._recovery_box, node.name, payload)
+    def _resubmit_later(self, node: AggregationNode) -> None:
+        """Retries an exhausted submission at the cell's next wake-up
+        before the deadline; with none left the cell goes missing."""
+        upcoming = [
+            t for t in sorted(self.wake_times.get(node.name, ()))
+            if self.world.now < t <= self.deadline
+        ]
+        self.world.obs.events.emit(
+            "agg.async.submit_failed", node=node.name,
+            round_tag=self.round_tag, will_retry=bool(upcoming),
+        )
+        if upcoming:
+            self.world.loop.schedule_at(
+                upcoming[0], lambda: self._submit(node),
+                label=f"resubmit {node.name}",
+            )
+
+    def _answer_recovery(
+        self,
+        node: AggregationNode,
+        missing: list[str],
+        round_index: int | None = None,
+    ) -> None:
+        if round_index is not None and (
+            round_index != self._round or node.name not in self._active
+        ):
+            return  # stale request: a later round superseded this one
+        body = {"from": node.name, "net_mask": self._net_recovery_mask(node, missing)}
+        if round_index is not None:
+            body["round"] = round_index
+        try:
+            self._cloud_post(
+                self._recovery_box, node.name, json.dumps(body).encode()
+            )
+        except TransientCloudError:
+            # counts as a non-answer; round-close demotes or next poll
+            # never sees it — the fault plane recorded the failure
+            return
         self.result.messages += 1
         self.result.bytes += _FIELD_ELEMENT_BYTES
         self.world.obs.events.emit(
@@ -180,22 +282,49 @@ class AsyncMaskedAggregation:
         )
 
     def _close_submissions(self) -> None:
-        contributions = self.cloud.fetch_messages(self._contrib_box)
-        total = 0
+        try:
+            contributions = self._cloud_fetch(self._contrib_box)
+        except TransientCloudError:
+            # the mailbox persists; close again after a poll period
+            self.world.obs.events.emit(
+                "agg.async.close_deferred", round_tag=self.round_tag
+            )
+            self.world.loop.schedule_in(
+                self.poll_period, self._close_submissions,
+                label="aggregate deadline (deferred)",
+            )
+            return
         for _, payload in contributions:
             body = json.loads(payload.decode())
-            total = (total + body["masked"]) % shamir.PRIME
-            self.result.submitted.append(body["from"])
-        self.result.submitted.sort()
+            self._contributions[body["from"]] = body["masked"]
+        self.result.submitted = sorted(self._contributions)
         self.result.missing = sorted(
             set(self._order) - set(self.result.submitted)
         )
-        self._recovery_total = total
         if not self.result.missing:
+            total = 0
+            for masked in self._contributions.values():
+                total = (total + masked) % shamir.PRIME
             self._finish(total)
             return
         if not self.result.submitted:
-            raise ProtocolError("no cell submitted before the deadline")
+            if self.recovery_timeout is None:
+                raise ProtocolError("no cell submitted before the deadline")
+            self._abandon("no cell submitted before the deadline")
+            return
+        if self.recovery_timeout is None:
+            self._legacy_recovery()
+            return
+        self._active = set(self.result.submitted)
+        self._start_recovery_round()
+
+    # -- strict (legacy) recovery ---------------------------------------------
+
+    def _legacy_recovery(self) -> None:
+        total = 0
+        for masked in self._contributions.values():
+            total = (total + masked) % shamir.PRIME
+        self._recovery_total = total
         # ask every submitted cell for its net mask with the missing set
         self._recovery_needed = set(self.result.submitted)
         for name in self.result.submitted:
@@ -216,7 +345,11 @@ class AsyncMaskedAggregation:
         self._poll_recovery()
 
     def _poll_recovery(self) -> None:
-        for _, payload in self.cloud.fetch_messages(self._recovery_box):
+        try:
+            messages = self._cloud_fetch(self._recovery_box)
+        except TransientCloudError:
+            messages = []  # the next poll will pick them up
+        for _, payload in messages:
             body = json.loads(payload.decode())
             self._recovery_total = (
                 self._recovery_total - body["net_mask"]
@@ -229,6 +362,115 @@ class AsyncMaskedAggregation:
             self.poll_period, self._poll_recovery, label="recovery poll"
         )
 
+    # -- bounded (degrading) recovery -------------------------------------------
+
+    def _current_missing(self) -> list[str]:
+        return sorted(set(self._order) - self._active)
+
+    def _start_recovery_round(self) -> None:
+        self._round += 1
+        if self._round > self.max_recovery_rounds:
+            self._abandon(
+                f"recovery exceeded {self.max_recovery_rounds} rounds"
+            )
+            return
+        if len(self._active) < 2:
+            self._abandon(
+                "fewer than two active cells remain (privacy floor)"
+            )
+            return
+        missing = self._current_missing()
+        self._round_answers = {}
+        round_index = self._round
+        start = self.world.now
+        close_at = start + self.recovery_timeout
+        self.world.obs.events.emit(
+            "agg.async.rerequest", round_tag=self.round_tag,
+            round=round_index, active=len(self._active), missing=len(missing),
+        )
+        for name in sorted(self._active):
+            node = self._by_name[name]
+            in_window = [
+                t for t in sorted(self.wake_times.get(name, ()))
+                if start < t <= close_at
+            ]
+            if in_window:
+                self.world.loop.schedule_at(
+                    in_window[0],
+                    lambda n=node, m=missing, r=round_index:
+                        self._answer_recovery(n, m, r),
+                    label=f"recovery r{round_index} {name}",
+                )
+            # no wake in the window: the round deadline will demote it
+        self.world.loop.schedule_at(
+            close_at, lambda r=round_index: self._close_recovery_round(r),
+            label=f"recovery round {round_index} deadline",
+        )
+
+    def _close_recovery_round(self, round_index: int) -> None:
+        if self.result.complete or self.result.failure is not None:
+            return
+        if round_index != self._round:
+            return  # a deferred close raced a newer round
+        try:
+            messages = self._cloud_fetch(self._recovery_box)
+        except TransientCloudError:
+            # answers persist in the mailbox; extend the round slightly
+            self.world.loop.schedule_in(
+                self.poll_period,
+                lambda: self._close_recovery_round(round_index),
+                label=f"recovery round {round_index} deadline (deferred)",
+            )
+            return
+        for _, payload in messages:
+            body = json.loads(payload.decode())
+            if body.get("round") != round_index:
+                continue  # answer to a superseded missing set
+            if body["from"] not in self._active:
+                continue
+            self._round_answers[body["from"]] = body["net_mask"]
+        laggards = self._active - set(self._round_answers)
+        if not laggards:
+            total = 0
+            for name in self._active:
+                total = (total + self._contributions[name]) % shamir.PRIME
+            for net_mask in self._round_answers.values():
+                total = (total - net_mask) % shamir.PRIME
+            self.result.missing = self._current_missing()
+            self.result.partial = bool(self.result.demoted)
+            self._finish(total)
+            return
+        demoted_metric = self.world.obs.metrics.counter(
+            "agg.async.demoted",
+            help="submitters excluded after missing a recovery round",
+        )
+        for name in sorted(laggards):
+            self._active.discard(name)
+            self.result.demoted.append(name)
+            demoted_metric.inc()
+            self.world.obs.events.emit(
+                "agg.async.demote", round_tag=self.round_tag, node=name,
+                round=round_index,
+            )
+        self._start_recovery_round()
+
+    # -- terminal states ---------------------------------------------------------
+
+    def _abandon(self, reason: str) -> None:
+        self.result.failure = reason
+        self.result.partial = True
+        self.result.missing = (
+            self._current_missing() if self._active or self.result.demoted
+            else sorted(self._order)
+        )
+        self.world.obs.events.emit(
+            "agg.async.abandoned", round_tag=self.round_tag, reason=reason,
+            demoted=len(self.result.demoted),
+        )
+        self.world.obs.metrics.counter(
+            "agg.async.abandoned", help="async aggregations abandoned"
+        ).inc()
+
     def _finish(self, total: int) -> None:
         self.result.total = total
         self.result.completed_at = self.world.now
@@ -236,12 +478,18 @@ class AsyncMaskedAggregation:
             "agg.async.complete", round_tag=self.round_tag,
             submitted=len(self.result.submitted),
             missing=len(self.result.missing),
+            partial=self.result.partial,
             messages=self.result.messages,
         )
         metrics = self.world.obs.metrics
         metrics.counter(
             "agg.async.completed", help="async aggregations completed"
         ).inc()
+        if self.result.partial:
+            metrics.counter(
+                "agg.async.partial",
+                help="async aggregations completed degraded (partial roster)",
+            ).inc()
         metrics.counter(
             "agg.async.messages", help="async aggregation mailbox messages"
         ).inc(self.result.messages)

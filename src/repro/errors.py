@@ -69,6 +69,16 @@ class StorageError(TrustedCellsError):
     """The embedded store or the cloud store failed operationally."""
 
 
+class TransientCloudError(StorageError):
+    """A cloud operation failed operationally but may succeed on retry.
+
+    This is the *benign* failure mode of the untrusted infrastructure
+    (overload, restart, throttling), injected by the fault plane and
+    distinct from the adversary model's malicious tampering: retrying
+    is safe and no evidence should be filed.
+    """
+
+
 class CapacityError(StorageError):
     """A hardware resource budget (RAM, flash, tamper-resistant bytes)
     was exceeded."""

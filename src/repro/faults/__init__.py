@@ -1,0 +1,49 @@
+"""Deterministic fault injection, retry/backoff, and chaos harnessing.
+
+The paper's infrastructure contract pairs *weakly available* trusted
+cells with an untrusted cloud that can fail operationally. This package
+is the fault plane that makes those failures first-class and seeded:
+
+* :class:`FaultPlan` — a pure, frozen description of the faults to
+  inject (link loss/duplication/latency, endpoint churn, transient
+  cloud put/get failures), with canned profiles for fault matrices;
+* :class:`FaultInjector` — turns one plan into deterministic decisions
+  against one :class:`~repro.sim.world.World`, recording every injected
+  fault as ``faults.injected`` counters and ``fault.*`` events;
+* :class:`RetryPolicy` / :func:`retry_call` / :func:`schedule_retry` —
+  exponential backoff with jitter, consumed in-call (instantaneous
+  cloud RPCs) or as deferred sim-time events (loop-driven components);
+* :mod:`repro.faults.scenario` (imported lazily to avoid cycles) — the
+  shared chaos scenario the soak tests and the resilience bench run.
+
+See ``docs/robustness.md`` for the fault model and retry semantics.
+"""
+
+from .injector import FaultInjector, LinkDecision
+from .plan import (
+    PROFILES,
+    ChurnSpec,
+    CloudFaultSpec,
+    FaultPlan,
+    LinkFaultSpec,
+)
+from .retry import (
+    TRANSIENT_ERRORS,
+    RetryPolicy,
+    retry_call,
+    schedule_retry,
+)
+
+__all__ = [
+    "ChurnSpec",
+    "CloudFaultSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDecision",
+    "LinkFaultSpec",
+    "PROFILES",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+    "retry_call",
+    "schedule_retry",
+]

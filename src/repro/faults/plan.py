@@ -1,0 +1,191 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is a pure description of the operational failures
+an experiment wants injected — per-link message loss/duplication/latency
+spikes, endpoint churn, and transient cloud put/get failures. It holds
+no state: the :class:`~repro.faults.injector.FaultInjector` turns one
+plan plus one seed into a deterministic stream of fault decisions, so
+the same plan replays bit-for-bit across runs.
+
+Plans model the paper's *operational* unreliability ("weakly available
+trusted cells", a cloud that can fail without being malicious); the
+adversary model in :mod:`repro.infrastructure.adversary` stays the
+place for *malicious* behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+
+
+def _check_rate(name: str, rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"{name} must be a probability, got {rate!r}")
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """Per-delivery faults on the simulated network.
+
+    Rates are per message put on the wire; a duplicated message is
+    delivered twice (both copies billed), a latency spike adds
+    ``latency_spike_s`` simulated seconds to the normal transfer time.
+    """
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_s: int = 30
+
+    def __post_init__(self) -> None:
+        _check_rate("loss_rate", self.loss_rate)
+        _check_rate("duplicate_rate", self.duplicate_rate)
+        _check_rate("latency_spike_rate", self.latency_spike_rate)
+        if self.latency_spike_s < 0:
+            raise ConfigurationError("latency_spike_s must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.loss_rate or self.duplicate_rate
+                    or self.latency_spike_rate)
+
+
+@dataclass(frozen=True)
+class CloudFaultSpec:
+    """Transient operational failures of the cloud store / message bus.
+
+    A failed ``put`` stores nothing, a failed ``get`` returns nothing;
+    both raise :class:`~repro.errors.TransientCloudError`. These are
+    *not* adversarial drops: no evidence should be filed, and a retry
+    is the correct client response.
+    """
+
+    put_failure_rate: float = 0.0
+    get_failure_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("put_failure_rate", self.put_failure_rate)
+        _check_rate("get_failure_rate", self.get_failure_rate)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.put_failure_rate or self.get_failure_rate)
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Offline/online schedule for one network endpoint.
+
+    Either give explicit ``offline_windows`` (absolute ``(start, end)``
+    intervals) or mean online/offline durations from which the injector
+    draws an alternating schedule deterministically (exponential
+    holding times, seeded per address).
+    """
+
+    address: str
+    mean_online_s: int = 3600
+    mean_offline_s: int = 600
+    offline_windows: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.address:
+            raise ConfigurationError("churn spec needs an address")
+        if self.mean_online_s < 1 or self.mean_offline_s < 1:
+            raise ConfigurationError("churn mean durations must be >= 1s")
+        for start, end in self.offline_windows:
+            if end <= start or start < 0:
+                raise ConfigurationError(
+                    f"bad offline window ({start}, {end}) for "
+                    f"{self.address!r}"
+                )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seeded, deterministic description of injected faults."""
+
+    seed: int = 0
+    link: LinkFaultSpec = field(default_factory=LinkFaultSpec)
+    cloud: CloudFaultSpec = field(default_factory=CloudFaultSpec)
+    churn: tuple[ChurnSpec, ...] = ()
+
+    @property
+    def active(self) -> bool:
+        return self.link.active or self.cloud.active or bool(self.churn)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan replayed under a different seed."""
+        return replace(self, seed=seed)
+
+    # -- canned profiles -----------------------------------------------------
+
+    @classmethod
+    def quiet(cls, seed: int = 0) -> "FaultPlan":
+        """No faults at all (the control row of a fault matrix)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def lossy(cls, seed: int = 0, loss_rate: float = 0.05) -> "FaultPlan":
+        """Message loss plus duplication and latency spikes on every link."""
+        return cls(
+            seed=seed,
+            link=LinkFaultSpec(
+                loss_rate=loss_rate,
+                duplicate_rate=0.02,
+                latency_spike_rate=0.05,
+                latency_spike_s=45,
+            ),
+        )
+
+    @classmethod
+    def flaky_cloud(cls, seed: int = 0, failure_rate: float = 0.1) -> "FaultPlan":
+        """Transient cloud put/get failures (no network faults)."""
+        return cls(
+            seed=seed,
+            cloud=CloudFaultSpec(
+                put_failure_rate=failure_rate,
+                get_failure_rate=failure_rate / 2,
+            ),
+        )
+
+    @classmethod
+    def churning(cls, seed: int = 0, addresses: tuple[str, ...] = (),
+                 mean_online_s: int = 3600,
+                 mean_offline_s: int = 900) -> "FaultPlan":
+        """Endpoint churn on the named addresses, nothing else."""
+        return cls(
+            seed=seed,
+            churn=tuple(
+                ChurnSpec(address=address, mean_online_s=mean_online_s,
+                          mean_offline_s=mean_offline_s)
+                for address in addresses
+            ),
+        )
+
+    @classmethod
+    def stormy(cls, seed: int = 0, addresses: tuple[str, ...] = ()) -> "FaultPlan":
+        """Everything at once: loss + duplication + spikes + flaky cloud
+        + churn — the profile the chaos soak runs."""
+        return cls(
+            seed=seed,
+            link=LinkFaultSpec(
+                loss_rate=0.05, duplicate_rate=0.02,
+                latency_spike_rate=0.05, latency_spike_s=45,
+            ),
+            cloud=CloudFaultSpec(put_failure_rate=0.1, get_failure_rate=0.05),
+            churn=tuple(
+                ChurnSpec(address=address, mean_online_s=2 * 3600,
+                          mean_offline_s=900)
+                for address in addresses
+            ),
+        )
+
+
+#: Named fault profiles for fault-matrix sweeps (name -> factory(seed)).
+PROFILES = {
+    "quiet": FaultPlan.quiet,
+    "lossy": FaultPlan.lossy,
+    "flaky-cloud": FaultPlan.flaky_cloud,
+}

@@ -1,0 +1,208 @@
+"""The shared chaos scenario: the whole stack under one fault plan.
+
+One function, :func:`run_chaos_scenario`, assembles the full vertical —
+network + churn, cloud + transient failures, trusted cells with vaults
+and replicators, and one asynchronous masked aggregation — runs it
+under a seeded :class:`~repro.faults.plan.FaultPlan`, and reports
+whether the system *degraded gracefully*: every replicator converged
+once connectivity returned, and the aggregation completed (possibly
+flagged partial) instead of hanging or crashing.
+
+The same scenario backs three consumers, so they cannot drift apart:
+
+* the fast fault-matrix smoke in ``tests/test_chaos.py`` (tier 1);
+* the long chaos soak (``pytest -m soak``);
+* the E13 "resilience under churn" bench table.
+
+Import this module directly (``from repro.faults.scenario import …``);
+it is deliberately not re-exported from :mod:`repro.faults` because it
+pulls in the sync and aggregation layers, which themselves import the
+fault plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..commons.aggregation import AggregationNode
+from ..commons.async_aggregation import AsyncMaskedAggregation
+from ..core import TrustedCell
+from ..hardware import SMART_TOKEN
+from ..infrastructure import CloudProvider, Network
+from ..sim.world import World
+from ..sync import Replicator, VaultClient
+from .injector import FaultInjector
+from .plan import FaultPlan
+from .retry import RetryPolicy
+
+
+def cell_addresses(n_cells: int) -> tuple[str, ...]:
+    """The endpoint names the scenario registers (for churn plans)."""
+    return tuple(f"cell-{i}" for i in range(n_cells))
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run observed (all values from the world's obs)."""
+
+    seed: int
+    plan_active: bool
+    converged: bool
+    agg_complete: bool
+    agg_partial: bool
+    agg_failure: str | None
+    agg_demoted: int
+    pings_received: int
+    faults_injected: int
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    retry_attempts: int = 0
+    retry_exhausted: int = 0
+    push_failures: int = 0
+    max_staleness: int = 0
+
+    @property
+    def degraded_gracefully(self) -> bool:
+        """The acceptance predicate: storage converged and the
+        aggregation reached a terminal state (full, partial, or a
+        *flagged* failure — never a silent hang)."""
+        return self.converged and (
+            self.agg_complete or self.agg_failure is not None
+        )
+
+
+def _counter_total(metrics, name: str) -> int:
+    counter = metrics.get(name)
+    if counter is None:
+        return 0
+    total = counter.value
+    for child in getattr(counter, "_children", {}).values():
+        total += child.value
+    return int(total)
+
+
+def run_chaos_scenario(
+    seed: int,
+    plan: FaultPlan,
+    n_cells: int = 4,
+    horizon: int = 8 * 3600,
+    replication_period: int = 900,
+    objects_per_cell: int = 3,
+    ping_period: int = 600,
+    retry_policy: RetryPolicy | None = None,
+    recovery_timeout: int | None = 1800,
+) -> ChaosReport:
+    """Run the full stack under ``plan`` for ``horizon`` sim-seconds.
+
+    Timeline: cells store ``objects_per_cell`` objects at staggered
+    times over the first quarter of the horizon; replicators tick every
+    ``replication_period`` gated on the *network's* churned online
+    state; a hub broadcasts pings every ``ping_period`` (queued for
+    offline cells); one async aggregation runs with its deadline at
+    half the horizon. After the horizon the injector is disabled and
+    the run drains for a few periods — convergence *then* is the
+    graceful-degradation claim (faults delay, they must not lose).
+    """
+    if retry_policy is None:
+        retry_policy = RetryPolicy(max_attempts=4, base_delay_s=30.0,
+                                   max_delay_s=600.0)
+    world = World(seed=seed)
+    cloud = CloudProvider(world)
+    network = Network(world)
+    injector = FaultInjector(world, plan)
+    injector.attach_network(network)
+    injector.attach_cloud(cloud)
+
+    names = cell_addresses(n_cells)
+    pings: dict[str, int] = {name: 0 for name in names}
+
+    def make_handler(name: str):
+        def handler(source: str, payload) -> None:
+            pings[name] += 1
+        return handler
+
+    network.register("hub", lambda s, p: None)
+    for name in names:
+        network.register(name, make_handler(name))
+
+    def ping() -> None:
+        if network.is_online("hub"):
+            network.broadcast("hub", list(names), "ping",
+                              size_bytes=64, queue_if_offline=True)
+
+    world.loop.schedule_every(ping_period, ping, label="hub ping")
+    injector.schedule_churn(network, horizon)
+
+    cells: list[TrustedCell] = []
+    replicators: list[Replicator] = []
+    store_window = horizon // 4
+    for index, name in enumerate(names):
+        cell = TrustedCell(world, name, SMART_TOKEN)
+        cell.register_user("owner", "pin")
+        session = cell.login("owner", "pin")
+        vault = VaultClient(cell, cloud, retry_policy=retry_policy)
+        replicator = Replicator(
+            vault, period=replication_period, retry_policy=retry_policy,
+            online_check=lambda a=name: network.is_online(a),
+        )
+        replicator.start()
+        cells.append(cell)
+        replicators.append(replicator)
+        for obj in range(objects_per_cell):
+            at = 1 + (index * objects_per_cell + obj) * max(
+                1, store_window // (n_cells * objects_per_cell)
+            )
+            world.loop.schedule_at(
+                at,
+                lambda c=cell, s=session, o=obj: c.store_object(
+                    s, f"doc-{o}", f"payload-{o}".encode()
+                ),
+                label=f"store {name}/doc-{obj}",
+            )
+
+    # one aggregation round: deadline at half horizon, wake-ups spread
+    # before and after it so recovery has survivors to ask
+    agg_rng = world.rng("chaos:agg-nodes")
+    nodes = [AggregationNode.standalone(name, agg_rng) for name in names]
+    deadline = horizon // 2
+    wake_times = {
+        name: [
+            deadline // 2 + index * 61,
+            deadline + 600 + index * 61,
+            deadline + 2700 + index * 61,
+            deadline + 5400 + index * 61,
+        ]
+        for index, name in enumerate(names)
+    }
+    aggregation = AsyncMaskedAggregation(
+        world, cloud, nodes, {name: 10 + i for i, name in enumerate(names)},
+        round_tag=f"chaos-{seed}", deadline=deadline, wake_times=wake_times,
+        recovery_timeout=recovery_timeout, retry_policy=retry_policy,
+    )
+    aggregation.start()
+
+    world.loop.run_until(horizon)
+
+    # quiesce: faults off, everyone online, a few periods to drain
+    injector.disable()
+    for name in names:
+        if not network.is_online(name):
+            network.set_online(name, True)
+    world.loop.run_for(6 * replication_period)
+
+    metrics = world.obs.metrics
+    return ChaosReport(
+        seed=seed,
+        plan_active=plan.active,
+        converged=all(r.converged for r in replicators),
+        agg_complete=aggregation.result.complete,
+        agg_partial=aggregation.result.partial,
+        agg_failure=aggregation.result.failure,
+        agg_demoted=len(aggregation.result.demoted),
+        pings_received=sum(pings.values()),
+        faults_injected=injector.injected_total,
+        fault_counts=dict(injector.counts),
+        retry_attempts=_counter_total(metrics, "retry.attempts"),
+        retry_exhausted=_counter_total(metrics, "retry.exhausted"),
+        push_failures=sum(r.stats.push_failures for r in replicators),
+        max_staleness=max(r.stats.max_staleness for r in replicators),
+    )

@@ -7,7 +7,13 @@ from .adversary import (
     WeaklyMaliciousAdversary,
 )
 from .cloud import CloudProvider, StoredObject
-from .network import Network, NetworkStats
+from .network import (
+    SEND_QUEUED,
+    SEND_SCHEDULED,
+    BroadcastReport,
+    Network,
+    NetworkStats,
+)
 
 __all__ = [
     "Adversary",
@@ -16,6 +22,9 @@ __all__ = [
     "WeaklyMaliciousAdversary",
     "CloudProvider",
     "StoredObject",
+    "BroadcastReport",
     "Network",
     "NetworkStats",
+    "SEND_QUEUED",
+    "SEND_SCHEDULED",
 ]

@@ -15,10 +15,14 @@ anti-rollback defence has something real to defend against.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import NotFoundError
 from ..sim.world import World
 from .adversary import Adversary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
 
 
 @dataclass
@@ -52,6 +56,14 @@ class CloudProvider:
         self.bytes_in = 0
         self.bytes_out = 0
         self.evidence_log: list[dict] = []
+        # operational fault plane (distinct from the adversary: a fault
+        # is transient and retryable, never evidence of misbehaviour)
+        self.fault_injector: FaultInjector | None = None
+
+    def _gate(self, op: str, key: str) -> None:
+        """Let the fault plane fail this operation transiently."""
+        if self.fault_injector is not None:
+            self.fault_injector.cloud_op(op, key)
 
     # -- object store ---------------------------------------------------------
 
@@ -62,6 +74,7 @@ class CloudProvider:
         that deliberately outsource unprotected data; the platform
         itself always stores sealed blobs and leaves it False.
         """
+        self._gate("put", key)
         self.adversary.observe(key, data, is_plaintext=is_plaintext)
         previous = self._objects.get(key)
         version = (previous.version + 1) if previous else 1
@@ -79,7 +92,11 @@ class CloudProvider:
         Raises :class:`NotFoundError` both for genuinely missing keys
         and for adversarial drops; the client cannot tell the
         difference from one response (it can from an audit trail).
+        Transient operational failures raise
+        :class:`~repro.errors.TransientCloudError` instead — those are
+        retryable and carry no integrity implication.
         """
+        self._gate("get", key)
         stored = self._objects.get(key)
         if stored is None:
             raise NotFoundError(f"no object {key!r}")
@@ -119,12 +136,18 @@ class CloudProvider:
 
     def post_message(self, mailbox: str, sender: str, message: bytes) -> None:
         """Append a message to a mailbox (also observed by the adversary)."""
+        self._gate("put", f"mailbox:{mailbox}")
         self.adversary.observe(f"mailbox:{mailbox}", message)
         self._mailboxes.setdefault(mailbox, []).append((sender, bytes(message)))
         self.bytes_in += len(message)
 
     def fetch_messages(self, mailbox: str) -> list[tuple[str, bytes]]:
-        """Drain and return all messages in a mailbox."""
+        """Drain and return all messages in a mailbox.
+
+        An injected transient failure raises *before* the drain, so no
+        messages are lost to a failed fetch.
+        """
+        self._gate("get", f"mailbox:{mailbox}")
         messages = self._mailboxes.pop(mailbox, [])
         self.bytes_out += sum(len(message) for _, message in messages)
         return messages

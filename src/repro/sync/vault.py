@@ -18,17 +18,29 @@ from __future__ import annotations
 
 from ..crypto.merkle import MerkleTree
 from ..errors import IntegrityError, NotFoundError, ReplayError
+from ..faults.retry import RetryPolicy, retry_call
 from ..infrastructure.cloud import CloudProvider
 from ..policy.sticky import DataEnvelope
 from ..core.cell import TrustedCell
 
 
 class VaultClient:
-    """Synchronizes one cell's envelopes with its encrypted cloud vault."""
+    """Synchronizes one cell's envelopes with its encrypted cloud vault.
 
-    def __init__(self, cell: TrustedCell, cloud: CloudProvider) -> None:
+    ``retry_policy`` makes every cloud round-trip resilient to
+    *transient* operational failures (the fault plane's
+    :class:`~repro.errors.TransientCloudError`): the call is retried
+    with exponential backoff before the error reaches the caller.
+    Integrity failures are never retried — they are evidence, and
+    retrying would mask the very signal the paper requires.
+    """
+
+    def __init__(self, cell: TrustedCell, cloud: CloudProvider,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.cell = cell
         self.cloud = cloud
+        self.retry_policy = retry_policy
+        self._retry_rng = cell.world.rng(f"vault-retry:{cell.name}")
         self.pushes = 0
         self.fetches = 0
         self.bytes_pushed = 0
@@ -49,6 +61,29 @@ class VaultClient:
     def vault_key(self, object_id: str, cell_name: str | None = None) -> str:
         return f"vault/{cell_name or self.cell.name}/{object_id}"
 
+    # -- resilient cloud I/O ---------------------------------------------------
+
+    def _cloud_put(self, key: str, data: bytes) -> None:
+        if self.retry_policy is None:
+            self.cloud.put_object(key, data)
+            return
+        retry_call(
+            lambda: self.cloud.put_object(key, data),
+            policy=self.retry_policy, obs=self._obs, rng=self._retry_rng,
+            operation="vault.put",
+        )
+
+    def _cloud_get(self, key: str) -> bytes:
+        if self.retry_policy is None:
+            return self.cloud.get_object(key)
+        # NotFoundError is NOT transient: a miss (or an adversarial
+        # drop) must surface immediately so the anchor check can file it
+        return retry_call(
+            lambda: self.cloud.get_object(key),
+            policy=self.retry_policy, obs=self._obs, rng=self._retry_rng,
+            operation="vault.get",
+        )
+
     # -- push path ---------------------------------------------------------------
 
     def push(self, object_id: str) -> str:
@@ -64,7 +99,7 @@ class VaultClient:
         ):
             envelope = self.cell.envelope_for(object_id)
             key = self.vault_key(object_id)
-            self.cloud.put_object(key, envelope.to_bytes())
+            self._cloud_put(key, envelope.to_bytes())
             self.cell.tee.store_secret(
                 f"vault-version:{object_id}", envelope.version
             )
@@ -135,9 +170,7 @@ class VaultClient:
             header=header,
             nonce_seed=header,
         )
-        self.cloud.put_object(
-            self.vault_key(self.MANIFEST_OBJECT), blob.to_bytes()
-        )
+        self._cloud_put(self.vault_key(self.MANIFEST_OBJECT), blob.to_bytes())
 
     def read_manifest(self, owner_cell: str | None = None) -> dict:
         """Fetch and decrypt the vault manifest (own vault by default).
@@ -150,7 +183,7 @@ class VaultClient:
         from ..crypto.aead import SealedBlob, open_sealed
 
         key = self.vault_key(self.MANIFEST_OBJECT, owner_cell)
-        data = self.cloud.get_object(key)
+        data = self._cloud_get(key)
         try:
             blob = SealedBlob.from_bytes(data)
             payload = open_sealed(
@@ -178,7 +211,7 @@ class VaultClient:
         """
         key = self.vault_key(object_id, owner_cell)
         try:
-            data = self.cloud.get_object(key)
+            data = self._cloud_get(key)
         except NotFoundError:
             anchor = self.cell.tee.load_secret(f"vault-version:{object_id}")
             if anchor is not None:

@@ -163,3 +163,126 @@ class TestValidation:
         # 2 submissions + 2 recovery answers
         assert protocol.result.messages == 4
         assert protocol.result.bytes == 4 * 16
+
+
+def build_degrading(wake_times, values=None, deadline=3600, seed=81,
+                    recovery_timeout=1500, max_recovery_rounds=3):
+    world = World(seed=seed)
+    cloud = CloudProvider(world)
+    rng = random.Random(seed)
+    nodes = [
+        AggregationNode.standalone(name, rng) for name in sorted(wake_times)
+    ]
+    values = values or {node.name: 100 for node in nodes}
+    protocol = AsyncMaskedAggregation(
+        world, cloud, nodes, values, round_tag="daily-total",
+        deadline=deadline, wake_times=wake_times,
+        recovery_timeout=recovery_timeout,
+        max_recovery_rounds=max_recovery_rounds,
+    )
+    return world, cloud, protocol
+
+
+class TestGracefulDegradation:
+    """recovery_timeout bounds every recovery round: non-answering
+    survivors are demoted and the round completes partially instead of
+    hanging forever (the legacy ``recovery_timeout=None`` behaviour)."""
+
+    def test_no_dropouts_same_total_as_strict_mode(self):
+        wake_times = {"a": [100], "b": [500], "c": [2000]}
+        world, cloud, protocol = build_degrading(
+            wake_times, values={"a": 10, "b": 20, "c": 30}
+        )
+        protocol.start()
+        world.loop.run_until(10_000)
+        assert protocol.result.complete
+        assert not protocol.result.partial
+        assert protocol.result.signed_total() == 60
+
+    def test_dropout_recovered_without_demotion(self):
+        wake_times = {"a": [100, 4000], "b": [200, 4100], "c": []}
+        world, cloud, protocol = build_degrading(
+            wake_times, values={"a": 10, "b": 20, "c": 999}
+        )
+        protocol.start()
+        world.loop.run_until(10_000)
+        assert protocol.result.complete
+        assert not protocol.result.partial
+        assert protocol.result.demoted == []
+        assert protocol.result.signed_total() == 30
+
+    def test_vanished_survivor_demoted_partial_total(self):
+        # c submits then vanishes; d never shows. Round 1 demotes c,
+        # round 2 re-requests masks for {c, d} from a and b.
+        wake_times = {
+            "a": [100, 4000, 5500],
+            "b": [200, 4100, 5600],
+            "c": [300],  # submits, never returns
+            "d": [],  # never shows up
+        }
+        world, cloud, protocol = build_degrading(
+            wake_times, values={"a": 10, "b": 20, "c": 999, "d": 999}
+        )
+        protocol.start()
+        world.loop.run_until(20_000)
+        assert protocol.result.complete
+        assert protocol.result.partial
+        assert protocol.result.demoted == ["c"]
+        assert protocol.result.missing == ["c", "d"]
+        assert protocol.result.signed_total() == 30
+        assert protocol.result.failure is None
+
+    def test_privacy_floor_abandons_single_survivor(self):
+        # only a keeps answering; completing would expose a's bare value
+        wake_times = {"a": [100, 4000, 5500, 7000], "b": [200], "c": []}
+        world, cloud, protocol = build_degrading(wake_times)
+        protocol.start()
+        world.loop.run_until(30_000)
+        assert not protocol.result.complete
+        assert protocol.result.partial
+        assert "privacy floor" in protocol.result.failure
+
+    def test_round_budget_exhausted_abandons(self):
+        # b answers round 1 then vanishes: every round demotes someone
+        # until the budget (1 round here) runs out
+        wake_times = {"a": [100, 4000], "b": [200, 4100], "c": []}
+        world, cloud, protocol = build_degrading(
+            wake_times, recovery_timeout=100, max_recovery_rounds=1
+        )
+        # neither a nor b wakes inside the 100 s round window
+        protocol.start()
+        world.loop.run_until(30_000)
+        assert not protocol.result.complete
+        assert protocol.result.failure is not None
+
+    def test_nobody_submits_flagged_not_raised(self):
+        wake_times = {"a": [], "b": []}
+        world, cloud, protocol = build_degrading(wake_times)
+        protocol.start()
+        world.loop.run_until(10_000)  # must not raise
+        assert not protocol.result.complete
+        assert protocol.result.failure == (
+            "no cell submitted before the deadline"
+        )
+
+    def test_demotion_observable(self):
+        wake_times = {
+            "a": [100, 4000, 5500],
+            "b": [200, 4100, 5600],
+            "c": [300],
+            "d": [],
+        }
+        world, cloud, protocol = build_degrading(wake_times)
+        protocol.start()
+        world.loop.run_until(20_000)
+        assert world.obs.metrics.get("agg.async.demoted").value == 1
+        assert world.obs.metrics.get("agg.async.partial").value == 1
+        demotes = world.obs.events.events("agg.async.demote")
+        assert [e["node"] for e in demotes] == ["c"]
+
+    def test_validation(self):
+        wake_times = {"a": [100], "b": [200]}
+        with pytest.raises(ConfigurationError):
+            build_degrading(wake_times, recovery_timeout=0)
+        with pytest.raises(ConfigurationError):
+            build_degrading(wake_times, max_recovery_rounds=0)

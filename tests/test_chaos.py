@@ -1,0 +1,88 @@
+"""Chaos tests: the full stack under seeded fault plans.
+
+The fast fault-matrix smoke runs in tier 1 on every test invocation;
+the long soak is marked ``soak`` (deselect with ``-m "not soak"``).
+Both drive :func:`repro.faults.scenario.run_chaos_scenario`, the same
+harness the E13 resilience bench reports on.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.faults.scenario import cell_addresses, run_chaos_scenario
+
+SMOKE_SEEDS = (11, 12, 13)
+
+
+def smoke_profiles(seed):
+    """The two fault profiles of the fast matrix (network vs. cloud)."""
+    return {
+        "lossy": FaultPlan.lossy(seed=seed),
+        "flaky-cloud": FaultPlan.flaky_cloud(seed=seed),
+    }
+
+
+class TestFaultMatrixSmoke:
+    """3 seeds x 2 profiles, short horizon: deterministic and fast."""
+
+    @pytest.mark.parametrize("seed", SMOKE_SEEDS)
+    @pytest.mark.parametrize("profile", ("lossy", "flaky-cloud"))
+    def test_profile_degrades_gracefully(self, seed, profile):
+        plan = smoke_profiles(seed)[profile]
+        report = run_chaos_scenario(
+            seed, plan, n_cells=3, horizon=4 * 3600, objects_per_cell=2
+        )
+        assert report.degraded_gracefully, (profile, seed, report)
+        assert report.converged
+        assert report.faults_injected > 0, "plan injected nothing"
+
+    def test_fault_matrix_is_deterministic(self):
+        plan = FaultPlan.lossy(seed=11)
+        first = run_chaos_scenario(11, plan, n_cells=3, horizon=4 * 3600)
+        second = run_chaos_scenario(11, plan, n_cells=3, horizon=4 * 3600)
+        assert first == second
+
+    def test_no_fault_path_records_nothing(self):
+        # acceptance: with the injector idle, zero faults and zero
+        # retries are recorded — the stack behaves like the seed code
+        report = run_chaos_scenario(
+            11, FaultPlan.quiet(), n_cells=3, horizon=4 * 3600
+        )
+        assert report.faults_injected == 0
+        assert report.fault_counts == {}
+        assert report.retry_attempts == 0
+        assert report.retry_exhausted == 0
+        assert report.push_failures == 0
+        assert report.converged
+        assert report.agg_complete and not report.agg_partial
+
+
+@pytest.mark.soak
+class TestChaosSoak:
+    """Long horizon, every fault class at once, several seeds."""
+
+    @pytest.mark.parametrize("seed", (101, 102, 103, 104, 105))
+    def test_stormy_soak_converges(self, seed):
+        plan = FaultPlan.stormy(seed=seed, addresses=cell_addresses(6))
+        report = run_chaos_scenario(
+            seed, plan, n_cells=6, horizon=24 * 3600, objects_per_cell=4,
+            retry_policy=RetryPolicy(max_attempts=5, base_delay_s=30.0,
+                                     max_delay_s=900.0),
+        )
+        # the acceptance bar: storage always converges once the faults
+        # clear, and the aggregation reaches a terminal state — full,
+        # partial, or a *flagged* abandonment; never a hang or a crash
+        assert report.converged, report
+        assert report.agg_complete or report.agg_failure is not None, report
+        assert report.faults_injected > 0
+        # churn was planned for every cell, so some must have flipped
+        assert report.fault_counts.get("churn", 0) > 0, report.fault_counts
+
+    def test_soak_exercises_retries(self):
+        plan = FaultPlan.stormy(seed=106, addresses=cell_addresses(6))
+        report = run_chaos_scenario(
+            106, plan, n_cells=6, horizon=24 * 3600, objects_per_cell=4
+        )
+        # under a stormy day-long run the retry machinery must actually
+        # fire — otherwise the bench rows measure nothing
+        assert report.retry_attempts > 0 or report.push_failures > 0, report

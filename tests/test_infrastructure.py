@@ -91,10 +91,82 @@ class TestNetwork:
         world, network, inboxes = self.make()
         network.register("c", lambda s, m: None)
         network.set_online("c", False)
-        offline = network.broadcast("a", ["b", "c"], "ping")
-        assert offline == ["c"]
+        report = network.broadcast("a", ["b", "c"], "ping")
+        assert report.scheduled == ["b"]
+        assert report.dropped == ["c"]
+        assert report.offline == ["c"]
         world.loop.run_for(5)
         assert inboxes["b"] == [("a", "ping")]
+
+    def test_broadcast_mixed_outcomes(self):
+        # three destinations, three fates: online (scheduled), offline
+        # with queueing (queued, arrives late), offline without (dropped)
+        world, network, inboxes = self.make()
+        inboxes["c"] = []
+        inboxes["d"] = []
+        network.register("c", lambda s, m: inboxes["c"].append((s, m)))
+        network.register("d", lambda s, m: inboxes["d"].append((s, m)))
+        network.set_online("c", False)
+        report = network.broadcast(
+            "a", ["b", "c", "d"], "ping", queue_if_offline=True
+        )
+        assert report.scheduled == ["b", "d"]
+        assert report.queued == ["c"]
+        assert report.dropped == []
+        assert sorted(report.offline) == ["c"]
+        network.set_online("d", False)
+        report2 = network.broadcast("a", ["c", "d"], "pong")
+        assert report2.dropped == ["c", "d"]
+        world.loop.run_for(5)
+        assert inboxes["c"] == []  # still offline: queued ping waits
+        network.set_online("c", True)
+        world.loop.run_for(5)
+        assert inboxes["c"] == [("a", "ping")]
+        assert inboxes["d"] == [("a", "ping")]
+
+    def test_broadcast_offline_sender_raises(self):
+        _, network, _ = self.make()
+        network.set_online("a", False)
+        with pytest.raises(CellOfflineError):
+            network.broadcast("a", ["b"], "ping")
+
+    def test_nested_offline_online_offline_transitions(self):
+        # messages queued across two separate offline windows must all
+        # arrive, in enqueue order, each during the right online window
+        world, network, inboxes = self.make()
+        network.set_online("b", False)
+        network.send("a", "b", "m1", queue_if_offline=True)
+        network.send("a", "b", "m2", queue_if_offline=True)
+        network.set_online("b", True)
+        world.loop.run_for(5)
+        assert inboxes["b"] == [("a", "m1"), ("a", "m2")]
+        network.set_online("b", False)
+        network.send("a", "b", "m3", queue_if_offline=True)
+        with pytest.raises(CellOfflineError):
+            network.send("a", "b", "m4")  # no queueing: dropped
+        network.set_online("b", True)
+        world.loop.run_for(5)
+        assert inboxes["b"] == [("a", "m1"), ("a", "m2"), ("a", "m3")]
+        assert network.stats.queued == 3
+        assert network.stats.dropped == 1
+
+    def test_flush_preserves_enqueue_order_across_senders(self):
+        # a slow sender's earlier message must not be overtaken by a
+        # fast sender's later one: the flush replays enqueue order
+        world = World()
+        network = Network(world)
+        received = []
+        network.register("slow", lambda s, m: None,
+                         latency_ms=5000, bandwidth_bytes_per_s=10.0)
+        network.register("fast", lambda s, m: None, latency_ms=1)
+        network.register("sink", lambda s, m: received.append((s, m)))
+        network.set_online("sink", False)
+        network.send("slow", "sink", "first", size_bytes=10_000,
+                     queue_if_offline=True)
+        network.send("fast", "sink", "second", queue_if_offline=True)
+        network.set_online("sink", True)
+        world.loop.run_for(5)
+        assert received == [("slow", "first"), ("fast", "second")]
 
 
 class TestCloudObjectStore:

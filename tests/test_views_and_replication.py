@@ -214,3 +214,113 @@ class TestReplicator:
             Replicator(vault, period=0)
         with pytest.raises(ConfigurationError):
             Replicator(vault, availability=1.5)
+
+    def test_dirty_since_pruned_for_deleted_objects(self):
+        # regression: an object marked dirty then deleted before an
+        # online tick used to leave its _dirty_since entry forever
+        world, cloud, cell, vault, replicator = self.build(availability=0.0)
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"v1")
+        cell.store_object(session, "temp", b"scratch")
+        assert replicator.dirty_objects() == ["doc", "temp"]
+        assert set(replicator._dirty_since) == {"doc", "temp"}
+        del cell._envelopes["temp"]  # deleted before it ever synced
+        assert replicator.dirty_objects() == ["doc"]
+        assert set(replicator._dirty_since) == {"doc"}
+
+    def test_dirty_since_pruned_after_out_of_band_push(self):
+        world, cloud, cell, vault, replicator = self.build(availability=0.0)
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"v1")
+        replicator.dirty_objects()
+        # pushed out of band (e.g. an eager sync path), then marked clean
+        vault.push("doc")
+        replicator._pushed_versions["doc"] = cell._envelopes["doc"].version
+        assert replicator.dirty_objects() == []
+        assert replicator._dirty_since == {}
+
+    def test_online_check_overrides_availability_draw(self):
+        world, cloud, cell, vault, _ = self.build()
+        online = {"up": False}
+        replicator = Replicator(
+            vault, period=600, online_check=lambda: online["up"]
+        )
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"v1")
+        assert replicator.tick() == 0
+        assert replicator.stats.offline_ticks == 1
+        online["up"] = True
+        assert replicator.tick() == 1
+        assert replicator.converged
+
+
+class TestReplicatorResilience:
+    """Transient cloud failures are absorbed, retried, and never lose data."""
+
+    def build(self, fail_times=0, retry_policy=None):
+        from repro.errors import TransientCloudError
+
+        world = World(seed=62)
+        cloud = CloudProvider(world)
+        cell = TrustedCell(world, "token-cell", SMART_TOKEN)
+        cell.register_user("owner", "pin")
+        vault = VaultClient(cell, cloud)
+        replicator = Replicator(
+            vault, period=600, availability=1.0, retry_policy=retry_policy
+        )
+        remaining = {"n": fail_times}
+        real_put = cloud.put_object
+
+        def flaky_put(key, data, **kwargs):
+            if remaining["n"] > 0:
+                remaining["n"] -= 1
+                raise TransientCloudError(f"injected failure on {key!r}")
+            return real_put(key, data, **kwargs)
+
+        cloud.put_object = flaky_put
+        return world, cloud, cell, vault, replicator
+
+    def test_transient_failure_does_not_abort_the_batch(self):
+        world, cloud, cell, vault, replicator = self.build(fail_times=1)
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "a-doc", b"1")
+        cell.store_object(session, "b-doc", b"2")
+        # first push fails transiently; the second object still pushes
+        assert replicator.tick() == 1
+        assert replicator.stats.push_failures == 1
+        assert replicator.dirty_objects() == ["a-doc"]
+        # next tick drains the leftover
+        assert replicator.tick() == 1
+        assert replicator.converged
+
+    def test_backoff_retry_drains_without_waiting_a_period(self):
+        from repro.faults import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=4, base_delay_s=5, jitter=0.0)
+        world, cloud, cell, vault, replicator = self.build(
+            fail_times=2, retry_policy=policy
+        )
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"v1")
+        assert replicator.tick() == 0  # the push fails transiently
+        world.loop.run_for(100)  # far less than one period
+        assert replicator.converged  # deferred retries did the work
+        assert replicator.stats.deferred_retries >= 1
+        assert replicator.stats.push_failures == 2
+
+    def test_exhausted_retries_fall_back_to_periodic_tick(self):
+        from repro.faults import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=2, base_delay_s=5, jitter=0.0)
+        world, cloud, cell, vault, replicator = self.build(
+            fail_times=4, retry_policy=policy
+        )
+        session = cell.login("owner", "pin")
+        cell.store_object(session, "doc", b"v1")
+        replicator.start()
+        world.loop.run_for(3600)
+        assert replicator.converged  # later ticks eventually succeed
+        exhausted = world.obs.metrics.counter(
+            "retry.exhausted", labelnames=("op",)
+        ).labels(op="sync.push").value
+        assert exhausted >= 1
