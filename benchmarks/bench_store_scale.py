@@ -1,0 +1,590 @@
+"""Tracked store-scale benchmark: the 1 Hz Linky ingest/query path.
+
+Measures the embedded store on the paper's hardest target (the
+smart-token flash geometry) at utility-meter volumes: batch vs
+single-record ingest throughput at one day (86,400 records) and one
+month of 1 Hz samples, query cost for scan vs zone-map skip-scan vs
+ordered index, page-cache hit ratios, and checkpointed vs full reboot
+recovery. Emits ``BENCH_store.json`` at the repo root so later PRs can
+track the trajectory.
+
+Throughput is reported against two clocks: wall time (host Python) and
+device time (the flash cost model's ``elapsed_us`` — reads, writes and
+erases at datasheet latencies). The headline speedup uses device time
+because it is deterministic and is what a real meter pays; wall time
+rides along for the host-side picture.
+
+Two entry points:
+
+* ``pytest -q benchmarks/bench_store_scale.py --benchmark-disable`` —
+  the tier-1 smoke run: coarser sampling, asserts the scaling
+  invariants and the JSON schema, writes nothing.
+* ``PYTHONPATH=src python benchmarks/bench_store_scale.py`` — the full
+  run (1 Hz, 30 days); rewrites ``BENCH_store.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import pathlib
+import random
+import time
+
+from repro.hardware import SMART_TOKEN, SMARTPHONE, NandFlash
+from repro.obs import get_default
+from repro.store import Between, Catalog, LogStructuredStore, Query
+from repro.workloads.energy import HouseholdSimulator
+
+OBS = get_default()
+
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+TIMINGS = SMART_TOKEN.flash  # 2048-byte pages, 64 pages/block
+PAGE = TIMINGS.page_size
+SECONDS_PER_DAY = 86_400
+
+FULL_SAMPLE_PERIOD = 1  # 1 Hz: 86,400 records/day, the Linky rate
+FULL_MONTH_DAYS = 30
+FULL_QUERY_WINDOW_S = 3600
+FULL_CACHE_PAGES = 128  # must cover the ~80-page query window to pay off
+FULL_CKPT_BLOCKS = 32
+
+SMOKE_SAMPLE_PERIOD = 5  # 17,280 records/day: still several blocks deep
+SMOKE_MONTH_DAYS = 2
+SMOKE_QUERY_WINDOW_S = 3600
+SMOKE_CACHE_PAGES = 48
+SMOKE_CKPT_BLOCKS = 8
+
+
+def _day_trace(day: int, sample_period: int, seed: int = 2013):
+    simulator = HouseholdSimulator(
+        random.Random(seed + day), sample_period=sample_period
+    )
+    return simulator.simulate_day(day)
+
+
+def _flash_for(frame_bytes: int, *, checkpoint_blocks: int = 0,
+               margin: float = 1.35) -> NandFlash:
+    """A device sized for ``frame_bytes`` of log frames plus GC headroom."""
+    pages = math.ceil(frame_bytes * margin / (PAGE - 8)) + TIMINGS.pages_per_block
+    blocks = math.ceil(pages / TIMINGS.pages_per_block) + 2 + checkpoint_blocks
+    return NandFlash(
+        TIMINGS, capacity_bytes=blocks * TIMINGS.pages_per_block * PAGE
+    )
+
+
+def _frame_estimate(records, id_extra: int = 0) -> int:
+    # conservative: 15-byte frame header + id + encoded payload bound
+    return sum(15 + len(record_id) + id_extra + 48 for record_id, _ in records)
+
+
+def _flash_image(flash: NandFlash) -> str:
+    digest = hashlib.sha256()
+    for page in flash.written_pages():
+        digest.update(page.to_bytes(4, "big"))
+        digest.update(flash.read_page(page))
+    return digest.hexdigest()
+
+
+def _device_seconds(flash: NandFlash) -> float:
+    return flash.elapsed_us / 1e6
+
+
+# -- ingest ------------------------------------------------------------------
+
+
+def measure_ingest(day_trace, month_days: int, sample_period: int) -> dict:
+    """Batch vs single-record ingest at 1-day and N-day volumes.
+
+    The single-record baseline is the durable path a naive meter pays:
+    one ``put`` + ``flush`` per sample, i.e. one page program per
+    record. The batch path coalesces encoded records through the page
+    buffer, so a page program covers dozens of records. A third,
+    unmeasured run replays the same day through buffered single ``put``
+    calls (no intermediate flush) to prove the batch path is bit-for-bit
+    identical on flash — same frames, same page boundaries, same
+    sequence headers.
+    """
+    records = day_trace.records()
+    day_n = len(records)
+
+    # single-record durable baseline (1 day only: one page per record)
+    flash_single = _flash_for(day_n * (PAGE - 8), margin=1.05)
+    store = LogStructuredStore(flash_single)
+    started = time.perf_counter()
+    for record_id, record in records:
+        store.put(record_id, record)
+        store.flush()
+    single_wall = time.perf_counter() - started
+    single_device = _device_seconds(flash_single)
+    single_writes = flash_single.writes
+    del store, flash_single  # one page per record: release the big image
+
+    # batch path, same day
+    flash_batch = _flash_for(_frame_estimate(records))
+    batch = LogStructuredStore(flash_batch)
+    started = time.perf_counter()
+    batch.insert_many(records)
+    batch.flush()
+    batch_wall = time.perf_counter() - started
+    batch_device = _device_seconds(flash_batch)
+
+    # equivalence: buffered puts produce the identical flash image
+    flash_puts = _flash_for(_frame_estimate(records))
+    buffered = LogStructuredStore(flash_puts)
+    for record_id, record in records:
+        buffered.put(record_id, record)
+    buffered.flush()
+    bit_for_bit = (
+        _flash_image(flash_puts) == _flash_image(flash_batch)
+        and buffered.record_ids() == batch.record_ids()
+    )
+    del buffered, flash_puts
+
+    # month volume, batch only (the baseline would need one page/record)
+    month_records = month_days * day_n
+    flash_month = _flash_for(
+        month_records * (15 + 10 + 48), margin=1.2
+    )
+    month = LogStructuredStore(flash_month)
+    month_wall = 0.0
+    for day in range(month_days):
+        day_records = (
+            records if day == 0 else _day_trace(day, sample_period).records()
+        )
+        started = time.perf_counter()
+        month.insert_many(day_records)
+        month.flush()  # daily durability point
+        month_wall += time.perf_counter() - started
+    month_device = _device_seconds(flash_month)
+    month_pages = month.pages_used
+    month_ram = month.ram_bytes
+    del month, flash_month
+
+    speedup_device = round(
+        (single_device / day_n) / (batch_device / day_n), 1
+    )
+    speedup_wall = round((single_wall / day_n) / (batch_wall / day_n), 1)
+    return {
+        "records_per_day": day_n,
+        "single_record_durable": {
+            "days": 1,
+            "records": day_n,
+            "wall_seconds": round(single_wall, 3),
+            "device_seconds": round(single_device, 3),
+            "records_per_sec_wall": round(day_n / single_wall, 1),
+            "records_per_sec_device": round(day_n / single_device, 1),
+            "page_writes": single_writes,
+        },
+        "batch": {
+            "days": 1,
+            "records": day_n,
+            "wall_seconds": round(batch_wall, 3),
+            "device_seconds": round(batch_device, 3),
+            "records_per_sec_wall": round(day_n / batch_wall, 1),
+            "records_per_sec_device": round(day_n / batch_device, 1),
+            "page_writes": flash_batch.writes,
+            "records_per_page": round(day_n / flash_batch.writes, 1),
+        },
+        "batch_month": {
+            "days": month_days,
+            "records": month_records,
+            "wall_seconds": round(month_wall, 3),
+            "device_seconds": round(month_device, 3),
+            "records_per_sec_wall": round(month_records / month_wall, 1),
+            "records_per_sec_device": round(month_records / month_device, 1),
+            "pages_used": month_pages,
+            "store_ram_bytes": month_ram,
+        },
+        "batch_speedup_device": speedup_device,
+        "batch_speedup_wall": speedup_wall,
+        "meets_5x": speedup_device >= 5,
+        "bit_for_bit_batch_equals_buffered_puts": bit_for_bit,
+    }
+
+
+# -- queries -----------------------------------------------------------------
+
+
+def _timed_reads(flash: NandFlash, thunk) -> tuple[object, dict]:
+    reads_before = flash.reads
+    device_before = flash.elapsed_us
+    started = time.perf_counter()
+    value = thunk()
+    wall = time.perf_counter() - started
+    return value, {
+        "pages_read": flash.reads - reads_before,
+        "device_ms": round((flash.elapsed_us - device_before) / 1e3, 3),
+        "wall_ms": round(wall * 1e3, 3),
+    }
+
+
+def _meter_catalog(day_trace, **catalog_kwargs):
+    records = day_trace.records()
+    flash = _flash_for(_frame_estimate(records, id_extra=len("meter/")))
+    catalog = Catalog(flash, **catalog_kwargs)
+    meter = catalog.collection("meter")
+    meter.create_ordered_index("t")
+    meter.insert_many(records)
+    return catalog, flash
+
+
+def measure_queries(day_trace, window_s: int) -> dict:
+    """One-hour range query: full scan vs zone-map skip vs ordered index.
+
+    All three paths must return the same rows; the interesting numbers
+    are the pages each one reads to get there.
+    """
+    catalog, flash = _meter_catalog(day_trace)
+    store = catalog.store
+    low = day_trace.day * SECONDS_PER_DAY + SECONDS_PER_DAY // 2
+    high = low + window_s - 1
+
+    def in_window(record):
+        return low <= record["t"] <= high
+
+    scan_rows, scan_cost = _timed_reads(
+        flash,
+        lambda: sorted(
+            (record["t"], record["w"])
+            for _, record in store.scan() if in_window(record)
+        ),
+    )
+    zone_rows, zone_cost = _timed_reads(
+        flash,
+        lambda: sorted(
+            (record["t"], record["w"])
+            for _, record in store.scan_range("t", low, high)
+            if in_window(record)
+        ),
+    )
+    query = Query("meter", where=Between("t", low, high), order_by="t")
+    index_result, index_cost = _timed_reads(
+        flash, lambda: catalog.query(query)
+    )
+    index_rows = [(record["t"], record["w"]) for record in index_result.rows]
+    return {
+        "window_s": window_s,
+        "rows": len(index_rows),
+        "scan": scan_cost,
+        "zonemap_skip": zone_cost,
+        "index": {**index_cost, "plan": index_result.plan},
+        "zonemap_reads_fewer_than_scan": (
+            zone_cost["pages_read"] < scan_cost["pages_read"]
+        ),
+        "results_identical": scan_rows == zone_rows == index_rows,
+    }
+
+
+def measure_cache(day_trace, window_s: int, cache_pages: int) -> dict:
+    """Repeated range reads against a bounded LRU page cache."""
+    catalog, flash = _meter_catalog(
+        day_trace, page_cache_bytes=cache_pages * PAGE
+    )
+    store = catalog.store
+    store.page_cache.clear()  # drop write-allocated pages: measure reads
+    low = day_trace.day * SECONDS_PER_DAY + SECONDS_PER_DAY // 2
+    query = Query(
+        "meter", where=Between("t", low, low + window_s - 1), order_by="t"
+    )
+    _, cold = _timed_reads(flash, lambda: catalog.query(query))
+    warm_costs = []
+    for _ in range(3):
+        _, warm = _timed_reads(flash, lambda: catalog.query(query))
+        warm_costs.append(warm)
+    snapshot = store.page_cache.snapshot()
+    total = snapshot["hits"] + snapshot["misses"]
+    return {
+        "cache_pages": cache_pages,
+        "cold": cold,
+        "warm": warm_costs[-1],
+        "hit_ratio": round(snapshot["hits"] / total, 3) if total else 0.0,
+        "resident_pages": len(store.page_cache),
+        "evictions": snapshot["evictions"],
+        "warm_cheaper_than_cold": (
+            warm_costs[-1]["pages_read"] < cold["pages_read"]
+        ),
+    }
+
+
+# -- recovery ----------------------------------------------------------------
+
+
+def measure_recovery(day_trace, checkpoint_blocks: int,
+                     sample_period: int) -> dict:
+    """Reboot after one day of ingest: checkpointed vs full log replay.
+
+    The checkpoint lands before the final half hour, so the incremental
+    path replays only that tail. A maintenance pass (expire the first
+    hour, incremental GC) then runs on the recovered store so the
+    compaction counters in the observability section reflect real work.
+    """
+    records = day_trace.records()
+    tail_n = max(1, (SECONDS_PER_DAY // 48) // sample_period)  # ~30 min
+    flash = _flash_for(
+        _frame_estimate(records), checkpoint_blocks=checkpoint_blocks
+    )
+    store = LogStructuredStore(flash, checkpoint_blocks=checkpoint_blocks)
+    store.insert_many(records[:-tail_n])
+    store.checkpoint()
+    store.insert_many(records[-tail_n:])
+    store.flush()
+
+    def recover(use_checkpoint: bool):
+        device_before = flash.elapsed_us
+        started = time.perf_counter()
+        recovered = LogStructuredStore.recover(
+            flash, checkpoint_blocks=checkpoint_blocks,
+            use_checkpoint=use_checkpoint,
+        )
+        wall = time.perf_counter() - started
+        stats = recovered.last_recovery
+        return recovered, {
+            "mode": stats.mode,
+            "pages_replayed": stats.pages_replayed,
+            "checkpoint_pages_read": stats.checkpoint_pages_read,
+            "total_pages_read": stats.total_pages_read,
+            "wall_seconds": round(wall, 3),
+            "device_ms": round((flash.elapsed_us - device_before) / 1e3, 3),
+        }
+
+    incremental, incremental_row = recover(True)
+    full, full_row = recover(False)
+    equivalent = (
+        incremental.record_ids() == full.record_ids() == store.record_ids()
+        and all(
+            incremental.get(record_id) == full.get(record_id)
+            for record_id in records[0][0:1]
+        )
+    )
+
+    # maintenance on the recovered store: expire the first hour, GC
+    expired = 0
+    for record_id, record in records[: 3600 // sample_period]:
+        incremental.delete(record_id)
+        expired += 1
+    incremental.flush()
+    pages_before = incremental.pages_used
+    rounds = 0
+    while rounds < 8 and incremental.compact_incremental(max_victims=4):
+        rounds += 1
+    return {
+        "records": len(records),
+        "tail_records_after_checkpoint": tail_n,
+        "checkpoint_blocks": checkpoint_blocks,
+        "incremental": incremental_row,
+        "full_replay": full_row,
+        "replay_reduction": round(
+            full_row["pages_replayed"]
+            / max(1, incremental_row["pages_replayed"]), 1
+        ),
+        "incremental_replays_fewer_pages": (
+            incremental_row["pages_replayed"] < full_row["pages_replayed"]
+        ),
+        "recovered_state_identical": equivalent,
+        "maintenance": {
+            "expired_records": expired,
+            "gc_rounds": rounds,
+            "pages_reclaimed": pages_before - incremental.pages_used,
+        },
+    }
+
+
+# -- observability + fault control -------------------------------------------
+
+
+def _observability_section() -> dict:
+    """The default scope's ``export()`` snapshot, store counters only.
+
+    Keeps the exact per-metric snapshot shape of the schema-1 export so
+    downstream tooling can read this section and a live ``export()``
+    with the same code.
+    """
+    export = OBS.export()
+    return {
+        "schema": export["schema"],
+        "metrics": {
+            name: snapshot
+            for name, snapshot in export["metrics"].items()
+            if name.startswith("store.")
+        },
+    }
+
+
+def _counter_total(metrics, name: str) -> int:
+    metric = metrics.get(name)
+    if metric is None:
+        return 0
+    snapshot = metric.snapshot()
+    labels = snapshot.get("labels")
+    if labels:
+        return sum(labels.values())
+    return snapshot["value"]
+
+
+def _fault_control_section(n_objects: int = 6, seed: int = 11) -> dict:
+    """Batch vault push under quiet and flaky cloud fault profiles.
+
+    The quiet row is the guarded no-fault-path control: with the
+    injector attached but the plan inactive, the fault and retry
+    counters must stay at zero. The flaky row shows the same counters
+    actually move when faults are live.
+    """
+    from repro.core import TrustedCell
+    from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+    from repro.infrastructure import CloudProvider
+    from repro.sim import World
+    from repro.sync import VaultClient
+
+    rows = []
+    for profile in ("quiet", "flaky"):
+        world = World(seed=seed)
+        cloud = CloudProvider(world)
+        plan = (
+            FaultPlan.quiet(seed=seed)
+            if profile == "quiet"
+            else FaultPlan.flaky_cloud(seed=seed, failure_rate=0.3)
+        )
+        FaultInjector(world, plan).attach_cloud(cloud)
+        cell = TrustedCell(world, "bench-meter", SMARTPHONE)
+        cell.register_user("meter", "0000")
+        session = cell.login("meter", "0000")
+        object_ids = [f"day-{index}" for index in range(n_objects)]
+        for object_id in object_ids:
+            cell.store_object(session, object_id, b"x" * 64)
+        vault = VaultClient(
+            cell, cloud,
+            retry_policy=RetryPolicy(max_attempts=6, base_delay_s=0.5),
+        )
+        report = vault.push_many(object_ids, raise_on_failure=False)
+        metrics = world.obs.metrics
+        rows.append({
+            "profile": profile,
+            "pushed": len(report.pushed),
+            "failed": len(report.failed),
+            "manifest_writes": vault.manifest_seq,
+            "faults_injected": _counter_total(metrics, "faults.injected"),
+            "retry_attempts": _counter_total(metrics, "retry.attempts"),
+        })
+    quiet_row = rows[0]
+    return {
+        "rows": rows,
+        "no_fault_path_clean": (
+            quiet_row["faults_injected"] == 0
+            and quiet_row["retry_attempts"] == 0
+            and quiet_row["failed"] == 0
+        ),
+    }
+
+
+# -- report ------------------------------------------------------------------
+
+
+def build_report(sample_period: int = FULL_SAMPLE_PERIOD,
+                 month_days: int = FULL_MONTH_DAYS,
+                 query_window_s: int = FULL_QUERY_WINDOW_S,
+                 cache_pages: int = FULL_CACHE_PAGES,
+                 checkpoint_blocks: int = FULL_CKPT_BLOCKS) -> dict:
+    OBS.reset()
+    OBS.enable()
+    day = _day_trace(0, sample_period)
+    report = {
+        "benchmark": "store_scale",
+        "command": "PYTHONPATH=src python benchmarks/bench_store_scale.py",
+        "flash_geometry": {
+            "profile": SMART_TOKEN.name,
+            "page_size": PAGE,
+            "pages_per_block": TIMINGS.pages_per_block,
+            "write_page_us": TIMINGS.write_page_us,
+        },
+        "sample_period_s": sample_period,
+        "ingest": measure_ingest(day, month_days, sample_period),
+        "queries": measure_queries(day, query_window_s),
+        "page_cache": measure_cache(day, query_window_s, cache_pages),
+        "recovery": measure_recovery(day, checkpoint_blocks, sample_period),
+        "fault_control": _fault_control_section(),
+    }
+    report["observability"] = _observability_section()
+    return report
+
+
+def write_report(path: pathlib.Path = REPORT_PATH) -> dict:
+    report = build_report()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# -- tier-1 smoke ------------------------------------------------------------
+
+
+def test_store_scale_smoke():
+    """Coarse-sampling run of the full pipeline; keeps the bench alive
+    under ``pytest -q benchmarks/bench_store_scale.py
+    --benchmark-disable`` without rewriting the tracked JSON."""
+    report = build_report(
+        sample_period=SMOKE_SAMPLE_PERIOD,
+        month_days=SMOKE_MONTH_DAYS,
+        query_window_s=SMOKE_QUERY_WINDOW_S,
+        cache_pages=SMOKE_CACHE_PAGES,
+        checkpoint_blocks=SMOKE_CKPT_BLOCKS,
+    )
+    json.dumps(report)  # must stay serializable
+
+    ingest = report["ingest"]
+    assert ingest["bit_for_bit_batch_equals_buffered_puts"]
+    assert ingest["meets_5x"] and ingest["batch_speedup_device"] >= 5
+    assert ingest["batch"]["page_writes"] < ingest["records_per_day"]
+    assert ingest["batch_month"]["records"] == (
+        SMOKE_MONTH_DAYS * ingest["records_per_day"]
+    )
+
+    queries = report["queries"]
+    assert queries["results_identical"]
+    assert queries["zonemap_reads_fewer_than_scan"]
+    assert queries["index"]["pages_read"] <= queries["zonemap_skip"]["pages_read"]
+    assert queries["index"]["plan"] == "range:t"
+
+    cache = report["page_cache"]
+    assert cache["warm_cheaper_than_cold"]
+    assert cache["hit_ratio"] > 0
+    assert cache["resident_pages"] <= cache["cache_pages"]
+
+    recovery = report["recovery"]
+    assert recovery["incremental_replays_fewer_pages"]
+    assert recovery["recovered_state_identical"]
+    assert recovery["incremental"]["mode"] == "checkpoint"
+    assert recovery["full_replay"]["mode"] == "full"
+    assert recovery["maintenance"]["pages_reclaimed"] > 0
+
+    observability = report["observability"]
+    assert observability["schema"] == 1
+    metrics = observability["metrics"]
+    for name in ("store.flush", "store.compaction", "store.cache.hit",
+                 "store.cache.miss", "store.recovery_pages"):
+        assert metrics[name]["value"] > 0, name
+
+    faults = report["fault_control"]
+    assert faults["no_fault_path_clean"]
+    flaky = next(row for row in faults["rows"] if row["profile"] == "flaky")
+    assert flaky["faults_injected"] > 0
+
+    # the tracked JSON must exist, parse, and hold the headline claims
+    tracked = json.loads(REPORT_PATH.read_text())
+    assert tracked["benchmark"] == "store_scale"
+    assert tracked["ingest"]["records_per_day"] == SECONDS_PER_DAY
+    assert tracked["ingest"]["batch_speedup_device"] >= 5
+    assert tracked["ingest"]["bit_for_bit_batch_equals_buffered_puts"]
+    assert tracked["queries"]["zonemap_reads_fewer_than_scan"]
+    assert tracked["queries"]["results_identical"]
+    assert tracked["recovery"]["incremental_replays_fewer_pages"]
+    assert tracked["recovery"]["recovered_state_identical"]
+    assert tracked["page_cache"]["hit_ratio"] > 0
+    assert tracked["observability"]["schema"] == 1
+    assert tracked["fault_control"]["no_fault_path_clean"]
+
+
+if __name__ == "__main__":
+    outcome = write_report()
+    print(json.dumps(outcome, indent=2))

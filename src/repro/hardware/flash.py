@@ -38,6 +38,11 @@ class NandFlash:
             raise ConfigurationError("flash smaller than one block")
         self._pages: dict[int, bytes] = {}
         self._written: set[int] = set()
+        # Erase observers: caches layered above the device must drop
+        # their copies of a block's pages the moment it is erased, or a
+        # read could return pre-erase bytes. Callbacks take the block
+        # index and must not touch the device.
+        self._erase_listeners: list = []
         # Per-block erase counts: NAND blocks wear out after ~1e4-1e5
         # program/erase cycles, so skewed erase distributions are a
         # lifetime problem the store's compaction strategy can cause.
@@ -92,6 +97,17 @@ class NandFlash:
         self.elapsed_us += self.timings.write_page_us
         self.energy_uj += self.timings.write_page_uj
 
+    def add_erase_listener(self, callback) -> None:
+        """Register ``callback(block)`` to run on every block erase."""
+        self._erase_listeners.append(callback)
+
+    def remove_erase_listener(self, callback) -> None:
+        """Unregister a previously added erase callback (idempotent)."""
+        try:
+            self._erase_listeners.remove(callback)
+        except ValueError:
+            pass
+
     def erase_block(self, block: int) -> None:
         """Erase a whole block, freeing its pages for rewriting."""
         if not 0 <= block < self.block_count:
@@ -104,6 +120,8 @@ class NandFlash:
         self.erase_counts[block] = self.erase_counts.get(block, 0) + 1
         self.elapsed_us += self.timings.erase_block_us
         self.energy_uj += self.timings.erase_block_uj
+        for callback in self._erase_listeners:
+            callback(block)
 
     @property
     def max_wear(self) -> int:

@@ -6,7 +6,8 @@ from .encoding import Record, Value, decode_record, encode_record
 from .index import HashIndex, OrderedIndex, intersect_id_sets
 from .join import JoinQuery, JoinResult, execute_join
 from .keywords import KeywordIndex, tokenize
-from .log_store import LogStructuredStore
+from .log_store import LogStructuredStore, RecoveryStats
+from .page_cache import PageCache
 from .query import (
     MATCH_ALL,
     Aggregate,
@@ -32,7 +33,11 @@ from .timeseries import (
     Bucket,
     TimeSeries,
     energy_kwh,
+    load_series,
+    persist_series,
+    series_record_id,
 )
+from .zonemap import BlockSummary
 
 __all__ = [
     "Catalog",
@@ -51,6 +56,9 @@ __all__ = [
     "HasKeyword",
     "intersect_id_sets",
     "LogStructuredStore",
+    "RecoveryStats",
+    "PageCache",
+    "BlockSummary",
     "MATCH_ALL",
     "Aggregate",
     "And",
@@ -72,4 +80,7 @@ __all__ = [
     "Bucket",
     "TimeSeries",
     "energy_kwh",
+    "load_series",
+    "persist_series",
+    "series_record_id",
 ]

@@ -8,6 +8,8 @@ declared hash- or range-indexed, and queries route through
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..errors import ConfigurationError, NotFoundError, QueryError
 from ..hardware.flash import NandFlash
 from ..hardware.profiles import HardwareProfile
@@ -109,8 +111,54 @@ class Collection:
         self._store.put(full_id, record)
         self._index(full_id, record)
 
+    def insert_many(self, items: Iterable[tuple[str, Record]]) -> int:
+        """Batch insert: one pass through the store's page-coalescing
+        ingest plus bulk index maintenance.
+
+        Produces the same flash image and the same final index state as
+        the equivalent sequence of :meth:`insert` calls (replacements —
+        including intra-batch duplicates — are unindexed exactly as the
+        sequential path would), but pays the per-record catalog
+        overhead once per batch: ordered indexes extend-and-sort
+        instead of insorting each posting. Returns the number of
+        records appended to the log.
+        """
+        items = [(self._full_id(record_id), record) for record_id, record in items]
+        pending: dict[str, Record] = {}
+        for full_id, record in items:
+            previous = pending.get(full_id)
+            if previous is not None:
+                self._unindex(full_id, previous)
+            elif self._store.contains(full_id):
+                self._unindex(full_id, self._store.get(full_id))
+            pending[full_id] = record
+        count = self._store.insert_many(items)
+        for field, index in self._hash_indexes.items():
+            index.add_many(
+                (full_id, record[field])
+                for full_id, record in pending.items()
+                if field in record
+            )
+        for field, index in self._ordered_indexes.items():
+            index.add_many(
+                (full_id, record[field])
+                for full_id, record in pending.items()
+                if record.get(field) is not None
+            )
+        for field, index in self._keyword_indexes.items():
+            for full_id, record in pending.items():
+                if field in record:
+                    index.add(full_id, record[field])
+        return count
+
     def get(self, record_id: str) -> Record:
         return self._store.get(self._full_id(record_id))
+
+    def get_many(self, record_ids: list[str]) -> list[Record]:
+        """Fetch several records, reading each flash page at most once."""
+        return self._store.get_many(
+            [self._full_id(record_id) for record_id in record_ids]
+        )
 
     def contains(self, record_id: str) -> bool:
         return self._store.contains(self._full_id(record_id))
@@ -186,6 +234,20 @@ class Collection:
                 return best
         return None, "scan"
 
+    def _range_hint(self, predicate: Predicate) -> tuple[str, object, object] | None:
+        """An unindexed range/equality constraint usable for zone-map
+        block pruning when the planner would otherwise full-scan."""
+        if isinstance(predicate, Between):
+            return predicate.field, predicate.low, predicate.high
+        if isinstance(predicate, Eq) and predicate.value is not None:
+            return predicate.field, predicate.value, predicate.value
+        if isinstance(predicate, And):
+            for child in predicate.children:
+                hint = self._range_hint(child)
+                if hint is not None:
+                    return hint
+        return None
+
 
 class Catalog:
     """A set of collections sharing one flash device and RAM budget."""
@@ -194,10 +256,22 @@ class Catalog:
         self,
         flash: NandFlash,
         profile: HardwareProfile | None = None,
+        *,
+        page_cache_bytes: int | None = None,
+        zone_maps: bool = True,
+        checkpoint_blocks: int = 0,
+        checkpoint_interval_pages: int | None = None,
     ) -> None:
         ram_budget = profile.ram_bytes if profile is not None else None
         self.profile = profile
-        self.store = LogStructuredStore(flash, ram_budget_bytes=ram_budget)
+        self.store = LogStructuredStore(
+            flash,
+            ram_budget_bytes=ram_budget,
+            page_cache_bytes=page_cache_bytes,
+            zone_maps=zone_maps,
+            checkpoint_blocks=checkpoint_blocks,
+            checkpoint_interval_pages=checkpoint_interval_pages,
+        )
         self._collections: dict[str, Collection] = {}
 
     def collection(self, name: str) -> Collection:
@@ -213,8 +287,9 @@ class Catalog:
 
     @property
     def ram_bytes(self) -> int:
-        """Directory plus index RAM, for profile budget checks."""
-        return self.store.directory_ram_bytes + sum(
+        """Store RAM (directory, write buffer, zone maps, resident
+        cache pages) plus index RAM, for profile budget checks."""
+        return self.store.ram_bytes + sum(
             collection.index_ram_bytes for collection in self._collections.values()
         )
 
@@ -229,6 +304,26 @@ class Catalog:
             before = flash.reads
             ids, plan = collection._candidate_ids(predicate)
             if ids is None:
+                # No index applies; before surrendering to a full scan,
+                # try zone-map block pruning on a range/equality
+                # constraint. scan_range yields a block-granular
+                # superset that execute() re-filters, exactly like
+                # index candidates.
+                hint = (
+                    collection._range_hint(predicate)
+                    if self.store.zone_maps_enabled else None
+                )
+                if hint is not None:
+                    hint_field, low, high = hint
+                    prefix = collection._prefix
+                    records = [
+                        record
+                        for full_id, record in self.store.scan_range(
+                            hint_field, low, high
+                        )
+                        if full_id.startswith(prefix)
+                    ]
+                    return records, f"zonemap:{hint_field}", flash.reads - before
                 return None, "scan", 0
             records = self.store.get_many(sorted(ids))
             return records, plan, flash.reads - before

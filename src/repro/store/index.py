@@ -31,6 +31,16 @@ class HashIndex:
     def add(self, record_id: str, value: Value) -> None:
         self._buckets.setdefault(value, set()).add(record_id)
 
+    def add_many(self, entries: Iterable[tuple[str, Value]]) -> None:
+        """Bulk insert (batch-ingest path); same result as repeated add."""
+        buckets = self._buckets
+        for record_id, value in entries:
+            bucket = buckets.get(value)
+            if bucket is None:
+                buckets[value] = {record_id}
+            else:
+                bucket.add(record_id)
+
     def remove(self, record_id: str, value: Value) -> None:
         bucket = self._buckets.get(value)
         if bucket is not None:
@@ -78,6 +88,43 @@ class OrderedIndex:
                 f"mixed value types in ordered index on {self.field!r}"
             ) from exc
         self._entries.insert(position, entry)
+
+    def add_many(self, entries: Iterable[tuple[str, Value]]) -> None:
+        """Bulk insert: extend then sort once (Timsort), instead of one
+        O(n) list-insert per posting.
+
+        This is where batch ingest wins at the catalog layer: repeated
+        :meth:`add` is quadratic in batch size, while appending a
+        sorted run costs one near-linear merge — and the append-only
+        common case (time-series ids arriving in order) short-circuits
+        to a plain list extend.
+        """
+        new: list[tuple[Value, str]] = []
+        for record_id, value in entries:
+            if value is None:
+                raise QueryError(
+                    f"cannot order None value in index on {self.field!r}"
+                )
+            new.append((value, record_id))
+        if not new:
+            return
+        try:
+            new.sort()
+            if self._entries:
+                # one cross-batch probe catches batch-vs-existing type
+                # mixes before they corrupt the sorted invariant
+                self._entries[-1] < new[0]
+        except TypeError as exc:
+            raise QueryError(
+                f"mixed value types in ordered index on {self.field!r}"
+            ) from exc
+        if not self._entries:
+            self._entries = new
+        elif self._entries[-1] <= new[0]:
+            self._entries.extend(new)
+        else:
+            self._entries.extend(new)
+            self._entries.sort()
 
     def remove(self, record_id: str, value: Value) -> None:
         entry = (value, record_id)

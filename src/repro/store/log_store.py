@@ -9,16 +9,75 @@ records into fresh blocks and erases the old ones.
 This is the layer that makes experiment E8 meaningful: every operation
 has a flash cost visible in the device counters, and the RAM directory
 is bounded by the profile's RAM budget.
+
+The 1 Hz Linky vertical (86,400 records/day through one cell) adds the
+scaling machinery embedded PDS engines rely on:
+
+* **batch ingest** — :meth:`insert_many` coalesces encoded records
+  through the page buffer and pays one flash program per *page*, with
+  none of the per-record call overhead of :meth:`put`;
+* **page cache** — an optional bounded LRU
+  (:class:`~repro.store.page_cache.PageCache`) over device reads,
+  invalidated by block erases through the device's erase listener;
+* **zone maps** — per-block :class:`~repro.store.zonemap.BlockSummary`
+  records (min/max sequence + field bounds, written at flush) let
+  :meth:`scan_range` skip provably dead blocks;
+* **checkpointed recovery** — :meth:`checkpoint` persists the
+  directory and zone maps into a reserved flash region, so a reboot
+  replays only the pages written since, not the whole log.
 """
 
 from __future__ import annotations
 
-from ..errors import CapacityError, NotFoundError, StorageError
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import (
+    CapacityError,
+    ConfigurationError,
+    NotFoundError,
+    StorageError,
+)
 from ..hardware.flash import NandFlash
-from .encoding import Record, decode_record, encode_record
+from ..obs import get_default as _obs_default
+from .encoding import Record, Value, decode_record, encode_record
+from .page_cache import PageCache
+from .zonemap import BlockSummary
 
 _ENTRY_INSERT = 1
 _ENTRY_DELETE = 2
+
+# Store instruments live on the process-default scope (stores have no
+# world). Bind the instruments, not their values: the test fixture
+# resets the registry in place between tests.
+_OBS = _obs_default()
+_FLUSHES = _OBS.metrics.counter(
+    "store.flush", help="page-buffer flushes (one flash page program each)")
+_COMPACTIONS = _OBS.metrics.counter(
+    "store.compaction", help="compaction passes (full or incremental)")
+_RECOVERY_PAGES = _OBS.metrics.counter(
+    "store.recovery_pages",
+    help="log pages replayed rebuilding directories after reboot")
+_CHECKPOINTS = _OBS.metrics.counter(
+    "store.checkpoints", help="directory checkpoints written to flash")
+
+_CKPT_MAGIC = b"\xc4\x4b"
+_CKPT_HEADER_BYTES = 16  # magic(2) + id(8) + chunk(2) + total(2) + length(2)
+
+
+@dataclass
+class RecoveryStats:
+    """What one reboot recovery cost (see :meth:`LogStructuredStore.recover`)."""
+
+    mode: str  # "full" or "checkpoint"
+    pages_replayed: int = 0
+    checkpoint_pages_read: int = 0
+    probe_reads: int = 0
+    checkpoint_seq: int = 0
+
+    @property
+    def total_pages_read(self) -> int:
+        return self.pages_replayed + self.checkpoint_pages_read + self.probe_reads
 
 
 class LogStructuredStore:
@@ -27,16 +86,60 @@ class LogStructuredStore:
     Records are ``dict`` field maps (see :mod:`repro.store.encoding`)
     keyed by a caller-supplied string id. A record must fit in one
     flash page after encoding.
+
+    ``page_cache_bytes`` enables the bounded LRU page cache;
+    ``checkpoint_blocks`` reserves that many blocks (an even count) at
+    the end of the device for directory checkpoints, written on demand
+    via :meth:`checkpoint` or automatically every
+    ``checkpoint_interval_pages`` flushed pages; ``zone_maps=False``
+    turns off field summaries (block fingerprints are kept regardless —
+    incremental recovery needs them).
     """
 
-    def __init__(self, flash: NandFlash, ram_budget_bytes: int | None = None) -> None:
+    def __init__(self, flash: NandFlash, ram_budget_bytes: int | None = None,
+                 *, page_cache_bytes: int | None = None,
+                 zone_maps: bool = True, checkpoint_blocks: int = 0,
+                 checkpoint_interval_pages: int | None = None) -> None:
         self.flash = flash
         self._page_size = flash.timings.page_size
+        self._pages_per_block = flash.timings.pages_per_block
+        if checkpoint_blocks < 0 or checkpoint_blocks % 2:
+            raise ConfigurationError(
+                "checkpoint_blocks must be an even, non-negative block count"
+            )
+        if checkpoint_blocks >= flash.block_count:
+            raise ConfigurationError(
+                "checkpoint region leaves no data blocks"
+            )
+        self._checkpoint_blocks = checkpoint_blocks
+        self._data_block_count = flash.block_count - checkpoint_blocks
+        self._checkpoint_interval = checkpoint_interval_pages
+        self._pages_since_checkpoint = 0
+        self._checkpoint_counter = 0
+        # A/B halves of the reserved region; the next checkpoint goes
+        # to 1 - _ckpt_half. Unknown region state (fresh store over a
+        # used device) is wiped before the first write.
+        self._ckpt_half = 1
+        self._ckpt_region_known = False
+        self.checkpoints_written = 0
         # id -> (page, offset, length); None means deleted
         self._directory: dict[str, tuple[int, int, int]] = {}
         self._buffer = bytearray()
-        self._buffer_entries: list[tuple[str, int, int, int]] = []  # id, kind, off, len
+        # id, kind, payload offset, payload length, record (for zone maps)
+        self._buffer_entries: list[
+            tuple[str, int, int, int, Record | None]
+        ] = []
+        # id -> index of its latest buffered entry (O(1) get/contains)
+        self._buffered: dict[str, int] = {}
         self._live_per_block: dict[int, int] = {}
+        # Per-block zone maps / fingerprints, maintained at flush and
+        # replay, dropped on erase.
+        self._summaries: dict[int, BlockSummary] = {}
+        self._zone_maps = zone_maps
+        self.page_cache = (
+            PageCache(flash, page_cache_bytes)
+            if page_cache_bytes is not None else None
+        )
         # Block-granular allocation: one active block receives pages
         # sequentially; erased blocks return to the free list; fresh
         # blocks come from the tail.
@@ -51,22 +154,52 @@ class LogStructuredStore:
         self._ram_budget = ram_budget_bytes
         self.inserts = 0
         self.deletes = 0
+        self.last_recovery: RecoveryStats | None = None
 
     # -- RAM accounting -----------------------------------------------------
 
     _DIRECTORY_ENTRY_BYTES = 48  # id hash + location tuple, order of magnitude
+    _BUFFER_ENTRY_BYTES = 24  # entry tuple + buffered-id slot
 
     @property
     def directory_ram_bytes(self) -> int:
-        """Approximate RAM held by the directory (for budget checks)."""
-        return len(self._directory) * self._DIRECTORY_ENTRY_BYTES + len(self._buffer)
+        """Approximate RAM held by the directory *plus* the unflushed
+        page buffer and its entry table — buffered-but-unflushed data
+        counts against the budget exactly like flushed directory
+        entries, so the bound cannot be dodged by never flushing."""
+        return (
+            len(self._directory) * self._DIRECTORY_ENTRY_BYTES
+            + len(self._buffer)
+            + len(self._buffer_entries) * self._BUFFER_ENTRY_BYTES
+        )
+
+    @property
+    def summaries_ram_bytes(self) -> int:
+        """Approximate RAM held by the per-block zone maps."""
+        return sum(summary.ram_bytes for summary in self._summaries.values())
+
+    @property
+    def ram_bytes(self) -> int:
+        """Everything the store holds in RAM (cache pages included)."""
+        cache = self.page_cache.ram_bytes if self.page_cache is not None else 0
+        return self.directory_ram_bytes + self.summaries_ram_bytes + cache
 
     def _check_ram(self) -> None:
-        if self._ram_budget is not None and self.directory_ram_bytes > self._ram_budget:
+        if self._ram_budget is None:
+            return
+        held = self.directory_ram_bytes + self.summaries_ram_bytes
+        if held > self._ram_budget:
             raise CapacityError(
-                f"record directory exceeds RAM budget "
-                f"({self.directory_ram_bytes} > {self._ram_budget} bytes)"
+                f"store RAM (directory + write buffer + zone maps) exceeds "
+                f"budget ({held} > {self._ram_budget} bytes)"
             )
+
+    # -- cached device reads --------------------------------------------------
+
+    def _read_page(self, page: int) -> bytes:
+        if self.page_cache is not None:
+            return self.page_cache.read_page(page)
+        return self.flash.read_page(page)
 
     # -- log entry framing ----------------------------------------------------
 
@@ -83,6 +216,12 @@ class LogStructuredStore:
 
     _PAGE_HEADER_BYTES = 8
 
+    def _block_summary(self, block: int) -> BlockSummary:
+        summary = self._summaries.get(block)
+        if summary is None:
+            summary = self._summaries[block] = BlockSummary()
+        return summary
+
     def _flush_buffer(self) -> None:
         if not self._buffer_entries:
             return
@@ -91,25 +230,45 @@ class LogStructuredStore:
         page_data = self._page_sequence.to_bytes(self._PAGE_HEADER_BYTES, "big")
         page_data += bytes(self._buffer)
         self.flash.write_page(page, page_data)
-        block = self.flash.block_of(page)
-        for record_id, kind, offset, length in self._buffer_entries:
-            shifted = offset + self._PAGE_HEADER_BYTES
+        if self.page_cache is not None:
+            self.page_cache.note_write(page, page_data)
+        block = page // self._pages_per_block
+        summary = self._block_summary(block)
+        summary.note_page(self._page_sequence)
+        directory = self._directory
+        live = self._live_per_block
+        header = self._PAGE_HEADER_BYTES
+        for record_id, kind, offset, length, record in self._buffer_entries:
             if kind == _ENTRY_INSERT:
                 self._retire(record_id)
-                self._directory[record_id] = (page, shifted, length)
-                self._live_per_block[block] = self._live_per_block.get(block, 0) + 1
+                directory[record_id] = (page, offset + header, length)
+                live[block] = live.get(block, 0) + 1
+                if self._zone_maps:
+                    if record is None:
+                        record = decode_record(
+                            bytes(self._buffer[offset : offset + length])
+                        )
+                    summary.note_record(record)
             else:
                 self._retire(record_id)
-                self._directory.pop(record_id, None)
+                directory.pop(record_id, None)
         self._buffer = bytearray()
         self._buffer_entries = []
+        self._buffered = {}
+        _FLUSHES.inc()
+        self._pages_since_checkpoint += 1
+        if (
+            self._checkpoint_interval is not None
+            and self._pages_since_checkpoint >= self._checkpoint_interval
+        ):
+            self.checkpoint()
 
     def _retire(self, record_id: str) -> None:
         """Decrement the live count of the block holding the old version."""
         location = self._directory.get(record_id)
         if location is None:
             return
-        old_block = self.flash.block_of(location[0])
+        old_block = location[0] // self._pages_per_block
         remaining = self._live_per_block.get(old_block, 0) - 1
         if remaining > 0:
             self._live_per_block[old_block] = remaining
@@ -117,12 +276,12 @@ class LogStructuredStore:
             self._live_per_block.pop(old_block, None)
 
     def _allocate_page(self) -> int:
-        pages_per_block = self.flash.timings.pages_per_block
+        pages_per_block = self._pages_per_block
         if self._active_block is None or self._active_offset >= pages_per_block:
             if self._free_blocks:
                 self._active_block = self._free_blocks.pop(0)
             else:
-                if self._tail_block >= self.flash.block_count:
+                if self._tail_block >= self._data_block_count:
                     raise CapacityError("flash device is full; compact first")
                 self._active_block = self._tail_block
                 self._tail_block += 1
@@ -132,7 +291,8 @@ class LogStructuredStore:
         self._allocated_pages += 1
         return page
 
-    def _append(self, kind: int, record_id: str, payload: bytes) -> None:
+    def _append(self, kind: int, record_id: str, payload: bytes,
+                record: Record | None = None) -> None:
         frame = self._frame(kind, record_id, payload)
         usable = self._page_size - self._PAGE_HEADER_BYTES
         if len(frame) > usable:
@@ -145,15 +305,67 @@ class LogStructuredStore:
         offset = len(self._buffer)
         self._buffer.extend(frame)
         payload_offset = offset + 1 + 2 + len(record_id.encode()) + 2
-        self._buffer_entries.append((record_id, kind, payload_offset, len(payload)))
+        self._buffer_entries.append(
+            (record_id, kind, payload_offset, len(payload), record)
+        )
+        self._buffered[record_id] = len(self._buffer_entries) - 1
         self._check_ram()
 
     # -- public API ---------------------------------------------------------
 
     def put(self, record_id: str, record: Record) -> None:
         """Insert or replace the record stored under ``record_id``."""
-        self._append(_ENTRY_INSERT, record_id, encode_record(record))
+        self._append(_ENTRY_INSERT, record_id, encode_record(record), record)
         self.inserts += 1
+
+    def insert_many(self, items: Iterable[tuple[str, Record]]) -> int:
+        """Batch ingest: append many records with page-granular cost.
+
+        Produces the *identical* flash image a sequence of :meth:`put`
+        calls would (same framing, same page boundaries, same sequence
+        numbers) — the batch ingest benchmark proves this bit-for-bit —
+        but skips the per-record call overhead: frames are packed into
+        the page buffer in one tight loop and the RAM budget is checked
+        per flushed page instead of per record. Returns the number of
+        records appended.
+        """
+        usable = self._page_size - self._PAGE_HEADER_BYTES
+        buffer = self._buffer
+        entries = self._buffer_entries
+        buffered = self._buffered
+        count = 0
+        for record_id, record in items:
+            payload = encode_record(record)
+            id_bytes = record_id.encode()
+            frame_length = 5 + len(id_bytes) + len(payload)
+            if frame_length > usable:
+                raise StorageError(
+                    f"record {record_id!r} ({frame_length} bytes framed) "
+                    f"exceeds usable page size {usable}"
+                )
+            if len(buffer) + frame_length > usable:
+                self._flush_buffer()
+                self._check_ram()
+                buffer = self._buffer
+                entries = self._buffer_entries
+                buffered = self._buffered
+            offset = len(buffer)
+            buffer += (
+                b"\x01"
+                + len(id_bytes).to_bytes(2, "big")
+                + id_bytes
+                + len(payload).to_bytes(2, "big")
+                + payload
+            )
+            entries.append(
+                (record_id, _ENTRY_INSERT, offset + 5 + len(id_bytes),
+                 len(payload), record)
+            )
+            buffered[record_id] = len(entries) - 1
+            count += 1
+        self.inserts += count
+        self._check_ram()
+        return count
 
     def delete(self, record_id: str) -> None:
         """Delete a record (raises :class:`NotFoundError` if absent)."""
@@ -163,23 +375,17 @@ class LogStructuredStore:
         self.deletes += 1
 
     def contains(self, record_id: str) -> bool:
-        last_buffered_kind = None
-        for entry_id, kind, _, _ in self._buffer_entries:
-            if entry_id == record_id:
-                last_buffered_kind = kind
-        if last_buffered_kind is not None:
-            return last_buffered_kind == _ENTRY_INSERT
+        index = self._buffered.get(record_id)
+        if index is not None:
+            return self._buffer_entries[index][1] == _ENTRY_INSERT
         return record_id in self._directory
 
     def get(self, record_id: str) -> Record:
         """Fetch the latest version of a record (one page read, unless
         the record is still in the write buffer)."""
-        buffered = None
-        for entry_id, kind, offset, length in self._buffer_entries:
-            if entry_id == record_id:
-                buffered = (kind, offset, length)
-        if buffered is not None:
-            kind, offset, length = buffered
+        index = self._buffered.get(record_id)
+        if index is not None:
+            _, kind, offset, length, _ = self._buffer_entries[index]
             if kind == _ENTRY_DELETE:
                 raise NotFoundError(f"no record {record_id!r}")
             return decode_record(bytes(self._buffer[offset : offset + length]))
@@ -187,7 +393,7 @@ class LogStructuredStore:
         if location is None:
             raise NotFoundError(f"no record {record_id!r}")
         page, offset, length = location
-        data = self.flash.read_page(page)
+        data = self._read_page(page)
         return decode_record(data[offset : offset + length])
 
     def get_many(self, record_ids: list[str]) -> list[Record]:
@@ -197,10 +403,9 @@ class LogStructuredStore:
         page cost a single page read.
         """
         buffered = [record_id for record_id in record_ids
-                    if any(entry_id == record_id
-                           for entry_id, _, _, _ in self._buffer_entries)]
+                    if record_id in self._buffered]
         flushed = [record_id for record_id in record_ids
-                   if record_id not in set(buffered)]
+                   if record_id not in self._buffered]
         page_cache: dict[int, bytes] = {}
         results: dict[str, Record] = {}
         for record_id in flushed:
@@ -209,7 +414,7 @@ class LogStructuredStore:
                 raise NotFoundError(f"no record {record_id!r}")
             page, offset, length = location
             if page not in page_cache:
-                page_cache[page] = self.flash.read_page(page)
+                page_cache[page] = self._read_page(page)
             results[record_id] = decode_record(
                 page_cache[page][offset : offset + length]
             )
@@ -224,27 +429,62 @@ class LogStructuredStore:
     def record_ids(self) -> list[str]:
         """All live record ids (buffered writes included), sorted."""
         ids = set(self._directory)
-        for entry_id, kind, _, _ in self._buffer_entries:
-            if kind == _ENTRY_INSERT:
+        for entry_id, index in self._buffered.items():
+            if self._buffer_entries[index][1] == _ENTRY_INSERT:
                 ids.add(entry_id)
             else:
                 ids.discard(entry_id)
         return sorted(ids)
 
-    def scan(self):
+    def scan(self) -> Iterator[tuple[str, Record]]:
         """Iterate ``(record_id, record)`` over all live records.
 
         Reads each flash page at most once (records are grouped by
         page), so this is the honest full-scan baseline that E8
         compares against index lookups.
         """
-        buffered_ids = {entry_id for entry_id, _, _, _ in self._buffer_entries}
+        buffered_ids = set(self._buffered)
         by_page: dict[int, list[tuple[str, int, int]]] = {}
         for record_id, (page, offset, length) in self._directory.items():
             if record_id not in buffered_ids:
                 by_page.setdefault(page, []).append((record_id, offset, length))
         for page in sorted(by_page):
-            data = self.flash.read_page(page)
+            data = self._read_page(page)
+            for record_id, offset, length in sorted(by_page[page], key=lambda e: e[1]):
+                yield record_id, decode_record(data[offset : offset + length])
+        for entry_id in sorted(buffered_ids):
+            if self.contains(entry_id):
+                yield entry_id, self.get(entry_id)
+
+    # -- zone-map-pruned scans ------------------------------------------------
+
+    @property
+    def zone_maps_enabled(self) -> bool:
+        return self._zone_maps
+
+    def scan_range(self, field: str, low: Value = None,
+                   high: Value = None) -> Iterator[tuple[str, Record]]:
+        """Skip-scan: like :meth:`scan`, but pages of blocks whose zone
+        map proves no record can satisfy ``low <= record[field] <=
+        high`` are never read. Yields a *superset* of the matching
+        records (block granularity) — callers re-filter, exactly as
+        they re-filter index candidates. Falls back to a plain scan
+        when zone maps are disabled.
+        """
+        buffered_ids = set(self._buffered)
+        prune = self._zone_maps
+        pages_per_block = self._pages_per_block
+        by_page: dict[int, list[tuple[str, int, int]]] = {}
+        for record_id, (page, offset, length) in self._directory.items():
+            if record_id in buffered_ids:
+                continue
+            if prune:
+                summary = self._summaries.get(page // pages_per_block)
+                if summary is not None and not summary.admits(field, low, high):
+                    continue
+            by_page.setdefault(page, []).append((record_id, offset, length))
+        for page in sorted(by_page):
+            data = self._read_page(page)
             for record_id, offset, length in sorted(by_page[page], key=lambda e: e[1]):
                 yield record_id, decode_record(data[offset : offset + length])
         for entry_id in sorted(buffered_ids):
@@ -269,6 +509,12 @@ class LogStructuredStore:
             if block not in free
         ]
 
+    def _erase_block(self, block: int) -> None:
+        """Erase one data block and drop its zone map (the page cache
+        invalidates itself through the device's erase listener)."""
+        self.flash.erase_block(block)
+        self._summaries.pop(block, None)
+
     def compact(self) -> int:
         """Full compaction: stage the live set in RAM, erase every used
         block, and rewrite the live records from scratch.
@@ -283,7 +529,7 @@ class LogStructuredStore:
         live = [(record_id, self.get(record_id)) for record_id in self.record_ids()]
         used = self._used_blocks()
         for block in used:
-            self.flash.erase_block(block)
+            self._erase_block(block)
         self._directory.clear()
         self._live_per_block.clear()
         self._tail_block = 0
@@ -292,41 +538,371 @@ class LogStructuredStore:
         self._free_blocks = []
         self._allocated_pages = 0
         for record_id, record in live:
-            self._append(_ENTRY_INSERT, record_id, encode_record(record))
+            self._append(_ENTRY_INSERT, record_id, encode_record(record), record)
         self._flush_buffer()
+        _COMPACTIONS.inc()
         return len(used)
+
+    def compact_incremental(self, max_victims: int = 1) -> int:
+        """Victim-block garbage collection: relocate the live records of
+        the emptiest full blocks, erase them, recycle them.
+
+        The classic flash-GC strategy: cost is proportional to the
+        *live* data in the victims (often near zero for churn-heavy
+        workloads) instead of the whole store, at the price of
+        bookkeeping and potentially uneven wear. Returns the number of
+        blocks reclaimed; picking fewer than ``max_victims`` (or none)
+        happens when no full, non-active block exists.
+        """
+        self._flush_buffer()
+        pages_per_block = self._pages_per_block
+        candidates = [
+            block for block in self._used_blocks()
+            if block != self._active_block
+        ]
+        victims = sorted(
+            candidates, key=lambda block: self._live_per_block.get(block, 0)
+        )[:max_victims]
+        reclaimed = 0
+        for victim in victims:
+            live_ids = [
+                record_id
+                for record_id, (page, _, _) in self._directory.items()
+                if page // pages_per_block == victim
+            ]
+            if live_ids:
+                relocated = self.get_many(sorted(live_ids))
+                for record_id, record in zip(sorted(live_ids), relocated):
+                    self._append(
+                        _ENTRY_INSERT, record_id, encode_record(record), record
+                    )
+                self._flush_buffer()
+            self._erase_block(victim)
+            self._live_per_block.pop(victim, None)
+            self._free_blocks.append(victim)
+            self._allocated_pages -= pages_per_block
+            reclaimed += 1
+        if reclaimed:
+            _COMPACTIONS.inc()
+        return reclaimed
+
+    # -- directory checkpoints -------------------------------------------------
+
+    @property
+    def _region_start_block(self) -> int:
+        return self.flash.block_count - self._checkpoint_blocks
+
+    def _half_blocks(self, half: int) -> range:
+        half_size = self._checkpoint_blocks // 2
+        start = self._region_start_block + half * half_size
+        return range(start, start + half_size)
+
+    def _serialize_checkpoint(self) -> bytes:
+        directory_blob = bytearray()
+        for record_id, (page, offset, length) in self._directory.items():
+            id_bytes = record_id.encode()
+            directory_blob += len(id_bytes).to_bytes(2, "big") + id_bytes
+            directory_blob += page.to_bytes(4, "big")
+            directory_blob += offset.to_bytes(2, "big")
+            directory_blob += length.to_bytes(2, "big")
+        live_blob = bytearray()
+        for block, count in sorted(self._live_per_block.items()):
+            live_blob += block.to_bytes(4, "big") + count.to_bytes(4, "big")
+        zone_blob = bytearray()
+        for block, summary in sorted(self._summaries.items()):
+            encoded = encode_record(summary.to_record())
+            zone_blob += block.to_bytes(4, "big")
+            zone_blob += len(encoded).to_bytes(4, "big")
+            zone_blob += encoded
+        parts = [b"CKP1", self._page_sequence.to_bytes(8, "big")]
+        for blob in (directory_blob, live_blob, zone_blob):
+            parts.append(len(blob).to_bytes(8, "big"))
+            parts.append(bytes(blob))
+        return b"".join(parts)
+
+    @staticmethod
+    def _parse_checkpoint(payload: bytes) -> dict:
+        if payload[:4] != b"CKP1":
+            raise StorageError("malformed checkpoint payload")
+        sequence = int.from_bytes(payload[4:12], "big")
+        cursor = 12
+
+        def take_blob() -> bytes:
+            nonlocal cursor
+            length = int.from_bytes(payload[cursor : cursor + 8], "big")
+            cursor += 8
+            blob = payload[cursor : cursor + length]
+            if len(blob) != length:
+                raise StorageError("truncated checkpoint payload")
+            cursor += length
+            return blob
+
+        directory_blob = take_blob()
+        live_blob = take_blob()
+        zone_blob = take_blob()
+        directory: dict[str, tuple[int, int, int]] = {}
+        position = 0
+        while position < len(directory_blob):
+            id_length = int.from_bytes(
+                directory_blob[position : position + 2], "big")
+            position += 2
+            record_id = directory_blob[position : position + id_length].decode()
+            position += id_length
+            page = int.from_bytes(directory_blob[position : position + 4], "big")
+            offset = int.from_bytes(
+                directory_blob[position + 4 : position + 6], "big")
+            length = int.from_bytes(
+                directory_blob[position + 6 : position + 8], "big")
+            position += 8
+            directory[record_id] = (page, offset, length)
+        live: dict[int, int] = {}
+        for position in range(0, len(live_blob), 8):
+            block = int.from_bytes(live_blob[position : position + 4], "big")
+            live[block] = int.from_bytes(
+                live_blob[position + 4 : position + 8], "big")
+        summaries: dict[int, BlockSummary] = {}
+        position = 0
+        while position < len(zone_blob):
+            block = int.from_bytes(zone_blob[position : position + 4], "big")
+            length = int.from_bytes(zone_blob[position + 4 : position + 8], "big")
+            position += 8
+            summaries[block] = BlockSummary.from_record(
+                decode_record(bytes(zone_blob[position : position + length]))
+            )
+            position += length
+        return {
+            "seq": sequence, "directory": directory,
+            "live": live, "summaries": summaries,
+        }
+
+    def checkpoint(self) -> int:
+        """Persist the directory, live counts and zone maps into the
+        reserved checkpoint region; returns the pages written.
+
+        Alternates between the region's two halves (A/B), erasing the
+        target half first, so a crash mid-write always leaves the
+        previous complete checkpoint intact. Reboot recovery then
+        replays only pages written after the checkpoint's sequence
+        number (see :meth:`recover`).
+        """
+        if not self._checkpoint_blocks:
+            raise ConfigurationError(
+                "store was built without a checkpoint region"
+            )
+        self._flush_buffer()
+        payload = self._serialize_checkpoint()
+        chunk_capacity = self._page_size - _CKPT_HEADER_BYTES
+        chunks = [
+            payload[position : position + chunk_capacity]
+            for position in range(0, len(payload), chunk_capacity)
+        ] or [b""]
+        half_pages = (self._checkpoint_blocks // 2) * self._pages_per_block
+        if len(chunks) > half_pages:
+            raise StorageError(
+                f"checkpoint needs {len(chunks)} pages but each half of the "
+                f"region holds {half_pages}; grow checkpoint_blocks"
+            )
+        if not self._ckpt_region_known:
+            # Fresh store over a device of unknown history: wipe the
+            # whole region so stale checkpoints cannot shadow this one.
+            for block in range(self._region_start_block, self.flash.block_count):
+                first_page = block * self._pages_per_block
+                if any(
+                    self.flash.is_written(page)
+                    for page in range(first_page, first_page + self._pages_per_block)
+                ):
+                    self.flash.erase_block(block)
+            self._ckpt_region_known = True
+            target = 0
+        else:
+            target = 1 - self._ckpt_half
+            for block in self._half_blocks(target):
+                first_page = block * self._pages_per_block
+                if any(
+                    self.flash.is_written(page)
+                    for page in range(first_page, first_page + self._pages_per_block)
+                ):
+                    self.flash.erase_block(block)
+        self._checkpoint_counter += 1
+        target_blocks = list(self._half_blocks(target))
+        for index, chunk in enumerate(chunks):
+            block = target_blocks[index // self._pages_per_block]
+            page = block * self._pages_per_block + index % self._pages_per_block
+            header = (
+                _CKPT_MAGIC
+                + self._checkpoint_counter.to_bytes(8, "big")
+                + index.to_bytes(2, "big")
+                + len(chunks).to_bytes(2, "big")
+                + len(chunk).to_bytes(2, "big")
+            )
+            self.flash.write_page(page, header + chunk)
+        self._ckpt_half = target
+        self._pages_since_checkpoint = 0
+        self.checkpoints_written += 1
+        _CHECKPOINTS.inc()
+        _OBS.events.emit(
+            "store.checkpoint", seq=self._page_sequence,
+            pages=len(chunks), records=len(self._directory),
+        )
+        return len(chunks)
+
+    def _load_latest_checkpoint(self, stats: RecoveryStats) -> dict | None:
+        """Scan the reserved region; returns the newest complete
+        checkpoint (or None) and restores the writer's A/B state."""
+        chunks: dict[int, dict[int, bytes]] = {}
+        totals: dict[int, int] = {}
+        halves: dict[int, int] = {}
+        half_size = self._checkpoint_blocks // 2
+        for block in range(self._region_start_block, self.flash.block_count):
+            first_page = block * self._pages_per_block
+            for page in range(first_page, first_page + self._pages_per_block):
+                if not self.flash.is_written(page):
+                    continue
+                data = self.flash.read_page(page)
+                stats.checkpoint_pages_read += 1
+                if data[:2] != _CKPT_MAGIC:
+                    continue
+                ckpt_id = int.from_bytes(data[2:10], "big")
+                index = int.from_bytes(data[10:12], "big")
+                total = int.from_bytes(data[12:14], "big")
+                length = int.from_bytes(data[14:16], "big")
+                chunks.setdefault(ckpt_id, {})[index] = data[16 : 16 + length]
+                totals[ckpt_id] = total
+                halves[ckpt_id] = (
+                    0 if block < self._region_start_block + half_size else 1
+                )
+        self._ckpt_region_known = True
+        self._checkpoint_counter = max(chunks, default=0)
+        complete = [
+            ckpt_id for ckpt_id, got in chunks.items()
+            if len(got) == totals.get(ckpt_id)
+        ]
+        if not complete:
+            return None
+        latest = max(complete)
+        self._ckpt_half = halves[latest]
+        payload = b"".join(
+            chunks[latest][index] for index in range(totals[latest])
+        )
+        return self._parse_checkpoint(payload)
+
+    # -- reboot recovery -------------------------------------------------------
 
     @classmethod
     def recover(cls, flash: NandFlash,
-                ram_budget_bytes: int | None = None) -> "LogStructuredStore":
+                ram_budget_bytes: int | None = None, *,
+                page_cache_bytes: int | None = None,
+                zone_maps: bool = True,
+                checkpoint_blocks: int = 0,
+                checkpoint_interval_pages: int | None = None,
+                use_checkpoint: bool = True) -> "LogStructuredStore":
         """Rebuild a store from a flash device after a reboot.
 
         The RAM directory is volatile; a restarted cell reconstructs it
-        by scanning every programmed page, ordering pages by their
-        sequence headers, and replaying the log entries in write order.
-        The scan cost (one read per written page) lands in the flash
-        counters, exactly as it would on real hardware.
+        by replaying log pages in sequence order. Without a checkpoint
+        (or with ``use_checkpoint=False``) every programmed page is
+        read — the seed behaviour, cost visible in the flash counters.
+        With a checkpoint region the replay is *incremental*: the
+        newest complete checkpoint restores the directory and zone
+        maps, one probe read per previously known block proves it
+        unchanged (NAND sequence numbers are monotone, so a matching
+        first-page sequence rules out recycling), and only pages
+        written after the checkpoint are replayed. ``last_recovery``
+        records what the reboot cost either way.
         """
-        store = cls(flash, ram_budget_bytes=ram_budget_bytes)
+        store = cls(
+            flash, ram_budget_bytes=ram_budget_bytes,
+            page_cache_bytes=page_cache_bytes, zone_maps=zone_maps,
+            checkpoint_blocks=checkpoint_blocks,
+            checkpoint_interval_pages=checkpoint_interval_pages,
+        )
         pages_per_block = flash.timings.pages_per_block
+        header = cls._PAGE_HEADER_BYTES
+        stats = RecoveryStats(mode="full")
+        data_page_limit = store._data_block_count * pages_per_block
+        written = [
+            page for page in flash.written_pages() if page < data_page_limit
+        ]
+        checkpoint = None
+        if checkpoint_blocks:
+            checkpoint = store._load_latest_checkpoint(stats)
         sequenced: list[tuple[int, int, bytes]] = []
-        for page in flash.written_pages():
-            data = flash.read_page(page)
-            sequence = int.from_bytes(data[: cls._PAGE_HEADER_BYTES], "big")
-            sequenced.append((sequence, page, data))
+        if checkpoint is not None and use_checkpoint:
+            stats.mode = "checkpoint"
+            stats.checkpoint_seq = checkpoint["seq"]
+            store._directory = checkpoint["directory"]
+            store._live_per_block = checkpoint["live"]
+            store._summaries = checkpoint["summaries"]
+            store._page_sequence = checkpoint["seq"]
+            by_block: dict[int, list[int]] = {}
+            for page in written:
+                by_block.setdefault(page // pages_per_block, []).append(page)
+            # Blocks the checkpoint knew that were erased (and possibly
+            # rewritten) since — by compaction — are *stale*: their
+            # checkpointed directory entries point at recycled pages.
+            # Every record that survived lives in a strictly newer log
+            # entry (GC relocates before erasing; full compaction
+            # rewrites everything), so the stale entries are purged and
+            # the replay below restores the survivors.
+            stale_blocks: set[int] = set()
+            for block in list(store._summaries):
+                if block not in by_block:
+                    stale_blocks.add(block)
+                    store._summaries.pop(block)
+                    store._live_per_block.pop(block, None)
+            for block, pages in sorted(by_block.items()):
+                pages.sort()
+                summary = store._summaries.get(block)
+                if summary is None or not summary.pages:
+                    fresh = pages  # block unknown to the checkpoint
+                else:
+                    probe = flash.read_page(pages[0])
+                    stats.probe_reads += 1
+                    first_seq = int.from_bytes(probe[:header], "big")
+                    if first_seq == summary.min_seq:
+                        # unchanged prefix: replay only the tail pages
+                        # programmed after the checkpoint
+                        fresh = pages[summary.pages :]
+                    else:
+                        # erased and recycled since the checkpoint:
+                        # every page here is newer; rebuild its summary
+                        # from the replay
+                        stale_blocks.add(block)
+                        store._summaries.pop(block, None)
+                        store._live_per_block.pop(block, None)
+                        sequenced.append((first_seq, pages[0], probe))
+                        fresh = pages[1:]
+                for page in fresh:
+                    data = flash.read_page(page)
+                    sequenced.append(
+                        (int.from_bytes(data[:header], "big"), page, data)
+                    )
+            if stale_blocks:
+                for record_id, location in list(store._directory.items()):
+                    if location[0] // pages_per_block in stale_blocks:
+                        del store._directory[record_id]
+        else:
+            for page in written:
+                data = flash.read_page(page)
+                sequenced.append(
+                    (int.from_bytes(data[:header], "big"), page, data)
+                )
         sequenced.sort()
         for sequence, page, data in sequenced:
-            store._replay_page(page, data)
-            store._page_sequence = max(store._page_sequence, sequence)
+            store._replay_page(page, data, sequence)
+            if sequence > store._page_sequence:
+                store._page_sequence = sequence
+        stats.pages_replayed = len(sequenced)
+        _RECOVERY_PAGES.inc(len(sequenced))
         # Rebuild the allocator: tail past the last programmed block;
         # the block with trailing unprogrammed pages (at most one, by
         # the sequential-write discipline) resumes as the active block;
         # fully-erased blocks below the tail return to the free list.
-        written = set(flash.written_pages())
+        written_set = set(written)
         blocks_with_data = sorted(
-            {flash.block_of(page) for page in written}
+            {page // pages_per_block for page in written_set}
         )
-        store._allocated_pages = len(written)
+        store._allocated_pages = len(written_set)
         if blocks_with_data:
             store._tail_block = blocks_with_data[-1] + 1
             store._free_blocks = [
@@ -338,19 +914,29 @@ class LogStructuredStore:
             # (which, after GC recycling, need not be the highest one).
             for block in blocks_with_data:
                 used_in_block = sum(
-                    1 for page in written
-                    if flash.block_of(page) == block
+                    1 for page in written_set
+                    if page // pages_per_block == block
                 )
                 if used_in_block < pages_per_block:
                     store._active_block = block
                     store._active_offset = used_in_block
                     break
+        store.last_recovery = stats
+        _OBS.events.emit(
+            "store.recovery", mode=stats.mode,
+            pages_replayed=stats.pages_replayed,
+            checkpoint_pages=stats.checkpoint_pages_read,
+            probes=stats.probe_reads,
+        )
         return store
 
-    def _replay_page(self, page: int, data: bytes) -> None:
-        """Apply one page's log entries to the directory."""
+    def _replay_page(self, page: int, data: bytes, sequence: int) -> None:
+        """Apply one page's log entries to the directory (and fold the
+        page into its block's zone map)."""
         offset = self._PAGE_HEADER_BYTES
-        block = self.flash.block_of(page)
+        block = page // self._pages_per_block
+        summary = self._block_summary(block)
+        summary.note_page(sequence)
         while offset + 5 <= len(data):
             kind = data[offset]
             if kind not in (_ENTRY_INSERT, _ENTRY_DELETE):
@@ -372,46 +958,13 @@ class LogStructuredStore:
                 self._live_per_block[block] = (
                     self._live_per_block.get(block, 0) + 1
                 )
+                if self._zone_maps:
+                    summary.note_record(
+                        decode_record(
+                            data[payload_start : payload_start + payload_length]
+                        )
+                    )
             else:
                 self._retire(record_id)
                 self._directory.pop(record_id, None)
             offset = payload_start + payload_length
-
-    def compact_incremental(self, max_victims: int = 1) -> int:
-        """Victim-block garbage collection: relocate the live records of
-        the emptiest full blocks, erase them, recycle them.
-
-        The classic flash-GC strategy: cost is proportional to the
-        *live* data in the victims (often near zero for churn-heavy
-        workloads) instead of the whole store, at the price of
-        bookkeeping and potentially uneven wear. Returns the number of
-        blocks reclaimed; picking fewer than ``max_victims`` (or none)
-        happens when no full, non-active block exists.
-        """
-        self._flush_buffer()
-        pages_per_block = self.flash.timings.pages_per_block
-        candidates = [
-            block for block in self._used_blocks()
-            if block != self._active_block
-        ]
-        victims = sorted(
-            candidates, key=lambda block: self._live_per_block.get(block, 0)
-        )[:max_victims]
-        reclaimed = 0
-        for victim in victims:
-            live_ids = [
-                record_id
-                for record_id, (page, _, _) in self._directory.items()
-                if self.flash.block_of(page) == victim
-            ]
-            if live_ids:
-                relocated = self.get_many(sorted(live_ids))
-                for record_id, record in zip(sorted(live_ids), relocated):
-                    self._append(_ENTRY_INSERT, record_id, encode_record(record))
-                self._flush_buffer()
-            self.flash.erase_block(victim)
-            self._live_per_block.pop(victim, None)
-            self._free_blocks.append(victim)
-            self._allocated_pages -= pages_per_block
-            reclaimed += 1
-        return reclaimed

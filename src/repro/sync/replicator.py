@@ -58,11 +58,18 @@ class Replicator:
         rng: random.Random | None = None,
         retry_policy: RetryPolicy | None = None,
         online_check: Callable[[], bool] | None = None,
+        batch: bool = False,
     ) -> None:
         """``online_check`` (when given) replaces the Bernoulli
         availability draw with a live predicate — e.g. the network's
         churned online state for this cell's endpoint — so connectivity
-        and the fault plane share one source of truth."""
+        and the fault plane share one source of truth.
+
+        ``batch=True`` pushes each round's dirty set through
+        :meth:`VaultClient.push_many` (one manifest refresh per round
+        instead of one per object); failures keep per-object
+        bookkeeping, so backoff retries behave as in the unbatched
+        path."""
         if period < 1:
             raise ConfigurationError("replication period must be >= 1 second")
         self.vault = vault
@@ -70,6 +77,7 @@ class Replicator:
         self.period = period
         self.retry_policy = retry_policy
         self.online_check = online_check
+        self.batch = batch
         self.availability = (
             availability
             if availability is not None
@@ -177,6 +185,32 @@ class Replicator:
         self._staleness_metric.observe(waited)
         return True
 
+    def _push_batch(self, dirty: list[str]) -> tuple[int, int]:
+        """Push a round's dirty set in one vault batch; returns
+        ``(pushed, failed)`` with the same per-object bookkeeping
+        (versions, staleness, backoff scheduling) as the unbatched
+        path."""
+        report = self.vault.push_many(dirty, raise_on_failure=False)
+        now = self.cell.world.now
+        for object_id in report.pushed:
+            envelope = self.cell._envelopes.get(object_id)
+            if envelope is not None:
+                self._pushed_versions[object_id] = envelope.version
+            self._retry_attempts.pop(object_id, None)
+            waited = now - self._dirty_since.pop(object_id, now)
+            self.stats.staleness_samples.append(waited)
+            self.stats.max_staleness = max(self.stats.max_staleness, waited)
+            self._staleness_metric.observe(waited)
+        for object_id, reason in report.failed.items():
+            self.stats.push_failures += 1
+            self._failures_metric.inc()
+            self._obs.events.emit(
+                "sync.push_failed", cell=self.cell.name,
+                object_id=object_id, error=reason,
+            )
+            self._schedule_backoff(object_id)
+        return len(report.pushed), len(report.failed)
+
     def _schedule_backoff(self, object_id: str) -> None:
         if self.retry_policy is None:
             return  # degrade to the next periodic tick
@@ -252,11 +286,14 @@ class Replicator:
         with self._obs.tracer.span(
             "sync.tick", cell=self.cell.name, dirty=len(dirty)
         ):
-            for object_id in dirty:
-                if self._push_one(object_id):
-                    pushed += 1
-                else:
-                    failed += 1
+            if self.batch and dirty:
+                pushed, failed = self._push_batch(dirty)
+            else:
+                for object_id in dirty:
+                    if self._push_one(object_id):
+                        pushed += 1
+                    else:
+                        failed += 1
         self.stats.objects_pushed += pushed
         self._ticks_metric.labels(outcome="online").inc()
         self._pushed_metric.inc(pushed)

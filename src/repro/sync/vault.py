@@ -16,12 +16,27 @@ the error propagates — exactly the paper's deterrence mechanism.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..crypto.merkle import MerkleTree
-from ..errors import IntegrityError, NotFoundError, ReplayError
+from ..errors import IntegrityError, NotFoundError, ReplayError, TransientCloudError
 from ..faults.retry import RetryPolicy, retry_call
 from ..infrastructure.cloud import CloudProvider
 from ..policy.sticky import DataEnvelope
 from ..core.cell import TrustedCell
+
+
+@dataclass
+class BatchPushReport:
+    """Outcome of one :meth:`VaultClient.push_many` call."""
+
+    pushed: list[str] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)  # object_id -> reason
+    manifest_written: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
 
 
 class VaultClient:
@@ -122,6 +137,71 @@ class VaultClient:
             self.push(object_id)
             count += 1
         return count
+
+    def push_many(self, object_ids, *,
+                  raise_on_failure: bool = True) -> BatchPushReport:
+        """Outsource N sealed envelopes with one manifest refresh.
+
+        Stores the same cloud objects and the same secure-memory
+        anchors as N :meth:`push` calls, but the Merkle-root refresh
+        and the sealed-manifest write (the per-push fixed cost) are
+        paid once for the whole batch — the manifest content is derived
+        from the anchors, so only its sequence number differs from the
+        unbatched path.
+
+        With ``raise_on_failure=False``, transient cloud failures are
+        collected per object instead of raised, and a failed manifest
+        write marks the *whole* batch failed (pushes are idempotent;
+        callers simply re-push, and the next successful batch rewrites
+        the manifest from the anchors).
+        """
+        pushed: list[str] = []
+        failed: dict[str, str] = {}
+        batch_bytes = 0
+        manifest_written = False
+        with self._obs.tracer.span(
+            "vault.push_many", cell=self.cell.name
+        ):
+            for object_id in object_ids:
+                envelope = self.cell.envelope_for(object_id)
+                try:
+                    self._cloud_put(
+                        self.vault_key(object_id), envelope.to_bytes()
+                    )
+                except TransientCloudError as error:
+                    if raise_on_failure:
+                        raise
+                    failed[object_id] = type(error).__name__
+                    continue
+                self.cell.tee.store_secret(
+                    f"vault-version:{object_id}", envelope.version
+                )
+                pushed.append(object_id)
+                self.pushes += 1
+                self.bytes_pushed += envelope.size
+                batch_bytes += envelope.size
+                self._pushes_metric.inc()
+                self._push_bytes_metric.inc(envelope.size)
+            if pushed:
+                self._refresh_manifest_root()
+                try:
+                    self._write_manifest()
+                    manifest_written = True
+                except TransientCloudError as error:
+                    if raise_on_failure:
+                        raise
+                    for object_id in pushed:
+                        failed[object_id] = (
+                            f"manifest write failed: {type(error).__name__}"
+                        )
+                    pushed = []
+        self._obs.events.emit(
+            "vault.push_batch", cell=self.cell.name, pushed=len(pushed),
+            failed=len(failed), bytes=batch_bytes,
+        )
+        return BatchPushReport(
+            pushed=pushed, failed=failed, manifest_written=manifest_written
+        )
 
     def _manifest_leaves(self) -> list[bytes]:
         leaves = []

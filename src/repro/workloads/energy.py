@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..sim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
-from ..store.timeseries import TimeSeries
+from ..store.timeseries import TimeSeries, persist_series, series_record_id
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,25 @@ class DayTrace:
     def energy_kwh(self) -> float:
         """Total energy, honouring the trace's sampling period."""
         return self.series.total() * self.sample_period / 3600.0 / 1000.0
+
+    def records(self) -> list[tuple[str, dict]]:
+        """The trace as catalog records, one ``{"t", "w"}`` row per
+        sample, ids in time order — the shape the batched store ingest
+        consumes."""
+        return [
+            (series_record_id(timestamp), {"t": int(timestamp), "w": float(watts)})
+            for timestamp, watts in self.series.samples()
+        ]
+
+
+def ingest_day_trace(collection, trace: DayTrace, *, batch: bool = True) -> int:
+    """Persist one day's meter trace into a catalog collection.
+
+    ``batch=True`` is the page-coalescing hot path
+    (``Collection.insert_many``); ``batch=False`` is the one-record-at-
+    a-time baseline. Returns the number of samples ingested.
+    """
+    return persist_series(collection, trace.series, batch=batch)
 
 
 class HouseholdSimulator:

@@ -1,0 +1,263 @@
+"""Tests for directory checkpoints and incremental reboot recovery."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import FlashTimings, NandFlash
+from repro.obs import get_default
+from repro.store import LogStructuredStore
+
+TIMINGS = FlashTimings(
+    page_size=256, pages_per_block=4,
+    read_page_us=25.0, write_page_us=250.0, erase_block_us=1500.0,
+)
+
+CKPT_BLOCKS = 12  # 6-block halves: room for the biggest test checkpoints
+
+
+def make_flash(pages=128):
+    return NandFlash(TIMINGS, capacity_bytes=pages * TIMINGS.page_size)
+
+
+def make_store(flash, **kwargs):
+    kwargs.setdefault("checkpoint_blocks", CKPT_BLOCKS)
+    return LogStructuredStore(flash, **kwargs)
+
+
+def assert_same_state(left, right):
+    assert left.record_ids() == right.record_ids()
+    for record_id in left.record_ids():
+        assert left.get(record_id) == right.get(record_id)
+    assert left._directory == right._directory
+    assert left._live_per_block == right._live_per_block
+
+
+class TestCheckpointBasics:
+    def test_region_must_be_even(self):
+        with pytest.raises(ConfigurationError):
+            make_store(make_flash(), checkpoint_blocks=3)
+
+    def test_checkpoint_requires_region(self):
+        store = LogStructuredStore(make_flash())
+        with pytest.raises(ConfigurationError):
+            store.checkpoint()
+
+    def test_checkpoint_pages_stay_out_of_data_region(self):
+        flash = make_flash()
+        store = make_store(flash)
+        store.put("r", {"v": 1})
+        store.checkpoint()
+        region_start = (flash.block_count - CKPT_BLOCKS) * 4
+        checkpoint_pages = [
+            page for page in flash.written_pages() if page >= region_start
+        ]
+        assert checkpoint_pages  # the checkpoint really lives in the region
+        assert store.pages_used == 1  # and does not count as data
+
+
+class TestIncrementalRecovery:
+    def _seed(self, flash):
+        store = make_store(flash)
+        for index in range(60):
+            store.put(f"r{index:03d}", {"t": index, "w": index * 2})
+        store.checkpoint()
+        # post-checkpoint tail: new records, replacements, a delete
+        for index in range(60, 75):
+            store.put(f"r{index:03d}", {"t": index, "w": index * 2})
+        store.put("r000", {"t": 0, "w": 999})
+        store.delete("r001")
+        store.flush()
+        return store
+
+    def test_checkpointed_recovery_matches_full_replay(self):
+        flash = make_flash()
+        self._seed(flash)
+        incremental = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS
+        )
+        full = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS, use_checkpoint=False
+        )
+        assert incremental.last_recovery.mode == "checkpoint"
+        assert full.last_recovery.mode == "full"
+        assert_same_state(incremental, full)
+
+    def test_replays_strictly_fewer_pages(self):
+        flash = make_flash()
+        self._seed(flash)
+        incremental = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS
+        )
+        full = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS, use_checkpoint=False
+        )
+        assert (
+            incremental.last_recovery.pages_replayed
+            < full.last_recovery.pages_replayed
+        )
+
+    def test_writes_continue_after_incremental_recovery(self):
+        flash = make_flash()
+        self._seed(flash)
+        store = LogStructuredStore.recover(flash, checkpoint_blocks=CKPT_BLOCKS)
+        store.put("new", {"v": 1})
+        store.flush()
+        again = LogStructuredStore.recover(flash, checkpoint_blocks=CKPT_BLOCKS)
+        assert again.get("new") == {"v": 1}
+        assert again.get("r000") == {"t": 0, "w": 999}
+
+    def test_latest_of_two_checkpoints_wins(self):
+        flash = make_flash()
+        store = make_store(flash)
+        store.put("a", {"v": 1})
+        store.checkpoint()
+        store.put("a", {"v": 2})
+        store.checkpoint()  # lands in the other half (A/B)
+        rebooted = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS
+        )
+        assert rebooted.last_recovery.checkpoint_seq == store._page_sequence
+        assert rebooted.get("a") == {"v": 2}
+        assert rebooted.last_recovery.pages_replayed == 0
+
+    def test_recovery_after_gc_recycled_a_checkpointed_block(self):
+        flash = make_flash(64)
+        store = make_store(flash)
+        for index in range(40):
+            store.put(f"r{index % 10}", {"round": index})
+        store.flush()
+        store.checkpoint()
+        # GC after the checkpoint: victims are erased and recycled, so
+        # their fingerprints no longer match the checkpointed summaries
+        store.compact_incremental(max_victims=3)
+        for index in range(10):
+            store.put(f"post{index}", {"v": index})
+        store.flush()
+        erases_before_recovery = flash.erases
+        incremental = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS
+        )
+        full = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS, use_checkpoint=False
+        )
+        assert flash.erases == erases_before_recovery  # recovery only reads
+        assert_same_state(incremental, full)
+
+    def test_full_compaction_after_checkpoint_recovers_correctly(self):
+        flash = make_flash(64)
+        store = make_store(flash)
+        for index in range(30):
+            store.put(f"r{index}", {"v": index})
+        store.checkpoint()
+        for index in range(0, 30, 2):
+            store.delete(f"r{index}")
+        store.compact()
+        incremental = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS
+        )
+        full = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS, use_checkpoint=False
+        )
+        assert_same_state(incremental, full)
+
+    def test_no_checkpoint_written_falls_back_to_full_replay(self):
+        flash = make_flash()
+        store = make_store(flash)
+        store.put("a", {"v": 1})
+        store.flush()
+        rebooted = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS
+        )
+        assert rebooted.last_recovery.mode == "full"
+        assert rebooted.get("a") == {"v": 1}
+
+    def test_zone_maps_usable_after_incremental_recovery(self):
+        flash = make_flash()
+        store = make_store(flash)
+        store.insert_many(
+            (f"r{index:03d}", {"t": index}) for index in range(120)
+        )
+        store.checkpoint()
+        store.insert_many(
+            (f"r{index:03d}", {"t": index}) for index in range(120, 160)
+        )
+        store.flush()
+        rebooted = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS
+        )
+        narrow = dict(rebooted.scan_range("t", 130, 140))
+        for index in range(130, 141):
+            assert narrow[f"r{index:03d}"] == {"t": index}
+        before = flash.reads
+        dict(rebooted.scan_range("t", 0, 5))
+        pruned_reads = flash.reads - before
+        before = flash.reads
+        dict(rebooted.scan())
+        scan_reads = flash.reads - before
+        assert pruned_reads < scan_reads
+
+
+class TestAutoCheckpoint:
+    def test_interval_triggers_checkpoints(self):
+        flash = make_flash()
+        store = make_store(flash, checkpoint_interval_pages=4)
+        for index in range(100):
+            store.put(f"r{index:03d}", {"t": index, "pad": "x" * 20})
+        store.flush()
+        assert store.checkpoints_written >= 2
+        rebooted = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS
+        )
+        assert rebooted.last_recovery.mode == "checkpoint"
+        assert_same_state(rebooted, store)
+
+
+class TestRecoveryObservability:
+    def test_recovery_pages_counter_recorded(self):
+        obs = get_default()
+        flash = make_flash()
+        store = make_store(flash)
+        for index in range(20):
+            store.put(f"r{index}", {"v": index})
+        store.flush()
+        obs.reset()
+        rebooted = LogStructuredStore.recover(
+            flash, checkpoint_blocks=CKPT_BLOCKS
+        )
+        metrics = obs.export()["metrics"]
+        assert (
+            metrics["store.recovery_pages"]["value"]
+            == rebooted.last_recovery.pages_replayed
+            > 0
+        )
+
+    def test_flush_and_compaction_counters_recorded(self):
+        obs = get_default()
+        obs.reset()
+        store = LogStructuredStore(make_flash())
+        for index in range(30):
+            store.put(f"r{index}", {"v": index, "pad": "y" * 30})
+        store.flush()
+        store.compact()
+        metrics = obs.export()["metrics"]
+        assert metrics["store.flush"]["value"] > 0
+        assert metrics["store.compaction"]["value"] == 1
+
+    def test_disabled_obs_records_nothing_but_recovery_still_works(self):
+        obs = get_default()
+        flash = make_flash()
+        store = make_store(flash)
+        for index in range(10):
+            store.put(f"r{index}", {"v": index})
+        store.checkpoint()
+        obs.reset()
+        obs.disable()
+        try:
+            rebooted = LogStructuredStore.recover(
+                flash, checkpoint_blocks=CKPT_BLOCKS
+            )
+            assert rebooted.get("r3") == {"v": 3}
+            counter = obs.metrics.get("store.recovery_pages")
+            assert (counter.value if counter else 0) == 0
+        finally:
+            obs.enable()

@@ -200,8 +200,20 @@ class TestQueryExecution:
         assert result.plan == "range:timestamp"
         assert {row["title"] for row in result} == {"mountain", "re: beach", "power bill"}
 
-    def test_unindexed_predicate_scans(self):
+    def test_unindexed_predicate_uses_zonemap_pruning(self):
+        # No index on "size", but the store keeps per-block zone maps,
+        # so the planner reports the pruned-scan plan.
         result = seeded_catalog().query(Query("documents", where=Eq("size", 10)))
+        assert result.plan == "zonemap:size"
+        assert len(result) == 1
+
+    def test_unindexed_predicate_scans_without_zone_maps(self):
+        flash = NandFlash(TIMINGS, capacity_bytes=512 * TIMINGS.page_size)
+        catalog = Catalog(flash, zone_maps=False)
+        documents = catalog.collection("documents")
+        documents.insert("d1", {"size": 10})
+        documents.insert("d2", {"size": 20})
+        result = catalog.query(Query("documents", where=Eq("size", 10)))
         assert result.plan == "scan"
         assert len(result) == 1
 
@@ -268,7 +280,8 @@ class TestQueryExecution:
             items.insert(f"i{i}", {"owner": f"user-{i % 200}", "value": i})
         catalog.store.flush()
         indexed = catalog.query(Query("items", where=Eq("owner", "user-3")))
-        scanned = catalog.query(Query("items", where=Eq("value", 3)))
+        # Ne has no zone-map range hint, so this is a true full scan.
+        scanned = catalog.query(Query("items", where=Ne("owner", "user-3")))
         assert indexed.plan == "index:owner"
         assert scanned.plan == "scan"
         assert indexed.flash_reads < scanned.flash_reads

@@ -147,6 +147,118 @@ class TestIntegrityDefences:
         assert root_one != root_two
 
 
+class TestBatchPush:
+    def _loaded_cell(self, count=5, seed=42):
+        world, cloud, cell, vault = setup_cell(seed=seed)
+        session = cell.login("alice", "1234")
+        for i in range(count):
+            cell.store_object(session, f"doc-{i}", f"payload-{i}".encode())
+        return world, cloud, cell, vault
+
+    def test_push_many_matches_sequential_pushes(self):
+        _, cloud_seq, _, vault_seq = self._loaded_cell()
+        _, cloud_bat, _, vault_bat = self._loaded_cell()
+        for i in range(5):
+            vault_seq.push(f"doc-{i}")
+        report = vault_bat.push_many([f"doc-{i}" for i in range(5)])
+        assert report.ok and report.manifest_written
+        assert report.pushed == [f"doc-{i}" for i in range(5)]
+        # same cloud objects, same anchors, same manifest inventory
+        assert set(cloud_seq.list_keys("vault/alice-phone/")) == set(
+            cloud_bat.list_keys("vault/alice-phone/")
+        )
+        manifest_seq = vault_seq.read_manifest()
+        manifest_bat = vault_bat.read_manifest()
+        assert manifest_seq["objects"] == manifest_bat["objects"]
+        assert vault_seq.pushes == vault_bat.pushes == 5
+
+    def test_manifest_writes_amortized(self):
+        _, _, _, vault_seq = self._loaded_cell()
+        _, _, _, vault_bat = self._loaded_cell()
+        for i in range(5):
+            vault_seq.push(f"doc-{i}")
+        vault_bat.push_many([f"doc-{i}" for i in range(5)])
+        assert vault_seq.manifest_seq == 5  # one manifest write per push...
+        assert vault_bat.manifest_seq == 1  # ...vs one for the whole batch
+
+    def test_restore_works_from_batched_manifest(self):
+        _, _, cell, vault = self._loaded_cell(count=3)
+        session = cell.login("alice", "1234")
+        vault.push_many(["doc-0", "doc-1", "doc-2"])
+        cell._envelopes.clear()
+        assert vault.restore_all() == 3
+        assert cell.read_object(session, "doc-2") == b"payload-2"
+
+    def test_transient_failure_raises_by_default(self):
+        from repro.faults import CloudFaultSpec, FaultInjector, FaultPlan
+        from repro.errors import TransientCloudError
+
+        world, cloud, cell, vault = self._loaded_cell()
+        plan = FaultPlan(seed=3, cloud=CloudFaultSpec(put_failure_rate=1.0))
+        FaultInjector(world, plan).attach_cloud(cloud)
+        with pytest.raises(TransientCloudError):
+            vault.push_many(["doc-0", "doc-1"])
+
+    def test_failures_collected_per_object_and_repush_succeeds(self):
+        from repro.faults import CloudFaultSpec, FaultInjector, FaultPlan
+
+        world, cloud, cell, vault = self._loaded_cell()
+        plan = FaultPlan(seed=9, cloud=CloudFaultSpec(put_failure_rate=0.5))
+        injector = FaultInjector(world, plan).attach_cloud(cloud)
+        report = vault.push_many(
+            [f"doc-{i}" for i in range(5)], raise_on_failure=False
+        )
+        assert set(report.pushed) | set(report.failed) == {
+            f"doc-{i}" for i in range(5)
+        }
+        assert report.failed  # seed 9 at 50% loses at least one put
+        assert report.pushed  # ...and lands at least one
+        injector.disable()
+        retry = vault.push_many(sorted(report.failed))
+        assert retry.ok
+        manifest = vault.read_manifest()
+        assert set(manifest["objects"]) == {f"doc-{i}" for i in range(5)}
+
+    def test_manifest_failure_marks_whole_batch_failed(self):
+        from repro.errors import TransientCloudError
+
+        _, _, _, vault = self._loaded_cell(count=3)
+
+        def failing_manifest():
+            raise TransientCloudError("manifest put failed")
+
+        vault._write_manifest = failing_manifest
+        report = vault.push_many(
+            ["doc-0", "doc-1", "doc-2"], raise_on_failure=False
+        )
+        assert not report.ok
+        assert not report.manifest_written
+        assert report.pushed == []
+        assert set(report.failed) == {"doc-0", "doc-1", "doc-2"}
+        # pushes are idempotent: a later batch rewrites the manifest
+        del vault._write_manifest  # restore the real method
+        retry = vault.push_many(["doc-0", "doc-1", "doc-2"])
+        assert retry.ok and retry.manifest_written
+
+    def test_replicator_batch_tick_matches_unbatched(self):
+        from repro.sync import Replicator
+
+        _, cloud_a, _, vault_a = self._loaded_cell(count=4)
+        _, cloud_b, _, vault_b = self._loaded_cell(count=4)
+        plain = Replicator(vault_a, availability=1.0)
+        batched = Replicator(vault_b, availability=1.0, batch=True)
+        assert plain.tick() == batched.tick() == 4
+        assert set(cloud_a.list_keys("vault/alice-phone/")) == set(
+            cloud_b.list_keys("vault/alice-phone/")
+        )
+        assert vault_a.read_manifest()["objects"] == (
+            vault_b.read_manifest()["objects"]
+        )
+        assert vault_b.manifest_seq < vault_a.manifest_seq  # amortized
+        # both are clean now: nothing left to push
+        assert plain.tick() == batched.tick() == 0
+
+
 class TestUntrustedTerminal:
     def setup_charlie(self):
         world = World(seed=7)
