@@ -1,0 +1,389 @@
+"""Tracked federated-query benchmark: fleet-scale fan-out.
+
+Runs the federated query engine at utility scale — a ~1,000-cell
+store-backed fleet on one simulated network, masking over a k-regular
+SecAgg graph — and records the per-transformation rows the paper's
+"global queries" claim needs: outcome, per-cell plan mix
+(index/zonemap/scan), records examined, wire traffic, result error
+against the clear-text oracle, and a leakage audit of everything the
+untrusted coordinator saw. A fault matrix (quiet control vs lossy)
+shows degradation to partial results; the quiet rows must carry zero
+faults and zero re-asks. Emits ``BENCH_fedquery.json`` at the repo
+root so later PRs can track the trajectory.
+
+Two entry points:
+
+* ``pytest -q benchmarks/bench_fedquery_scale.py --benchmark-disable``
+  — the tier-1 smoke run: a small fleet, asserts the invariants and
+  the tracked JSON, writes nothing.
+* ``PYTHONPATH=src python benchmarks/bench_fedquery_scale.py`` — the
+  full run (1,000 cells, k=32); rewrites ``BENCH_fedquery.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.commons.anonymize import is_k_anonymous
+from repro.crypto import shamir
+from repro.errors import IntegrityError
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.fedquery import (
+    Coordinator,
+    FedQuerySpec,
+    build_fleet,
+    open_records,
+    open_release,
+    recipient_key,
+)
+from repro.fedquery.spec import TRANSFORM_DP, TRANSFORM_EXACT, TRANSFORM_KANON
+from repro.infrastructure import Network
+from repro.sim import World
+from repro.store.query import Between
+
+REPORT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_fedquery.json"
+)
+
+FULL_CELLS = 1000
+FULL_NEIGHBORS = 32
+
+SMOKE_CELLS = 45
+SMOKE_NEIGHBORS = 8
+
+PURPOSES = {"load-forecast", "study"}
+
+
+def _spec(transform: str) -> FedQuerySpec:
+    if transform == TRANSFORM_KANON:
+        return FedQuerySpec(
+            recipient="institute", purpose="study",
+            transform=transform, collection="profile", k=5,
+        )
+    return FedQuerySpec(
+        recipient="utility" if transform == TRANSFORM_EXACT else "institute",
+        purpose="load-forecast", transform=transform,
+        collection="energy", where=Between("hour", 18, 21),
+        value_field="watts",
+        # DP needs fine fixed-point so the per-cell noise shares
+        # survive the integer quantization.
+        scale=1000 if transform == TRANSFORM_DP else 10,
+        epsilon=2.0,
+    )
+
+
+def _raw_encodings(fleet, spec) -> set[int]:
+    """Every cell's raw (scaled, un-noised) field encoding."""
+    raw = set()
+    for name in fleet.roster:
+        scalar = fleet.catalogs[name].query(spec.local_query()).scalar()
+        raw.add(shamir.encode_signed(round(float(scalar) * spec.scale)))
+    return raw
+
+
+def _view_elements(result) -> set[int]:
+    return {
+        item["masked"] if isinstance(item, dict) else item
+        for item in result.coordinator_view
+        if isinstance(item, (dict, int))
+    }
+
+
+def _counter_total(metrics, name: str) -> int:
+    metric = metrics.get(name)
+    if metric is None:
+        return 0
+    snapshot = metric.snapshot()
+    labels = snapshot.get("labels")
+    if labels:
+        return sum(labels.values())
+    return snapshot["value"]
+
+
+# -- per-transformation rows --------------------------------------------------
+
+
+def measure_transforms(n_cells: int, neighbors: int, seed: int = 0) -> dict:
+    """All three transformations over one quiet fleet.
+
+    One world, one fleet, three sequential queries — the realistic
+    shape (a fleet serves many recipients), and it keeps the fleet
+    build cost paid once.
+    """
+    world = World(seed=seed)
+    network = Network(world)
+    build_started = time.perf_counter()
+    fleet = build_fleet(world, network, n_cells, purposes=set(PURPOSES))
+    build_wall = time.perf_counter() - build_started
+    coordinator = Coordinator(world, network, neighbors=neighbors)
+
+    rows = []
+    kanon_release = None
+    for transform in (TRANSFORM_EXACT, TRANSFORM_DP, TRANSFORM_KANON):
+        spec = _spec(transform)
+        started = time.perf_counter()
+        result = coordinator.run(spec, fleet.roster)
+        wall = time.perf_counter() - started
+        if spec.numeric:
+            truth = fleet.ground_truth(spec)
+            error = abs(result.value - truth)
+            raw_leaked = bool(_raw_encodings(fleet, spec)
+                              & _view_elements(result))
+        else:
+            truth = error = 0.0
+            raw_leaked = False
+            key = recipient_key(spec.recipient, fleet.secret)
+            released = open_release(result, key, k=spec.k)
+            coordinator_locked_out = False
+            try:
+                open_records(
+                    recipient_key(spec.recipient, b"coordinator-guess"),
+                    result.sealed_records[0][1],
+                )
+            except IntegrityError:
+                coordinator_locked_out = True
+            kanon_release = {
+                "k": spec.k,
+                "sealed_batches": len(result.sealed_records),
+                "released_records": len(released),
+                "is_k_anonymous": is_k_anonymous(released, spec.k),
+                "coordinator_cannot_open": coordinator_locked_out,
+            }
+        rows.append({
+            "transform": transform,
+            "outcome": result.outcome,
+            "participants": result.participants,
+            "declined": result.declined,
+            "demoted": len(result.demoted),
+            "plan_mix": {
+                kind: result.plan_mix.get(kind, 0)
+                for kind in ("index", "zonemap", "scan")
+            },
+            "records_examined": result.records_examined,
+            "messages": result.messages,
+            "bytes": result.bytes,
+            "reasks": result.reasks,
+            "error_vs_oracle": round(error, 6),
+            "raw_encoding_in_coordinator_view": raw_leaked,
+            "wall_seconds": round(wall, 3),
+        })
+
+    metrics = world.obs.metrics
+    export = world.obs.export()
+    observability = {
+        "schema": export["schema"],
+        "metrics": {
+            name: snapshot
+            for name, snapshot in export["metrics"].items()
+            if name.startswith(("fedquery.", "net."))
+        },
+        "fanout_spans": sum(
+            1 for span in export["trace"]["spans"]
+            if span["name"] == "fedquery.fanout"
+        ),
+        "collect_spans": sum(
+            1 for span in export["trace"]["spans"]
+            if span["name"] == "fedquery.collect"
+        ),
+    }
+    return {
+        "cells": n_cells,
+        "masking_neighbors": neighbors,
+        "fleet_build_wall_seconds": round(build_wall, 3),
+        "plans_shipped": _counter_total(metrics, "fedquery.plans"),
+        "rows": rows,
+        "kanon_release": kanon_release,
+        "observability": observability,
+    }
+
+
+# -- fault matrix -------------------------------------------------------------
+
+
+def measure_faults(n_cells: int, neighbors: int, seed: int = 1) -> dict:
+    """``aggregate-exact`` under the quiet control and a lossy profile.
+
+    The quiet row is the guarded no-fault-path control: injector
+    attached, plan inactive, every fault and re-ask counter at zero.
+    The lossy row adds seeded loss/duplication/latency spikes *and* a
+    handful of plain-unreachable cells (the paper's weakly connected
+    devices), and shows graceful degradation: the unreachable cells are
+    demoted, the query ends partial, the released value stays exact
+    over the survivors, and the coordinator still never sees a raw
+    encoding. The retry budget is sized so mask recovery rides out the
+    loss rate at fleet scale — loss shrinks the cohort rather than
+    sinking the query.
+    """
+    offline = 4 if n_cells >= 500 else 2
+    rows = []
+    for profile in ("quiet", "lossy"):
+        world = World(seed=seed)
+        network = Network(world)
+        plan = (FaultPlan.quiet(seed=seed) if profile == "quiet"
+                else FaultPlan.lossy(seed=seed))
+        FaultInjector(world, plan).attach_network(network)
+        fleet = build_fleet(
+            world, network, n_cells, purposes={"load-forecast"},
+        )
+        down = fleet.roster[:offline] if profile == "lossy" else []
+        for name in down:
+            network.set_online(name, False)
+        coordinator = Coordinator(
+            world, network, neighbors=neighbors, collect_timeout_s=10,
+            retry_policy=RetryPolicy(
+                max_attempts=6, base_delay_s=2.0, max_delay_s=30.0,
+            ),
+        )
+        spec = _spec(TRANSFORM_EXACT)
+        started = time.perf_counter()
+        result = coordinator.run(spec, fleet.roster)
+        wall = time.perf_counter() - started
+        survivors = [
+            name for name in fleet.roster if name not in result.demoted
+        ]
+        survivor_truth = fleet.ground_truth(spec, survivors)
+        rows.append({
+            "profile": profile,
+            "offline_cells": len(down),
+            "outcome": result.outcome,
+            "participants": result.participants,
+            "demoted": len(result.demoted),
+            "reasks": result.reasks,
+            "recovery_rounds": result.recovery_rounds,
+            "messages_lost": network.stats.lost,
+            "messages_duplicated": network.stats.duplicated,
+            "faults_injected": _counter_total(
+                world.obs.metrics, "faults.injected"
+            ),
+            "survivor_exact": (
+                result.value is not None
+                and abs(result.value - survivor_truth) < 1e-6
+            ),
+            "raw_encoding_in_coordinator_view": bool(
+                _raw_encodings(fleet, spec) & _view_elements(result)
+            ),
+            "wall_seconds": round(wall, 3),
+        })
+    quiet_row = rows[0]
+    return {
+        "rows": rows,
+        "no_fault_path_clean": (
+            quiet_row["faults_injected"] == 0
+            and quiet_row["reasks"] == 0
+            and quiet_row["outcome"] == "complete"
+        ),
+    }
+
+
+# -- report -------------------------------------------------------------------
+
+
+def build_report(n_cells: int = FULL_CELLS,
+                 neighbors: int = FULL_NEIGHBORS) -> dict:
+    return {
+        "benchmark": "fedquery_scale",
+        "command": "PYTHONPATH=src python benchmarks/bench_fedquery_scale.py",
+        "fleet": {
+            "cells": n_cells,
+            "masking_neighbors": neighbors,
+            "layouts": "index/zonemap/scan rotating by position",
+        },
+        "transforms": measure_transforms(n_cells, neighbors),
+        "fault_matrix": measure_faults(n_cells, neighbors),
+    }
+
+
+def write_report(path: pathlib.Path = REPORT_PATH) -> dict:
+    report = build_report()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# -- tier-1 smoke -------------------------------------------------------------
+
+
+def test_fedquery_scale_smoke():
+    """Small-fleet run of the full pipeline; keeps the bench alive
+    under ``pytest -q benchmarks/bench_fedquery_scale.py
+    --benchmark-disable`` without rewriting the tracked JSON."""
+    report = build_report(n_cells=SMOKE_CELLS, neighbors=SMOKE_NEIGHBORS)
+    json.dumps(report)  # must stay serializable
+
+    transforms = report["transforms"]
+    by_transform = {row["transform"]: row for row in transforms["rows"]}
+    exact = by_transform[TRANSFORM_EXACT]
+    assert exact["outcome"] == "complete"
+    assert exact["participants"] == SMOKE_CELLS
+    assert exact["error_vs_oracle"] < 1e-6
+    assert all(count > 0 for count in exact["plan_mix"].values())
+    assert sum(exact["plan_mix"].values()) == SMOKE_CELLS
+
+    dp = by_transform[TRANSFORM_DP]
+    assert dp["outcome"] == "complete"
+    assert dp["error_vs_oracle"] > 0  # the noise is really in there
+
+    assert by_transform[TRANSFORM_KANON]["outcome"] == "complete"
+    kanon = transforms["kanon_release"]
+    assert kanon["is_k_anonymous"]
+    assert kanon["coordinator_cannot_open"]
+    assert kanon["released_records"] == SMOKE_CELLS
+
+    assert not any(
+        row["raw_encoding_in_coordinator_view"] for row in transforms["rows"]
+    )
+    observability = transforms["observability"]
+    assert observability["schema"] == 1
+    assert observability["fanout_spans"] == 3
+    assert observability["collect_spans"] == 3
+    metrics = observability["metrics"]
+    assert metrics["fedquery.plans"]["value"] >= 3 * SMOKE_CELLS
+    assert metrics["fedquery.bytes"]["value"] > 0
+
+    faults = report["fault_matrix"]
+    assert faults["no_fault_path_clean"]
+    by_profile = {row["profile"]: row for row in faults["rows"]}
+    lossy = by_profile["lossy"]
+    assert lossy["faults_injected"] > 0
+    assert lossy["outcome"] == "partial"
+    assert lossy["demoted"] >= lossy["offline_cells"] > 0
+    assert lossy["survivor_exact"]
+    assert not lossy["raw_encoding_in_coordinator_view"]
+
+    # the tracked JSON must exist, parse, and hold the headline claims
+    tracked = json.loads(REPORT_PATH.read_text())
+    assert tracked["benchmark"] == "fedquery_scale"
+    assert tracked["fleet"]["cells"] == FULL_CELLS
+    tracked_rows = {
+        row["transform"]: row for row in tracked["transforms"]["rows"]
+    }
+    assert set(tracked_rows) == {
+        TRANSFORM_EXACT, TRANSFORM_DP, TRANSFORM_KANON
+    }
+    assert tracked_rows[TRANSFORM_EXACT]["error_vs_oracle"] < 1e-6
+    assert tracked_rows[TRANSFORM_DP]["error_vs_oracle"] > 0
+    for row in tracked_rows.values():
+        assert not row["raw_encoding_in_coordinator_view"]
+        assert sum(row["plan_mix"].values()) == row["participants"]
+    assert tracked["transforms"]["kanon_release"]["is_k_anonymous"]
+    assert tracked["transforms"]["observability"]["schema"] == 1
+    tracked_faults = tracked["fault_matrix"]
+    assert tracked_faults["no_fault_path_clean"]
+    tracked_quiet = next(
+        row for row in tracked_faults["rows"] if row["profile"] == "quiet"
+    )
+    assert tracked_quiet["faults_injected"] == 0
+    assert tracked_quiet["reasks"] == 0
+    tracked_lossy = next(
+        row for row in tracked_faults["rows"] if row["profile"] == "lossy"
+    )
+    assert tracked_lossy["faults_injected"] > 0
+    assert tracked_lossy["outcome"] == "partial"
+    assert tracked_lossy["demoted"] > 0
+    assert tracked_lossy["survivor_exact"]
+
+
+if __name__ == "__main__":
+    outcome = write_report()
+    print(json.dumps(outcome, indent=2))

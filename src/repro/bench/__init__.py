@@ -1,4 +1,4 @@
-"""Experiment harness: one runner per derived experiment (E1-E13).
+"""Experiment harness: one runner per derived experiment (E1-E14).
 
 Each ``eNN_*`` module exposes ``run(...) -> list[Table]`` producing the
 rows quoted in ``EXPERIMENTS.md``, and ``shape_holds(tables) -> bool``
@@ -20,6 +20,7 @@ from . import (
     e11_adversary_detection,
     e12_usage_control,
     e13_resilience,
+    e14_fedquery,
 )
 from .tables import Table, print_tables
 
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = {
     "E11": e11_adversary_detection,
     "E12": e12_usage_control,
     "E13": e13_resilience,
+    "E14": e14_fedquery,
 }
 
 __all__ = ["Table", "print_tables", "ALL_EXPERIMENTS"]

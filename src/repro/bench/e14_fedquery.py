@@ -1,0 +1,185 @@
+"""E14 — federated queries: networked fan-out across a fleet of cells.
+
+Exercises the paper's "global queries as distributed computations"
+claim end-to-end over the simulated network: an untrusted coordinator
+ships one declarative plan to a store-backed fleet; every cell runs its
+own local plan (the per-cell index/zonemap/scan mix is reported), the
+egress gate transforms the result (masked element, DP share, sealed
+batch), and the coordinator combines what comes back. The measured
+claims:
+
+* **exactness** — the masked ``aggregate-exact`` total equals the
+  clear-text oracle over the fleet, bit-for-bit with the legacy
+  in-memory protocol;
+* **privacy** — no raw per-cell encoding ever appears in the
+  coordinator's recorded view, and ``records-kanon`` ships only sealed
+  batches the coordinator cannot open;
+* **degradation** — under a lossy fault profile the query ends
+  *partial*, exact over the surviving cohort, never hung; the quiet
+  control rows record zero re-asks.
+"""
+
+from __future__ import annotations
+
+from ..crypto import shamir
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..fedquery import Coordinator, FedQuerySpec, build_fleet
+from ..fedquery.spec import (
+    TRANSFORM_DP,
+    TRANSFORM_EXACT,
+    TRANSFORM_KANON,
+)
+from ..infrastructure.network import Network
+from ..sim.world import World
+from ..store.query import Between
+from .tables import Table
+
+#: Fault profiles of the degradation matrix; ``quiet`` is the control.
+PROFILES = ("quiet", "lossy")
+
+
+def _spec(transform: str) -> FedQuerySpec:
+    if transform == TRANSFORM_KANON:
+        return FedQuerySpec(
+            recipient="institute", purpose="study",
+            transform=transform, collection="profile", k=5,
+        )
+    return FedQuerySpec(
+        recipient="utility" if transform == TRANSFORM_EXACT else "institute",
+        purpose="load-forecast", transform=transform,
+        collection="energy", where=Between("hour", 18, 21),
+        value_field="watts",
+        # DP needs fine fixed-point so the per-cell noise shares (small
+        # gamma differences) survive the integer quantization.
+        scale=1000 if transform == TRANSFORM_DP else 10,
+        epsilon=2.0,
+    )
+
+
+def _raw_leaked(fleet, spec: FedQuerySpec, result) -> bool:
+    """Did any cell's raw (scaled, unnoised) encoding reach the view?"""
+    if not spec.numeric:
+        return False
+    raw = set()
+    for name in fleet.roster:
+        scalar = fleet.catalogs[name].query(spec.local_query()).scalar()
+        raw.add(shamir.encode_signed(round(float(scalar) * spec.scale)))
+    seen = {
+        item["masked"] if isinstance(item, dict) else item
+        for item in result.coordinator_view
+        if isinstance(item, (dict, int))
+    }
+    return bool(raw & seen)
+
+
+def run(seed: int = 0, n_cells: int = 60) -> list[Table]:
+    transforms = Table(
+        title=f"E14: federated query fan-out ({n_cells} cells, quiet net)",
+        columns=["transform", "outcome", "participants", "index", "zonemap",
+                 "scan", "examined", "messages", "bytes", "error",
+                 "raw leaked"],
+    )
+    for transform in (TRANSFORM_EXACT, TRANSFORM_DP, TRANSFORM_KANON):
+        world = World(seed=seed)
+        network = Network(world)
+        fleet = build_fleet(
+            world, network, n_cells,
+            purposes={"load-forecast", "study"},
+        )
+        coordinator = Coordinator(world, network)
+        spec = _spec(transform)
+        result = coordinator.run(spec, fleet.roster)
+        if spec.numeric:
+            error = abs(result.value - fleet.ground_truth(spec))
+        else:
+            error = 0.0
+        transforms.add_row(
+            transform, result.outcome, result.participants,
+            result.plan_mix.get("index", 0),
+            result.plan_mix.get("zonemap", 0),
+            result.plan_mix.get("scan", 0),
+            result.records_examined, result.messages, result.bytes,
+            round(error, 4), _raw_leaked(fleet, spec, result),
+        )
+    transforms.add_note(
+        "error: |result - clear-text oracle|; exact must be ~0, dp must "
+        "be noisy; the coordinator view never contains a raw encoding"
+    )
+
+    degradation = Table(
+        title=f"E14: degradation under faults ({n_cells} cells, "
+              "aggregate-exact)",
+        columns=["profile", "outcome", "participants", "demoted", "reasks",
+                 "faults injected", "survivor-exact"],
+    )
+    for profile in PROFILES:
+        world = World(seed=seed + 1)
+        network = Network(world)
+        plan = getattr(FaultPlan, profile)(seed=seed + 1)
+        injector = FaultInjector(world, plan)
+        injector.attach_network(network)
+        fleet = build_fleet(
+            world, network, n_cells, purposes={"load-forecast"},
+        )
+        coordinator = Coordinator(world, network, collect_timeout_s=10)
+        spec = _spec(TRANSFORM_EXACT)
+        result = coordinator.run(spec, fleet.roster)
+        survivors = [
+            name for name in fleet.roster if name not in result.demoted
+        ]
+        survivor_exact = (
+            result.value is not None
+            and abs(result.value - fleet.ground_truth(spec, survivors)) < 1e-6
+        )
+        faults = network.stats.lost + network.stats.duplicated
+        degradation.add_row(
+            profile, result.outcome, result.participants,
+            len(result.demoted), result.reasks, faults, survivor_exact,
+        )
+    degradation.add_note(
+        "survivor-exact: the released value equals the oracle over the "
+        "non-demoted cohort — loss shrinks the cohort, never corrupts it"
+    )
+    return [transforms, degradation]
+
+
+def shape_holds(tables: list[Table]) -> bool:
+    transforms, degradation = tables
+    by_transform = dict(zip(
+        transforms.column("transform"), zip(
+            transforms.column("outcome"), transforms.column("error"),
+            transforms.column("raw leaked"),
+        ),
+    ))
+    exact_outcome, exact_error, _ = by_transform[TRANSFORM_EXACT]
+    dp_outcome, dp_error, _ = by_transform[TRANSFORM_DP]
+    kanon_outcome, _, _ = by_transform[TRANSFORM_KANON]
+    # The exact row queries the energy collection, where the fleet's
+    # layouts rotate: its plan mix must cover all three kinds.
+    exact_index = transforms.column("transform").index(TRANSFORM_EXACT)
+    plans_cover_all_layouts = all(
+        transforms.column(column)[exact_index] > 0
+        for column in ("index", "zonemap", "scan")
+    )
+    fault_rows = dict(zip(
+        degradation.column("profile"), zip(
+            degradation.column("outcome"), degradation.column("reasks"),
+            degradation.column("faults injected"),
+            degradation.column("survivor-exact"),
+        ),
+    ))
+    quiet_outcome, quiet_reasks, quiet_faults, quiet_exact = \
+        fault_rows["quiet"]
+    lossy_outcome, _, lossy_faults, lossy_exact = fault_rows["lossy"]
+    return (
+        exact_outcome == "complete" and exact_error < 1e-6
+        and dp_outcome == "complete" and dp_error > 0
+        and kanon_outcome == "complete"
+        and not any(transforms.column("raw leaked"))
+        and plans_cover_all_layouts
+        and quiet_outcome == "complete" and quiet_reasks == 0
+        and quiet_faults == 0 and quiet_exact
+        and lossy_outcome in ("complete", "partial")
+        and lossy_faults > 0 and lossy_exact
+    )

@@ -1,10 +1,14 @@
 """Global queries over a population of trusted cells.
 
-Ties the shared-commons pieces together: a recipient (census bureau,
-epidemiology institute, energy distributor) issues a query; each cell
-decides participation from its own opt-in policy; the transformation
-applied "depend[s] on the trustworthiness of the recipient(s) and the
-expected usage":
+Historically this module computed global queries by calling member
+objects directly in memory. It is now a thin, API-compatible adapter
+over the federated query engine (:mod:`repro.fedquery`): every
+:meth:`CommonsCoordinator.run` builds a quiet simulated network, wraps
+each member in a :class:`~repro.fedquery.cell.CellQueryAgent` backed by
+a :class:`~repro.fedquery.cell.ValueSource`, fans the plan out through
+an untrusted :class:`~repro.fedquery.coordinator.Coordinator`, and
+converts the engine's result back to the legacy shape. The recipient-
+facing semantics are unchanged:
 
 * ``aggregate-dp`` — the recipient gets only a differentially private
   total, computed with the masked-sum protocol plus distributed noise;
@@ -12,6 +16,12 @@ expected usage":
   k-anonymized collectively;
 * ``aggregate-exact`` — a certified recipient (the utility receiving
   monthly billing totals) gets the exact masked-sum aggregate.
+
+Randomness: pass ``seeds=`` (a :class:`~repro.sim.rng.SeedSequence`)
+and the whole run — network schedule, retry jitter, every cell's DP
+noise stream — derives from that one root, reproducibly. The legacy
+``rng=`` argument is still accepted: it becomes the shared noise
+source, drawn in deterministic delivery order.
 """
 
 from __future__ import annotations
@@ -21,14 +31,34 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import ConfigurationError, ProtocolError
-from .aggregation import AggregationNode, AggregationResult, MaskedSum
-from .anonymize import GeneralizedRecord, k_anonymize
-from .dp import gamma_noise_share, laplace_scale
+from ..fedquery.cell import CellQueryAgent, ValueSource
+from ..fedquery.coordinator import Coordinator, open_release
+from ..fedquery.gate import recipient_key
+from ..fedquery.spec import (
+    TRANSFORM_DP,
+    TRANSFORM_EXACT,
+    TRANSFORM_KANON,
+    TRANSFORMS,
+    FedQuerySpec,
+)
+from ..infrastructure.network import Network
+from ..sim.rng import SeedSequence
+from ..sim.world import World
+from .aggregation import AggregationNode, AggregationResult
+from .anonymize import GeneralizedRecord
 
-TRANSFORM_DP = "aggregate-dp"
-TRANSFORM_KANON = "records-kanon"
-TRANSFORM_EXACT = "aggregate-exact"
-TRANSFORMS = (TRANSFORM_DP, TRANSFORM_KANON, TRANSFORM_EXACT)
+__all__ = [
+    "TRANSFORM_DP",
+    "TRANSFORM_KANON",
+    "TRANSFORM_EXACT",
+    "TRANSFORMS",
+    "GlobalQuery",
+    "CommonsMember",
+    "GlobalQueryResult",
+    "CommonsCoordinator",
+]
+
+_FLEET_SECRET = b"commons-adapter-fleet"
 
 
 @dataclass(frozen=True)
@@ -72,13 +102,24 @@ class GlobalQueryResult:
 
 
 class CommonsCoordinator:
-    """Runs global queries over a member population."""
+    """Runs global queries over a member population.
 
-    def __init__(self, members: list[CommonsMember], rng: random.Random) -> None:
+    ``rng`` is the legacy shared randomness source (kept for
+    compatibility); prefer ``seeds`` — the whole run then derives from
+    one root seed through the :mod:`repro.sim.rng` stream discipline.
+    """
+
+    def __init__(self, members: list[CommonsMember],
+                 rng: random.Random | None = None, *,
+                 seeds: SeedSequence | None = None) -> None:
         if not members:
             raise ConfigurationError("the commons needs at least one member")
         self._members = members
         self._rng = rng
+        self._seeds = seeds if seeds is not None else (
+            None if rng is not None else SeedSequence(0)
+        )
+        self._runs = 0
 
     def run(self, query: GlobalQuery) -> GlobalQueryResult:
         willing = [
@@ -91,59 +132,91 @@ class CommonsCoordinator:
         if not online:
             raise ProtocolError("no participant is opted in and online")
 
+        self._runs += 1
+        result = self._run_engine(query, willing)
+
         if query.transform == TRANSFORM_KANON:
-            records = [dict(member.record) for member in online]
-            quasi = sorted(
-                key for key in records[0] if key.startswith("qi_")
+            if result.abandoned:
+                released = sum(
+                    1 for member in online if member.record
+                )
+                raise ConfigurationError(
+                    f"cannot {query.k}-anonymize {released} records"
+                )
+            records = open_release(
+                result, recipient_key(query.recipient, _FLEET_SECRET),
+                k=query.k,
             )
-            sensitive = sorted(
-                key for key in records[0] if not key.startswith("qi_")
-            )
-            released = k_anonymize(records, quasi, sensitive, query.k)
             return GlobalQueryResult(
                 transform=query.transform,
                 participants=len(online),
                 opted_out=opted_out,
                 offline=offline,
-                records=released,
+                records=records,
             )
 
-        # numeric aggregate paths share the masked-sum machinery
-        nodes = [member.node for member in willing]
-        values: dict[str, int] = {}
-        for member in willing:
-            contribution = member.value
-            if query.transform == TRANSFORM_DP:
-                contribution += gamma_noise_share(
-                    self._rng,
-                    participants=len(online),
-                    scale=laplace_scale(1.0, query.epsilon),
-                )
-            values[member.node.name] = round(contribution * query.scale)
-        online_names = {member.node.name for member in online}
-        protocol = MaskedSum() if len(nodes) >= 2 else None
-        if protocol is None:
-            from ..crypto import shamir
-
-            only = willing[0]
-            aggregation = AggregationResult(
-                total=shamir.encode_signed(values[only.node.name]),
-                participants=1, dropped=0, messages=1,
-                bytes=16, rounds=1, protocol="single",
+        if result.abandoned:  # pragma: no cover - quiet network never does
+            raise ProtocolError(
+                f"federated aggregate failed: {result.failure}"
             )
-        else:
-            aggregation = protocol.run(
-                nodes, values, online=online_names,
-                round_tag=f"{query.recipient}|{query.purpose}",
-            )
-        from ..crypto import shamir
-
-        value = shamir.decode_signed(aggregation.total) / query.scale
+        aggregation = AggregationResult(
+            total=result.field_total,
+            participants=result.roster_size,
+            dropped=len(result.demoted) + result.declined + result.floored,
+            messages=result.messages,
+            bytes=result.bytes,
+            rounds=1 + result.recovery_rounds,
+            protocol="fedquery",
+            aggregator_view=result.coordinator_view,
+        )
         return GlobalQueryResult(
             transform=query.transform,
             participants=len(online),
             opted_out=opted_out,
             offline=offline,
-            value=value,
+            value=result.value,
             aggregation=aggregation,
+        )
+
+    # -- engine plumbing -------------------------------------------------------
+
+    def _run_engine(self, query: GlobalQuery, willing: list[CommonsMember]):
+        seed = (
+            self._seeds.child_seed(f"commons-run-{self._runs}")
+            if self._seeds is not None else 0
+        )
+        world = World(seed=seed)
+        network = Network(world)
+        coordinator = Coordinator(world, network, address="commons-recipient")
+        directory = {member.node.name: member.node for member in willing}
+        for member in willing:
+            CellQueryAgent(
+                world, network, member.node.name, member.node,
+                ValueSource(member.value, member.record),
+                purposes={query.purpose},
+                directory=directory,
+                fleet_secret=_FLEET_SECRET,
+                # Legacy mode: every cell draws noise from the caller's
+                # shared rng, in deterministic delivery order.
+                noise_rng=self._rng,
+            )
+            if not member.online:
+                network.set_online(member.node.name, False)
+        spec = FedQuerySpec(
+            recipient=query.recipient,
+            purpose=query.purpose,
+            transform=query.transform,
+            collection="member",
+            value_field="value",
+            epsilon=query.epsilon,
+            k=query.k,
+            scale=query.scale,
+            # Legacy semantics released single-member aggregates; keep
+            # that contract (the engine's default floor is 2).
+            min_cohort=1,
+        )
+        roster = [member.node.name for member in willing]
+        return coordinator.run(
+            spec, roster,
+            round_tag=f"{query.recipient}|{query.purpose}",
         )

@@ -1,0 +1,63 @@
+"""Federated query engine: global queries fanned out over the network.
+
+The paper's functional contract item (6) — "participation in
+distributed computations" — executed the way the architecture demands:
+a declarative query spec ships from an **untrusted coordinator** to a
+fleet of trusted cells over the simulated network; each cell runs a
+local plan against its own embedded store, applies its opt-in policy
+and the egress privacy gate, and returns only a transformed partial
+(masked field element, sealed record batch). The coordinator combines
+partials under straggler timeouts, retry re-asks and graceful
+degradation. See ``docs/fedquery.md``.
+"""
+
+from .cell import CatalogSource, CellQueryAgent, LocalSource, ValueSource
+from .coordinator import (
+    OUTCOME_ABANDONED,
+    OUTCOME_COMPLETE,
+    OUTCOME_PARTIAL,
+    Coordinator,
+    FedQueryResult,
+    open_release,
+)
+from .fleet import Fleet, build_fleet
+from .gate import net_recovery_mask, open_records, recipient_key, seal_records
+from .spec import (
+    TRANSFORM_DP,
+    TRANSFORM_EXACT,
+    TRANSFORM_KANON,
+    TRANSFORMS,
+    FedQuerySpec,
+    plan_kind,
+    predicate_from_wire,
+    predicate_to_wire,
+    wire_size,
+)
+
+__all__ = [
+    "CatalogSource",
+    "CellQueryAgent",
+    "Coordinator",
+    "FedQueryResult",
+    "FedQuerySpec",
+    "Fleet",
+    "LocalSource",
+    "OUTCOME_ABANDONED",
+    "OUTCOME_COMPLETE",
+    "OUTCOME_PARTIAL",
+    "TRANSFORMS",
+    "TRANSFORM_DP",
+    "TRANSFORM_EXACT",
+    "TRANSFORM_KANON",
+    "ValueSource",
+    "build_fleet",
+    "net_recovery_mask",
+    "open_records",
+    "open_release",
+    "plan_kind",
+    "predicate_from_wire",
+    "predicate_to_wire",
+    "recipient_key",
+    "seal_records",
+    "wire_size",
+]

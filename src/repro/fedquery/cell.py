@@ -1,0 +1,263 @@
+"""The cell side of the federated query engine.
+
+A :class:`CellQueryAgent` is the endpoint a coordinator fans a plan out
+to. On receiving a plan it decides participation from its *own* opt-in
+state (and, optionally, a :class:`~repro.policy.ucon.UsagePolicy` —
+the recipient must hold the ``aggregate`` right), runs the local query
+through its own storage, pushes the result through the egress gate
+(:mod:`repro.fedquery.gate`) and replies with the transformed partial.
+Raw records never leave the cell unsealed; raw numeric values never
+leave it unmasked.
+
+Replies are **idempotent**: the partial for a tag is computed once and
+cached, so a duplicated plan (fault plane) or a coordinator re-ask
+(straggler recovery) replays the identical bytes — in particular the
+DP noise share is drawn exactly once per query, so re-asks cannot be
+averaged to cancel the noise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Protocol
+
+from ..commons.aggregation import AggregationNode
+from ..errors import CellOfflineError, ProtocolError
+from ..infrastructure.network import Network
+from ..policy.conditions import AccessContext
+from ..policy.ucon import RIGHT_AGGREGATE, UsagePolicy
+from ..sim.world import World
+from ..store.catalog import Catalog
+from . import gate
+from .spec import (
+    MSG_PLAN,
+    MSG_RECOVER,
+    STATUS_DECLINED,
+    STATUS_FLOOR,
+    STATUS_OK,
+    TRANSFORM_DP,
+    FedQuerySpec,
+    mask_message,
+    partial_message,
+    plan_kind,
+    wire_size,
+)
+
+
+class LocalSource(Protocol):
+    """Where a cell's data lives: a catalog, or bare values for tests."""
+
+    def run_local(self, spec: FedQuerySpec) -> tuple[Any, str, int]:
+        """Execute the spec's local query.
+
+        Returns ``(result, plan, examined)`` where ``result`` is a
+        number for numeric transforms or a list of rows for record
+        transforms, ``plan`` is the store's plan string and
+        ``examined`` the records-examined count.
+        """
+
+
+class CatalogSource:
+    """A cell whose data lives in its embedded store."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    def run_local(self, spec: FedQuerySpec) -> tuple[Any, str, int]:
+        result = self.catalog.query(spec.local_query())
+        if spec.numeric:
+            return result.scalar(), result.plan, result.records_examined
+        return result.rows, result.plan, result.records_examined
+
+
+class ValueSource:
+    """A cell backed by an in-memory value and record (no store).
+
+    The shape the legacy orchestrator's :class:`CommonsMember` carries;
+    the adapter wraps members in these. ``plan`` reports ``memory``.
+    """
+
+    def __init__(self, value: float = 0.0,
+                 record: dict[str, Any] | None = None) -> None:
+        self.value = value
+        self.record = record or {}
+
+    def run_local(self, spec: FedQuerySpec) -> tuple[Any, str, int]:
+        if spec.numeric:
+            value = 1.0 if spec.aggregate == "count" else self.value
+            return value, "memory", 1
+        rows = [dict(self.record)] if self.record else []
+        if spec.project is not None:
+            rows = [{name: row.get(name) for name in spec.project}
+                    for row in rows]
+        return rows, "memory", 1
+
+
+class CellQueryAgent:
+    """One cell's federated-query endpoint."""
+
+    def __init__(
+        self,
+        world: World,
+        network: Network,
+        name: str,
+        node: AggregationNode,
+        source: LocalSource,
+        *,
+        purposes: set[str] | None = None,
+        policy: UsagePolicy | None = None,
+        directory: dict[str, AggregationNode] | None = None,
+        fleet_secret: bytes | None = None,
+        noise_rng: random.Random | None = None,
+        latency_ms: float = 20.0,
+        bandwidth_bytes_per_s: float = 1e6,
+    ) -> None:
+        self.world = world
+        self.network = network
+        self.name = name
+        self.node = node
+        self.source = source
+        self.purposes = set(purposes or ())
+        self.policy = policy
+        # Roster names resolve to key material here. Preshared fleets
+        # need no directory at all (keys derive from the group secret),
+        # so default to self-only and let callers share a fleet-wide one.
+        self.directory = directory if directory is not None else {}
+        self.directory.setdefault(name, node)
+        self.fleet_secret = fleet_secret
+        self._noise_rng = noise_rng if noise_rng is not None else world.rng(
+            f"fedquery.noise.{name}"
+        )
+        # tag -> the exact partial message already sent (idempotency).
+        self._partials: dict[str, dict[str, Any]] = {}
+        network.register(
+            name, self._on_message,
+            latency_ms=latency_ms,
+            bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+        )
+
+    # -- participation ---------------------------------------------------------
+
+    def opt_in(self, *purposes: str) -> None:
+        self.purposes.update(purposes)
+
+    def opt_out(self, *purposes: str) -> None:
+        self.purposes.difference_update(purposes)
+
+    def _participates(self, spec: FedQuerySpec) -> bool:
+        if spec.purpose not in self.purposes:
+            return False
+        if self.policy is not None:
+            context = AccessContext(
+                subject=spec.recipient,
+                timestamp=self.world.now,
+                purpose=spec.purpose,
+            )
+            if not self.policy.evaluate(RIGHT_AGGREGATE, context).allowed:
+                return False
+        return True
+
+    # -- message handling ------------------------------------------------------
+
+    def _on_message(self, sender: str, payload: Any) -> None:
+        kind = payload.get("kind") if isinstance(payload, dict) else None
+        if kind == MSG_PLAN:
+            self._on_plan(payload)
+        elif kind == MSG_RECOVER:
+            self._on_recover(payload)
+        # Unknown kinds are dropped silently: the wire is untrusted.
+
+    def _reply(self, destination: str, message: dict[str, Any]) -> None:
+        try:
+            self.network.send(
+                self.name, destination, message, size_bytes=wire_size(message)
+            )
+        except CellOfflineError:
+            pass  # the coordinator's re-ask machinery owns this failure
+
+    def _on_plan(self, message: dict[str, Any]) -> None:
+        tag = message["tag"]
+        cached = self._partials.get(tag)
+        if cached is not None:
+            # Duplicate delivery or coordinator re-ask: replay verbatim.
+            self._reply(message["reply_to"], cached)
+            return
+        spec = FedQuerySpec.from_wire(message["spec"])
+        roster = list(message["roster"])
+        round_tag = message.get("round_tag", tag)
+        neighbors = message.get("neighbors")
+
+        if not self._participates(spec):
+            partial = partial_message(
+                tag, self.name, STATUS_DECLINED, plan="none", examined=0
+            )
+        elif not gate.cohort_allows(spec, len(roster)):
+            partial = partial_message(
+                tag, self.name, STATUS_FLOOR, plan="none", examined=0
+            )
+        else:
+            partial = self._compute_partial(
+                tag, spec, roster, round_tag, neighbors
+            )
+        self._partials[tag] = partial
+        # Remember the round context for a later recovery request.
+        self._partials[tag + "|ctx"] = {
+            "roster": roster, "round_tag": round_tag, "neighbors": neighbors,
+            "contributed": partial["status"] == STATUS_OK,
+        }
+        self._reply(message["reply_to"], partial)
+
+    def _compute_partial(
+        self,
+        tag: str,
+        spec: FedQuerySpec,
+        roster: list[str],
+        round_tag: str,
+        neighbors: int | None,
+    ) -> dict[str, Any]:
+        local, plan, examined = self.source.run_local(spec)
+        if spec.numeric:
+            contribution = float(local)
+            if spec.transform == TRANSFORM_DP:
+                contribution += gate.dp_noise_share(
+                    self._noise_rng, participants=len(roster),
+                    epsilon=spec.epsilon,
+                )
+            masked = gate.masked_contribution(
+                self.node, self.directory, roster, round_tag,
+                round(contribution * spec.scale), neighbors=neighbors,
+            )
+            payload: dict[str, Any] = {"masked": masked}
+        else:
+            rows = list(local)
+            if self.fleet_secret is None:
+                raise ProtocolError(
+                    f"cell {self.name!r} has no fleet secret to seal "
+                    "a record release"
+                )
+            key = gate.recipient_key(spec.recipient, self.fleet_secret)
+            payload = {
+                "count": len(rows),
+                "blob": gate.seal_records(key, rows, tag, self.name)
+                if rows else None,
+            }
+        return partial_message(
+            tag, self.name, STATUS_OK, plan=plan_kind(plan),
+            examined=examined, payload=payload,
+        )
+
+    def _on_recover(self, message: dict[str, Any]) -> None:
+        tag = message["tag"]
+        context = self._partials.get(tag + "|ctx")
+        if context is None or not context["contributed"]:
+            # Never contributed a value: nothing of ours is in the
+            # total, so there is nothing to unmask. Stay silent; the
+            # coordinator only queries contributors anyway.
+            return
+        net = gate.net_recovery_mask(
+            self.node, self.directory, context["roster"],
+            context["round_tag"], list(message["missing"]),
+            neighbors=context["neighbors"],
+        )
+        reply = mask_message(tag, self.name, message["round"], net)
+        self._reply(message["reply_to"], reply)

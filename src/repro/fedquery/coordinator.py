@@ -1,0 +1,548 @@
+"""The untrusted coordinator: fans plans out, combines transformed partials.
+
+The coordinator runs on the "highly powerful, highly available but
+untrusted infrastructure" of the paper. Everything it touches is
+already transformed by the cells' egress gates: masked field elements
+(meaningless individually), net recovery masks (protect nothing), and
+sealed record batches (ciphertext under a recipient key it does not
+hold). Its job is purely operational — scheduling, collection,
+straggler handling — and its view is recorded in
+``FedQueryResult.coordinator_view`` so tests and benches can assert no
+raw value ever appears there.
+
+Liveness discipline (mirrors :class:`~repro.commons.async_aggregation.
+AsyncMaskedAggregation`): a collect deadline, per-cell
+:class:`~repro.faults.retry.RetryPolicy` re-asks, demotion when the
+budget is exhausted, one mask-recovery round to cancel the demoted and
+declined cells' edges, and three terminal outcomes — **complete**,
+**partial** (demotions, but the survivors' answer is exact over the
+survivors), **abandoned** (privacy floor or unrecoverable masks; no
+value released). A run never hangs: :meth:`Coordinator.run` drives the
+event loop to a bounded horizon and raises if the query somehow failed
+to reach a terminal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..commons.anonymize import GeneralizedRecord, k_anonymize
+from ..crypto import shamir
+from ..errors import CellOfflineError, ConfigurationError, ProtocolError
+from ..faults.retry import RetryPolicy, schedule_retry
+from ..infrastructure.network import Network
+from ..sim.world import World
+from . import gate
+from .spec import (
+    MSG_MASK,
+    MSG_PARTIAL,
+    STATUS_DECLINED,
+    STATUS_FLOOR,
+    STATUS_OK,
+    FedQuerySpec,
+    plan_message,
+    recover_message,
+    wire_size,
+)
+
+OUTCOME_COMPLETE = "complete"
+OUTCOME_PARTIAL = "partial"
+OUTCOME_ABANDONED = "abandoned"
+
+
+@dataclass
+class FedQueryResult:
+    """Terminal state of one federated query, plus full accounting."""
+
+    transform: str
+    tag: str
+    roster_size: int
+    participants: int = 0  # cells whose partial made the combine
+    declined: int = 0
+    floored: int = 0  # refused: roster under the cell-side cohort floor
+    demoted: list[str] = field(default_factory=list)
+    value: float | None = None
+    field_total: int | None = None  # the combined field element (numeric)
+    sealed_records: list[tuple[str, str]] | None = None  # (sender, blob hex)
+    plan_mix: dict[str, int] = field(default_factory=dict)
+    records_examined: int = 0
+    messages: int = 0
+    bytes: int = 0
+    reasks: int = 0
+    recovery_rounds: int = 0
+    outcome: str = OUTCOME_ABANDONED
+    failure: str | None = None
+    completed_at: int = 0
+    # Every payload the untrusted side saw, verbatim.
+    coordinator_view: list[Any] = field(default_factory=list)
+
+    @property
+    def partial(self) -> bool:
+        return self.outcome == OUTCOME_PARTIAL
+
+    @property
+    def abandoned(self) -> bool:
+        return self.outcome == OUTCOME_ABANDONED
+
+
+_PENDING = "pending"
+_DEMOTED = "demoted"
+
+
+class _RunState:
+    """Mutable per-query bookkeeping (one instance per run)."""
+
+    def __init__(self, tag: str, spec: FedQuerySpec, roster: list[str],
+                 round_tag: str, neighbors: int | None) -> None:
+        self.tag = tag
+        self.spec = spec
+        self.roster = roster
+        self.round_tag = round_tag
+        self.neighbors = neighbors
+        self.status: dict[str, str] = {name: _PENDING for name in roster}
+        self.payloads: dict[str, Any] = {}
+        self.plans: dict[str, str] = {}
+        self.examined = 0
+        self.attempts: dict[str, int] = {name: 1 for name in roster}
+        self.reasks = 0
+        self.messages = 0
+        self.bytes = 0
+        self.view: list[Any] = []
+        self.phase = "collect"
+        self.masks: dict[str, int] = {}
+        self.mask_attempts: dict[str, int] = {}
+        self.missing: list[str] = []
+        self.recovery_rounds = 0
+        self.started_at = 0
+        self.deadline_handle = None
+        self.result: FedQueryResult | None = None
+
+    def resolved(self, name: str) -> bool:
+        return self.status[name] != _PENDING
+
+    def collected(self) -> bool:
+        return all(status != _PENDING for status in self.status.values())
+
+    def ok_cells(self) -> list[str]:
+        return [name for name in self.roster if self.status[name] == STATUS_OK]
+
+
+class Coordinator:
+    """Runs federated queries over a roster of cell endpoints."""
+
+    def __init__(
+        self,
+        world: World,
+        network: Network,
+        *,
+        address: str = "fq-coordinator",
+        retry_policy: RetryPolicy | None = None,
+        collect_timeout_s: int = 30,
+        recovery_timeout_s: int = 30,
+        neighbors: int | None = None,
+        latency_ms: float = 5.0,
+        bandwidth_bytes_per_s: float = 1e9,
+    ) -> None:
+        if collect_timeout_s < 1 or recovery_timeout_s < 1:
+            raise ConfigurationError("timeouts must be at least 1 s")
+        self.world = world
+        self.network = network
+        self.address = address
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay_s=2.0, multiplier=2.0,
+            max_delay_s=30.0, jitter=0.1,
+        )
+        self.collect_timeout_s = collect_timeout_s
+        self.recovery_timeout_s = recovery_timeout_s
+        self.neighbors = neighbors
+        self._retry_rng = world.rng(f"fedquery.reask.{address}")
+        self._sequence = 0
+        self._active: dict[str, _RunState] = {}
+        network.register(
+            address, self._on_message,
+            latency_ms=latency_ms,
+            bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+        )
+        metrics = world.obs.metrics
+        self._events = world.obs.events
+        self._tracer = world.obs.tracer
+        self._plans_metric = metrics.counter(
+            "fedquery.plans", help="query plans shipped to cells")
+        self._bytes_metric = metrics.counter(
+            "fedquery.bytes", help="coordinator wire bytes, both directions")
+        self._reasks_metric = metrics.counter(
+            "fedquery.reasks", help="straggler re-asks sent")
+        self._demotions_metric = metrics.counter(
+            "fedquery.demotions", help="cells demoted after the retry budget")
+        self._partials_metric = metrics.counter(
+            "fedquery.partials", help="cell partials received",
+            labelnames=("status",))
+        self._queries_metric = metrics.counter(
+            "fedquery.queries", help="federated queries by terminal outcome",
+            labelnames=("outcome",))
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, spec: FedQuerySpec, roster: list[str], *,
+            round_tag: str | None = None) -> FedQueryResult:
+        """Execute ``spec`` across ``roster`` and drive the loop to done.
+
+        ``roster`` is the full masking roster in a fixed order every
+        cell will see; offline or unresponsive members are handled by
+        the re-ask/demote/recover machinery, not by the caller.
+        """
+        if not roster:
+            raise ConfigurationError("the roster needs at least one cell")
+        if len(set(roster)) != len(roster):
+            raise ConfigurationError("roster names must be unique")
+        self._sequence += 1
+        tag = f"fq{self._sequence}|{spec.recipient}|{spec.purpose}"
+        state = _RunState(
+            tag, spec, list(roster),
+            round_tag if round_tag is not None
+            else f"{spec.recipient}|{spec.purpose}",
+            self.neighbors,
+        )
+        state.started_at = self.world.now
+        self._active[tag] = state
+
+        with self._tracer.span(
+            "fedquery.fanout", tag=tag, transform=spec.transform,
+            roster=len(roster),
+        ):
+            for name in roster:
+                self._ship(state, name)
+        self._events.emit(
+            "fedquery.start", tag=tag, transform=spec.transform,
+            roster=len(roster),
+        )
+        state.deadline_handle = self.world.loop.schedule_in(
+            self.collect_timeout_s, lambda: self._collect_deadline(state),
+            label=f"fq deadline {tag}",
+        )
+        self.world.loop.run_until(self.world.now + self._horizon_s())
+        if state.result is None:
+            raise ProtocolError(f"federated query {tag!r} did not settle")
+        del self._active[tag]
+        return state.result
+
+    def _horizon_s(self) -> int:
+        """A safe upper bound on one query's wall time, in sim seconds."""
+        backoff = sum(self.retry_policy.delays(None))
+        # Two phased deadlines (collect + recovery), each followed by a
+        # full retry ladder; 2x covers jitter, message latency and the
+        # fault plane's injected delays with a wide margin.
+        return int(
+            2 * (self.collect_timeout_s + self.recovery_timeout_s
+                 + 2 * backoff)
+        ) + 120
+
+    # -- fan-out and re-asks ---------------------------------------------------
+
+    def _ship(self, state: _RunState, name: str) -> None:
+        message = plan_message(
+            state.tag, state.spec, state.roster, self.address,
+            round_tag=state.round_tag, neighbors=state.neighbors,
+        )
+        size = wire_size(message)
+        self._plans_metric.inc()
+        self._bytes_metric.inc(size)
+        state.messages += 1
+        state.bytes += size
+        try:
+            self.network.send(self.address, name, message, size_bytes=size)
+        except CellOfflineError:
+            pass  # stays pending; the deadline's re-ask chain owns it
+
+    def _collect_deadline(self, state: _RunState) -> None:
+        if state.phase != "collect":
+            return
+        for name in state.roster:
+            if not state.resolved(name):
+                self._reask(state, name)
+
+    def _reask(self, state: _RunState, name: str) -> None:
+        if state.phase != "collect" or state.resolved(name):
+            return
+        handle = schedule_retry(
+            self.world, self.retry_policy, state.attempts[name],
+            lambda: self._reask(state, name),
+            rng=self._retry_rng, label=f"fq reask {name}",
+        )
+        if handle is None:
+            self._demote(state, name)
+            return
+        state.attempts[name] += 1
+        state.reasks += 1
+        self._reasks_metric.inc()
+        self._ship(state, name)
+
+    def _demote(self, state: _RunState, name: str) -> None:
+        state.status[name] = _DEMOTED
+        self._demotions_metric.inc()
+        self._events.emit("fedquery.demote", tag=state.tag, cell=name,
+                          attempts=state.attempts[name])
+        if state.collected():
+            self._settle(state)
+
+    # -- inbound ---------------------------------------------------------------
+
+    def _on_message(self, sender: str, payload: Any) -> None:
+        if not isinstance(payload, dict):
+            return
+        state = self._active.get(payload.get("tag"))
+        if state is None:
+            return
+        kind = payload.get("kind")
+        if kind == MSG_PARTIAL:
+            self._on_partial(state, payload)
+        elif kind == MSG_MASK:
+            self._on_mask(state, payload)
+
+    def _on_partial(self, state: _RunState, message: dict[str, Any]) -> None:
+        name = message["from"]
+        if state.phase != "collect" or name not in state.status \
+                or state.resolved(name):
+            return  # duplicate, late (post-demotion), or off-roster
+        size = wire_size(message)
+        state.messages += 1
+        state.bytes += size
+        self._bytes_metric.inc(size)
+        status = message["status"]
+        self._partials_metric.labels(status=status).inc()
+        state.status[name] = status
+        if status == STATUS_OK:
+            state.payloads[name] = message["payload"]
+            state.plans[name] = message["plan"]
+            state.examined += message["examined"]
+            state.view.append(message["payload"])
+        if state.collected():
+            self._settle(state)
+
+    def _on_mask(self, state: _RunState, message: dict[str, Any]) -> None:
+        name = message["from"]
+        if state.phase != "recover" or name in state.masks \
+                or name not in state.status:
+            return
+        size = wire_size(message)
+        state.messages += 1
+        state.bytes += size
+        self._bytes_metric.inc(size)
+        state.masks[name] = message["net_mask"]
+        state.view.append(message["net_mask"])
+        if len(state.masks) == len(state.ok_cells()):
+            self._finish_numeric(state)
+
+    # -- settle: combine, recover, finish --------------------------------------
+
+    def _settle(self, state: _RunState) -> None:
+        if state.phase not in ("collect",):
+            return
+        if state.deadline_handle is not None:
+            state.deadline_handle.cancel()
+        ok = state.ok_cells()
+        if not ok:
+            self._finalize(state, failure="no-participants")
+            return
+        if len(ok) < state.spec.min_cohort:
+            self._finalize(state, failure="privacy-floor")
+            return
+        if state.spec.numeric:
+            state.missing = [
+                name for name in state.roster if state.status[name] != STATUS_OK
+            ]
+            if not state.missing:
+                state.phase = "recover"  # vacuous: nothing to recover
+                self._finish_numeric(state)
+                return
+            self._start_recovery(state)
+        else:
+            self._finish_kanon(state)
+
+    def _start_recovery(self, state: _RunState) -> None:
+        state.phase = "recover"
+        state.recovery_rounds = 1
+        message_for = {}
+        for name in state.ok_cells():
+            message_for[name] = recover_message(
+                state.tag, 1, state.missing, self.address
+            )
+            state.mask_attempts[name] = 1
+        self._events.emit(
+            "fedquery.recover", tag=state.tag, missing=len(state.missing),
+            survivors=len(message_for),
+        )
+        for name, message in message_for.items():
+            self._ship_recover(state, name, message)
+        self.world.loop.schedule_in(
+            self.recovery_timeout_s,
+            lambda: self._recovery_deadline(state),
+            label=f"fq recover deadline {state.tag}",
+        )
+
+    def _ship_recover(self, state: _RunState, name: str,
+                      message: dict[str, Any]) -> None:
+        size = wire_size(message)
+        state.messages += 1
+        state.bytes += size
+        self._bytes_metric.inc(size)
+        try:
+            self.network.send(self.address, name, message, size_bytes=size)
+        except CellOfflineError:
+            pass
+
+    def _recovery_deadline(self, state: _RunState) -> None:
+        if state.phase != "recover" or state.result is not None:
+            return
+        for name in state.ok_cells():
+            if name not in state.masks:
+                self._reask_mask(state, name)
+
+    def _reask_mask(self, state: _RunState, name: str) -> None:
+        if state.phase != "recover" or state.result is not None \
+                or name in state.masks:
+            return
+        handle = schedule_retry(
+            self.world, self.retry_policy, state.mask_attempts[name],
+            lambda: self._reask_mask(state, name),
+            rng=self._retry_rng, label=f"fq mask reask {name}",
+        )
+        if handle is None:
+            # A cell whose value is already in the total cannot reveal
+            # its masks: the edges it shares with missing cells can
+            # never be cancelled. Nothing releasable remains.
+            self._finalize(state, failure="mask-recovery")
+            return
+        state.mask_attempts[name] += 1
+        state.reasks += 1
+        self._reasks_metric.inc()
+        self._ship_recover(
+            state, name,
+            recover_message(state.tag, 1, state.missing, self.address),
+        )
+
+    def _finish_numeric(self, state: _RunState) -> None:
+        if state.result is not None:
+            return
+        total = 0
+        for name in state.ok_cells():
+            total = (total + state.payloads[name]["masked"]) % shamir.PRIME
+        for net in state.masks.values():
+            total = (total + net) % shamir.PRIME
+        value = shamir.decode_signed(total) / state.spec.scale
+        self._finalize(state, field_total=total, value=value)
+
+    def _finish_kanon(self, state: _RunState) -> None:
+        released = sum(
+            state.payloads[name]["count"] for name in state.ok_cells()
+        )
+        if released < max(state.spec.k, state.spec.min_cohort):
+            self._finalize(state, failure="privacy-floor")
+            return
+        sealed = [
+            (name, state.payloads[name]["blob"])
+            for name in state.ok_cells()
+            if state.payloads[name]["blob"] is not None
+        ]
+        self._finalize(state, sealed_records=sealed)
+
+    def _finalize(
+        self,
+        state: _RunState,
+        *,
+        failure: str | None = None,
+        field_total: int | None = None,
+        value: float | None = None,
+        sealed_records: list[tuple[str, str]] | None = None,
+    ) -> None:
+        if state.result is not None:
+            return
+        state.phase = "done"
+        counts = {STATUS_DECLINED: 0, STATUS_FLOOR: 0, _DEMOTED: 0}
+        demoted = []
+        for name in state.roster:
+            status = state.status[name]
+            if status in counts:
+                counts[status] += 1
+            if status == _DEMOTED:
+                demoted.append(name)
+        plan_mix: dict[str, int] = {}
+        for plan in state.plans.values():
+            plan_mix[plan] = plan_mix.get(plan, 0) + 1
+        if failure is not None:
+            outcome = OUTCOME_ABANDONED
+        elif demoted:
+            outcome = OUTCOME_PARTIAL
+        else:
+            outcome = OUTCOME_COMPLETE
+        with self._tracer.span(
+            "fedquery.collect", tag=state.tag, transform=state.spec.transform,
+        ) as span:
+            span.annotate(
+                outcome=outcome, participants=len(state.ok_cells()),
+                demoted=len(demoted), reasks=state.reasks,
+                waited_s=self.world.now - state.started_at,
+            )
+        self._queries_metric.labels(outcome=outcome).inc()
+        self._events.emit(
+            "fedquery.settle", tag=state.tag, outcome=outcome,
+            participants=len(state.ok_cells()), demoted=len(demoted),
+            failure=failure,
+        )
+        state.result = FedQueryResult(
+            transform=state.spec.transform,
+            tag=state.tag,
+            roster_size=len(state.roster),
+            participants=len(state.ok_cells()),
+            declined=counts[STATUS_DECLINED],
+            floored=counts[STATUS_FLOOR],
+            demoted=demoted,
+            value=value,
+            field_total=field_total,
+            sealed_records=sealed_records,
+            plan_mix=plan_mix,
+            records_examined=state.examined,
+            messages=state.messages,
+            bytes=state.bytes,
+            reasks=state.reasks,
+            recovery_rounds=state.recovery_rounds,
+            outcome=outcome,
+            failure=failure,
+            completed_at=self.world.now,
+            coordinator_view=state.view,
+        )
+
+
+def open_release(
+    result: FedQueryResult,
+    key: bytes,
+    k: int,
+    *,
+    quasi_identifiers: list[str] | None = None,
+    sensitive_attributes: list[str] | None = None,
+) -> list[GeneralizedRecord]:
+    """Recipient-side: open a ``records-kanon`` release and anonymize.
+
+    The *recipient* holds the fleet's recipient key (the coordinator
+    never does); it decrypts each cell's sealed batch, concatenates the
+    rows in roster order, and runs the same Mondrian ``k_anonymize``
+    the legacy orchestrator ran — by default auto-detecting the
+    ``qi_``-prefixed quasi-identifiers exactly as the orchestrator did.
+    """
+    if result.sealed_records is None:
+        raise ProtocolError("result carries no sealed records")
+    rows: list[dict[str, Any]] = []
+    for _, blob_hex in result.sealed_records:
+        rows.extend(gate.open_records(key, blob_hex))
+    if not rows:
+        raise ProtocolError("release is empty")
+    if quasi_identifiers is None:
+        quasi_identifiers = sorted(
+            name for name in rows[0] if name.startswith("qi_")
+        )
+    if sensitive_attributes is None:
+        sensitive_attributes = sorted(
+            name for name in rows[0] if not name.startswith("qi_")
+        )
+    return k_anonymize(rows, quasi_identifiers, sensitive_attributes, k)

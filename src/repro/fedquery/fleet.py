@@ -1,0 +1,144 @@
+"""Fleet construction: many store-backed cells on one simulated network.
+
+Builds the population the federated-query experiments and benches run
+against: each cell owns a *tiny* NAND device and an embedded
+:class:`~repro.store.catalog.Catalog` holding a day of per-hour energy
+records plus one demographic profile record. Cells are deliberately
+heterogeneous in their storage layout — a third carry an ordered index
+on ``hour``, a third rely on zone maps alone, a third must full-scan —
+so a fan-out surfaces the per-cell plan mix the coordinator reports.
+
+All randomness comes from the world's seed streams; building the same
+fleet twice from the same seed yields identical stores, values and key
+material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..commons.aggregation import AggregationNode
+from ..hardware.flash import NandFlash
+from ..hardware.profiles import FlashTimings
+from ..infrastructure.network import Network
+from ..sim.world import World
+from ..store.catalog import Catalog
+from .cell import CatalogSource, CellQueryAgent
+from .spec import FedQuerySpec
+
+#: A smart-meter-class device: 512 B pages, 16-page blocks, 64 KiB.
+TINY_FLASH = FlashTimings(
+    page_size=512, pages_per_block=16,
+    read_page_us=25.0, write_page_us=200.0, erase_block_us=1500.0,
+)
+TINY_CAPACITY = 64 * 1024
+
+LAYOUT_INDEX = "index"
+LAYOUT_ZONEMAP = "zonemap"
+LAYOUT_SCAN = "scan"
+LAYOUTS = (LAYOUT_INDEX, LAYOUT_ZONEMAP, LAYOUT_SCAN)
+
+DISEASES = ("asthma", "diabetes", "flu", "none")
+
+
+@dataclass
+class Fleet:
+    """A built population, ready for a :class:`Coordinator` to query."""
+
+    world: World
+    network: Network
+    secret: bytes
+    agents: dict[str, CellQueryAgent] = field(default_factory=dict)
+    catalogs: dict[str, Catalog] = field(default_factory=dict)
+    layouts: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def roster(self) -> list[str]:
+        return list(self.agents)
+
+    def ground_truth(self, spec: FedQuerySpec,
+                     roster: list[str] | None = None) -> float:
+        """The oracle answer: each cell's local query, summed in the
+        clear (bypasses the network — for asserting engine results)."""
+        names = roster if roster is not None else self.roster
+        total = 0.0
+        for name in names:
+            result = self.catalogs[name].query(spec.local_query())
+            total += float(result.scalar())
+        return total
+
+    def local_rows(self, spec: FedQuerySpec,
+                   roster: list[str] | None = None) -> list[dict]:
+        """Oracle record release: every cell's matching rows, in roster
+        order (what a ``records-kanon`` release decrypts to)."""
+        names = roster if roster is not None else self.roster
+        rows: list[dict] = []
+        for name in names:
+            result = self.catalogs[name].query(spec.local_query())
+            rows.extend(result.rows)
+        return rows
+
+
+def build_fleet(
+    world: World,
+    network: Network,
+    size: int,
+    *,
+    purposes: set[str] | None = None,
+    hours: int = 24,
+    secret: bytes = b"fedquery-fleet-secret",
+    name_prefix: str = "cell",
+) -> Fleet:
+    """Build ``size`` store-backed cells registered on ``network``.
+
+    Layouts rotate ``index`` / ``zonemap`` / ``scan`` by position.
+    Watts values and demographics are drawn from per-cell world
+    streams, so the fleet is a pure function of the world seed.
+    """
+    fleet = Fleet(world=world, network=network, secret=secret)
+    purposes = purposes if purposes is not None else {"load-forecast"}
+    directory: dict[str, AggregationNode] = {}
+    for position in range(size):
+        name = f"{name_prefix}-{position:04d}"
+        layout = LAYOUTS[position % len(LAYOUTS)]
+        rng = world.rng(f"fleet.{name}")
+        catalog = Catalog(
+            NandFlash(TINY_FLASH, TINY_CAPACITY),
+            zone_maps=layout != LAYOUT_SCAN,
+        )
+        energy = catalog.collection("energy")
+        if layout == LAYOUT_INDEX:
+            energy.create_ordered_index("hour")
+        energy.insert_many(
+            (
+                f"r{hour}",
+                {
+                    "hour": hour,
+                    "watts": round(
+                        rng.uniform(50.0, 450.0)
+                        + (300.0 if 18 <= hour <= 21 else 0.0),
+                        1,
+                    ),
+                    "day": 1,
+                },
+            )
+            for hour in range(hours)
+        )
+        catalog.collection("profile").insert(
+            "p0",
+            {
+                "qi_age": rng.randint(18, 90),
+                "qi_zip": rng.randint(10_000, 99_999),
+                "disease": rng.choice(DISEASES),
+            },
+        )
+        node = AggregationNode.preshared(name, secret)
+        directory[name] = node
+        fleet.agents[name] = CellQueryAgent(
+            world, network, name, node, CatalogSource(catalog),
+            purposes=set(purposes), directory=directory,
+            fleet_secret=secret,
+        )
+        fleet.catalogs[name] = catalog
+        fleet.layouts[name] = layout
+    return fleet

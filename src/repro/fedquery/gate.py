@@ -1,0 +1,173 @@
+"""The egress privacy gate: the last thing a cell does before the wire.
+
+Nothing leaves a cell in the clear. The gate turns a local query result
+into the only three shapes the untrusted coordinator is allowed to see:
+
+* a **masked field element** — the cell's (optionally noised, scaled)
+  numeric contribution plus the pairwise masks of the k-regular SecAgg
+  graph (:mod:`repro.commons.aggregation` machinery, same keystreams,
+  same sign convention, so the coordinator's sum is bit-for-bit the
+  legacy :class:`~repro.commons.aggregation.MaskedSum` total);
+* a **net recovery mask** — what a survivor reveals so the edges it
+  shares with cells that never contributed cancel out of the total;
+* a **sealed record batch** — AEAD ciphertext under a key derived for
+  the *recipient*, which the coordinator forwards but cannot open.
+
+The gate also owns the **minimum-cohort floor**: a cell refuses to
+contribute at all when the plan's roster is smaller than the spec's
+``min_cohort`` (a tiny roster would let the recipient subtract its way
+to an individual value).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any
+
+from ..commons.aggregation import (
+    AggregationNode,
+    _effective_degree,
+    _masking_peers,
+)
+from ..commons.dp import gamma_noise_share, laplace_scale
+from ..crypto import aead, shamir
+from ..crypto.primitives import KEY_SIZE, sha256
+from ..errors import ProtocolError
+from .spec import FedQuerySpec
+
+Directory = dict[str, AggregationNode]
+
+
+def cohort_allows(spec: FedQuerySpec, roster_size: int) -> bool:
+    """Whether a roster is large enough for this spec's privacy floor."""
+    return roster_size >= spec.min_cohort
+
+
+def dp_noise_share(rng: random.Random, participants: int,
+                   epsilon: float) -> float:
+    """This cell's additive share of the distributed Laplace noise.
+
+    Calibrated for ``participants`` cells (the shipped roster size —
+    every cell sees the same roster, so the shares sum to one exact
+    Laplace draw when everyone contributes; dropouts leave the total
+    slightly under-dispersed, quantified in E10).
+    """
+    return gamma_noise_share(
+        rng, participants=participants, scale=laplace_scale(1.0, epsilon)
+    )
+
+
+def _roster_nodes(directory: Directory, roster: list[str]) -> list[AggregationNode]:
+    nodes = []
+    for name in roster:
+        node = directory.get(name)
+        if node is None:
+            raise ProtocolError(f"no key material for roster member {name!r}")
+        nodes.append(node)
+    return nodes
+
+
+def masked_contribution(
+    node: AggregationNode,
+    directory: Directory,
+    roster: list[str],
+    round_tag: str,
+    value: int,
+    neighbors: int | None = None,
+) -> int:
+    """``encode_signed(value)`` plus this cell's pairwise masks.
+
+    Signs follow roster position exactly as :class:`MaskedSum` follows
+    node-list position: the lower-positioned end adds, the higher end
+    subtracts, so the masks of every online pair cancel in the
+    coordinator's sum. A roster of one has no peers — the "mask" is
+    just the field encoding (the legacy single-member path).
+    """
+    order = {name: position for position, name in enumerate(roster)}
+    if node.name not in order:
+        raise ProtocolError(f"cell {node.name!r} is not on the roster")
+    nodes = _roster_nodes(directory, roster)
+    position = order[node.name]
+    degree = _effective_degree(len(roster), neighbors)
+    masked = shamir.encode_signed(value)
+    for peer in _masking_peers(nodes, position, degree):
+        mask = node.pairwise_mask(peer, round_tag)
+        if position < order[peer.name]:
+            masked = (masked + mask) % shamir.PRIME
+        else:
+            masked = (masked - mask) % shamir.PRIME
+    return masked
+
+
+def net_recovery_mask(
+    node: AggregationNode,
+    directory: Directory,
+    roster: list[str],
+    round_tag: str,
+    missing: list[str],
+    neighbors: int | None = None,
+) -> int:
+    """The survivor's net unmasking term for a set of missing cells.
+
+    The coordinator adds this (mod PRIME) to its running total; summed
+    over all survivors it cancels exactly the masks the survivors
+    applied against cells that never contributed. Revealing it protects
+    nothing — the missing cells sent no values. Reads the cached round
+    keystream, so recovery costs zero fresh derivations.
+    """
+    order = {name: position for position, name in enumerate(roster)}
+    nodes = _roster_nodes(directory, roster)
+    position = order[node.name]
+    degree = _effective_degree(len(roster), neighbors)
+    missing_set = set(missing)
+    net = 0
+    for peer in _masking_peers(nodes, position, degree):
+        if peer.name not in missing_set:
+            continue
+        mask = node.pairwise_mask(peer, round_tag)
+        if position < order[peer.name]:
+            net = (net - mask) % shamir.PRIME
+        else:
+            net = (net + mask) % shamir.PRIME
+    return net
+
+
+# -- sealed record egress ----------------------------------------------------
+
+
+def recipient_key(recipient: str, fleet_secret: bytes) -> bytes:
+    """The AEAD key a fleet's cells share with one *recipient*.
+
+    Derived from the fleet's group secret and the recipient name, so
+    the coordinator (which holds neither) can forward sealed batches
+    but never open them. Stands in for a per-recipient key agreement —
+    the fleets here already share a group secret for masking keys.
+    """
+    return sha256(b"fq-recipient|" + fleet_secret + b"|" + recipient.encode())[
+        :KEY_SIZE
+    ]
+
+
+def seal_records(key: bytes, rows: list[dict[str, Any]], tag: str,
+                 sender: str) -> str:
+    """Seal a record batch for the recipient; returns hex for the wire.
+
+    The header binds the batch to this query and sender, so a
+    coordinator cannot splice one query's records into another's
+    release without failing authentication.
+    """
+    header = f"fq|{tag}|{sender}".encode()
+    blob = aead.seal(
+        key,
+        json.dumps(rows, sort_keys=True).encode(),
+        header=header,
+        nonce_seed=header,
+    )
+    return blob.to_bytes().hex()
+
+
+def open_records(key: bytes, blob_hex: str) -> list[dict[str, Any]]:
+    """Recipient-side: verify and decrypt one cell's sealed batch."""
+    blob = aead.SealedBlob.from_bytes(bytes.fromhex(blob_hex))
+    return json.loads(aead.open_sealed(key, blob).decode())

@@ -1,0 +1,291 @@
+"""Declarative federated query specs and their wire format.
+
+A :class:`FedQuerySpec` is the unit the coordinator ships to a fleet:
+one local query (predicate tree + aggregate or projection, reusing the
+:mod:`repro.store.query` types) plus the commons contract — recipient,
+purpose, transformation, privacy parameters. Everything serializes to
+plain JSON-able dicts so a plan can cross the simulated network the
+same way sealed blobs and share offers do (``docs/fedquery.md`` is the
+wire reference).
+
+The transformation names are the canonical ones the orchestrator has
+always used; :mod:`repro.commons.orchestrator` re-exports them from
+here so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ConfigurationError, ProtocolError
+from ..store.query import (
+    MATCH_ALL,
+    Aggregate,
+    And,
+    Between,
+    Contains,
+    Eq,
+    HasKeyword,
+    Ne,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    TruePredicate,
+)
+
+TRANSFORM_DP = "aggregate-dp"
+TRANSFORM_KANON = "records-kanon"
+TRANSFORM_EXACT = "aggregate-exact"
+TRANSFORMS = (TRANSFORM_DP, TRANSFORM_KANON, TRANSFORM_EXACT)
+
+#: Aggregates a cell may compute locally for the numeric transforms.
+#: Only additive functions survive masked summation.
+NUMERIC_AGGREGATES = ("sum", "count")
+
+
+# -- predicate wire codec ----------------------------------------------------
+
+
+def predicate_to_wire(predicate: Predicate) -> dict[str, Any]:
+    """Serialize a predicate tree to a JSON-able dict."""
+    if isinstance(predicate, TruePredicate):
+        return {"op": "all"}
+    if isinstance(predicate, Eq):
+        return {"op": "eq", "field": predicate.field, "value": predicate.value}
+    if isinstance(predicate, Ne):
+        return {"op": "ne", "field": predicate.field, "value": predicate.value}
+    if isinstance(predicate, Between):
+        return {
+            "op": "between", "field": predicate.field,
+            "low": predicate.low, "high": predicate.high,
+        }
+    if isinstance(predicate, Contains):
+        return {
+            "op": "contains", "field": predicate.field,
+            "needle": predicate.needle,
+        }
+    if isinstance(predicate, HasKeyword):
+        return {
+            "op": "keyword", "field": predicate.field,
+            "terms": list(predicate.terms),
+        }
+    if isinstance(predicate, And):
+        return {
+            "op": "and",
+            "children": [predicate_to_wire(child) for child in predicate.children],
+        }
+    if isinstance(predicate, Or):
+        return {
+            "op": "or",
+            "children": [predicate_to_wire(child) for child in predicate.children],
+        }
+    if isinstance(predicate, Not):
+        return {"op": "not", "child": predicate_to_wire(predicate.child)}
+    raise ConfigurationError(
+        f"predicate {type(predicate).__name__} has no wire form"
+    )
+
+
+def predicate_from_wire(data: dict[str, Any]) -> Predicate:
+    """Rebuild a predicate tree from its wire form."""
+    op = data.get("op")
+    if op == "all":
+        return MATCH_ALL
+    if op == "eq":
+        return Eq(data["field"], data["value"])
+    if op == "ne":
+        return Ne(data["field"], data["value"])
+    if op == "between":
+        return Between(data["field"], data.get("low"), data.get("high"))
+    if op == "contains":
+        return Contains(data["field"], data["needle"])
+    if op == "keyword":
+        return HasKeyword(data["field"], tuple(data["terms"]))
+    if op == "and":
+        return And(*[predicate_from_wire(child) for child in data["children"]])
+    if op == "or":
+        return Or(*[predicate_from_wire(child) for child in data["children"]])
+    if op == "not":
+        return Not(predicate_from_wire(data["child"]))
+    raise ProtocolError(f"unknown predicate op {op!r} on the wire")
+
+
+# -- the query spec ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FedQuerySpec:
+    """One global query, as shipped to every participating cell.
+
+    ``value_field``/``aggregate`` drive the numeric transforms (each
+    cell computes ``aggregate(value_field)`` over its matching records
+    and contributes that one number); ``project`` selects the fields a
+    ``records-kanon`` release ships (``None`` releases whole records).
+    ``min_cohort`` is the egress privacy floor: a cell refuses to
+    contribute to a cohort smaller than this, and the coordinator
+    abandons a combine that degrades below it.
+    """
+
+    recipient: str
+    purpose: str
+    transform: str
+    collection: str
+    where: Predicate = field(default_factory=lambda: MATCH_ALL)
+    value_field: str = "value"
+    aggregate: str = "sum"
+    project: tuple[str, ...] | None = None
+    epsilon: float = 1.0
+    k: int = 5
+    scale: int = 1
+    min_cohort: int = 2
+
+    def __post_init__(self) -> None:
+        if self.transform not in TRANSFORMS:
+            raise ConfigurationError(f"unknown transform {self.transform!r}")
+        if self.aggregate not in NUMERIC_AGGREGATES:
+            raise ConfigurationError(
+                f"unknown aggregate {self.aggregate!r}; "
+                f"known: {NUMERIC_AGGREGATES}"
+            )
+        if self.epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        if self.k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if self.scale < 1:
+            raise ConfigurationError("scale must be a positive integer")
+        if self.min_cohort < 1:
+            raise ConfigurationError("min_cohort must be at least 1")
+
+    @property
+    def numeric(self) -> bool:
+        return self.transform in (TRANSFORM_DP, TRANSFORM_EXACT)
+
+    def local_query(self) -> Query:
+        """The query one cell runs against its own catalog."""
+        if self.numeric:
+            return Query(
+                collection=self.collection,
+                where=self.where,
+                aggregates=[Aggregate(self.aggregate, self.value_field)],
+            )
+        return Query(
+            collection=self.collection,
+            where=self.where,
+            project=list(self.project) if self.project is not None else None,
+        )
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "recipient": self.recipient,
+            "purpose": self.purpose,
+            "transform": self.transform,
+            "collection": self.collection,
+            "where": predicate_to_wire(self.where),
+            "value_field": self.value_field,
+            "aggregate": self.aggregate,
+            "project": list(self.project) if self.project is not None else None,
+            "epsilon": self.epsilon,
+            "k": self.k,
+            "scale": self.scale,
+            "min_cohort": self.min_cohort,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> "FedQuerySpec":
+        project = data.get("project")
+        return cls(
+            recipient=data["recipient"],
+            purpose=data["purpose"],
+            transform=data["transform"],
+            collection=data["collection"],
+            where=predicate_from_wire(data["where"]),
+            value_field=data.get("value_field", "value"),
+            aggregate=data.get("aggregate", "sum"),
+            project=tuple(project) if project is not None else None,
+            epsilon=data.get("epsilon", 1.0),
+            k=data.get("k", 5),
+            scale=data.get("scale", 1),
+            min_cohort=data.get("min_cohort", 2),
+        )
+
+
+# -- message kinds -----------------------------------------------------------
+
+MSG_PLAN = "fq.plan"
+MSG_PARTIAL = "fq.partial"
+MSG_RECOVER = "fq.recover"
+MSG_MASK = "fq.mask"
+
+STATUS_OK = "ok"
+STATUS_DECLINED = "declined"
+STATUS_FLOOR = "floor"
+PARTIAL_STATUSES = (STATUS_OK, STATUS_DECLINED, STATUS_FLOOR)
+
+
+def plan_message(tag: str, spec: FedQuerySpec, roster: list[str],
+                 reply_to: str, *, round_tag: str | None = None,
+                 neighbors: int | None = None) -> dict[str, Any]:
+    """The fan-out message: the plan plus the masking roster in order.
+
+    ``round_tag`` keys the pairwise mask keystreams (defaults to the
+    message tag); ``neighbors`` selects the k-regular masking graph
+    (``None`` = complete). Both must be identical across the roster or
+    masks will not cancel — which is why the coordinator ships them in
+    the plan instead of letting cells choose.
+    """
+    return {
+        "kind": MSG_PLAN, "tag": tag, "spec": spec.to_wire(),
+        "roster": list(roster), "reply_to": reply_to,
+        "round_tag": round_tag if round_tag is not None else tag,
+        "neighbors": neighbors,
+    }
+
+
+def partial_message(tag: str, sender: str, status: str, plan: str,
+                    examined: int, payload: Any = None) -> dict[str, Any]:
+    """A cell's reply: its transformed partial plus plan accounting."""
+    if status not in PARTIAL_STATUSES:
+        raise ConfigurationError(f"unknown partial status {status!r}")
+    return {
+        "kind": MSG_PARTIAL, "tag": tag, "from": sender, "status": status,
+        "plan": plan, "examined": examined, "payload": payload,
+    }
+
+
+def recover_message(tag: str, round_index: int, missing: list[str],
+                    reply_to: str) -> dict[str, Any]:
+    return {
+        "kind": MSG_RECOVER, "tag": tag, "round": round_index,
+        "missing": list(missing), "reply_to": reply_to,
+    }
+
+
+def mask_message(tag: str, sender: str, round_index: int,
+                 net_mask: int) -> dict[str, Any]:
+    return {
+        "kind": MSG_MASK, "tag": tag, "from": sender, "round": round_index,
+        "net_mask": net_mask,
+    }
+
+
+def wire_size(message: dict[str, Any]) -> int:
+    """Serialized size of a message, for network billing."""
+    return len(json.dumps(message, separators=(",", ":")).encode())
+
+
+def plan_kind(plan: str) -> str:
+    """Collapse a catalog plan string into the E14 plan-mix buckets.
+
+    ``index:f``/``range:f``/``keyword:f`` all answered from an index;
+    ``zonemap:f`` pruned blocks without one; ``scan`` read everything.
+    ``memory`` marks a value-backed source with no store behind it.
+    """
+    head = plan.split(":", 1)[0]
+    if head in ("index", "range", "keyword"):
+        return "index"
+    if head in ("zonemap", "scan", "memory"):
+        return head
+    return "scan"

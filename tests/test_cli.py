@@ -29,6 +29,24 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_list_includes_fedquery_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E14" in output
+        assert "federated queries" in output
+
+    def test_run_fedquery_experiment(self, capsys):
+        assert main(["run", "E14"]) == 0
+        output = capsys.readouterr().out
+        assert "HOLDS" in output
+        assert "aggregate-exact" in output
+        assert "survivor-exact" in output
+
+    def test_obs_after_fedquery_experiment(self, capsys):
+        assert main(["obs", "E14"]) == 0
+        output = capsys.readouterr().out
+        assert "# observability dump" in output
+
     def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
         from repro.bench.report import generate_report
 
