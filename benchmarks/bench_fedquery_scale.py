@@ -13,11 +13,22 @@ root so later PRs can track the trajectory.
 
 Two entry points:
 
+A hierarchy section runs the same engine through the coordinator tree
+at two orders of magnitude more cells (100,000 over ~sqrt(N) regional
+coordinators): the root's own per-cell work — messages and wall —
+must land *below* the flat path's 2-messages-per-cell baseline, the
+quiet tree row must stay at zero faults and zero re-asks, and a
+degraded run (offline cells) must settle to a survivor-exact partial.
+
+Two entry points:
+
 * ``pytest -q benchmarks/bench_fedquery_scale.py --benchmark-disable``
-  — the tier-1 smoke run: a small fleet, asserts the invariants and
-  the tracked JSON, writes nothing.
+  — the tier-1 smoke run: a small fleet plus a small tree (3 regions
+  x ~50 cells), asserts the invariants and the tracked JSON, writes
+  nothing.
 * ``PYTHONPATH=src python benchmarks/bench_fedquery_scale.py`` — the
-  full run (1,000 cells, k=32); rewrites ``BENCH_fedquery.json``.
+  full run (flat 1,000 cells k=32; tree 100,000 cells over 316
+  regions); rewrites ``BENCH_fedquery.json``.
 """
 
 from __future__ import annotations
@@ -33,7 +44,9 @@ from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.fedquery import (
     Coordinator,
     FedQuerySpec,
+    HierarchicalCoordinator,
     build_fleet,
+    build_fleet_sharded,
     open_records,
     open_release,
     recipient_key,
@@ -52,6 +65,15 @@ FULL_NEIGHBORS = 32
 
 SMOKE_CELLS = 45
 SMOKE_NEIGHBORS = 8
+
+# The coordinator tree: ~sqrt(N) regions at fleet scale.
+TREE_CELLS = 100_000
+TREE_REGIONS = 316
+TREE_NEIGHBORS = 32
+
+TREE_SMOKE_CELLS = 150  # 3 regions x ~50 cells
+TREE_SMOKE_REGIONS = 3
+TREE_SMOKE_NEIGHBORS = 8
 
 PURPOSES = {"load-forecast", "study"}
 
@@ -277,11 +299,172 @@ def measure_faults(n_cells: int, neighbors: int, seed: int = 1) -> dict:
     }
 
 
+# -- coordinator tree ---------------------------------------------------------
+
+
+def measure_tree(n_cells: int, regions: int, neighbors: int,
+                 flat_baseline: dict, seed: int = 2) -> dict:
+    """The hierarchical path at fleet scale, on one sharded fleet.
+
+    Three runs over one build: the quiet ``aggregate-exact`` control
+    (quiet fault injector attached — zero faults, zero re-asks, error
+    vs the clear-text oracle, leakage audit at *both* tree levels), a
+    kanon pass (sealed batches cross two coordinator levels and stay
+    unopenable without the recipient key), and a degraded run with a
+    handful of offline cells (settles to a survivor-exact partial).
+
+    The headline is the root sub-linearity claim: the root exchanges
+    two messages per *region*, so its per-cell messages and its own
+    wall seconds per cell (``root_wall_seconds`` counts only root-side
+    code) must land below the flat coordinator's per-cell baseline —
+    measured, not assumed, against the flat section of this report.
+    """
+    world = World(seed=seed)
+    network = Network(world)
+    FaultInjector(world, FaultPlan.quiet(seed=seed)).attach_network(network)
+    build_started = time.perf_counter()
+    fleet = build_fleet_sharded(
+        world, network, n_cells, shards=regions, purposes=set(PURPOSES),
+    )
+    build_wall = time.perf_counter() - build_started
+    root = HierarchicalCoordinator(
+        world, network, regions=regions, neighbors=neighbors,
+    )
+
+    def tree_row(profile: str, result, wall: float, extra: dict) -> dict:
+        row = {
+            "profile": profile,
+            "outcome": result.outcome,
+            "participants": result.participants,
+            "regions": result.regions,
+            "demoted": len(result.demoted),
+            "messages": result.messages,
+            "bytes": result.bytes,
+            "reasks": result.reasks,
+            "root_messages": result.root_messages,
+            "root_bytes": result.root_bytes,
+            "root_wall_seconds": round(result.root_wall_seconds, 3),
+            "root_per_cell_messages": round(
+                result.root_messages / n_cells, 6
+            ),
+            "root_per_cell_wall_ms": round(
+                result.root_wall_seconds * 1000 / n_cells, 6
+            ),
+            "faults_injected": _counter_total(
+                world.obs.metrics, "faults.injected"
+            ),
+            "wall_seconds": round(wall, 3),
+        }
+        row.update(extra)
+        return row
+
+    spec = _spec(TRANSFORM_EXACT)
+    started = time.perf_counter()
+    result = root.run(spec, fleet.roster)
+    quiet_wall = time.perf_counter() - started
+    truth = fleet.ground_truth(spec)
+    raw = _raw_encodings(fleet, spec)
+    region_view = {
+        item["masked"] if isinstance(item, dict) else item
+        for region in root.regions
+        for view in region.views.values()
+        for item in view
+    }
+    rows = [tree_row("quiet", result, quiet_wall, {
+        "error_vs_oracle": round(abs(result.value - truth), 6),
+        "raw_encoding_in_root_view": bool(raw & _view_elements(result)),
+        "raw_encoding_in_region_views": bool(raw & region_view),
+    })]
+
+    # Sealed records cross two untrusted levels and stay sealed.
+    kanon_spec = _spec(TRANSFORM_KANON)
+    kanon_result = root.run(kanon_spec, fleet.roster)
+    released = open_release(
+        kanon_result, recipient_key(kanon_spec.recipient, fleet.secret),
+        k=kanon_spec.k,
+    )
+    coordinator_locked_out = False
+    try:
+        open_records(
+            recipient_key(kanon_spec.recipient, b"coordinator-guess"),
+            kanon_result.sealed_records[0][1],
+        )
+    except IntegrityError:
+        coordinator_locked_out = True
+    kanon = {
+        "outcome": kanon_result.outcome,
+        "sealed_batches": len(kanon_result.sealed_records),
+        "released_records": len(released),
+        "coordinator_cannot_open": coordinator_locked_out,
+    }
+
+    # Degraded run: offline cells spread across the shards. A fresh
+    # round tag keeps this cohort's masks distinct from the quiet run.
+    offline = 5 if n_cells >= 10_000 else 3
+    down = fleet.roster[::max(1, n_cells // offline)][:offline]
+    for name in down:
+        network.set_online(name, False)
+    started = time.perf_counter()
+    degraded = root.run(
+        spec, fleet.roster,
+        round_tag=f"degraded|{spec.recipient}|{spec.purpose}",
+    )
+    degraded_wall = time.perf_counter() - started
+    survivors = [
+        name for name in fleet.roster if name not in set(degraded.demoted)
+    ]
+    rows.append(tree_row("offline-cells", degraded, degraded_wall, {
+        "offline_cells": len(down),
+        "survivor_exact": (
+            degraded.value is not None
+            and abs(degraded.value - fleet.ground_truth(spec, survivors))
+            < 1e-6
+        ),
+        "raw_encoding_in_root_view": bool(raw & _view_elements(degraded)),
+    }))
+
+    quiet_row = rows[0]
+    return {
+        "cells": n_cells,
+        "regions": regions,
+        "masking_neighbors": neighbors,
+        "fleet_build_wall_seconds": round(build_wall, 3),
+        "shard_plans": _counter_total(
+            world.obs.metrics, "fedquery.tree.shard_plans"
+        ),
+        "flat_baseline_per_cell": flat_baseline,
+        "rows": rows,
+        "kanon": kanon,
+        "root_sublinear": (
+            quiet_row["root_per_cell_messages"] < flat_baseline["messages"]
+            and quiet_row["root_per_cell_wall_ms"] < flat_baseline["wall_ms"]
+        ),
+        "no_fault_path_clean": (
+            quiet_row["faults_injected"] == 0
+            and quiet_row["reasks"] == 0
+            and quiet_row["outcome"] == "complete"
+        ),
+    }
+
+
 # -- report -------------------------------------------------------------------
 
 
 def build_report(n_cells: int = FULL_CELLS,
-                 neighbors: int = FULL_NEIGHBORS) -> dict:
+                 neighbors: int = FULL_NEIGHBORS,
+                 tree_cells: int = TREE_CELLS,
+                 tree_regions: int = TREE_REGIONS,
+                 tree_neighbors: int = TREE_NEIGHBORS) -> dict:
+    transforms = measure_transforms(n_cells, neighbors)
+    flat_exact = next(
+        row for row in transforms["rows"]
+        if row["transform"] == TRANSFORM_EXACT
+    )
+    flat_baseline = {
+        "cells": n_cells,
+        "messages": round(flat_exact["messages"] / n_cells, 6),
+        "wall_ms": round(flat_exact["wall_seconds"] * 1000 / n_cells, 6),
+    }
     return {
         "benchmark": "fedquery_scale",
         "command": "PYTHONPATH=src python benchmarks/bench_fedquery_scale.py",
@@ -290,8 +473,11 @@ def build_report(n_cells: int = FULL_CELLS,
             "masking_neighbors": neighbors,
             "layouts": "index/zonemap/scan rotating by position",
         },
-        "transforms": measure_transforms(n_cells, neighbors),
+        "transforms": transforms,
         "fault_matrix": measure_faults(n_cells, neighbors),
+        "hierarchy": measure_tree(
+            tree_cells, tree_regions, tree_neighbors, flat_baseline,
+        ),
     }
 
 
@@ -308,7 +494,11 @@ def test_fedquery_scale_smoke():
     """Small-fleet run of the full pipeline; keeps the bench alive
     under ``pytest -q benchmarks/bench_fedquery_scale.py
     --benchmark-disable`` without rewriting the tracked JSON."""
-    report = build_report(n_cells=SMOKE_CELLS, neighbors=SMOKE_NEIGHBORS)
+    report = build_report(
+        n_cells=SMOKE_CELLS, neighbors=SMOKE_NEIGHBORS,
+        tree_cells=TREE_SMOKE_CELLS, tree_regions=TREE_SMOKE_REGIONS,
+        tree_neighbors=TREE_SMOKE_NEIGHBORS,
+    )
     json.dumps(report)  # must stay serializable
 
     transforms = report["transforms"]
@@ -351,6 +541,31 @@ def test_fedquery_scale_smoke():
     assert lossy["survivor_exact"]
     assert not lossy["raw_encoding_in_coordinator_view"]
 
+    # the small coordinator tree: quiet fault-control at zero faults
+    # and re-asks, sub-linear root, sealed kanon, graceful degradation
+    hierarchy = report["hierarchy"]
+    assert hierarchy["no_fault_path_clean"]
+    assert hierarchy["root_sublinear"]
+    tree_quiet, tree_degraded = hierarchy["rows"]
+    assert tree_quiet["profile"] == "quiet"
+    assert tree_quiet["outcome"] == "complete"
+    assert tree_quiet["participants"] == TREE_SMOKE_CELLS
+    assert tree_quiet["faults_injected"] == 0
+    assert tree_quiet["reasks"] == 0
+    assert tree_quiet["error_vs_oracle"] < 1e-6
+    assert tree_quiet["root_messages"] == 2 * TREE_SMOKE_REGIONS
+    assert tree_quiet["messages"] >= 2 * TREE_SMOKE_CELLS
+    assert not tree_quiet["raw_encoding_in_root_view"]
+    assert not tree_quiet["raw_encoding_in_region_views"]
+    assert hierarchy["kanon"]["outcome"] == "complete"
+    assert hierarchy["kanon"]["coordinator_cannot_open"]
+    assert hierarchy["kanon"]["released_records"] == TREE_SMOKE_CELLS
+    assert tree_degraded["outcome"] == "partial"
+    assert tree_degraded["demoted"] == tree_degraded["offline_cells"] > 0
+    assert tree_degraded["survivor_exact"]
+    assert tree_degraded["reasks"] > 0
+    assert not tree_degraded["raw_encoding_in_root_view"]
+
     # the tracked JSON must exist, parse, and hold the headline claims
     tracked = json.loads(REPORT_PATH.read_text())
     assert tracked["benchmark"] == "fedquery_scale"
@@ -382,6 +597,32 @@ def test_fedquery_scale_smoke():
     assert tracked_lossy["outcome"] == "partial"
     assert tracked_lossy["demoted"] > 0
     assert tracked_lossy["survivor_exact"]
+
+    # the headline tree claims: >=100k cells, root work per cell below
+    # the flat per-cell baseline, exactness, sealed kanon, clean quiet
+    tracked_tree = tracked["hierarchy"]
+    assert tracked_tree["cells"] >= 100_000
+    assert tracked_tree["regions"] >= 2
+    assert tracked_tree["root_sublinear"]
+    assert tracked_tree["no_fault_path_clean"]
+    baseline = tracked_tree["flat_baseline_per_cell"]
+    tracked_tree_quiet = tracked_tree["rows"][0]
+    assert tracked_tree_quiet["outcome"] == "complete"
+    assert tracked_tree_quiet["participants"] == tracked_tree["cells"]
+    assert tracked_tree_quiet["error_vs_oracle"] < 1e-6
+    assert tracked_tree_quiet["faults_injected"] == 0
+    assert tracked_tree_quiet["reasks"] == 0
+    assert tracked_tree_quiet["root_per_cell_messages"] \
+        < baseline["messages"]
+    assert tracked_tree_quiet["root_per_cell_wall_ms"] < baseline["wall_ms"]
+    assert not tracked_tree_quiet["raw_encoding_in_root_view"]
+    assert not tracked_tree_quiet["raw_encoding_in_region_views"]
+    assert tracked_tree["kanon"]["coordinator_cannot_open"]
+    assert tracked_tree["kanon"]["released_records"] == tracked_tree["cells"]
+    tracked_tree_degraded = tracked_tree["rows"][1]
+    assert tracked_tree_degraded["outcome"] == "partial"
+    assert tracked_tree_degraded["demoted"] > 0
+    assert tracked_tree_degraded["survivor_exact"]
 
 
 if __name__ == "__main__":

@@ -57,6 +57,7 @@ from ..crypto.keys import KeyRing
 from ..crypto.primitives import KEY_SIZE, counter_stream, hmac_sha256, sha256
 from ..errors import ConfigurationError, ProtocolError
 from ..obs import get_default as _obs_default
+from . import kernels
 
 _FIELD_ELEMENT_BYTES = 16  # one PRIME-field element on the wire
 _MASK_ELEMENT_BYTES = 16  # keystream bytes consumed per mask element
@@ -171,21 +172,26 @@ class AggregationNode:
         return node
 
     def _pairwise_key_for(self, peer: "AggregationNode") -> bytes:
+        key = self._pairwise_cache.get(peer.name)
+        if key is not None:
+            return key
         if self._preshared is not None:
             low, high = sorted((self.name, peer.name))
-            return sha256(
+            key = sha256(
                 b"preshared|" + self._preshared
                 + low.encode() + b"|" + high.encode()
             )[:KEY_SIZE]
-        key = self._pairwise_cache.get(peer.name)
-        if key is None:
+        else:
             if self.keys is None:
                 raise ConfigurationError(
                     f"node {self.name!r} has neither a key ring nor a "
                     "preshared group secret"
                 )
             key = self.keys.pairwise_key(peer.keys.exchange_public)
-            self._pairwise_cache[peer.name] = key
+        # Cache preshared derivations too: a fleet asking the same
+        # roster a second query used to re-hash every pair from the
+        # group secret on every mask call.
+        self._pairwise_cache[peer.name] = key
         return key
 
     def mask_elements(self, peer: "AggregationNode", round_tag: str,
@@ -217,6 +223,46 @@ class AggregationNode:
         if self.cache_masks:
             self._mask_cache[cache_key] = (seed, elements)
         return elements
+
+    def mask_elements_many(
+        self,
+        peers: list["AggregationNode"],
+        round_tag: str,
+        count: int,
+    ) -> list[list[int]]:
+        """Mask elements against *every* peer in one batch call.
+
+        The vectorized counterpart of calling :meth:`mask_elements`
+        per peer: cached (peer, round) keystreams are reused, every
+        missing one is derived (one HMAC per fresh pair — the keyed
+        derivation count is identical to the scalar path) and expanded
+        in a single :func:`~repro.commons.kernels.expand_streams`
+        pass.  Returns the element lists aligned with ``peers``,
+        bit-for-bit equal to the scalar loop.
+        """
+        by_name: dict[str, list[int]] = {}
+        fresh_names: list[str] = []
+        fresh_seeds: list[bytes] = []
+        for peer in peers:
+            cached = self._mask_cache.get((peer.name, round_tag))
+            if cached is not None and len(cached[1]) >= count:
+                elements = cached[1]
+                by_name[peer.name] = (
+                    elements if len(elements) == count else elements[:count]
+                )
+                continue
+            seed = cached[0] if cached is not None else hmac_sha256(
+                self._pairwise_key_for(peer), f"mask|{round_tag}".encode()
+            )
+            fresh_names.append(peer.name)
+            fresh_seeds.append(seed)
+        if fresh_seeds:
+            expanded = kernels.expand_streams(fresh_seeds, count)
+            for name, seed, elements in zip(fresh_names, fresh_seeds, expanded):
+                by_name[name] = elements
+                if self.cache_masks:
+                    self._mask_cache[(name, round_tag)] = (seed, elements)
+        return [by_name[peer.name] for peer in peers]
 
     def pairwise_mask(self, peer: "AggregationNode", round_tag: str,
                       component: int = 0) -> int:
@@ -355,22 +401,25 @@ class MaskedSum:
         # Round 1: every survivor submits its masked value. A cell does
         # not yet know who else is online, so it masks against *all*
         # its graph neighbors — dropped edges are repaired in round 2.
+        # Each survivor's masks are derived and applied in one batch
+        # kernel call per roster instead of one field op per peer.
         masked_submissions = []
         for node in survivors:
             position = order[node.name]
-            masked = shamir.encode_signed(values[node.name])
-            for peer in _masking_peers(nodes, position, degree):
-                mask = node.pairwise_mask(peer, round_tag)
-                if position < order[peer.name]:
-                    masked = (masked + mask) % shamir.PRIME
-                else:
-                    masked = (masked - mask) % shamir.PRIME
-            masked_submissions.append(masked)
+            peers = list(_masking_peers(nodes, position, degree))
+            elements = node.mask_elements_many(peers, round_tag, 1)
+            plus = [row[0] for peer, row in zip(peers, elements)
+                    if position < order[peer.name]]
+            minus = [row[0] for peer, row in zip(peers, elements)
+                     if position > order[peer.name]]
+            masked_submissions.append(kernels.signed_accumulate(
+                shamir.encode_signed(values[node.name]), plus, minus
+            ))
             messages += 1
             total_bytes += _FIELD_ELEMENT_BYTES
         rounds = 1
 
-        total = sum(masked_submissions) % shamir.PRIME
+        total = kernels.accumulate(masked_submissions)
 
         # Round 2 (only if needed): unmask the dropped cells' edges.
         # Each survivor reveals only the masks it shares with dropped
@@ -379,18 +428,27 @@ class MaskedSum:
         if dropped:
             rounds += 1
             with _OBS.tracer.span("agg.recovery", dropped=len(dropped)):
+                reveal_plus: list[int] = []
+                reveal_minus: list[int] = []
                 for node in survivors:
                     position = order[node.name]
-                    for gone in _masking_peers(nodes, position, degree):
-                        if gone.name not in dropped_names:
-                            continue
-                        mask = node.pairwise_mask(gone, round_tag)
+                    gone_peers = [
+                        gone for gone in _masking_peers(nodes, position, degree)
+                        if gone.name in dropped_names
+                    ]
+                    elements = node.mask_elements_many(
+                        gone_peers, round_tag, 1
+                    )
+                    for gone, row in zip(gone_peers, elements):
                         if position < order[gone.name]:
-                            total = (total - mask) % shamir.PRIME
+                            reveal_minus.append(row[0])
                         else:
-                            total = (total + mask) % shamir.PRIME
+                            reveal_plus.append(row[0])
                         messages += 1  # one revealed mask per (survivor, dropped)
                         total_bytes += _FIELD_ELEMENT_BYTES
+                total = kernels.signed_accumulate(
+                    total, reveal_plus, reveal_minus
+                )
 
         return AggregationResult(
             total=total,
@@ -551,41 +609,46 @@ def _masked_histogram(
                 f"bucket {bucket_of[node.name]} out of range for {node.name!r}"
             )
         position = order[node.name]
-        vector = [0] * bucket_count
-        vector[bucket_of[node.name]] = 1
-        for peer in _masking_peers(nodes, position, degree):
-            elements = node.mask_elements(peer, round_tag, bucket_count)
-            if position < order[peer.name]:
-                for component, mask in enumerate(elements):
-                    vector[component] = (vector[component] + mask) % shamir.PRIME
-            else:
-                for component, mask in enumerate(elements):
-                    vector[component] = (vector[component] - mask) % shamir.PRIME
-        for component, masked in enumerate(vector):
-            sums[component] = (sums[component] + masked) % shamir.PRIME
+        base = [0] * bucket_count
+        base[bucket_of[node.name]] = 1
+        peers = list(_masking_peers(nodes, position, degree))
+        elements = node.mask_elements_many(peers, round_tag, bucket_count)
+        vector = kernels.accumulate_columns(
+            base,
+            [row for peer, row in zip(peers, elements)
+             if position < order[peer.name]],
+            [row for peer, row in zip(peers, elements)
+             if position > order[peer.name]],
+        )
         published_vectors.append(vector)
         messages += 1
         total_bytes += bucket_count * _FIELD_ELEMENT_BYTES
+    sums = kernels.accumulate_columns(sums, published_vectors, [])
     rounds = 1
     if dropped:
         rounds += 1
         with _OBS.tracer.span("agg.recovery", dropped=len(dropped)):
+            reveal_plus: list[list[int]] = []
+            reveal_minus: list[list[int]] = []
             for node in survivors:
                 position = order[node.name]
-                for gone in _masking_peers(nodes, position, degree):
-                    if gone.name not in dropped_names:
-                        continue
-                    # Cached keystream: revealing the whole vector of masks
-                    # costs zero fresh derivations.
-                    elements = node.mask_elements(gone, round_tag, bucket_count)
+                gone_peers = [
+                    gone for gone in _masking_peers(nodes, position, degree)
+                    if gone.name in dropped_names
+                ]
+                # Cached keystream: revealing the whole vector of masks
+                # costs zero fresh derivations.
+                elements = node.mask_elements_many(
+                    gone_peers, round_tag, bucket_count
+                )
+                for gone, row in zip(gone_peers, elements):
                     if position < order[gone.name]:
-                        for component, mask in enumerate(elements):
-                            sums[component] = (sums[component] - mask) % shamir.PRIME
+                        reveal_minus.append(row)
                     else:
-                        for component, mask in enumerate(elements):
-                            sums[component] = (sums[component] + mask) % shamir.PRIME
+                        reveal_plus.append(row)
                     messages += 1
                     total_bytes += bucket_count * _FIELD_ELEMENT_BYTES
+            sums = kernels.accumulate_columns(sums, reveal_plus, reveal_minus)
     counts = [shamir.decode_signed(component) for component in sums]
     accounting = AggregationResult(
         total=sum(counts),

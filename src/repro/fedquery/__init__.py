@@ -11,6 +11,11 @@ partials under straggler timeouts, retry re-asks and graceful
 degradation. See ``docs/fedquery.md``.
 """
 
+# Load the commons package first: its orchestrator imports back into
+# fedquery.cell, so importing ``repro.fedquery`` before ``repro.commons``
+# used to trip the cycle. Anchoring the order here makes this package
+# importable first from scripts and tests.
+from .. import commons as _commons  # noqa: F401  (import-order anchor)
 from .cell import CatalogSource, CellQueryAgent, LocalSource, ValueSource
 from .coordinator import (
     OUTCOME_ABANDONED,
@@ -20,8 +25,13 @@ from .coordinator import (
     FedQueryResult,
     open_release,
 )
-from .fleet import Fleet, build_fleet
+from .fleet import Fleet, build_fleet, build_fleet_sharded
 from .gate import net_recovery_mask, open_records, recipient_key, seal_records
+from .hierarchy import (
+    HierarchicalCoordinator,
+    RegionalCoordinator,
+    partition_shards,
+)
 from .spec import (
     TRANSFORM_DP,
     TRANSFORM_EXACT,
@@ -41,17 +51,21 @@ __all__ = [
     "FedQueryResult",
     "FedQuerySpec",
     "Fleet",
+    "HierarchicalCoordinator",
     "LocalSource",
     "OUTCOME_ABANDONED",
     "OUTCOME_COMPLETE",
     "OUTCOME_PARTIAL",
+    "RegionalCoordinator",
     "TRANSFORMS",
     "TRANSFORM_DP",
     "TRANSFORM_EXACT",
     "TRANSFORM_KANON",
     "ValueSource",
     "build_fleet",
+    "build_fleet_sharded",
     "net_recovery_mask",
+    "partition_shards",
     "open_records",
     "open_release",
     "plan_kind",

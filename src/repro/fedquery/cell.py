@@ -186,23 +186,31 @@ class CellQueryAgent:
         roster = list(message["roster"])
         round_tag = message.get("round_tag", tag)
         neighbors = message.get("neighbors")
+        # Hierarchical plans ship a roster *window* plus global
+        # positions; privacy parameters (cohort floor, DP calibration)
+        # always follow the *global* roster size, so sharding the
+        # fan-out can never weaken them.
+        positions = message.get("positions")
+        global_size = message.get("global_size", len(roster))
 
         if not self._participates(spec):
             partial = partial_message(
                 tag, self.name, STATUS_DECLINED, plan="none", examined=0
             )
-        elif not gate.cohort_allows(spec, len(roster)):
+        elif not gate.cohort_allows(spec, global_size):
             partial = partial_message(
                 tag, self.name, STATUS_FLOOR, plan="none", examined=0
             )
         else:
             partial = self._compute_partial(
-                tag, spec, roster, round_tag, neighbors
+                tag, spec, roster, round_tag, neighbors,
+                positions=positions, global_size=global_size,
             )
         self._partials[tag] = partial
         # Remember the round context for a later recovery request.
         self._partials[tag + "|ctx"] = {
             "roster": roster, "round_tag": round_tag, "neighbors": neighbors,
+            "positions": positions, "global_size": global_size,
             "contributed": partial["status"] == STATUS_OK,
         }
         self._reply(message["reply_to"], partial)
@@ -214,18 +222,28 @@ class CellQueryAgent:
         roster: list[str],
         round_tag: str,
         neighbors: int | None,
+        *,
+        positions: dict[str, int] | None = None,
+        global_size: int | None = None,
     ) -> dict[str, Any]:
         local, plan, examined = self.source.run_local(spec)
+        participants = global_size if global_size is not None else len(roster)
         if spec.numeric:
             contribution = float(local)
             if spec.transform == TRANSFORM_DP:
+                # Calibrated to the GLOBAL participant count and drawn
+                # exactly once per query (idempotent partial cache), so
+                # the shares across all shards sum to one global
+                # Laplace draw — never one draw per shard.
                 contribution += gate.dp_noise_share(
-                    self._noise_rng, participants=len(roster),
+                    self._noise_rng, participants=participants,
                     epsilon=spec.epsilon,
                 )
             masked = gate.masked_contribution(
                 self.node, self.directory, roster, round_tag,
                 round(contribution * spec.scale), neighbors=neighbors,
+                positions=positions,
+                size=global_size if positions is not None else None,
             )
             payload: dict[str, Any] = {"masked": masked}
         else:
@@ -254,10 +272,13 @@ class CellQueryAgent:
             # total, so there is nothing to unmask. Stay silent; the
             # coordinator only queries contributors anyway.
             return
+        positions = context.get("positions")
         net = gate.net_recovery_mask(
             self.node, self.directory, context["roster"],
             context["round_tag"], list(message["missing"]),
             neighbors=context["neighbors"],
+            positions=positions,
+            size=context.get("global_size") if positions is not None else None,
         )
         reply = mask_message(tag, self.name, message["round"], net)
         self._reply(message["reply_to"], reply)

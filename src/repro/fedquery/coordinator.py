@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..commons import kernels
 from ..commons.anonymize import GeneralizedRecord, k_anonymize
 from ..crypto import shamir
 from ..errors import CellOfflineError, ConfigurationError, ProtocolError
@@ -76,6 +77,16 @@ class FedQueryResult:
     completed_at: int = 0
     # Every payload the untrusted side saw, verbatim.
     coordinator_view: list[Any] = field(default_factory=list)
+    # Hierarchical runs only: tree shape and the ROOT's own share of
+    # the wire traffic (``messages``/``bytes`` stay the whole-tree
+    # totals). A flat run leaves these at zero.
+    regions: int = 0
+    root_messages: int = 0
+    root_bytes: int = 0
+    # Wall-clock seconds spent in the root's OWN code (fan-out,
+    # handlers, deadlines) — excludes region and cell work, so it is
+    # the honest numerator for the per-cell sub-linearity claim.
+    root_wall_seconds: float = 0.0
 
     @property
     def partial(self) -> bool:
@@ -240,11 +251,17 @@ class Coordinator:
 
     # -- fan-out and re-asks ---------------------------------------------------
 
-    def _ship(self, state: _RunState, name: str) -> None:
-        message = plan_message(
+    def _plan_for(self, state: _RunState, name: str) -> dict[str, Any]:
+        """The plan message for one cell. The tree's regions override
+        this to ship an O(k) roster *window* instead of the full
+        roster."""
+        return plan_message(
             state.tag, state.spec, state.roster, self.address,
             round_tag=state.round_tag, neighbors=state.neighbors,
         )
+
+    def _ship(self, state: _RunState, name: str) -> None:
+        message = self._plan_for(state, name)
         size = wire_size(message)
         self._plans_metric.inc()
         self._bytes_metric.inc(size)
@@ -332,7 +349,11 @@ class Coordinator:
         state.masks[name] = message["net_mask"]
         state.view.append(message["net_mask"])
         if len(state.masks) == len(state.ok_cells()):
-            self._finish_numeric(state)
+            self._masks_complete(state)
+
+    def _masks_complete(self, state: _RunState) -> None:
+        """All survivors' net masks are in. Hook for the tree's regions."""
+        self._finish_numeric(state)
 
     # -- settle: combine, recover, finish --------------------------------------
 
@@ -409,10 +430,7 @@ class Coordinator:
             rng=self._retry_rng, label=f"fq mask reask {name}",
         )
         if handle is None:
-            # A cell whose value is already in the total cannot reveal
-            # its masks: the edges it shares with missing cells can
-            # never be cancelled. Nothing releasable remains.
-            self._finalize(state, failure="mask-recovery")
+            self._mask_recovery_failed(state)
             return
         state.mask_attempts[name] += 1
         state.reasks += 1
@@ -422,14 +440,23 @@ class Coordinator:
             recover_message(state.tag, 1, state.missing, self.address),
         )
 
+    def _mask_recovery_failed(self, state: _RunState) -> None:
+        """A survivor's re-ask budget ran out mid-recovery.
+
+        A cell whose value is already in the total cannot reveal its
+        masks: the edges it shares with missing cells can never be
+        cancelled. Nothing releasable remains. Hook for the tree's
+        regions (which report the failure upward instead).
+        """
+        self._finalize(state, failure="mask-recovery")
+
     def _finish_numeric(self, state: _RunState) -> None:
         if state.result is not None:
             return
-        total = 0
-        for name in state.ok_cells():
-            total = (total + state.payloads[name]["masked"]) % shamir.PRIME
-        for net in state.masks.values():
-            total = (total + net) % shamir.PRIME
+        total = kernels.accumulate(
+            [state.payloads[name]["masked"] for name in state.ok_cells()]
+            + list(state.masks.values())
+        )
         value = shamir.decode_signed(total) / state.spec.scale
         self._finalize(state, field_total=total, value=value)
 

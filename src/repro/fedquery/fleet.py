@@ -51,6 +51,9 @@ class Fleet:
     agents: dict[str, CellQueryAgent] = field(default_factory=dict)
     catalogs: dict[str, Catalog] = field(default_factory=dict)
     layouts: dict[str, str] = field(default_factory=dict)
+    # Sharded builds only: the contiguous per-region rosters (empty for
+    # a monolithic build).
+    shard_rosters: list[list[str]] = field(default_factory=list)
 
     @property
     def roster(self) -> list[str]:
@@ -79,6 +82,66 @@ class Fleet:
         return rows
 
 
+def _cell_name(name_prefix: str, position: int, size: int) -> str:
+    """``cell-0042``-style names; padding widens past 10k cells so the
+    historical 4-digit format is preserved for every existing fleet."""
+    pad = max(4, len(str(size - 1)))
+    return f"{name_prefix}-{position:0{pad}d}"
+
+
+def _build_cell(
+    fleet: Fleet,
+    position: int,
+    name: str,
+    directory: dict[str, AggregationNode],
+    purposes: set[str],
+    hours: int,
+) -> None:
+    """One store-backed cell: tiny flash, catalog, agent, key material."""
+    world = fleet.world
+    layout = LAYOUTS[position % len(LAYOUTS)]
+    rng = world.rng(f"fleet.{name}")
+    catalog = Catalog(
+        NandFlash(TINY_FLASH, TINY_CAPACITY),
+        zone_maps=layout != LAYOUT_SCAN,
+    )
+    energy = catalog.collection("energy")
+    if layout == LAYOUT_INDEX:
+        energy.create_ordered_index("hour")
+    energy.insert_many(
+        (
+            f"r{hour}",
+            {
+                "hour": hour,
+                "watts": round(
+                    rng.uniform(50.0, 450.0)
+                    + (300.0 if 18 <= hour <= 21 else 0.0),
+                    1,
+                ),
+                "day": 1,
+            },
+        )
+        for hour in range(hours)
+    )
+    catalog.collection("profile").insert(
+        "p0",
+        {
+            "qi_age": rng.randint(18, 90),
+            "qi_zip": rng.randint(10_000, 99_999),
+            "disease": rng.choice(DISEASES),
+        },
+    )
+    node = AggregationNode.preshared(name, fleet.secret)
+    directory[name] = node
+    fleet.agents[name] = CellQueryAgent(
+        world, fleet.network, name, node, CatalogSource(catalog),
+        purposes=set(purposes), directory=directory,
+        fleet_secret=fleet.secret,
+    )
+    fleet.catalogs[name] = catalog
+    fleet.layouts[name] = layout
+
+
 def build_fleet(
     world: World,
     network: Network,
@@ -94,51 +157,59 @@ def build_fleet(
     Layouts rotate ``index`` / ``zonemap`` / ``scan`` by position.
     Watts values and demographics are drawn from per-cell world
     streams, so the fleet is a pure function of the world seed.
+    All cells share one fleet-wide directory — the monolithic build
+    the flat coordinator wants; very large fleets should use
+    :func:`build_fleet_sharded` instead.
     """
     fleet = Fleet(world=world, network=network, secret=secret)
     purposes = purposes if purposes is not None else {"load-forecast"}
     directory: dict[str, AggregationNode] = {}
     for position in range(size):
-        name = f"{name_prefix}-{position:04d}"
-        layout = LAYOUTS[position % len(LAYOUTS)]
-        rng = world.rng(f"fleet.{name}")
-        catalog = Catalog(
-            NandFlash(TINY_FLASH, TINY_CAPACITY),
-            zone_maps=layout != LAYOUT_SCAN,
+        _build_cell(
+            fleet, position, _cell_name(name_prefix, position, size),
+            directory, purposes, hours,
         )
-        energy = catalog.collection("energy")
-        if layout == LAYOUT_INDEX:
-            energy.create_ordered_index("hour")
-        energy.insert_many(
-            (
-                f"r{hour}",
-                {
-                    "hour": hour,
-                    "watts": round(
-                        rng.uniform(50.0, 450.0)
-                        + (300.0 if 18 <= hour <= 21 else 0.0),
-                        1,
-                    ),
-                    "day": 1,
-                },
-            )
-            for hour in range(hours)
-        )
-        catalog.collection("profile").insert(
-            "p0",
-            {
-                "qi_age": rng.randint(18, 90),
-                "qi_zip": rng.randint(10_000, 99_999),
-                "disease": rng.choice(DISEASES),
-            },
-        )
-        node = AggregationNode.preshared(name, secret)
-        directory[name] = node
-        fleet.agents[name] = CellQueryAgent(
-            world, network, name, node, CatalogSource(catalog),
-            purposes=set(purposes), directory=directory,
-            fleet_secret=secret,
-        )
-        fleet.catalogs[name] = catalog
-        fleet.layouts[name] = layout
+    return fleet
+
+
+def build_fleet_sharded(
+    world: World,
+    network: Network,
+    size: int,
+    *,
+    shards: int,
+    purposes: set[str] | None = None,
+    hours: int = 24,
+    secret: bytes = b"fedquery-fleet-secret",
+    name_prefix: str = "cell",
+) -> Fleet:
+    """Build a large fleet as a fan-out of ``shards`` shard builds.
+
+    Cells are identical to :func:`build_fleet`'s (same names, same
+    seeded stores — the two builds are interchangeable cell for cell);
+    what changes is the wiring: each contiguous shard gets its **own**
+    key-material directory holding only that shard's nodes, instead of
+    one monolithic fleet-wide dict every cell shares. That matches the
+    coordinator tree's trust boundaries — a cell never holds the
+    global roster; out-of-shard ring neighbors resolve through the
+    preshared group secret at masking time — and keeps each build step
+    O(shard). The per-region rosters land in ``Fleet.shard_rosters``.
+    """
+    if shards < 1:
+        raise ValueError("a sharded build needs at least one shard")
+    fleet = Fleet(world=world, network=network, secret=secret)
+    purposes = purposes if purposes is not None else {"load-forecast"}
+    count = min(shards, size)
+    base, extra = divmod(size, count)
+    position = 0
+    for shard in range(count):
+        shard_size = base + (1 if shard < extra else 0)
+        directory: dict[str, AggregationNode] = {}
+        roster = []
+        for _ in range(shard_size):
+            name = _cell_name(name_prefix, position, size)
+            _build_cell(fleet, position, name, directory, purposes, hours)
+            roster.append(name)
+            position += 1
+        fleet.shard_rosters.append(roster)
     return fleet

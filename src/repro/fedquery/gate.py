@@ -25,10 +25,12 @@ import json
 import random
 from typing import Any
 
+from ..commons import kernels
 from ..commons.aggregation import (
     AggregationNode,
     _effective_degree,
     _masking_peers,
+    ring_neighbor_positions,
 )
 from ..commons.dp import gamma_noise_share, laplace_scale
 from ..crypto import aead, shamir
@@ -68,6 +70,112 @@ def _roster_nodes(directory: Directory, roster: list[str]) -> list[AggregationNo
     return nodes
 
 
+# Memoized roster resolution for preshared fleets, keyed by (group
+# secret, roster).  Every cell of a fleet resolves the *same* roster
+# for the same query, and repeated queries reuse the same roster — so
+# the per-call name->node walk (O(N) per cell, O(N^2) per fan-out) is
+# paid once per distinct roster instead.  Only preshared nodes are
+# safe to share this way: their key material is a pure function of
+# (secret, name), so any resolution of the roster yields equivalent
+# peers.  Bounded FIFO so ad-hoc test rosters cannot grow it without
+# limit.
+_ROSTER_CACHE: dict[tuple[bytes, tuple[str, ...]], tuple[
+    list[AggregationNode], dict[str, int]]] = {}
+_ROSTER_CACHE_MAX = 64
+
+
+def _resolved_roster(
+    node: AggregationNode,
+    directory: Directory,
+    roster: list[str],
+) -> tuple[list[AggregationNode], dict[str, int]]:
+    """Roster names to (nodes, position map), memoized when preshared."""
+    secret = node._preshared
+    key = None
+    if secret is not None:
+        key = (secret, tuple(roster))
+        cached = _ROSTER_CACHE.get(key)
+        if cached is not None:
+            return cached
+    order = {name: position for position, name in enumerate(roster)}
+    if secret is None:
+        nodes = _roster_nodes(directory, roster)
+    else:
+        # Preshared fleets can synthesize key material for any name, so
+        # a member absent from this cell's (possibly shard-local)
+        # directory still resolves.
+        nodes = [
+            directory.get(name) or AggregationNode.preshared(name, secret)
+            for name in roster
+        ]
+    if key is not None:
+        if len(_ROSTER_CACHE) >= _ROSTER_CACHE_MAX:
+            _ROSTER_CACHE.pop(next(iter(_ROSTER_CACHE)))
+        _ROSTER_CACHE[key] = (nodes, order)
+    return nodes, order
+
+
+def _window_peers(
+    node: AggregationNode,
+    directory: Directory,
+    positions: dict[str, int],
+    size: int,
+    neighbors: int | None,
+) -> tuple[int, list[tuple[AggregationNode, int]]]:
+    """Resolve a cell's ring neighborhood from global positions.
+
+    The hierarchical path ships each cell only a *window* of the
+    global roster — its k ring-neighbors plus itself — together with
+    their global positions and the global roster size.  Masks and
+    signs computed from those positions are identical to the flat
+    path's, so shard partial sums compose to the same global total.
+    """
+    if node.name not in positions:
+        raise ProtocolError(f"cell {node.name!r} is not on the roster")
+    position = positions[node.name]
+    degree = _effective_degree(size, neighbors)
+    if degree is None:
+        raise ProtocolError(
+            "windowed masking needs a k-regular graph (neighbors < size-1)"
+        )
+    name_at = {pos: name for name, pos in positions.items()}
+    secret = node._preshared
+    peers = []
+    for peer_position in ring_neighbor_positions(position, size, degree):
+        name = name_at.get(peer_position)
+        if name is None:
+            raise ProtocolError(
+                f"no roster window entry for ring position {peer_position}"
+            )
+        peer = directory.get(name)
+        if peer is None:
+            if secret is None:
+                raise ProtocolError(
+                    f"no key material for roster member {name!r}"
+                )
+            peer = AggregationNode.preshared(name, secret)
+            directory[name] = peer  # cache the stub for later rounds
+        peers.append((peer, peer_position))
+    return position, peers
+
+
+def _masking_terms(
+    node: AggregationNode,
+    position: int,
+    peers: list[tuple[AggregationNode, int]],
+    round_tag: str,
+) -> tuple[list[int], list[int]]:
+    """All pairwise masks for one cell, split by sign, in one batch."""
+    elements = node.mask_elements_many(
+        [peer for peer, _ in peers], round_tag, 1
+    )
+    plus = [row[0] for (_, peer_position), row in zip(peers, elements)
+            if position < peer_position]
+    minus = [row[0] for (_, peer_position), row in zip(peers, elements)
+             if position > peer_position]
+    return plus, minus
+
+
 def masked_contribution(
     node: AggregationNode,
     directory: Directory,
@@ -75,6 +183,9 @@ def masked_contribution(
     round_tag: str,
     value: int,
     neighbors: int | None = None,
+    *,
+    positions: dict[str, int] | None = None,
+    size: int | None = None,
 ) -> int:
     """``encode_signed(value)`` plus this cell's pairwise masks.
 
@@ -83,6 +194,47 @@ def masked_contribution(
     subtracts, so the masks of every online pair cancel in the
     coordinator's sum. A roster of one has no peers — the "mask" is
     just the field encoding (the legacy single-member path).
+
+    With ``positions``/``size`` the cell masks from a roster *window*
+    (the hierarchical path): ``roster`` then only needs to cover the
+    cell's ring neighborhood, signs follow the supplied global
+    positions, and the result is bit-for-bit what the flat path would
+    compute over the full roster.  Masks are derived and applied in
+    one batch-kernel pass per roster; the per-element scalar loop
+    survives as :func:`masked_contribution_reference`.
+    """
+    if positions is not None:
+        if size is None:
+            raise ProtocolError("windowed masking needs the global size")
+        position, peers = _window_peers(
+            node, directory, positions, size, neighbors
+        )
+    else:
+        nodes, order = _resolved_roster(node, directory, roster)
+        if node.name not in order:
+            raise ProtocolError(f"cell {node.name!r} is not on the roster")
+        position = order[node.name]
+        degree = _effective_degree(len(roster), neighbors)
+        peers = [
+            (peer, order[peer.name])
+            for peer in _masking_peers(nodes, position, degree)
+        ]
+    plus, minus = _masking_terms(node, position, peers, round_tag)
+    return kernels.signed_accumulate(shamir.encode_signed(value), plus, minus)
+
+
+def masked_contribution_reference(
+    node: AggregationNode,
+    directory: Directory,
+    roster: list[str],
+    round_tag: str,
+    value: int,
+    neighbors: int | None = None,
+) -> int:
+    """Scalar reference for :func:`masked_contribution` (flat rosters).
+
+    The historical per-element loop, kept as the oracle the batch
+    kernels are pinned against in ``tests/test_kernels.py``.
     """
     order = {name: position for position, name in enumerate(roster)}
     if node.name not in order:
@@ -107,6 +259,9 @@ def net_recovery_mask(
     round_tag: str,
     missing: list[str],
     neighbors: int | None = None,
+    *,
+    positions: dict[str, int] | None = None,
+    size: int | None = None,
 ) -> int:
     """The survivor's net unmasking term for a set of missing cells.
 
@@ -114,8 +269,40 @@ def net_recovery_mask(
     over all survivors it cancels exactly the masks the survivors
     applied against cells that never contributed. Revealing it protects
     nothing — the missing cells sent no values. Reads the cached round
-    keystream, so recovery costs zero fresh derivations.
+    keystream, so recovery costs zero fresh derivations.  Accepts the
+    same ``positions``/``size`` window form as
+    :func:`masked_contribution`.
     """
+    if positions is not None:
+        if size is None:
+            raise ProtocolError("windowed masking needs the global size")
+        position, peers = _window_peers(
+            node, directory, positions, size, neighbors
+        )
+    else:
+        nodes, order = _resolved_roster(node, directory, roster)
+        position = order[node.name]
+        degree = _effective_degree(len(roster), neighbors)
+        peers = [
+            (peer, order[peer.name])
+            for peer in _masking_peers(nodes, position, degree)
+        ]
+    missing_set = set(missing)
+    gone = [entry for entry in peers if entry[0].name in missing_set]
+    plus, minus = _masking_terms(node, position, gone, round_tag)
+    # Signs invert: the survivor *removes* the masks it applied.
+    return kernels.signed_accumulate(0, minus, plus)
+
+
+def net_recovery_mask_reference(
+    node: AggregationNode,
+    directory: Directory,
+    roster: list[str],
+    round_tag: str,
+    missing: list[str],
+    neighbors: int | None = None,
+) -> int:
+    """Scalar reference for :func:`net_recovery_mask` (flat rosters)."""
     order = {name: position for position, name in enumerate(roster)}
     nodes = _roster_nodes(directory, roster)
     position = order[node.name]

@@ -1,0 +1,917 @@
+"""The coordinator tree: hierarchical federation for very large fleets.
+
+A flat :class:`~repro.fedquery.coordinator.Coordinator` does O(N) work
+per query *and* ships every cell the full roster, so wire bytes and
+coordinator work grow as O(N^2) — fine at a thousand cells, hopeless
+at a hundred thousand. The tree splits the fan-out two ways:
+
+* a root :class:`HierarchicalCoordinator` partitions the global roster
+  into ~sqrt(N) **contiguous shards** and ships each shard to a
+  :class:`RegionalCoordinator` — the root's own work is O(sqrt(N));
+* each region runs the *existing* collect / re-ask / demote / recovery
+  machinery (it subclasses the flat coordinator) over its shard, and
+  ships each cell an O(k) roster **window** — the cell's ring
+  neighbors plus their global positions — instead of the full roster.
+
+The privacy argument is the boundary-mask trick: cells mask on the
+**global** ring graph, exactly as the flat path does. Within a shard
+the pairwise masks of interior edges cancel in the shard's partial
+sum, but the k/2 edges crossing each shard boundary are unpaired —
+so every shard partial a region forwards is still a uniformly masked
+field element. No level of the tree below the final combine learns
+anything: regions see per-cell masked elements (meaningless, as
+before), the root sees masked shard sums, and only the sum over *all*
+shards — bit-for-bit the flat total — unmasks. Sealed record batches
+pass through regions as opaquely as they pass the flat coordinator.
+
+Degradation composes recursively. Regions demote unresponsive cells
+exactly as the flat coordinator does; the root re-asks and, on an
+exhausted budget, demotes a whole *region* — all its cells become
+missing (none of their contributions entered the combine, so their
+interior edges cancel by absence and only their boundary edges need
+survivor recovery). The root compiles the **global** missing list,
+regions fan it to the survivors whose ring neighborhoods intersect it,
+and the net recovery masks sum — through the regions — to exactly the
+flat path's correction. Every level runs under its own bounded
+horizon, and the root's horizon includes the regions', so a lossy run
+settles to ``partial`` (survivor-exact) or ``abandoned`` instead of
+hanging.
+
+Privacy parameters never shrink with the shards: plan windows carry
+``global_size``, so the cohort floor and the DP noise calibration are
+global, and each cell's noise share is drawn once per query no matter
+how the roster is sharded.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..commons import kernels
+from ..commons.aggregation import _effective_degree, ring_neighbor_positions
+from ..crypto import shamir
+from ..errors import CellOfflineError, ConfigurationError, ProtocolError
+from ..faults.retry import RetryPolicy, schedule_retry
+from ..infrastructure.network import Network
+from ..sim.world import World
+from .coordinator import (
+    _DEMOTED,
+    _PENDING,
+    OUTCOME_ABANDONED,
+    OUTCOME_COMPLETE,
+    OUTCOME_PARTIAL,
+    Coordinator,
+    FedQueryResult,
+    _RunState,
+)
+from .spec import (
+    MSG_SHARD_MASK,
+    MSG_SHARD_PARTIAL,
+    MSG_SHARD_PLAN,
+    MSG_SHARD_RECOVER,
+    STATUS_DECLINED,
+    STATUS_FLOOR,
+    STATUS_OK,
+    FedQuerySpec,
+    plan_message,
+    recover_message,
+    shard_mask_message,
+    shard_partial_message,
+    shard_plan_message,
+    shard_recover_message,
+    wire_size,
+)
+
+
+def partition_shards(roster: list[str], regions: int) -> list[list[str]]:
+    """Split a roster into ``regions`` contiguous shards, sizes within 1.
+
+    Contiguity is load-bearing: it is what confines a shard's unpaired
+    mask edges to the two ring boundaries, keeping each region's
+    positions map (shard plus k/2 of boundary zone on either side)
+    O(shard) instead of O(N).
+    """
+    count = min(regions, len(roster))
+    if count < 1:
+        raise ConfigurationError("the roster needs at least one cell")
+    base, extra = divmod(len(roster), count)
+    shards, start = [], 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        shards.append(roster[start:start + size])
+        start += size
+    return shards
+
+
+class RegionalCoordinator(Coordinator):
+    """One region of the tree: the flat machinery over one shard.
+
+    A pure event-driven endpoint — it never drives the world loop (the
+    root does). It reuses the superclass's per-cell re-ask ladder,
+    demotion and accounting verbatim; what changes is the edges of the
+    state machine: runs start from a ``fq.shard_plan`` message instead
+    of :meth:`run`, collection settles into a ``fq.shard_partial``
+    report instead of a combine, and recovery is triggered by the
+    root's **global** missing list and settles into a ``fq.shard_mask``
+    report. Both reports are cached and replayed verbatim when the
+    root re-asks, so the root's retry ladder is idempotent.
+    """
+
+    def __init__(self, world: World, network: Network, *, region: int,
+                 address: str, **kwargs: Any) -> None:
+        super().__init__(world, network, address=address, **kwargs)
+        self.region = region
+        # tag -> (root address, message): idempotent replay caches.
+        self._sent: dict[str, tuple[str, dict[str, Any]]] = {}
+        self._mask_sent: dict[str, tuple[str, dict[str, Any]]] = {}
+        # tag -> the region's coordinator_view (leakage audit surface).
+        self.views: dict[str, list[Any]] = {}
+
+    # -- inbound ---------------------------------------------------------------
+
+    def _on_message(self, sender: str, payload: Any) -> None:
+        if not isinstance(payload, dict):
+            return
+        kind = payload.get("kind")
+        if kind == MSG_SHARD_PLAN:
+            self._on_shard_plan(payload)
+        elif kind == MSG_SHARD_RECOVER:
+            self._on_shard_recover(payload)
+        else:
+            super()._on_message(sender, payload)
+
+    def _on_shard_plan(self, message: dict[str, Any]) -> None:
+        tag = message["tag"]
+        if tag in self._sent:
+            root, reply = self._sent[tag]
+            self._send_up(root, reply)  # root re-ask: replay verbatim
+            return
+        if tag in self._active:
+            return  # still collecting; the settle will reply
+        spec = FedQuerySpec.from_wire(message["spec"])
+        shard = list(message["shard"])
+        state = _RunState(
+            tag, spec, shard, message["round_tag"], message["neighbors"]
+        )
+        state.positions = {
+            name: int(position)
+            for name, position in message["positions"].items()
+        }
+        state.global_size = int(message["global_size"])
+        state.name_at = {
+            position: name for name, position in state.positions.items()
+        }
+        state.root = message["reply_to"]
+        state.recover_targets = []
+        state.reported = (0, 0, 0)
+        if _effective_degree(state.global_size, state.neighbors) is None:
+            raise ProtocolError(
+                "the coordinator tree needs a k-regular masking graph "
+                "(neighbors < global size - 1)"
+            )
+        state.started_at = self.world.now
+        self._active[tag] = state
+        with self._tracer.span(
+            "fedquery.shard.fanout", tag=tag, region=self.region,
+            shard=len(shard),
+        ):
+            for name in shard:
+                self._ship(state, name)
+        state.deadline_handle = self.world.loop.schedule_in(
+            self.collect_timeout_s, lambda: self._collect_deadline(state),
+            label=f"fq shard deadline {tag} r{self.region}",
+        )
+
+    # -- windowed fan-out ------------------------------------------------------
+
+    def _plan_for(self, state: _RunState, name: str) -> dict[str, Any]:
+        """An O(k) plan: the cell's ring window, with global positions."""
+        position = state.positions[name]
+        degree = _effective_degree(state.global_size, state.neighbors)
+        window = ring_neighbor_positions(
+            position, state.global_size, degree
+        ) + [position]
+        window.sort()
+        return plan_message(
+            state.tag, state.spec,
+            [state.name_at[entry] for entry in window], self.address,
+            round_tag=state.round_tag, neighbors=state.neighbors,
+            positions={state.name_at[entry]: entry for entry in window},
+            global_size=state.global_size,
+        )
+
+    # -- settle: report the shard partial upward -------------------------------
+
+    def _settle(self, state: _RunState) -> None:
+        if state.phase != "collect":
+            return
+        if state.deadline_handle is not None:
+            state.deadline_handle.cancel()
+        ok = state.ok_cells()
+        plan_mix: dict[str, int] = {}
+        for plan in state.plans.values():
+            plan_mix[plan] = plan_mix.get(plan, 0) + 1
+        if state.spec.numeric:
+            # Still masked: the shard's boundary edges have no partner
+            # in this sum, so the root learns nothing per shard.
+            masked_sum = kernels.accumulate(
+                state.payloads[name]["masked"] for name in ok
+            )
+            count = len(ok)
+            sealed: list[tuple[str, str]] = []
+        else:
+            masked_sum = None
+            count = sum(state.payloads[name]["count"] for name in ok)
+            sealed = [
+                (name, state.payloads[name]["blob"]) for name in ok
+                if state.payloads[name]["blob"] is not None
+            ]
+        state.phase = "report"
+        reply = shard_partial_message(
+            state.tag, self.address, self.region,
+            statuses=dict(state.status), masked_sum=masked_sum, count=count,
+            sealed=sealed, plan_mix=plan_mix, examined=state.examined,
+            messages=state.messages, bytes_=state.bytes, reasks=state.reasks,
+        )
+        self._sent[state.tag] = (state.root, reply)
+        state.reported = (state.messages, state.bytes, state.reasks)
+        self.views[state.tag] = state.view
+        self._events.emit(
+            "fedquery.shard.settle", tag=state.tag, region=self.region,
+            participants=len(ok), reasks=state.reasks,
+        )
+        self._send_up(state.root, reply)
+        if not state.spec.numeric:
+            del self._active[state.tag]  # record shards have no recovery
+
+    def _send_up(self, root: str, message: dict[str, Any]) -> None:
+        # Root-level traffic is billed by the root (both directions),
+        # exactly as cell-level traffic is billed by this region.
+        try:
+            self.network.send(
+                self.address, root, message, size_bytes=wire_size(message)
+            )
+        except CellOfflineError:
+            pass  # the root's re-ask ladder owns this failure
+
+    # -- recovery: the root's global missing list ------------------------------
+
+    def _on_shard_recover(self, message: dict[str, Any]) -> None:
+        tag = message["tag"]
+        if tag in self._mask_sent:
+            root, reply = self._mask_sent[tag]
+            self._send_up(root, reply)
+            return
+        state = self._active.get(tag)
+        if state is None or state.phase != "report":
+            return  # unknown tag, or recovery already in flight
+        state.phase = "recover"
+        state.recovery_rounds = 1
+        state.missing = list(message["missing"])
+        # Only survivors whose ring neighborhood intersects the missing
+        # set are asked; everyone else's net mask is identically zero,
+        # so skipping them is bit-for-bit free and keeps recovery
+        # traffic proportional to the damage, not the fleet.
+        state.recover_targets = self._relevant_survivors(state)
+        self._events.emit(
+            "fedquery.shard.recover", tag=tag, region=self.region,
+            missing=len(state.missing), survivors=len(state.recover_targets),
+        )
+        if not state.recover_targets:
+            self._masks_complete(state)
+            return
+        for name in state.recover_targets:
+            state.mask_attempts[name] = 1
+            self._ship_recover(
+                state, name,
+                recover_message(tag, 1, state.missing, self.address),
+            )
+        self.world.loop.schedule_in(
+            self.recovery_timeout_s,
+            lambda: self._recovery_deadline(state),
+            label=f"fq shard recover deadline {tag} r{self.region}",
+        )
+
+    def _relevant_survivors(self, state: _RunState) -> list[str]:
+        missing = set(state.missing)
+        degree = _effective_degree(state.global_size, state.neighbors)
+        targets = []
+        for name in state.ok_cells():
+            ring = ring_neighbor_positions(
+                state.positions[name], state.global_size, degree
+            )
+            if any(state.name_at.get(entry) in missing for entry in ring):
+                targets.append(name)
+        return targets
+
+    def _recovery_deadline(self, state: _RunState) -> None:
+        if state.phase != "recover":
+            return
+        for name in state.recover_targets:
+            if name not in state.masks:
+                self._reask_mask(state, name)
+
+    def _on_mask(self, state: _RunState, message: dict[str, Any]) -> None:
+        name = message["from"]
+        if state.phase != "recover" or name in state.masks \
+                or name not in state.recover_targets:
+            return
+        size = wire_size(message)
+        state.messages += 1
+        state.bytes += size
+        self._bytes_metric.inc(size)
+        state.masks[name] = message["net_mask"]
+        state.view.append(message["net_mask"])
+        if len(state.masks) == len(state.recover_targets):
+            self._masks_complete(state)
+
+    def _masks_complete(self, state: _RunState) -> None:
+        self._report_mask(
+            state, net_sum=kernels.accumulate(state.masks.values())
+        )
+
+    def _mask_recovery_failed(self, state: _RunState) -> None:
+        # A survivor whose value is in the total cannot reveal its
+        # masks: report the failure upward; the root must abandon.
+        self._report_mask(state, net_sum=None, failure="mask-recovery")
+
+    def _report_mask(self, state: _RunState, *, net_sum: int | None,
+                     failure: str | None = None) -> None:
+        messages, bytes_, reasks = state.reported
+        reply = shard_mask_message(
+            state.tag, self.address, self.region, net_sum=net_sum,
+            reasks=state.reasks - reasks,
+            messages=state.messages - messages,
+            bytes_=state.bytes - bytes_, failure=failure,
+        )
+        state.phase = "done"
+        self._mask_sent[state.tag] = (state.root, reply)
+        self._send_up(state.root, reply)
+        del self._active[state.tag]
+
+
+class _RootClock:
+    """Accumulates wall time spent inside the root's own code.
+
+    The whole-query wall is linear in N by construction — every cell
+    computes in-process — so the sub-linearity claim needs the root's
+    share alone. Re-entrant (handlers call handlers): only the
+    outermost span is counted.
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._depth = 0
+        self._entered = 0.0
+
+    def __enter__(self) -> "_RootClock":
+        if self._depth == 0:
+            self._entered = time.perf_counter()
+        self._depth += 1
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            self.seconds += time.perf_counter() - self._entered
+
+
+class _TreeState:
+    """Mutable per-query bookkeeping at the root (one per run)."""
+
+    def __init__(self, tag: str, spec: FedQuerySpec, roster: list[str],
+                 round_tag: str, neighbors: int,
+                 shards: list[list[str]]) -> None:
+        self.tag = tag
+        self.spec = spec
+        self.roster = roster
+        self.round_tag = round_tag
+        self.neighbors = neighbors
+        self.shards = shards
+        self.starts: list[int] = []
+        start = 0
+        for shard in shards:
+            self.starts.append(start)
+            start += len(shard)
+        self.region_status: dict[int, str] = {
+            region: _PENDING for region in range(len(shards))
+        }
+        self.partials: dict[int, dict[str, Any]] = {}
+        self.attempts: dict[int, int] = {
+            region: 1 for region in range(len(shards))
+        }
+        self.mask_replies: dict[int, dict[str, Any]] = {}
+        self.mask_attempts: dict[int, int] = {}
+        self.statuses: dict[str, str] = {}
+        self.missing: list[str] = []
+        self.phase = "collect"
+        self.view: list[Any] = []
+        self.reasks = 0
+        self.messages = 0  # the ROOT's own traffic, both directions
+        self.bytes = 0
+        self.recovery_rounds = 0
+        self.started_at = 0
+        self.deadline_handle = None
+        self.result: FedQueryResult | None = None
+
+    def collected(self) -> bool:
+        return all(
+            status != _PENDING for status in self.region_status.values()
+        )
+
+    def ok_regions(self) -> list[int]:
+        return [
+            region for region in range(len(self.shards))
+            if self.region_status[region] == STATUS_OK
+        ]
+
+
+class HierarchicalCoordinator:
+    """The root of the coordinator tree.
+
+    Owns ``regions`` :class:`RegionalCoordinator` endpoints (addresses
+    ``{address}.r{i}``) and, per query, partitions the roster into that
+    many contiguous shards — pick ``regions ~ sqrt(N)`` and the root's
+    work per query is O(sqrt(N)) messages instead of the flat path's
+    O(N). The rest of the contract matches :class:`Coordinator`:
+    :meth:`run` drives the loop to a bounded horizon (which *includes*
+    the regions' horizons, so no level can hang the tree) and returns a
+    :class:`FedQueryResult` with the same outcomes, plus the tree
+    extras — ``regions``, ``root_messages``, ``root_bytes`` — while
+    ``messages``/``bytes``/``reasks`` aggregate the whole tree.
+
+    The windowed masking graph must be k-regular, so the global roster
+    must satisfy ``neighbors < len(roster) - 1``; below that, use the
+    flat coordinator (a tree over a roster that small is pointless).
+    """
+
+    def __init__(
+        self,
+        world: World,
+        network: Network,
+        *,
+        regions: int,
+        neighbors: int = 32,
+        address: str = "fq-root",
+        retry_policy: RetryPolicy | None = None,
+        collect_timeout_s: int = 60,
+        recovery_timeout_s: int = 60,
+        region_retry_policy: RetryPolicy | None = None,
+        region_collect_timeout_s: int = 30,
+        region_recovery_timeout_s: int = 30,
+        latency_ms: float = 5.0,
+        bandwidth_bytes_per_s: float = 1e9,
+    ) -> None:
+        if regions < 1:
+            raise ConfigurationError("the tree needs at least one region")
+        if collect_timeout_s < 1 or recovery_timeout_s < 1:
+            raise ConfigurationError("timeouts must be at least 1 s")
+        if _effective_degree(regions + neighbors + 2, neighbors) is None:
+            raise ConfigurationError(
+                "neighbors must be an even integer >= 2 for the tree's "
+                "windowed masking graph"
+            )
+        self.world = world
+        self.network = network
+        self.address = address
+        self.neighbors = neighbors
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay_s=2.0, multiplier=2.0,
+            max_delay_s=30.0, jitter=0.1,
+        )
+        self.collect_timeout_s = collect_timeout_s
+        self.recovery_timeout_s = recovery_timeout_s
+        self.regions = [
+            RegionalCoordinator(
+                world, network, region=region,
+                address=f"{address}.r{region}",
+                retry_policy=region_retry_policy,
+                collect_timeout_s=region_collect_timeout_s,
+                recovery_timeout_s=region_recovery_timeout_s,
+                neighbors=neighbors,
+            )
+            for region in range(regions)
+        ]
+        self._retry_rng = world.rng(f"fedquery.tree.reask.{address}")
+        self._sequence = 0
+        self._active: dict[str, _TreeState] = {}
+        self.clock = _RootClock()
+        network.register(
+            address, self._on_message,
+            latency_ms=latency_ms,
+            bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+        )
+        metrics = world.obs.metrics
+        self._events = world.obs.events
+        self._tracer = world.obs.tracer
+        self._shard_plans_metric = metrics.counter(
+            "fedquery.tree.shard_plans",
+            help="shard plans shipped to regional coordinators")
+        self._bytes_metric = metrics.counter(
+            "fedquery.tree.root_bytes",
+            help="root coordinator wire bytes, both directions")
+        self._reasks_metric = metrics.counter(
+            "fedquery.tree.reasks", help="region-level re-asks sent")
+        self._demotions_metric = metrics.counter(
+            "fedquery.tree.demotions",
+            help="whole regions demoted after the retry budget")
+        self._queries_metric = metrics.counter(
+            "fedquery.tree.queries",
+            help="tree queries by terminal outcome", labelnames=("outcome",))
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, spec: FedQuerySpec, roster: list[str], *,
+            round_tag: str | None = None) -> FedQueryResult:
+        """Execute ``spec`` across ``roster`` through the tree."""
+        if not roster:
+            raise ConfigurationError("the roster needs at least one cell")
+        if len(set(roster)) != len(roster):
+            raise ConfigurationError("roster names must be unique")
+        if _effective_degree(len(roster), self.neighbors) is None:
+            raise ConfigurationError(
+                f"a roster of {len(roster)} cannot carry a {self.neighbors}-"
+                "regular masking ring; use the flat Coordinator below "
+                f"{self.neighbors + 2} cells"
+            )
+        self._sequence += 1
+        tag = f"fqh{self._sequence}|{spec.recipient}|{spec.purpose}"
+        clock_before = self.clock.seconds
+        with self.clock:
+            state = _TreeState(
+                tag, spec, list(roster),
+                round_tag if round_tag is not None
+                else f"{spec.recipient}|{spec.purpose}",
+                self.neighbors, partition_shards(roster, len(self.regions)),
+            )
+            state.started_at = self.world.now
+            self._active[tag] = state
+            with self._tracer.span(
+                "fedquery.tree.fanout", tag=tag, transform=spec.transform,
+                roster=len(roster), regions=len(state.shards),
+            ):
+                for region in range(len(state.shards)):
+                    self._ship_shard(state, region)
+            self._events.emit(
+                "fedquery.tree.start", tag=tag, transform=spec.transform,
+                roster=len(roster), regions=len(state.shards),
+            )
+            state.deadline_handle = self.world.loop.schedule_in(
+                self.collect_timeout_s, lambda: self._collect_deadline(state),
+                label=f"fq tree deadline {tag}",
+            )
+        self.world.loop.run_until(self.world.now + self._horizon_s())
+        if state.result is None:
+            raise ProtocolError(f"tree query {tag!r} did not settle")
+        state.result.root_wall_seconds = self.clock.seconds - clock_before
+        del self._active[tag]
+        return state.result
+
+    def _horizon_s(self) -> int:
+        """Bounded horizon for the whole tree: the root's own collect +
+        recovery ladders on top of the slowest region's horizon."""
+        backoff = sum(self.retry_policy.delays(None))
+        deepest = max(
+            (region._horizon_s() for region in self.regions), default=0
+        )
+        return int(
+            2 * (self.collect_timeout_s + self.recovery_timeout_s
+                 + 2 * backoff)
+        ) + deepest + 120
+
+    # -- shard fan-out and region re-asks --------------------------------------
+
+    def _zone(self, state: _TreeState, region: int) -> dict[str, int]:
+        """Global positions for a shard plus its ring boundary zones."""
+        size = len(state.roster)
+        degree = _effective_degree(size, state.neighbors)
+        half = degree // 2
+        start = state.starts[region]
+        positions = {}
+        for offset in range(start - half,
+                            start + len(state.shards[region]) + half):
+            position = offset % size
+            positions[state.roster[position]] = position
+        return positions
+
+    def _ship_shard(self, state: _TreeState, region: int) -> None:
+        message = shard_plan_message(
+            state.tag, state.spec, state.shards[region],
+            self._zone(state, region), len(state.roster), self.address,
+            region=region, round_tag=state.round_tag,
+            neighbors=state.neighbors,
+        )
+        self._bill(state, message)
+        self._shard_plans_metric.inc()
+        try:
+            self.network.send(
+                self.address, self.regions[region].address, message,
+                size_bytes=wire_size(message),
+            )
+        except CellOfflineError:
+            pass  # stays pending; the deadline's re-ask chain owns it
+
+    def _bill(self, state: _TreeState, message: dict[str, Any]) -> None:
+        size = wire_size(message)
+        state.messages += 1
+        state.bytes += size
+        self._bytes_metric.inc(size)
+
+    def _collect_deadline(self, state: _TreeState) -> None:
+        with self.clock:
+            if state.phase != "collect":
+                return
+            for region in range(len(state.shards)):
+                if state.region_status[region] == _PENDING:
+                    self._reask_region(state, region)
+
+    def _reask_region(self, state: _TreeState, region: int) -> None:
+        with self.clock:
+            self._reask_region_clocked(state, region)
+
+    def _reask_region_clocked(self, state: _TreeState, region: int) -> None:
+        if state.phase != "collect" \
+                or state.region_status[region] != _PENDING:
+            return
+        handle = schedule_retry(
+            self.world, self.retry_policy, state.attempts[region],
+            lambda: self._reask_region(state, region),
+            rng=self._retry_rng, label=f"fq region reask {region}",
+        )
+        if handle is None:
+            self._demote_region(state, region)
+            return
+        state.attempts[region] += 1
+        state.reasks += 1
+        self._reasks_metric.inc()
+        self._ship_shard(state, region)
+
+    def _demote_region(self, state: _TreeState, region: int) -> None:
+        # A silent region's cells all become missing: none of their
+        # contributions entered the combine, so their interior mask
+        # edges cancel by absence and only the shard's boundary edges
+        # need survivor recovery — handled by the global missing list.
+        state.region_status[region] = _DEMOTED
+        self._demotions_metric.inc()
+        self._events.emit(
+            "fedquery.region.demote", tag=state.tag, region=region,
+            cells=len(state.shards[region]), attempts=state.attempts[region],
+        )
+        if state.collected():
+            self._settle(state)
+
+    # -- inbound ---------------------------------------------------------------
+
+    def _on_message(self, sender: str, payload: Any) -> None:
+        with self.clock:
+            if not isinstance(payload, dict):
+                return
+            state = self._active.get(payload.get("tag"))
+            if state is None:
+                return
+            kind = payload.get("kind")
+            if kind == MSG_SHARD_PARTIAL:
+                self._on_shard_partial(state, payload)
+            elif kind == MSG_SHARD_MASK:
+                self._on_shard_mask(state, payload)
+
+    def _on_shard_partial(self, state: _TreeState,
+                          message: dict[str, Any]) -> None:
+        region = message["region"]
+        if state.phase != "collect" \
+                or state.region_status.get(region) != _PENDING:
+            return  # duplicate, late (post-demotion), or off-tree
+        self._bill(state, message)
+        state.region_status[region] = STATUS_OK
+        state.partials[region] = message
+        if message["masked_sum"] is not None:
+            state.view.append(message["masked_sum"])
+        if state.collected():
+            self._settle(state)
+
+    def _on_shard_mask(self, state: _TreeState,
+                       message: dict[str, Any]) -> None:
+        region = message["region"]
+        if state.phase != "recover" or region in state.mask_replies \
+                or state.region_status.get(region) != STATUS_OK:
+            return
+        self._bill(state, message)
+        if message.get("failure"):
+            self._finalize(state, failure=message["failure"])
+            return
+        state.mask_replies[region] = message
+        state.view.append(message["net_sum"])
+        if len(state.mask_replies) == len(state.ok_regions()):
+            self._finish_numeric(state)
+
+    # -- settle: merge, recover, finish ----------------------------------------
+
+    def _settle(self, state: _TreeState) -> None:
+        if state.phase != "collect":
+            return
+        if state.deadline_handle is not None:
+            state.deadline_handle.cancel()
+        statuses: dict[str, str] = {}
+        for region, shard in enumerate(state.shards):
+            if state.region_status[region] == _DEMOTED:
+                for name in shard:
+                    statuses[name] = _DEMOTED
+            else:
+                statuses.update(state.partials[region]["statuses"])
+        state.statuses = statuses
+        ok = [
+            name for name in state.roster if statuses.get(name) == STATUS_OK
+        ]
+        if not ok:
+            self._finalize(state, failure="no-participants")
+            return
+        if len(ok) < state.spec.min_cohort:
+            self._finalize(state, failure="privacy-floor")
+            return
+        if state.spec.numeric:
+            state.missing = [
+                name for name in state.roster
+                if statuses.get(name) != STATUS_OK
+            ]
+            if not state.missing:
+                state.phase = "recover"  # vacuous: nothing to recover
+                self._finish_numeric(state)
+                return
+            self._start_recovery(state)
+        else:
+            self._finish_kanon(state)
+
+    def _start_recovery(self, state: _TreeState) -> None:
+        state.phase = "recover"
+        state.recovery_rounds = 1
+        self._events.emit(
+            "fedquery.tree.recover", tag=state.tag,
+            missing=len(state.missing), regions=len(state.ok_regions()),
+        )
+        for region in state.ok_regions():
+            state.mask_attempts[region] = 1
+            self._ship_recover(state, region)
+        self.world.loop.schedule_in(
+            self.recovery_timeout_s,
+            lambda: self._recovery_deadline(state),
+            label=f"fq tree recover deadline {state.tag}",
+        )
+
+    def _ship_recover(self, state: _TreeState, region: int) -> None:
+        message = shard_recover_message(
+            state.tag, state.missing, self.address
+        )
+        self._bill(state, message)
+        try:
+            self.network.send(
+                self.address, self.regions[region].address, message,
+                size_bytes=wire_size(message),
+            )
+        except CellOfflineError:
+            pass
+
+    def _recovery_deadline(self, state: _TreeState) -> None:
+        with self.clock:
+            if state.phase != "recover" or state.result is not None:
+                return
+            for region in state.ok_regions():
+                if region not in state.mask_replies:
+                    self._reask_mask(state, region)
+
+    def _reask_mask(self, state: _TreeState, region: int) -> None:
+        with self.clock:
+            self._reask_mask_clocked(state, region)
+
+    def _reask_mask_clocked(self, state: _TreeState, region: int) -> None:
+        if state.phase != "recover" or state.result is not None \
+                or region in state.mask_replies:
+            return
+        handle = schedule_retry(
+            self.world, self.retry_policy, state.mask_attempts[region],
+            lambda: self._reask_mask(state, region),
+            rng=self._retry_rng, label=f"fq region mask reask {region}",
+        )
+        if handle is None:
+            # A region whose shard sum is in the combine cannot report
+            # its survivors' net masks: nothing releasable remains.
+            self._finalize(state, failure="mask-recovery")
+            return
+        state.mask_attempts[region] += 1
+        state.reasks += 1
+        self._reasks_metric.inc()
+        self._ship_recover(state, region)
+
+    def _finish_numeric(self, state: _TreeState) -> None:
+        if state.result is not None:
+            return
+        # Sum of shard partials + net recovery sums = bit-for-bit the
+        # flat path's total: every interior edge cancelled inside its
+        # shard, every boundary/missing edge cancels across them here.
+        total = kernels.accumulate(
+            [state.partials[region]["masked_sum"]
+             for region in state.ok_regions()]
+            + [reply["net_sum"] for reply in state.mask_replies.values()]
+        )
+        value = shamir.decode_signed(total) / state.spec.scale
+        self._finalize(state, field_total=total, value=value)
+
+    def _finish_kanon(self, state: _TreeState) -> None:
+        released = sum(
+            state.partials[region]["count"]
+            for region in state.ok_regions()
+        )
+        if released < max(state.spec.k, state.spec.min_cohort):
+            self._finalize(state, failure="privacy-floor")
+            return
+        sealed = [
+            (sender, blob)
+            for region in state.ok_regions()
+            for sender, blob in state.partials[region]["sealed"]
+        ]
+        self._finalize(state, sealed_records=sealed)
+
+    def _finalize(
+        self,
+        state: _TreeState,
+        *,
+        failure: str | None = None,
+        field_total: int | None = None,
+        value: float | None = None,
+        sealed_records: list[tuple[str, str]] | None = None,
+    ) -> None:
+        if state.result is not None:
+            return
+        state.phase = "done"
+        counts = {STATUS_DECLINED: 0, STATUS_FLOOR: 0}
+        demoted = []
+        for name in state.roster:
+            status = state.statuses.get(name)
+            if status in counts:
+                counts[status] += 1
+            elif status == _DEMOTED or status is None:
+                demoted.append(name)
+        ok = [
+            name for name in state.roster
+            if state.statuses.get(name) == STATUS_OK
+        ]
+        plan_mix: dict[str, int] = {}
+        examined = 0
+        tree_messages, tree_bytes, tree_reasks = 0, 0, 0
+        for region in state.ok_regions():
+            partial = state.partials[region]
+            for plan, count in partial["plan_mix"].items():
+                plan_mix[plan] = plan_mix.get(plan, 0) + count
+            examined += partial["examined"]
+            tree_messages += partial["messages"]
+            tree_bytes += partial["bytes"]
+            tree_reasks += partial["reasks"]
+        for reply in state.mask_replies.values():
+            tree_messages += reply["messages"]
+            tree_bytes += reply["bytes"]
+            tree_reasks += reply["reasks"]
+        if failure is not None:
+            outcome = OUTCOME_ABANDONED
+        elif demoted:
+            outcome = OUTCOME_PARTIAL
+        else:
+            outcome = OUTCOME_COMPLETE
+        with self._tracer.span(
+            "fedquery.tree.collect", tag=state.tag,
+            transform=state.spec.transform,
+        ) as span:
+            span.annotate(
+                outcome=outcome, participants=len(ok), demoted=len(demoted),
+                regions=len(state.shards), reasks=state.reasks + tree_reasks,
+                waited_s=self.world.now - state.started_at,
+            )
+        self._queries_metric.labels(outcome=outcome).inc()
+        self._events.emit(
+            "fedquery.tree.settle", tag=state.tag, outcome=outcome,
+            participants=len(ok), demoted=len(demoted), failure=failure,
+        )
+        state.result = FedQueryResult(
+            transform=state.spec.transform,
+            tag=state.tag,
+            roster_size=len(state.roster),
+            participants=len(ok),
+            declined=counts[STATUS_DECLINED],
+            floored=counts[STATUS_FLOOR],
+            demoted=demoted,
+            value=value,
+            field_total=field_total,
+            sealed_records=sealed_records,
+            plan_mix=plan_mix,
+            records_examined=examined,
+            messages=state.messages + tree_messages,
+            bytes=state.bytes + tree_bytes,
+            reasks=state.reasks + tree_reasks,
+            recovery_rounds=state.recovery_rounds,
+            outcome=outcome,
+            failure=failure,
+            completed_at=self.world.now,
+            coordinator_view=state.view,
+            regions=len(state.shards),
+            root_messages=state.messages,
+            root_bytes=state.bytes,
+        )

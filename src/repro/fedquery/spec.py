@@ -219,6 +219,16 @@ MSG_PARTIAL = "fq.partial"
 MSG_RECOVER = "fq.recover"
 MSG_MASK = "fq.mask"
 
+# Hierarchical (coordinator-tree) message kinds: root <-> regional
+# sub-coordinators. Everything in them is already transformed by the
+# cells' egress gates — shard partial sums stay masked by the unpaired
+# cross-shard boundary edges, so no tree level below the final combine
+# learns anything.
+MSG_SHARD_PLAN = "fq.shard_plan"
+MSG_SHARD_PARTIAL = "fq.shard_partial"
+MSG_SHARD_RECOVER = "fq.shard_recover"
+MSG_SHARD_MASK = "fq.shard_mask"
+
 STATUS_OK = "ok"
 STATUS_DECLINED = "declined"
 STATUS_FLOOR = "floor"
@@ -227,7 +237,9 @@ PARTIAL_STATUSES = (STATUS_OK, STATUS_DECLINED, STATUS_FLOOR)
 
 def plan_message(tag: str, spec: FedQuerySpec, roster: list[str],
                  reply_to: str, *, round_tag: str | None = None,
-                 neighbors: int | None = None) -> dict[str, Any]:
+                 neighbors: int | None = None,
+                 positions: dict[str, int] | None = None,
+                 global_size: int | None = None) -> dict[str, Any]:
     """The fan-out message: the plan plus the masking roster in order.
 
     ``round_tag`` keys the pairwise mask keystreams (defaults to the
@@ -235,13 +247,26 @@ def plan_message(tag: str, spec: FedQuerySpec, roster: list[str],
     (``None`` = complete). Both must be identical across the roster or
     masks will not cancel — which is why the coordinator ships them in
     the plan instead of letting cells choose.
+
+    The hierarchical path ships a roster *window* instead of the full
+    roster: ``roster`` then lists only the recipient cell and its ring
+    neighbors, ``positions`` maps each of them to its global roster
+    position (signs and the masking graph follow global positions),
+    and ``global_size`` carries the full roster size — which the cell
+    must use for its cohort floor and DP noise calibration, so privacy
+    parameters stay global even though the wire message is O(k).
     """
-    return {
+    message = {
         "kind": MSG_PLAN, "tag": tag, "spec": spec.to_wire(),
         "roster": list(roster), "reply_to": reply_to,
         "round_tag": round_tag if round_tag is not None else tag,
         "neighbors": neighbors,
     }
+    if positions is not None:
+        message["positions"] = dict(positions)
+    if global_size is not None:
+        message["global_size"] = global_size
+    return message
 
 
 def partial_message(tag: str, sender: str, status: str, plan: str,
@@ -268,6 +293,96 @@ def mask_message(tag: str, sender: str, round_index: int,
     return {
         "kind": MSG_MASK, "tag": tag, "from": sender, "round": round_index,
         "net_mask": net_mask,
+    }
+
+
+# -- hierarchical wire messages ----------------------------------------------
+
+
+def shard_plan_message(
+    tag: str,
+    spec: FedQuerySpec,
+    shard: list[str],
+    positions: dict[str, int],
+    global_size: int,
+    reply_to: str,
+    *,
+    region: int,
+    round_tag: str,
+    neighbors: int,
+) -> dict[str, Any]:
+    """Root -> regional sub-coordinator: run this shard of the query.
+
+    ``shard`` lists the region's members in global roster order;
+    ``positions`` additionally covers the boundary zone (the k/2
+    positions on either side of the shard) so the region can build
+    each member's roster window without ever holding the full roster.
+    """
+    return {
+        "kind": MSG_SHARD_PLAN, "tag": tag, "spec": spec.to_wire(),
+        "shard": list(shard), "positions": dict(positions),
+        "global_size": global_size, "reply_to": reply_to,
+        "region": region, "round_tag": round_tag, "neighbors": neighbors,
+    }
+
+
+def shard_partial_message(
+    tag: str,
+    sender: str,
+    region: int,
+    *,
+    statuses: dict[str, str],
+    masked_sum: int | None,
+    count: int,
+    sealed: list[tuple[str, str]],
+    plan_mix: dict[str, int],
+    examined: int,
+    messages: int,
+    bytes_: int,
+    reasks: int,
+) -> dict[str, Any]:
+    """Regional sub-coordinator -> root: one shard's combined partial.
+
+    ``masked_sum`` is the mod-PRIME sum of the shard's masked
+    contributions — still masked by the unpaired cross-shard boundary
+    edges, so the root learns nothing per shard. ``statuses`` reports
+    each member's terminal collect status so the root can compile the
+    global missing set and the result accounting.
+    """
+    return {
+        "kind": MSG_SHARD_PARTIAL, "tag": tag, "from": sender,
+        "region": region, "statuses": dict(statuses),
+        "masked_sum": masked_sum, "count": count,
+        "sealed": [list(item) for item in sealed],
+        "plan_mix": dict(plan_mix), "examined": examined,
+        "messages": messages, "bytes": bytes_, "reasks": reasks,
+    }
+
+
+def shard_recover_message(tag: str, missing: list[str],
+                          reply_to: str) -> dict[str, Any]:
+    """Root -> regions: cancel these cells' edges (global missing set)."""
+    return {
+        "kind": MSG_SHARD_RECOVER, "tag": tag, "missing": list(missing),
+        "reply_to": reply_to,
+    }
+
+
+def shard_mask_message(tag: str, sender: str, region: int, *,
+                       net_sum: int | None, reasks: int,
+                       messages: int, bytes_: int,
+                       failure: str | None = None) -> dict[str, Any]:
+    """Regional sub-coordinator -> root: the shard's net recovery mask.
+
+    ``net_sum`` is the mod-PRIME sum of the shard survivors' net
+    recovery masks (``None`` with a ``failure`` reason when a survivor
+    exhausted its re-ask budget — the root must abandon, exactly as
+    the flat coordinator does when masks are unrecoverable).
+    """
+    return {
+        "kind": MSG_SHARD_MASK, "tag": tag, "from": sender,
+        "region": region, "net_sum": net_sum, "reasks": reasks,
+        "messages": messages, "bytes": bytes_, "failure": failure,
     }
 
 

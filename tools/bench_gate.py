@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Bench-regression gate: smoke re-measurements vs the tracked claims.
+
+The tracked ``BENCH_*.json`` files at the repo root record full-scale
+runs that are too slow for CI. This gate re-runs the *cheap* smoke
+slices of the same benchmark code and compares scale-invariant key
+metrics against the tracked claims within explicit tolerances:
+
+* **records/sec** — the store's batch-ingest device throughput.
+  Device time is simulated, so the rate is deterministic and nearly
+  scale-invariant: a tight band catches anyone who quietly adds a
+  page program per record.
+* **pages read** — pages per matching row for the index plan and the
+  index/scan advantage ratio; catches a broken zone map or index
+  before the full bench would.
+* **coordinator wall-seconds per cell** — the flat federated-query
+  per-cell wall (loose band: host-dependent) and the coordinator
+  tree's root-side per-cell wall, which must stay below the tracked
+  flat baseline (the sub-linearity claim, re-verified live).
+* **mask derivations** — HMAC count for a k-regular masked sum must
+  equal ``n * k`` exactly; the vectorized kernels must not change how
+  often key material is touched.
+
+Exit status 0 means every gate passed; 1 means a regression (or a
+missing/ill-formed tracked file). Run from anywhere:
+
+    python tools/bench_gate.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(ROOT), str(ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+# Wall-clock comparisons run on arbitrarily loaded CI hosts; cost
+# metrics only fail when they exceed tracked * WALL_FACTOR.
+WALL_FACTOR = 10.0
+# Deterministic (device-time / message-count) rates get a tight band.
+RATE_BAND = 1.5
+# Page counts per row drift slightly with sampling density.
+PAGES_FACTOR = 2.0
+
+
+class Gate:
+    def __init__(self) -> None:
+        self.rows: list[tuple[str, str, bool]] = []
+
+    def check(self, name: str, detail: str, ok: bool) -> None:
+        self.rows.append((name, detail, bool(ok)))
+
+    def max_ratio(self, name: str, measured: float, tracked: float,
+                  factor: float) -> None:
+        self.check(
+            name,
+            f"measured {measured:.6g} vs tracked {tracked:.6g} "
+            f"(allowed <= {factor:g}x)",
+            measured <= tracked * factor,
+        )
+
+    def band(self, name: str, measured: float, tracked: float,
+             factor: float) -> None:
+        self.check(
+            name,
+            f"measured {measured:.6g} vs tracked {tracked:.6g} "
+            f"(allowed within {factor:g}x)",
+            tracked / factor <= measured <= tracked * factor,
+        )
+
+    def report(self) -> int:
+        width = max(len(name) for name, _, _ in self.rows)
+        failed = 0
+        for name, detail, ok in self.rows:
+            mark = "PASS" if ok else "FAIL"
+            failed += not ok
+            print(f"  {mark}  {name:<{width}}  {detail}")
+        return failed
+
+
+def gate_store(gate: Gate, tracked: dict) -> None:
+    from benchmarks.bench_store_scale import (
+        OBS,
+        SMOKE_MONTH_DAYS,
+        SMOKE_QUERY_WINDOW_S,
+        SMOKE_SAMPLE_PERIOD,
+        _day_trace,
+        measure_ingest,
+        measure_queries,
+    )
+    OBS.reset()
+    OBS.enable()
+    day = _day_trace(0, SMOKE_SAMPLE_PERIOD)
+    ingest = measure_ingest(day, SMOKE_MONTH_DAYS, SMOKE_SAMPLE_PERIOD)
+    gate.band(
+        "store records/sec (batch ingest, device)",
+        ingest["batch"]["records_per_sec_device"],
+        tracked["ingest"]["batch"]["records_per_sec_device"],
+        RATE_BAND,
+    )
+    gate.check(
+        "store batch >= 5x single-record (device)",
+        f"speedup {ingest['batch_speedup_device']:g}x",
+        ingest["meets_5x"],
+    )
+    queries = measure_queries(day, SMOKE_QUERY_WINDOW_S)
+    gate.max_ratio(
+        "store pages read per row (index plan)",
+        queries["index"]["pages_read"] / queries["rows"],
+        tracked["queries"]["index"]["pages_read"]
+        / tracked["queries"]["rows"],
+        PAGES_FACTOR,
+    )
+    tracked_advantage = (tracked["queries"]["scan"]["pages_read"]
+                         / tracked["queries"]["index"]["pages_read"])
+    advantage = (queries["scan"]["pages_read"]
+                 / queries["index"]["pages_read"])
+    gate.check(
+        "store index/scan page advantage",
+        f"measured {advantage:.1f}x vs tracked {tracked_advantage:.1f}x "
+        f"(allowed >= half)",
+        advantage >= tracked_advantage / 2,
+    )
+
+
+def gate_aggregation(gate: Gate, tracked: dict) -> None:
+    from benchmarks.bench_aggregation_scale import measure_masked_sum
+    size, neighbors = 150, 8
+    row = measure_masked_sum(size, neighbors)
+    gate.check(
+        "aggregation masked sum exact",
+        f"n={size} k={neighbors}",
+        row["exact"],
+    )
+    gate.check(
+        "aggregation HMAC derivations == n*k",
+        f"measured {row['hmac_derivations']} vs {size * neighbors}",
+        row["hmac_derivations"] == size * neighbors,
+    )
+    tracked_row = next(
+        entry for entry in tracked["masked_sum"]
+        if entry["graph"] != "complete"
+        and entry["n"] == max(e["n"] for e in tracked["masked_sum"])
+    )
+    tracked_rate = tracked_row["hmac_derivations"] / tracked_row["seconds"]
+    rate = row["hmac_derivations"] / row["seconds"] if row["seconds"] else 0.0
+    gate.check(
+        "aggregation mask derivations/sec (wall)",
+        f"measured {rate:.6g} vs tracked {tracked_rate:.6g} "
+        f"(allowed >= 1/{WALL_FACTOR:g})",
+        rate >= tracked_rate / WALL_FACTOR,
+    )
+
+
+def gate_fedquery(gate: Gate, tracked: dict) -> None:
+    from benchmarks.bench_fedquery_scale import (
+        SMOKE_CELLS,
+        SMOKE_NEIGHBORS,
+        TREE_SMOKE_CELLS,
+        TREE_SMOKE_NEIGHBORS,
+        TREE_SMOKE_REGIONS,
+        TRANSFORM_EXACT,
+        measure_transforms,
+        measure_tree,
+    )
+    transforms = measure_transforms(SMOKE_CELLS, SMOKE_NEIGHBORS)
+    exact = next(
+        row for row in transforms["rows"]
+        if row["transform"] == TRANSFORM_EXACT
+    )
+    tracked_exact = next(
+        row for row in tracked["transforms"]["rows"]
+        if row["transform"] == TRANSFORM_EXACT
+    )
+    tracked_cells = tracked["fleet"]["cells"]
+    gate.band(
+        "fedquery messages per cell (flat exact)",
+        exact["messages"] / SMOKE_CELLS,
+        tracked_exact["messages"] / tracked_cells,
+        RATE_BAND,
+    )
+    gate.max_ratio(
+        "fedquery coordinator wall-seconds per cell (flat)",
+        exact["wall_seconds"] / SMOKE_CELLS,
+        tracked_exact["wall_seconds"] / tracked_cells,
+        WALL_FACTOR,
+    )
+    gate.check(
+        "fedquery flat exact vs oracle",
+        f"error {exact['error_vs_oracle']:g}",
+        exact["outcome"] == "complete" and exact["error_vs_oracle"] < 1e-6,
+    )
+    baseline = tracked["hierarchy"]["flat_baseline_per_cell"]
+    tree = measure_tree(
+        TREE_SMOKE_CELLS, TREE_SMOKE_REGIONS, TREE_SMOKE_NEIGHBORS,
+        baseline,
+    )
+    quiet = tree["rows"][0]
+    gate.check(
+        "fedquery tree root messages per cell < flat baseline",
+        f"measured {quiet['root_per_cell_messages']:g} vs baseline "
+        f"{baseline['messages']:g}",
+        quiet["root_per_cell_messages"] < baseline["messages"],
+    )
+    gate.check(
+        "fedquery tree root wall per cell < flat baseline",
+        f"measured {quiet['root_per_cell_wall_ms']:g} ms vs baseline "
+        f"{baseline['wall_ms']:g} ms",
+        quiet["root_per_cell_wall_ms"] < baseline["wall_ms"],
+    )
+    gate.check(
+        "fedquery tree quiet control clean",
+        f"faults {quiet['faults_injected']} reasks {quiet['reasks']}",
+        tree["no_fault_path_clean"],
+    )
+
+
+SECTIONS = (
+    ("BENCH_store.json", gate_store),
+    ("BENCH_aggregation.json", gate_aggregation),
+    ("BENCH_fedquery.json", gate_fedquery),
+)
+
+
+def main() -> int:
+    gate = Gate()
+    for filename, runner in SECTIONS:
+        path = ROOT / filename
+        print(f"== {filename}")
+        try:
+            tracked = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            gate.check(filename, f"unreadable tracked file: {error}", False)
+            continue
+        started = time.perf_counter()
+        try:
+            runner(gate, tracked)
+        except Exception as error:  # a crash in a bench IS a regression
+            gate.check(filename, f"smoke re-run crashed: {error!r}", False)
+        print(f"   ({time.perf_counter() - started:.1f}s)")
+    print("== summary")
+    failed = gate.report()
+    if failed:
+        print(f"bench gate: {failed} regression(s)")
+        return 1
+    print("bench gate: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
