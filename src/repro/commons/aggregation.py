@@ -50,6 +50,7 @@ and report message/byte/round accounting.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 
 from ..crypto import shamir
@@ -128,6 +129,10 @@ def _masking_peers(nodes: list["AggregationNode"], position: int,
             yield nodes[peer_position]
 
 
+# One-shot flag for the preshared deprecation notice (tests reset it).
+_PRESHARED_WARNED = [False]
+
+
 class AggregationNode:
     """One participant: a name, a value source, and key material."""
 
@@ -139,11 +144,26 @@ class AggregationNode:
         # then reused across rounds — exactly as a real deployment would.
         self._pairwise_cache: dict[str, bytes] = {}
         self._preshared: bytes | None = None
+        # Bumped whenever this node's key material changes universe
+        # (key rotation); part of the roster-memo token below.
+        self.generation = 0
         # Per-(peer, round) keystream cache: seed plus the expanded
         # field elements. The dropout-recovery round re-reads masks
         # from here instead of re-deriving them.
         self.cache_masks = cache_masks
         self._mask_cache: dict[tuple[str, str], tuple[bytes, list[int]]] = {}
+
+    def roster_token(self):
+        """Hashable identity of this node's key-material universe.
+
+        Two nodes with equal tokens resolve any roster to equivalent
+        peers, so gate-level roster resolution may be memoized under
+        it. ``None`` means resolution through this node must never be
+        cached (per-ring DH nodes: each object is its own universe).
+        """
+        if self._preshared is not None:
+            return ("preshared", self._preshared, self.generation)
+        return None
 
     @classmethod
     def from_cell(cls, cell) -> "AggregationNode":
@@ -166,6 +186,36 @@ class AggregationNode:
         and scale tests where key *establishment* is out of scope (a
         deployment pays it once per peer, then reuses the key across
         every round). All nodes of a population must share the secret.
+
+        .. deprecated::
+            The hashed group secret is a single point of class break —
+            one leak unmasks every fleet round. New code should obtain
+            nodes from :class:`repro.keymgmt.KeyDirectory`, which does
+            real ring-edge key agreement with epoch rotation and
+            revocation. This constructor keeps working for legacy
+            benches and emits a one-time :class:`DeprecationWarning`.
+        """
+        if not _PRESHARED_WARNED[0]:
+            _PRESHARED_WARNED[0] = True
+            warnings.warn(
+                "AggregationNode.preshared hashes every pairwise key from "
+                "one group secret (a single point of class break); use "
+                "repro.keymgmt.KeyDirectory for agreed, rotatable, "
+                "revocable ring keys",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return cls._with_group_secret(name, group_secret,
+                                      cache_masks=cache_masks)
+
+    @classmethod
+    def _with_group_secret(cls, name: str, group_secret: bytes, *,
+                           cache_masks: bool = True) -> "AggregationNode":
+        """Internal preshared constructor (no deprecation notice).
+
+        The engine still synthesizes preshared stubs on legacy paths
+        (sharded fleets resolving out-of-shard names); those calls are
+        implementation detail, not user-facing API choice.
         """
         node = cls(name, None, cache_masks=cache_masks)
         node._preshared = group_secret

@@ -18,6 +18,7 @@ Key derivation tree::
     master_secret
       |-- "sign"                  -> Schnorr signing key seed
       |-- "exchange"              -> Diffie-Hellman exchange secret
+      |-- "prekey"                -> signed-prekey secret (X3DH agreement)
       |-- "audit"                 -> audit-log MAC key
       |-- "object:<id>:<version>" -> per-object data key
 """
@@ -31,6 +32,34 @@ from . import shamir
 from .aead import SealedBlob, open_sealed, seal
 from .primitives import KEY_SIZE, hkdf, sha256
 from .signing import G, P, Q, SigningKey, VerifyKey
+
+_GROUP_BYTES = (P.bit_length() + 7) // 8
+
+
+def prekey_signing_bytes(signed_prekey_public: int) -> bytes:
+    """The domain-tagged message a cell signs over its prekey element."""
+    return b"x3dh-prekey|" + signed_prekey_public.to_bytes(_GROUP_BYTES, "big")
+
+
+def generate_exchange_keypair(rng: random.Random) -> tuple[int, int]:
+    """A fresh ephemeral DH pair ``(secret, public)`` for X3DH initiation."""
+    secret = int.from_bytes(rng.randbytes(32), "big") % Q or 1
+    return secret, pow(G, secret, P)
+
+
+def _x3dh_key(dh1: int, dh2: int, dh3: int) -> bytes:
+    """Fold the three X3DH shared elements into one symmetric key."""
+    return sha256(
+        b"x3dh|"
+        + dh1.to_bytes(_GROUP_BYTES, "big")
+        + dh2.to_bytes(_GROUP_BYTES, "big")
+        + dh3.to_bytes(_GROUP_BYTES, "big")
+    )[:KEY_SIZE]
+
+
+def _require_group_element(value: int, what: str) -> None:
+    if not 1 < value < P:
+        raise ConfigurationError(f"{what} out of range")
 
 
 class KeyRing:
@@ -50,6 +79,10 @@ class KeyRing:
         self._signing_key = SigningKey.from_seed(hkdf(master_secret, "sign"))
         exchange_seed = hkdf(master_secret, "exchange", 32)
         self._exchange_secret = int.from_bytes(exchange_seed, "big") % Q or 1
+        # The signed-prekey secret is derived lazily on first use: most
+        # rings never take part in X3DH agreement, and the derivation
+        # counts against the keyed-derivation oracle.
+        self._prekey_secret_cache: int | None = None
         # Keys imported from other cells through the sharing protocol,
         # indexed by (object_id, version).
         self._imported: dict[tuple[str, int], bytes] = {}
@@ -104,6 +137,67 @@ class KeyRing:
         shared = pow(peer_exchange_public, self._exchange_secret, P)
         size = (P.bit_length() + 7) // 8
         return sha256(b"pairwise" + shared.to_bytes(size, "big"))[:KEY_SIZE]
+
+    # -- X3DH-style asynchronous agreement ---------------------------------
+
+    def _prekey_secret(self) -> int:
+        if self._prekey_secret_cache is None:
+            seed = hkdf(self._master, "prekey", 32)
+            self._prekey_secret_cache = int.from_bytes(seed, "big") % Q or 1
+        return self._prekey_secret_cache
+
+    @property
+    def signed_prekey_public(self) -> int:
+        """This cell's public signed-prekey element ``g^spk``.
+
+        Published in a prekey bundle so peers can complete a key
+        agreement while this cell is offline (the X3DH pattern); the
+        bundle carries a Schnorr signature over this element so a
+        directory cannot substitute its own prekey.
+        """
+        return pow(G, self._prekey_secret(), P)
+
+    def sign_prekey(self):
+        """The Schnorr signature binding the prekey to this identity."""
+        return self._signing_key.sign(
+            prekey_signing_bytes(self.signed_prekey_public)
+        )
+
+    def x3dh_initiate(
+        self,
+        peer_identity_public: int,
+        peer_signed_prekey_public: int,
+        ephemeral_secret: int,
+    ) -> bytes:
+        """Initiator side of an X3DH agreement against a peer's bundle.
+
+        ``peer_identity_public`` is the peer's long-term DH element
+        (:attr:`exchange_public`); the ephemeral secret comes from
+        :func:`generate_exchange_keypair` and its public half must be
+        delivered to the peer so :meth:`x3dh_respond` can run — the
+        peer needs nothing else, so it may be offline right now.
+        """
+        _require_group_element(peer_identity_public, "peer identity element")
+        _require_group_element(peer_signed_prekey_public, "peer prekey element")
+        dh1 = pow(peer_signed_prekey_public, self._exchange_secret, P)
+        dh2 = pow(peer_identity_public, ephemeral_secret, P)
+        dh3 = pow(peer_signed_prekey_public, ephemeral_secret, P)
+        return _x3dh_key(dh1, dh2, dh3)
+
+    def x3dh_respond(
+        self,
+        initiator_identity_public: int,
+        initiator_ephemeral_public: int,
+    ) -> bytes:
+        """Responder side: same key as the initiator's, computed later."""
+        _require_group_element(
+            initiator_identity_public, "initiator identity element")
+        _require_group_element(
+            initiator_ephemeral_public, "initiator ephemeral element")
+        dh1 = pow(initiator_identity_public, self._prekey_secret(), P)
+        dh2 = pow(initiator_ephemeral_public, self._exchange_secret, P)
+        dh3 = pow(initiator_ephemeral_public, self._prekey_secret(), P)
+        return _x3dh_key(dh1, dh2, dh3)
 
     def wrap_object_key(
         self, object_id: str, version: int, peer_exchange_public: int

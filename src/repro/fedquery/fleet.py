@@ -16,8 +16,15 @@ material.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from ..commons.aggregation import AggregationNode
+from ..commons.aggregation import (
+    AggregationNode,
+    _effective_degree,
+    ring_neighbor_positions,
+)
+from ..crypto.keys import KeyRing
+from ..errors import ConfigurationError
 from ..hardware.flash import NandFlash
 from ..hardware.profiles import FlashTimings
 from ..infrastructure.network import Network
@@ -25,6 +32,9 @@ from ..sim.world import World
 from ..store.catalog import Catalog
 from .cell import CatalogSource, CellQueryAgent
 from .spec import FedQuerySpec
+
+if TYPE_CHECKING:  # imported lazily at runtime (keymgmt imports commons)
+    from ..keymgmt.directory import KeyDirectory
 
 #: A smart-meter-class device: 512 B pages, 16-page blocks, 64 KiB.
 TINY_FLASH = FlashTimings(
@@ -54,10 +64,77 @@ class Fleet:
     # Sharded builds only: the contiguous per-region rosters (empty for
     # a monolithic build).
     shard_rosters: list[list[str]] = field(default_factory=list)
+    # Key-lifecycle builds only: the fleet's key directory, the live
+    # directory dicts its agents resolve peers through (one per shard,
+    # or one fleet-wide), the masking degree the ring was agreed at,
+    # and the names revoked since the build.
+    key_directory: "KeyDirectory | None" = None
+    directories: list[dict[str, AggregationNode]] = field(default_factory=list)
+    ring_neighbors: int | None = None
+    revoked: set[str] = field(default_factory=set)
 
     @property
     def roster(self) -> list[str]:
-        return list(self.agents)
+        return [name for name in self.agents if name not in self.revoked]
+
+    # -- key lifecycle -----------------------------------------------------
+
+    def refresh_keys(self) -> None:
+        """Re-issue every agent's node at the directory's current epoch.
+
+        Swaps fresh :class:`~repro.keymgmt.directory.EpochNode` objects
+        into every agent *and* every live directory dict atomically
+        (in-place: the agents hold references to the dicts), so the
+        whole fleet masks from one coherent (epoch, generation) and the
+        ring masks still cancel exactly. Removed members disappear from
+        the dicts entirely.
+        """
+        directory = self._require_directory()
+        nodes = directory.issue_all()
+        active = directory.roster()
+        positions = {name: index for index, name in enumerate(active)}
+        degree = _effective_degree(len(active), self.ring_neighbors)
+        rosters = self.shard_rosters or [list(self.agents)]
+        for shard_roster, shard_directory in zip(rosters, self.directories):
+            shard_directory.clear()
+            for name in shard_roster:
+                node = nodes.get(name)
+                if node is None:
+                    continue  # revoked or departed
+                shard_directory[name] = node
+                if degree is None:
+                    shard_directory.update(nodes)
+                    continue
+                # Cross-shard ring neighbors: the hierarchical path
+                # resolves a boundary peer from this shard's dict, so
+                # its epoch node must already be there.
+                for peer_position in ring_neighbor_positions(
+                        positions[name], len(active), degree):
+                    peer = active[peer_position]
+                    shard_directory[peer] = nodes[peer]
+        for name, agent in self.agents.items():
+            node = nodes.get(name)
+            if node is not None:
+                agent.node = node
+
+    def advance_epoch(self) -> int:
+        """Rotate the fleet's ring keys one epoch; re-keys every agent."""
+        epoch = self._require_directory().advance_epoch()
+        self.refresh_keys()
+        return epoch
+
+    def revoke(self, name: str) -> None:
+        """Revoke one cell fleet-wide: banned from the directory,
+        excluded from every future epoch, dropped from the roster."""
+        self._require_directory().revoke(name)
+        self.revoked.add(name)
+        self.refresh_keys()
+
+    def _require_directory(self) -> "KeyDirectory":
+        if self.key_directory is None:
+            raise ConfigurationError(
+                "this fleet was built without key_lifecycle=True")
+        return self.key_directory
 
     def ground_truth(self, spec: FedQuerySpec,
                      roster: list[str] | None = None) -> float:
@@ -96,6 +173,7 @@ def _build_cell(
     directory: dict[str, AggregationNode],
     purposes: set[str],
     hours: int,
+    node: AggregationNode | None = None,
 ) -> None:
     """One store-backed cell: tiny flash, catalog, agent, key material."""
     world = fleet.world
@@ -131,7 +209,8 @@ def _build_cell(
             "disease": rng.choice(DISEASES),
         },
     )
-    node = AggregationNode.preshared(name, fleet.secret)
+    if node is None:
+        node = AggregationNode._with_group_secret(name, fleet.secret)
     directory[name] = node
     fleet.agents[name] = CellQueryAgent(
         world, fleet.network, name, node, CatalogSource(catalog),
@@ -140,6 +219,29 @@ def _build_cell(
     )
     fleet.catalogs[name] = catalog
     fleet.layouts[name] = layout
+
+
+def _agreed_nodes(
+    fleet: Fleet, names: list[str], ring_neighbors: int | None,
+) -> dict[str, AggregationNode]:
+    """Stand up the fleet's key directory and issue epoch-0 nodes.
+
+    Key-ring masters come from dedicated ``keymgmt.*`` world streams —
+    *not* the ``fleet.*`` streams the cell data is drawn from — so a
+    key-lifecycle fleet's stores and values are byte-identical to the
+    preshared build's and the quiet-path totals pin bit-for-bit.
+    """
+    from ..keymgmt.directory import KeyDirectory
+
+    world = fleet.world
+    directory = KeyDirectory(
+        rng=world.rng("keymgmt.directory"), neighbors=ring_neighbors)
+    for name in names:
+        directory.enroll(name, KeyRing.generate(world.rng(f"keymgmt.{name}")))
+    directory.activate()
+    fleet.key_directory = directory
+    fleet.ring_neighbors = ring_neighbors
+    return directory.issue_all()
 
 
 def build_fleet(
@@ -151,6 +253,8 @@ def build_fleet(
     hours: int = 24,
     secret: bytes = b"fedquery-fleet-secret",
     name_prefix: str = "cell",
+    key_lifecycle: bool = False,
+    ring_neighbors: int | None = 32,
 ) -> Fleet:
     """Build ``size`` store-backed cells registered on ``network``.
 
@@ -160,15 +264,29 @@ def build_fleet(
     All cells share one fleet-wide directory — the monolithic build
     the flat coordinator wants; very large fleets should use
     :func:`build_fleet_sharded` instead.
+
+    With ``key_lifecycle=True`` the cells mask from a
+    :class:`~repro.keymgmt.KeyDirectory` instead of the preshared
+    group secret: ring-edge keys are agreed (X3DH over prekey bundles)
+    at ``ring_neighbors`` degree, and ``Fleet.advance_epoch`` /
+    ``Fleet.revoke`` become available. Queries should then use the
+    same ``neighbors=ring_neighbors`` degree — a cell holds keys for
+    its agreed ring edges only. ``secret`` is still used for sealed
+    ``records-kanon`` recipient keys.
     """
     fleet = Fleet(world=world, network=network, secret=secret)
     purposes = purposes if purposes is not None else {"load-forecast"}
+    names = [_cell_name(name_prefix, position, size)
+             for position in range(size)]
+    nodes = _agreed_nodes(fleet, names, ring_neighbors) if key_lifecycle \
+        else {}
     directory: dict[str, AggregationNode] = {}
-    for position in range(size):
+    for position, name in enumerate(names):
         _build_cell(
-            fleet, position, _cell_name(name_prefix, position, size),
-            directory, purposes, hours,
+            fleet, position, name, directory, purposes, hours,
+            node=nodes.get(name),
         )
+    fleet.directories = [directory]
     return fleet
 
 
@@ -182,6 +300,8 @@ def build_fleet_sharded(
     hours: int = 24,
     secret: bytes = b"fedquery-fleet-secret",
     name_prefix: str = "cell",
+    key_lifecycle: bool = False,
+    ring_neighbors: int | None = 32,
 ) -> Fleet:
     """Build a large fleet as a fan-out of ``shards`` shard builds.
 
@@ -194,11 +314,20 @@ def build_fleet_sharded(
     global roster; out-of-shard ring neighbors resolve through the
     preshared group secret at masking time — and keeps each build step
     O(shard). The per-region rosters land in ``Fleet.shard_rosters``.
+
+    With ``key_lifecycle=True`` out-of-shard neighbors cannot be
+    synthesized (there is no group secret to hash a stub from), so
+    each shard's dict is pre-seeded with the directory-issued epoch
+    nodes of its members' cross-shard ring neighbors — still O(shard
+    + boundary), never the global roster.
     """
     if shards < 1:
         raise ValueError("a sharded build needs at least one shard")
     fleet = Fleet(world=world, network=network, secret=secret)
     purposes = purposes if purposes is not None else {"load-forecast"}
+    names = [_cell_name(name_prefix, index, size) for index in range(size)]
+    nodes = _agreed_nodes(fleet, names, ring_neighbors) if key_lifecycle \
+        else {}
     count = min(shards, size)
     base, extra = divmod(size, count)
     position = 0
@@ -207,9 +336,14 @@ def build_fleet_sharded(
         directory: dict[str, AggregationNode] = {}
         roster = []
         for _ in range(shard_size):
-            name = _cell_name(name_prefix, position, size)
-            _build_cell(fleet, position, name, directory, purposes, hours)
+            name = names[position]
+            _build_cell(fleet, position, name, directory, purposes, hours,
+                        node=nodes.get(name))
             roster.append(name)
             position += 1
         fleet.shard_rosters.append(roster)
+        fleet.directories.append(directory)
+    if key_lifecycle:
+        # Seed every shard's boundary neighbors at the current epoch.
+        fleet.refresh_keys()
     return fleet

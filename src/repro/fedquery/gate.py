@@ -70,16 +70,18 @@ def _roster_nodes(directory: Directory, roster: list[str]) -> list[AggregationNo
     return nodes
 
 
-# Memoized roster resolution for preshared fleets, keyed by (group
-# secret, roster).  Every cell of a fleet resolves the *same* roster
-# for the same query, and repeated queries reuse the same roster — so
-# the per-call name->node walk (O(N) per cell, O(N^2) per fan-out) is
-# paid once per distinct roster instead.  Only preshared nodes are
-# safe to share this way: their key material is a pure function of
-# (secret, name), so any resolution of the roster yields equivalent
-# peers.  Bounded FIFO so ad-hoc test rosters cannot grow it without
-# limit.
-_ROSTER_CACHE: dict[tuple[bytes, tuple[str, ...]], tuple[
+# Memoized roster resolution, keyed by (roster token, roster).  Every
+# cell of a fleet resolves the *same* roster for the same query, and
+# repeated queries reuse the same roster — so the per-call name->node
+# walk (O(N) per cell, O(N^2) per fan-out) is paid once per distinct
+# roster instead.  The token (`AggregationNode.roster_token`) names the
+# node's key-material universe — (secret, generation) for preshared
+# nodes, (directory, epoch, generation) for directory-issued epoch
+# nodes — so a key rotation changes the key and stale resolutions can
+# never be served across an epoch.  A `None` token disables memoization
+# (per-ring DH nodes).  Bounded FIFO so ad-hoc test rosters cannot grow
+# it without limit.
+_ROSTER_CACHE: dict[tuple, tuple[
     list[AggregationNode], dict[str, int]]] = {}
 _ROSTER_CACHE_MAX = 64
 
@@ -89,11 +91,12 @@ def _resolved_roster(
     directory: Directory,
     roster: list[str],
 ) -> tuple[list[AggregationNode], dict[str, int]]:
-    """Roster names to (nodes, position map), memoized when preshared."""
+    """Roster names to (nodes, position map), memoized when tokenized."""
     secret = node._preshared
+    token = node.roster_token()
     key = None
-    if secret is not None:
-        key = (secret, tuple(roster))
+    if token is not None:
+        key = (token, tuple(roster))
         cached = _ROSTER_CACHE.get(key)
         if cached is not None:
             return cached
@@ -103,9 +106,12 @@ def _resolved_roster(
     else:
         # Preshared fleets can synthesize key material for any name, so
         # a member absent from this cell's (possibly shard-local)
-        # directory still resolves.
+        # directory still resolves.  Directory-issued nodes cannot (and
+        # must not — a missing name means no agreed edge): they resolve
+        # strictly through _roster_nodes above.
         nodes = [
-            directory.get(name) or AggregationNode.preshared(name, secret)
+            directory.get(name)
+            or AggregationNode._with_group_secret(name, secret)
             for name in roster
         ]
     if key is not None:
@@ -153,7 +159,7 @@ def _window_peers(
                 raise ProtocolError(
                     f"no key material for roster member {name!r}"
                 )
-            peer = AggregationNode.preshared(name, secret)
+            peer = AggregationNode._with_group_secret(name, secret)
             directory[name] = peer  # cache the stub for later rounds
         peers.append((peer, peer_position))
     return position, peers

@@ -1,0 +1,44 @@
+"""Key lifecycle for trusted-cell fleets.
+
+Scalable pairwise key agreement along the masking-ring edges (X3DH
+over prekey bundles, O(N·k) — never N²), epoch-based ratcheted
+rotation, and join/leave/revocation as first-class fleet events. See
+``docs/protocols.md`` ("Key lifecycle") and ``docs/threat-model.md``
+(epoch containment).
+
+* :class:`KeyDirectory` / :class:`EpochNode` — the trusted-side
+  authority and the nodes it issues (:mod:`repro.keymgmt.directory`).
+* :class:`PrekeyBundle` — the published agreement material
+  (:mod:`repro.keymgmt.prekeys`).
+* :class:`DirectoryService` / :class:`KeyClient` — rotation notices
+  and acks over the untrusted network, with retry under churn
+  (:mod:`repro.keymgmt.service`).
+"""
+
+from .directory import (
+    AGREEMENT_HASHED,
+    AGREEMENT_X3DH,
+    EpochNode,
+    KeyDirectory,
+)
+from .prekeys import PrekeyBundle
+from .service import (
+    DIRECTORY_ADDRESS,
+    ROTATION_RETRY,
+    DirectoryService,
+    KeyClient,
+    RotationStatus,
+)
+
+__all__ = [
+    "AGREEMENT_HASHED",
+    "AGREEMENT_X3DH",
+    "DIRECTORY_ADDRESS",
+    "DirectoryService",
+    "EpochNode",
+    "KeyClient",
+    "KeyDirectory",
+    "PrekeyBundle",
+    "ROTATION_RETRY",
+    "RotationStatus",
+]

@@ -1,0 +1,86 @@
+"""Prekey bundles: the published half of asynchronous key agreement.
+
+A cell that wants to be agreed-with while offline publishes a
+*prekey bundle* — its long-term identity elements plus a signed
+prekey — to the key directory (the X3DH pattern, following the
+TDS-context key-exchange design of arXiv:1509.03646). Any peer can
+then run the initiator side of :meth:`~repro.crypto.keys.KeyRing.
+x3dh_initiate` against the bundle at any time; the sleeping cell
+completes its side from the initiator's ephemeral element whenever it
+next wakes up.
+
+The Schnorr signature over the prekey element stops a malicious
+directory from substituting its own prekey (which would let it sit in
+the middle of every agreement it brokered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.keys import KeyRing, prekey_signing_bytes
+from ..crypto.signing import Signature, VerifyKey
+from ..errors import IntegrityError
+
+
+@dataclass(frozen=True)
+class PrekeyBundle:
+    """One cell's published agreement material."""
+
+    name: str
+    #: Long-term DH identity element (``KeyRing.exchange_public``).
+    identity_public: int
+    #: Schnorr verification element (``KeyRing.verify_key.element``).
+    verify_element: int
+    #: The signed prekey element ``g^spk``.
+    signed_prekey_public: int
+    #: Schnorr signature over the prekey element, wire form.
+    prekey_signature: bytes
+
+    @classmethod
+    def publish(cls, name: str, ring: KeyRing) -> "PrekeyBundle":
+        """Build this cell's bundle from its key ring."""
+        return cls(
+            name=name,
+            identity_public=ring.exchange_public,
+            verify_element=ring.verify_key.element,
+            signed_prekey_public=ring.signed_prekey_public,
+            prekey_signature=ring.sign_prekey().to_bytes(),
+        )
+
+    def require_valid(self) -> None:
+        """Raise :class:`IntegrityError` unless the prekey signature
+        verifies under the bundle's own identity key."""
+        VerifyKey(self.verify_element).require_valid(
+            prekey_signing_bytes(self.signed_prekey_public),
+            Signature.from_bytes(self.prekey_signature),
+        )
+
+    def verify(self) -> bool:
+        try:
+            self.require_valid()
+        except IntegrityError:
+            return False
+        return True
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """JSON-safe form (group elements as hex) for directory messages."""
+        return {
+            "name": self.name,
+            "identity": format(self.identity_public, "x"),
+            "verify": format(self.verify_element, "x"),
+            "prekey": format(self.signed_prekey_public, "x"),
+            "signature": self.prekey_signature.hex(),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "PrekeyBundle":
+        return cls(
+            name=payload["name"],
+            identity_public=int(payload["identity"], 16),
+            verify_element=int(payload["verify"], 16),
+            signed_prekey_public=int(payload["prekey"], 16),
+            prekey_signature=bytes.fromhex(payload["signature"]),
+        )

@@ -57,6 +57,82 @@ class TestFaultMatrixSmoke:
         assert report.agg_complete and not report.agg_partial
 
 
+def _keymgmt_fleet(n, seed):
+    """A directory + notice service + per-cell lifecycle clients."""
+    from repro.crypto.keys import KeyRing
+    from repro.infrastructure.network import Network
+    from repro.keymgmt import DirectoryService, KeyClient, KeyDirectory
+    from repro.sim.world import World
+
+    world = World(seed=seed)
+    network = Network(world)
+    directory = KeyDirectory(rng=world.rng("keymgmt.directory"), neighbors=4)
+    clients = {}
+    for i in range(n):
+        name = f"cell-{i:04d}"
+        directory.enroll(name, KeyRing.generate(world.rng(f"km.{name}")))
+        clients[name] = KeyClient(world, network, name)
+    directory.activate()
+    service = DirectoryService(world, network, directory)
+    return world, network, directory, service, clients
+
+
+class TestKeymgmtQuietControl:
+    def test_quiet_rotation_records_no_faults_or_retries(self):
+        # acceptance: with no fault plan attached, a full rotation
+        # converges on the first send — zero faults, zero retries
+        world, network, directory, service, clients = _keymgmt_fleet(8, 11)
+        tag = service.advance_epoch()
+        world.loop.run_until(world.now + 600)
+        status = service.rotations[tag]
+        assert status.complete
+        assert service.exclusion_latency(tag) == 0.0
+        assert status.retry_index == 0
+        assert not status.exhausted
+        assert all(client.epoch == 1 for client in clients.values())
+
+
+@pytest.mark.soak
+class TestKeymgmtChurnSoak:
+    """Revocation under the churning profile, end to end."""
+
+    def test_revoked_cell_cannot_unmask_after_churny_rotation(self):
+        from repro.errors import ProtocolError
+        from repro.faults.injector import FaultInjector
+
+        world, network, directory, service, clients = _keymgmt_fleet(40, 11)
+        stale_nodes = directory.issue_all()  # epoch-0 keys, incl. the victim
+        addresses = sorted(clients)
+        plan = FaultPlan.churning(seed=3, addresses=addresses)
+        injector = FaultInjector(world, plan)
+        injector.attach_network(network)
+        horizon = 6 * 3600
+        injector.schedule_churn(network, horizon)
+        world.loop.run_until(600)
+        tag = service.revoke("cell-0003")
+        world.loop.run_until(horizon)
+        status = service.rotations[tag]
+        # the notice fought real churn and still converged
+        assert status.complete, status
+        assert injector.injected_total > 0
+        assert status.retry_index > 0
+        assert service.exclusion_latency(tag) > 0.0
+        # every survivor knows the exclusion and reached epoch 1
+        for name, client in clients.items():
+            if name == "cell-0003":
+                continue
+            assert "cell-0003" in client.excluded, name
+            assert client.epoch == 1, name
+        # and the revoked cell's kept epoch-0 keys unmask nothing at
+        # epoch 1: no surviving node holds any edge to it any more
+        victim = stale_nodes["cell-0003"]
+        fresh = directory.issue_all()
+        assert "cell-0003" not in fresh
+        for peer in victim._epoch_keys:
+            with pytest.raises(ProtocolError):
+                fresh[peer].pairwise_mask(victim, "round-e1")
+
+
 @pytest.mark.soak
 class TestChaosSoak:
     """Long horizon, every fault class at once, several seeds."""

@@ -1,4 +1,6 @@
-"""Tests for share revocation semantics."""
+"""Tests for revocation semantics: shared objects and fleet keys."""
+
+import random
 
 import pytest
 
@@ -116,3 +118,84 @@ class TestRevocation:
             entry.action == "revoke" and entry.allowed
             for entry in alice_cell.audit.entries()
         )
+
+
+class TestMaskKeyRevocation:
+    """Fleet-key revocation: a revoked cell's keys die with its epoch.
+
+    The sticky-policy limit above ("revocation cannot recall bits")
+    has a masking analogue: the revoked cell keeps the epoch-``e`` mask
+    keys it was issued, but after the revocation rotation those keys
+    pair with nothing — every surviving edge has ratcheted past them.
+    """
+
+    def _scene(self):
+        from repro.crypto.keys import KeyRing
+        from repro.keymgmt import KeyDirectory
+
+        directory = KeyDirectory(rng=random.Random(7), neighbors=2)
+        for i in range(6):
+            directory.enroll(f"m{i}", KeyRing.generate(random.Random(i)))
+        directory.activate()
+        return directory
+
+    def test_stale_keys_cancel_nothing_after_revocation(self):
+        from repro.errors import ProtocolError
+
+        directory = self._scene()
+        old_nodes = directory.issue_all()
+        stale = old_nodes["m2"]  # the copy the revoked cell keeps
+        directory.revoke("m2")
+        fresh = directory.issue_all()
+        for peer in stale._epoch_keys:
+            # pre-revocation the edge masks cancelled...
+            assert stale.pairwise_mask(old_nodes[peer], "r1") == \
+                old_nodes[peer].pairwise_mask(stale, "r1")
+            # ...post-revocation no survivor even holds an m2 edge:
+            # the stale masks pair with nothing in the new epoch
+            with pytest.raises(ProtocolError):
+                fresh[peer].pairwise_mask(stale, "r2")
+
+    def test_epoch_keys_are_contained_to_their_epoch(self):
+        """E7/E11 containment: a leaked epoch-``e`` mask key derives
+        none of the epoch-``e+1`` masks, even on surviving edges."""
+        directory = self._scene()
+        old_nodes = directory.issue_all()
+        directory.revoke("m2")
+        fresh = directory.issue_all()
+        compared = 0
+        for name, node in fresh.items():
+            for peer in node._epoch_keys:
+                if peer not in old_nodes or peer == "m2":
+                    continue
+                if peer in old_nodes[name]._epoch_keys:
+                    assert old_nodes[name].pairwise_mask(
+                        old_nodes[peer], "r") != \
+                        node.pairwise_mask(fresh[peer], "r")
+                    compared += 1
+        assert compared > 0
+
+    def test_stale_keys_stay_dead_in_every_later_epoch(self):
+        from repro.errors import ProtocolError
+
+        directory = self._scene()
+        stale = directory.issue_all()["m2"]
+        directory.revoke("m2")
+        for _ in range(3):
+            fresh = directory.issue_all()
+            assert "m2" not in fresh
+            for peer in stale._epoch_keys:
+                with pytest.raises(ProtocolError):
+                    fresh[peer]._pairwise_key_for(stale)
+            directory.advance_epoch()
+
+    def test_survivors_still_sum_exactly_after_revocation(self):
+        from repro.commons.aggregation import MaskedSum
+        from repro.crypto import shamir
+
+        directory = self._scene()
+        directory.revoke("m2")
+        nodes = list(directory.issue_all().values())
+        values = {node.name: 40 + i for i, node in enumerate(nodes)}
+        result = MaskedSum(neighbors=2).run(nodes, values, round_tag="post")
+        assert shamir.decode_signed(result.total) == sum(values.values())

@@ -220,10 +220,99 @@ def gate_fedquery(gate: Gate, tracked: dict) -> None:
     )
 
 
+def gate_keymgmt(gate: Gate, tracked: dict) -> None:
+    from benchmarks.bench_keymgmt_scale import (
+        SMOKE_CELLS,
+        SMOKE_EPOCHS,
+        SMOKE_NEIGHBORS,
+        SMOKE_OFFLINE,
+        measure_equivalence,
+        measure_lifecycle,
+    )
+    lifecycle = measure_lifecycle(
+        SMOKE_CELLS, SMOKE_NEIGHBORS, SMOKE_OFFLINE, SMOKE_EPOCHS)
+    agreement = lifecycle["agreement"]
+    gate.check(
+        "keymgmt ring agreement complete (smoke)",
+        f"{agreement['agreements']} agreements over "
+        f"{agreement['edges']} edges, "
+        f"{agreement['async_completions']} async",
+        agreement["all_edges_agreed"]
+        and agreement["agreements"] == agreement["edges"]
+        and agreement["async_completions"]
+        == agreement["pending_before_wake"] > 0,
+    )
+    tracked_agreement = tracked["agreement"]
+    gate.check(
+        "keymgmt tracked roster is fleet-scale",
+        f"{tracked_agreement['cells']} cells, "
+        f"{tracked_agreement['edges']} edges",
+        tracked_agreement["cells"] >= 10_000
+        and tracked_agreement["all_edges_agreed"],
+    )
+    # X3DH cost is per-edge modexp, so the smoke rate is comparable to
+    # the tracked full-roster rate up to host load.
+    gate.check(
+        "keymgmt agreements/sec (wall)",
+        f"measured {agreement['agreements_per_sec']:.6g} vs tracked "
+        f"{tracked_agreement['agreements_per_sec']:.6g} "
+        f"(allowed >= 1/{WALL_FACTOR:g})",
+        agreement["agreements_per_sec"]
+        >= tracked_agreement["agreements_per_sec"] / WALL_FACTOR,
+    )
+    tracked_rotation = max(
+        row["rotate_ms_per_cell"] for row in tracked["rotation"])
+    measured_rotation = max(
+        row["rotate_ms_per_cell"] for row in lifecycle["rotation"])
+    gate.max_ratio(
+        "keymgmt rotation ms per cell",
+        measured_rotation, tracked_rotation, WALL_FACTOR,
+    )
+    gate.check(
+        "keymgmt rotation really changes keys",
+        f"{len(lifecycle['rotation'])} epochs",
+        all(row["keys_changed"] for row in lifecycle["rotation"]),
+    )
+    tracked_quiet = next(
+        row for row in tracked["revocation"]["rows"]
+        if row["profile"] == "quiet"
+    )
+    tracked_churning = next(
+        row for row in tracked["revocation"]["rows"]
+        if row["profile"] == "churning"
+    )
+    gate.check(
+        "keymgmt tracked quiet revocation clean",
+        f"faults {tracked_quiet['faults_injected']} "
+        f"retries {tracked_quiet['retry_attempts']} "
+        f"latency {tracked_quiet['exclusion_latency_s']}",
+        tracked["revocation"]["no_fault_path_clean"],
+    )
+    gate.check(
+        "keymgmt tracked churning revocation converged",
+        f"latency {tracked_churning['exclusion_latency_s']}s over "
+        f"{tracked_churning['faults_injected']} faults",
+        tracked_churning["completed"]
+        and tracked_churning["survivors_excluding_revoked"]
+        == tracked_churning["survivors"],
+    )
+    equivalence = measure_equivalence()
+    gate.check(
+        "keymgmt totals pinned to preshared (flat+tree, live)",
+        f"flat {equivalence['flat_pinned']} "
+        f"rotated {equivalence['flat_pinned_after_rotation']} "
+        f"tree {equivalence['tree_pinned']}",
+        equivalence["flat_pinned"]
+        and equivalence["flat_pinned_after_rotation"]
+        and equivalence["tree_pinned"],
+    )
+
+
 SECTIONS = (
     ("BENCH_store.json", gate_store),
     ("BENCH_aggregation.json", gate_aggregation),
     ("BENCH_fedquery.json", gate_fedquery),
+    ("BENCH_keymgmt.json", gate_keymgmt),
 )
 
 
