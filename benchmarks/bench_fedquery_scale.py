@@ -8,8 +8,12 @@ SecAgg graph — and records the per-transformation rows the paper's
 against the clear-text oracle, and a leakage audit of everything the
 untrusted coordinator saw. A fault matrix (quiet control vs lossy)
 shows degradation to partial results; the quiet rows must carry zero
-faults and zero re-asks. Emits ``BENCH_fedquery.json`` at the repo
-root so later PRs can track the trajectory.
+faults and zero re-asks. A crash matrix (scale-independent, same rows
+in smoke and full runs) crashes and restarts the coordinators
+mid-query at every phase, flat and tree: each must recover from its
+write-ahead journal to a total bit-for-bit equal to the no-crash
+control. Emits ``BENCH_fedquery.json`` at the repo root so later PRs
+can track the trajectory.
 
 Two entry points:
 
@@ -40,7 +44,8 @@ import time
 from repro.commons.anonymize import is_k_anonymous
 from repro.crypto import shamir
 from repro.errors import IntegrityError
-from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.faults import CrashSpec, FaultInjector, FaultPlan, RetryPolicy
+from repro.faults.scenario import run_crash_scenario
 from repro.fedquery import (
     Coordinator,
     FedQuerySpec,
@@ -74,6 +79,21 @@ TREE_NEIGHBORS = 32
 TREE_SMOKE_CELLS = 150  # 3 regions x ~50 cells
 TREE_SMOKE_REGIONS = 3
 TREE_SMOKE_NEIGHBORS = 8
+
+# The crash matrix runs at a small, scale-independent size in both the
+# smoke and the full report: the recovery invariants (bit-for-bit
+# pinned totals, clean controls, empty leakage audit) do not depend on
+# fleet size, and the fully seeded sim makes every row deterministic —
+# so the smoke test can hold the tracked section to byte equality.
+CRASH_CELLS = 30
+CRASH_NEIGHBORS = 4
+CRASH_TREE_CELLS = 60
+CRASH_TREE_REGIONS = 3
+CRASH_SEED = 3
+CRASH_RESTART_S = 30.0
+
+FLAT_ADDRESS = "fq-coordinator"
+ROOT_ADDRESS = "fq-root"
 
 PURPOSES = {"load-forecast", "study"}
 
@@ -447,6 +467,105 @@ def measure_tree(n_cells: int, regions: int, neighbors: int,
     }
 
 
+# -- crash matrix -------------------------------------------------------------
+
+
+def measure_crashes(seed: int = CRASH_SEED) -> dict:
+    """Coordinator crash/restart at each query phase, flat and tree.
+
+    Every row is one :func:`run_crash_scenario` run: a quiet fleet, at
+    most one injected coordinator crash, and a write-ahead journal on
+    every coordinator. The controls (no crash) must stay clean — zero
+    faults, zero re-asks, ``complete``. The crash rows must *recover*:
+    the restarted coordinator replays its journal, resumes the query,
+    and — because every cell's cached partial makes re-asks
+    idempotent — lands on a total bit-for-bit equal to the control's.
+    The respawn-less region row crashes a regional coordinator with no
+    scheduled restart and leans on root failover (``_respawn_region``)
+    instead. The offline row combines a crash with permanently dark
+    cells and must settle to a survivor-exact ``partial``. No journal
+    and no coordinator view may ever contain a raw field encoding.
+    """
+
+    def flat(profile: str, crash: CrashSpec | None = None, **kwargs) -> dict:
+        row = run_crash_scenario(
+            seed, topology="flat", crash=crash,
+            n_cells=CRASH_CELLS, neighbors=CRASH_NEIGHBORS, **kwargs,
+        )
+        return {"profile": profile, **row}
+
+    def tree(profile: str, crash: CrashSpec | None = None, **kwargs) -> dict:
+        row = run_crash_scenario(
+            seed, topology="tree", crash=crash,
+            n_cells=CRASH_TREE_CELLS, regions=CRASH_TREE_REGIONS,
+            neighbors=CRASH_NEIGHBORS, **kwargs,
+        )
+        return {"profile": profile, **row}
+
+    region = f"{ROOT_ADDRESS}.r1"
+    rows = [flat("flat-quiet")]
+    rows += [
+        flat(f"flat-crash-{phase}", CrashSpec(
+            FLAT_ADDRESS, at_phase=phase, restart_after_s=CRASH_RESTART_S,
+        ))
+        for phase in ("fanout", "collect", "recover")
+    ]
+    rows.append(tree("tree-quiet"))
+    rows += [
+        tree(f"tree-root-{phase}", CrashSpec(
+            ROOT_ADDRESS, at_phase=phase, restart_after_s=CRASH_RESTART_S,
+        ))
+        for phase in ("fanout", "collect", "recover")
+    ]
+    rows.append(tree("tree-region-collect", CrashSpec(
+        region, at_phase="collect", restart_after_s=CRASH_RESTART_S,
+    )))
+    rows.append(tree("tree-region-norestart", CrashSpec(
+        region, at_phase="collect", restart_after_s=None,
+    )))
+    rows.append(tree("tree-crash-offline", CrashSpec(
+        region, at_phase="collect", restart_after_s=CRASH_RESTART_S,
+    ), offline_cells=2))
+
+    by_profile = {row["profile"]: row for row in rows}
+    flat_control = by_profile["flat-quiet"]
+    tree_control = by_profile["tree-quiet"]
+    crash_rows = [row for row in rows if row["crash_address"] is not None]
+    full_survivor = [
+        row for row in crash_rows if row["offline_cells"] == 0
+    ]
+    return {
+        "flat_cells": CRASH_CELLS,
+        "tree_cells": CRASH_TREE_CELLS,
+        "regions": CRASH_TREE_REGIONS,
+        "masking_neighbors": CRASH_NEIGHBORS,
+        "rows": rows,
+        "no_crash_clean": all(
+            row["crashes"] == 0
+            and row["faults_injected"] == 0
+            and row["reasks"] == 0
+            and row["outcome"] == "complete"
+            for row in (flat_control, tree_control)
+        ),
+        "recovered_totals_pinned": all(
+            row["outcome"] == "complete"
+            and row["crashes"] >= 1
+            and row["field_total"] == (
+                flat_control if row["topology"] == "flat" else tree_control
+            )["field_total"]
+            for row in full_survivor
+        ),
+        "failover_respawns": by_profile["tree-region-norestart"]["respawns"],
+        "degraded_survivor_exact": (
+            by_profile["tree-crash-offline"]["outcome"] == "partial"
+            and by_profile["tree-crash-offline"]["survivor_exact"]
+        ),
+        "raw_leaked": any(
+            row["raw_in_journal"] or row["raw_in_view"] for row in rows
+        ),
+    }
+
+
 # -- report -------------------------------------------------------------------
 
 
@@ -475,6 +594,7 @@ def build_report(n_cells: int = FULL_CELLS,
         },
         "transforms": transforms,
         "fault_matrix": measure_faults(n_cells, neighbors),
+        "crash_matrix": measure_crashes(),
         "hierarchy": measure_tree(
             tree_cells, tree_regions, tree_neighbors, flat_baseline,
         ),
@@ -541,6 +661,28 @@ def test_fedquery_scale_smoke():
     assert lossy["survivor_exact"]
     assert not lossy["raw_encoding_in_coordinator_view"]
 
+    # crash matrix: every crashed coordinator recovers from its
+    # journal; full-survivor totals are pinned bit-for-bit to the
+    # no-crash control; the respawn-less region crash is healed by
+    # root failover; nothing raw ever reaches a journal or a view
+    crashes = report["crash_matrix"]
+    assert crashes["no_crash_clean"]
+    assert crashes["recovered_totals_pinned"]
+    assert crashes["failover_respawns"] >= 1
+    assert crashes["degraded_survivor_exact"]
+    assert not crashes["raw_leaked"]
+    crash_profiles = {row["profile"] for row in crashes["rows"]}
+    assert {
+        "flat-quiet", "flat-crash-fanout", "flat-crash-collect",
+        "flat-crash-recover", "tree-quiet", "tree-root-fanout",
+        "tree-root-collect", "tree-root-recover", "tree-region-collect",
+        "tree-region-norestart", "tree-crash-offline",
+    } <= crash_profiles
+    for row in crashes["rows"]:
+        if row["crash_address"] is not None:
+            assert row["crashes"] >= 1
+            assert row["journal_records"] > 0
+
     # the small coordinator tree: quiet fault-control at zero faults
     # and re-asks, sub-linear root, sealed kanon, graceful degradation
     hierarchy = report["hierarchy"]
@@ -597,6 +739,11 @@ def test_fedquery_scale_smoke():
     assert tracked_lossy["outcome"] == "partial"
     assert tracked_lossy["demoted"] > 0
     assert tracked_lossy["survivor_exact"]
+
+    # the crash matrix runs at the same (small) scale in the smoke and
+    # the full report, and the sim is fully seeded — the tracked
+    # section must equal this run byte for byte
+    assert tracked["crash_matrix"] == crashes
 
     # the headline tree claims: >=100k cells, root work per cell below
     # the flat per-cell baseline, exactness, sealed kanon, clean quiet

@@ -14,12 +14,26 @@ Each row is one :func:`repro.faults.scenario.run_chaos_scenario` run:
 a fault profile crossed with a workload seed, reporting convergence,
 the aggregation outcome, and the fault/retry counter totals from the
 world's observability scope.
+
+A second table extends the premise from links to the coordinators
+themselves: :func:`repro.faults.scenario.run_crash_scenario` kills a
+federated-query coordinator mid-query (flat, a regional coordinator,
+or the tree root) and restarts it — or, for the no-restart row, leaves
+it dead so root failover must respawn it. The measured claim is that a
+crash is *recoverable* state loss, not data loss: the restarted
+coordinator replays its write-ahead journal and lands on a total
+bit-for-bit equal to the crash-free control, and no journal ever holds
+a raw per-cell encoding.
 """
 
 from __future__ import annotations
 
-from ..faults.plan import FaultPlan
-from ..faults.scenario import cell_addresses, run_chaos_scenario
+from ..faults.plan import CrashSpec, FaultPlan
+from ..faults.scenario import (
+    cell_addresses,
+    run_chaos_scenario,
+    run_crash_scenario,
+)
 from .tables import Table
 
 #: Fault profiles of the matrix; ``quiet`` is the control row.
@@ -65,7 +79,60 @@ def run(seed: int = 0, seeds: tuple[int, ...] = (1, 2, 4),
             )
     table.add_note("converged: every replicator drained once the faults "
                    "cleared; quiet rows must show zero faults and retries")
-    return [table]
+    return [table, _crash_table(seed)]
+
+
+#: The crash scenarios: (label, topology, crash, offline cells). A
+#: ``None`` crash is that topology's control; restart 30 s; the
+#: no-restart row leans entirely on root failover.
+def _crash_scenarios() -> list[tuple[str, str, CrashSpec | None, int]]:
+    region = "fq-root.r1"
+    return [
+        ("flat control", "flat", None, 0),
+        ("flat @collect", "flat",
+         CrashSpec("fq-coordinator", at_phase="collect",
+                   restart_after_s=30.0), 0),
+        ("flat @recover", "flat",
+         CrashSpec("fq-coordinator", at_phase="recover",
+                   restart_after_s=30.0), 0),
+        ("tree control", "tree", None, 0),
+        ("tree root @collect", "tree",
+         CrashSpec("fq-root", at_phase="collect", restart_after_s=30.0), 0),
+        ("tree region @collect", "tree",
+         CrashSpec(region, at_phase="collect", restart_after_s=30.0), 0),
+        ("tree region, no restart", "tree",
+         CrashSpec(region, at_phase="collect", restart_after_s=None), 0),
+        ("tree region + 2 offline", "tree",
+         CrashSpec(region, at_phase="collect", restart_after_s=30.0), 2),
+    ]
+
+
+def _crash_table(seed: int) -> Table:
+    table = Table(
+        title="E13b: coordinator crash recovery (write-ahead journal; "
+              "30 cells; the tree runs them over 3 regions)",
+        columns=["scenario", "outcome", "total pinned", "crashes",
+                 "respawns", "reasks", "journal records", "raw leaked"],
+    )
+    controls: dict[str, int] = {}
+    for label, topology, crash, offline in _crash_scenarios():
+        row = run_crash_scenario(
+            seed + 3, topology=topology, crash=crash,
+            offline_cells=offline,
+        )
+        if crash is None:
+            controls[topology] = row["field_total"]
+        pinned = (row["survivor_exact"] if offline
+                  else row["field_total"] == controls[topology])
+        table.add_row(
+            label, row["outcome"], pinned, row["crashes"],
+            row["respawns"], row["reasks"], row["journal_records"],
+            row["raw_in_journal"] or row["raw_in_view"],
+        )
+    table.add_note("total pinned: field total bit-for-bit equal to the "
+                   "same topology's crash-free control (for the offline "
+                   "row: exact over the survivors)")
+    return table
 
 
 def shape_holds(tables: list[Table]) -> bool:
@@ -77,7 +144,7 @@ def shape_holds(tables: list[Table]) -> bool:
     ))
     faulty_rows = [r for r in rows if r[0] != "quiet"]
     quiet_rows = [r for r in rows if r[0] == "quiet"]
-    return (
+    churn_holds = (
         all(converged for _, converged, _, _, _ in rows)
         and all(outcome in ("complete", "partial", "abandoned")
                 for _, _, outcome, _, _ in rows)
@@ -85,3 +152,23 @@ def shape_holds(tables: list[Table]) -> bool:
         and all(faults == 0 and retries == 0
                 for _, _, _, faults, retries in quiet_rows)
     )
+    crash = tables[1]
+    crash_rows = list(zip(
+        crash.column("scenario"), crash.column("outcome"),
+        crash.column("total pinned"), crash.column("crashes"),
+        crash.column("respawns"), crash.column("raw leaked"),
+    ))
+    by_label = {r[0]: r for r in crash_rows}
+    crash_holds = (
+        all(crashes == 0 and outcome == "complete" and pinned
+            for label, outcome, pinned, crashes, _, _ in crash_rows
+            if "control" in label)
+        and all(crashes >= 1 and outcome == "complete" and pinned
+                for label, outcome, pinned, crashes, _, _ in crash_rows
+                if "control" not in label and "offline" not in label)
+        and by_label["tree region, no restart"][4] >= 1
+        and by_label["tree region + 2 offline"][1] == "partial"
+        and by_label["tree region + 2 offline"][2]  # survivor-exact
+        and not any(leaked for *_, leaked in crash_rows)
+    )
+    return churn_holds and crash_holds

@@ -24,6 +24,7 @@ from .plan import (
     PROFILES,
     ChurnSpec,
     CloudFaultSpec,
+    CrashSpec,
     FaultPlan,
     LinkFaultSpec,
 )
@@ -37,6 +38,7 @@ from .retry import (
 __all__ = [
     "ChurnSpec",
     "CloudFaultSpec",
+    "CrashSpec",
     "FaultInjector",
     "FaultPlan",
     "LinkDecision",

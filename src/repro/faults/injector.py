@@ -11,6 +11,7 @@ Attachment is explicit and reversible::
     injector.attach_network(network)   # loss / duplication / spikes
     injector.attach_cloud(cloud)       # transient put/get failures
     injector.schedule_churn(network, horizon=12 * 3600)
+    injector.schedule_crashes()        # kill/revive crashable endpoints
 
 Every injected fault bumps the ``faults.injected`` counter (labelled by
 kind) and emits a ``fault.*`` event on the world's observability scope;
@@ -21,7 +22,7 @@ a detached/disabled component behaves byte-for-byte like the seed code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 from ..errors import TransientCloudError
 from ..sim.rng import SeedSequence
@@ -31,7 +32,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..infrastructure.network import Network
     from ..sim.world import World
 
-from .plan import FaultPlan
+from .plan import CrashSpec, FaultPlan
+
+
+class Crashable(Protocol):
+    """What the injector needs from a crash-and-restart endpoint."""
+
+    address: str
+    crashed: bool
+
+    def crash(self) -> None: ...  # pragma: no cover - protocol
+
+    def restart(self) -> None: ...  # pragma: no cover - protocol
 
 #: Decision for one message put on the wire.
 _OK = None  # fast-path sentinel: no fault on this delivery
@@ -60,6 +72,11 @@ class FaultInjector:
         self._link_rng = seeds.stream("faults:link")
         self._cloud_rng = seeds.stream("faults:cloud")
         self._churn_seeds = seeds.spawn("faults:churn")
+        self._crashables: dict[str, Crashable] = {}
+        # Phase-triggered crash specs still waiting to fire (one-shot).
+        self._armed_crashes: list[CrashSpec] = [
+            spec for spec in plan.crashes if spec.at_phase is not None
+        ]
         self.counts: dict[str, int] = {}
         obs = world.obs
         self._events = obs.events
@@ -188,3 +205,85 @@ class FaultInjector:
                                  label=f"churn {spec.address} up")
                 transitions += 2
         return transitions
+
+    # -- endpoint crash/restart ------------------------------------------------
+
+    def register_crashable(self, endpoint: Crashable) -> None:
+        """Make ``endpoint`` eligible for the plan's :class:`CrashSpec`s.
+
+        Coordinator-class endpoints self-register when an injector is
+        attached to their network, so attaching an injector *before*
+        building the coordinators is enough; registration with no
+        matching crash spec changes nothing.
+        """
+        self._crashables[endpoint.address] = endpoint
+
+    def schedule_crashes(self) -> int:
+        """Register every time-triggered crash (and restart) on the loop.
+
+        Phase-triggered specs need no scheduling — they are armed from
+        construction and fire when a registered endpoint reports the
+        matching phase via :meth:`phase_reached`. Returns the number of
+        events scheduled.
+        """
+        loop = self.world.loop
+        events = 0
+        for spec in self.plan.crashes:
+            if spec.at_time is None:
+                continue
+            loop.schedule_at(
+                spec.at_time, lambda s=spec: self._crash(s),
+                label=f"crash {spec.address}",
+            )
+            events += 1
+        return events
+
+    def phase_reached(self, address: str, phase: str) -> bool:
+        """An endpoint reports a phase transition; crash it on a match.
+
+        Returns True when the report triggered a crash — the caller
+        must stop touching its (now stale) run state.
+        """
+        if not self.enabled:
+            return False
+        for index, spec in enumerate(self._armed_crashes):
+            if spec.address == address and spec.at_phase == phase:
+                del self._armed_crashes[index]  # one-shot
+                return self._crash(spec)
+        return False
+
+    def _crash(self, spec: CrashSpec) -> bool:
+        endpoint = self._crashables.get(spec.address)
+        if endpoint is None or endpoint.crashed or not self.enabled:
+            return False
+        self._record(
+            "crash", address=spec.address, phase=spec.at_phase,
+            at=self.world.now, restart_after_s=spec.restart_after_s,
+        )
+        endpoint.crash()
+        if spec.restart_after_s is not None:
+            self.world.loop.schedule_in(
+                spec.restart_after_s,
+                lambda: self._restart(spec.address),
+                label=f"crash restart {spec.address}",
+            )
+        return True
+
+    def _restart(self, address: str) -> None:
+        endpoint = self._crashables.get(address)
+        if endpoint is None or not endpoint.crashed:
+            return  # already respawned (e.g. by the tree root)
+        self._events.emit("crash.restart", address=address)
+        endpoint.restart()
+
+    def crash_downtime_s(self) -> int:
+        """Worst-case seconds of planned coordinator downtime.
+
+        Horizon slack for crash-aware endpoints: each planned crash
+        costs its restart delay (a respawn-less crash costs nothing
+        here — the root revives the region within its own ladder,
+        which the caller's horizon already covers).
+        """
+        return sum(
+            spec.restart_after_s or 0 for spec in self.plan.crashes
+        )

@@ -103,6 +103,40 @@ class ChurnSpec:
 
 
 @dataclass(frozen=True)
+class CrashSpec:
+    """Crash-and-restart of one *crashable* endpoint (a coordinator,
+    a regional coordinator, the key directory service).
+
+    Exactly one trigger: ``at_time`` (absolute sim seconds) or
+    ``at_phase`` (a phase name the endpoint reports to the injector —
+    ``"fanout"``, ``"collect"``, ``"recover"``; each phase-trigger
+    fires at most once). ``restart_after_s`` revives the endpoint that
+    many seconds after the crash; ``None`` leaves it down until
+    something else respawns it (the tree root does, on its re-ask
+    ladder — that is the regional-failover path).
+    """
+
+    address: str
+    at_time: int | None = None
+    at_phase: str | None = None
+    restart_after_s: int | None = 120
+
+    def __post_init__(self) -> None:
+        if not self.address:
+            raise ConfigurationError("crash spec needs an address")
+        if (self.at_time is None) == (self.at_phase is None):
+            raise ConfigurationError(
+                "crash spec needs exactly one of at_time / at_phase"
+            )
+        if self.at_time is not None and self.at_time < 0:
+            raise ConfigurationError("at_time must be >= 0")
+        if self.restart_after_s is not None and self.restart_after_s < 1:
+            raise ConfigurationError(
+                "restart_after_s must be >= 1s (or None: stay down)"
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One seeded, deterministic description of injected faults."""
 
@@ -110,10 +144,12 @@ class FaultPlan:
     link: LinkFaultSpec = field(default_factory=LinkFaultSpec)
     cloud: CloudFaultSpec = field(default_factory=CloudFaultSpec)
     churn: tuple[ChurnSpec, ...] = ()
+    crashes: tuple[CrashSpec, ...] = ()
 
     @property
     def active(self) -> bool:
-        return self.link.active or self.cloud.active or bool(self.churn)
+        return (self.link.active or self.cloud.active or bool(self.churn)
+                or bool(self.crashes))
 
     def with_seed(self, seed: int) -> "FaultPlan":
         """The same plan replayed under a different seed."""
@@ -163,6 +199,12 @@ class FaultPlan:
                 for address in addresses
             ),
         )
+
+    @classmethod
+    def crashing(cls, seed: int = 0,
+                 crashes: tuple[CrashSpec, ...] = ()) -> "FaultPlan":
+        """Coordinator crash/restart only, nothing else injected."""
+        return cls(seed=seed, crashes=tuple(crashes))
 
     @classmethod
     def stormy(cls, seed: int = 0, addresses: tuple[str, ...] = ()) -> "FaultPlan":

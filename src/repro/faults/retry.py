@@ -21,6 +21,7 @@ the no-fault path stays byte-for-byte the seed behaviour.
 from __future__ import annotations
 
 import random
+import weakref
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
@@ -80,6 +81,16 @@ class RetryPolicy:
             self.delay_for(index, rng)
             for index in range(1, self.max_attempts)
         ]
+
+    def worst_case_delays(self) -> list[float]:
+        """Upper bound per delay with jitter at its +fraction extreme.
+
+        Horizon computations must use this, not ``delays(None)``: the
+        nominal ladder underestimates a fully jittered episode by up to
+        ``jitter`` per step, which is exactly the margin a bounded-
+        horizon guarantee cannot afford to lose.
+        """
+        return [delay * (1.0 + self.jitter) for delay in self.delays(None)]
 
 
 def _retry_instruments(obs):
@@ -149,6 +160,20 @@ def retry_call(
     raise error
 
 
+#: One jitter stream per world, derived from the world's seed: callers
+#: that do not thread their own rng still get deterministic, *enabled*
+#: jitter instead of silently losing it to ``delay_for(..., rng=None)``.
+_jitter_streams: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _world_jitter_rng(world) -> random.Random:
+    stream = _jitter_streams.get(world)
+    if stream is None:
+        stream = world.rng("faults.retry.jitter")
+        _jitter_streams[world] = stream
+    return stream
+
+
 def schedule_retry(
     world,
     policy: RetryPolicy,
@@ -162,8 +187,12 @@ def schedule_retry(
 
     Returns the event handle, or ``None`` when ``retry_index`` exceeds
     the policy budget (the caller should degrade gracefully instead).
+    When no ``rng`` is given the delay is jittered from a world-seeded
+    stream — jitter is never silently disabled on the deferred path.
     """
     if retry_index >= policy.max_attempts:
         return None
+    if rng is None and policy.jitter:
+        rng = _world_jitter_rng(world)
     delay = max(1, round(policy.delay_for(retry_index, rng)))
     return world.loop.schedule_in(delay, callback, label=label)

@@ -1,12 +1,20 @@
 """The shared chaos scenario: the whole stack under one fault plan.
 
-One function, :func:`run_chaos_scenario`, assembles the full vertical —
+Two functions. :func:`run_chaos_scenario` assembles the full vertical —
 network + churn, cloud + transient failures, trusted cells with vaults
 and replicators, and one asynchronous masked aggregation — runs it
 under a seeded :class:`~repro.faults.plan.FaultPlan`, and reports
 whether the system *degraded gracefully*: every replicator converged
 once connectivity returned, and the aggregation completed (possibly
 flagged partial) instead of hanging or crashing.
+
+:func:`run_crash_scenario` is the crash-recovery twin: one federated
+query (flat or tree) with a coordinator crash injected at a chosen
+phase, reporting whether the resumed run reached the same terminal
+outcome — and the same bit-for-bit total — the no-crash run reaches,
+without the write-ahead journal ever holding a raw encoding. It backs
+the ``crash_matrix`` bench section, the E13 crash table and the
+crash tests.
 
 The same scenario backs three consumers, so they cannot drift apart:
 
@@ -32,7 +40,7 @@ from ..infrastructure import CloudProvider, Network
 from ..sim.world import World
 from ..sync import Replicator, VaultClient
 from .injector import FaultInjector
-from .plan import FaultPlan
+from .plan import CrashSpec, FaultPlan
 from .retry import RetryPolicy
 
 
@@ -206,3 +214,148 @@ def run_chaos_scenario(
         push_failures=sum(r.stats.push_failures for r in replicators),
         max_staleness=max(r.stats.max_staleness for r in replicators),
     )
+
+
+def run_crash_scenario(
+    seed: int,
+    *,
+    topology: str = "flat",
+    crash: CrashSpec | None = None,
+    plan: FaultPlan | None = None,
+    n_cells: int = 30,
+    regions: int = 3,
+    neighbors: int = 4,
+    offline_cells: int = 0,
+    collect_timeout_s: int = 10,
+    recovery_timeout_s: int = 10,
+    horizon_slack_s: int = 0,
+) -> dict:
+    """One federated query under a coordinator crash; returns a row.
+
+    ``topology`` is ``"flat"`` (one Coordinator) or ``"tree"`` (a
+    3-level root/regions/cells tree). ``crash`` is injected on top of
+    ``plan`` (default: a quiet plan — the crash is the only fault).
+    ``offline_cells`` takes that many cells (from the end of the
+    roster) offline for the whole run, forcing a deterministic
+    survivor-exact ``partial``.
+
+    The row carries the terminal outcome, the total, the survivor
+    oracle comparison, crash/restart/respawn accounting, and the
+    leakage audit over every journal in the system — the same
+    disjointness the ``coordinator_view`` audit asserts.
+    """
+    import dataclasses as _dc
+
+    from ..fedquery import (
+        Coordinator,
+        FedQuerySpec,
+        HierarchicalCoordinator,
+        build_fleet,
+        build_fleet_sharded,
+        journal_elements,
+    )
+    from ..fedquery.spec import TRANSFORM_EXACT
+    from ..store.query import Between
+
+    if topology not in ("flat", "tree"):
+        raise ValueError(f"unknown topology {topology!r}")
+    if plan is None:
+        plan = FaultPlan(seed=seed)
+    if crash is not None:
+        plan = _dc.replace(plan, crashes=plan.crashes + (crash,))
+
+    world = World(seed=seed)
+    network = Network(world)
+    injector = FaultInjector(world, plan).attach_network(network)
+    spec = FedQuerySpec(
+        recipient="utility", purpose="load-forecast",
+        transform=TRANSFORM_EXACT, collection="energy",
+        where=Between("hour", 18, 21), value_field="watts", scale=10,
+    )
+    retry = RetryPolicy(max_attempts=3, base_delay_s=2.0,
+                        max_delay_s=30.0, jitter=0.1)
+    if topology == "flat":
+        fleet = build_fleet(world, network, n_cells,
+                            purposes={spec.purpose},
+                            ring_neighbors=neighbors)
+        coordinator = Coordinator(
+            world, network, neighbors=neighbors, retry_policy=retry,
+            collect_timeout_s=collect_timeout_s,
+            recovery_timeout_s=recovery_timeout_s,
+            horizon_slack_s=horizon_slack_s,
+        )
+        journals = [coordinator.journal]
+    else:
+        fleet = build_fleet_sharded(
+            world, network, n_cells, shards=regions,
+            purposes={spec.purpose}, ring_neighbors=neighbors,
+        )
+        coordinator = HierarchicalCoordinator(
+            world, network, regions=regions, neighbors=neighbors,
+            retry_policy=retry,
+            collect_timeout_s=2 * collect_timeout_s,
+            recovery_timeout_s=2 * recovery_timeout_s,
+            region_collect_timeout_s=collect_timeout_s,
+            region_recovery_timeout_s=recovery_timeout_s,
+            horizon_slack_s=horizon_slack_s,
+        )
+        journals = [coordinator.journal] + [
+            region.journal for region in coordinator.regions
+        ]
+    injector.schedule_crashes()
+    if plan.churn:
+        injector.schedule_churn(network, coordinator._horizon_s())
+    offline = fleet.roster[len(fleet.roster) - offline_cells:] \
+        if offline_cells else []
+    for name in offline:
+        network.set_online(name, False)
+
+    result = coordinator.run(spec, fleet.roster)
+
+    survivors = [
+        name for name in fleet.roster
+        if name not in result.demoted
+        and name not in offline
+    ]
+    survivor_truth = fleet.ground_truth(spec, roster=survivors)
+    raw = set()
+    from ..crypto import shamir
+    for name in fleet.roster:
+        scalar = fleet.catalogs[name].query(spec.local_query()).scalar()
+        raw.add(shamir.encode_signed(round(float(scalar) * spec.scale)))
+    journaled = set()
+    for journal in journals:
+        journaled |= journal_elements(journal)
+    view = {
+        item["masked"] if isinstance(item, dict) else item
+        for item in result.coordinator_view
+        if isinstance(item, (dict, int))
+    }
+    metrics = world.obs.metrics
+    return {
+        "topology": topology,
+        "seed": seed,
+        "crash_address": crash.address if crash else None,
+        "crash_phase": crash.at_phase if crash else None,
+        "crash_restart_after_s": crash.restart_after_s if crash else None,
+        "offline_cells": offline_cells,
+        "outcome": result.outcome,
+        "failure": result.failure,
+        "value": result.value,
+        "field_total": result.field_total,
+        "participants": result.participants,
+        "demoted": len(result.demoted),
+        "reasks": result.reasks,
+        "recovery_rounds": result.recovery_rounds,
+        "crashes": injector.counts.get("crash", 0),
+        "respawns": _counter_total(metrics, "fedquery.tree.respawns"),
+        "faults_injected": injector.injected_total,
+        "retry_attempts": _counter_total(metrics, "retry.attempts"),
+        "journal_records": sum(len(journal) for journal in journals),
+        "survivor_exact": (
+            result.value is not None
+            and abs(result.value - survivor_truth) < 1e-9
+        ),
+        "raw_in_journal": bool(raw & journaled),
+        "raw_in_view": bool(raw & view),
+    }

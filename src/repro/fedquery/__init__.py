@@ -32,6 +32,7 @@ from .hierarchy import (
     RegionalCoordinator,
     partition_shards,
 )
+from .journal import QueryJournal, journal_elements
 from .spec import (
     TRANSFORM_DP,
     TRANSFORM_EXACT,
@@ -56,6 +57,7 @@ __all__ = [
     "OUTCOME_ABANDONED",
     "OUTCOME_COMPLETE",
     "OUTCOME_PARTIAL",
+    "QueryJournal",
     "RegionalCoordinator",
     "TRANSFORMS",
     "TRANSFORM_DP",
@@ -64,6 +66,7 @@ __all__ = [
     "ValueSource",
     "build_fleet",
     "build_fleet_sharded",
+    "journal_elements",
     "net_recovery_mask",
     "partition_shards",
     "open_records",

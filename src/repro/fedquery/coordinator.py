@@ -24,6 +24,7 @@ to reach a terminal state.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -35,6 +36,15 @@ from ..faults.retry import RetryPolicy, schedule_retry
 from ..infrastructure.network import Network
 from ..sim.world import World
 from . import gate
+from .journal import (
+    REC_DEMOTE,
+    REC_DONE,
+    REC_MASK,
+    REC_PARTIAL,
+    REC_RECOVER,
+    REC_START,
+    QueryJournal,
+)
 from .spec import (
     MSG_MASK,
     MSG_PARTIAL,
@@ -128,6 +138,9 @@ class _RunState:
         self.started_at = 0
         self.deadline_handle = None
         self.result: FedQueryResult | None = None
+        # Phases already reported to the fault plane (crash triggers
+        # are per-query, once per phase).
+        self.phases_seen: set[str] = set()
 
     def resolved(self, name: str) -> bool:
         return self.status[name] != _PENDING
@@ -154,6 +167,8 @@ class Coordinator:
         neighbors: int | None = None,
         latency_ms: float = 5.0,
         bandwidth_bytes_per_s: float = 1e9,
+        journal: QueryJournal | None = None,
+        horizon_slack_s: int = 0,
     ) -> None:
         if collect_timeout_s < 1 or recovery_timeout_s < 1:
             raise ConfigurationError("timeouts must be at least 1 s")
@@ -167,14 +182,25 @@ class Coordinator:
         self.collect_timeout_s = collect_timeout_s
         self.recovery_timeout_s = recovery_timeout_s
         self.neighbors = neighbors
+        # The write-ahead journal survives a crash (the coordinator's
+        # one piece of durable state); extra horizon slack lets tests
+        # that crash/restart by hand still finish inside run()'s bound.
+        self.journal = journal if journal is not None else QueryJournal()
+        self.horizon_slack_s = horizon_slack_s
+        self._crashed = False
         self._retry_rng = world.rng(f"fedquery.reask.{address}")
         self._sequence = 0
         self._active: dict[str, _RunState] = {}
+        # tag -> terminal result: the reply channel to the querier. It
+        # outlives _RunState rebuilds, so run() reads results here.
+        self._results: dict[str, FedQueryResult] = {}
         network.register(
             address, self._on_message,
             latency_ms=latency_ms,
             bandwidth_bytes_per_s=bandwidth_bytes_per_s,
         )
+        if network.fault_injector is not None:
+            network.fault_injector.register_crashable(self)
         metrics = world.obs.metrics
         self._events = world.obs.events
         self._tracer = world.obs.tracer
@@ -217,6 +243,7 @@ class Coordinator:
         )
         state.started_at = self.world.now
         self._active[tag] = state
+        self.journal.append(self._start_record(state))
 
         with self._tracer.span(
             "fedquery.fanout", tag=tag, transform=spec.transform,
@@ -224,6 +251,7 @@ class Coordinator:
         ):
             for name in roster:
                 self._ship(state, name)
+        self._notify_phase(state, "fanout")
         self._events.emit(
             "fedquery.start", tag=tag, transform=spec.transform,
             roster=len(roster),
@@ -233,21 +261,209 @@ class Coordinator:
             label=f"fq deadline {tag}",
         )
         self.world.loop.run_until(self.world.now + self._horizon_s())
-        if state.result is None:
+        # Read the reply channel, not the state object: a crash and
+        # restart mid-query rebuilds _RunState from the journal, so the
+        # instance created above may not be the one that settled.
+        result = self._results.pop(tag, None)
+        if result is None:
             raise ProtocolError(f"federated query {tag!r} did not settle")
-        del self._active[tag]
-        return state.result
+        self._active.pop(tag, None)
+        return result
 
     def _horizon_s(self) -> int:
         """A safe upper bound on one query's wall time, in sim seconds."""
-        backoff = sum(self.retry_policy.delays(None))
+        backoff = sum(self.retry_policy.worst_case_delays())
         # Two phased deadlines (collect + recovery), each followed by a
         # full retry ladder; 2x covers jitter, message latency and the
         # fault plane's injected delays with a wide margin.
         return int(
             2 * (self.collect_timeout_s + self.recovery_timeout_s
                  + 2 * backoff)
-        ) + 120
+        ) + self._crash_slack_s() + 120
+
+    def _crash_slack_s(self) -> int:
+        """Extra horizon covering planned crash downtime plus a fresh
+        collect/recovery episode per restart (the ladder restarts with
+        the process)."""
+        slack = self.horizon_slack_s
+        injector = self.network.fault_injector
+        if injector is not None and injector.plan.crashes:
+            episode = int(
+                self.collect_timeout_s + self.recovery_timeout_s
+                + 2 * sum(self.retry_policy.worst_case_delays())
+            )
+            for spec in injector.plan.crashes:
+                slack += (spec.restart_after_s or 0) + episode
+        return slack
+
+    # -- crash and restart -----------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def _notify_phase(self, state: _RunState, phase: str) -> bool:
+        """Report a phase transition to the fault plane, once per query.
+
+        Returns True when the report triggered a crash of *this*
+        endpoint — the caller must drop its stale state and return.
+        """
+        if phase in state.phases_seen:
+            return False
+        state.phases_seen.add(phase)
+        injector = self.network.fault_injector
+        if injector is None:
+            return False
+        return injector.phase_reached(self.address, phase)
+
+    def crash(self) -> None:
+        """Kill the process: lose every in-memory run state, go dark.
+
+        The journal (durable by contract) and the reply channel keep
+        their contents; everything else — active states, deadlines,
+        retry ladders — dies. In-flight deliveries already scheduled by
+        the network die at the handler's crash guard.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        for state in self._active.values():
+            if state.deadline_handle is not None:
+                state.deadline_handle.cancel()
+            state.phase = "crashed"  # neutralizes stale loop callbacks
+        self._active.clear()
+        if self.network.is_online(self.address):
+            self.network.set_online(self.address, False)
+        self._events.emit(
+            "crash.down", address=self.address, journal=len(self.journal),
+        )
+
+    def restart(self) -> None:
+        """Come back: rebuild every unfinished run from the journal and
+        resume it (re-ship to unresolved cells, re-arm deadlines). Cells
+        replay their cached partials bit-for-bit, so resumed re-asks are
+        idempotent. No-op unless crashed."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        if not self.network.is_online(self.address):
+            self.network.set_online(self.address, True)
+        self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        for tag, records in self.journal.by_tag().items():
+            done = next(
+                (r for r in records if r["type"] == REC_DONE), None,
+            )
+            if done is not None:
+                # Finished before (or during) the crash: republish the
+                # journaled result; nothing to resume.
+                if tag not in self._results:
+                    self._results[tag] = self._result_from_wire(
+                        done["result"]
+                    )
+                continue
+            if records[0]["type"] != REC_START:
+                continue  # mid-flight fragment of a foreign tag
+            state = self._restore_state(records[0], records)
+            self._active[tag] = state
+            self._events.emit(
+                "crash.recovered", address=self.address, tag=tag,
+                records=len(records), phase=state.phase,
+            )
+            self._resume(state)
+
+    def _start_record(self, state: _RunState) -> dict[str, Any]:
+        return {
+            "type": REC_START, "tag": state.tag,
+            "spec": state.spec.to_wire(), "roster": list(state.roster),
+            "round_tag": state.round_tag, "neighbors": state.neighbors,
+            "sequence": self._sequence, "at": state.started_at,
+        }
+
+    def _restore_state(self, start: dict[str, Any],
+                       records: list[dict[str, Any]]) -> _RunState:
+        state = _RunState(
+            start["tag"], FedQuerySpec.from_wire(start["spec"]),
+            list(start["roster"]), start["round_tag"], start["neighbors"],
+        )
+        state.started_at = int(start.get("at", 0))
+        self._sequence = max(self._sequence, int(start.get("sequence", 0)))
+        for record in records[1:]:
+            kind = record["type"]
+            if kind == REC_PARTIAL:
+                name = record["from"]
+                state.status[name] = record["status"]
+                state.messages += 1
+                state.bytes += record.get("size", 0)
+                if record["status"] == STATUS_OK:
+                    state.payloads[name] = record["payload"]
+                    state.plans[name] = record["plan"]
+                    state.examined += record.get("examined", 0)
+                    state.view.append(record["payload"])
+            elif kind == REC_DEMOTE:
+                state.status[record["cell"]] = _DEMOTED
+            elif kind == REC_RECOVER:
+                state.phase = "recover"
+                state.recovery_rounds = 1
+                state.missing = list(record["missing"])
+            elif kind == REC_MASK:
+                state.masks[record["from"]] = record["net_mask"]
+                state.messages += 1
+                state.bytes += record.get("size", 0)
+                state.view.append(record["net_mask"])
+        return state
+
+    def _recover_targets(self, state: _RunState) -> list[str]:
+        """The survivors whose net masks recovery waits on. The tree's
+        regions narrow this to ring-relevant survivors."""
+        return state.ok_cells()
+
+    def _resume(self, state: _RunState) -> None:
+        if state.phase == "collect":
+            if state.collected():
+                self._settle(state)
+                return
+            for name in state.roster:
+                if not state.resolved(name):
+                    state.attempts[name] = 1  # the ladder restarts too
+                    self._ship(state, name)
+            state.deadline_handle = self.world.loop.schedule_in(
+                self.collect_timeout_s,
+                lambda: self._collect_deadline(state),
+                label=f"fq deadline {state.tag} (resumed)",
+            )
+            return
+        self._resume_recovery(state)
+
+    def _resume_recovery(self, state: _RunState) -> None:
+        targets = self._recover_targets(state)
+        if len(state.masks) >= len(targets):
+            self._masks_complete(state)
+            return
+        for name in targets:
+            if name not in state.masks:
+                state.mask_attempts[name] = 1
+                self._ship_recover(
+                    state, name,
+                    recover_message(
+                        state.tag, state.recovery_rounds or 1,
+                        state.missing, self.address,
+                    ),
+                )
+        self.world.loop.schedule_in(
+            self.recovery_timeout_s,
+            lambda: self._recovery_deadline(state),
+            label=f"fq recover deadline {state.tag} (resumed)",
+        )
+
+    def _result_from_wire(self, wire: dict[str, Any]) -> FedQueryResult:
+        sealed = wire.get("sealed_records")
+        if sealed is not None:
+            wire = dict(wire, sealed_records=[
+                (sender, blob) for sender, blob in sealed
+            ])
+        return FedQueryResult(**wire)
 
     # -- fan-out and re-asks ---------------------------------------------------
 
@@ -296,6 +512,11 @@ class Coordinator:
         self._ship(state, name)
 
     def _demote(self, state: _RunState, name: str) -> None:
+        self.journal.append({
+            "type": REC_DEMOTE, "tag": state.tag, "cell": name,
+        })
+        if state.phase != "collect":
+            return  # the journal hook crashed us mid-append
         state.status[name] = _DEMOTED
         self._demotions_metric.inc()
         self._events.emit("fedquery.demote", tag=state.tag, cell=name,
@@ -306,6 +527,8 @@ class Coordinator:
     # -- inbound ---------------------------------------------------------------
 
     def _on_message(self, sender: str, payload: Any) -> None:
+        if self._crashed:
+            return  # a delivery already in flight when the process died
         if not isinstance(payload, dict):
             return
         state = self._active.get(payload.get("tag"))
@@ -322,11 +545,22 @@ class Coordinator:
         if state.phase != "collect" or name not in state.status \
                 or state.resolved(name):
             return  # duplicate, late (post-demotion), or off-roster
+        if self._notify_phase(state, "collect"):
+            return  # crashed mid-collect: this delivery dies unrecorded
         size = wire_size(message)
+        status = message["status"]
+        self.journal.append({
+            "type": REC_PARTIAL, "tag": state.tag, "from": name,
+            "status": status,
+            "payload": message["payload"] if status == STATUS_OK else None,
+            "plan": message.get("plan"),
+            "examined": message.get("examined", 0), "size": size,
+        })
+        if state.phase != "collect":
+            return  # the journal hook crashed us mid-append
         state.messages += 1
         state.bytes += size
         self._bytes_metric.inc(size)
-        status = message["status"]
         self._partials_metric.labels(status=status).inc()
         state.status[name] = status
         if status == STATUS_OK:
@@ -343,6 +577,12 @@ class Coordinator:
                 or name not in state.status:
             return
         size = wire_size(message)
+        self.journal.append({
+            "type": REC_MASK, "tag": state.tag, "from": name,
+            "net_mask": message["net_mask"], "size": size,
+        })
+        if state.phase != "recover":
+            return  # the journal hook crashed us mid-append
         state.messages += 1
         state.bytes += size
         self._bytes_metric.inc(size)
@@ -375,6 +615,8 @@ class Coordinator:
             ]
             if not state.missing:
                 state.phase = "recover"  # vacuous: nothing to recover
+                if self._notify_phase(state, "recover"):
+                    return  # restart re-settles from the journal
                 self._finish_numeric(state)
                 return
             self._start_recovery(state)
@@ -384,6 +626,13 @@ class Coordinator:
     def _start_recovery(self, state: _RunState) -> None:
         state.phase = "recover"
         state.recovery_rounds = 1
+        self.journal.append({
+            "type": REC_RECOVER, "tag": state.tag,
+            "missing": list(state.missing),
+        })
+        if self._notify_phase(state, "recover") \
+                or state.phase != "recover":
+            return  # crashed entering recovery; restart resumes it
         message_for = {}
         for name in state.ok_cells():
             message_for[name] = recover_message(
@@ -517,7 +766,7 @@ class Coordinator:
             participants=len(state.ok_cells()), demoted=len(demoted),
             failure=failure,
         )
-        state.result = FedQueryResult(
+        result = FedQueryResult(
             transform=state.spec.transform,
             tag=state.tag,
             roster_size=len(state.roster),
@@ -539,6 +788,16 @@ class Coordinator:
             completed_at=self.world.now,
             coordinator_view=state.view,
         )
+        # Journal the terminal record *before* publishing: a crash
+        # between the two republishes from the journal on restart.
+        self.journal.append({
+            "type": REC_DONE, "tag": state.tag, "outcome": outcome,
+            "result": dataclasses.asdict(result),
+        })
+        if self._crashed:
+            return  # died after the durable record; restart republishes
+        state.result = result
+        self._results[state.tag] = result
 
 
 def open_release(

@@ -45,6 +45,7 @@ how the roster is sharded.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Any
 
@@ -64,6 +65,17 @@ from .coordinator import (
     Coordinator,
     FedQueryResult,
     _RunState,
+)
+from .journal import (
+    REC_DEMOTE,
+    REC_DONE,
+    REC_MASK,
+    REC_MASK_REPORT,
+    REC_PARTIAL,
+    REC_RECOVER,
+    REC_REPORT,
+    REC_START,
+    QueryJournal,
 )
 from .spec import (
     MSG_SHARD_MASK,
@@ -131,6 +143,8 @@ class RegionalCoordinator(Coordinator):
     # -- inbound ---------------------------------------------------------------
 
     def _on_message(self, sender: str, payload: Any) -> None:
+        if self._crashed:
+            return  # a delivery already in flight when the process died
         if not isinstance(payload, dict):
             return
         kind = payload.get("kind")
@@ -172,16 +186,27 @@ class RegionalCoordinator(Coordinator):
             )
         state.started_at = self.world.now
         self._active[tag] = state
+        self.journal.append(self._start_record(state))
         with self._tracer.span(
             "fedquery.shard.fanout", tag=tag, region=self.region,
             shard=len(shard),
         ):
             for name in shard:
                 self._ship(state, name)
+        if self._notify_phase(state, "fanout"):
+            return  # crashed right after fan-out; restart resumes
         state.deadline_handle = self.world.loop.schedule_in(
             self.collect_timeout_s, lambda: self._collect_deadline(state),
             label=f"fq shard deadline {tag} r{self.region}",
         )
+
+    def _start_record(self, state: _RunState) -> dict[str, Any]:
+        record = super()._start_record(state)
+        record.update(
+            region=self.region, positions=dict(state.positions),
+            global_size=state.global_size, root=state.root,
+        )
+        return record
 
     # -- windowed fan-out ------------------------------------------------------
 
@@ -234,6 +259,12 @@ class RegionalCoordinator(Coordinator):
             sealed=sealed, plan_mix=plan_mix, examined=state.examined,
             messages=state.messages, bytes_=state.bytes, reasks=state.reasks,
         )
+        self.journal.append({
+            "type": REC_REPORT, "tag": state.tag, "region": self.region,
+            "reply": reply,
+        })
+        if state.phase != "report":
+            return  # the journal hook crashed us mid-append
         self._sent[state.tag] = (state.root, reply)
         state.reported = (state.messages, state.bytes, state.reasks)
         self.views[state.tag] = state.view
@@ -274,6 +305,11 @@ class RegionalCoordinator(Coordinator):
         # so skipping them is bit-for-bit free and keeps recovery
         # traffic proportional to the damage, not the fleet.
         state.recover_targets = self._relevant_survivors(state)
+        self.journal.append({
+            "type": REC_RECOVER, "tag": tag, "missing": list(state.missing),
+        })
+        if self._notify_phase(state, "recover") or state.phase != "recover":
+            return  # crashed entering recovery; restart resumes it
         self._events.emit(
             "fedquery.shard.recover", tag=tag, region=self.region,
             missing=len(state.missing), survivors=len(state.recover_targets),
@@ -318,6 +354,12 @@ class RegionalCoordinator(Coordinator):
                 or name not in state.recover_targets:
             return
         size = wire_size(message)
+        self.journal.append({
+            "type": REC_MASK, "tag": state.tag, "from": name,
+            "net_mask": message["net_mask"], "size": size,
+        })
+        if state.phase != "recover":
+            return  # the journal hook crashed us mid-append
         state.messages += 1
         state.bytes += size
         self._bytes_metric.inc(size)
@@ -345,10 +387,94 @@ class RegionalCoordinator(Coordinator):
             messages=state.messages - messages,
             bytes_=state.bytes - bytes_, failure=failure,
         )
+        self.journal.append({
+            "type": REC_MASK_REPORT, "tag": state.tag,
+            "region": self.region, "reply": reply,
+        })
+        if state.phase == "crashed":
+            return  # the journal hook crashed us mid-append
         state.phase = "done"
         self._mask_sent[state.tag] = (state.root, reply)
         self._send_up(state.root, reply)
         del self._active[state.tag]
+
+    # -- crash and restart -----------------------------------------------------
+
+    def _replay_journal(self) -> None:
+        # Regions never write ``done`` records: their terminal states
+        # are the two cached upward reports, which the root's re-ask
+        # ladder replays. Restore the caches, then resume whatever was
+        # still mid-flight.
+        for tag, records in self.journal.by_tag().items():
+            start = records[0]
+            if start["type"] != REC_START:
+                continue
+            report = next(
+                (r for r in records if r["type"] == REC_REPORT), None)
+            mask_report = next(
+                (r for r in records if r["type"] == REC_MASK_REPORT), None)
+            if report is not None:
+                self._sent[tag] = (start["root"], report["reply"])
+            if mask_report is not None:
+                self._mask_sent[tag] = (start["root"], mask_report["reply"])
+                continue  # terminal for this region
+            state = self._restore_state(start, records)
+            if report is not None:
+                self.views[tag] = state.view
+                if not state.spec.numeric:
+                    continue  # record shards end at the report
+            self._active[tag] = state
+            self._events.emit(
+                "crash.recovered", address=self.address, tag=tag,
+                records=len(records), phase=state.phase,
+            )
+            self._resume(state)
+
+    def _restore_state(self, start: dict[str, Any],
+                       records: list[dict[str, Any]]) -> _RunState:
+        state = super()._restore_state(start, records)
+        state.positions = {
+            name: int(position)
+            for name, position in start["positions"].items()
+        }
+        state.global_size = int(start["global_size"])
+        state.name_at = {
+            position: name for name, position in state.positions.items()
+        }
+        state.root = start["root"]
+        state.recover_targets = []
+        state.reported = (0, 0, 0)
+        report = next((r for r in records if r["type"] == REC_REPORT), None)
+        if report is not None:
+            # The report snapshot is the authoritative accounting at
+            # settle time; outbound ships lost to the crash are not in
+            # the journal, so rebuild from the snapshot plus the
+            # journaled post-report mask traffic. Deltas in the mask
+            # report stay non-negative by construction.
+            reply = report["reply"]
+            masks = [r for r in records if r["type"] == REC_MASK]
+            state.messages = reply["messages"] + len(masks)
+            state.bytes = reply["bytes"] + sum(
+                r.get("size", 0) for r in masks)
+            state.reasks = reply["reasks"]
+            state.reported = (
+                reply["messages"], reply["bytes"], reply["reasks"])
+            if state.phase == "collect":
+                state.phase = "report"
+        if state.phase == "recover":
+            state.recover_targets = self._relevant_survivors(state)
+        return state
+
+    def _recover_targets(self, state: _RunState) -> list[str]:
+        return list(state.recover_targets)
+
+    def _resume(self, state: _RunState) -> None:
+        if state.phase == "report":
+            # Settled and reported; waiting on the root's recover list
+            # (or nothing). The root's re-ask ladder replays the cached
+            # report — there is nothing for this region to send.
+            return
+        super()._resume(state)
 
 
 class _RootClock:
@@ -414,6 +540,12 @@ class _TreeState:
         self.started_at = 0
         self.deadline_handle = None
         self.result: FedQueryResult | None = None
+        # Phases already reported to the fault plane (crash triggers
+        # are per-query, once per phase).
+        self.phases_seen: set[str] = set()
+        # A journaled shard mask failure that must abandon the query
+        # after a restart (the failure beat the crash to the journal).
+        self.failed: str | None = None
 
     def collected(self) -> bool:
         return all(
@@ -462,6 +594,8 @@ class HierarchicalCoordinator:
         region_recovery_timeout_s: int = 30,
         latency_ms: float = 5.0,
         bandwidth_bytes_per_s: float = 1e9,
+        journal: QueryJournal | None = None,
+        horizon_slack_s: int = 0,
     ) -> None:
         if regions < 1:
             raise ConfigurationError("the tree needs at least one region")
@@ -496,12 +630,20 @@ class HierarchicalCoordinator:
         self._retry_rng = world.rng(f"fedquery.tree.reask.{address}")
         self._sequence = 0
         self._active: dict[str, _TreeState] = {}
+        # The root's own write-ahead journal (regions each keep their
+        # own): a root crash resumes the whole query from here.
+        self.journal = journal if journal is not None else QueryJournal()
+        self.horizon_slack_s = horizon_slack_s
+        self._crashed = False
+        self._results: dict[str, FedQueryResult] = {}
         self.clock = _RootClock()
         network.register(
             address, self._on_message,
             latency_ms=latency_ms,
             bandwidth_bytes_per_s=bandwidth_bytes_per_s,
         )
+        if network.fault_injector is not None:
+            network.fault_injector.register_crashable(self)
         metrics = world.obs.metrics
         self._events = world.obs.events
         self._tracer = world.obs.tracer
@@ -516,6 +658,9 @@ class HierarchicalCoordinator:
         self._demotions_metric = metrics.counter(
             "fedquery.tree.demotions",
             help="whole regions demoted after the retry budget")
+        self._respawns_metric = metrics.counter(
+            "fedquery.tree.respawns",
+            help="crashed regional coordinators revived by the root")
         self._queries_metric = metrics.counter(
             "fedquery.tree.queries",
             help="tree queries by terminal outcome", labelnames=("outcome",))
@@ -547,12 +692,14 @@ class HierarchicalCoordinator:
             )
             state.started_at = self.world.now
             self._active[tag] = state
+            self.journal.append(self._start_record(state))
             with self._tracer.span(
                 "fedquery.tree.fanout", tag=tag, transform=spec.transform,
                 roster=len(roster), regions=len(state.shards),
             ):
                 for region in range(len(state.shards)):
                     self._ship_shard(state, region)
+            self._notify_phase(state, "fanout")
             self._events.emit(
                 "fedquery.tree.start", tag=tag, transform=spec.transform,
                 roster=len(roster), regions=len(state.shards),
@@ -562,23 +709,226 @@ class HierarchicalCoordinator:
                 label=f"fq tree deadline {tag}",
             )
         self.world.loop.run_until(self.world.now + self._horizon_s())
-        if state.result is None:
+        # Read the reply channel, not the state object: a root crash
+        # and restart mid-query rebuilds _TreeState from the journal,
+        # so the instance created above may not be the one that settled.
+        result = self._results.pop(tag, None)
+        if result is None:
             raise ProtocolError(f"tree query {tag!r} did not settle")
-        state.result.root_wall_seconds = self.clock.seconds - clock_before
-        del self._active[tag]
-        return state.result
+        result.root_wall_seconds = self.clock.seconds - clock_before
+        self._active.pop(tag, None)
+        return result
 
     def _horizon_s(self) -> int:
         """Bounded horizon for the whole tree: the root's own collect +
         recovery ladders on top of the slowest region's horizon."""
-        backoff = sum(self.retry_policy.delays(None))
+        backoff = sum(self.retry_policy.worst_case_delays())
         deepest = max(
             (region._horizon_s() for region in self.regions), default=0
         )
         return int(
             2 * (self.collect_timeout_s + self.recovery_timeout_s
                  + 2 * backoff)
-        ) + deepest + 120
+        ) + deepest + self._crash_slack_s() + 120
+
+    def _crash_slack_s(self) -> int:
+        """Extra horizon covering planned crash downtime plus a fresh
+        collect/recovery episode per restart (the ladder restarts with
+        the process). Region crashes are double-counted — the deepest
+        region's horizon already includes its own slack — which only
+        widens the bound."""
+        slack = self.horizon_slack_s
+        injector = self.network.fault_injector
+        if injector is not None and injector.plan.crashes:
+            episode = int(
+                self.collect_timeout_s + self.recovery_timeout_s
+                + 2 * sum(self.retry_policy.worst_case_delays())
+            )
+            for spec in injector.plan.crashes:
+                slack += (spec.restart_after_s or 0) + episode
+        return slack
+
+    # -- crash and restart -----------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def _notify_phase(self, state: _TreeState, phase: str) -> bool:
+        if phase in state.phases_seen:
+            return False
+        state.phases_seen.add(phase)
+        injector = self.network.fault_injector
+        if injector is None:
+            return False
+        return injector.phase_reached(self.address, phase)
+
+    def crash(self) -> None:
+        """Kill the root: every in-memory tree state dies, the journal
+        survives. Regions are separate processes — they keep running
+        (and their reports to the dark root are simply lost; the resumed
+        root re-asks and they replay from their caches)."""
+        if self._crashed:
+            return
+        self._crashed = True
+        for state in self._active.values():
+            if state.deadline_handle is not None:
+                state.deadline_handle.cancel()
+            state.phase = "crashed"  # neutralizes stale loop callbacks
+        self._active.clear()
+        if self.network.is_online(self.address):
+            self.network.set_online(self.address, False)
+        self._events.emit(
+            "crash.down", address=self.address, journal=len(self.journal),
+        )
+
+    def restart(self) -> None:
+        if not self._crashed:
+            return
+        self._crashed = False
+        if not self.network.is_online(self.address):
+            self.network.set_online(self.address, True)
+        with self.clock:
+            self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        for tag, records in self.journal.by_tag().items():
+            done = next(
+                (r for r in records if r["type"] == REC_DONE), None)
+            if done is not None:
+                if tag not in self._results:
+                    self._results[tag] = self._result_from_wire(
+                        done["result"])
+                continue
+            if records[0]["type"] != REC_START:
+                continue
+            state = self._restore_state(records[0], records)
+            self._active[tag] = state
+            self._events.emit(
+                "crash.recovered", address=self.address, tag=tag,
+                records=len(records), phase=state.phase,
+            )
+            self._resume(state)
+
+    def _start_record(self, state: _TreeState) -> dict[str, Any]:
+        return {
+            "type": REC_START, "tag": state.tag,
+            "spec": state.spec.to_wire(), "roster": list(state.roster),
+            "round_tag": state.round_tag, "neighbors": state.neighbors,
+            "regions": len(state.shards), "sequence": self._sequence,
+            "at": state.started_at,
+        }
+
+    def _restore_state(self, start: dict[str, Any],
+                       records: list[dict[str, Any]]) -> _TreeState:
+        roster = list(start["roster"])
+        state = _TreeState(
+            start["tag"], FedQuerySpec.from_wire(start["spec"]), roster,
+            start["round_tag"], int(start["neighbors"]),
+            partition_shards(roster, int(start["regions"])),
+        )
+        state.started_at = int(start.get("at", 0))
+        self._sequence = max(self._sequence, int(start.get("sequence", 0)))
+        for record in records[1:]:
+            kind = record["type"]
+            if kind == REC_PARTIAL:
+                region = int(record["region"])
+                message = record["message"]
+                state.region_status[region] = STATUS_OK
+                state.partials[region] = message
+                state.messages += 1
+                state.bytes += record.get("size", 0)
+                if message["masked_sum"] is not None:
+                    state.view.append(message["masked_sum"])
+            elif kind == REC_DEMOTE:
+                state.region_status[int(record["region"])] = _DEMOTED
+            elif kind == REC_RECOVER:
+                state.phase = "recover"
+                state.recovery_rounds = 1
+                state.missing = list(record["missing"])
+            elif kind == REC_MASK:
+                region = int(record["region"])
+                message = record["message"]
+                state.messages += 1
+                state.bytes += record.get("size", 0)
+                if message.get("failure"):
+                    state.failed = message["failure"]
+                else:
+                    state.mask_replies[region] = message
+                    state.view.append(message["net_sum"])
+        if state.phase == "recover":
+            # Rebuild the global statuses the settle computed (the
+            # journal holds every input the settle had).
+            statuses: dict[str, str] = {}
+            for region, shard in enumerate(state.shards):
+                if state.region_status[region] == _DEMOTED:
+                    for name in shard:
+                        statuses[name] = _DEMOTED
+                elif region in state.partials:
+                    statuses.update(state.partials[region]["statuses"])
+            state.statuses = statuses
+        return state
+
+    def _result_from_wire(self, wire: dict[str, Any]) -> FedQueryResult:
+        sealed = wire.get("sealed_records")
+        if sealed is not None:
+            wire = dict(wire, sealed_records=[
+                (sender, blob) for sender, blob in sealed
+            ])
+        return FedQueryResult(**wire)
+
+    def _resume(self, state: _TreeState) -> None:
+        if state.failed:
+            # A shard reported unrecoverable masks just before the
+            # crash: the abandon is already decided, finish it.
+            self._finalize(state, failure=state.failed)
+            return
+        if state.phase == "collect":
+            if state.collected():
+                self._settle(state)
+                return
+            for region in range(len(state.shards)):
+                if state.region_status[region] == _PENDING:
+                    state.attempts[region] = 1  # the ladder restarts too
+                    self._respawn_region(state, region)
+                    self._ship_shard(state, region)
+            state.deadline_handle = self.world.loop.schedule_in(
+                self.collect_timeout_s,
+                lambda: self._collect_deadline(state),
+                label=f"fq tree deadline {state.tag} (resumed)",
+            )
+            return
+        if len(state.mask_replies) >= len(state.ok_regions()):
+            self._finish_numeric(state)
+            return
+        for region in state.ok_regions():
+            if region not in state.mask_replies:
+                state.mask_attempts[region] = 1
+                self._respawn_region(state, region)
+                self._ship_recover(state, region)
+        self.world.loop.schedule_in(
+            self.recovery_timeout_s,
+            lambda: self._recovery_deadline(state),
+            label=f"fq tree recover deadline {state.tag} (resumed)",
+        )
+
+    def _respawn_region(self, state: _TreeState, region: int) -> None:
+        """Regional failover: revive a crashed region before re-asking.
+
+        The root's retry ladder is the failure detector — a region that
+        missed its shard deadline and is found crashed is restarted
+        here, replays its own journal, and answers the re-ask from its
+        caches or by re-collecting.
+        """
+        endpoint = self.regions[region]
+        if not endpoint.crashed:
+            return
+        self._respawns_metric.inc()
+        self._events.emit(
+            "crash.respawn", address=endpoint.address, region=region,
+            tag=state.tag,
+        )
+        endpoint.restart()
 
     # -- shard fan-out and region re-asks --------------------------------------
 
@@ -645,6 +995,7 @@ class HierarchicalCoordinator:
         state.attempts[region] += 1
         state.reasks += 1
         self._reasks_metric.inc()
+        self._respawn_region(state, region)
         self._ship_shard(state, region)
 
     def _demote_region(self, state: _TreeState, region: int) -> None:
@@ -652,6 +1003,11 @@ class HierarchicalCoordinator:
         # contributions entered the combine, so their interior mask
         # edges cancel by absence and only the shard's boundary edges
         # need survivor recovery — handled by the global missing list.
+        self.journal.append({
+            "type": REC_DEMOTE, "tag": state.tag, "region": region,
+        })
+        if state.phase != "collect":
+            return  # the journal hook crashed us mid-append
         state.region_status[region] = _DEMOTED
         self._demotions_metric.inc()
         self._events.emit(
@@ -665,6 +1021,8 @@ class HierarchicalCoordinator:
 
     def _on_message(self, sender: str, payload: Any) -> None:
         with self.clock:
+            if self._crashed:
+                return  # a delivery already in flight when the root died
             if not isinstance(payload, dict):
                 return
             state = self._active.get(payload.get("tag"))
@@ -682,6 +1040,14 @@ class HierarchicalCoordinator:
         if state.phase != "collect" \
                 or state.region_status.get(region) != _PENDING:
             return  # duplicate, late (post-demotion), or off-tree
+        if self._notify_phase(state, "collect"):
+            return  # crashed mid-collect: this delivery dies unrecorded
+        self.journal.append({
+            "type": REC_PARTIAL, "tag": state.tag, "region": region,
+            "message": message, "size": wire_size(message),
+        })
+        if state.phase != "collect":
+            return  # the journal hook crashed us mid-append
         self._bill(state, message)
         state.region_status[region] = STATUS_OK
         state.partials[region] = message
@@ -696,6 +1062,12 @@ class HierarchicalCoordinator:
         if state.phase != "recover" or region in state.mask_replies \
                 or state.region_status.get(region) != STATUS_OK:
             return
+        self.journal.append({
+            "type": REC_MASK, "tag": state.tag, "region": region,
+            "message": message, "size": wire_size(message),
+        })
+        if state.phase != "recover":
+            return  # the journal hook crashed us mid-append
         self._bill(state, message)
         if message.get("failure"):
             self._finalize(state, failure=message["failure"])
@@ -736,6 +1108,8 @@ class HierarchicalCoordinator:
             ]
             if not state.missing:
                 state.phase = "recover"  # vacuous: nothing to recover
+                if self._notify_phase(state, "recover"):
+                    return  # restart re-settles from the journal
                 self._finish_numeric(state)
                 return
             self._start_recovery(state)
@@ -745,6 +1119,13 @@ class HierarchicalCoordinator:
     def _start_recovery(self, state: _TreeState) -> None:
         state.phase = "recover"
         state.recovery_rounds = 1
+        self.journal.append({
+            "type": REC_RECOVER, "tag": state.tag,
+            "missing": list(state.missing),
+        })
+        if self._notify_phase(state, "recover") \
+                or state.phase != "recover":
+            return  # crashed entering recovery; restart resumes it
         self._events.emit(
             "fedquery.tree.recover", tag=state.tag,
             missing=len(state.missing), regions=len(state.ok_regions()),
@@ -800,6 +1181,7 @@ class HierarchicalCoordinator:
         state.mask_attempts[region] += 1
         state.reasks += 1
         self._reasks_metric.inc()
+        self._respawn_region(state, region)
         self._ship_recover(state, region)
 
     def _finish_numeric(self, state: _TreeState) -> None:
@@ -890,7 +1272,7 @@ class HierarchicalCoordinator:
             "fedquery.tree.settle", tag=state.tag, outcome=outcome,
             participants=len(ok), demoted=len(demoted), failure=failure,
         )
-        state.result = FedQueryResult(
+        result = FedQueryResult(
             transform=state.spec.transform,
             tag=state.tag,
             roster_size=len(state.roster),
@@ -915,3 +1297,13 @@ class HierarchicalCoordinator:
             root_messages=state.messages,
             root_bytes=state.bytes,
         )
+        # Journal the terminal record *before* publishing: a crash
+        # between the two republishes from the journal on restart.
+        self.journal.append({
+            "type": REC_DONE, "tag": state.tag, "outcome": outcome,
+            "result": dataclasses.asdict(result),
+        })
+        if self._crashed:
+            return  # died after the durable record; restart republishes
+        state.result = result
+        self._results[state.tag] = result

@@ -18,6 +18,14 @@ service re-sends to the unacknowledged remainder on a
 outlast typical offline windows. The quiet no-fault path stays clean:
 first sends land, acks return before the check fires, and no retry
 instrument records anything.
+
+The service also journals every pending notice and ack (see
+:class:`~repro.fedquery.journal.QueryJournal`) so the rotation and
+revocation guarantees survive a directory *service* restart: a crashed
+service comes back, rebuilds each unfinished rotation's pending set
+from the journal, and re-sends to the unacknowledged remainder. The
+trusted :class:`KeyDirectory` itself lives inside trusted hardware and
+is not what crashes here — only its untrusted-network front end.
 """
 
 from __future__ import annotations
@@ -117,7 +125,8 @@ class DirectoryService:
                  address: str = DIRECTORY_ADDRESS,
                  retry_policy: RetryPolicy = ROTATION_RETRY,
                  ack_timeout_s: int = 120,
-                 latency_ms: float = 5.0) -> None:
+                 latency_ms: float = 5.0,
+                 journal=None) -> None:
         self.world = world
         self.network = network
         self.directory = directory
@@ -125,6 +134,14 @@ class DirectoryService:
         self.retry_policy = retry_policy
         self.ack_timeout_s = ack_timeout_s
         self.rotations: dict[str, RotationStatus] = {}
+        if journal is None:
+            # Lazy import: fedquery is a sibling package and the
+            # journal module is dependency-free, but importing it at
+            # module scope would couple the two packages' import order.
+            from ..fedquery.journal import QueryJournal
+            journal = QueryJournal()
+        self.journal = journal
+        self._crashed = False
         self._rng = world.rng(f"keymgmt.service.{address}")
         self._notices = world.obs.metrics.counter(
             "keymgmt.notices", help="lifecycle notices sent",
@@ -136,6 +153,8 @@ class DirectoryService:
             help="re-attempts after transient failures",
             labelnames=("op",))
         network.register(address, self._on_message, latency_ms=latency_ms)
+        if network.fault_injector is not None:
+            network.fault_injector.register_crashable(self)
 
     # -- lifecycle entry points -------------------------------------------
 
@@ -173,6 +192,16 @@ class DirectoryService:
         )
         if not status.pending:
             raise ProtocolError("no members left to notify")
+        # Journal-before-send: a service crash between the directory
+        # mutation and the fan-out must still deliver the notice after
+        # a restart (the revocation has already happened in hardware).
+        self.journal.append({
+            "type": "rotation", "tag": tag, "epoch": status.epoch,
+            "reason": reason, "revoked": list(revoked),
+            "pending": sorted(status.pending), "at": status.started_at,
+        })
+        if self._crashed:
+            return tag  # crashed mid-append; restart resumes the notice
         self.rotations[tag] = status
         with self.world.obs.tracer.span("keymgmt.announce", tag=tag,
                                         reason=reason):
@@ -196,15 +225,16 @@ class DirectoryService:
                 pass  # sleeping member; the retry ladder covers it
 
     def _check(self, tag: str) -> None:
-        status = self.rotations[tag]
-        if not status.pending:
-            return
+        status = self.rotations.get(tag)
+        if status is None or not status.pending:
+            return  # resolved, or the state died with a crash
         handle = schedule_retry(
             self.world, self.retry_policy, status.retry_index + 1,
             lambda: self._resend(tag), rng=self._rng,
             label=f"km.rotate:{status.reason}")
         if handle is None:
             status.exhausted = True
+            self.journal.append({"type": "exhausted", "tag": tag})
             self.world.obs.events.emit(
                 "keymgmt.rotate.exhausted", tag=tag,
                 unreachable=sorted(status.pending))
@@ -216,20 +246,28 @@ class DirectoryService:
             unacked=len(status.pending))
 
     def _resend(self, tag: str) -> None:
-        status = self.rotations[tag]
-        if not status.pending:
-            return
+        status = self.rotations.get(tag)
+        if status is None or not status.pending:
+            return  # resolved, or the state died with a crash
         self._send_round(status)
         self.world.loop.schedule_in(
             self.ack_timeout_s, lambda: self._check(tag),
             label=f"km-ack-check:{tag}")
 
     def _on_message(self, source: str, payload: dict[str, Any]) -> None:
+        if self._crashed:
+            return  # a delivery already in flight when the service died
         if payload.get("kind") != MSG_ACK:
             return
         status = self.rotations.get(payload["tag"])
         if status is None:
             return
+        self.journal.append({
+            "type": "ack", "tag": payload["tag"], "name": source,
+            "epoch": payload["epoch"],
+        })
+        if self._crashed:
+            return  # the journal hook crashed us mid-append
         self._acks.inc()
         status.acks += 1
         if payload["epoch"] < status.epoch:
@@ -237,10 +275,86 @@ class DirectoryService:
         status.pending.discard(source)
         if not status.pending and status.completed_at is None:
             status.completed_at = self.world.now
+            self.journal.append({
+                "type": "complete", "tag": status.tag,
+                "at": status.completed_at,
+            })
             self.world.obs.events.emit(
                 "keymgmt.rotate.complete", tag=status.tag,
                 epoch=status.epoch, reason=status.reason,
                 latency_s=status.completed_at - status.started_at)
+
+    # -- crash and restart -------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Kill the service: every in-flight rotation's in-memory state
+        dies; the journal (durable by contract) and the trusted
+        :class:`KeyDirectory` (hardware-resident) survive."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.rotations.clear()
+        if self.network.is_online(self.address):
+            self.network.set_online(self.address, False)
+        self.world.obs.events.emit(
+            "crash.down", address=self.address, journal=len(self.journal))
+
+    def restart(self) -> None:
+        """Rebuild every rotation from the journal; re-send to the
+        unacknowledged remainder of unfinished ones. The retry ladder
+        restarts with the process (``retry_index`` resets) — the
+        convergence guarantee is unchanged, only re-dated."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        if not self.network.is_online(self.address):
+            self.network.set_online(self.address, True)
+        self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        for tag, records in self.journal.by_tag().items():
+            start = records[0]
+            if start["type"] != "rotation":
+                continue
+            status = RotationStatus(
+                tag=tag, epoch=int(start["epoch"]), reason=start["reason"],
+                started_at=int(start["at"]),
+                pending=set(start["pending"]),
+                revoked=list(start["revoked"]),
+            )
+            for record in records[1:]:
+                kind = record["type"]
+                if kind == "ack":
+                    status.acks += 1
+                    if record["epoch"] >= status.epoch:
+                        status.pending.discard(record["name"])
+                elif kind == "complete":
+                    status.completed_at = int(record["at"])
+                elif kind == "exhausted":
+                    status.exhausted = True
+            self.rotations[tag] = status
+            if not status.pending and status.completed_at is None:
+                # The last ack hit the journal but the crash beat the
+                # completion record: the fleet *had* converged; re-date
+                # the completion to the restart.
+                status.completed_at = self.world.now
+                self.journal.append({
+                    "type": "complete", "tag": tag,
+                    "at": status.completed_at,
+                })
+            if status.complete or status.exhausted:
+                continue
+            self.world.obs.events.emit(
+                "crash.recovered", address=self.address, tag=tag,
+                records=len(records), pending=len(status.pending))
+            self._send_round(status)
+            self.world.loop.schedule_in(
+                self.ack_timeout_s, lambda t=tag: self._check(t),
+                label=f"km-ack-check:{tag} (resumed)")
 
     # -- reporting ---------------------------------------------------------
 

@@ -57,6 +57,40 @@ class TestFaultMatrixSmoke:
         assert report.agg_complete and not report.agg_partial
 
 
+class TestTreeChaosSmoke:
+    """The coordinator tree under link faults, tier-1 fast.
+
+    Same harness as the crash matrix (``run_crash_scenario`` with no
+    crash injected): a 3-region tree over a lossy network plus two
+    permanently offline cells must settle to a survivor-exact partial
+    — the dark cells are demoted (loss may demote a few stragglers
+    beyond them), and the leakage audit over every journal stays
+    empty.
+    """
+
+    def test_lossy_tree_settles_survivor_exact(self):
+        from repro.faults.scenario import run_crash_scenario
+
+        row = run_crash_scenario(
+            17, topology="tree", plan=FaultPlan.lossy(seed=17),
+            offline_cells=2,
+        )
+        assert row["faults_injected"] > 0
+        assert row["outcome"] == "partial"
+        assert row["demoted"] >= 2
+        assert row["survivor_exact"]
+        assert not row["raw_in_journal"]
+        assert not row["raw_in_view"]
+
+    def test_lossy_tree_is_deterministic(self):
+        from repro.faults.scenario import run_crash_scenario
+
+        kwargs = dict(topology="tree", plan=FaultPlan.lossy(seed=18),
+                      offline_cells=2)
+        assert run_crash_scenario(18, **kwargs) \
+            == run_crash_scenario(18, **kwargs)
+
+
 def _keymgmt_fleet(n, seed):
     """A directory + notice service + per-cell lifecycle clients."""
     from repro.crypto.keys import KeyRing
@@ -162,3 +196,35 @@ class TestChaosSoak:
         # under a stormy day-long run the retry machinery must actually
         # fire — otherwise the bench rows measure nothing
         assert report.retry_attempts > 0 or report.push_failures > 0, report
+
+
+@pytest.mark.soak
+class TestTreeChurnSoak:
+    """Churning cells *and* a regional coordinator crash, together."""
+
+    @pytest.mark.parametrize("seed", (111, 112, 113))
+    def test_churning_tree_with_region_crash_stays_exact(self, seed):
+        from repro.faults.plan import CrashSpec
+        from repro.faults.scenario import run_crash_scenario
+
+        # the fleet's zero-padded roster names, so the churn plan
+        # actually lands on the cells the tree talks to
+        addresses = tuple(f"cell-{i:04d}" for i in range(30))
+        plan = FaultPlan.churning(
+            seed=seed, addresses=addresses,
+            mean_online_s=300, mean_offline_s=30,
+        )
+        row = run_crash_scenario(
+            seed, topology="tree", plan=plan,
+            crash=CrashSpec("fq-root.r1", at_phase="collect",
+                            restart_after_s=30.0),
+            collect_timeout_s=30, recovery_timeout_s=30,
+        )
+        # terminal, never hung; whatever cohort survived the churn is
+        # summed exactly; the journals never saw a raw encoding
+        assert row["outcome"] in ("complete", "partial"), row
+        assert row["crashes"] == 1
+        assert row["faults_injected"] > 1  # churn beyond the crash itself
+        assert row["survivor_exact"], row
+        assert not row["raw_in_journal"]
+        assert not row["raw_in_view"]

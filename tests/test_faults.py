@@ -287,3 +287,70 @@ class TestScheduleRetry:
         world = World(seed=1)
         policy = RetryPolicy(max_attempts=2)
         assert schedule_retry(world, policy, 2, lambda: None) is None
+
+
+class TestScheduleRetryJitter:
+    """Callers that pass no rng must still get *deterministic* jitter.
+
+    Regression for an audit of ``schedule_retry`` call sites: several
+    loop-driven components scheduled retries without threading an rng,
+    which used to silently disable jitter (``delay_for(..., rng=None)``
+    is the nominal ladder). The deferred path now draws from one
+    world-seeded jitter stream instead.
+    """
+
+    def _fire_times(self, seed, rounds=6):
+        world = World(seed=seed)
+        policy = RetryPolicy(base_delay_s=100, multiplier=1.0,
+                             max_delay_s=100, jitter=0.3, max_attempts=10)
+        times = []
+        for _ in range(rounds):
+            start = world.now
+            fired = []
+            schedule_retry(world, policy, 1, lambda: fired.append(world.now))
+            world.loop.run_for(200)
+            assert fired, "retry never fired"
+            times.append(fired[0] - start)
+        return times
+
+    def test_jitter_applies_without_an_rng(self):
+        times = self._fire_times(7)
+        # not the nominal 100 s ladder: jitter is really on
+        assert any(delay != 100 for delay in times), times
+        # and bounded by the policy's +/- fraction
+        assert all(70 <= delay <= 130 for delay in times), times
+
+    def test_jitter_draws_are_a_stream_not_a_constant(self):
+        times = self._fire_times(7)
+        assert len(set(times)) > 1, times
+
+    def test_jitter_is_deterministic_per_world_seed(self):
+        assert self._fire_times(7) == self._fire_times(7)
+        assert self._fire_times(7) != self._fire_times(8)
+
+    def test_explicit_rng_still_wins(self):
+        import random
+
+        world = World(seed=7)
+        policy = RetryPolicy(base_delay_s=100, multiplier=1.0,
+                             max_delay_s=100, jitter=0.3)
+        fired = []
+        schedule_retry(world, policy, 1, lambda: fired.append(world.now),
+                       rng=random.Random(5))
+        world.loop.run_for(200)
+        expected = max(1, round(
+            policy.delay_for(1, random.Random(5))
+        ))
+        assert fired == [expected]
+
+    def test_worst_case_delays_bound_the_jittered_ladder(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=2,
+                             multiplier=2, max_delay_s=30, jitter=0.1)
+        worst = policy.worst_case_delays()
+        assert worst == [delay * 1.1 for delay in policy.delays(None)]
+        import random
+
+        rng = random.Random(9)
+        for _ in range(50):
+            for index, delay in enumerate(policy.delays(rng)):
+                assert delay <= worst[index] + 1e-9

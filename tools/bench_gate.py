@@ -20,6 +20,11 @@ metrics against the tracked claims within explicit tolerances:
 * **mask derivations** — HMAC count for a k-regular masked sum must
   equal ``n * k`` exactly; the vectorized kernels must not change how
   often key material is touched.
+* **crash recovery** — the crash matrix re-runs live (it is small and
+  scale-independent): every mid-query coordinator crash must recover
+  from its write-ahead journal to the control's exact total, root
+  failover must respawn a dead region, and the per-profile totals
+  must match the tracked rows bit-for-bit.
 
 Exit status 0 means every gate passed; 1 means a regression (or a
 missing/ill-formed tracked file). Run from anywhere:
@@ -220,6 +225,58 @@ def gate_fedquery(gate: Gate, tracked: dict) -> None:
     )
 
 
+def gate_crash(gate: Gate, tracked: dict) -> None:
+    from benchmarks.bench_fedquery_scale import measure_crashes
+    tracked_crash = tracked["crash_matrix"]
+    gate.check(
+        "crash tracked matrix invariants",
+        f"{len(tracked_crash['rows'])} rows, "
+        f"respawns {tracked_crash['failover_respawns']}",
+        tracked_crash["no_crash_clean"]
+        and tracked_crash["recovered_totals_pinned"]
+        and tracked_crash["failover_respawns"] >= 1
+        and tracked_crash["degraded_survivor_exact"]
+        and not tracked_crash["raw_leaked"],
+    )
+    measured = measure_crashes()
+    gate.check(
+        "crash controls clean (live)",
+        "flat + tree quiet rows: zero faults, zero re-asks, complete",
+        measured["no_crash_clean"],
+    )
+    gate.check(
+        "crash recovered totals pinned to control (live)",
+        "every full-survivor crash row completes bit-for-bit",
+        measured["recovered_totals_pinned"],
+    )
+    gate.check(
+        "crash root failover respawns dead region (live)",
+        f"respawns {measured['failover_respawns']}",
+        measured["failover_respawns"] >= 1,
+    )
+    gate.check(
+        "crash degraded run survivor-exact (live)",
+        "crash + offline cells settles to exact partial",
+        measured["degraded_survivor_exact"],
+    )
+    gate.check(
+        "crash journals free of raw encodings (live)",
+        f"{len(measured['rows'])} rows audited",
+        not measured["raw_leaked"],
+    )
+    tracked_totals = {
+        row["profile"]: row["field_total"] for row in tracked_crash["rows"]
+    }
+    measured_totals = {
+        row["profile"]: row["field_total"] for row in measured["rows"]
+    }
+    gate.check(
+        "crash totals match tracked bit-for-bit",
+        f"{len(measured_totals)} profiles",
+        measured_totals == tracked_totals,
+    )
+
+
 def gate_keymgmt(gate: Gate, tracked: dict) -> None:
     from benchmarks.bench_keymgmt_scale import (
         SMOKE_CELLS,
@@ -312,6 +369,7 @@ SECTIONS = (
     ("BENCH_store.json", gate_store),
     ("BENCH_aggregation.json", gate_aggregation),
     ("BENCH_fedquery.json", gate_fedquery),
+    ("BENCH_fedquery.json", gate_crash),
     ("BENCH_keymgmt.json", gate_keymgmt),
 )
 
