@@ -35,7 +35,13 @@ import time
 from repro.hardware import SMART_TOKEN, SMARTPHONE, NandFlash
 from repro.obs import get_default
 from repro.store import Between, Catalog, LogStructuredStore, Query
+from repro.store.encoding import ColumnBatch
 from repro.workloads.energy import HouseholdSimulator
+
+try:
+    from benchmarks import bench_micro_ops as _micro_ops
+except ImportError:  # run as a script: benchmarks/ itself is on sys.path
+    import bench_micro_ops as _micro_ops
 
 OBS = get_default()
 
@@ -202,6 +208,207 @@ def measure_ingest(day_trace, month_days: int, sample_period: int) -> dict:
         "batch_speedup_wall": speedup_wall,
         "meets_5x": speedup_device >= 5,
         "bit_for_bit_batch_equals_buffered_puts": bit_for_bit,
+    }
+
+
+# -- columnar batch path -----------------------------------------------------
+
+
+def measure_columnar(day_trace, window_s: int, reps: int = 5) -> dict:
+    """The vectorized record path vs the pinned scalar path, same data.
+
+    Four A/B rows, every timing interleaved per repetition with best-of
+    kept (the only stable protocol on a loaded host, and fair to both
+    sides): ``insert_batch`` over producer arrays vs scalar
+    ``insert_many``; full ``scan_batches`` vs ``scan``; a filtered
+    scan with the vectorized ``Between`` mask vs per-record
+    ``matches``; and catalog queries on columnar vs scalar stores.
+    Device time cannot distinguish the two sides — the flash images are
+    bit-for-bit identical (asserted here) — so these rows are
+    wall-clock, unlike the ingest headline.
+    """
+    try:
+        import numpy as np
+    except ImportError:
+        return {"available": False}
+
+    records = day_trace.records()
+    day_n = len(records)
+    record_ids = [record_id for record_id, _ in records]
+    t_arr = np.fromiter(
+        (record["t"] for _, record in records), dtype=np.int64, count=day_n
+    )
+    w_arr = np.fromiter(
+        (record["w"] for _, record in records), dtype=np.float64, count=day_n
+    )
+
+    # ingest: columnar=False store + insert_many vs insert_batch
+    scalar_wall = columnar_wall = math.inf
+    flash_scalar = flash_columnar = None
+    store_scalar = store_columnar = None
+    for _ in range(reps):
+        flash_s = _flash_for(_frame_estimate(records))
+        store_s = LogStructuredStore(flash_s, columnar=False)
+        started = time.perf_counter()
+        store_s.insert_many(records)
+        store_s.flush()
+        scalar_wall = min(scalar_wall, time.perf_counter() - started)
+
+        flash_c = _flash_for(_frame_estimate(records))
+        store_c = LogStructuredStore(flash_c)
+        started = time.perf_counter()
+        batch = ColumnBatch.from_arrays({"t": t_arr, "w": w_arr})
+        store_c.insert_batch(record_ids, batch)
+        store_c.flush()
+        columnar_wall = min(columnar_wall, time.perf_counter() - started)
+
+        flash_scalar, store_scalar = flash_s, store_s
+        flash_columnar, store_columnar = flash_c, store_c
+
+    bit_for_bit = (
+        _flash_image(flash_scalar) == _flash_image(flash_columnar)
+        and store_scalar.record_ids() == store_columnar.record_ids()
+    )
+    ingest_speedup = round(scalar_wall / columnar_wall, 2)
+
+    # full scan: materialized per-record rows vs column batches
+    store = store_columnar
+    scan_wall = batches_wall = math.inf
+    batch_rows = 0
+    for _ in range(reps):
+        started = time.perf_counter()
+        scan_rows = sum(1 for _ in store.scan())
+        scan_wall = min(scan_wall, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        batch_rows = sum(
+            batch.count for _, batch in store.scan_batches()
+        )
+        batches_wall = min(batches_wall, time.perf_counter() - started)
+    rows_identical = [
+        (chunk_ids[index], batch.row(index))
+        for chunk_ids, batch in store.scan_batches()
+        for index in range(batch.count)
+    ] == list(store.scan())
+    scan_speedup = round(scan_wall / batches_wall, 2)
+
+    # filtered scan: vectorized Between mask vs per-record matches
+    low = day_trace.day * SECONDS_PER_DAY + SECONDS_PER_DAY // 2
+    high = low + window_s - 1
+    where = Between("t", low, high)
+    filtered_scalar = filtered_columnar = math.inf
+    scalar_hits = columnar_hits = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        scalar_hits = [
+            (record_id, record)
+            for record_id, record in store.scan_range("t", low, high)
+            if where.matches(record)
+        ]
+        filtered_scalar = min(filtered_scalar, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        columnar_hits = []
+        for chunk_ids, batch in store.scan_batches("t", low, high):
+            mask = where.matches_batch(batch)
+            if mask is None:
+                columnar_hits.extend(
+                    (chunk_ids[index], batch.row(index))
+                    for index in range(batch.count)
+                    if where.matches(batch.row(index))
+                )
+            else:
+                columnar_hits.extend(
+                    (chunk_ids[index], batch.row(index))
+                    for index in np.flatnonzero(mask).tolist()
+                )
+        filtered_columnar = min(
+            filtered_columnar, time.perf_counter() - started
+        )
+    filtered_speedup = round(filtered_scalar / filtered_columnar, 2)
+
+    # catalog queries: zonemap window + wide unindexed filter, no index
+    def _catalog(columnar: bool):
+        flash = _flash_for(_frame_estimate(records, id_extra=len("meter/")))
+        catalog = Catalog(flash, columnar=columnar)
+        catalog.collection("meter").insert_many(records)
+        return catalog
+
+    catalog_scalar = _catalog(columnar=False)
+    catalog_columnar = _catalog(columnar=True)
+    window_query = Query("meter", where=Between("t", low, high))
+    wide_query = Query("meter", where=Between("w", 100.0, 1500.0))
+    query_walls = {}
+    query_results = {}
+    for name, query in (("window", window_query), ("wide", wide_query)):
+        walls = {"scalar": math.inf, "columnar": math.inf}
+        results = {}
+        for _ in range(reps):
+            for side, catalog in (
+                ("scalar", catalog_scalar), ("columnar", catalog_columnar)
+            ):
+                started = time.perf_counter()
+                results[side] = catalog.query(query)
+                walls[side] = min(
+                    walls[side], time.perf_counter() - started
+                )
+        query_walls[name] = walls
+        query_results[name] = results
+    query_rows = {
+        name: {
+            "rows": len(results["columnar"].rows),
+            "plan": results["columnar"].plan,
+            "scalar_wall_ms": round(query_walls[name]["scalar"] * 1e3, 3),
+            "columnar_wall_ms": round(
+                query_walls[name]["columnar"] * 1e3, 3
+            ),
+            "speedup_wall": round(
+                query_walls[name]["scalar"] / query_walls[name]["columnar"],
+                2,
+            ),
+            "results_identical": (
+                results["columnar"].rows == results["scalar"].rows
+                and results["columnar"].plan == results["scalar"].plan
+                and results["columnar"].records_examined
+                == results["scalar"].records_examined
+            ),
+        }
+        for name, results in query_results.items()
+    }
+
+    return {
+        "available": True,
+        "ingest": {
+            "records": day_n,
+            "scalar_wall_seconds": round(scalar_wall, 3),
+            "columnar_wall_seconds": round(columnar_wall, 3),
+            "us_per_record_scalar": round(scalar_wall / day_n * 1e6, 2),
+            "us_per_record_columnar": round(
+                columnar_wall / day_n * 1e6, 2
+            ),
+            "records_per_sec_wall": round(day_n / columnar_wall, 1),
+            "speedup_wall": ingest_speedup,
+            "bit_for_bit_columnar_equals_scalar": bit_for_bit,
+        },
+        "scan": {
+            "records": batch_rows,
+            "scalar_wall_ms": round(scan_wall * 1e3, 3),
+            "columnar_wall_ms": round(batches_wall * 1e3, 3),
+            "records_per_sec_wall": round(batch_rows / batches_wall, 1),
+            "speedup_wall": scan_speedup,
+            "rows_identical": rows_identical,
+        },
+        "filtered_scan": {
+            "window_s": window_s,
+            "rows": len(columnar_hits),
+            "scalar_wall_ms": round(filtered_scalar * 1e3, 3),
+            "columnar_wall_ms": round(filtered_columnar * 1e3, 3),
+            "speedup_wall": filtered_speedup,
+            "rows_identical": columnar_hits == scalar_hits,
+        },
+        "catalog_queries": query_rows,
+        "micro_ops": _micro_ops.measure_encode_decode(),
+        "hmac_per_page": _micro_ops.measure_hmac_per_page(),
     }
 
 
@@ -501,6 +708,7 @@ def build_report(sample_period: int = FULL_SAMPLE_PERIOD,
         },
         "sample_period_s": sample_period,
         "ingest": measure_ingest(day, month_days, sample_period),
+        "columnar": measure_columnar(day, query_window_s),
         "queries": measure_queries(day, query_window_s),
         "page_cache": measure_cache(day, query_window_s, cache_pages),
         "recovery": measure_recovery(day, checkpoint_blocks, sample_period),
@@ -540,6 +748,22 @@ def test_store_scale_smoke():
         SMOKE_MONTH_DAYS * ingest["records_per_day"]
     )
 
+    columnar = report["columnar"]
+    if columnar["available"]:
+        assert columnar["ingest"]["bit_for_bit_columnar_equals_scalar"]
+        assert columnar["ingest"]["speedup_wall"] > 2.0
+        assert columnar["scan"]["rows_identical"]
+        assert columnar["scan"]["speedup_wall"] > 2.0
+        assert columnar["filtered_scan"]["rows_identical"]
+        for row in columnar["catalog_queries"].values():
+            assert row["results_identical"]
+        micro = columnar["micro_ops"]
+        assert micro["encode_bit_for_bit"] and micro["decode_rows_identical"]
+        hmac = columnar["hmac_per_page"]
+        assert hmac["per_frame_hmacs"] == 4 * hmac["frames_per_page"]
+        assert hmac["bundle_hmacs"] == 4
+        assert hmac["roundtrip_identical"]
+
     queries = report["queries"]
     assert queries["results_identical"]
     assert queries["zonemap_reads_fewer_than_scan"]
@@ -576,6 +800,15 @@ def test_store_scale_smoke():
     assert tracked["ingest"]["records_per_day"] == SECONDS_PER_DAY
     assert tracked["ingest"]["batch_speedup_device"] >= 5
     assert tracked["ingest"]["bit_for_bit_batch_equals_buffered_puts"]
+    tracked_columnar = tracked["columnar"]
+    assert tracked_columnar["ingest"]["speedup_wall"] >= 5
+    assert tracked_columnar["ingest"]["bit_for_bit_columnar_equals_scalar"]
+    assert tracked_columnar["scan"]["speedup_wall"] >= 5
+    assert tracked_columnar["scan"]["rows_identical"]
+    assert tracked_columnar["hmac_per_page"]["bundle_hmacs"] == 4
+    assert tracked_columnar["hmac_per_page"]["collapse_factor"] == (
+        tracked_columnar["hmac_per_page"]["frames_per_page"]
+    )
     assert tracked["queries"]["zonemap_reads_fewer_than_scan"]
     assert tracked["queries"]["results_identical"]
     assert tracked["recovery"]["incremental_replays_fewer_pages"]

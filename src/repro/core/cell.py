@@ -278,6 +278,63 @@ class TrustedCell:
         self.tee.charge_cpu(len(payload))
         return metadata
 
+    def store_frames(
+        self,
+        session: Session,
+        object_id: str,
+        frames: list[bytes],
+        policy: UsagePolicy | None = None,
+        kind: str = "records",
+        keywords: str = "",
+    ) -> ObjectMetadata:
+        """Seal and store a page's worth of record frames as one object.
+
+        The frames (e.g. one flash page of encoded records) are packed
+        and sealed in a single AEAD pass — 4 keyed HMACs for the whole
+        bundle instead of 4 per frame — so outsourcing a day of 1 Hz
+        samples costs HMACs per *page*, not per record. The sticky
+        policy governs every frame in the bundle. The bundle behaves
+        like any other object afterwards: it is pushed, fetched,
+        version-anchored and policy-checked as one unit.
+        """
+        if policy is None:
+            policy = self._default_policy(session.subject, kind)
+        version = 1
+        if self.catalog.collection("objects").contains(object_id):
+            version = self.catalog.collection("objects").get(object_id)["version"] + 1
+        key = self.tee.keys.object_key(object_id, version)
+        envelope = DataEnvelope.create_bundle(
+            key, object_id, version, frames, policy
+        )
+        self._envelopes[object_id] = envelope
+        total_bytes = sum(len(frame) for frame in frames)
+        metadata = ObjectMetadata(
+            object_id=object_id,
+            owner=policy.owner,
+            version=version,
+            kind=kind,
+            size=total_bytes,
+            created_at=self.world.now,
+            keywords=keywords,
+        )
+        self.catalog.collection("objects").insert(
+            object_id,
+            {
+                "owner": metadata.owner,
+                "version": metadata.version,
+                "kind": metadata.kind,
+                "size": metadata.size,
+                "created_at": metadata.created_at,
+                "keywords": metadata.keywords,
+            },
+        )
+        self.audit.append(
+            self.world.now, session.subject, object_id, "store", True,
+            reason=f"v{version} bundle[{len(frames)}]",
+        )
+        self.tee.charge_cpu(total_bytes)
+        return metadata
+
     def adopt_policy_pack(self, pack, publisher_key) -> None:
         """Adopt a signed default-policy pack from a trusted publisher.
 

@@ -19,6 +19,7 @@ from .keywords import KeywordIndex
 from .log_store import LogStructuredStore
 from .query import (
     And,
+    BatchCandidates,
     Between,
     Eq,
     HasKeyword,
@@ -259,6 +260,7 @@ class Catalog:
         *,
         page_cache_bytes: int | None = None,
         zone_maps: bool = True,
+        columnar: bool = True,
         checkpoint_blocks: int = 0,
         checkpoint_interval_pages: int | None = None,
     ) -> None:
@@ -269,6 +271,7 @@ class Catalog:
             ram_budget_bytes=ram_budget,
             page_cache_bytes=page_cache_bytes,
             zone_maps=zone_maps,
+            columnar=columnar,
             checkpoint_blocks=checkpoint_blocks,
             checkpoint_interval_pages=checkpoint_interval_pages,
         )
@@ -299,6 +302,25 @@ class Catalog:
             raise QueryError(f"unknown collection {query.collection!r}")
         collection = self._collections[query.collection]
         flash = self.store.flash
+        columnar = self.store.columnar_enabled
+
+        def batch_chunks(field=None, low=None, high=None):
+            """Prefix-filtered (keep, batch) chunks from the columnar
+            scan — the same row set, in the same order, as the scalar
+            scan/scan_range generators."""
+            prefix = collection._prefix
+            chunks = []
+            for chunk_ids, batch in self.store.scan_batches(field, low, high):
+                keep = [
+                    index for index, full_id in enumerate(chunk_ids)
+                    if full_id.startswith(prefix)
+                ]
+                if not keep:
+                    continue
+                if len(keep) == len(chunk_ids):
+                    keep = None
+                chunks.append((keep, batch))
+            return BatchCandidates(chunks)
 
         def fetch_candidates(predicate: Predicate):
             before = flash.reads
@@ -315,6 +337,12 @@ class Catalog:
                 )
                 if hint is not None:
                     hint_field, low, high = hint
+                    if columnar:
+                        chunks = batch_chunks(hint_field, low, high)
+                        return (
+                            chunks, f"zonemap:{hint_field}",
+                            flash.reads - before,
+                        )
                     prefix = collection._prefix
                     records = [
                         record
@@ -330,6 +358,8 @@ class Catalog:
 
         def fetch_all():
             before = flash.reads
+            if columnar:
+                return batch_chunks(), flash.reads - before
             prefix = collection._prefix
             records = [
                 record

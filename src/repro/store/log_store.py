@@ -30,6 +30,7 @@ scaling machinery embedded PDS engines rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Iterable, Iterator
 
 from ..errors import (
@@ -40,12 +41,46 @@ from ..errors import (
 )
 from ..hardware.flash import NandFlash
 from ..obs import get_default as _obs_default
-from .encoding import Record, Value, decode_record, encode_record
+from .encoding import (
+    COLUMNAR_MIN_BATCH,
+    ColumnBatch,
+    Record,
+    Value,
+    decode_page,
+    decode_record,
+    encode_frame_runs,
+    encode_record,
+    lane_plan,
+    lane_plan_for_batch,
+)
 from .page_cache import PageCache
 from .zonemap import BlockSummary
 
 _ENTRY_INSERT = 1
 _ENTRY_DELETE = 2
+
+
+class _BatchRows:
+    """Lazy sequence view over a :class:`ColumnBatch` slice.
+
+    The fused commit only touches individual records at run templates
+    and page-tail boundaries (a handful per chunk), so materializing
+    rows on demand keeps the batch ingest path free of the per-record
+    dict builds the whole lane exists to avoid.
+    """
+
+    __slots__ = ("_batch", "_base", "_count")
+
+    def __init__(self, batch: ColumnBatch, base: int, count: int) -> None:
+        self._batch = batch
+        self._base = base
+        self._count = count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: int) -> Record:
+        return self._batch.row(self._base + index)
 
 # Store instruments live on the process-default scope (stores have no
 # world). Bind the instruments, not their values: the test fixture
@@ -99,7 +134,9 @@ class LogStructuredStore:
     def __init__(self, flash: NandFlash, ram_budget_bytes: int | None = None,
                  *, page_cache_bytes: int | None = None,
                  zone_maps: bool = True, checkpoint_blocks: int = 0,
-                 checkpoint_interval_pages: int | None = None) -> None:
+                 checkpoint_interval_pages: int | None = None,
+                 columnar: bool = True,
+                 integrity_key: bytes | None = None) -> None:
         self.flash = flash
         self._page_size = flash.timings.page_size
         self._pages_per_block = flash.timings.pages_per_block
@@ -152,6 +189,20 @@ class LogStructuredStore:
         # a rebooted cell can rebuild its RAM directory by log replay.
         self._page_sequence = 0
         self._ram_budget = ram_budget_bytes
+        # Columnar batch ingest/scan (scalar paths stay pinned; the
+        # fused path produces a byte-identical flash image).
+        self._columnar = columnar
+        self._batch_scratch_bytes = 0
+        # Optional page-granular integrity: one HMAC tag per flushed
+        # data page, RAM-resident, verified on every page read. One
+        # MAC amortized over a page's worth of frames instead of one
+        # per record — the batched crypto cost model.
+        self._integrity_key = integrity_key
+        self._page_tags: dict[int, bytes] = {}
+        if integrity_key is not None:
+            from ..crypto.primitives import hmac_sha256, verify_hmac
+            self._hmac = hmac_sha256
+            self._verify_hmac = verify_hmac
         self.inserts = 0
         self.deletes = 0
         self.last_recovery: RecoveryStats | None = None
@@ -178,28 +229,78 @@ class LogStructuredStore:
         """Approximate RAM held by the per-block zone maps."""
         return sum(summary.ram_bytes for summary in self._summaries.values())
 
+    _PAGE_TAG_BYTES = 72  # 32-byte HMAC tag + dict slot + page key
+
+    @property
+    def integrity_ram_bytes(self) -> int:
+        """Approximate RAM held by the per-page integrity tags."""
+        return len(self._page_tags) * self._PAGE_TAG_BYTES
+
+    @property
+    def batch_scratch_bytes(self) -> int:
+        """Transient RAM held by in-flight columnar batch buffers
+        (encode blobs, column arrays, decode chunks). Non-zero only
+        while a batch operation runs; the columnar paths size their
+        chunks from the budget headroom so scratch never triggers a
+        :class:`CapacityError` the scalar path would not have raised."""
+        return self._batch_scratch_bytes
+
     @property
     def ram_bytes(self) -> int:
-        """Everything the store holds in RAM (cache pages included)."""
+        """Everything the store holds in RAM (cache pages, in-flight
+        batch scratch and integrity tags included)."""
         cache = self.page_cache.ram_bytes if self.page_cache is not None else 0
-        return self.directory_ram_bytes + self.summaries_ram_bytes + cache
+        return (
+            self.directory_ram_bytes + self.summaries_ram_bytes + cache
+            + self._batch_scratch_bytes + self.integrity_ram_bytes
+        )
 
     def _check_ram(self) -> None:
         if self._ram_budget is None:
             return
-        held = self.directory_ram_bytes + self.summaries_ram_bytes
+        held = (
+            self.directory_ram_bytes + self.summaries_ram_bytes
+            + self.integrity_ram_bytes
+        )
         if held > self._ram_budget:
             raise CapacityError(
                 f"store RAM (directory + write buffer + zone maps) exceeds "
                 f"budget ({held} > {self._ram_budget} bytes)"
             )
 
+    def _ram_headroom(self) -> int | None:
+        """Budget minus persistent RAM; None when unbudgeted."""
+        if self._ram_budget is None:
+            return None
+        return self._ram_budget - (
+            self.directory_ram_bytes + self.summaries_ram_bytes
+            + self.integrity_ram_bytes
+        )
+
     # -- cached device reads --------------------------------------------------
 
     def _read_page(self, page: int) -> bytes:
         if self.page_cache is not None:
-            return self.page_cache.read_page(page)
-        return self.flash.read_page(page)
+            data = self.page_cache.read_page(page)
+        else:
+            data = self.flash.read_page(page)
+        if self._integrity_key is not None:
+            tag = self._page_tags.get(page)
+            if tag is not None and not self._verify_hmac(
+                self._integrity_key, page.to_bytes(4, "big") + data, tag
+            ):
+                raise StorageError(
+                    f"page integrity check failed [page {page} block "
+                    f"{page // self._pages_per_block}]"
+                )
+        return data
+
+    def _note_page_tag(self, page: int, page_data: bytes) -> None:
+        """Tag one flushed page (reads return the padded image)."""
+        padded = page_data.ljust(self._page_size, b"\xff")
+        self._page_tags[page] = self._hmac(
+            self._integrity_key, page.to_bytes(4, "big") + padded
+        )
 
     # -- log entry framing ----------------------------------------------------
 
@@ -235,6 +336,8 @@ class LogStructuredStore:
         block = page // self._pages_per_block
         summary = self._block_summary(block)
         summary.note_page(self._page_sequence)
+        if self._integrity_key is not None:
+            self._note_page_tag(page, page_data)
         directory = self._directory
         live = self._live_per_block
         header = self._PAGE_HEADER_BYTES
@@ -246,7 +349,8 @@ class LogStructuredStore:
                 if self._zone_maps:
                     if record is None:
                         record = decode_record(
-                            bytes(self._buffer[offset : offset + length])
+                            bytes(self._buffer[offset : offset + length]),
+                            context="page buffer",
                         )
                     summary.note_record(record)
             else:
@@ -318,17 +422,55 @@ class LogStructuredStore:
         self._append(_ENTRY_INSERT, record_id, encode_record(record), record)
         self.inserts += 1
 
+    _COLUMNAR_CHUNK_RECORDS = 16384
+
     def insert_many(self, items: Iterable[tuple[str, Record]]) -> int:
         """Batch ingest: append many records with page-granular cost.
 
         Produces the *identical* flash image a sequence of :meth:`put`
         calls would (same framing, same page boundaries, same sequence
         numbers) — the batch ingest benchmark proves this bit-for-bit —
-        but skips the per-record call overhead: frames are packed into
-        the page buffer in one tight loop and the RAM budget is checked
-        per flushed page instead of per record. Returns the number of
-        records appended.
+        but skips the per-record call overhead. Uniform-schema batches
+        take the columnar lane (see :func:`encoding.encode_frame_runs`):
+        frames are assembled as numpy matrices per constant-layout run,
+        full pages are committed straight from the run blobs without
+        passing through the byte-wise page buffer, and zone maps fold
+        whole column slices per page. Batches (or chunks) the lane
+        rejects fall back to the scalar loop, whose behaviour is
+        unchanged. Returns the number of records appended.
         """
+        if not isinstance(items, list):
+            items = list(items)
+        appended = 0
+        position = 0
+        total = len(items)
+        while self._columnar and total - position >= COLUMNAR_MIN_BATCH:
+            chunk = self._columnar_chunk_size(items[position])
+            if chunk < COLUMNAR_MIN_BATCH:
+                break
+            part = items[position : position + chunk]
+            record_ids, records = zip(*part)
+            plan = lane_plan(records)
+            runs = (
+                encode_frame_runs(_ENTRY_INSERT, record_ids, records, plan)
+                if plan is not None else None
+            )
+            if runs is None or not self._commit_frame_runs(
+                record_ids, records, runs, plan
+            ):
+                break  # this chunk (and the rest) goes through the scalar loop
+            appended += len(part)
+            position += len(part)
+        if position < total:
+            appended += self._insert_scalar(
+                items[position:] if position else items
+            )
+        self.inserts += appended
+        self._check_ram()
+        return appended
+
+    def _insert_scalar(self, items: list[tuple[str, Record]]) -> int:
+        """The pinned per-record ingest loop (reference behaviour)."""
         usable = self._page_size - self._PAGE_HEADER_BYTES
         buffer = self._buffer
         entries = self._buffer_entries
@@ -363,9 +505,369 @@ class LogStructuredStore:
             )
             buffered[record_id] = len(entries) - 1
             count += 1
-        self.inserts += count
-        self._check_ram()
         return count
+
+    def _columnar_chunk_size(self, first_item: tuple[str, Record]) -> int:
+        """Records per fused chunk, bounded by the RAM budget headroom
+        so batch scratch (frame blobs + column arrays) stays a small
+        fraction of what the budget has left. Unbudgeted stores use the
+        fixed chunk size."""
+        headroom = self._ram_headroom()
+        if headroom is None:
+            return self._COLUMNAR_CHUNK_RECORDS
+        record_id, record = first_item
+        frame_estimate = 5 + len(record_id.encode()) + len(encode_record(record))
+        per_record = 2 * frame_estimate + 88  # blob + matrix + directory growth
+        return min(self._COLUMNAR_CHUNK_RECORDS, headroom // (4 * per_record))
+
+    def insert_batch(self, record_ids: list[str],
+                     batch: ColumnBatch) -> int:
+        """Ingest a :class:`ColumnBatch` without ever materializing
+        per-record dicts.
+
+        This is the producer-side columnar entry point: a data source
+        that already holds typed arrays (see
+        :meth:`ColumnBatch.from_arrays`) feeds them straight into the
+        fused page commit — same flash image as
+        ``insert_many(zip(record_ids, batch.rows()))``, bit for bit,
+        but without the per-record encode, gather, and type-scan costs.
+        Batches the vectorized lane rejects fall back to
+        :meth:`insert_many` over materialized rows. Returns the number
+        of records appended.
+        """
+        if not isinstance(record_ids, list):
+            record_ids = list(record_ids)
+        total = batch.count
+        if len(record_ids) != total:
+            raise StorageError(
+                f"{len(record_ids)} record ids for {total} batch rows")
+        fused = 0
+        position = 0
+        fast = None
+        if self._columnar and total >= COLUMNAR_MIN_BATCH:
+            # One append-only verdict for the whole batch: globally
+            # unique ids disjoint from the directory and write buffer
+            # stay collision-free across every chunk.
+            unique = set(record_ids)
+            if (
+                len(unique) == total
+                and self._directory.keys().isdisjoint(unique)
+                and self._buffered.keys().isdisjoint(unique)
+            ):
+                fast = True
+        while self._columnar and total - position >= COLUMNAR_MIN_BATCH:
+            chunk = self._batch_chunk_size(record_ids, batch, position)
+            if chunk < COLUMNAR_MIN_BATCH:
+                break
+            end = min(position + chunk, total)
+            plan = lane_plan_for_batch(batch, position, end)
+            if plan is None:
+                break
+            ids_slice = record_ids[position:end]
+            rows = _BatchRows(batch, position, end - position)
+            runs = encode_frame_runs(_ENTRY_INSERT, ids_slice, rows, plan)
+            if runs is None or not self._commit_frame_runs(
+                ids_slice, rows, runs, plan, fast
+            ):
+                break
+            fused += end - position
+            position = end
+        self.inserts += fused
+        self._check_ram()
+        appended = fused
+        if position < total:
+            appended += self.insert_many(
+                [(record_ids[index], batch.row(index))
+                 for index in range(position, total)]
+            )
+        return appended
+
+    def _batch_chunk_size(self, record_ids, batch, position) -> int:
+        """:meth:`_columnar_chunk_size` for a ColumnBatch slice."""
+        headroom = self._ram_headroom()
+        if headroom is None:
+            return self._COLUMNAR_CHUNK_RECORDS
+        record_id = record_ids[position]
+        record = batch.row(position)
+        frame_estimate = 5 + len(record_id.encode()) + len(encode_record(record))
+        per_record = 2 * frame_estimate + 88  # blob + matrix + directory growth
+        return min(self._COLUMNAR_CHUNK_RECORDS, headroom // (4 * per_record))
+
+    def _commit_frame_runs(self, record_ids, records, runs, plan,
+                           fast: bool | None = None) -> bool:
+        """Drive pre-encoded frame runs through buffer and fused pages.
+
+        Replays exactly the scalar loop's page layout: head frames top
+        up the current write buffer, maximal full pages are written
+        straight from the run blobs, and the tail (anything after the
+        last page boundary, including an exactly-full final page) stays
+        buffered. Returns False — having written nothing — when a frame
+        exceeds the page, so the scalar loop can raise its per-record
+        error.
+        """
+        usable = self._page_size - self._PAGE_HEADER_BYTES
+        for run in runs:
+            if run.frame_len > usable:
+                return False
+        scratch = 48 * len(records)
+        for run in runs:
+            scratch += 2 * len(run.blob)
+        self._batch_scratch_bytes = scratch
+        # Append-only fast path: when no id in the chunk collides with
+        # the directory, the write buffer, or another chunk id, page
+        # commits need no retire interleave — the directory takes one
+        # C-speed bulk update per page instead of a per-record loop.
+        # ``insert_batch`` pre-computes the verdict once per batch.
+        if fast is None:
+            unique = set(record_ids)
+            fast = (
+                len(unique) == len(record_ids)
+                and self._directory.keys().isdisjoint(unique)
+                and self._buffered.keys().isdisjoint(unique)
+            )
+        try:
+            self._commit_frame_stream(
+                record_ids, records, runs, plan, usable, fast
+            )
+        finally:
+            self._batch_scratch_bytes = 0
+        return True
+
+    def _commit_frame_stream(self, record_ids, records, runs, plan,
+                             usable, fast) -> None:
+        run_index = 0
+        in_run = 0  # frames already consumed from runs[run_index]
+        n_runs = len(runs)
+        buffer = self._buffer
+        entries = self._buffer_entries
+        buffered = self._buffered
+        # Phase A: top up a non-empty write buffer frame by frame, just
+        # like the scalar loop, until it flushes (or the batch ends).
+        while run_index < n_runs and buffer:
+            run = runs[run_index]
+            frame_len = run.frame_len
+            if len(buffer) + frame_len > usable:
+                self._flush_buffer()
+                self._check_ram()
+                buffer = self._buffer
+                entries = self._buffer_entries
+                buffered = self._buffered
+                break
+            offset = len(buffer)
+            blob_at = in_run * frame_len
+            buffer += run.blob[blob_at : blob_at + frame_len]
+            index = run.start + in_run
+            entries.append(
+                (record_ids[index], _ENTRY_INSERT,
+                 offset + run.payload_offset, run.payload_len,
+                 records[index])
+            )
+            buffered[record_ids[index]] = len(entries) - 1
+            in_run += 1
+            if in_run == run.count:
+                run_index += 1
+                in_run = 0
+        # Per-field column accessors for the fused zone-map fold. A
+        # chunk-level NaN sweep (vectorized ``arr != arr``) lets pages
+        # of NaN-free float columns take the clean min/max fold.
+        zone_columns: list[tuple[str, str, object, object]] = []
+        if self._zone_maps and run_index < n_runs:
+            for name in plan.names:
+                kind = plan.kinds[name]
+                if kind == "c":
+                    zone_columns.append((name, "c", [records[0][name]], None))
+                elif kind == "f":
+                    arr = plan.arrays[name]
+                    flags = arr != arr
+                    zone_columns.append(
+                        (name, "f", arr, flags if flags.any() else None)
+                    )
+                else:
+                    zone_columns.append((name, "i", plan.arrays[name], None))
+        # Phase B: commit maximal pages straight from the run blobs.
+        # Zone folds are deferred into ``zone_spans`` and applied per
+        # block (and before any mid-chunk checkpoint) — see
+        # :meth:`_fold_zone_spans` for the equivalence argument.
+        header = self._PAGE_HEADER_BYTES
+        directory = self._directory
+        live = self._live_per_block
+        zone_spans: list[tuple[object, int, int]] = []
+        while run_index < n_runs:
+            parts: list[tuple[object, int, int]] = []  # run, start, count
+            fill = 0
+            scan_run = run_index
+            scan_in = in_run
+            while scan_run < n_runs:
+                run = runs[scan_run]
+                fit = (usable - fill) // run.frame_len
+                remaining = run.count - scan_in
+                take = remaining if remaining < fit else fit
+                if take <= 0:
+                    break
+                parts.append((run, scan_in, take))
+                fill += take * run.frame_len
+                scan_in += take
+                if scan_in == run.count:
+                    scan_run += 1
+                    scan_in = 0
+            if scan_run >= n_runs:
+                break  # tail stays buffered (even an exactly-full page)
+            page = self._allocate_page()
+            self._page_sequence += 1
+            sequence = self._page_sequence
+            pieces = [sequence.to_bytes(header, "big")]
+            for run, start_in, take in parts:
+                blob_at = start_in * run.frame_len
+                pieces.append(
+                    run.blob[blob_at : blob_at + take * run.frame_len]
+                )
+            page_data = b"".join(pieces)
+            self.flash.write_page(page, page_data)
+            if self.page_cache is not None:
+                self.page_cache.note_write(page, page_data)
+            block = page // self._pages_per_block
+            summary = self._block_summary(block)
+            summary.note_page(sequence)
+            if self._integrity_key is not None:
+                self._note_page_tag(page, page_data)
+            offset = header
+            if fast:
+                on_page = 0
+                for run, start_in, take in parts:
+                    frame_len = run.frame_len
+                    value_at = offset + run.payload_offset
+                    base = run.start + start_in
+                    directory.update(zip(
+                        record_ids[base : base + take],
+                        zip(repeat(page),
+                            range(value_at, value_at + take * frame_len,
+                                  frame_len),
+                            repeat(run.payload_len)),
+                    ))
+                    offset += take * frame_len
+                    on_page += take
+                live[block] = live.get(block, 0) + on_page
+            else:
+                # Replacement-capable slow path: live-count increments
+                # are deferred in ``pending`` and flushed before any
+                # retire, so an intra-page duplicate id sees the earlier
+                # occurrences' counts, exactly as the sequential
+                # retire/set/increment interleave would.
+                pending = 0
+                for run, start_in, take in parts:
+                    frame_len = run.frame_len
+                    payload_len = run.payload_len
+                    value_at = offset + run.payload_offset
+                    base = run.start + start_in
+                    for record_id in record_ids[base : base + take]:
+                        if record_id in directory:
+                            if pending:
+                                live[block] = live.get(block, 0) + pending
+                                pending = 0
+                            self._retire(record_id)
+                        directory[record_id] = (page, value_at, payload_len)
+                        value_at += frame_len
+                        pending += 1
+                    offset += take * frame_len
+                if pending:
+                    live[block] = live.get(block, 0) + pending
+            if zone_columns:
+                first_run, first_in, _ = parts[0]
+                last_run, last_in, last_take = parts[-1]
+                zone_spans.append((
+                    summary,
+                    first_run.start + first_in,
+                    last_run.start + last_in + last_take,
+                ))
+            _FLUSHES.inc()
+            self._pages_since_checkpoint += 1
+            if (
+                self._checkpoint_interval is not None
+                and self._pages_since_checkpoint >= self._checkpoint_interval
+            ):
+                # The checkpoint serializes zone summaries: pending
+                # folds must land first or recovered blocks would carry
+                # under-approximate (unsafe) bounds.
+                if zone_spans:
+                    self._fold_zone_spans(zone_columns, zone_spans)
+                    zone_spans = []
+                self.checkpoint()
+            self._check_ram()
+            run_index, in_run = scan_run, scan_in
+        if zone_spans:
+            self._fold_zone_spans(zone_columns, zone_spans)
+        # Phase C: buffer the tail frames with their original records
+        # (zone maps fold them at the next flush, like scalar entries).
+        buffer = self._buffer
+        entries = self._buffer_entries
+        buffered = self._buffered
+        while run_index < n_runs:
+            run = runs[run_index]
+            frame_len = run.frame_len
+            take = run.count - in_run
+            blob_at = in_run * frame_len
+            offset = len(buffer)
+            buffer += run.blob[blob_at : blob_at + take * frame_len]
+            base = run.start + in_run
+            for j in range(take):
+                index = base + j
+                entries.append(
+                    (record_ids[index], _ENTRY_INSERT,
+                     offset + run.payload_offset, run.payload_len,
+                     records[index])
+                )
+                buffered[record_ids[index]] = len(entries) - 1
+                offset += frame_len
+            run_index += 1
+            in_run = 0
+
+    def _fold_zone_spans(self, zone_columns, zone_spans) -> None:
+        """Fold committed pages' column slices into block summaries,
+        grouped per block: two numpy reductions per field per block
+        instead of a Python ``min``/``max`` pass per page.
+
+        Exactly equivalent to the scalar flush path's per-page
+        ``note_values`` folds: min/max are associative and the pages of
+        one chunk consume contiguous column ranges in commit order.
+        The cases where "which equal element wins" is observable — NaN
+        pages and ``±0.0`` ties — replay the per-page fold verbatim.
+        """
+        groups: list[tuple[object, list[tuple[int, int]]]] = []
+        for summary, lo, hi in zone_spans:
+            if groups and groups[-1][0] is summary:
+                groups[-1][1].append((lo, hi))
+            else:
+                groups.append((summary, [(lo, hi)]))
+        for summary, spans in groups:
+            group_lo = spans[0][0]
+            group_hi = spans[-1][1]
+            for name, kind, column, nan_flags in zone_columns:
+                if kind == "c":
+                    summary.note_values(name, column)
+                    continue
+                if (
+                    nan_flags is not None
+                    and nan_flags[group_lo:group_hi].any()
+                ):
+                    for lo, hi in spans:
+                        values = column[lo:hi].tolist()
+                        if nan_flags[lo:hi].any():
+                            summary.note_values(name, values)
+                        else:
+                            summary.note_values(name, values, clean=True)
+                    continue
+                block = column[group_lo:group_hi]
+                bound_lo = block.min().item()
+                bound_hi = block.max().item()
+                if kind == "f" and (bound_lo == 0.0 or bound_hi == 0.0):
+                    # A ±0.0 tie: numpy reductions may keep a different
+                    # (repr-distinguishable) zero than the sequential
+                    # fold would. Replay per page instead.
+                    for lo, hi in spans:
+                        summary.note_values(
+                            name, column[lo:hi].tolist(), clean=True)
+                    continue
+                summary.note_values(name, [bound_lo, bound_hi], clean=True)
 
     def delete(self, record_id: str) -> None:
         """Delete a record (raises :class:`NotFoundError` if absent)."""
@@ -388,13 +890,22 @@ class LogStructuredStore:
             _, kind, offset, length, _ = self._buffer_entries[index]
             if kind == _ENTRY_DELETE:
                 raise NotFoundError(f"no record {record_id!r}")
-            return decode_record(bytes(self._buffer[offset : offset + length]))
+            return decode_record(
+                bytes(self._buffer[offset : offset + length]),
+                context="write buffer",
+            )
         location = self._directory.get(record_id)
         if location is None:
             raise NotFoundError(f"no record {record_id!r}")
         page, offset, length = location
         data = self._read_page(page)
-        return decode_record(data[offset : offset + length])
+        try:
+            return decode_record(data[offset : offset + length])
+        except StorageError as error:
+            raise StorageError(
+                f"{error} [record {record_id!r} page {page} block "
+                f"{page // self._pages_per_block} offset {offset}]"
+            ) from error
 
     def get_many(self, record_ids: list[str]) -> list[Record]:
         """Fetch several records, reading each flash page at most once.
@@ -415,9 +926,15 @@ class LogStructuredStore:
             page, offset, length = location
             if page not in page_cache:
                 page_cache[page] = self._read_page(page)
-            results[record_id] = decode_record(
-                page_cache[page][offset : offset + length]
-            )
+            try:
+                results[record_id] = decode_record(
+                    page_cache[page][offset : offset + length]
+                )
+            except StorageError as error:
+                raise StorageError(
+                    f"{error} [record {record_id!r} page {page} block "
+                    f"{page // self._pages_per_block} offset {offset}]"
+                ) from error
         for record_id in buffered:
             results[record_id] = self.get(record_id)
         return [results[record_id] for record_id in record_ids]
@@ -451,7 +968,14 @@ class LogStructuredStore:
         for page in sorted(by_page):
             data = self._read_page(page)
             for record_id, offset, length in sorted(by_page[page], key=lambda e: e[1]):
-                yield record_id, decode_record(data[offset : offset + length])
+                try:
+                    record = decode_record(data[offset : offset + length])
+                except StorageError as error:
+                    raise StorageError(
+                        f"{error} [page {page} block "
+                        f"{page // self._pages_per_block} offset {offset}]"
+                    ) from error
+                yield record_id, record
         for entry_id in sorted(buffered_ids):
             if self.contains(entry_id):
                 yield entry_id, self.get(entry_id)
@@ -461,6 +985,42 @@ class LogStructuredStore:
     @property
     def zone_maps_enabled(self) -> bool:
         return self._zone_maps
+
+    @property
+    def columnar_enabled(self) -> bool:
+        return self._columnar
+
+    def _locations_by_page(self, buffered_ids, prune, field, low, high):
+        """Group flash-resident directory entries by page, applying
+        zone-map block pruning with one ``admits`` verdict per block
+        (the verdict is a pure function of the block summary)."""
+        by_page: dict[int, list[tuple[str, int, int]]] = {}
+        if prune:
+            pages_per_block = self._pages_per_block
+            summaries = self._summaries
+            admitted: dict[int, bool] = {}
+            for record_id, (page, offset, length) in self._directory.items():
+                if record_id in buffered_ids:
+                    continue
+                block = page // pages_per_block
+                verdict = admitted.get(block)
+                if verdict is None:
+                    summary = summaries.get(block)
+                    verdict = (
+                        summary is None or summary.admits(field, low, high)
+                    )
+                    admitted[block] = verdict
+                if not verdict:
+                    continue
+                by_page.setdefault(page, []).append(
+                    (record_id, offset, length))
+        else:
+            for record_id, (page, offset, length) in self._directory.items():
+                if record_id in buffered_ids:
+                    continue
+                by_page.setdefault(page, []).append(
+                    (record_id, offset, length))
+        return by_page
 
     def scan_range(self, field: str, low: Value = None,
                    high: Value = None) -> Iterator[tuple[str, Record]]:
@@ -472,24 +1032,77 @@ class LogStructuredStore:
         when zone maps are disabled.
         """
         buffered_ids = set(self._buffered)
-        prune = self._zone_maps
-        pages_per_block = self._pages_per_block
-        by_page: dict[int, list[tuple[str, int, int]]] = {}
-        for record_id, (page, offset, length) in self._directory.items():
-            if record_id in buffered_ids:
-                continue
-            if prune:
-                summary = self._summaries.get(page // pages_per_block)
-                if summary is not None and not summary.admits(field, low, high):
-                    continue
-            by_page.setdefault(page, []).append((record_id, offset, length))
+        by_page = self._locations_by_page(
+            buffered_ids, self._zone_maps, field, low, high
+        )
         for page in sorted(by_page):
             data = self._read_page(page)
             for record_id, offset, length in sorted(by_page[page], key=lambda e: e[1]):
-                yield record_id, decode_record(data[offset : offset + length])
+                try:
+                    record = decode_record(data[offset : offset + length])
+                except StorageError as error:
+                    raise StorageError(
+                        f"{error} [page {page} block "
+                        f"{page // self._pages_per_block} offset {offset}]"
+                    ) from error
+                yield record_id, record
         for entry_id in sorted(buffered_ids):
             if self.contains(entry_id):
                 yield entry_id, self.get(entry_id)
+
+    def scan_batches(
+        self, field: str | None = None, low: Value = None, high: Value = None,
+        *, chunk_pages: int = 64,
+    ) -> Iterator[tuple[list[str], ColumnBatch]]:
+        """Columnar scan: yield ``(record_ids, ColumnBatch)`` chunks.
+
+        Covers exactly what :meth:`scan` (or, with ``field``,
+        :meth:`scan_range`) yields — same records, same order, same
+        page reads, same zone-map pruning — but decodes a chunk of
+        pages at a time through :func:`encoding.decode_page`, so
+        uniform frames become column slices instead of per-record
+        dicts. The buffered tail arrives as one final scalar batch.
+        Chunk size shrinks with the RAM budget headroom so decode
+        scratch stays charged but bounded.
+        """
+        headroom = self._ram_headroom()
+        if headroom is not None:
+            chunk_pages = max(
+                1, min(chunk_pages, headroom // (4 * self._page_size))
+            )
+        buffered_ids = set(self._buffered)
+        by_page = self._locations_by_page(
+            buffered_ids, self._zone_maps and field is not None,
+            field, low, high,
+        )
+        pages = sorted(by_page)
+        for chunk_at in range(0, len(pages), chunk_pages):
+            chunk = pages[chunk_at : chunk_at + chunk_pages]
+            self._batch_scratch_bytes = 3 * len(chunk) * self._page_size
+            try:
+                record_ids: list[str] = []
+                payloads: list[bytes] = []
+                for page in chunk:
+                    data = self._read_page(page)
+                    for record_id, offset, length in sorted(
+                        by_page[page], key=lambda e: e[1]
+                    ):
+                        record_ids.append(record_id)
+                        payloads.append(data[offset : offset + length])
+                batch = decode_page(
+                    payloads,
+                    context=f"pages {chunk[0]}..{chunk[-1]}",
+                )
+            finally:
+                self._batch_scratch_bytes = 0
+            yield record_ids, batch
+        tail_ids = [
+            entry_id for entry_id in sorted(buffered_ids)
+            if self.contains(entry_id)
+        ]
+        if tail_ids:
+            tail_records = [self.get(entry_id) for entry_id in tail_ids]
+            yield tail_ids, ColumnBatch.from_records(tail_records)
 
     def __len__(self) -> int:
         return len(self.record_ids())
@@ -514,6 +1127,10 @@ class LogStructuredStore:
         invalidates itself through the device's erase listener)."""
         self.flash.erase_block(block)
         self._summaries.pop(block, None)
+        if self._page_tags:
+            first_page = block * self._pages_per_block
+            for page in range(first_page, first_page + self._pages_per_block):
+                self._page_tags.pop(page, None)
 
     def compact(self) -> int:
         """Full compaction: stage the live set in RAM, erase every used
@@ -667,7 +1284,10 @@ class LogStructuredStore:
             length = int.from_bytes(zone_blob[position + 4 : position + 8], "big")
             position += 8
             summaries[block] = BlockSummary.from_record(
-                decode_record(bytes(zone_blob[position : position + length]))
+                decode_record(
+                    bytes(zone_blob[position : position + length]),
+                    context=f"checkpoint zone map block {block}",
+                )
             )
             position += length
         return {
@@ -795,7 +1415,9 @@ class LogStructuredStore:
                 zone_maps: bool = True,
                 checkpoint_blocks: int = 0,
                 checkpoint_interval_pages: int | None = None,
-                use_checkpoint: bool = True) -> "LogStructuredStore":
+                use_checkpoint: bool = True,
+                columnar: bool = True,
+                integrity_key: bytes | None = None) -> "LogStructuredStore":
         """Rebuild a store from a flash device after a reboot.
 
         The RAM directory is volatile; a restarted cell reconstructs it
@@ -815,6 +1437,7 @@ class LogStructuredStore:
             page_cache_bytes=page_cache_bytes, zone_maps=zone_maps,
             checkpoint_blocks=checkpoint_blocks,
             checkpoint_interval_pages=checkpoint_interval_pages,
+            columnar=columnar, integrity_key=integrity_key,
         )
         pages_per_block = flash.timings.pages_per_block
         header = cls._PAGE_HEADER_BYTES
@@ -937,6 +1560,8 @@ class LogStructuredStore:
         block = page // self._pages_per_block
         summary = self._block_summary(block)
         summary.note_page(sequence)
+        if self._integrity_key is not None:
+            self._note_page_tag(page, data)
         while offset + 5 <= len(data):
             kind = data[offset]
             if kind not in (_ENTRY_INSERT, _ENTRY_DELETE):
@@ -959,11 +1584,16 @@ class LogStructuredStore:
                     self._live_per_block.get(block, 0) + 1
                 )
                 if self._zone_maps:
-                    summary.note_record(
-                        decode_record(
+                    try:
+                        replayed = decode_record(
                             data[payload_start : payload_start + payload_length]
                         )
-                    )
+                    except StorageError as error:
+                        raise StorageError(
+                            f"{error} [replay page {page} block {block} "
+                            f"offset {payload_start}]"
+                        ) from error
+                    summary.note_record(replayed)
             else:
                 self._retire(record_id)
                 self._directory.pop(record_id, None)

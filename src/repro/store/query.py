@@ -14,23 +14,79 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import QueryError
-from .encoding import Record, Value
+from .encoding import HAVE_NUMPY, ColumnBatch, Record, Value
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - exercised on minimal installs
+    _np = None
+
+# Integers up to 2**53 convert to float64 exactly; beyond that numpy's
+# int->float promotion in mixed compares diverges from Python's exact
+# semantics, so the vectorized lane refuses the comparison.
+_FLOAT_EXACT_INT = 2**53
+_INT64_LO, _INT64_HI = -(2**63), 2**63 - 1
+
+
+def _int_bound_ok(value: int) -> bool:
+    return _INT64_LO <= value <= _INT64_HI
+
+
+def _float_bound_ok(value) -> bool:
+    if type(value) is float:
+        return value == value  # NaN bounds keep Python's odd semantics
+    return type(value) is int and -_FLOAT_EXACT_INT <= value <= _FLOAT_EXACT_INT
 
 
 # -- predicate tree ---------------------------------------------------------
 
 
 class Predicate:
-    """Base predicate; subclasses implement :meth:`matches`."""
+    """Base predicate; subclasses implement :meth:`matches`.
+
+    :meth:`matches_batch` is the vectorized lane: given a
+    :class:`ColumnBatch` it returns a boolean mask over the batch's
+    rows (meaningful only at non-scalar rows, like
+    :meth:`ColumnBatch.numeric_view`), or ``None`` when this predicate
+    cannot be evaluated vectorized — callers then fall back to
+    per-record :meth:`matches`, so the two lanes always agree.
+    """
 
     def matches(self, record: Record) -> bool:
         raise NotImplementedError
+
+    def matches_batch(self, batch: ColumnBatch):
+        return None
 
     def and_(self, other: "Predicate") -> "Predicate":
         return And(self, other)
 
     def or_(self, other: "Predicate") -> "Predicate":
         return Or(self, other)
+
+
+def _eq_mask(batch: ColumnBatch, field: str, value: Value):
+    """Vectorized ``column == value`` mask, or ``None`` when the
+    comparison cannot be proven exact (non-numeric columns, bools,
+    values outside the column dtype's exact range)."""
+    if not HAVE_NUMPY or not batch.fields:
+        return None
+    if field not in batch.fields:
+        # record.get() is None at every columnar row
+        return _np.full(batch.count, value is None)
+    view = batch.numeric_view(field)
+    if view is None:
+        return None
+    kind, arr = view
+    if value is None:
+        return _np.zeros(batch.count, dtype=bool)
+    if kind == "i":
+        if type(value) is int and _int_bound_ok(value):
+            return arr == value
+        return None
+    if _float_bound_ok(value) or (type(value) is float and value != value):
+        return arr == value  # NaN value: all-False, like Python
+    return None
 
 
 @dataclass(frozen=True)
@@ -43,6 +99,9 @@ class Eq(Predicate):
     def matches(self, record: Record) -> bool:
         return record.get(self.field) == self.value
 
+    def matches_batch(self, batch: ColumnBatch):
+        return _eq_mask(batch, self.field, self.value)
+
 
 @dataclass(frozen=True)
 class Ne(Predicate):
@@ -53,6 +112,10 @@ class Ne(Predicate):
 
     def matches(self, record: Record) -> bool:
         return record.get(self.field) != self.value
+
+    def matches_batch(self, batch: ColumnBatch):
+        mask = _eq_mask(batch, self.field, self.value)
+        return None if mask is None else ~mask
 
 
 @dataclass(frozen=True)
@@ -76,6 +139,36 @@ class Between(Predicate):
             return False
         return True
 
+    def matches_batch(self, batch: ColumnBatch):
+        if not HAVE_NUMPY or not batch.fields:
+            return None
+        if self.field not in batch.fields:
+            return _np.zeros(batch.count, dtype=bool)
+        view = batch.numeric_view(self.field)
+        if view is None:
+            return None
+        kind, arr = view
+
+        def bound_ok(bound) -> bool:
+            if bound is None:
+                return True
+            if kind == "i":
+                return type(bound) is int and _int_bound_ok(bound)
+            return _float_bound_ok(bound)
+
+        if not (bound_ok(self.low) and bound_ok(self.high)):
+            return None
+        # Mirror the scalar short-circuit shape — ``not (value < low)``
+        # rather than ``value >= low`` — so float NaN cells, which fail
+        # every comparison, pass both bound checks exactly as the
+        # scalar path does.
+        mask = _np.ones(batch.count, dtype=bool)
+        if self.low is not None:
+            mask &= ~(arr < self.low)
+        if self.high is not None:
+            mask &= ~(arr > self.high)
+        return mask
+
 
 @dataclass(frozen=True)
 class Contains(Predicate):
@@ -87,6 +180,13 @@ class Contains(Predicate):
     def matches(self, record: Record) -> bool:
         value = record.get(self.field)
         return isinstance(value, str) and self.needle in value
+
+    def matches_batch(self, batch: ColumnBatch):
+        if not HAVE_NUMPY or not batch.fields:
+            return None
+        if self.field not in batch.fields:
+            return _np.zeros(batch.count, dtype=bool)  # None is not a str
+        return None
 
 
 @dataclass(frozen=True)
@@ -109,6 +209,13 @@ class HasKeyword(Predicate):
         tokens = set(tokenize(value))
         return all(term.lower() in tokens for term in self.terms)
 
+    def matches_batch(self, batch: ColumnBatch):
+        if not HAVE_NUMPY or not batch.fields:
+            return None
+        if self.field not in batch.fields:
+            return _np.zeros(batch.count, dtype=bool)  # None is not a str
+        return None
+
 
 class And(Predicate):
     """Conjunction of child predicates."""
@@ -120,6 +227,15 @@ class And(Predicate):
 
     def matches(self, record: Record) -> bool:
         return all(child.matches(record) for child in self.children)
+
+    def matches_batch(self, batch: ColumnBatch):
+        mask = None
+        for child in self.children:
+            child_mask = child.matches_batch(batch)
+            if child_mask is None:
+                return None
+            mask = child_mask if mask is None else mask & child_mask
+        return mask
 
 
 class Or(Predicate):
@@ -133,6 +249,15 @@ class Or(Predicate):
     def matches(self, record: Record) -> bool:
         return any(child.matches(record) for child in self.children)
 
+    def matches_batch(self, batch: ColumnBatch):
+        mask = None
+        for child in self.children:
+            child_mask = child.matches_batch(batch)
+            if child_mask is None:
+                return None
+            mask = child_mask if mask is None else mask | child_mask
+        return mask
+
 
 @dataclass(frozen=True)
 class Not(Predicate):
@@ -143,12 +268,21 @@ class Not(Predicate):
     def matches(self, record: Record) -> bool:
         return not self.child.matches(record)
 
+    def matches_batch(self, batch: ColumnBatch):
+        mask = self.child.matches_batch(batch)
+        return None if mask is None else ~mask
+
 
 class TruePredicate(Predicate):
     """Matches everything (the default when no filter is given)."""
 
     def matches(self, record: Record) -> bool:
         return True
+
+    def matches_batch(self, batch: ColumnBatch):
+        if not HAVE_NUMPY:
+            return None
+        return _np.ones(batch.count, dtype=bool)
 
 
 MATCH_ALL = TruePredicate()
@@ -234,6 +368,55 @@ class QueryResult:
         return next(iter(self.rows[0].values()))
 
 
+class BatchCandidates:
+    """Candidate rows delivered as columnar chunks.
+
+    ``chunks`` is a list of ``(keep, batch)`` pairs: ``batch`` is a
+    :class:`ColumnBatch` and ``keep`` the row indexes to consider
+    (``None`` = every row). The catalog's scan paths hand these to
+    :func:`execute`, which filters them vectorized and materializes
+    record dicts only for matching rows.
+    """
+
+    __slots__ = ("chunks",)
+
+    def __init__(self, chunks) -> None:
+        self.chunks = chunks
+
+
+def _filter_batches(where: Predicate, candidates: BatchCandidates):
+    """Vectorized equivalent of ``[r for r in rows if where.matches(r)]``
+    over columnar chunks; returns ``(matched_records, examined)``."""
+    matched: list[Record] = []
+    examined = 0
+    for keep, batch in candidates.chunks:
+        examined += batch.count if keep is None else len(keep)
+        mask = where.matches_batch(batch)
+        row = batch.row
+        if mask is None:
+            indexes = range(batch.count) if keep is None else keep
+            for index in indexes:
+                record = row(index)
+                if where.matches(record):
+                    matched.append(record)
+            continue
+        scalar_rows = batch.scalar_rows
+        if keep is None and not scalar_rows:
+            matched.extend(
+                row(index) for index in _np.flatnonzero(mask).tolist()
+            )
+            continue
+        indexes = range(batch.count) if keep is None else keep
+        for index in indexes:
+            if index in scalar_rows:
+                record = scalar_rows[index]
+                if where.matches(record):
+                    matched.append(record)
+            elif mask[index]:
+                matched.append(row(index))
+    return matched, examined
+
+
 def _project(record: Record, fields: list[str] | None) -> dict[str, Any]:
     if fields is None:
         return dict(record)
@@ -264,8 +447,13 @@ def execute(query: Query, fetch_candidates, fetch_all) -> QueryResult:
     if candidates is None:
         candidates, flash_reads = fetch_all()
         plan = "scan"
-    matched = [record for record in candidates if query.where.matches(record)]
-    examined = len(candidates)
+    if isinstance(candidates, BatchCandidates):
+        matched, examined = _filter_batches(query.where, candidates)
+    else:
+        matched = [
+            record for record in candidates if query.where.matches(record)
+        ]
+        examined = len(candidates)
 
     if query.aggregates:
         rows = _apply_order_limit(_aggregate_rows(query, matched), query)

@@ -78,6 +78,60 @@ class BlockSummary:
                 continue
             self.fields[name] = (lo, hi)
 
+    def note_values(self, name: str, values: list, *,
+                    clean: bool = False) -> None:
+        """Fold one field's column slice into the bounds in one pass.
+
+        Exactly equivalent to ``note_record({name: v})`` for each value
+        in order — including the order-dependent corner cases. Builtin
+        ``min``/``max`` keep the *first* extremal element, which is the
+        same tie/NaN behaviour as the sequential strict-compare fold,
+        but only when comparisons are total: any NaN in the slice (or
+        an unorderable mix) drops to the per-value fold. ``clean=True``
+        is the caller asserting the slice holds no ``None``/NaN and one
+        orderable type (the columnar ingest path proves this from its
+        typed arrays), skipping the per-value scans.
+        """
+        bounds = self.fields.get(name, _ABSENT)
+        if bounds is None:
+            return  # already unorderable for this block
+        if clean:
+            if not values:
+                return
+            lo = min(values)
+            hi = max(values)
+        else:
+            values = [value for value in values if value is not None]
+            if not values:
+                return
+            try:
+                has_nan = any(value != value for value in values)
+            except TypeError:
+                has_nan = True  # exotic __eq__: take the exact path
+            if not has_nan:
+                try:
+                    lo = min(values)
+                    hi = max(values)
+                except TypeError:
+                    has_nan = True  # mixed types inside the slice
+            if has_nan:
+                for value in values:
+                    self.note_record({name: value})
+                return
+        if bounds is _ABSENT:
+            self.fields[name] = (lo, hi)
+            return
+        cur_lo, cur_hi = bounds
+        try:
+            if lo < cur_lo:
+                cur_lo = lo
+            if hi > cur_hi:
+                cur_hi = hi
+        except TypeError:
+            self.fields[name] = None
+            return
+        self.fields[name] = (cur_lo, cur_hi)
+
     # -- pruning ------------------------------------------------------------
 
     def admits(self, field: str, low: Value, high: Value) -> bool:

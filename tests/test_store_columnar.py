@@ -1,0 +1,589 @@
+"""Property tests pinning the columnar batch path to the scalar path.
+
+Every vectorized surface added by the columnar record path must be
+*observationally identical* to the per-record reference it replaces:
+``encode_records`` to ``encode_record``, ``decode_page`` rows to
+``decode_record``, ``matches_batch`` masks to ``matches``,
+``insert_batch``/``scan_batches`` flash state to the scalar ingest and
+scan, zone-map folds to per-record ``note_record``, and the page-level
+AEAD bundles to per-frame seals (modulo 4 vs 4·N keyed HMACs, which is
+the point). The oracle for value-level comparisons is the canonical
+record encoding — it distinguishes ``1``/``1.0``/``True``, ``0.0`` and
+``-0.0``, and is deterministic for NaN.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.aead import (
+    open_frames,
+    pack_frames,
+    seal,
+    seal_frames,
+    unpack_frames,
+)
+from repro.crypto.primitives import hmac_invocations
+from repro.errors import IntegrityError, StorageError
+from repro.hardware import FlashTimings, NandFlash
+from repro.policy import DataEnvelope, private_policy
+from repro.store import (
+    Between,
+    Catalog,
+    Eq,
+    HasKeyword,
+    LogStructuredStore,
+    Query,
+    decode_record,
+    encode_record,
+)
+from repro.store.encoding import (
+    COLUMNAR_MIN_BATCH,
+    HAVE_NUMPY,
+    ColumnBatch,
+    decode_page,
+    encode_records,
+)
+from repro.store.query import MATCH_ALL, And, Contains, Ne, Not, Or
+from repro.store.zonemap import BlockSummary
+
+if HAVE_NUMPY:
+    import numpy as np
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not available")
+
+TIMINGS = FlashTimings(
+    page_size=256, pages_per_block=4,
+    read_page_us=25.0, write_page_us=250.0, erase_block_us=1500.0,
+)
+
+KEY = bytes(range(16))
+
+INT64_HI = 2**63 - 1
+INT64_LO = -(2**63)
+
+# Every value tag plus the adversarial corners: bools (not ints!), int64
+# edges and beyond, exact-float boundaries, NaN/±0.0/infinities, empty
+# and non-ASCII strings, bytes.
+SPECIAL_VALUES = [
+    None, True, False,
+    0, 1, -1, 7, 255, -256,
+    INT64_HI, INT64_LO, INT64_HI + 1, INT64_LO - 1,
+    2**53, 2**53 + 1, -(2**53) - 1,
+    0.0, -0.0, 1.0, -1.5, 2.25e10,
+    float("nan"), float("inf"), float("-inf"),
+    "", "a", "zz", "beach family picnic", "énergie",
+    b"", b"\x00\xff", b"frame",
+]
+
+FIELD_POOL = ["t", "w", "unit", "note", "x"]
+
+
+def make_flash(pages=512):
+    return NandFlash(TIMINGS, capacity_bytes=pages * TIMINGS.page_size)
+
+
+def flash_image(flash):
+    import hashlib
+
+    digest = hashlib.sha256()
+    for page in flash.written_pages():
+        digest.update(page.to_bytes(4, "big"))
+        digest.update(flash.read_page(page))
+    return digest.hexdigest()
+
+
+def random_record(rng, fields=None):
+    if fields is None:
+        fields = rng.sample(FIELD_POOL, rng.randint(0, len(FIELD_POOL)))
+    return {name: rng.choice(SPECIAL_VALUES) for name in fields}
+
+
+def random_batch_records(rng, count):
+    """Sometimes uniform-schema (vector lane), sometimes ragged."""
+    if rng.random() < 0.6:
+        fields = rng.sample(FIELD_POOL, rng.randint(1, 3))
+        if rng.random() < 0.5:
+            # numeric-leaning columns: the lane's sweet spot
+            return [
+                {
+                    name: rng.choice(
+                        [rng.randint(-100, 100), rng.uniform(-5, 5),
+                         rng.choice(SPECIAL_VALUES)]
+                    )
+                    for name in fields
+                }
+                for _ in range(count)
+            ]
+        return [random_record(rng, fields) for _ in range(count)]
+    return [random_record(rng) for _ in range(count)]
+
+
+def summaries_snapshot(store):
+    """repr-level zone-map state: distinguishes 0.0 from -0.0."""
+    out = {}
+    for block, summary in sorted(store._summaries.items()):
+        fields = {
+            name: tuple(map(repr, bounds)) if bounds else bounds
+            for name, bounds in summary.fields.items()
+        }
+        out[block] = (summary.min_seq, summary.max_seq, summary.pages, fields)
+    return out
+
+
+# -- codec equivalence --------------------------------------------------------
+
+
+class TestCodecEquivalence:
+    def test_encode_records_bit_for_bit(self):
+        rng = random.Random(2013)
+        for trial in range(40):
+            records = random_batch_records(rng, rng.randint(0, 80))
+            expected = [encode_record(record) for record in records]
+            assert encode_records(records) == expected, f"trial {trial}"
+
+    def test_decode_page_rows_match_decode_record(self):
+        rng = random.Random(77)
+        for trial in range(40):
+            records = random_batch_records(rng, rng.randint(1, 80))
+            payloads = [encode_record(record) for record in records]
+            batch = decode_page(payloads)
+            assert batch.count == len(records)
+            # re-encoding is the NaN-safe value oracle
+            assert [
+                encode_record(batch.row(index)) for index in range(batch.count)
+            ] == payloads, f"trial {trial}"
+            scalar_rows = [decode_record(payload) for payload in payloads]
+            for index, row in enumerate(scalar_rows):
+                assert encode_record(batch.row(index)) == encode_record(row)
+
+    def test_decode_page_empty(self):
+        batch = decode_page([])
+        assert batch.count == 0 and batch.rows() == []
+
+
+# -- vectorized predicates ----------------------------------------------------
+
+
+def random_predicate(rng, depth=0):
+    field = rng.choice(FIELD_POOL + ["absent"])
+    kind = rng.randrange(8 if depth >= 2 else 11)
+    if kind == 0:
+        return Eq(field, rng.choice(SPECIAL_VALUES))
+    if kind == 1:
+        return Ne(field, rng.choice(SPECIAL_VALUES))
+    if kind in (2, 3, 4):
+        low = rng.choice(SPECIAL_VALUES + [None])
+        high = rng.choice(SPECIAL_VALUES + [None])
+        return Between(field, low, high)
+    if kind == 5:
+        return Contains(field, rng.choice(["a", "beach", "z", ""]))
+    if kind == 6:
+        return HasKeyword(field, ("beach", "family"))
+    if kind == 7:
+        return MATCH_ALL
+    if kind == 8:
+        return Not(random_predicate(rng, depth + 1))
+    children = [random_predicate(rng, depth + 1) for _ in range(rng.randint(1, 3))]
+    return (And if kind == 9 else Or)(*children)
+
+
+@needs_numpy
+class TestMatchesBatch:
+    def test_mask_equals_scalar_matches(self):
+        rng = random.Random(4096)
+        masked = 0
+        for trial in range(120):
+            records = random_batch_records(rng, rng.randint(1, 60))
+            batch = decode_page([encode_record(record) for record in records])
+            predicate = random_predicate(rng)
+            mask = predicate.matches_batch(batch)
+            if mask is None:
+                continue  # per-record fallback: always allowed
+            masked += 1
+            assert len(mask) == batch.count
+            scalar = batch.scalar_rows
+            for index in range(batch.count):
+                if index in scalar:
+                    continue  # mask is not meaningful at scalar rows
+                assert bool(mask[index]) == predicate.matches(
+                    batch.row(index)
+                ), f"trial {trial} row {index} {predicate!r}"
+        assert masked >= 10  # the vector path must actually engage
+
+    def test_nan_between_matches_scalar_shortcircuit(self):
+        w = np.array([float("nan"), 1.0, -2.0, 0.0, -0.0, 5.5])
+        batch = ColumnBatch.from_arrays({"w": w})
+        for low, high in [(-5.0, 5.0), (None, 0.0), (0.0, None), (None, None)]:
+            predicate = Between("w", low, high)
+            mask = predicate.matches_batch(batch)
+            assert mask is not None
+            for index in range(batch.count):
+                assert bool(mask[index]) == predicate.matches(batch.row(index))
+
+    def test_absent_field_masks(self):
+        batch = ColumnBatch.from_arrays({"t": np.arange(8, dtype=np.int64)})
+        assert list(Eq("missing", None).matches_batch(batch)) == [True] * 8
+        assert list(Eq("missing", 3).matches_batch(batch)) == [False] * 8
+        assert list(Between("missing", 0, 9).matches_batch(batch)) == [False] * 8
+        assert list(Contains("missing", "a").matches_batch(batch)) == [False] * 8
+
+    def test_out_of_range_bounds_fall_back(self):
+        batch = decode_page([encode_record({"t": index}) for index in range(20)])
+        assert Eq("t", INT64_HI + 1).matches_batch(batch) is None
+        assert Between("t", None, INT64_HI + 1).matches_batch(batch) is None
+        # float compare against ints beyond 2**53 cannot be proven exact
+        assert Between("t", 0.5, float(2**53 + 2)).matches_batch(batch) is None
+
+
+# -- from_arrays and insert_batch --------------------------------------------
+
+
+@needs_numpy
+class TestFromArrays:
+    def test_rows_match_dict_rows(self):
+        count = 40
+        t = np.arange(count, dtype=np.int64)
+        w = np.linspace(-2.0, 2.0, count)
+        batch = ColumnBatch.from_arrays(
+            {"t": t, "w": w}, consts={"unit": "W", "ok": True, "pad": None}
+        )
+        assert batch.count == count
+        assert batch.fields == ("ok", "pad", "t", "unit", "w")
+        for index in range(count):
+            assert batch.row(index) == {
+                "t": int(t[index]), "w": float(w[index]),
+                "unit": "W", "ok": True, "pad": None,
+            }
+        assert batch.rows()[3] == batch.row(3)
+
+    def test_int32_and_float32_upcast(self):
+        batch = ColumnBatch.from_arrays({
+            "a": np.arange(20, dtype=np.int32),
+            "b": np.arange(20, dtype=np.float32),
+        })
+        assert type(batch.row(0)["a"]) is int
+        assert type(batch.row(0)["b"]) is float
+
+    def test_validation_errors(self):
+        good = np.arange(8, dtype=np.int64)
+        with pytest.raises(StorageError):
+            ColumnBatch.from_arrays({"m": good.reshape(2, 4)})
+        with pytest.raises(StorageError):
+            ColumnBatch.from_arrays({"a": good, "b": np.arange(9)})
+        with pytest.raises(StorageError):
+            ColumnBatch.from_arrays({"u": np.array([2**64 - 1], dtype=np.uint64)})
+        with pytest.raises(StorageError):
+            ColumnBatch.from_arrays({"s": np.array(["x", "y"])})
+        with pytest.raises(StorageError):
+            ColumnBatch.from_arrays({"t": good}, consts={"t": "dup"})
+        with pytest.raises(StorageError):
+            ColumnBatch.from_arrays({"t": good}, consts={"n": 7})
+
+    def test_requires_numpy_flag(self):
+        # the guard itself: documented to raise when numpy is missing
+        assert HAVE_NUMPY
+
+
+@needs_numpy
+class TestInsertBatchEquivalence:
+    def _ab_stores(self):
+        flash_scalar, flash_columnar = make_flash(), make_flash()
+        return (
+            LogStructuredStore(flash_scalar, columnar=False), flash_scalar,
+            LogStructuredStore(flash_columnar), flash_columnar,
+        )
+
+    def _assert_equivalent(self, scalar, flash_scalar, columnar,
+                           flash_columnar):
+        scalar.flush()
+        columnar.flush()
+        assert flash_image(flash_scalar) == flash_image(flash_columnar)
+        assert scalar.record_ids() == columnar.record_ids()
+        assert scalar._directory == columnar._directory
+        assert scalar._live_per_block == columnar._live_per_block
+        assert summaries_snapshot(scalar) == summaries_snapshot(columnar)
+
+    def test_bit_for_bit_vs_scalar_insert_many(self):
+        count = 500
+        rng = random.Random(5)
+        t = np.arange(count, dtype=np.int64) * 7
+        w = np.array([rng.uniform(-10, 10) for _ in range(count)])
+        ids = [f"r{index:05d}" for index in range(count)]
+        batch = ColumnBatch.from_arrays({"t": t, "w": w}, consts={"unit": "W"})
+        scalar, flash_scalar, columnar, flash_columnar = self._ab_stores()
+        scalar.insert_many(list(zip(ids, batch.rows())))
+        assert columnar.insert_batch(ids, batch) == count
+        assert columnar.inserts == scalar.inserts == count
+        self._assert_equivalent(scalar, flash_scalar, columnar, flash_columnar)
+
+    def test_nan_and_signed_zero_columns(self):
+        count = 200
+        rng = random.Random(17)
+        w = np.array([
+            rng.choice([float("nan"), 0.0, -0.0, float("inf"),
+                        float("-inf"), rng.uniform(-1, 1)])
+            for _ in range(count)
+        ])
+        t = np.array([rng.randint(-50, 50) for _ in range(count)],
+                     dtype=np.int64)
+        ids = [f"n{index:04d}" for index in range(count)]
+        batch = ColumnBatch.from_arrays({"t": t, "w": w})
+        scalar, flash_scalar, columnar, flash_columnar = self._ab_stores()
+        scalar.insert_many(list(zip(ids, batch.rows())))
+        columnar.insert_batch(ids, batch)
+        self._assert_equivalent(scalar, flash_scalar, columnar, flash_columnar)
+
+    def test_replacements_and_duplicate_ids(self):
+        count = 120
+        t = np.arange(count, dtype=np.int64)
+        ids = [f"d{index % 40:03d}" for index in range(count)]  # heavy dups
+        batch = ColumnBatch.from_arrays({"t": t})
+        scalar, flash_scalar, columnar, flash_columnar = self._ab_stores()
+        scalar.insert_many(list(zip(ids, batch.rows())))
+        columnar.insert_batch(ids, batch)
+        self._assert_equivalent(scalar, flash_scalar, columnar, flash_columnar)
+
+    def test_small_batch_falls_back_to_insert_many(self):
+        count = COLUMNAR_MIN_BATCH - 1
+        batch = ColumnBatch.from_arrays({"t": np.arange(count, dtype=np.int64)})
+        scalar, flash_scalar, columnar, flash_columnar = self._ab_stores()
+        ids = [f"s{index}" for index in range(count)]
+        scalar.insert_many(list(zip(ids, batch.rows())))
+        columnar.insert_batch(ids, batch)
+        self._assert_equivalent(scalar, flash_scalar, columnar, flash_columnar)
+
+    def test_id_count_mismatch_raises(self):
+        batch = ColumnBatch.from_arrays({"t": np.arange(20, dtype=np.int64)})
+        store = LogStructuredStore(make_flash())
+        with pytest.raises(StorageError):
+            store.insert_batch(["only-one"], batch)
+
+    def test_checkpoint_mid_batch_matches_scalar(self):
+        """Mid-chunk checkpoints must serialize fully-folded zone maps
+        — the deferred block fold flushes before every checkpoint."""
+        count = 300
+        t = np.arange(count, dtype=np.int64)
+        w = np.linspace(0.5, 5.0, count)
+        ids = [f"c{index:04d}" for index in range(count)]
+        batch = ColumnBatch.from_arrays({"t": t, "w": w})
+
+        def store_with_checkpoints(columnar):
+            flash = make_flash(1024)
+            return LogStructuredStore(
+                flash, columnar=columnar, checkpoint_blocks=32,
+                checkpoint_interval_pages=8,
+            ), flash
+
+        scalar, flash_scalar = store_with_checkpoints(False)
+        columnar, flash_columnar = store_with_checkpoints(True)
+        scalar.insert_many(list(zip(ids, batch.rows())))
+        columnar.insert_batch(ids, batch)
+        scalar.flush()
+        columnar.flush()
+        assert flash_image(flash_scalar) == flash_image(flash_columnar)
+        recovered = LogStructuredStore.recover(
+            flash_columnar, checkpoint_blocks=32
+        )
+        assert recovered.last_recovery.mode == "checkpoint"
+        assert recovered.record_ids() == scalar.record_ids()
+        assert summaries_snapshot(recovered) == summaries_snapshot(scalar)
+
+
+# -- scan and query equivalence ----------------------------------------------
+
+
+@needs_numpy
+class TestScanEquivalence:
+    def _loaded_store(self):
+        store = LogStructuredStore(make_flash())
+        rng = random.Random(23)
+        items = [
+            (f"r{index:04d}",
+             {"t": index, "w": rng.uniform(-3, 3), "unit": "W"})
+            for index in range(400)
+        ]
+        store.insert_many(items)
+        store.delete("r0007")
+        store.put("r0008", {"t": 8, "w": 99.0, "unit": "W"})
+        store.flush()
+        return store
+
+    def test_scan_batches_equals_scan(self):
+        store = self._loaded_store()
+        flattened = [
+            (chunk_ids[index], batch.row(index))
+            for chunk_ids, batch in store.scan_batches()
+            for index in range(batch.count)
+        ]
+        assert flattened == list(store.scan())
+
+    def test_scan_batches_range_equals_scan_range(self):
+        store = self._loaded_store()
+        flattened = [
+            (chunk_ids[index], batch.row(index))
+            for chunk_ids, batch in store.scan_batches("t", 100, 180)
+            for index in range(batch.count)
+        ]
+        assert flattened == list(store.scan_range("t", 100, 180))
+
+
+@needs_numpy
+class TestCatalogColumnarEquivalence:
+    def _catalog(self, columnar):
+        catalog = Catalog(make_flash(1024), columnar=columnar)
+        meter = catalog.collection("meter")
+        other = catalog.collection("other")
+        rng = random.Random(99)
+        meter.insert_many(
+            (f"m{index:04d}",
+             {"t": index, "w": rng.uniform(-5, 5),
+              "note": rng.choice(["beach day", "family trip", "work"])})
+            for index in range(300)
+        )
+        other.insert_many(
+            (f"o{index:03d}", {"t": index * 2, "w": 0.5}) for index in range(50)
+        )
+        catalog.store.flush()
+        return catalog
+
+    def test_query_shapes_identical(self):
+        scalar = self._catalog(columnar=False)
+        columnar = self._catalog(columnar=True)
+        assert columnar.store.columnar_enabled
+        assert not scalar.store.columnar_enabled
+        queries = [
+            Query("meter", where=Between("t", 40, 90)),
+            Query("meter", where=Between("w", -1.0, 1.0), order_by="t"),
+            Query("meter", where=Eq("t", 7)),
+            Query("meter", where=Ne("note", "work")),
+            Query("meter", where=And(Between("t", 0, 200),
+                                     Between("w", 0.0, 5.0))),
+            Query("meter", where=Or(Eq("t", 3), Eq("t", 250))),
+            Query("meter", where=Not(Between("t", 10, 290))),
+            Query("meter", where=Contains("note", "beach")),
+            Query("meter", where=HasKeyword("note", ("family",))),
+            Query("meter"),
+            Query("meter", where=Between("t", 100, 120), project=["w"]),
+            Query("meter", where=Between("t", 0, 50), limit=7, order_by="t"),
+        ]
+        for query in queries:
+            a = scalar.query(query)
+            b = columnar.query(query)
+            assert b.rows == a.rows, query
+            assert b.plan == a.plan, query
+            assert b.records_examined == a.records_examined, query
+
+
+# -- zone-map fold properties -------------------------------------------------
+
+
+class TestNoteValuesEquivalence:
+    def test_note_values_equals_note_record_fold(self):
+        rng = random.Random(31)
+        for trial in range(60):
+            values = [rng.choice(SPECIAL_VALUES) for _ in range(rng.randint(0, 30))]
+            by_list = BlockSummary()
+            by_list.note_values("f", list(values))
+            by_record = BlockSummary()
+            for value in values:
+                by_record.note_record({"f": value})
+            assert {
+                name: tuple(map(repr, bounds)) if bounds else bounds
+                for name, bounds in by_list.fields.items()
+            } == {
+                name: tuple(map(repr, bounds)) if bounds else bounds
+                for name, bounds in by_record.fields.items()
+            }, f"trial {trial}: {values}"
+
+    def test_clean_fold_matches_unclean_for_clean_slices(self):
+        rng = random.Random(41)
+        for _ in range(30):
+            if rng.random() < 0.5:
+                values = [rng.randint(-10**6, 10**6) for _ in range(20)]
+            else:
+                values = [rng.uniform(-1e6, 1e6) for _ in range(20)]
+            clean, unclean = BlockSummary(), BlockSummary()
+            clean.note_values("f", values, clean=True)
+            unclean.note_values("f", values)
+            assert clean.fields == unclean.fields
+
+
+# -- page-bundled AEAD --------------------------------------------------------
+
+
+class TestFrameBundles:
+    def test_pack_unpack_roundtrip(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            frames = [
+                bytes(rng.randrange(256) for _ in range(rng.randint(0, 40)))
+                for _ in range(rng.randint(0, 12))
+            ]
+            assert unpack_frames(pack_frames(frames)) == frames
+
+    def test_unpack_rejects_corruption(self):
+        packed = pack_frames([b"abc", b"defg"])
+        with pytest.raises(IntegrityError):
+            unpack_frames(packed[:3])
+        with pytest.raises(IntegrityError):
+            unpack_frames(packed[:-1])
+        with pytest.raises(IntegrityError):
+            unpack_frames(packed + b"\x00")
+        with pytest.raises(IntegrityError):
+            unpack_frames((99).to_bytes(4, "big") + packed[4:])
+
+    def test_seal_frames_is_one_aead_pass(self):
+        frames = [b"frame-%d" % index for index in range(45)]
+        before = hmac_invocations()
+        for index, frame in enumerate(frames):
+            seal(KEY, frame, nonce_seed=str(index).encode())
+        per_frame = hmac_invocations() - before
+        before = hmac_invocations()
+        blob = seal_frames(KEY, frames, header=b"page", nonce_seed=b"p0")
+        bundled = hmac_invocations() - before
+        assert per_frame == 4 * len(frames)
+        assert bundled == 4
+        assert open_frames(KEY, blob) == frames
+
+    def test_seal_frames_tamper_detected(self):
+        blob = seal_frames(KEY, [b"a", b"bb"], header=b"page", nonce_seed=b"x")
+        tampered = type(blob)(
+            header=blob.header, nonce=blob.nonce,
+            ciphertext=blob.ciphertext[:-1] +
+            bytes([blob.ciphertext[-1] ^ 1]),
+            tag=blob.tag,
+        )
+        with pytest.raises(IntegrityError):
+            open_frames(KEY, tampered)
+
+    def test_envelope_bundle_roundtrip_and_hmac_count(self):
+        policy = private_policy("alice")
+        frames = [b"r1", b"r2" * 30, b""]
+        before = hmac_invocations()
+        envelope = DataEnvelope.create_bundle(KEY, "day-0", 1, frames, policy)
+        assert hmac_invocations() - before == 4
+        opened_frames, opened_policy = envelope.open_bundle(KEY)
+        assert opened_frames == frames
+        assert opened_policy.owner == policy.owner
+        # the plain payload is the packed bundle: one object to the vault
+        payload, _ = envelope.open(KEY)
+        assert unpack_frames(payload) == frames
+
+    def test_cell_store_frames_roundtrip(self):
+        from repro.core import TrustedCell
+        from repro.hardware import SMARTPHONE
+        from repro.sim import World
+
+        world = World(seed=8)
+        cell = TrustedCell(world, "meter-cell", SMARTPHONE)
+        cell.register_user("alice", "0000")
+        session = cell.login("alice", "0000")
+        frames = [encode_record({"t": index, "w": 1.5 * index})
+                  for index in range(45)]
+        before = hmac_invocations()
+        metadata = cell.store_frames(session, "day-0", frames)
+        seal_cost = hmac_invocations() - before
+        assert metadata.size == sum(len(frame) for frame in frames)
+        assert seal_cost < 4 * len(frames)  # one bundle, not one per frame
+        assert unpack_frames(cell.read_object(session, "day-0")) == frames

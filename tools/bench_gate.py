@@ -17,6 +17,11 @@ metrics against the tracked claims within explicit tolerances:
   per-cell wall (loose band: host-dependent) and the coordinator
   tree's root-side per-cell wall, which must stay below the tracked
   flat baseline (the sub-linearity claim, re-verified live).
+* **columnar batch path** — the columnar ingest/scan lanes must stay
+  bit-for-bit equal to the scalar reference (flash image, rows,
+  catalog results), keep a healthy live wall speedup, keep the codec
+  within a loose wall band of the tracked ns/record, and seal a page
+  bundle with exactly 4 keyed HMACs where per-frame sealing costs 4·N.
 * **mask derivations** — HMAC count for a k-regular masked sum must
   equal ``n * k`` exactly; the vectorized kernels must not change how
   often key material is touched.
@@ -95,6 +100,7 @@ def gate_store(gate: Gate, tracked: dict) -> None:
         SMOKE_QUERY_WINDOW_S,
         SMOKE_SAMPLE_PERIOD,
         _day_trace,
+        measure_columnar,
         measure_ingest,
         measure_queries,
     )
@@ -130,6 +136,86 @@ def gate_store(gate: Gate, tracked: dict) -> None:
         f"measured {advantage:.1f}x vs tracked {tracked_advantage:.1f}x "
         f"(allowed >= half)",
         advantage >= tracked_advantage / 2,
+    )
+    gate_store_columnar(gate, tracked, day)
+
+
+def gate_store_columnar(gate: Gate, tracked: dict, day) -> None:
+    from benchmarks.bench_store_scale import (
+        SMOKE_QUERY_WINDOW_S,
+        measure_columnar,
+    )
+    tracked_columnar = tracked.get("columnar", {})
+    if not tracked_columnar.get("available"):
+        gate.check("store columnar tracked rows present",
+                   "BENCH_store.json has no columnar section", False)
+        return
+    gate.check(
+        "store columnar tracked speedups (full scale)",
+        f"ingest {tracked_columnar['ingest']['speedup_wall']:g}x "
+        f"scan {tracked_columnar['scan']['speedup_wall']:g}x "
+        f"(claimed >= 5x)",
+        tracked_columnar["ingest"]["speedup_wall"] >= 5.0
+        and tracked_columnar["scan"]["speedup_wall"] >= 5.0
+        and tracked_columnar["ingest"]["bit_for_bit_columnar_equals_scalar"],
+    )
+    measured = measure_columnar(day, SMOKE_QUERY_WINDOW_S, reps=3)
+    if not measured["available"]:
+        gate.check("store columnar smoke", "numpy unavailable", False)
+        return
+    gate.check(
+        "store columnar flash image bit-for-bit (live)",
+        "insert_batch vs scalar insert_many",
+        measured["ingest"]["bit_for_bit_columnar_equals_scalar"],
+    )
+    # Wall speedups shrink on loaded CI hosts; demand half the claim.
+    gate.check(
+        "store columnar ingest speedup (live)",
+        f"measured {measured['ingest']['speedup_wall']:g}x "
+        f"(allowed >= 2.5x)",
+        measured["ingest"]["speedup_wall"] >= 2.5,
+    )
+    gate.check(
+        "store columnar scan speedup + rows identical (live)",
+        f"measured {measured['scan']['speedup_wall']:g}x "
+        f"(allowed >= 2.5x)",
+        measured["scan"]["rows_identical"]
+        and measured["scan"]["speedup_wall"] >= 2.5,
+    )
+    gate.check(
+        "store columnar catalog results identical (live)",
+        ", ".join(sorted(measured["catalog_queries"])),
+        all(row["results_identical"]
+            for row in measured["catalog_queries"].values()),
+    )
+    micro = measured["micro_ops"]
+    tracked_micro = tracked_columnar["micro_ops"]
+    gate.check(
+        "store codec bit-for-bit (live)",
+        f"encode {micro['encode_speedup']:g}x "
+        f"decode {micro['decode_speedup']:g}x",
+        micro["encode_bit_for_bit"] and micro["decode_rows_identical"],
+    )
+    gate.max_ratio(
+        "store columnar encode ns/record",
+        micro["encode_ns_columnar"], tracked_micro["encode_ns_columnar"],
+        WALL_FACTOR,
+    )
+    gate.max_ratio(
+        "store columnar decode ns/record",
+        micro["decode_ns_columnar"], tracked_micro["decode_ns_columnar"],
+        WALL_FACTOR,
+    )
+    hmac_row = measured["hmac_per_page"]
+    gate.check(
+        "store page-bundle HMAC collapse exact",
+        f"per-frame {hmac_row['per_frame_hmacs']} vs bundle "
+        f"{hmac_row['bundle_hmacs']} "
+        f"({hmac_row['frames_per_page']} frames/page)",
+        hmac_row["per_frame_hmacs"] == 4 * hmac_row["frames_per_page"]
+        and hmac_row["bundle_hmacs"] == 4
+        and hmac_row["roundtrip_identical"]
+        and tracked_columnar["hmac_per_page"]["bundle_hmacs"] == 4,
     )
 
 
