@@ -33,6 +33,7 @@ _DESCRIPTIONS = {
     "E12": "usage-control correctness, overhead, binding ablation",
     "E13": "resilience under churn: fault matrix, retries, degradation",
     "E14": "federated queries: networked fan-out, plan mix, degradation",
+    "E15": "standing queries: continuous multi-tenant windows over the fleet",
 }
 
 
@@ -125,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument(
         "experiment",
-        help="experiment id (E1..E14) or 'all'",
+        help="experiment id (E1..E15) or 'all'",
     )
     report_parser = subparsers.add_parser(
         "report", help="run everything, write a consolidated markdown report"
@@ -141,7 +142,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     obs_parser.add_argument(
         "experiment", nargs="?", default=None,
-        help="experiment id (E1..E14) to run first; omit to dump as-is",
+        help="experiment id (E1..E15) to run first; omit to dump as-is",
     )
     obs_parser.add_argument(
         "--json", default=None, metavar="PATH",

@@ -1,4 +1,4 @@
-"""Experiment harness: one runner per derived experiment (E1-E14).
+"""Experiment harness: one runner per derived experiment (E1-E15).
 
 Each ``eNN_*`` module exposes ``run(...) -> list[Table]`` producing the
 rows quoted in ``EXPERIMENTS.md``, and ``shape_holds(tables) -> bool``
@@ -21,6 +21,7 @@ from . import (
     e12_usage_control,
     e13_resilience,
     e14_fedquery,
+    e15_standing,
 )
 from .tables import Table, print_tables
 
@@ -39,6 +40,7 @@ ALL_EXPERIMENTS = {
     "E12": e12_usage_control,
     "E13": e13_resilience,
     "E14": e14_fedquery,
+    "E15": e15_standing,
 }
 
 __all__ = ["Table", "print_tables", "ALL_EXPERIMENTS"]

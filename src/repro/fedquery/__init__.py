@@ -33,6 +33,20 @@ from .hierarchy import (
     partition_shards,
 )
 from .journal import QueryJournal, journal_elements
+from .standing import (
+    MSG_SUB,
+    StandingCoordinator,
+    StandingSubscription,
+    WindowClause,
+    window_tag,
+)
+from .traffic import (
+    TRAFFIC_PURPOSES,
+    TrafficReport,
+    run_traffic,
+    seed_stream_data,
+    tenant_specs,
+)
 from .spec import (
     TRANSFORM_DP,
     TRANSFORM_EXACT,
@@ -54,11 +68,17 @@ __all__ = [
     "Fleet",
     "HierarchicalCoordinator",
     "LocalSource",
+    "MSG_SUB",
     "OUTCOME_ABANDONED",
     "OUTCOME_COMPLETE",
     "OUTCOME_PARTIAL",
     "QueryJournal",
     "RegionalCoordinator",
+    "StandingCoordinator",
+    "StandingSubscription",
+    "TRAFFIC_PURPOSES",
+    "TrafficReport",
+    "WindowClause",
     "TRANSFORMS",
     "TRANSFORM_DP",
     "TRANSFORM_EXACT",
@@ -75,6 +95,10 @@ __all__ = [
     "predicate_from_wire",
     "predicate_to_wire",
     "recipient_key",
+    "run_traffic",
     "seal_records",
+    "seed_stream_data",
+    "tenant_specs",
+    "window_tag",
     "wire_size",
 ]

@@ -165,6 +165,12 @@ class CellQueryAgent:
             self._on_plan(payload)
         elif kind == MSG_RECOVER:
             self._on_recover(payload)
+        elif kind == "fq.sub":
+            # Standing subscription: installs the incremental window
+            # runtime (lazy import keeps the commons anchor intact).
+            from .standing import handle_subscription
+
+            handle_subscription(self, payload)
         # Unknown kinds are dropped silently: the wire is untrusted.
 
     def _reply(self, destination: str, message: dict[str, Any]) -> None:

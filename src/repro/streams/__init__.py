@@ -4,6 +4,8 @@ from .forwarding import (
     DROP_NEWEST,
     DROP_OLDEST,
     ForwardingStats,
+    InOrderDelivery,
+    SequencedUplink,
     StoreAndForwardQueue,
 )
 from .operators import (
@@ -16,6 +18,7 @@ from .operators import (
     StreamPipeline,
     ThresholdEvents,
     Transform,
+    WindowAggregate,
     WindowMean,
 )
 
@@ -23,6 +26,8 @@ __all__ = [
     "DROP_NEWEST",
     "DROP_OLDEST",
     "ForwardingStats",
+    "InOrderDelivery",
+    "SequencedUplink",
     "StoreAndForwardQueue",
     "Clip",
     "Downsample",
@@ -33,5 +38,6 @@ __all__ = [
     "StreamPipeline",
     "ThresholdEvents",
     "Transform",
+    "WindowAggregate",
     "WindowMean",
 ]

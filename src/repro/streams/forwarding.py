@@ -7,6 +7,19 @@ down, and drains it — oldest first, in order — when connectivity
 returns. The queue's capacity is a hardware fact; the drop policy when
 it overflows is an explicit design choice (drop-oldest keeps the most
 recent picture of the world, drop-newest preserves history).
+
+Two ordering hazards live between the queue and the receiver:
+
+* A send can fail mid-drain (the uplink endpoint went away between the
+  connectivity check and the call). The queue must not lose the sample
+  it was holding — it stays at the head and goes out first on the next
+  reconnect.
+* The network itself can reorder a burst: a fault-plane latency spike
+  delays individual messages independently, so two samples sent
+  back-to-back may arrive swapped. :class:`SequencedUplink` stamps a
+  monotone sequence number on the sending side and
+  :class:`InOrderDelivery` resequences on the receiving side, releasing
+  samples oldest-first regardless of arrival order.
 """
 
 from __future__ import annotations
@@ -14,8 +27,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..errors import ConfigurationError
+from ..errors import CellOfflineError, ConfigurationError
+from ..obs import get_default as _obs_default
 from .operators import Sample
+
+_OBS = _obs_default()
+_DROPPED = _OBS.metrics.counter(
+    "streams.dropped",
+    help="samples dropped by store-and-forward overflow",
+)
+_QUEUE_DEPTH = _OBS.metrics.gauge(
+    "streams.queue_depth",
+    help="samples buffered in the most recently active forwarding queue",
+)
 
 DROP_OLDEST = "drop-oldest"
 DROP_NEWEST = "drop-newest"
@@ -51,21 +75,35 @@ class StoreAndForwardQueue:
     def __len__(self) -> int:
         return len(self._queue)
 
+    def _forward(self, sample: Sample) -> bool:
+        """One send attempt; a dead endpoint flips the queue offline."""
+        try:
+            self._send(sample)
+        except CellOfflineError:
+            self.online = False
+            return False
+        self.stats.forwarded += 1
+        return True
+
     def offer(self, sample: Sample) -> None:
         """Enqueue (or directly forward) one pipeline output."""
         if self.online and not self._queue:
-            self._send(sample)
-            self.stats.forwarded += 1
-            return
+            if self._forward(sample):
+                return
+            # fall through: the endpoint vanished under us — buffer the
+            # sample instead of losing it
         if len(self._queue) >= self.capacity:
             if self.drop_policy == DROP_OLDEST:
                 self._queue.pop(0)
             else:
                 self.stats.dropped += 1
+                _DROPPED.inc()
                 return
             self.stats.dropped += 1
+            _DROPPED.inc()
         self._queue.append(sample)
         self.stats.buffered += 1
+        _QUEUE_DEPTH.set(len(self._queue))
         if self.online:
             self.drain()
 
@@ -76,12 +114,71 @@ class StoreAndForwardQueue:
             self.drain()
 
     def drain(self) -> int:
-        """Forward the whole backlog in order; returns count sent."""
+        """Forward the whole backlog in order; returns count sent.
+
+        Each sample is sent while still at the head of the queue and
+        popped only after the send succeeds — a send that raises
+        mid-drain leaves the sample in place, so nothing is lost and
+        oldest-first order survives the next reconnect.
+        """
         if not self.online:
             return 0
         sent = 0
         while self._queue:
-            self._send(self._queue.pop(0))
-            self.stats.forwarded += 1
+            if not self._forward(self._queue[0]):
+                break
+            self._queue.pop(0)
             sent += 1
+        _QUEUE_DEPTH.set(len(self._queue))
         return sent
+
+
+class SequencedUplink:
+    """Stamp a monotone sequence number on each outgoing sample.
+
+    Wraps a raw ``send((seq, sample))`` callable; the counter advances
+    only after a successful send, so a raised :class:`CellOfflineError`
+    leaves no gap in the sequence when the sample is retried.
+    """
+
+    def __init__(self, send: Callable[[tuple[int, Sample]], None]) -> None:
+        self._send = send
+        self.next_seq = 0
+
+    def __call__(self, sample: Sample) -> None:
+        self._send((self.next_seq, sample))
+        self.next_seq += 1
+
+
+class InOrderDelivery:
+    """Receiver-side resequencer for a :class:`SequencedUplink`.
+
+    The fault plane delays each message independently, so a burst
+    drained from a store-and-forward queue can arrive out of order.
+    This buffer holds early arrivals and releases samples strictly by
+    sequence number. It compensates for reordering and duplication, not
+    loss — a genuinely dropped sequence number would stall it, which is
+    why it belongs behind a reliable (retrying) uplink.
+    """
+
+    def __init__(self, deliver: Callable[[Sample], None]) -> None:
+        self._deliver = deliver
+        self._pending: dict[int, Sample] = {}
+        self.next_seq = 0
+        self.reordered = 0
+        self.duplicates = 0
+
+    def receive(self, message: tuple[int, Sample]) -> None:
+        seq, sample = message
+        if seq < self.next_seq or seq in self._pending:
+            self.duplicates += 1
+            return
+        if seq != self.next_seq:
+            self.reordered += 1
+        self._pending[seq] = sample
+        while self.next_seq in self._pending:
+            self._deliver(self._pending.pop(self.next_seq))
+            self.next_seq += 1
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -118,6 +118,138 @@ def assign_disease(rng: random.Random) -> str:
     return rng.choices(DISEASES, weights=[60, 12, 10, 12, 6])[0]
 
 
+# -- administrative / employment records -------------------------------------
+#
+# The paper's "administrative data" class covers what the state and
+# employers hold about a citizen: work contracts, benefit approvals,
+# eligibility spans. This is the second workload domain the standing
+# experiment subscribes to (alongside energy) — an employment agency
+# runs continuous hours/eligibility analytics under dedicated UCON
+# purposes, and the span records carry ``qi_``-prefixed
+# quasi-identifiers so ``records-kanon`` releases cohort rows the
+# standard Mondrian path can anonymize.
+
+EMPLOYMENT_SECTORS = (
+    "retail", "construction", "care", "logistics", "education", "hospitality",
+)
+
+EMPLOYMENT_CONTRACTS = ("permanent", "fixed-term", "temp-agency", "seasonal")
+
+ELIGIBILITY_PROGRAMS = ("wage-subsidy", "training-grant", "hiring-bonus")
+
+#: The UCON purposes the standing employment analytics run under.
+#: ``employment-stats`` covers hour/wage aggregates, ``eligibility-audit``
+#: covers approval counting, ``cohort-release`` covers k-anon span rows.
+PURPOSE_EMPLOYMENT_STATS = "employment-stats"
+PURPOSE_ELIGIBILITY_AUDIT = "eligibility-audit"
+PURPOSE_COHORT_RELEASE = "cohort-release"
+EMPLOYMENT_PURPOSES = (
+    PURPOSE_EMPLOYMENT_STATS,
+    PURPOSE_ELIGIBILITY_AUDIT,
+    PURPOSE_COHORT_RELEASE,
+)
+
+
+@dataclass(frozen=True)
+class EmploymentRecord:
+    """One reporting period of one person's employment."""
+
+    period: int  # reporting-period index (event time)
+    employer: str
+    sector: str
+    contract: str
+    hours: float  # hours worked in the period
+    wage: float  # gross pay for the period
+
+
+@dataclass(frozen=True)
+class ApprovalSpan:
+    """One program approval: eligible from ``start`` for ``periods``."""
+
+    program: str
+    start: int  # first eligible period
+    periods: int
+    approved: int  # 1 approved / 0 rejected (int so it aggregates)
+
+    def covers(self, period: int) -> bool:
+        return bool(self.approved) and \
+            self.start <= period < self.start + self.periods
+
+
+def generate_employment_records(
+    rng: random.Random, periods: int, employer: str = "acme",
+) -> list[EmploymentRecord]:
+    """One person's employment history, one record per reporting period.
+
+    A pure function of the generator state: sector, contract and base
+    hours are drawn once, then each period jitters hours (zero-hour
+    gaps model unemployment spells). Records come back sorted by
+    ``period`` — the event-time-monotone order the standing ingestion
+    path requires.
+    """
+    sector = rng.choice(EMPLOYMENT_SECTORS)
+    contract = rng.choices(EMPLOYMENT_CONTRACTS, weights=[5, 3, 2, 1])[0]
+    base_hours = rng.choice([16.0, 24.0, 32.0, 40.0])
+    hourly = round(rng.uniform(11.0, 28.0), 2)
+    records = []
+    for period in range(periods):
+        if rng.random() < 0.08:
+            continue  # an unemployment gap: no record this period
+        hours = max(0.0, round(base_hours + rng.uniform(-6.0, 6.0), 1))
+        records.append(EmploymentRecord(
+            period=period, employer=employer, sector=sector,
+            contract=contract, hours=hours,
+            wage=round(hours * hourly, 2),
+        ))
+    return records
+
+
+def generate_eligibility_spans(
+    rng: random.Random, periods: int,
+) -> list[ApprovalSpan]:
+    """Program approvals/rejections over a reporting horizon, sorted by
+    start period."""
+    spans = []
+    for program in ELIGIBILITY_PROGRAMS:
+        if rng.random() < 0.45:
+            continue  # never applied to this program
+        start = rng.randrange(max(1, periods))
+        spans.append(ApprovalSpan(
+            program=program, start=start,
+            periods=1 + rng.randrange(max(1, periods - start)),
+            approved=1 if rng.random() < 0.7 else 0,
+        ))
+    return sorted(spans, key=lambda span: span.start)
+
+
+def employment_rows(
+    records: list[EmploymentRecord],
+    spans: list[ApprovalSpan],
+    *,
+    qi_age: int,
+    qi_zip: int,
+    time_field: str = "t",
+) -> list[dict]:
+    """Flatten one person's history into store rows for the standing
+    path: one row per reporting period, event time in ``time_field``,
+    approval state folded in, ``qi_``-prefixed quasi-identifiers for
+    ``records-kanon`` cohorts."""
+    return [
+        {
+            time_field: record.period,
+            "hours": record.hours,
+            "wage": record.wage,
+            "sector": record.sector,
+            "contract": record.contract,
+            "approved": int(any(
+                span.covers(record.period) for span in spans)),
+            "qi_age": qi_age,
+            "qi_zip": qi_zip,
+        }
+        for record in records
+    ]
+
+
 def sweets_share(receipts: list[Receipt]) -> float:
     """Fraction of spending on sweets+soda — the diet feature the
     epidemiology query cross-analyzes against diabetes."""

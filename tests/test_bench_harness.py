@@ -64,7 +64,7 @@ class TestTable:
 
 class TestExperimentCatalog:
     def test_catalog_is_contiguous(self):
-        assert list(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 15)]
+        assert list(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 16)]
 
     def test_every_experiment_has_run_and_checker(self):
         for module in ALL_EXPERIMENTS.values():

@@ -42,6 +42,19 @@ class TestCli:
         assert "aggregate-exact" in output
         assert "survivor-exact" in output
 
+    def test_list_includes_standing_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E15" in output
+        assert "standing queries" in output
+
+    def test_run_standing_experiment(self, capsys):
+        assert main(["run", "E15"]) == 0
+        output = capsys.readouterr().out
+        assert "HOLDS" in output
+        assert "multi-tenant standing traffic" in output
+        assert "crash mid-subscription" in output
+
     def test_obs_after_fedquery_experiment(self, capsys):
         assert main(["obs", "E14"]) == 0
         output = capsys.readouterr().out

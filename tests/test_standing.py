@@ -1,0 +1,323 @@
+"""Tests for standing federated queries (windowed subscriptions)."""
+
+import pytest
+
+from repro.commons.anonymize import is_k_anonymous
+from repro.errors import ConfigurationError
+from repro.fedquery import (
+    Coordinator,
+    FedQuerySpec,
+    StandingCoordinator,
+    WindowClause,
+    build_fleet,
+    journal_elements,
+    open_release,
+    recipient_key,
+    run_traffic,
+    seed_stream_data,
+    tenant_specs,
+)
+from repro.fedquery.spec import TRANSFORM_DP, TRANSFORM_EXACT, TRANSFORM_KANON
+from repro.infrastructure.network import Network
+from repro.sim.world import World
+from repro.store.query import Between
+
+WIDTH_S = 900
+FIELD_SECONDS = 300
+WINDOWS = 3
+UNITS = WINDOWS * (WIDTH_S // FIELD_SECONDS)
+
+
+def window_clause(**overrides):
+    defaults = dict(width_s=WIDTH_S, windows=WINDOWS,
+                    field_seconds=FIELD_SECONDS)
+    defaults.update(overrides)
+    return WindowClause(**defaults)
+
+
+def energy_spec(transform=TRANSFORM_EXACT, **overrides):
+    defaults = dict(
+        recipient="utility", purpose="load-forecast", transform=transform,
+        collection="energy_stream", value_field="watts",
+        scale=1000 if transform == TRANSFORM_DP else 10, epsilon=2.0,
+    )
+    defaults.update(overrides)
+    return FedQuerySpec(**defaults)
+
+
+def standing_fleet(seed=0, n_cells=6, **fleet_kwargs):
+    world = World(seed=seed)
+    network = Network(world)
+    fleet = build_fleet(world, network, n_cells, **fleet_kwargs)
+    seed_stream_data(fleet, units=UNITS, field_seconds=FIELD_SECONDS)
+    return world, network, fleet
+
+
+class TestWindowClause:
+    def test_spans_and_bounds(self):
+        window = window_clause()
+        assert window.window_span_s(0) == (0, 900)
+        assert window.window_span_s(2) == (1800, 2700)
+        assert window.window_bounds(0) == (0, 2)
+        assert window.window_bounds(1) == (3, 5)
+
+    def test_sliding_spans_overlap(self):
+        window = window_clause(slide_s=300)
+        assert window.window_span_s(0) == (0, 900)
+        assert window.window_span_s(1) == (300, 1200)
+
+    def test_windowed_spec_bounds_time_field(self):
+        spec = energy_spec()
+        wspec = window_clause().windowed_spec(spec, 1)
+        assert isinstance(wspec.where, Between)
+        assert (wspec.where.field, wspec.where.low, wspec.where.high) \
+            == ("t", 3, 5)
+
+    def test_windowed_spec_conjoins_existing_predicate(self):
+        spec = energy_spec(where=Between("watts", 0, 100))
+        wspec = window_clause().windowed_spec(spec, 0)
+        assert not isinstance(wspec.where, Between)  # And(existing, window)
+
+    def test_wire_round_trip(self):
+        window = window_clause(slide_s=300, origin_s=600)
+        assert WindowClause.from_wire(window.to_wire()) == window
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            window_clause(width_s=0)
+        with pytest.raises(ConfigurationError):
+            window_clause(windows=0)
+        with pytest.raises(ConfigurationError):
+            window_clause(slide_s=WIDTH_S + 1)
+        with pytest.raises(ConfigurationError):
+            window_clause(width_s=FIELD_SECONDS + 1)  # not unit-aligned
+
+
+class TestStandingQuiet:
+    def test_exact_totals_pinned_to_oneshot(self):
+        """The headline contract: every standing window's total equals
+        the equivalent one-shot windowed query, bit-for-bit."""
+        window = window_clause()
+        spec = energy_spec()
+        world, network, fleet = standing_fleet()
+        coordinator = StandingCoordinator(world, network)
+        sub = coordinator.subscribe(spec, fleet.roster, window)
+        coordinator.drive()
+        assert len(sub.results) == WINDOWS
+        assert sub.complete
+
+        world2, network2, fleet2 = standing_fleet()
+        world2.loop.run_until(WINDOWS * WIDTH_S + 10)
+        oneshot = Coordinator(world2, network2, address="fq-oneshot")
+        for index in range(WINDOWS):
+            result = oneshot.run(window.windowed_spec(spec, index),
+                                 fleet2.roster)
+            standing = sub.results[index]
+            assert standing.outcome == "complete"
+            assert (standing.value, standing.field_total) \
+                == (result.value, result.field_total)
+            assert sub.settle_lag_s[index] == 0
+
+    def test_dp_draws_fresh_noise_every_window(self):
+        window = window_clause()
+        spec = energy_spec(TRANSFORM_DP)
+        world, network, fleet = standing_fleet()
+        coordinator = StandingCoordinator(world, network)
+        sub = coordinator.subscribe(spec, fleet.roster, window)
+        coordinator.drive()
+        errors = [
+            abs(sub.results[i].value
+                - fleet.ground_truth(window.windowed_spec(spec, i)))
+            for i in range(WINDOWS)
+        ]
+        assert all(error > 0 for error in errors)  # noise in every window
+        assert len(set(errors)) > 1  # and not the same draw replayed
+
+    def test_kanon_ships_sealed_window_batches(self):
+        window = window_clause()
+        spec = FedQuerySpec(
+            recipient="agency", purpose="cohort-release",
+            transform=TRANSFORM_KANON, collection="employment",
+            project=("qi_age", "qi_zip", "sector"), k=3,
+        )
+        world, network, fleet = standing_fleet(n_cells=8)
+        coordinator = StandingCoordinator(world, network)
+        sub = coordinator.subscribe(spec, fleet.roster, window)
+        coordinator.drive()
+        key = recipient_key(spec.recipient, fleet.secret)
+        for index in range(WINDOWS):
+            result = sub.results[index]
+            assert result.outcome == "complete"
+            assert result.sealed_records
+            released = open_release(result, key, k=spec.k)
+            assert is_k_anonymous(released, spec.k)
+
+    def test_journal_holds_no_raw_window_encoding(self):
+        from repro.crypto import shamir
+
+        window = window_clause()
+        spec = energy_spec()
+        world, network, fleet = standing_fleet()
+        coordinator = StandingCoordinator(world, network)
+        coordinator.subscribe(spec, fleet.roster, window)
+        coordinator.drive()
+        raw = set()
+        for index in range(WINDOWS):
+            wspec = window.windowed_spec(spec, index)
+            for name in fleet.roster:
+                scalar = fleet.catalogs[name].query(
+                    wspec.local_query()).scalar()
+                raw.add(shamir.encode_signed(
+                    round(float(scalar) * spec.scale)))
+        assert not journal_elements(coordinator.journal) & raw
+
+    def test_two_tenants_use_distinct_mask_streams(self):
+        """Two subscriptions over the same roster and windows must not
+        reuse mask keystreams — identical data, different tags, so the
+        journalled masked elements must differ."""
+        window = window_clause()
+        world, network, fleet = standing_fleet()
+        coordinator = StandingCoordinator(world, network)
+        sub_a = coordinator.subscribe(energy_spec(), fleet.roster, window)
+        sub_b = coordinator.subscribe(energy_spec(), fleet.roster, window)
+        coordinator.drive()
+        by_tag: dict[str, list[int]] = {}
+        for record in coordinator.journal.records():
+            if record["type"] == "partial" and record["status"] == "ok":
+                payload = record["payload"]
+                if isinstance(payload, dict) and "masked" in payload:
+                    by_tag.setdefault(record["tag"], []).append(
+                        payload["masked"])
+        masked_a = [by_tag[f"{sub_a.tag}|w{i}"] for i in range(WINDOWS)]
+        masked_b = [by_tag[f"{sub_b.tag}|w{i}"] for i in range(WINDOWS)]
+        assert all(sorted(a) != sorted(b)
+                   for a, b in zip(masked_a, masked_b))
+        # yet both settle to the same exact total
+        assert all(
+            sub_a.results[i].value == sub_b.results[i].value
+            for i in range(WINDOWS)
+        )
+
+
+class TestPerWindowGating:
+    def test_opt_out_mid_subscription_floors_later_windows(self):
+        """Opt-in and the min-cohort floor are re-checked at every
+        window close, not just at subscribe time."""
+        n_cells = 6
+        window = window_clause()
+        spec = energy_spec(min_cohort=n_cells)
+        world, network, fleet = standing_fleet(n_cells=n_cells)
+        coordinator = StandingCoordinator(world, network)
+        sub = coordinator.subscribe(spec, fleet.roster, window)
+        defector = fleet.agents[fleet.roster[0]]
+        world.loop.schedule_in(
+            WIDTH_S + 10, lambda: defector.opt_out("load-forecast"),
+            label="mid-subscription opt-out",
+        )
+        coordinator.drive()
+        assert sub.results[0].outcome == "complete"
+        for index in (1, 2):
+            result = sub.results[index]
+            assert result.outcome == "abandoned"
+            assert result.failure == "privacy-floor"
+            assert result.declined == 1
+
+    def test_opt_out_without_floor_excludes_cell_exactly(self):
+        n_cells = 6
+        window = window_clause()
+        spec = energy_spec()  # min_cohort=1
+        world, network, fleet = standing_fleet(n_cells=n_cells)
+        coordinator = StandingCoordinator(world, network)
+        sub = coordinator.subscribe(spec, fleet.roster, window)
+        defector = fleet.agents[fleet.roster[0]]
+        world.loop.schedule_in(
+            WIDTH_S + 10, lambda: defector.opt_out("load-forecast"),
+            label="mid-subscription opt-out",
+        )
+        coordinator.drive()
+        survivors = fleet.roster[1:]
+        for index in (1, 2):
+            result = sub.results[index]
+            assert result.outcome == "complete"
+            assert result.declined == 1
+            truth = fleet.ground_truth(
+                window.windowed_spec(spec, index), survivors)
+            assert result.value == pytest.approx(truth, abs=1e-6)
+
+
+class TestCrashRecovery:
+    def test_crash_across_window_close_recovers_pinned(self):
+        window = window_clause()
+        spec = energy_spec()
+        totals = {}
+        lags = {}
+        for profile in ("control", "crashed"):
+            world, network, fleet = standing_fleet(seed=3)
+            coordinator = StandingCoordinator(
+                world, network, horizon_slack_s=2000)
+            sub = coordinator.subscribe(spec, fleet.roster, window)
+            if profile == "crashed":
+                _, end_1 = window.window_span_s(1)
+                world.loop.schedule_in(end_1 - 100, coordinator.crash)
+                world.loop.schedule_in(end_1 + 500, coordinator.restart)
+            coordinator.drive()
+            assert len(sub.results) == WINDOWS
+            totals[profile] = {
+                index: (result.value, result.field_total)
+                for index, result in sub.results.items()
+            }
+            lags[profile] = dict(sub.settle_lag_s)
+        assert totals["crashed"] == totals["control"]
+        assert lags["control"] == {i: 0 for i in range(WINDOWS)}
+        assert lags["crashed"][1] > 0  # the missed window settled late
+        assert lags["crashed"][2] == 0  # later windows back on schedule
+
+    def test_crash_before_any_close_rebuilds_subscription(self):
+        window = window_clause()
+        spec = energy_spec()
+        world, network, fleet = standing_fleet(seed=4)
+        coordinator = StandingCoordinator(
+            world, network, horizon_slack_s=2000)
+        sub = coordinator.subscribe(spec, fleet.roster, window)
+        world.loop.schedule_in(100, coordinator.crash)
+        world.loop.schedule_in(400, coordinator.restart)
+        coordinator.drive()
+        assert len(sub.results) == WINDOWS
+        assert sub.complete
+        assert all(lag == 0 for lag in sub.settle_lag_s.values())
+
+
+class TestTraffic:
+    def test_multi_tenant_mix_settles_clean(self):
+        window = window_clause()
+        world, network, fleet = standing_fleet(seed=5, n_cells=8)
+        coordinator = StandingCoordinator(world, network)
+        subs, report = run_traffic(
+            coordinator, fleet, tenant_specs(20), window)
+        assert report.subscriptions == 20
+        assert report.windows_settled == report.windows_expected
+        assert report.complete_subscriptions == 20
+        assert report.reasks == 0
+        assert report.outcomes == {"complete": 20 * WINDOWS}
+        transforms = {spec.transform for spec in tenant_specs(20)}
+        assert transforms == {
+            TRANSFORM_EXACT, TRANSFORM_DP, TRANSFORM_KANON,
+        }
+
+    def test_epoch_rotation_mid_subscription_stays_exact(self):
+        """Fresh per-window masks compose with the keymgmt epoch
+        ratchet: rotating the fleet's key epoch between windows must
+        not perturb the exact totals."""
+        window = window_clause()
+        spec = energy_spec()
+        world, network, fleet = standing_fleet(
+            seed=6, n_cells=6, key_lifecycle=True, ring_neighbors=4)
+        coordinator = StandingCoordinator(world, network, neighbors=4)
+        subs, report = run_traffic(
+            coordinator, fleet, [spec], window, rotate_epoch_every=2)
+        assert report.complete_subscriptions == 1
+        sub = subs[0]
+        for index in range(WINDOWS):
+            truth = fleet.ground_truth(window.windowed_spec(spec, index))
+            assert sub.results[index].value == pytest.approx(
+                truth, abs=1e-6)

@@ -4,19 +4,23 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import CapacityError, CellOfflineError, ConfigurationError
 from repro.hardware import SENSOR_CELL, SMART_TOKEN
+from repro.obs import get_default
 from repro.streams import (
     DROP_NEWEST,
     Clip,
     Downsample,
+    InOrderDelivery,
     Quantize,
     RateLimit,
     Sample,
+    SequencedUplink,
     StoreAndForwardQueue,
     StreamPipeline,
     ThresholdEvents,
     Transform,
+    WindowAggregate,
     WindowMean,
 )
 
@@ -207,3 +211,187 @@ class TestStoreAndForward:
         queue.offer(Sample(1, 2.0))
         assert queue.stats.forwarded == 2
         assert queue.stats.buffered == 1
+
+
+class TestWindowAggregate:
+    def test_tumbling_sum(self):
+        out = StreamPipeline([WindowAggregate(3)]).process(
+            samples([1, 2, 3, 4, 5, 6])
+        )
+        assert [(s.timestamp, s.value) for s in out] == [(0, 6.0), (3, 15.0)]
+
+    def test_count_and_mean(self):
+        stream = samples([2, 4, 6, 8])
+        count = StreamPipeline([WindowAggregate(2, aggregate="count")])
+        mean = StreamPipeline([WindowAggregate(2, aggregate="mean")])
+        assert [s.value for s in count.process(stream)] == [2.0, 2.0]
+        assert [s.value for s in mean.process(stream)] == [3.0, 7.0]
+
+    def test_sliding_windows_overlap(self):
+        operator = WindowAggregate(4, slide=2)
+        out = StreamPipeline([operator]).process(samples([1, 1, 1, 1, 1, 1]))
+        # windows [0,4) [2,6) [4,8): the first two close, flush emits
+        # the rest
+        assert [(s.timestamp, s.value) for s in out] == [
+            (0, 4.0), (2, 4.0), (4, 2.0),
+        ]
+
+    def test_close_until_emits_boundary_windows(self):
+        operator = WindowAggregate(3)
+        pipeline = StreamPipeline([operator])
+        assert pipeline.push(Sample(0, 5.0)) == []
+        assert pipeline.close_until(2) == []  # window [0,3) still open
+        assert pipeline.close_until(3) == [Sample(0, 5.0)]
+        assert pipeline.close_until(3) == []  # idempotent
+
+    def test_empty_windows_emit_nothing(self):
+        operator = WindowAggregate(2)
+        pipeline = StreamPipeline([operator])
+        pipeline.push(Sample(0, 1.0))
+        pipeline.push(Sample(7, 1.0))  # skips windows [2,4) and [4,6)
+        assert pipeline.close_until(8) == [Sample(6, 1.0)]
+
+    def test_late_sample_for_closed_window_ignored(self):
+        pipeline = StreamPipeline([WindowAggregate(2)])
+        pipeline.push(Sample(0, 1.0))
+        assert pipeline.close_until(2) == [Sample(0, 1.0)]
+        pipeline.push(Sample(1, 99.0))  # its window already closed
+        assert pipeline.close_until(4) == []
+
+    def test_origin_offsets_windows(self):
+        operator = WindowAggregate(2, origin=10)
+        pipeline = StreamPipeline([operator])
+        pipeline.push(Sample(5, 99.0))  # before the origin: no window
+        pipeline.push(Sample(10, 1.0))
+        pipeline.push(Sample(11, 2.0))
+        assert pipeline.close_until(12) == [Sample(10, 3.0)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindowAggregate(0)
+        with pytest.raises(ConfigurationError):
+            WindowAggregate(2, slide=3)
+        with pytest.raises(ConfigurationError):
+            WindowAggregate(2, aggregate="median")
+
+
+class TestObsInstrumentation:
+    def test_pipeline_sample_counters(self):
+        StreamPipeline([Downsample(2)]).process(samples(range(10)))
+        snapshot = get_default().metrics.get("streams.samples").snapshot()
+        assert snapshot["labels"]["in"] == 10
+        assert snapshot["labels"]["out"] == 5
+
+    def test_pipeline_span_recorded(self):
+        StreamPipeline([Downsample(2)]).process(samples(range(4)))
+        spans = get_default().export()["trace"]["spans"]
+        assert any(span["name"] == "streams.pipeline" for span in spans)
+
+    def test_dropped_counter_and_queue_depth_gauge(self):
+        queue = StoreAndForwardQueue(2, lambda s: None)
+        queue.set_online(False)
+        for i in range(5):
+            queue.offer(Sample(i, float(i)))
+        metrics = get_default().metrics
+        assert metrics.get("streams.dropped").snapshot()["value"] == 3
+        assert metrics.get("streams.queue_depth").snapshot()["value"] == 2
+        queue.set_online(True)
+        assert metrics.get("streams.queue_depth").snapshot()["value"] == 0
+
+
+class _FlakySink:
+    """An uplink endpoint that can vanish between sends."""
+
+    def __init__(self, fail_on: set[int] | None = None):
+        self.sent = []
+        self.calls = 0
+        self.fail_on = fail_on or set()
+
+    def __call__(self, sample):
+        self.calls += 1
+        if self.calls in self.fail_on:
+            raise CellOfflineError("uplink endpoint vanished")
+        self.sent.append(sample)
+
+
+class TestDrainUnderChurn:
+    def test_send_failure_mid_drain_loses_nothing(self):
+        sink = _FlakySink(fail_on={3})
+        queue = StoreAndForwardQueue(10, sink)
+        queue.set_online(False)
+        for i in range(5):
+            queue.offer(Sample(i, float(i)))
+        queue.set_online(True)  # third send raises mid-drain
+        assert [s.timestamp for s in sink.sent] == [0, 1]
+        assert not queue.online  # the failed send flipped it offline
+        assert len(queue) == 3  # the in-flight sample is still queued
+        queue.set_online(True)
+        assert [s.timestamp for s in sink.sent] == [0, 1, 2, 3, 4]
+        assert queue.stats.dropped == 0
+
+    def test_direct_send_failure_buffers_instead_of_losing(self):
+        sink = _FlakySink(fail_on={1})
+        queue = StoreAndForwardQueue(10, sink)
+        queue.offer(Sample(0, 1.0))  # online, no backlog -> direct send
+        assert sink.sent == []
+        assert len(queue) == 1
+        queue.set_online(True)
+        assert [s.timestamp for s in sink.sent] == [0]
+
+    def test_repeated_churn_preserves_order(self):
+        sink = _FlakySink(fail_on={2, 5, 6})
+        queue = StoreAndForwardQueue(32, sink)
+        queue.set_online(False)
+        for i in range(8):
+            queue.offer(Sample(i, float(i)))
+        for _ in range(4):  # each reconnect survives another vanish
+            queue.set_online(True)
+        assert [s.timestamp for s in sink.sent] == list(range(8))
+
+
+class TestNetworkReorder:
+    def test_latency_spike_reorder_delivered_oldest_first(self):
+        """Seeded regression: a reconnect burst pushed through the fault
+        plane arrives reordered (latency spikes delay messages
+        independently), and the sequenced uplink + receiver-side
+        resequencer must still deliver oldest-first."""
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.faults.plan import LinkFaultSpec
+        from repro.infrastructure import Network
+        from repro.sim import World
+
+        world = World(seed=11)
+        network = Network(world)
+        plan = FaultPlan(seed=11, link=LinkFaultSpec(
+            latency_spike_rate=0.4, latency_spike_s=45,
+        ))
+        FaultInjector(world, plan).attach_network(network)
+        delivered = []
+        resequencer = InOrderDelivery(delivered.append)
+        network.register(
+            "cloud", lambda source, payload: resequencer.receive(payload))
+        network.register("cell", lambda source, payload: None)
+        uplink = SequencedUplink(
+            lambda message: network.send("cell", "cloud", message,
+                                         size_bytes=64))
+        queue = StoreAndForwardQueue(64, uplink)
+        queue.set_online(False)
+        for i in range(30):
+            queue.offer(Sample(i, float(i)))
+        queue.set_online(True)  # the whole burst drains at one instant
+        world.loop.run_until(400)
+        assert [s.timestamp for s in delivered] == list(range(30))
+        assert resequencer.reordered > 0  # the spikes really reordered
+        assert resequencer.duplicates == 0
+        assert len(resequencer) == 0  # nothing stuck in the hold buffer
+
+    def test_resequencer_swallows_duplicates(self):
+        delivered = []
+        resequencer = InOrderDelivery(delivered.append)
+        resequencer.receive((1, Sample(1, 1.0)))  # early
+        resequencer.receive((1, Sample(1, 1.0)))  # duplicate while pending
+        resequencer.receive((0, Sample(0, 0.0)))
+        resequencer.receive((0, Sample(0, 0.0)))  # duplicate after release
+        assert [s.timestamp for s in delivered] == [0, 1]
+        assert resequencer.duplicates == 2
+        assert resequencer.reordered == 1

@@ -8,7 +8,12 @@ from repro.errors import ConfigurationError
 from repro.sim import SECONDS_PER_DAY
 from repro.workloads import (
     DISEASES,
+    ELIGIBILITY_PROGRAMS,
+    EMPLOYMENT_PURPOSES,
     CityMap,
+    employment_rows,
+    generate_eligibility_spans,
+    generate_employment_records,
     DriverSimulator,
     HouseholdSimulator,
     TimeOfUseTariff,
@@ -240,3 +245,74 @@ class TestRecords:
 
     def test_sweets_share_empty(self):
         assert sweets_share([]) == 0.0
+
+    def test_receipts_seeded_determinism(self):
+        """Same seed, same record stream — the contract the standing
+        traffic generator relies on."""
+        first = generate_receipts(random.Random(42), days=60)
+        second = generate_receipts(random.Random(42), days=60)
+        assert first == second
+        different = generate_receipts(random.Random(43), days=60)
+        assert first != different
+
+
+class TestEmployment:
+    def test_records_sorted_and_bounded(self):
+        records = generate_employment_records(random.Random(1), periods=24)
+        periods = [record.period for record in records]
+        assert periods == sorted(periods)
+        assert all(0 < record.hours <= 250 for record in records)
+        assert all(record.wage > 0 for record in records)
+
+    def test_records_have_gaps(self):
+        rng = random.Random(2)
+        records = generate_employment_records(rng, periods=200)
+        assert 0 < len(records) < 200  # the 8% gap rate really bites
+
+    def test_seeded_determinism(self):
+        first = generate_employment_records(random.Random(7), periods=36)
+        second = generate_employment_records(random.Random(7), periods=36)
+        assert first == second
+        spans_a = generate_eligibility_spans(random.Random(7), periods=36)
+        spans_b = generate_eligibility_spans(random.Random(7), periods=36)
+        assert spans_a == spans_b
+        assert first != generate_employment_records(
+            random.Random(8), periods=36)
+
+    def test_spans_cover_their_periods(self):
+        spans = generate_eligibility_spans(random.Random(3), periods=48)
+        assert all(span.program in ELIGIBILITY_PROGRAMS for span in spans)
+        assert any(span.approved for span in spans)
+        assert any(not span.approved for span in spans)
+        for span in spans:
+            if span.approved:
+                assert span.covers(span.start)
+                assert span.covers(span.start + span.periods - 1)
+            else:
+                assert not span.covers(span.start)  # rejected covers nothing
+            assert not span.covers(span.start + span.periods)
+
+    def test_employment_rows_shape(self):
+        rng = random.Random(4)
+        rows = employment_rows(
+            generate_employment_records(rng, periods=12),
+            generate_eligibility_spans(rng, periods=12),
+            qi_age=44, qi_zip=75_011,
+        )
+        assert rows
+        for row in rows:
+            assert set(row) >= {"t", "hours", "wage", "sector", "contract",
+                                "approved", "qi_age", "qi_zip"}
+            assert row["approved"] in (0, 1)
+            assert row["qi_age"] == 44 and row["qi_zip"] == 75_011
+
+    def test_purpose_labels_cover_standing_traffic(self):
+        """Every UCON purpose the standing experiment's tenant mix
+        queries under must be a declared employment purpose or the
+        energy default."""
+        from repro.fedquery import TRAFFIC_PURPOSES, tenant_specs
+
+        used = {spec.purpose for spec in tenant_specs(64)}
+        assert used <= set(TRAFFIC_PURPOSES)
+        assert set(EMPLOYMENT_PURPOSES) <= set(TRAFFIC_PURPOSES)
+        assert set(EMPLOYMENT_PURPOSES) <= used  # the mix exercises all

@@ -30,6 +30,12 @@ metrics against the tracked claims within explicit tolerances:
   from its write-ahead journal to the control's exact total, root
   failover must respawn a dead region, and the per-profile totals
   must match the tracked rows bit-for-bit.
+* **standing queries** — the multi-tenant smoke mix must settle every
+  window on the quiet path (zero faults, zero re-asks), keep the
+  deterministic one-delta-per-cell-per-window message rate, hold only
+  gate-transformed deltas in the journal, and recover a window missed
+  across a coordinator crash to the control's exact totals with the
+  tracked recovery latency.
 
 Exit status 0 means every gate passed; 1 means a regression (or a
 missing/ill-formed tracked file). Run from anywhere:
@@ -451,12 +457,80 @@ def gate_keymgmt(gate: Gate, tracked: dict) -> None:
     )
 
 
+def gate_standing(gate: Gate, tracked: dict) -> None:
+    from benchmarks.bench_standing import (
+        SMOKE_CELLS,
+        SMOKE_TENANTS,
+        SMOKE_WINDOWS,
+        measure_late_recovery,
+        measure_multi_tenant,
+    )
+    tracked_tenants = tracked["multi_tenant"]
+    gate.check(
+        "standing tracked multi-tenant row",
+        f"{tracked_tenants['subscriptions']} subscriptions x "
+        f"{tracked_tenants['windows_each']} windows over "
+        f"{tracked_tenants['cells']} cells",
+        tracked_tenants["subscriptions"] >= 200
+        and tracked_tenants["windows_settled"]
+        == tracked_tenants["windows_expected"]
+        and tracked_tenants["no_fault_path_clean"]
+        and tracked_tenants["leakage_audit"]["only_gate_transformed_deltas"],
+    )
+    tenants = measure_multi_tenant(SMOKE_CELLS, SMOKE_TENANTS, SMOKE_WINDOWS)
+    gate.check(
+        "standing quiet control clean (live)",
+        f"faults {tenants['fault_control']['faults_injected']} "
+        f"reasks {tenants['fault_control']['reasks']} "
+        f"settled {tenants['windows_settled']}"
+        f"/{tenants['windows_expected']}",
+        tenants["no_fault_path_clean"],
+    )
+    # The quiet path ships exactly one spontaneous delta per cell per
+    # window and zero plan messages — a deterministic message rate.
+    gate.band(
+        "standing messages per window per cell",
+        tenants["messages_per_window_per_subscription"] / SMOKE_CELLS,
+        tracked_tenants["messages_per_window_per_subscription"]
+        / tracked_tenants["cells"],
+        RATE_BAND,
+    )
+    gate.check(
+        "standing journal holds only gated deltas (live)",
+        f"{tenants['leakage_audit']['gated_partials']} gated, "
+        f"{tenants['leakage_audit']['ungated_partials']} ungated, "
+        f"{tenants['leakage_audit']['raw_encodings_in_journal']} raw",
+        tenants["leakage_audit"]["only_gate_transformed_deltas"],
+    )
+    gate.check(
+        "standing windows/sec (wall)",
+        f"measured {tenants['windows_per_sec']:.6g} vs tracked "
+        f"{tracked_tenants['windows_per_sec']:.6g} "
+        f"(allowed >= 1/{WALL_FACTOR:g})",
+        tenants["windows_per_sec"]
+        >= tracked_tenants["windows_per_sec"] / WALL_FACTOR,
+    )
+    recovery = measure_late_recovery()
+    tracked_recovery = tracked["late_recovery"]
+    gate.check(
+        "standing late-window recovery pinned (live)",
+        f"latency {recovery['recovery_latency_s']}s vs tracked "
+        f"{tracked_recovery['recovery_latency_s']}s",
+        recovery["control_clean"]
+        and recovery["recovered_totals_pinned"]
+        and recovery["recovery_latency_s"] > 0
+        and recovery["recovery_latency_s"]
+        == tracked_recovery["recovery_latency_s"],
+    )
+
+
 SECTIONS = (
     ("BENCH_store.json", gate_store),
     ("BENCH_aggregation.json", gate_aggregation),
     ("BENCH_fedquery.json", gate_fedquery),
     ("BENCH_fedquery.json", gate_crash),
     ("BENCH_keymgmt.json", gate_keymgmt),
+    ("BENCH_standing.json", gate_standing),
 )
 
 
